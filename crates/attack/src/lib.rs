@@ -1,0 +1,33 @@
+//! DDoS workload generation.
+//!
+//! Synthesizes the attack population the telescope observes (and the part
+//! it cannot observe). Calibrated against the paper's published shapes:
+//!
+//! - monthly attack volumes and the 0.57–2.12% share aimed at DNS
+//!   infrastructure (Table 3);
+//! - single-port dominance and the TCP(80) > TCP(53) > TCP(443) port mix
+//!   (§6.2, Figure 6);
+//! - bimodal durations with modes at 15 minutes and 1 hour (§6.5,
+//!   Figure 10);
+//! - bimodal telescope-observed intensities with modes near 50 and
+//!   6000 packets/minute (§6.4, Figure 9);
+//! - multi-vector attacks whose reflection/direct components are invisible
+//!   to the telescope (§4.3), which is one reason intensity does not
+//!   predict impact.
+//!
+//! - [`vector`]: attack vectors, protocols and port selection.
+//! - [`spec`]: the attack record (target, time span, vectors, rates).
+//! - [`schedule`]: the calibrated generator.
+//! - [`loadgen`]: conversion of attacks into per-window `(addr, window,
+//!   pps)` cells consumed by `dnssim`'s `LoadBook` (kept generic here to
+//!   avoid a dependency cycle).
+
+pub mod loadgen;
+pub mod schedule;
+pub mod spec;
+pub mod vector;
+
+pub use loadgen::accumulate_windows;
+pub use schedule::{AttackScheduler, ScheduleConfig, TargetPool};
+pub use spec::{Attack, AttackId, VectorSpec};
+pub use vector::{Protocol, VectorKind};

@@ -1,0 +1,498 @@
+//! The calibrated attack scheduler.
+//!
+//! Generates a 17-month attack population whose marginals match the paper's
+//! published distributions (see crate docs). The absolute monthly volumes
+//! are configurable so experiments can run at feed scale (hundreds of
+//! thousands of records are cheap) or scaled down.
+
+use crate::spec::{Attack, AttackId, VectorSpec};
+use crate::vector::{
+    sample_port, sample_port_count, sample_protocol, Protocol, VectorKind,
+};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use simcore::dist::{pareto, BimodalLogNormal};
+use simcore::rng::RngFactory;
+use simcore::time::{Month, SimDuration, SimTime};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// The address pools attacks choose targets from.
+#[derive(Clone, Debug, Default)]
+pub struct TargetPool {
+    /// Nameserver service addresses (including open-resolver addresses that
+    /// misconfigured domains list as authoritatives).
+    pub dns_addrs: Vec<Ipv4Addr>,
+    /// Relative attack attractiveness of each DNS address (larger providers
+    /// attract more attacks — Table 4's Google/Cloudflare spikes).
+    pub dns_weights: Vec<f64>,
+    /// Non-nameserver addresses inside nameserver /24s (collateral targets:
+    /// the web server next to the mil.ru nameservers).
+    pub collateral_addrs: Vec<Ipv4Addr>,
+    /// Nameserver groupings (one group per provider NSSet). A *campaign*
+    /// attack hits every member of a group simultaneously — the
+    /// TransIP/mil.ru/RDZ pattern that produces the paper's
+    /// complete-failure and 100x-RTT events.
+    pub dns_groups: Vec<Vec<Ipv4Addr>>,
+}
+
+impl TargetPool {
+    pub fn uniform(dns_addrs: Vec<Ipv4Addr>, collateral_addrs: Vec<Ipv4Addr>) -> TargetPool {
+        let dns_weights = vec![1.0; dns_addrs.len()];
+        TargetPool { dns_addrs, dns_weights, collateral_addrs, dns_groups: Vec::new() }
+    }
+
+    /// The group containing `addr`, if any.
+    pub fn group_of(&self, addr: Ipv4Addr) -> Option<&[Ipv4Addr]> {
+        self.dns_groups.iter().find(|g| g.contains(&addr)).map(|g| g.as_slice())
+    }
+}
+
+/// Scheduler configuration. Defaults reproduce the paper's marginals.
+#[derive(Clone, Debug)]
+pub struct ScheduleConfig {
+    pub months: Vec<Month>,
+    /// Total attacks per month (same length as `months`). Table 3's real
+    /// volumes run 145K–360K/month.
+    pub attacks_per_month: Vec<u32>,
+    /// Fraction of each month's attacks aimed directly at DNS nameserver
+    /// IPs (Table 3: 0.57%–2.12%).
+    pub dns_share_per_month: Vec<f64>,
+    /// Of DNS-related attacks, the share that hits a collateral address in
+    /// the nameserver's /24 instead of the nameserver itself.
+    pub collateral_share: f64,
+    /// Attack duration distribution, in minutes (§6.5: modes 15 and 60).
+    pub duration_minutes: BimodalLogNormal,
+    /// Telescope-observed intensity distribution, packets/minute at the
+    /// darknet (§6.4: modes ≈50 and ≈6000 ppm).
+    pub intensity_ppm: BimodalLogNormal,
+    /// Probability of an extra heavy-tail intensity draw (the TransIP-class
+    /// events), multiplying the sampled rate by a Pareto factor.
+    pub heavy_tail_prob: f64,
+    /// Probability an attack carries an additional telescope-invisible
+    /// vector (reflection or direct).
+    pub multi_vector_prob: f64,
+    /// Probability an attack is *only* invisible vectors (never enters the
+    /// RSDoS feed at all).
+    pub invisible_only_prob: f64,
+    /// Probability that a DNS-targeted attack is a *campaign* hitting
+    /// every nameserver of the chosen provider group simultaneously (the
+    /// case-study pattern; requires `TargetPool::dns_groups`).
+    pub campaign_prob: f64,
+    /// Within a campaign, probability each member attack aims at port 53
+    /// (application-aware attackers going after the DNS itself — §6.3.1's
+    /// successful attacks skew to 53).
+    pub campaign_dns_port_prob: f64,
+    /// Inverse telescope coverage: the darknet sees 1/341 of IPv4, so
+    /// victim-side pps = ppm × 341 / 60.
+    pub telescope_scale: f64,
+}
+
+impl Default for ScheduleConfig {
+    fn default() -> ScheduleConfig {
+        let months = Month::paper_interval();
+        let n = months.len();
+        ScheduleConfig {
+            months,
+            // Scaled-down default (≈1/40 of Table 3): big enough for stable
+            // shares, small enough for CI.
+            attacks_per_month: vec![6_000; n],
+            dns_share_per_month: vec![0.012; n],
+            collateral_share: 0.15,
+            duration_minutes: BimodalLogNormal::from_modes(0.55, 15.0, 0.45, 60.0, 0.55),
+            intensity_ppm: BimodalLogNormal::from_modes(0.6, 50.0, 0.9, 6_000.0, 0.7),
+            heavy_tail_prob: 0.01,
+            multi_vector_prob: 0.35,
+            invisible_only_prob: 0.10,
+            campaign_prob: 0.3,
+            campaign_dns_port_prob: 0.10,
+            telescope_scale: 341.0,
+        }
+    }
+}
+
+/// Deterministic attack-population generator.
+pub struct AttackScheduler {
+    pub config: ScheduleConfig,
+}
+
+impl AttackScheduler {
+    pub fn new(config: ScheduleConfig) -> AttackScheduler {
+        assert_eq!(config.months.len(), config.attacks_per_month.len());
+        assert_eq!(config.months.len(), config.dns_share_per_month.len());
+        AttackScheduler { config }
+    }
+
+    /// Generate the full attack population, sorted by start time.
+    pub fn generate(&self, pool: &TargetPool, rngs: &RngFactory) -> Vec<Attack> {
+        let mut rng = rngs.stream("attack-schedule");
+        let dns_cdf = cumulative(&pool.dns_weights);
+        let mut out = Vec::new();
+        let mut next_id = 0u64;
+        for (mi, month) in self.config.months.iter().enumerate() {
+            let count = self.config.attacks_per_month[mi];
+            let dns_share = self.config.dns_share_per_month[mi];
+            let span = (month.end() - month.start()).secs();
+            for _ in 0..count {
+                let offset = rng.random_range(0..span);
+                let start = month.start() + SimDuration::from_secs(offset);
+                let target = self.pick_target(pool, &dns_cdf, dns_share, &mut rng);
+                // Campaigns: hit every nameserver of the provider group.
+                let group = pool.group_of(target).filter(|g| g.len() > 1).map(<[Ipv4Addr]>::to_vec);
+                match group {
+                    Some(members)
+                        if rng.random::<f64>() < self.config.campaign_prob =>
+                    {
+                        let base = self.one_attack(AttackId(next_id), target, start, &mut rng);
+                        next_id += 1;
+                        let dns_port =
+                            rng.random::<f64>() < self.config.campaign_dns_port_prob;
+                        for &member in &members {
+                            let mut a = base.clone();
+                            a.id = AttackId(next_id);
+                            next_id += 1;
+                            a.target = member;
+                            // Per-member intensity jitter (the December
+                            // TransIP attack hit A far harder than B/C).
+                            let jitter = simcore::dist::log_normal(&mut rng, 0.0, 0.4);
+                            // Application-aware (port 53) campaigns are the
+                            // effective ones (§6.3.1): they bring real
+                            // firepower against the DNS itself.
+                            let aware_boost = if dns_port { 4.0 } else { 1.0 };
+                            for v in &mut a.vectors {
+                                v.victim_pps *= jitter * aware_boost;
+                                v.source_count =
+                                    ((v.source_count as f64) * jitter) as u64;
+                                if dns_port && v.protocol != Protocol::Icmp {
+                                    v.ports = vec![53];
+                                }
+                            }
+                            out.push(a);
+                        }
+                    }
+                    _ => {
+                        out.push(self.one_attack(AttackId(next_id), target, start, &mut rng));
+                        next_id += 1;
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|a| (a.start, a.id));
+        out
+    }
+
+    fn pick_target(
+        &self,
+        pool: &TargetPool,
+        dns_cdf: &[f64],
+        dns_share: f64,
+        rng: &mut SmallRng,
+    ) -> Ipv4Addr {
+        let u: f64 = rng.random();
+        if u < dns_share && !pool.dns_addrs.is_empty() {
+            if rng.random::<f64>() < self.config.collateral_share
+                && !pool.collateral_addrs.is_empty()
+            {
+                pool.collateral_addrs[rng.random_range(0..pool.collateral_addrs.len())]
+            } else {
+                pool.dns_addrs[pick_weighted(dns_cdf, rng)]
+            }
+        } else {
+            random_background_addr(rng, pool)
+        }
+    }
+
+    /// Build one attack at `target` starting at `start`.
+    pub fn one_attack(
+        &self,
+        id: AttackId,
+        target: Ipv4Addr,
+        start: SimTime,
+        rng: &mut SmallRng,
+    ) -> Attack {
+        let cfg = &self.config;
+        let minutes = cfg.duration_minutes.sample(rng).clamp(1.0, 48.0 * 60.0);
+        let duration = SimDuration::from_secs((minutes * 60.0) as u64);
+        let mut ppm = cfg.intensity_ppm.sample(rng);
+        if rng.random::<f64>() < cfg.heavy_tail_prob {
+            ppm *= pareto(rng, 1.0, 1.2);
+        }
+        let victim_pps = ppm * cfg.telescope_scale / 60.0;
+        let protocol = sample_protocol(rng);
+        let nports = sample_port_count(rng) as usize;
+        let mut ports: Vec<u16> = Vec::with_capacity(nports);
+        if protocol != Protocol::Icmp {
+            let mut seen = HashSet::new();
+            while ports.len() < nports {
+                let p = sample_port(rng, protocol);
+                if seen.insert(p) {
+                    ports.push(p);
+                }
+            }
+        }
+        let total_packets = victim_pps * duration.secs() as f64;
+        let source_count = spoofed_source_count(total_packets);
+        let invisible_only = rng.random::<f64>() < cfg.invisible_only_prob;
+        let mut vectors = Vec::new();
+        if !invisible_only {
+            vectors.push(VectorSpec {
+                kind: VectorKind::RandomSpoofed,
+                protocol,
+                ports: ports.clone(),
+                victim_pps,
+                source_count,
+            });
+        }
+        if invisible_only || rng.random::<f64>() < cfg.multi_vector_prob {
+            // The invisible component can dwarf the visible one, which is
+            // why telescope intensity fails to predict impact (§6.4).
+            let mult = pareto(rng, 0.5, 1.1).min(50.0);
+            let kind = if rng.random::<f64>() < 0.7 {
+                VectorKind::Reflection
+            } else {
+                VectorKind::Direct
+            };
+            vectors.push(VectorSpec {
+                kind,
+                protocol: Protocol::Udp,
+                ports: vec![53],
+                victim_pps: victim_pps * mult,
+                // Reflection recruits thousands of amplifiers (the AmpPot
+                // regime); direct botnets are counted in bots.
+                source_count: if kind == VectorKind::Reflection {
+                    simcore::dist::log_normal(rng, 8.0, 1.0).max(1.0) as u64
+                } else {
+                    (source_count / 100).max(1)
+                },
+            });
+        }
+        Attack { id, target, start, duration, vectors }
+    }
+}
+
+/// Estimate the number of distinct spoofed sources the victim's responses
+/// reveal. Calibrated so a TransIP-December-class attack (≈6.5 G packets)
+/// yields ≈5.8 M sources (Table 2).
+pub fn spoofed_source_count(total_packets: f64) -> u64 {
+    (total_packets / 1_120.0).clamp(1.0, u32::MAX as f64) as u64
+}
+
+fn cumulative(weights: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    let total: f64 = weights.iter().sum();
+    weights
+        .iter()
+        .map(|w| {
+            acc += w;
+            if total > 0.0 {
+                acc / total
+            } else {
+                1.0
+            }
+        })
+        .collect()
+}
+
+fn pick_weighted(cdf: &[f64], rng: &mut SmallRng) -> usize {
+    let u: f64 = rng.random();
+    match cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+    .min(cdf.len() - 1)
+}
+
+/// A background (non-DNS) victim drawn uniformly from routable-looking
+/// space, avoiding the DNS pool itself.
+fn random_background_addr(rng: &mut SmallRng, pool: &TargetPool) -> Ipv4Addr {
+    loop {
+        let v: u32 = rng.random();
+        let addr = Ipv4Addr::from(v);
+        let first = v >> 24;
+        // Skip obviously unroutable space: 0/8, 10/8, 127/8, multicast+.
+        if first == 0 || first == 10 || first == 127 || first >= 224 {
+            continue;
+        }
+        if !pool.dns_addrs.contains(&addr) {
+            return addr;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> TargetPool {
+        let dns: Vec<Ipv4Addr> =
+            (0..50).map(|i| Ipv4Addr::new(195, 135, i as u8, 53)).collect();
+        let collateral: Vec<Ipv4Addr> =
+            (0..10).map(|i| Ipv4Addr::new(195, 135, i as u8, 80)).collect();
+        TargetPool::uniform(dns, collateral)
+    }
+
+    fn small_config() -> ScheduleConfig {
+        let months = Month::new(2020, 11).through(Month::new(2021, 1));
+        ScheduleConfig {
+            attacks_per_month: vec![2_000; months.len()],
+            dns_share_per_month: vec![0.02; months.len()],
+            months,
+            ..ScheduleConfig::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_counts_sorted() {
+        let sched = AttackScheduler::new(small_config());
+        let attacks = sched.generate(&pool(), &RngFactory::new(7));
+        assert_eq!(attacks.len(), 6_000);
+        assert!(attacks.windows(2).all(|w| w[0].start <= w[1].start));
+        // Ids unique.
+        let ids: HashSet<u64> = attacks.iter().map(|a| a.id.0).collect();
+        assert_eq!(ids.len(), attacks.len());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sched = AttackScheduler::new(small_config());
+        let a = sched.generate(&pool(), &RngFactory::new(7));
+        let b = sched.generate(&pool(), &RngFactory::new(7));
+        assert_eq!(a, b);
+        let c = sched.generate(&pool(), &RngFactory::new(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dns_share_close_to_config() {
+        let sched = AttackScheduler::new(small_config());
+        let p = pool();
+        let attacks = sched.generate(&p, &RngFactory::new(1));
+        let dns_set: HashSet<Ipv4Addr> = p.dns_addrs.iter().copied().collect();
+        let coll_set: HashSet<Ipv4Addr> = p.collateral_addrs.iter().copied().collect();
+        let dns_related = attacks
+            .iter()
+            .filter(|a| dns_set.contains(&a.target) || coll_set.contains(&a.target))
+            .count();
+        let share = dns_related as f64 / attacks.len() as f64;
+        assert!((share - 0.02).abs() < 0.005, "share {share}");
+    }
+
+    #[test]
+    fn attacks_fall_inside_their_month() {
+        let cfg = small_config();
+        let first = cfg.months[0].start();
+        let last = cfg.months.last().unwrap().end();
+        let sched = AttackScheduler::new(cfg);
+        for a in sched.generate(&pool(), &RngFactory::new(2)) {
+            assert!(a.start >= first && a.start < last);
+        }
+    }
+
+    #[test]
+    fn invisible_only_fraction() {
+        let sched = AttackScheduler::new(small_config());
+        let attacks = sched.generate(&pool(), &RngFactory::new(3));
+        let invisible = attacks.iter().filter(|a| !a.telescope_visible()).count();
+        let share = invisible as f64 / attacks.len() as f64;
+        assert!((share - 0.10).abs() < 0.02, "invisible share {share}");
+    }
+
+    #[test]
+    fn durations_bimodal_and_bounded() {
+        let sched = AttackScheduler::new(small_config());
+        let attacks = sched.generate(&pool(), &RngFactory::new(4));
+        let mut short = 0;
+        let mut hour = 0;
+        for a in &attacks {
+            let m = a.duration.secs() as f64 / 60.0;
+            assert!((1.0..=48.0 * 60.0).contains(&m));
+            if (8.0..25.0).contains(&m) {
+                short += 1;
+            }
+            if (40.0..90.0).contains(&m) {
+                hour += 1;
+            }
+        }
+        assert!(short > attacks.len() / 5, "15-min mode populated: {short}");
+        assert!(hour > attacks.len() / 8, "1-hour mode populated: {hour}");
+    }
+
+    #[test]
+    fn source_count_calibration() {
+        // TransIP December: ≈6.5e9 packets → ≈5.8M sources.
+        let s = spoofed_source_count(6.5e9);
+        assert!((5_000_000..7_000_000).contains(&s), "source count {s}");
+        assert_eq!(spoofed_source_count(0.0), 1);
+        assert_eq!(spoofed_source_count(f64::MAX), u32::MAX as u64);
+    }
+
+    #[test]
+    fn background_targets_avoid_reserved_space() {
+        let sched = AttackScheduler::new(small_config());
+        let p = pool();
+        for a in sched.generate(&p, &RngFactory::new(5)) {
+            let first = a.target.octets()[0];
+            if !p.dns_addrs.contains(&a.target) && !p.collateral_addrs.contains(&a.target) {
+                assert!(first != 0 && first != 10 && first != 127 && first < 224);
+            }
+        }
+    }
+
+    #[test]
+    fn campaigns_hit_whole_groups() {
+        let mut p = pool();
+        // Two provider groups of 3 nameservers each.
+        p.dns_groups = vec![
+            p.dns_addrs[0..3].to_vec(),
+            p.dns_addrs[3..6].to_vec(),
+        ];
+        let cfg = ScheduleConfig {
+            dns_share_per_month: vec![0.5; 3], // lots of DNS attacks
+            campaign_prob: 1.0,                // every group hit becomes a campaign
+            ..small_config()
+        };
+        let sched = AttackScheduler::new(cfg);
+        let attacks = sched.generate(&p, &RngFactory::new(31));
+        // Campaign attacks come in (start, duration)-aligned sibling sets
+        // covering all group members.
+        let mut by_start: std::collections::HashMap<(u64, u64), HashSet<Ipv4Addr>> =
+            std::collections::HashMap::new();
+        for a in &attacks {
+            if p.dns_groups[0].contains(&a.target) {
+                by_start
+                    .entry((a.start.secs(), a.duration.secs()))
+                    .or_default()
+                    .insert(a.target);
+            }
+        }
+        let full = by_start.values().filter(|s| s.len() == 3).count();
+        assert!(full > 0, "at least one full-group campaign on group 0");
+        // Sibling vectors share ports when the campaign is port-53 biased.
+        let port53 = attacks
+            .iter()
+            .filter(|a| p.group_of(a.target).is_some())
+            .filter(|a| a.vectors.iter().any(|v| v.ports == vec![53]))
+            .count();
+        assert!(port53 > 0, "campaigns bias toward port 53");
+        // Ids stay unique.
+        let ids: HashSet<u64> = attacks.iter().map(|a| a.id.0).collect();
+        assert_eq!(ids.len(), attacks.len());
+    }
+
+    #[test]
+    fn icmp_attacks_have_no_ports() {
+        let sched = AttackScheduler::new(small_config());
+        for a in sched.generate(&pool(), &RngFactory::new(6)) {
+            for v in &a.vectors {
+                if v.protocol == Protocol::Icmp {
+                    assert!(v.ports.is_empty());
+                } else if v.kind == VectorKind::RandomSpoofed {
+                    assert!(!v.ports.is_empty());
+                    // Ports are distinct.
+                    let set: HashSet<u16> = v.ports.iter().copied().collect();
+                    assert_eq!(set.len(), v.ports.len());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Reactive-platform benchmarks: trigger latency (streaming plan build)
+//! and probe-round execution.
+
+use attack::Protocol;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dnssim::{Deployment, Infra, LoadBook};
+use netbase::Asn;
+use reactive::ReactivePlatform;
+use simcore::rng::RngFactory;
+use simcore::time::Window;
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use telescope::RsdosRecord;
+
+fn world() -> (Arc<Infra>, Vec<Ipv4Addr>) {
+    let mut infra = Infra::new();
+    let mut addrs = Vec::new();
+    for p in 0..50u8 {
+        let addr = Ipv4Addr::new(198, 51, p, 53);
+        addrs.push(addr);
+        let ns = infra.add_nameserver(
+            format!("ns.p{p}.net").parse().unwrap(),
+            addr,
+            Asn(64_500 + p as u32),
+            Deployment::Unicast,
+            50_000.0,
+            500.0,
+            20.0,
+        );
+        let set = infra.intern_nsset(vec![ns]);
+        for d in 0..200 {
+            infra.add_domain(format!("d{p}x{d}.example").parse().unwrap(), set);
+        }
+    }
+    (Arc::new(infra), addrs)
+}
+
+fn record(victim: Ipv4Addr, w: u64) -> RsdosRecord {
+    RsdosRecord {
+        window: Window(w),
+        victim,
+        slash16s: 30,
+        protocol: Protocol::Tcp,
+        first_port: 53,
+        unique_ports: 1,
+        max_ppm: 2_000.0,
+        packets: 10_000,
+    }
+}
+
+fn bench_reactive(c: &mut Criterion) {
+    let (infra, addrs) = world();
+    let platform = ReactivePlatform::default();
+    // A burst of feed records: 50 victims × 6 windows.
+    let records: Vec<RsdosRecord> = (0..6u64)
+        .flat_map(|w| addrs.iter().map(move |&a| record(a, 100 + w)))
+        .collect();
+    let rngs = RngFactory::new(4);
+
+    let mut g = c.benchmark_group("reactive");
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("build_plans/300_records", |b| {
+        b.iter(|| black_box(platform.build_plans(&infra, black_box(&records))));
+    });
+    let plans = platform.build_plans(&infra, &records);
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(plans.len() as u64 * 3));
+    g.bench_function("execute/3_rounds_per_plan", |b| {
+        b.iter(|| {
+            black_box(platform.execute(&infra, black_box(&plans), &LoadBook::new(), &rngs, 3))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reactive);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! OpenINTEL measurement-path throughput: per-window resolution of a
+//! large NSSet, with and without the wire-exercise option.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dnssim::{Deployment, Infra, LoadBook, NsSetId, Resolver};
+use netbase::Asn;
+use openintel::{measure::measure_window, SweepSchedule};
+use simcore::rng::RngFactory;
+use simcore::time::Window;
+use std::hint::black_box;
+
+fn world() -> (Infra, NsSetId) {
+    let mut infra = Infra::new();
+    let ids: Vec<_> = (0..3)
+        .map(|i| {
+            infra.add_nameserver(
+                format!("ns{i}.host.net").parse().unwrap(),
+                format!("198.51.{i}.53").parse().unwrap(),
+                Asn(64500),
+                Deployment::Unicast,
+                100_000.0,
+                1_000.0,
+                15.0,
+            )
+        })
+        .collect();
+    let set = infra.intern_nsset(ids);
+    for i in 0..30_000 {
+        infra.add_domain(format!("d{i}.example").parse().unwrap(), set);
+    }
+    (infra, set)
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let (infra, set) = world();
+    let schedule = SweepSchedule::new(1);
+    let rngs = RngFactory::new(2);
+    let loads = LoadBook::new();
+    let per_window = schedule.domains_in_window(&infra, set, Window(100)).len() as u64;
+
+    let mut g = c.benchmark_group("openintel_sweep");
+    g.throughput(Throughput::Elements(per_window));
+    g.bench_function("measure_window/struct_only", |b| {
+        let resolver = Resolver::default();
+        b.iter(|| {
+            black_box(measure_window(
+                &infra,
+                &schedule,
+                &resolver,
+                set,
+                black_box(Window(100)),
+                &loads,
+                &rngs,
+            ))
+        });
+    });
+    g.bench_function("measure_window/wire_exercised", |b| {
+        let resolver = Resolver { exercise_wire: true, ..Resolver::default() };
+        b.iter(|| {
+            black_box(measure_window(
+                &infra,
+                &schedule,
+                &resolver,
+                set,
+                black_box(Window(100)),
+                &loads,
+                &rngs,
+            ))
+        });
+    });
+    // The closed-form aggregate fidelity: per-(NSSet, window) cost of the
+    // exact expected-outcome enumeration vs sampling every domain.
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("expected_outcome/closed_form", |b| {
+        let resolver = Resolver::default();
+        b.iter(|| {
+            black_box(openintel::expected_outcome(
+                &infra,
+                &resolver,
+                set,
+                black_box(Window(100)),
+                &loads,
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

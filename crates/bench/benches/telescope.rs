@@ -1,0 +1,49 @@
+//! Telescope path throughput: backscatter sampling + RSDoS classification
+//! + episode extraction over a month of attacks.
+
+use attack::{AttackScheduler, ScheduleConfig, TargetPool};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use simcore::rng::RngFactory;
+use simcore::time::Month;
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+use telescope::{BackscatterSampler, Darknet, RsdosClassifier};
+
+fn bench_telescope(c: &mut Criterion) {
+    let rngs = RngFactory::new(3);
+    let months = vec![Month::new(2021, 1)];
+    let cfg = ScheduleConfig {
+        attacks_per_month: vec![4_000],
+        dns_share_per_month: vec![0.012],
+        months,
+        ..ScheduleConfig::default()
+    };
+    let pool = TargetPool::uniform(
+        (0..100).map(|i| Ipv4Addr::new(198, 51, i, 53)).collect(),
+        vec![],
+    );
+    let attacks = AttackScheduler::new(cfg).generate(&pool, &rngs);
+    let darknet = Darknet::ucsd_like();
+    let sampler = BackscatterSampler::new(&darknet);
+    let obs = sampler.sample(&attacks, &rngs);
+    let classifier = RsdosClassifier::default();
+    let records = classifier.classify(&obs);
+
+    let mut g = c.benchmark_group("telescope");
+    g.throughput(Throughput::Elements(attacks.len() as u64));
+    g.bench_function("backscatter_sample/4000_attacks", |b| {
+        b.iter(|| black_box(sampler.sample(black_box(&attacks), &rngs)));
+    });
+    g.throughput(Throughput::Elements(obs.len() as u64));
+    g.bench_function("classify", |b| {
+        b.iter(|| black_box(classifier.classify(black_box(&obs))));
+    });
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("episodes", |b| {
+        b.iter(|| black_box(classifier.episodes(black_box(&records))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_telescope);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Longest-prefix-match performance of the prefix trie backing the
+//! prefix2as table (every feed record pays one lookup in the join).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netbase::{Asn, Ipv4Net, Prefix2As};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn build_table(routes: u32) -> Prefix2As {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut p2a = Prefix2As::new();
+    for i in 0..routes {
+        let addr = Ipv4Addr::from(rng.random::<u32>());
+        let len = *[8u8, 12, 16, 20, 22, 24].get(i as usize % 6).unwrap();
+        p2a.announce(Ipv4Net::new(addr, len), Asn(i));
+    }
+    p2a
+}
+
+fn bench_trie(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prefix_trie");
+    for routes in [1_000u32, 10_000, 100_000] {
+        let p2a = build_table(routes);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let probes: Vec<Ipv4Addr> =
+            (0..1_000).map(|_| Ipv4Addr::from(rng.random::<u32>())).collect();
+        g.throughput(Throughput::Elements(probes.len() as u64));
+        g.bench_function(format!("lpm_lookup/{routes}_routes"), |b| {
+            b.iter(|| {
+                let mut hits = 0u32;
+                for &ip in &probes {
+                    if p2a.asn_of(black_box(ip)).is_some() {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trie);
+criterion_main!(benches);

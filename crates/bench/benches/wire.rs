@@ -1,0 +1,41 @@
+//! Throughput of the from-scratch DNS wire codec: the hot inner loop of
+//! the per-query measurement fidelity.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dnswire::{Message, Name, RData, Record, RrType};
+use std::hint::black_box;
+
+fn sample_response() -> Message {
+    let q = Message::query(0x1234, "klant0.nl".parse().unwrap(), RrType::Ns);
+    let mut r = Message::response_to(&q, dnswire::Rcode::NoError, true);
+    for i in 0..3 {
+        let ns: Name = format!("ns{i}.transip.net").parse().unwrap();
+        r.answers.push(Record::new("klant0.nl".parse().unwrap(), 3600, RData::Ns(ns.clone())));
+        r.additionals.push(Record::new(
+            ns,
+            3600,
+            RData::A(format!("195.135.195.{}", 190 + i).parse().unwrap()),
+        ));
+    }
+    r
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let msg = sample_response();
+    let wire = msg.encode();
+    let mut g = c.benchmark_group("dnswire");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("encode_ns_response", |b| {
+        b.iter(|| black_box(black_box(&msg).encode()));
+    });
+    g.bench_function("decode_ns_response", |b| {
+        b.iter(|| Message::decode(black_box(&wire)).unwrap());
+    });
+    g.bench_function("roundtrip", |b| {
+        b.iter(|| Message::decode(&black_box(&msg).encode()).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,599 @@
+//! Shared machinery for the reproduction harness (`repro` binary) and the
+//! Criterion benchmarks: builds the standard experiment world, runs the
+//! longitudinal pipeline, and renders every table/figure series of the
+//! paper as text + CSV.
+
+use dnsimpact_core::longitudinal::{
+    self, LongitudinalConfig, LongitudinalReport,
+};
+use dnsimpact_core::report::{fmt_count, fmt_pct, render_csv, render_table};
+use scenarios::{paper_longitudinal_config, world, PaperScale, WorldConfig};
+use simcore::rng::RngFactory;
+use simcore::stats::quantile;
+use simcore::time::Month;
+use telescope::Darknet;
+
+/// A fully materialized longitudinal experiment.
+pub struct Experiments {
+    pub world: world::BuiltWorld,
+    pub attacks: Vec<attack::Attack>,
+    pub months: Vec<Month>,
+    pub darknet: Darknet,
+    pub report: LongitudinalReport,
+    pub rngs: RngFactory,
+}
+
+/// Build the standard world and run the full longitudinal pipeline.
+pub fn run_experiments(seed: u64, scale: PaperScale, world_cfg: &WorldConfig) -> Experiments {
+    let rngs = RngFactory::new(seed);
+    let built = world::build(world_cfg, &rngs);
+    let schedule_cfg = paper_longitudinal_config(scale);
+    let months = schedule_cfg.months.clone();
+    let scheduler = attack::AttackScheduler::new(schedule_cfg);
+    let attacks = scheduler.generate(&built.target_pool(), &rngs);
+    let darknet = Darknet::ucsd_like();
+    let report = longitudinal::run(
+        &built.infra,
+        &darknet,
+        &attacks,
+        &months,
+        &built.meta,
+        &LongitudinalConfig::default(),
+        &rngs,
+    );
+    Experiments { world: built, attacks, months, darknet, report, rngs }
+}
+
+/// A rendered experiment artifact: a text table for stdout and CSV rows
+/// for `results/`.
+pub struct Artifact {
+    pub id: &'static str,
+    pub title: String,
+    pub text: String,
+    pub csv: String,
+}
+
+fn f(v: f64) -> String {
+    if v.is_nan() {
+        "-".into()
+    } else if v >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Table 1: RSDoS dataset summary.
+pub fn table1(ex: &Experiments) -> Artifact {
+    let s = ex.report.feed.summary(&ex.world.meta.prefix2as);
+    let headers = ["Metric", "Measured", "Paper (full scale)"];
+    let rows = vec![
+        vec!["#Attacks".into(), fmt_count(s.attacks as u64), "4,039,485".into()],
+        vec!["#IPs".into(), fmt_count(s.unique_ips as u64), "1,022,102".into()],
+        vec!["#/24 Prefixes".into(), fmt_count(s.unique_slash24s as u64), "404,076".into()],
+        vec!["#ASes".into(), fmt_count(s.unique_asns as u64), "25,821".into()],
+    ];
+    Artifact {
+        id: "table1",
+        title: "Table 1: RSDoS dataset summary (scaled run vs paper)".into(),
+        text: render_table(&headers, &rows),
+        csv: render_csv(&headers, &rows),
+    }
+}
+
+/// Table 3: monthly attack activity.
+pub fn table3(ex: &Experiments) -> Artifact {
+    let headers =
+        ["Month", "#DNS Attacks", "#Other Attacks", "Total", "DNS share", "DNS IPs", "Other IPs"];
+    let mut rows: Vec<Vec<String>> = ex
+        .report
+        .monthly
+        .iter()
+        .map(|m| {
+            vec![
+                m.month.to_string(),
+                fmt_count(m.dns_attacks),
+                fmt_count(m.other_attacks),
+                fmt_count(m.total_attacks()),
+                fmt_pct(m.dns_share()),
+                fmt_count(m.dns_ips),
+                fmt_count(m.other_ips),
+            ]
+        })
+        .collect();
+    let (dns, other): (u64, u64) = ex
+        .report
+        .monthly
+        .iter()
+        .fold((0, 0), |(a, b), m| (a + m.dns_attacks, b + m.other_attacks));
+    rows.push(vec![
+        "Total".into(),
+        fmt_count(dns),
+        fmt_count(other),
+        fmt_count(dns + other),
+        fmt_pct(dns as f64 / (dns + other).max(1) as f64),
+        String::new(),
+        String::new(),
+    ]);
+    Artifact {
+        id: "table3",
+        title: "Table 3: monthly attack activity (DNS vs other)".into(),
+        text: render_table(&headers, &rows),
+        csv: render_csv(&headers, &rows),
+    }
+}
+
+/// Figure 5: monthly distributions of potentially affected domains.
+pub fn fig5(ex: &Experiments) -> Artifact {
+    let headers = ["Month", "Events", "Min", "Median", "P90", "Max"];
+    let rows: Vec<Vec<String>> = ex
+        .report
+        .affected_domains_by_month
+        .iter()
+        .map(|(m, v)| {
+            let mut xs: Vec<f64> = v.iter().map(|&x| x as f64).collect();
+            vec![
+                m.to_string(),
+                fmt_count(v.len() as u64),
+                f(quantile(&mut xs, 0.0).unwrap_or(f64::NAN)),
+                f(quantile(&mut xs, 0.5).unwrap_or(f64::NAN)),
+                f(quantile(&mut xs, 0.9).unwrap_or(f64::NAN)),
+                f(quantile(&mut xs, 1.0).unwrap_or(f64::NAN)),
+            ]
+        })
+        .collect();
+    Artifact {
+        id: "fig5",
+        title: "Figure 5: registered domains potentially affected by attacks, by month".into(),
+        text: render_table(&headers, &rows),
+        csv: render_csv(&headers, &rows),
+    }
+}
+
+/// Table 4: top attacked ASNs.
+pub fn table4(ex: &Experiments) -> Artifact {
+    let headers = ["ASN", "#Attacks", "Company"];
+    let rows: Vec<Vec<String>> = ex
+        .report
+        .top_asns
+        .iter()
+        .map(|(asn, n, name)| vec![asn.to_string(), fmt_count(*n), name.clone()])
+        .collect();
+    Artifact {
+        id: "table4",
+        title: "Table 4: top 10 attacked ASNs (DNS-related victims)".into(),
+        text: render_table(&headers, &rows),
+        csv: render_csv(&headers, &rows),
+    }
+}
+
+/// Table 5: top attacked IPs.
+pub fn table5(ex: &Experiments) -> Artifact {
+    let headers = ["IP", "#Attacks", "Type"];
+    let rows: Vec<Vec<String>> = ex
+        .report
+        .top_ips
+        .iter()
+        .map(|(ip, n, open)| {
+            vec![
+                ip.to_string(),
+                fmt_count(*n),
+                if *open { "open resolver (filtered from analysis)" } else { "authoritative NS" }
+                    .into(),
+            ]
+        })
+        .collect();
+    Artifact {
+        id: "table5",
+        title: "Table 5: top 10 attacked IPs".into(),
+        text: render_table(&headers, &rows),
+        csv: render_csv(&headers, &rows),
+    }
+}
+
+/// Figure 6: protocol/port distribution, plus the §6.3.1 successful-attack
+/// contrast.
+pub fn fig6(ex: &Experiments) -> Artifact {
+    use attack::Protocol::*;
+    let b = &ex.report.port_breakdown;
+    let s = &ex.report.successful_port_breakdown;
+    let headers = ["Metric", "All DNS-infra attacks", "Successful attacks", "Paper (all)"];
+    let rows = vec![
+        vec![
+            "single-port share".into(),
+            fmt_pct(b.single_port_share()),
+            fmt_pct(s.single_port_share()),
+            "80.7%".into(),
+        ],
+        vec!["TCP share".into(), fmt_pct(b.protocol_share(Tcp)), fmt_pct(s.protocol_share(Tcp)), "90.4%".into()],
+        vec!["UDP share".into(), fmt_pct(b.protocol_share(Udp)), fmt_pct(s.protocol_share(Udp)), "8.4%".into()],
+        vec!["ICMP share".into(), fmt_pct(b.protocol_share(Icmp)), fmt_pct(s.protocol_share(Icmp)), "1.2%".into()],
+        vec![
+            "TCP→:80 (within TCP)".into(),
+            fmt_pct(b.port_share_within(Tcp, 80)),
+            fmt_pct(s.port_share_within(Tcp, 80)),
+            "37%".into(),
+        ],
+        vec![
+            "TCP→:53 (within TCP)".into(),
+            fmt_pct(b.port_share_within(Tcp, 53)),
+            fmt_pct(s.port_share_within(Tcp, 53)),
+            "30%".into(),
+        ],
+        vec![
+            "UDP→:53 (within UDP)".into(),
+            fmt_pct(b.port_share_within(Udp, 53)),
+            fmt_pct(s.port_share_within(Udp, 53)),
+            "33%".into(),
+        ],
+        vec![
+            "port 53 share (all)".into(),
+            fmt_pct(b.port_share(53)),
+            fmt_pct(s.port_share(53)),
+            "49% of successful".into(),
+        ],
+    ];
+    Artifact {
+        id: "fig6",
+        title: "Figure 6 (+§6.3.1): protocol/port distribution of attacks".into(),
+        text: render_table(&headers, &rows),
+        csv: render_csv(&headers, &rows),
+    }
+}
+
+/// Figure 7: failure rate vs measured domains (scatter CSV) + headline
+/// failure summary.
+pub fn fig7(ex: &Experiments) -> Artifact {
+    let pts = dnsimpact_core::failures::failure_points(&ex.report.impacts);
+    let headers = ["domains_measured", "failure_rate", "nsset_domains", "anycast", "prefixes", "asns"];
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.domains_measured.to_string(),
+                format!("{:.4}", p.failure_rate),
+                p.nsset_domains.to_string(),
+                format!("{:?}", p.anycast),
+                p.prefix_count.to_string(),
+                p.asn_count.to_string(),
+            ]
+        })
+        .collect();
+    let fs = &ex.report.failure_summary;
+    let text = format!(
+        "Figure 7 headline numbers (§6.3.1):\n\
+         impact events:               {}\n\
+         events with failures:        {} ({})\n\
+         complete failures:           {}\n\
+         timeout share of failures:   {} (paper: 92%)\n\
+         unicast share of failing:    {} (paper: ≈99%)\n\
+         single-/24 share (complete): {} (paper: ≈60%)\n\
+         single-ASN share (complete): {} (paper: ≈81%)\n",
+        fs.events,
+        fs.events_with_failures,
+        fmt_pct(fs.events_with_failures as f64 / fs.events.max(1) as f64),
+        fs.complete_failures,
+        fmt_pct(fs.timeout_share),
+        fmt_pct(fs.unicast_share_of_failures),
+        fmt_pct(fs.single_prefix_share_of_failures),
+        fmt_pct(fs.single_asn_share_of_failures),
+    );
+    Artifact {
+        id: "fig7",
+        title: "Figure 7: resolution failures vs measured domains".into(),
+        text,
+        csv: render_csv(&headers, &rows),
+    }
+}
+
+/// Figure 8: RTT impact vs hosted-domain size class.
+pub fn fig8(ex: &Experiments) -> Artifact {
+    let impacts = &ex.report.impacts;
+    let with_impact: Vec<(f64, u64)> = impacts
+        .iter()
+        .filter_map(|e| e.impact_on_rtt.map(|i| (i, e.nsset_domains)))
+        .collect();
+    let total = with_impact.len().max(1);
+    let over10 = with_impact.iter().filter(|(i, _)| *i >= 10.0).count();
+    let over100 = with_impact.iter().filter(|(i, _)| *i >= 100.0).count();
+    let headers = ["size_class", "events", "median_impact", "p90_impact", "max_impact"];
+    let classes: [(&str, u64, u64); 4] =
+        [("<100", 0, 100), ("100-10K", 100, 10_000), ("10K-1M", 10_000, 1_000_000), (">=1M", 1_000_000, u64::MAX)];
+    let rows: Vec<Vec<String>> = classes
+        .iter()
+        .map(|(label, lo, hi)| {
+            let mut xs: Vec<f64> = with_impact
+                .iter()
+                .filter(|(_, d)| d >= lo && d < hi)
+                .map(|(i, _)| *i)
+                .collect();
+            let n = xs.len();
+            vec![
+                label.to_string(),
+                n.to_string(),
+                f(quantile(&mut xs, 0.5).unwrap_or(f64::NAN)),
+                f(quantile(&mut xs, 0.9).unwrap_or(f64::NAN)),
+                f(quantile(&mut xs, 1.0).unwrap_or(f64::NAN)),
+            ]
+        })
+        .collect();
+    let mut text = format!(
+        "Figure 8 headline numbers (§6.3.2):\n\
+         events with impact metric: {total}\n\
+         ≥10x RTT events:  {over10} ({}) — paper: ≈5%\n\
+         ≥100x RTT events: {over100} (paper: one-third of the ≥10x set)\n\n",
+        fmt_pct(over10 as f64 / total as f64),
+    );
+    text.push_str(&render_table(&headers, &rows));
+    let csv_rows: Vec<Vec<String>> = with_impact
+        .iter()
+        .map(|(i, d)| vec![format!("{i:.3}"), d.to_string()])
+        .collect();
+    Artifact {
+        id: "fig8",
+        title: "Figure 8: RTT impact vs number of hosted domains".into(),
+        text,
+        csv: render_csv(&["impact_on_rtt", "nsset_domains"], &csv_rows),
+    }
+}
+
+/// Figure 9: intensity vs impact correlation.
+pub fn fig9(ex: &Experiments) -> Artifact {
+    let s = &ex.report.intensity_impact;
+    let headers = ["peak_ppm", "impact_on_rtt"];
+    let rows: Vec<Vec<String>> = s
+        .x
+        .iter()
+        .zip(&s.y)
+        .map(|(x, y)| vec![format!("{x:.1}"), format!("{y:.3}")])
+        .collect();
+    let text = format!(
+        "Figure 9: telescope intensity vs Impact_on_RTT\n\
+         events: {}\n\
+         Pearson r:       {} (paper: low / no strong correlation)\n\
+         Pearson r (log): {}\n\
+         Spearman ρ:      {}\n\
+         median intensity: {} ppm (bimodal modes ≈50 / ≈6000 in the feed)\n",
+        s.len(),
+        s.pearson().map(|r| format!("{r:.3}")).unwrap_or("-".into()),
+        s.pearson_log().map(|r| format!("{r:.3}")).unwrap_or("-".into()),
+        s.spearman().map(|r| format!("{r:.3}")).unwrap_or("-".into()),
+        s.x_median().map(f).unwrap_or("-".into()),
+    );
+    Artifact {
+        id: "fig9",
+        title: "Figure 9: attack intensity vs RTT impact".into(),
+        text,
+        csv: render_csv(&headers, &rows),
+    }
+}
+
+/// Figure 10: duration vs impact.
+pub fn fig10(ex: &Experiments) -> Artifact {
+    let s = &ex.report.duration_impact;
+    let hist = dnsimpact_core::correlate::duration_histogram(&ex.report.impacts);
+    let headers = ["duration_min", "impact_on_rtt"];
+    let rows: Vec<Vec<String>> = s
+        .x
+        .iter()
+        .zip(&s.y)
+        .map(|(x, y)| vec![format!("{x:.1}"), format!("{y:.3}")])
+        .collect();
+    let mut text = format!(
+        "Figure 10: inferred duration vs Impact_on_RTT\n\
+         events: {}, Pearson r: {}\n\
+         duration histogram (bimodal 15 min / 1 h expected):\n",
+        s.len(),
+        s.pearson().map(|r| format!("{r:.3}")).unwrap_or("-".into()),
+    );
+    for (label, n) in hist {
+        text.push_str(&format!("  {label:<14} {n}\n"));
+    }
+    Artifact {
+        id: "fig10",
+        title: "Figure 10: attack duration vs RTT impact".into(),
+        text,
+        csv: render_csv(&headers, &rows),
+    }
+}
+
+fn resilience_artifact(
+    id: &'static str,
+    title: &str,
+    rows_in: &[dnsimpact_core::resilience::ClassImpact],
+) -> Artifact {
+    let headers =
+        ["class", "events", "median_impact", "p90_impact", "max_impact", ">=10x", ">=100x", "complete_failures"];
+    let rows: Vec<Vec<String>> = rows_in
+        .iter()
+        .map(|c| {
+            vec![
+                c.label.clone(),
+                c.events.to_string(),
+                f(c.median_impact),
+                f(c.p90_impact),
+                f(c.max_impact),
+                c.over_10x.to_string(),
+                c.over_100x.to_string(),
+                c.complete_failures.to_string(),
+            ]
+        })
+        .collect();
+    Artifact {
+        id,
+        title: title.into(),
+        text: render_table(&headers, &rows),
+        csv: render_csv(&headers, &rows),
+    }
+}
+
+/// Figure 11: anycast efficacy.
+pub fn fig11(ex: &Experiments) -> Artifact {
+    resilience_artifact(
+        "fig11",
+        "Figure 11: anycast vs DDoS (impact by anycast class)",
+        &ex.report.by_anycast,
+    )
+}
+
+/// Figure 12: AS diversity efficacy.
+pub fn fig12(ex: &Experiments) -> Artifact {
+    resilience_artifact(
+        "fig12",
+        "Figure 12: AS diversity (impact by distinct origin-AS count)",
+        &ex.report.by_as_diversity,
+    )
+}
+
+/// Figure 13: /24 prefix diversity efficacy.
+pub fn fig13(ex: &Experiments) -> Artifact {
+    resilience_artifact(
+        "fig13",
+        "Figure 13: /24 prefix diversity (impact by distinct /24 count)",
+        &ex.report.by_prefix_diversity,
+    )
+}
+
+/// §4.1 ablation: the paper "evaluated using different time-window
+/// metrics as a baseline (e.g., Average RTT (Week/Month Before)) finding
+/// similar results". Recompute each impact event against a
+/// one-week-before baseline and compare with the day-before metric.
+pub fn ablate_baseline(ex: &Experiments) -> Artifact {
+    use dnssim::LoadBook;
+    use openintel::measure::measure_domains;
+    use openintel::MeasurementStore;
+    use openintel::SweepSchedule;
+
+    let infra = &ex.world.infra;
+    let schedule = SweepSchedule::new(ex.rngs.seed());
+    let resolver = dnssim::Resolver::default();
+    let mut loads = LoadBook::new();
+    for (addr, w, pps) in attack::accumulate_windows(&ex.attacks) {
+        loads.add(addr, w, pps);
+    }
+    let mut day1 = Vec::new();
+    let mut week1 = Vec::new();
+    let mut store = MeasurementStore::new();
+    let cap = 200usize;
+    for e in ex.report.impacts.iter().filter(|e| e.impact_on_rtt.is_some()).take(cap) {
+        let ep = &ex.report.feed.episodes[e.episode_idx];
+        let Some(day_w) = ep.first_window.day().checked_sub(7) else { continue };
+        // Materialize a sampled week-before baseline for this NSSet.
+        let all = infra.domains_of_nsset(e.nsset);
+        let step = (all.len() / 200).max(1);
+        for &d in all.iter().step_by(step).take(200) {
+            let w = schedule.window_on_day(d, day_w);
+            let recs = measure_domains(infra, &resolver, &[d], e.nsset, w, &loads, &ex.rngs);
+            store.ingest(&recs);
+        }
+        let Some(base) = store.day_stats(e.nsset, day_w) else { continue };
+        if base.domains_measured == 0 || base.avg_rtt().is_nan() || base.avg_rtt() <= 0.0 {
+            continue;
+        }
+        // Numerator: the same during-attack aggregate the day-1 metric
+        // used (rebuilt from the report's stored impact and baseline is
+        // not possible, so recompute the during-range average).
+        let during = ex.report.store.range_stats(e.nsset, ep.first_window, ep.last_window);
+        if during.domains_measured == 0 {
+            continue;
+        }
+        day1.push(e.impact_on_rtt.unwrap());
+        week1.push(during.avg_rtt() / base.avg_rtt());
+    }
+    let r = simcore::stats::pearson(&day1, &week1);
+    let log_ratios: Vec<f64> =
+        day1.iter().zip(&week1).map(|(a, b)| (a / b).ln().abs()).collect();
+    let median_dev = simcore::stats::quantile(&mut log_ratios.clone(), 0.5)
+        .map(|v| v.exp())
+        .unwrap_or(f64::NAN);
+    let agree10 = day1
+        .iter()
+        .zip(&week1)
+        .filter(|(a, b)| (*a >= &10.0) == (*b >= &10.0))
+        .count();
+    let text = format!(
+        "§4.1 ablation: Impact_on_RTT with day-before vs week-before baseline\n\
+         events compared:        {}\n\
+         Pearson r (metrics):    {}\n\
+         median |ratio|:         {median_dev:.3} (1.0 = identical)\n\
+         ≥10x agreement:         {agree10}/{} events classified identically\n\
+         (the paper found 'similar results' and chose day-before to\n\
+          minimize infrastructure-change noise)\n",
+        day1.len(),
+        r.map(|v| format!("{v:.3}")).unwrap_or("-".into()),
+        day1.len(),
+    );
+    let rows: Vec<Vec<String>> = day1
+        .iter()
+        .zip(&week1)
+        .map(|(a, b)| vec![format!("{a:.3}"), format!("{b:.3}")])
+        .collect();
+    Artifact {
+        id: "ablate_baseline",
+        title: "§4.1 ablation: day-before vs week-before RTT baseline".into(),
+        text,
+        csv: render_csv(&["impact_day_baseline", "impact_week_baseline"], &rows),
+    }
+}
+
+/// Table 6: most affected companies by RTT impact.
+pub fn table6(ex: &Experiments) -> Artifact {
+    let headers = ["Company", "Impact on RTT"];
+    let rows: Vec<Vec<String>> = ex
+        .report
+        .top_affected_orgs
+        .iter()
+        .map(|(name, i)| vec![name.clone(), format!("{i:.0}x")])
+        .collect();
+    Artifact {
+        id: "table6",
+        title: "Table 6: most affected companies by RTT increase".into(),
+        text: render_table(&headers, &rows),
+        csv: render_csv(&headers, &rows),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Experiments {
+        run_experiments(
+            1,
+            PaperScale { divisor: 1_500 },
+            &WorldConfig { providers: 20, domains: 6_000, ..WorldConfig::default() },
+        )
+    }
+
+    #[test]
+    fn all_longitudinal_artifacts_render() {
+        let ex = tiny();
+        for a in [
+            table1(&ex),
+            table3(&ex),
+            table4(&ex),
+            table5(&ex),
+            table6(&ex),
+            fig5(&ex),
+            fig6(&ex),
+            fig7(&ex),
+            fig8(&ex),
+            fig9(&ex),
+            fig10(&ex),
+            fig11(&ex),
+            fig12(&ex),
+            fig13(&ex),
+        ] {
+            assert!(!a.text.is_empty(), "{} text empty", a.id);
+            assert!(a.csv.lines().count() >= 1, "{} csv empty", a.id);
+            assert!(!a.title.is_empty());
+        }
+    }
+
+    #[test]
+    fn table3_has_17_months_plus_total() {
+        let ex = tiny();
+        let t = table3(&ex);
+        assert_eq!(t.text.lines().count(), 2 + 17 + 1);
+    }
+}

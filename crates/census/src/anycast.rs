@@ -1,0 +1,242 @@
+//! Quarterly anycast census snapshots.
+
+use dnssim::{Infra, NsSetId};
+use netbase::Slash24;
+use rand::Rng;
+use simcore::rng::RngFactory;
+use simcore::time::{CivilDate, SimTime};
+use std::collections::HashSet;
+
+/// Anycast adoption of an NSSet, matched at /24 granularity as in the
+/// paper (§3.3, §6.6.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AnycastClass {
+    /// No member detected as anycast.
+    Unicast,
+    /// Some but not all members detected as anycast.
+    Partial,
+    /// Every member detected as anycast.
+    Full,
+}
+
+/// One census snapshot: the /24s detected as anycast at a point in time.
+#[derive(Clone, Debug)]
+pub struct CensusSnapshot {
+    pub date: CivilDate,
+    pub anycast_slash24s: HashSet<Slash24>,
+}
+
+/// The quarterly census series.
+#[derive(Clone, Debug)]
+pub struct AnycastCensus {
+    /// Sorted by date ascending.
+    snapshots: Vec<CensusSnapshot>,
+}
+
+impl AnycastCensus {
+    /// The snapshot dates of the paper's series: quarterly from January
+    /// 2021 to January 2022 (§3.3).
+    pub fn paper_snapshot_dates() -> Vec<CivilDate> {
+        vec![
+            CivilDate::new(2021, 1, 1),
+            CivilDate::new(2021, 4, 1),
+            CivilDate::new(2021, 7, 1),
+            CivilDate::new(2021, 10, 1),
+            CivilDate::new(2022, 1, 1),
+        ]
+    }
+
+    pub fn new(mut snapshots: Vec<CensusSnapshot>) -> AnycastCensus {
+        assert!(!snapshots.is_empty());
+        snapshots.sort_by_key(|s| s.date);
+        AnycastCensus { snapshots }
+    }
+
+    /// Derive a census from ground truth with per-snapshot detection recall
+    /// (< 1 makes the census the lower bound the paper describes).
+    pub fn from_ground_truth(
+        infra: &Infra,
+        dates: Vec<CivilDate>,
+        recall: f64,
+        rngs: &RngFactory,
+    ) -> AnycastCensus {
+        assert!((0.0..=1.0).contains(&recall));
+        let truth: Vec<Slash24> = {
+            let mut v: Vec<Slash24> = infra
+                .nameservers()
+                .iter()
+                .filter(|n| n.deployment.is_anycast())
+                .map(|n| n.slash24())
+                .collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        let snapshots = dates
+            .into_iter()
+            .enumerate()
+            .map(|(i, date)| {
+                let mut rng = rngs.stream_indexed("anycast-census", i as u64);
+                let detected = truth
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.random::<f64>() < recall)
+                    .collect();
+                CensusSnapshot { date, anycast_slash24s: detected }
+            })
+            .collect();
+        AnycastCensus::new(snapshots)
+    }
+
+    pub fn snapshots(&self) -> &[CensusSnapshot] {
+        &self.snapshots
+    }
+
+    /// The snapshot in effect at `t`: the latest one dated at or before
+    /// `t`, else the earliest (the paper's interval starts two months
+    /// before the first census snapshot).
+    pub fn snapshot_at(&self, t: SimTime) -> &CensusSnapshot {
+        let date = t.civil();
+        self.snapshots
+            .iter()
+            .rev()
+            .find(|s| s.date <= date)
+            .unwrap_or(&self.snapshots[0])
+    }
+
+    /// Whether a /24 is detected as anycast at `t`.
+    pub fn is_anycast(&self, prefix: Slash24, t: SimTime) -> bool {
+        self.snapshot_at(t).anycast_slash24s.contains(&prefix)
+    }
+
+    /// Classify an NSSet at `t` by matching member /24s against the
+    /// census.
+    pub fn classify(&self, infra: &Infra, nsset: NsSetId, t: SimTime) -> AnycastClass {
+        let snap = self.snapshot_at(t);
+        let members = infra.nsset(nsset).members();
+        let detected = members
+            .iter()
+            .filter(|&&n| snap.anycast_slash24s.contains(&infra.nameserver(n).slash24()))
+            .count();
+        if detected == 0 {
+            AnycastClass::Unicast
+        } else if detected == members.len() {
+            AnycastClass::Full
+        } else {
+            AnycastClass::Partial
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnssim::Deployment;
+    use netbase::Asn;
+    use simcore::time::SimDuration;
+
+    fn world() -> (Infra, NsSetId, NsSetId, NsSetId) {
+        let mut infra = Infra::new();
+        let mk = |infra: &mut Infra, i: u32, dep| {
+            infra.add_nameserver(
+                format!("ns{i}.host.net").parse().unwrap(),
+                format!("198.51.{i}.1").parse().unwrap(),
+                Asn(64500),
+                dep,
+                10_000.0,
+                100.0,
+                20.0,
+            )
+        };
+        let u1 = mk(&mut infra, 0, Deployment::Unicast);
+        let u2 = mk(&mut infra, 1, Deployment::Unicast);
+        let a1 = mk(&mut infra, 2, Deployment::Anycast { sites: 10 });
+        let a2 = mk(&mut infra, 3, Deployment::Anycast { sites: 30 });
+        let uni = infra.intern_nsset(vec![u1, u2]);
+        let partial = infra.intern_nsset(vec![u1, a1]);
+        let full = infra.intern_nsset(vec![a1, a2]);
+        (infra, uni, partial, full)
+    }
+
+    #[test]
+    fn perfect_recall_classification() {
+        let (infra, uni, partial, full) = world();
+        let census = AnycastCensus::from_ground_truth(
+            &infra,
+            AnycastCensus::paper_snapshot_dates(),
+            1.0,
+            &RngFactory::new(1),
+        );
+        let t = SimTime::from_civil(CivilDate::new(2021, 6, 1), 0, 0, 0);
+        assert_eq!(census.classify(&infra, uni, t), AnycastClass::Unicast);
+        assert_eq!(census.classify(&infra, partial, t), AnycastClass::Partial);
+        assert_eq!(census.classify(&infra, full, t), AnycastClass::Full);
+    }
+
+    #[test]
+    fn census_is_lower_bound_under_recall() {
+        let (infra, _, _, full) = world();
+        let census = AnycastCensus::from_ground_truth(
+            &infra,
+            AnycastCensus::paper_snapshot_dates(),
+            0.0,
+            &RngFactory::new(1),
+        );
+        // Zero recall: everything looks unicast (the conservative error).
+        let t = SimTime::from_civil(CivilDate::new(2021, 6, 1), 0, 0, 0);
+        assert_eq!(census.classify(&infra, full, t), AnycastClass::Unicast);
+        assert!(!census.is_anycast(Slash24::of("198.51.2.1".parse().unwrap()), t));
+    }
+
+    #[test]
+    fn snapshot_selection_by_time() {
+        let (infra, ..) = world();
+        let census = AnycastCensus::from_ground_truth(
+            &infra,
+            AnycastCensus::paper_snapshot_dates(),
+            1.0,
+            &RngFactory::new(2),
+        );
+        // Before the first snapshot (Nov 2020) → falls back to the first.
+        let early = census.snapshot_at(SimTime::EPOCH);
+        assert_eq!(early.date, CivilDate::new(2021, 1, 1));
+        // Mid-2021 → the July snapshot.
+        let mid = census
+            .snapshot_at(SimTime::from_civil(CivilDate::new(2021, 8, 15), 0, 0, 0));
+        assert_eq!(mid.date, CivilDate::new(2021, 7, 1));
+        // Far future → last snapshot.
+        let late = census.snapshot_at(
+            SimTime::from_civil(CivilDate::new(2022, 3, 31), 0, 0, 0)
+                + SimDuration::from_days(100),
+        );
+        assert_eq!(late.date, CivilDate::new(2022, 1, 1));
+    }
+
+    #[test]
+    fn paper_dates_are_quarterly() {
+        let d = AnycastCensus::paper_snapshot_dates();
+        assert_eq!(d.len(), 5);
+        assert_eq!(d[0], CivilDate::new(2021, 1, 1));
+        assert_eq!(d[4], CivilDate::new(2022, 1, 1));
+    }
+
+    #[test]
+    fn deterministic_census() {
+        let (infra, ..) = world();
+        let a = AnycastCensus::from_ground_truth(
+            &infra,
+            AnycastCensus::paper_snapshot_dates(),
+            0.8,
+            &RngFactory::new(5),
+        );
+        let b = AnycastCensus::from_ground_truth(
+            &infra,
+            AnycastCensus::paper_snapshot_dates(),
+            0.8,
+            &RngFactory::new(5),
+        );
+        for (x, y) in a.snapshots().iter().zip(b.snapshots()) {
+            assert_eq!(x.anycast_slash24s, y.anycast_slash24s);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Open-resolver scan lists.
+//!
+//! Misconfigured domains point NS records at public resolvers (8.8.8.8,
+//! 8.8.4.4, 1.1.1.1 dominate the paper's Table 5). Attacks on those
+//! addresses are *not* attacks on authoritative infrastructure, so the
+//! longitudinal pipeline filters them using a scan-derived list, exactly as
+//! the paper filters with the Yazdani et al. scans (§3.3, §6.1).
+
+use dnssim::Infra;
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// A scan-derived list of open resolvers.
+#[derive(Clone, Debug, Default)]
+pub struct OpenResolverList {
+    addrs: HashSet<Ipv4Addr>,
+}
+
+impl OpenResolverList {
+    pub fn new() -> OpenResolverList {
+        OpenResolverList::default()
+    }
+
+    /// The well-known public resolver addresses that appear in the paper's
+    /// Table 5.
+    pub fn well_known() -> OpenResolverList {
+        let mut l = OpenResolverList::new();
+        for a in ["8.8.8.8", "8.8.4.4", "1.1.1.1", "1.0.0.1", "9.9.9.9", "208.67.222.222"] {
+            l.add(a.parse().unwrap());
+        }
+        l
+    }
+
+    /// Extend with every address the infrastructure registry flags as an
+    /// open resolver.
+    pub fn extend_from_infra(&mut self, infra: &Infra) {
+        for n in infra.nameservers() {
+            if n.open_resolver {
+                self.addrs.insert(n.addr);
+            }
+        }
+    }
+
+    pub fn add(&mut self, addr: Ipv4Addr) {
+        self.addrs.insert(addr);
+    }
+
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        self.addrs.contains(&addr)
+    }
+
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnssim::Deployment;
+    use netbase::Asn;
+
+    #[test]
+    fn well_known_contains_quad8_and_quad1() {
+        let l = OpenResolverList::well_known();
+        assert!(l.contains("8.8.8.8".parse().unwrap()));
+        assert!(l.contains("8.8.4.4".parse().unwrap()));
+        assert!(l.contains("1.1.1.1".parse().unwrap()));
+        assert!(!l.contains("195.135.195.195".parse().unwrap()));
+        assert_eq!(l.len(), 6);
+    }
+
+    #[test]
+    fn extends_from_infra_flags() {
+        let mut infra = Infra::new();
+        let ns = infra.add_nameserver(
+            "resolver.isp.example".parse().unwrap(),
+            "194.67.7.1".parse().unwrap(),
+            Asn(3216),
+            Deployment::Unicast,
+            100_000.0,
+            5_000.0,
+            30.0,
+        );
+        infra.mark_open_resolver(ns);
+        let clean = infra.add_nameserver(
+            "ns.isp.example".parse().unwrap(),
+            "194.67.8.1".parse().unwrap(),
+            Asn(3216),
+            Deployment::Unicast,
+            100_000.0,
+            5_000.0,
+            30.0,
+        );
+        let _ = clean;
+        let mut l = OpenResolverList::new();
+        l.extend_from_infra(&infra);
+        assert!(l.contains("194.67.7.1".parse().unwrap()));
+        assert!(!l.contains("194.67.8.1".parse().unwrap()));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn manual_add() {
+        let mut l = OpenResolverList::new();
+        assert!(l.is_empty());
+        l.add("5.5.5.5".parse().unwrap());
+        assert!(l.contains("5.5.5.5".parse().unwrap()));
+    }
+}

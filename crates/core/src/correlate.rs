@@ -1,0 +1,186 @@
+//! §6.4–§6.5 / Figures 9–10: does telescope-inferred intensity or duration
+//! predict impact?
+
+use crate::impact::ImpactEvent;
+use simcore::stats::{pearson, quantile, spearman};
+
+/// Paired samples for a correlation figure.
+#[derive(Clone, Debug, Default)]
+pub struct CorrelationSeries {
+    /// X values (intensity in ppm, or duration in minutes).
+    pub x: Vec<f64>,
+    /// Y values: Impact_on_RTT.
+    pub y: Vec<f64>,
+}
+
+impl CorrelationSeries {
+    pub fn pearson(&self) -> Option<f64> {
+        pearson(&self.x, &self.y)
+    }
+
+    /// Pearson over log-transformed values (both axes are heavy-tailed).
+    pub fn pearson_log(&self) -> Option<f64> {
+        let lx: Vec<f64> = self.x.iter().map(|v| v.max(1e-9).ln()).collect();
+        let ly: Vec<f64> = self.y.iter().map(|v| v.max(1e-9).ln()).collect();
+        pearson(&lx, &ly)
+    }
+
+    /// Spearman rank correlation (robust to the heavy tails).
+    pub fn spearman(&self) -> Option<f64> {
+        spearman(&self.x, &self.y)
+    }
+
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Median of the X axis (used to report the bimodal intensity modes).
+    pub fn x_median(&self) -> Option<f64> {
+        quantile(&mut self.x.clone(), 0.5)
+    }
+}
+
+/// Figure 9: telescope intensity (peak ppm) vs `Impact_on_RTT`.
+pub fn intensity_vs_impact(impacts: &[ImpactEvent]) -> CorrelationSeries {
+    let mut s = CorrelationSeries::default();
+    for e in impacts {
+        if let Some(i) = e.impact_on_rtt {
+            s.x.push(e.peak_ppm);
+            s.y.push(i);
+        }
+    }
+    s
+}
+
+/// Figure 10: inferred attack duration (minutes) vs `Impact_on_RTT`.
+pub fn duration_vs_impact(impacts: &[ImpactEvent]) -> CorrelationSeries {
+    let mut s = CorrelationSeries::default();
+    for e in impacts {
+        if let Some(i) = e.impact_on_rtt {
+            s.x.push(e.duration_min);
+            s.y.push(i);
+        }
+    }
+    s
+}
+
+/// Histogram of durations in the paper's bins, to exhibit the 15-min/1-h
+/// bimodality (§6.5).
+pub fn duration_histogram(impacts: &[ImpactEvent]) -> Vec<(&'static str, u64)> {
+    let mut bins: Vec<(&'static str, u64)> = vec![
+        ("5-10 min", 0),
+        ("10-30 min", 0),
+        ("30-90 min", 0),
+        ("90 min - 5 h", 0),
+        ("> 5 h", 0),
+    ];
+    for e in impacts {
+        let m = e.duration_min;
+        let idx = if m < 10.0 {
+            0
+        } else if m < 30.0 {
+            1
+        } else if m < 90.0 {
+            2
+        } else if m < 300.0 {
+            3
+        } else {
+            4
+        };
+        bins[idx].1 += 1;
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attack::Protocol;
+    use census::AnycastClass;
+    use dnssim::NsSetId;
+
+    fn mk(ppm: f64, dur: f64, impact: Option<f64>) -> ImpactEvent {
+        ImpactEvent {
+            episode_idx: 0,
+            nsset: NsSetId(0),
+            domains_measured: 10,
+            impact_on_rtt: impact,
+            failure_rate: 0.0,
+            timeouts: 0,
+            servfails: 0,
+            nsset_domains: 100,
+            protocol: Protocol::Tcp,
+            first_port: 53,
+            peak_ppm: ppm,
+            duration_min: dur,
+            anycast: AnycastClass::Unicast,
+            asn_count: 1,
+            prefix_count: 1,
+        }
+    }
+
+    #[test]
+    fn series_skip_missing_impact() {
+        let impacts = vec![mk(100.0, 15.0, Some(2.0)), mk(200.0, 60.0, None)];
+        let s = intensity_vs_impact(&impacts);
+        assert_eq!(s.len(), 1);
+        let d = duration_vs_impact(&impacts);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.x[0], 15.0);
+    }
+
+    #[test]
+    fn perfect_correlation_detected() {
+        let impacts: Vec<ImpactEvent> =
+            (1..50).map(|i| mk(i as f64, 10.0, Some(i as f64 * 2.0))).collect();
+        let s = intensity_vs_impact(&impacts);
+        assert!((s.pearson().unwrap() - 1.0).abs() < 1e-9);
+        assert!((s.pearson_log().unwrap() - 1.0).abs() < 1e-9);
+        assert!((s.spearman().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncorrelated_data_near_zero() {
+        // Impact independent of intensity: alternating highs and lows.
+        let impacts: Vec<ImpactEvent> = (0..200)
+            .map(|i| {
+                let ppm = if i % 2 == 0 { 50.0 } else { 6_000.0 };
+                let imp = 1.0 + ((i * 7) % 13) as f64;
+                mk(ppm, 15.0, Some(imp))
+            })
+            .collect();
+        let s = intensity_vs_impact(&impacts);
+        assert!(s.pearson().unwrap().abs() < 0.2, "r = {:?}", s.pearson());
+    }
+
+    #[test]
+    fn duration_histogram_bins() {
+        let impacts = vec![
+            mk(1.0, 7.0, Some(1.0)),
+            mk(1.0, 15.0, Some(1.0)),
+            mk(1.0, 16.0, Some(1.0)),
+            mk(1.0, 60.0, Some(1.0)),
+            mk(1.0, 200.0, Some(1.0)),
+            mk(1.0, 1_140.0, Some(1.0)), // the 19-hour Contabo-style outlier
+        ];
+        let h = duration_histogram(&impacts);
+        assert_eq!(h[0].1, 1);
+        assert_eq!(h[1].1, 2);
+        assert_eq!(h[2].1, 1);
+        assert_eq!(h[3].1, 1);
+        assert_eq!(h[4].1, 1);
+    }
+
+    #[test]
+    fn x_median() {
+        let impacts = vec![mk(10.0, 1.0, Some(1.0)), mk(20.0, 1.0, Some(1.0)), mk(30.0, 1.0, Some(1.0))];
+        let s = intensity_vs_impact(&impacts);
+        assert_eq!(s.x_median(), Some(20.0));
+        assert!(CorrelationSeries::default().x_median().is_none());
+        assert!(CorrelationSeries::default().pearson().is_none());
+    }
+}

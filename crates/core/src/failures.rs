@@ -1,0 +1,158 @@
+//! §6.3.1 / Figure 7: resolution-failure analysis.
+
+use crate::impact::ImpactEvent;
+use census::AnycastClass;
+
+/// One point of Figure 7: an attack event with its failure rate, the
+/// number of domains measured, and the size class of the NSSet.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FailurePoint {
+    pub domains_measured: u64,
+    pub failure_rate: f64,
+    pub nsset_domains: u64,
+    pub anycast: AnycastClass,
+    pub prefix_count: usize,
+    pub asn_count: usize,
+}
+
+/// Headline numbers of §6.3.1.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FailureSummary {
+    pub events: u64,
+    /// Events with at least one resolution failure.
+    pub events_with_failures: u64,
+    /// Events where 100% of measured domains failed.
+    pub complete_failures: u64,
+    /// Of all failed resolutions, the share that timed out (the paper
+    /// observed 92%).
+    pub timeout_share: f64,
+    /// Of complete-failure events, share on single-prefix NSSets (paper:
+    /// ≈60% of failing NSsets were single-prefix).
+    pub single_prefix_share_of_failures: f64,
+    /// Of complete-failure events, share on single-ASN NSSets (paper:
+    /// ≈81%).
+    pub single_asn_share_of_failures: f64,
+    /// Of events with failures, share on unicast NSSets (paper: ≈99%).
+    pub unicast_share_of_failures: f64,
+}
+
+/// Extract the Figure-7 scatter points.
+pub fn failure_points(impacts: &[ImpactEvent]) -> Vec<FailurePoint> {
+    impacts
+        .iter()
+        .map(|e| FailurePoint {
+            domains_measured: e.domains_measured,
+            failure_rate: e.failure_rate,
+            nsset_domains: e.nsset_domains,
+            anycast: e.anycast,
+            prefix_count: e.prefix_count,
+            asn_count: e.asn_count,
+        })
+        .collect()
+}
+
+/// Compute the §6.3.1 headline numbers.
+pub fn summarize(impacts: &[ImpactEvent]) -> FailureSummary {
+    let events = impacts.len() as u64;
+    let failing: Vec<&ImpactEvent> =
+        impacts.iter().filter(|e| e.failure_rate > 0.0).collect();
+    let complete: Vec<&&ImpactEvent> =
+        failing.iter().filter(|e| e.complete_failure()).collect();
+    let timeouts: u64 = failing.iter().map(|e| e.timeouts).sum();
+    let servfails: u64 = failing.iter().map(|e| e.servfails).sum();
+    let denom = (timeouts + servfails) as f64;
+    let share = |count: usize, total: usize| {
+        if total == 0 {
+            0.0
+        } else {
+            count as f64 / total as f64
+        }
+    };
+    FailureSummary {
+        events,
+        events_with_failures: failing.len() as u64,
+        complete_failures: complete.len() as u64,
+        timeout_share: if denom == 0.0 { 0.0 } else { timeouts as f64 / denom },
+        single_prefix_share_of_failures: share(
+            complete.iter().filter(|e| e.prefix_count == 1).count(),
+            complete.len(),
+        ),
+        single_asn_share_of_failures: share(
+            complete.iter().filter(|e| e.asn_count == 1).count(),
+            complete.len(),
+        ),
+        unicast_share_of_failures: share(
+            failing.iter().filter(|e| e.anycast == AnycastClass::Unicast).count(),
+            failing.len(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attack::Protocol;
+    use dnssim::NsSetId;
+
+    fn mk(
+        failure_rate: f64,
+        timeouts: u64,
+        servfails: u64,
+        anycast: AnycastClass,
+        prefixes: usize,
+        asns: usize,
+    ) -> ImpactEvent {
+        ImpactEvent {
+            episode_idx: 0,
+            nsset: NsSetId(0),
+            domains_measured: 10,
+            impact_on_rtt: Some(1.0),
+            failure_rate,
+            timeouts,
+            servfails,
+            nsset_domains: 1_000,
+            protocol: Protocol::Tcp,
+            first_port: 53,
+            peak_ppm: 100.0,
+            duration_min: 15.0,
+            anycast,
+            asn_count: asns,
+            prefix_count: prefixes,
+        }
+    }
+
+    #[test]
+    fn summary_shares() {
+        let impacts = vec![
+            mk(0.0, 0, 0, AnycastClass::Full, 3, 3),
+            mk(0.5, 9, 1, AnycastClass::Unicast, 1, 1),
+            mk(1.0, 10, 0, AnycastClass::Unicast, 1, 1),
+            mk(1.0, 8, 2, AnycastClass::Unicast, 2, 1),
+        ];
+        let s = summarize(&impacts);
+        assert_eq!(s.events, 4);
+        assert_eq!(s.events_with_failures, 3);
+        assert_eq!(s.complete_failures, 2);
+        assert!((s.timeout_share - 27.0 / 30.0).abs() < 1e-12);
+        assert!((s.single_prefix_share_of_failures - 0.5).abs() < 1e-12);
+        assert!((s.single_asn_share_of_failures - 1.0).abs() < 1e-12);
+        assert!((s.unicast_share_of_failures - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let s = summarize(&[]);
+        assert_eq!(s.events, 0);
+        assert_eq!(s.timeout_share, 0.0);
+        assert!(failure_points(&[]).is_empty());
+    }
+
+    #[test]
+    fn points_extracted_one_per_event() {
+        let impacts = vec![mk(0.2, 2, 0, AnycastClass::Partial, 2, 2)];
+        let pts = failure_points(&impacts);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].anycast, AnycastClass::Partial);
+        assert!((pts[0].failure_rate - 0.2).abs() < 1e-12);
+    }
+}

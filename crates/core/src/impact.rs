@@ -1,0 +1,360 @@
+//! Step 4 of the methodology: the per-(attack, NSSet) impact events.
+//!
+//! For every joined attack event and every NSSet it touches, measure the
+//! domains OpenINTEL would have measured in the attack's windows, build the
+//! previous-day baseline, and compute `Impact_on_RTT` (Equation 1) plus
+//! failure rates. NSSets with fewer than five domains measured during the
+//! attack are discarded as noise, exactly as §6.3 does.
+
+use crate::join::DnsAttackEvent;
+use census::{AnycastCensus, AnycastClass};
+use dnssim::{Infra, LoadBook, NsSetId, Resolver};
+use openintel::{measure::measure_domains, MeasurementStore, SweepSchedule};
+use simcore::rng::RngFactory;
+use telescope::AttackEpisode;
+use attack::Protocol;
+use std::collections::HashSet;
+
+/// One row of the paper's impact analysis: an attack on one NSSet, with
+/// its measured consequences and the deployment metadata the resilience
+/// analyses slice by.
+#[derive(Clone, Debug)]
+pub struct ImpactEvent {
+    pub episode_idx: usize,
+    pub nsset: NsSetId,
+    /// Domains OpenINTEL measured during the attack windows.
+    pub domains_measured: u64,
+    /// Equation 1; `None` when the previous-day baseline is missing.
+    pub impact_on_rtt: Option<f64>,
+    /// Fraction of measured domains that failed to resolve.
+    pub failure_rate: f64,
+    pub timeouts: u64,
+    pub servfails: u64,
+    /// Domains hosted by the NSSet (the size classes of Figures 7–8).
+    pub nsset_domains: u64,
+    /// Attack attributes from the feed.
+    pub protocol: Protocol,
+    pub first_port: u16,
+    pub peak_ppm: f64,
+    pub duration_min: f64,
+    /// Deployment metadata (Figures 11–13).
+    pub anycast: AnycastClass,
+    pub asn_count: usize,
+    pub prefix_count: usize,
+}
+
+impl ImpactEvent {
+    /// Complete resolution failure: every measured domain failed.
+    pub fn complete_failure(&self) -> bool {
+        self.domains_measured > 0 && self.failure_rate >= 1.0
+    }
+}
+
+/// Tunables of the impact computation.
+#[derive(Clone, Copy, Debug)]
+pub struct ImpactConfig {
+    /// Minimum domains measured during the attack (the paper uses 5).
+    pub min_domains_measured: u64,
+    /// Baseline sampling cap: at most this many of the NSSet's domains are
+    /// measured on the previous day to form the denominator of Equation 1.
+    pub baseline_sample_cap: usize,
+}
+
+impl Default for ImpactConfig {
+    fn default() -> ImpactConfig {
+        ImpactConfig { min_domains_measured: 5, baseline_sample_cap: 200 }
+    }
+}
+
+/// Compute the impact events for all joined attacks. Also returns the
+/// filled measurement store (per-window aggregates) for time-series
+/// rendering.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_impacts(
+    infra: &Infra,
+    schedule: &SweepSchedule,
+    resolver: &Resolver,
+    loads: &LoadBook,
+    episodes: &[AttackEpisode],
+    events: &[DnsAttackEvent],
+    census: &AnycastCensus,
+    rngs: &RngFactory,
+    config: &ImpactConfig,
+) -> (Vec<ImpactEvent>, MeasurementStore) {
+    let mut store = MeasurementStore::new();
+    let mut measured_cells: HashSet<(NsSetId, u64)> = HashSet::new();
+    let mut baseline_days: HashSet<(NsSetId, u64)> = HashSet::new();
+    let mut out = Vec::new();
+
+    for ev in events {
+        let ep = &episodes[ev.episode_idx];
+        for &nsset in &ev.nssets {
+            let measured =
+                schedule.domains_in_window_range(infra, nsset, ep.first_window, ep.last_window);
+            if (measured.len() as u64) < config.min_domains_measured {
+                continue;
+            }
+            // Measure the attack windows (once per (nsset, window) cell
+            // even when episodes overlap).
+            let mut by_window: std::collections::BTreeMap<u64, Vec<dnssim::DomainId>> =
+                std::collections::BTreeMap::new();
+            for (d, w) in &measured {
+                by_window.entry(w.0).or_default().push(*d);
+            }
+            for (w, ds) in &by_window {
+                if measured_cells.insert((nsset, *w)) {
+                    let recs = measure_domains(
+                        infra,
+                        resolver,
+                        ds,
+                        nsset,
+                        simcore::time::Window(*w),
+                        loads,
+                        rngs,
+                    );
+                    store.ingest(&recs);
+                }
+            }
+            // Materialize the previous-day baseline (sampled).
+            if let Some(day_before) = ep.first_window.day().checked_sub(1) {
+                if baseline_days.insert((nsset, day_before)) {
+                    let all = infra.domains_of_nsset(nsset);
+                    let step = (all.len() / config.baseline_sample_cap).max(1);
+                    for &d in all.iter().step_by(step).take(config.baseline_sample_cap) {
+                        let w = schedule.window_on_day(d, day_before);
+                        let recs =
+                            measure_domains(infra, resolver, &[d], nsset, w, loads, rngs);
+                        store.ingest(&recs);
+                    }
+                }
+            }
+            let during = store.range_stats(nsset, ep.first_window, ep.last_window);
+            let impact = store.impact_on_rtt(nsset, ep.first_window, ep.last_window);
+            let (asns, prefixes) =
+                (infra.nsset_asns(nsset).len(), infra.nsset_slash24s(nsset).len());
+            out.push(ImpactEvent {
+                episode_idx: ev.episode_idx,
+                nsset,
+                domains_measured: during.domains_measured,
+                impact_on_rtt: impact,
+                failure_rate: during.failure_rate(),
+                timeouts: during.timeout,
+                servfails: during.servfail,
+                nsset_domains: infra.domains_of_nsset(nsset).len() as u64,
+                protocol: ep.protocol,
+                first_port: ep.first_port,
+                peak_ppm: ep.peak_ppm,
+                duration_min: ep.duration().secs() as f64 / 60.0,
+                anycast: census.classify(infra, nsset, ep.first_window.start()),
+                asn_count: asns,
+                prefix_count: prefixes,
+            });
+        }
+    }
+    (out, store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::join_episodes;
+    use census::OpenResolverList;
+    use dnssim::Deployment;
+    use netbase::Asn;
+    use simcore::time::Window;
+    use std::net::Ipv4Addr;
+
+    fn world(domains: u32) -> (Infra, Vec<Ipv4Addr>) {
+        let mut infra = Infra::new();
+        let addrs: Vec<Ipv4Addr> = vec![
+            "195.135.195.195".parse().unwrap(),
+            "195.8.195.195".parse().unwrap(),
+            "37.97.199.195".parse().unwrap(),
+        ];
+        let ids: Vec<_> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                infra.add_nameserver(
+                    format!("ns{i}.transip.net").parse().unwrap(),
+                    a,
+                    Asn(20857),
+                    Deployment::Unicast,
+                    50_000.0,
+                    1_000.0,
+                    15.0,
+                )
+            })
+            .collect();
+        let set = infra.intern_nsset(ids);
+        for i in 0..domains {
+            infra.add_domain(format!("klant{i}.nl").parse().unwrap(), set);
+        }
+        (infra, addrs)
+    }
+
+    fn census_of(infra: &Infra) -> AnycastCensus {
+        AnycastCensus::from_ground_truth(
+            infra,
+            AnycastCensus::paper_snapshot_dates(),
+            1.0,
+            &RngFactory::new(1),
+        )
+    }
+
+    fn episode(victim: Ipv4Addr, first: u64, last: u64) -> AttackEpisode {
+        AttackEpisode {
+            victim,
+            first_window: Window(first),
+            last_window: Window(last),
+            packets: 100_000,
+            peak_ppm: 20_000.0,
+            protocol: Protocol::Tcp,
+            first_port: 53,
+            unique_ports: 1,
+            slash16s: 100,
+        }
+    }
+
+    #[test]
+    fn heavy_attack_produces_high_impact_event() {
+        let (infra, addrs) = world(6_000);
+        let rngs = RngFactory::new(11);
+        let schedule = SweepSchedule::new(1);
+        // Attack all three nameservers for 2 hours on day 3: ρ ≈ 0.96.
+        let first = 3 * 288 + 100;
+        let last = first + 23;
+        let mut loads = LoadBook::new();
+        for w in first..=last {
+            for a in &addrs {
+                loads.add(*a, Window(w), 47_000.0);
+            }
+        }
+        let eps: Vec<AttackEpisode> =
+            addrs.iter().map(|&a| episode(a, first, last)).collect();
+        let events = join_episodes(&infra, &infra, &eps, &OpenResolverList::new(), false);
+        assert_eq!(events.len(), 3);
+        let (impacts, _store) = compute_impacts(
+            &infra,
+            &schedule,
+            &Resolver::default(),
+            &loads,
+            &eps,
+            &events,
+            &census_of(&infra),
+            &rngs,
+            &ImpactConfig::default(),
+        );
+        assert!(!impacts.is_empty());
+        let e = &impacts[0];
+        assert!(e.domains_measured >= 5);
+        let impact = e.impact_on_rtt.expect("baseline exists on day 2");
+        assert!(impact > 5.0, "expected ≈10x+ inflation, got {impact}");
+        assert_eq!(e.anycast, AnycastClass::Unicast);
+        assert_eq!(e.asn_count, 1);
+        assert_eq!(e.prefix_count, 3);
+        assert!((e.duration_min - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_nsset_filtered_by_min_domains() {
+        let (infra, addrs) = world(20); // 20 domains → ≈0.07/window
+        let rngs = RngFactory::new(2);
+        let schedule = SweepSchedule::new(1);
+        let eps = vec![episode(addrs[0], 3 * 288, 3 * 288 + 2)]; // 15 min
+        let events = join_episodes(&infra, &infra, &eps, &OpenResolverList::new(), false);
+        let (impacts, _) = compute_impacts(
+            &infra,
+            &schedule,
+            &Resolver::default(),
+            &LoadBook::new(),
+            &eps,
+            &events,
+            &census_of(&infra),
+            &rngs,
+            &ImpactConfig::default(),
+        );
+        assert!(impacts.is_empty(), "fewer than 5 measured domains → no event");
+    }
+
+    #[test]
+    fn unattacked_nsset_has_unit_impact() {
+        let (infra, addrs) = world(6_000);
+        let rngs = RngFactory::new(3);
+        let schedule = SweepSchedule::new(1);
+        // Episode exists but we put no load in the book (e.g. attack too
+        // small to matter).
+        let eps = vec![episode(addrs[0], 3 * 288, 3 * 288 + 11)];
+        let events = join_episodes(&infra, &infra, &eps, &OpenResolverList::new(), false);
+        let (impacts, _) = compute_impacts(
+            &infra,
+            &schedule,
+            &Resolver::default(),
+            &LoadBook::new(),
+            &eps,
+            &events,
+            &census_of(&infra),
+            &rngs,
+            &ImpactConfig::default(),
+        );
+        assert_eq!(impacts.len(), 1);
+        let impact = impacts[0].impact_on_rtt.unwrap();
+        assert!((impact - 1.0).abs() < 0.5, "no attack → impact ≈ 1, got {impact}");
+        assert!(impacts[0].failure_rate < 0.01);
+        assert!(!impacts[0].complete_failure());
+    }
+
+    #[test]
+    fn day_zero_attack_lacks_baseline() {
+        let (infra, addrs) = world(6_000);
+        let rngs = RngFactory::new(4);
+        let schedule = SweepSchedule::new(1);
+        let eps = vec![episode(addrs[0], 10, 40)];
+        let events = join_episodes(&infra, &infra, &eps, &OpenResolverList::new(), false);
+        let (impacts, _) = compute_impacts(
+            &infra,
+            &schedule,
+            &Resolver::default(),
+            &LoadBook::new(),
+            &eps,
+            &events,
+            &census_of(&infra),
+            &rngs,
+            &ImpactConfig::default(),
+        );
+        assert_eq!(impacts.len(), 1);
+        assert!(impacts[0].impact_on_rtt.is_none());
+    }
+
+    #[test]
+    fn saturating_attack_causes_failures() {
+        let (infra, addrs) = world(6_000);
+        let rngs = RngFactory::new(5);
+        let schedule = SweepSchedule::new(1);
+        let first = 3 * 288;
+        let last = first + 35; // 3 hours
+        let mut loads = LoadBook::new();
+        for w in first..=last {
+            for a in &addrs {
+                loads.add(*a, Window(w), 5_000_000.0); // 100x capacity
+            }
+        }
+        let eps: Vec<AttackEpisode> =
+            addrs.iter().map(|&a| episode(a, first, last)).collect();
+        let events = join_episodes(&infra, &infra, &eps, &OpenResolverList::new(), false);
+        let (impacts, _) = compute_impacts(
+            &infra,
+            &schedule,
+            &Resolver::default(),
+            &loads,
+            &eps,
+            &events,
+            &census_of(&infra),
+            &rngs,
+            &ImpactConfig::default(),
+        );
+        let e = &impacts[0];
+        assert!(e.failure_rate > 0.8, "failure rate {}", e.failure_rate);
+        assert!(e.timeouts > e.servfails, "timeouts dominate (92/8 split)");
+    }
+}

@@ -1,0 +1,178 @@
+//! §6.2 / Figure 6: protocol and destination-port distribution of attacks
+//! on DNS infrastructure, and the contrasting port mix of *successful*
+//! attacks (§6.3.1).
+
+use crate::impact::ImpactEvent;
+use attack::Protocol;
+use std::collections::HashMap;
+use telescope::AttackEpisode;
+
+/// The protocol/port breakdown of a set of attacks.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PortBreakdown {
+    pub total: u64,
+    pub single_port: u64,
+    pub by_protocol: HashMap<&'static str, u64>,
+    /// (protocol, port) → count, with the long tail folded into port 0
+    /// per protocol via [`PortBreakdown::top_ports`].
+    pub by_port: HashMap<(&'static str, u16), u64>,
+}
+
+fn proto_name(p: Protocol) -> &'static str {
+    match p {
+        Protocol::Tcp => "TCP",
+        Protocol::Udp => "UDP",
+        Protocol::Icmp => "ICMP",
+    }
+}
+
+impl PortBreakdown {
+    pub fn single_port_share(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.single_port as f64 / self.total as f64
+        }
+    }
+
+    pub fn protocol_share(&self, proto: Protocol) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        *self.by_protocol.get(proto_name(proto)).unwrap_or(&0) as f64 / self.total as f64
+    }
+
+    /// Share of `proto` attacks aimed at `port`.
+    pub fn port_share_within(&self, proto: Protocol, port: u16) -> f64 {
+        let proto_total = *self.by_protocol.get(proto_name(proto)).unwrap_or(&0);
+        if proto_total == 0 {
+            return 0.0;
+        }
+        *self.by_port.get(&(proto_name(proto), port)).unwrap_or(&0) as f64 / proto_total as f64
+    }
+
+    /// Share of all attacks aimed at `port` (any protocol).
+    pub fn port_share(&self, port: u16) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n: u64 = self
+            .by_port
+            .iter()
+            .filter(|((_, p), _)| *p == port)
+            .map(|(_, c)| *c)
+            .sum();
+        n as f64 / self.total as f64
+    }
+
+    /// The `n` most attacked (protocol, port) pairs.
+    pub fn top_ports(&self, n: usize) -> Vec<((&'static str, u16), u64)> {
+        let mut v: Vec<_> = self.by_port.iter().map(|(k, c)| (*k, *c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+}
+
+/// Breakdown over feed episodes (Figure 6's population: all attacks toward
+/// DNS authoritative infrastructure).
+pub fn breakdown_episodes<'a>(episodes: impl Iterator<Item = &'a AttackEpisode>) -> PortBreakdown {
+    let mut out = PortBreakdown::default();
+    for ep in episodes {
+        out.total += 1;
+        if ep.unique_ports <= 1 {
+            out.single_port += 1;
+        }
+        *out.by_protocol.entry(proto_name(ep.protocol)).or_insert(0) += 1;
+        *out.by_port.entry((proto_name(ep.protocol), ep.first_port)).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Breakdown over *successful* attacks: impact events with resolution
+/// failures (§6.3.1 found these skew heavily toward port 53).
+pub fn breakdown_successful(impacts: &[ImpactEvent]) -> PortBreakdown {
+    let mut out = PortBreakdown::default();
+    for e in impacts.iter().filter(|e| e.failure_rate > 0.0) {
+        out.total += 1;
+        out.single_port += 1; // first-port attribution only
+        *out.by_protocol.entry(proto_name(e.protocol)).or_insert(0) += 1;
+        *out.by_port.entry((proto_name(e.protocol), e.first_port)).or_insert(0) += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::time::Window;
+
+    fn ep(proto: Protocol, port: u16, nports: u16) -> AttackEpisode {
+        AttackEpisode {
+            victim: "1.2.3.4".parse().unwrap(),
+            first_window: Window(0),
+            last_window: Window(1),
+            packets: 100,
+            peak_ppm: 10.0,
+            protocol: proto,
+            first_port: port,
+            unique_ports: nports,
+            slash16s: 3,
+        }
+    }
+
+    #[test]
+    fn shares_computed() {
+        let eps = [ep(Protocol::Tcp, 80, 1),
+            ep(Protocol::Tcp, 80, 1),
+            ep(Protocol::Tcp, 53, 1),
+            ep(Protocol::Udp, 53, 4),
+            ep(Protocol::Icmp, 0, 1)];
+        let b = breakdown_episodes(eps.iter());
+        assert_eq!(b.total, 5);
+        assert_eq!(b.single_port, 4);
+        assert!((b.single_port_share() - 0.8).abs() < 1e-12);
+        assert!((b.protocol_share(Protocol::Tcp) - 0.6).abs() < 1e-12);
+        assert!((b.port_share_within(Protocol::Tcp, 80) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((b.port_share(53) - 0.4).abs() < 1e-12);
+        let top = b.top_ports(2);
+        assert_eq!(top[0], (("TCP", 80), 2));
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let b = breakdown_episodes(std::iter::empty());
+        assert_eq!(b.single_port_share(), 0.0);
+        assert_eq!(b.protocol_share(Protocol::Tcp), 0.0);
+        assert_eq!(b.port_share(53), 0.0);
+        assert!(b.top_ports(3).is_empty());
+    }
+
+    #[test]
+    fn successful_filter_requires_failures() {
+        use crate::impact::ImpactEvent;
+        use census::AnycastClass;
+        use dnssim::NsSetId;
+        let mk = |failure_rate: f64, port: u16| ImpactEvent {
+            episode_idx: 0,
+            nsset: NsSetId(0),
+            domains_measured: 10,
+            impact_on_rtt: Some(1.0),
+            failure_rate,
+            timeouts: 0,
+            servfails: 0,
+            nsset_domains: 100,
+            protocol: Protocol::Tcp,
+            first_port: port,
+            peak_ppm: 10.0,
+            duration_min: 15.0,
+            anycast: AnycastClass::Unicast,
+            asn_count: 1,
+            prefix_count: 1,
+        };
+        let impacts = vec![mk(0.0, 80), mk(0.5, 53), mk(1.0, 53)];
+        let b = breakdown_successful(&impacts);
+        assert_eq!(b.total, 2);
+        assert!((b.port_share(53) - 1.0).abs() < 1e-12);
+    }
+}

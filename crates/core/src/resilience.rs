@@ -1,0 +1,162 @@
+//! §6.6 / Figures 11–13: efficacy of resilience techniques — anycast, AS
+//! diversity, /24 prefix diversity — measured as the distribution of
+//! `Impact_on_RTT` within each deployment class.
+
+use crate::impact::ImpactEvent;
+use census::AnycastClass;
+use simcore::stats::quantile;
+use std::collections::BTreeMap;
+
+/// Distribution summary of impact within one deployment class.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassImpact {
+    pub label: String,
+    pub events: u64,
+    pub median_impact: f64,
+    pub p90_impact: f64,
+    pub max_impact: f64,
+    /// Events with ≥10× RTT inflation.
+    pub over_10x: u64,
+    /// Events with ≥100× RTT inflation.
+    pub over_100x: u64,
+    /// Events with complete resolution failure.
+    pub complete_failures: u64,
+}
+
+fn summarize_class(label: String, events: &[&ImpactEvent]) -> ClassImpact {
+    let mut impacts: Vec<f64> = events.iter().filter_map(|e| e.impact_on_rtt).collect();
+    let median = quantile(&mut impacts, 0.5).unwrap_or(f64::NAN);
+    let p90 = quantile(&mut impacts, 0.9).unwrap_or(f64::NAN);
+    let max = impacts.iter().copied().fold(f64::NAN, f64::max);
+    ClassImpact {
+        label,
+        events: events.len() as u64,
+        median_impact: median,
+        p90_impact: p90,
+        max_impact: max,
+        over_10x: impacts.iter().filter(|&&i| i >= 10.0).count() as u64,
+        over_100x: impacts.iter().filter(|&&i| i >= 100.0).count() as u64,
+        complete_failures: events.iter().filter(|e| e.complete_failure()).count() as u64,
+    }
+}
+
+/// Figure 11: impact by anycast class (Unicast / Partial / Full).
+pub fn by_anycast(impacts: &[ImpactEvent]) -> Vec<ClassImpact> {
+    [AnycastClass::Unicast, AnycastClass::Partial, AnycastClass::Full]
+        .into_iter()
+        .map(|class| {
+            let evs: Vec<&ImpactEvent> =
+                impacts.iter().filter(|e| e.anycast == class).collect();
+            summarize_class(format!("{class:?}"), &evs)
+        })
+        .collect()
+}
+
+/// Figure 12: impact by number of distinct origin ASes (1, 2, 3+).
+pub fn by_as_diversity(impacts: &[ImpactEvent]) -> Vec<ClassImpact> {
+    bucket_by(impacts, |e| e.asn_count, "ASN", "ASNs")
+}
+
+/// Figure 13: impact by number of distinct /24 prefixes (1, 2, 3+).
+pub fn by_prefix_diversity(impacts: &[ImpactEvent]) -> Vec<ClassImpact> {
+    bucket_by(impacts, |e| e.prefix_count, "/24 prefix", "/24 prefixes")
+}
+
+fn bucket_by(
+    impacts: &[ImpactEvent],
+    key: impl Fn(&ImpactEvent) -> usize,
+    singular: &str,
+    plural: &str,
+) -> Vec<ClassImpact> {
+    let mut groups: BTreeMap<usize, Vec<&ImpactEvent>> = BTreeMap::new();
+    for e in impacts {
+        groups.entry(key(e).min(3)).or_default().push(e);
+    }
+    groups
+        .into_iter()
+        .map(|(k, evs)| {
+            let label = match k {
+                1 => format!("1 {singular}"),
+                2 => format!("2 {plural}"),
+                _ => format!("3+ {plural}"),
+            };
+            summarize_class(label, &evs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attack::Protocol;
+    use dnssim::NsSetId;
+
+    fn mk(anycast: AnycastClass, asns: usize, prefixes: usize, impact: f64) -> ImpactEvent {
+        ImpactEvent {
+            episode_idx: 0,
+            nsset: NsSetId(0),
+            domains_measured: 10,
+            impact_on_rtt: Some(impact),
+            failure_rate: if impact >= 400.0 { 1.0 } else { 0.0 },
+            timeouts: 0,
+            servfails: 0,
+            nsset_domains: 1_000,
+            protocol: Protocol::Tcp,
+            first_port: 53,
+            peak_ppm: 100.0,
+            duration_min: 15.0,
+            anycast,
+            asn_count: asns,
+            prefix_count: prefixes,
+        }
+    }
+
+    #[test]
+    fn anycast_classes_in_order() {
+        let impacts = vec![
+            mk(AnycastClass::Unicast, 1, 1, 150.0),
+            mk(AnycastClass::Unicast, 1, 1, 12.0),
+            mk(AnycastClass::Partial, 2, 2, 3.0),
+            mk(AnycastClass::Full, 2, 3, 1.1),
+        ];
+        let rows = by_anycast(&impacts);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].label, "Unicast");
+        assert_eq!(rows[0].events, 2);
+        assert_eq!(rows[0].over_10x, 2);
+        assert_eq!(rows[0].over_100x, 1);
+        assert_eq!(rows[2].label, "Full");
+        assert_eq!(rows[2].over_10x, 0);
+        assert!((rows[2].median_impact - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diversity_buckets_cap_at_3() {
+        let impacts = vec![
+            mk(AnycastClass::Unicast, 1, 1, 2.0),
+            mk(AnycastClass::Unicast, 2, 2, 2.0),
+            mk(AnycastClass::Unicast, 5, 7, 2.0),
+        ];
+        let rows = by_as_diversity(&impacts);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].label, "1 ASN");
+        assert_eq!(rows[1].label, "2 ASNs");
+        assert_eq!(rows[2].label, "3+ ASNs");
+        let prows = by_prefix_diversity(&impacts);
+        assert_eq!(prows[2].events, 1);
+    }
+
+    #[test]
+    fn complete_failures_counted() {
+        let impacts = vec![mk(AnycastClass::Unicast, 1, 1, 500.0)];
+        let rows = by_anycast(&impacts);
+        assert_eq!(rows[0].complete_failures, 1);
+        assert_eq!(rows[0].max_impact, 500.0);
+    }
+
+    #[test]
+    fn empty_class_is_nan_median() {
+        let rows = by_anycast(&[]);
+        assert!(rows.iter().all(|r| r.events == 0 && r.median_impact.is_nan()));
+    }
+}

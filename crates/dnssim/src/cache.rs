@@ -1,0 +1,156 @@
+//! A TTL record cache.
+//!
+//! OpenINTEL's *first* NS query per domain bypasses the cache (so attacks
+//! are visible), but its additional queries may be served from cached NS
+//! records (§3.2, footnote 1) — which *reduces* visibility of attacks. The
+//! reactive prober uses this cache to reproduce that masking effect, and an
+//! integration test demonstrates it.
+
+use dnswire::{Name, Record, RrType};
+use simcore::time::SimTime;
+use std::collections::HashMap;
+
+/// Cache key: owner name + record type.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    pub name: Name,
+    pub rtype: RrType,
+}
+
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    records: Vec<Record>,
+    expires: SimTime,
+}
+
+/// A simple TTL cache over resource-record sets.
+#[derive(Clone, Debug, Default)]
+pub struct TtlCache {
+    entries: HashMap<CacheKey, CacheEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TtlCache {
+    pub fn new() -> TtlCache {
+        TtlCache::default()
+    }
+
+    /// Store an RRset observed at `now`; expiry is `now + min(TTL)` of the
+    /// set (the conservative choice a validating cache makes).
+    pub fn put(&mut self, key: CacheKey, records: Vec<Record>, now: SimTime) {
+        assert!(!records.is_empty(), "caching an empty RRset is meaningless");
+        let ttl = records.iter().map(|r| r.ttl).min().unwrap_or(0);
+        let expires = now + simcore::time::SimDuration::from_secs(ttl as u64);
+        self.entries.insert(key, CacheEntry { records, expires });
+    }
+
+    /// Fetch an unexpired RRset. A hit at exactly the expiry instant is a
+    /// miss (TTL semantics are "valid for TTL seconds after receipt").
+    pub fn get(&mut self, key: &CacheKey, now: SimTime) -> Option<&[Record]> {
+        match self.entries.get(key) {
+            Some(e) if now < e.expires => {
+                self.hits += 1;
+                Some(self.entries.get(key).map(|e| e.records.as_slice()).unwrap())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Remove expired entries (housekeeping; correctness never depends on
+    /// calling this).
+    pub fn evict_expired(&mut self, now: SimTime) {
+        self.entries.retain(|_, e| now < e.expires);
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswire::RData;
+    use simcore::time::SimDuration;
+
+    fn key(name: &str) -> CacheKey {
+        CacheKey { name: name.parse().unwrap(), rtype: RrType::Ns }
+    }
+
+    fn ns_record(owner: &str, target: &str, ttl: u32) -> Record {
+        Record::new(owner.parse().unwrap(), ttl, RData::Ns(target.parse().unwrap()))
+    }
+
+    #[test]
+    fn hit_within_ttl_miss_after() {
+        let mut c = TtlCache::new();
+        let t0 = SimTime(1_000);
+        c.put(key("klant.nl"), vec![ns_record("klant.nl", "ns0.transip.net", 300)], t0);
+        assert!(c.get(&key("klant.nl"), t0 + SimDuration::from_secs(299)).is_some());
+        assert!(c.get(&key("klant.nl"), t0 + SimDuration::from_secs(300)).is_none());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn min_ttl_governs_rrset() {
+        let mut c = TtlCache::new();
+        let t0 = SimTime(0);
+        c.put(
+            key("klant.nl"),
+            vec![
+                ns_record("klant.nl", "ns0.transip.net", 3_600),
+                ns_record("klant.nl", "ns1.transip.nl", 60),
+            ],
+            t0,
+        );
+        assert!(c.get(&key("klant.nl"), SimTime(59)).is_some());
+        assert!(c.get(&key("klant.nl"), SimTime(60)).is_none());
+    }
+
+    #[test]
+    fn distinct_keys_are_independent() {
+        let mut c = TtlCache::new();
+        c.put(key("a.nl"), vec![ns_record("a.nl", "ns.x.net", 100)], SimTime(0));
+        assert!(c.get(&key("b.nl"), SimTime(1)).is_none());
+        assert!(c.get(&key("a.nl"), SimTime(1)).is_some());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn replace_refreshes_expiry() {
+        let mut c = TtlCache::new();
+        c.put(key("a.nl"), vec![ns_record("a.nl", "ns.x.net", 100)], SimTime(0));
+        c.put(key("a.nl"), vec![ns_record("a.nl", "ns.x.net", 100)], SimTime(90));
+        assert!(c.get(&key("a.nl"), SimTime(150)).is_some());
+    }
+
+    #[test]
+    fn evict_expired_shrinks() {
+        let mut c = TtlCache::new();
+        c.put(key("a.nl"), vec![ns_record("a.nl", "ns.x.net", 10)], SimTime(0));
+        c.put(key("b.nl"), vec![ns_record("b.nl", "ns.y.net", 1_000)], SimTime(0));
+        c.evict_expired(SimTime(500));
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&key("b.nl"), SimTime(500)).is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_rrset_panics() {
+        TtlCache::new().put(key("a.nl"), vec![], SimTime(0));
+    }
+}

@@ -1,0 +1,139 @@
+//! Nameserver deployments and shared /24 uplinks.
+
+use crate::ids::NsId;
+use dnswire::Name;
+use netbase::{Asn, Slash24};
+use std::net::Ipv4Addr;
+
+/// How a nameserver's service address is provisioned.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Deployment {
+    /// One physical server, one location.
+    Unicast,
+    /// An anycast deployment with `sites` replicas announcing the address.
+    /// A uniformly-spoofed volumetric attack spreads across all sites, so
+    /// the site serving our vantage point absorbs only `1/sites` of the
+    /// attack (§6.6.1 is where this pays off).
+    Anycast { sites: u32 },
+}
+
+impl Deployment {
+    pub fn is_anycast(&self) -> bool {
+        matches!(self, Deployment::Anycast { .. })
+    }
+
+    /// Fraction of a uniformly-sourced attack absorbed by the site that
+    /// answers our vantage point.
+    pub fn attack_dilution(&self) -> f64 {
+        match self {
+            Deployment::Unicast => 1.0,
+            Deployment::Anycast { sites } => 1.0 / (*sites).max(1) as f64,
+        }
+    }
+}
+
+/// An authoritative nameserver.
+#[derive(Clone, Debug)]
+pub struct Nameserver {
+    pub id: NsId,
+    /// Hostname in the NS record (e.g. `ns0.transip.net`).
+    pub name: Name,
+    /// IPv4 service address (the RSDoS join key).
+    pub addr: Ipv4Addr,
+    /// Origin AS of the covering announcement.
+    pub asn: Asn,
+    pub deployment: Deployment,
+    /// Per-site capacity in queries/packets per second.
+    pub capacity_pps: f64,
+    /// Baseline legitimate load in pps.
+    pub legit_pps: f64,
+    /// Unloaded RTT from the measurement vantage point, in milliseconds.
+    pub base_rtt_ms: f64,
+    /// Whether this address is actually an open resolver that misconfigured
+    /// domains point NS records at (§6.1 filters these out).
+    pub open_resolver: bool,
+    /// IPv6 serving mode (the paper's limitation 2): `None` = IPv4-only;
+    /// `Some(true)` = dual-stack on *shared* infrastructure (an IPv4
+    /// attack degrades the IPv6 path too, per Beverly & Berger's
+    /// server-sibling findings); `Some(false)` = separate IPv6
+    /// infrastructure that rides out IPv4-only attacks.
+    pub dual_stack_shared: Option<bool>,
+}
+
+impl Nameserver {
+    /// The /24 this address sits in — the unit of shared network
+    /// infrastructure in the paper's resilience analysis.
+    pub fn slash24(&self) -> Slash24 {
+        Slash24::of(self.addr)
+    }
+
+    /// Spare capacity headroom (multiple of legitimate load).
+    pub fn headroom(&self) -> f64 {
+        self.capacity_pps / self.legit_pps.max(1e-9)
+    }
+}
+
+/// A shared /24 uplink. Attacks on *any* address in the /24 consume the
+/// shared link, which is how the mil.ru web site and nameservers degraded
+/// together (§5.2.3).
+#[derive(Clone, Debug)]
+pub struct Uplink {
+    pub prefix: Slash24,
+    /// Link capacity in pps.
+    pub capacity_pps: f64,
+}
+
+impl Uplink {
+    pub fn new(prefix: Slash24, capacity_pps: f64) -> Uplink {
+        assert!(capacity_pps > 0.0);
+        Uplink { prefix, capacity_pps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(addr: &str, deployment: Deployment) -> Nameserver {
+        Nameserver {
+            id: NsId(0),
+            name: "ns1.example.net".parse().unwrap(),
+            addr: addr.parse().unwrap(),
+            asn: Asn(64500),
+            deployment,
+            capacity_pps: 50_000.0,
+            legit_pps: 1_000.0,
+            base_rtt_ms: 20.0,
+            open_resolver: false,
+            dual_stack_shared: None,
+        }
+    }
+
+    #[test]
+    fn unicast_takes_full_attack() {
+        assert_eq!(Deployment::Unicast.attack_dilution(), 1.0);
+        assert!(!Deployment::Unicast.is_anycast());
+    }
+
+    #[test]
+    fn anycast_dilutes_by_sites() {
+        let d = Deployment::Anycast { sites: 20 };
+        assert!(d.is_anycast());
+        assert!((d.attack_dilution() - 0.05).abs() < 1e-12);
+        // Degenerate zero-site deployment behaves like one site.
+        assert_eq!(Deployment::Anycast { sites: 0 }.attack_dilution(), 1.0);
+    }
+
+    #[test]
+    fn slash24_derived_from_addr() {
+        let n = ns("195.135.195.195", Deployment::Unicast);
+        assert_eq!(n.slash24(), Slash24::of("195.135.195.1".parse().unwrap()));
+        assert!((n.headroom() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn uplink_requires_positive_capacity() {
+        Uplink::new(Slash24(1), 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Interned identifiers and the NSSet abstraction.
+//!
+//! The paper aggregates measurements per *NSSet* — "all IPv4 nameserver IP
+//! addresses in common for one or more domains" (§4.1) — because OpenINTEL
+//! cannot attribute an answer to a specific nameserver. NSSets are interned
+//! so millions of domains sharing a provider's deployment map to one id.
+
+use std::fmt;
+
+/// A registered domain name (second-level domain in the measured zones).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainId(pub u32);
+
+/// An authoritative nameserver (one IPv4 service address; possibly an
+/// anycast deployment behind that address).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NsId(pub u32);
+
+/// An interned, deduplicated set of nameservers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NsSetId(pub u32);
+
+impl fmt::Debug for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+impl fmt::Debug for NsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NS{}", self.0)
+    }
+}
+impl fmt::Debug for NsSetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SET{}", self.0)
+    }
+}
+
+/// A sorted, deduplicated set of nameserver ids. Construction canonicalizes
+/// order so equal sets intern to the same [`NsSetId`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct NsSet {
+    members: Vec<NsId>,
+}
+
+impl NsSet {
+    pub fn new(mut members: Vec<NsId>) -> NsSet {
+        members.sort();
+        members.dedup();
+        assert!(!members.is_empty(), "an NSSet must contain at least one nameserver");
+        NsSet { members }
+    }
+
+    pub fn members(&self) -> &[NsId] {
+        &self.members
+    }
+
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    pub fn contains(&self, ns: NsId) -> bool {
+        self.members.binary_search(&ns).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalizes_order_and_dupes() {
+        let a = NsSet::new(vec![NsId(3), NsId(1), NsId(2), NsId(1)]);
+        let b = NsSet::new(vec![NsId(1), NsId(2), NsId(3)]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.members(), &[NsId(1), NsId(2), NsId(3)]);
+    }
+
+    #[test]
+    fn contains_uses_sorted_members() {
+        let s = NsSet::new(vec![NsId(9), NsId(4), NsId(7)]);
+        assert!(s.contains(NsId(7)));
+        assert!(!s.contains(NsId(5)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_set_panics() {
+        NsSet::new(vec![]);
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", DomainId(5)), "D5");
+        assert_eq!(format!("{:?}", NsId(2)), "NS2");
+        assert_eq!(format!("{:?}", NsSetId(8)), "SET8");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Canonicalization: permutations and duplicates of the same
+        /// members produce equal sets.
+        #[test]
+        fn nsset_canonical(mut ids in prop::collection::vec(0u32..50, 1..12)) {
+            let a = NsSet::new(ids.iter().map(|&i| NsId(i)).collect());
+            ids.reverse();
+            ids.extend(ids.clone()); // duplicates
+            let b = NsSet::new(ids.iter().map(|&i| NsId(i)).collect());
+            prop_assert_eq!(&a, &b);
+            // Members sorted and deduplicated.
+            prop_assert!(a.members().windows(2).all(|w| w[0] < w[1]));
+            for m in a.members() {
+                prop_assert!(a.contains(*m));
+            }
+        }
+    }
+}

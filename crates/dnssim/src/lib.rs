@@ -1,0 +1,38 @@
+//! DNS infrastructure simulator.
+//!
+//! Models the population of authoritative nameservers the paper studies:
+//! domains delegate to *NSSets* (sets of nameserver IPv4 addresses), each
+//! nameserver is a unicast host or an anycast deployment with finite
+//! capacity, and query performance degrades under offered load (legitimate
+//! traffic + attack traffic + collateral from attacks on the same /24).
+//!
+//! - [`ids`]: interned identifiers for domains, nameservers and NSSets.
+//! - [`deploy`]: nameserver deployments (unicast/anycast, capacity, ASN,
+//!   prefix) and shared /24 uplinks.
+//! - [`load`]: the offered-load → (answer probability, RTT multiplier)
+//!   queueing model, shared by the per-query and aggregate simulation paths.
+//! - [`infra`]: the registry tying domains, NSSets and nameservers together,
+//!   with the per-window attack-load book.
+//! - [`server`]: authoritative answer construction (real `dnswire`
+//!   messages) for the per-query path.
+//! - [`resolver`]: the unbound-like resolver (random nameserver selection,
+//!   timeout, bounded retries) and query outcomes.
+//! - [`cache`]: a TTL cache for resolution paths that are allowed to reuse
+//!   cached NS records.
+//! - [`zone`]: loading real zone-file delegations into the registry.
+
+pub mod cache;
+pub mod deploy;
+pub mod ids;
+pub mod infra;
+pub mod load;
+pub mod resolver;
+pub mod server;
+pub mod zone;
+
+pub use deploy::{Deployment, Nameserver, Uplink};
+pub use ids::{DomainId, NsId, NsSet, NsSetId};
+pub use infra::{AttackLoad, Infra, LoadBook};
+pub use load::{LoadModel, ServiceState};
+pub use resolver::{AttemptTrace, QueryOutcome, QueryStatus, Resolver};
+pub use zone::{ZoneLoadError, ZoneLoader};

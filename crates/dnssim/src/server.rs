@@ -1,0 +1,163 @@
+//! Authoritative answer construction for the per-query simulation path.
+//!
+//! The per-query fidelity builds real wire messages so the measurement loop
+//! exercises `dnswire` end to end: query → encode → (simulated network) →
+//! decode → authoritative answer → encode → decode.
+
+use crate::ids::{DomainId, NsSetId};
+use crate::infra::Infra;
+use dnswire::{Message, Name, RData, Rcode, Record, RrType};
+
+/// Default TTL for NS records in synthesized zones (seconds).
+pub const NS_TTL: u32 = 3_600;
+/// Default TTL for glue A records.
+pub const GLUE_TTL: u32 = 3_600;
+
+/// Build the authoritative response a healthy nameserver returns to an
+/// explicit `NS` query for `domain`.
+pub fn answer_ns_query(infra: &Infra, domain: DomainId, query: &Message) -> Message {
+    let rec = infra.domain(domain);
+    let mut resp = Message::response_to(query, Rcode::NoError, true);
+    let set = infra.nsset(rec.nsset);
+    for &ns in set.members() {
+        let n = infra.nameserver(ns);
+        resp.answers.push(Record::new(rec.name.clone(), NS_TTL, RData::Ns(n.name.clone())));
+        resp.additionals.push(Record::new(n.name.clone(), GLUE_TTL, RData::A(n.addr)));
+    }
+    resp
+}
+
+/// Build a SERVFAIL response (an overloaded-but-responsive server).
+pub fn answer_servfail(query: &Message) -> Message {
+    Message::response_to(query, Rcode::ServFail, false)
+}
+
+/// Build the explicit, non-recursive `NS` query OpenINTEL sends for a
+/// domain.
+pub fn ns_query(id: u16, name: Name) -> Message {
+    Message::query(id, name, RrType::Ns)
+}
+
+/// Extract the nameserver hostnames from an NS answer (the parent/child
+/// consistency checks in the real platform start from this).
+pub fn ns_names(answer: &Message) -> Vec<Name> {
+    answer
+        .answers
+        .iter()
+        .filter_map(|r| match &r.rdata {
+            RData::Ns(n) => Some(n.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Round-trip a message through its wire encoding, as the simulated network
+/// does. Panics on internal inconsistency (an encode/decode mismatch is a
+/// bug, not a runtime condition).
+pub fn via_wire(msg: &Message) -> Message {
+    Message::decode(&msg.encode()).expect("self-encoded message must decode")
+}
+
+/// Summary of one domain's delegation as the measurement platform records
+/// it on a healthy day: the NSSet and the glue addresses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delegation {
+    pub domain: DomainId,
+    pub nsset: NsSetId,
+    pub ns_addrs: Vec<std::net::Ipv4Addr>,
+}
+
+/// Resolve the delegation (ground truth; what a successful measurement
+/// learns).
+pub fn delegation(infra: &Infra, domain: DomainId) -> Delegation {
+    let rec = infra.domain(domain);
+    Delegation {
+        domain,
+        nsset: rec.nsset,
+        ns_addrs: infra
+            .nsset(rec.nsset)
+            .members()
+            .iter()
+            .map(|&n| infra.nameserver(n).addr)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::Deployment;
+    use netbase::Asn;
+
+    fn world() -> (Infra, DomainId) {
+        let mut infra = Infra::new();
+        let a = infra.add_nameserver(
+            "ns0.transip.net".parse().unwrap(),
+            "195.135.195.195".parse().unwrap(),
+            Asn(20857),
+            Deployment::Unicast,
+            10_000.0,
+            100.0,
+            15.0,
+        );
+        let b = infra.add_nameserver(
+            "ns1.transip.nl".parse().unwrap(),
+            "195.8.195.195".parse().unwrap(),
+            Asn(20857),
+            Deployment::Unicast,
+            10_000.0,
+            100.0,
+            15.0,
+        );
+        let set = infra.intern_nsset(vec![a, b]);
+        let d = infra.add_domain("klant.nl".parse().unwrap(), set);
+        (infra, d)
+    }
+
+    #[test]
+    fn ns_answer_contains_full_set_with_glue() {
+        let (infra, d) = world();
+        let q = ns_query(77, "klant.nl".parse().unwrap());
+        let resp = answer_ns_query(&infra, d, &q);
+        assert_eq!(resp.header.id, 77);
+        assert!(resp.header.flags.aa);
+        assert_eq!(resp.rcode(), Rcode::NoError);
+        assert_eq!(resp.answers.len(), 2);
+        assert_eq!(resp.additionals.len(), 2);
+        let names = ns_names(&resp);
+        assert!(names.contains(&"ns0.transip.net".parse().unwrap()));
+        assert!(names.contains(&"ns1.transip.nl".parse().unwrap()));
+    }
+
+    #[test]
+    fn answer_survives_the_wire() {
+        let (infra, d) = world();
+        let q = ns_query(1, "klant.nl".parse().unwrap());
+        let resp = answer_ns_query(&infra, d, &via_wire(&q));
+        assert_eq!(via_wire(&resp), resp);
+    }
+
+    #[test]
+    fn servfail_is_not_authoritative() {
+        let q = ns_query(5, "klant.nl".parse().unwrap());
+        let r = answer_servfail(&q);
+        assert_eq!(r.rcode(), Rcode::ServFail);
+        assert!(!r.header.flags.aa);
+        assert!(r.answers.is_empty());
+    }
+
+    #[test]
+    fn delegation_ground_truth() {
+        let (infra, d) = world();
+        let del = delegation(&infra, d);
+        assert_eq!(del.ns_addrs.len(), 2);
+        assert!(del.ns_addrs.contains(&"195.135.195.195".parse().unwrap()));
+    }
+
+    #[test]
+    fn ns_query_is_nonrecursive_ns_type() {
+        let q = ns_query(9, "mil.ru".parse().unwrap());
+        assert_eq!(q.questions[0].rtype, RrType::Ns);
+        assert!(!q.header.flags.rd);
+    }
+}

@@ -1,0 +1,269 @@
+//! Loading delegations from zone data into the simulated infrastructure.
+//!
+//! Bridges `dnswire::zonefile` and [`crate::Infra`]: NS records define the
+//! delegations, glue A records supply nameserver addresses, and every
+//! delegated owner becomes a registered domain on an interned NSSet. This
+//! is how a downstream user feeds *real* zone snapshots into the
+//! simulator instead of the synthetic world generator.
+
+use crate::deploy::Deployment;
+use crate::ids::{DomainId, NsId};
+use crate::infra::Infra;
+use dnswire::{Name, RData, Record};
+use netbase::{Asn, Prefix2As};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Errors loading zone data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZoneLoadError {
+    /// An NS target has no glue A record and no existing registration.
+    MissingGlue { owner: Name, target: Name },
+    /// An owner has NS records but they all failed to resolve.
+    EmptyDelegation { owner: Name },
+}
+
+impl std::fmt::Display for ZoneLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZoneLoadError::MissingGlue { owner, target } => {
+                write!(f, "delegation of {owner} names {target}, which has no glue A record")
+            }
+            ZoneLoadError::EmptyDelegation { owner } => {
+                write!(f, "delegation of {owner} resolved to no nameservers")
+            }
+        }
+    }
+}
+impl std::error::Error for ZoneLoadError {}
+
+/// Defaults applied to nameservers first seen in zone data (zones don't
+/// carry capacity or latency).
+#[derive(Clone, Copy, Debug)]
+pub struct ZoneLoader {
+    pub capacity_pps: f64,
+    pub legit_pps: f64,
+    pub base_rtt_ms: f64,
+    pub deployment: Deployment,
+    /// ASN assigned when no prefix2as table covers the glue address.
+    pub fallback_asn: Asn,
+}
+
+impl Default for ZoneLoader {
+    fn default() -> ZoneLoader {
+        ZoneLoader {
+            capacity_pps: 50_000.0,
+            legit_pps: 500.0,
+            base_rtt_ms: 20.0,
+            deployment: Deployment::Unicast,
+            fallback_asn: Asn(64_512),
+        }
+    }
+}
+
+impl ZoneLoader {
+    /// Load delegations from `records` into `infra`. Returns the domains
+    /// registered, in owner order of first appearance.
+    pub fn load(
+        &self,
+        infra: &mut Infra,
+        records: &[Record],
+        prefix2as: Option<&Prefix2As>,
+    ) -> Result<Vec<DomainId>, ZoneLoadError> {
+        // Glue: hostname → addresses.
+        let mut glue: HashMap<Name, Vec<Ipv4Addr>> = HashMap::new();
+        for r in records {
+            if let RData::A(a) = &r.rdata {
+                glue.entry(r.name.clone()).or_default().push(*a);
+            }
+        }
+        // Delegations: owner → NS target names, keeping first-seen order.
+        let mut owners: Vec<Name> = Vec::new();
+        let mut delegations: HashMap<Name, Vec<Name>> = HashMap::new();
+        for r in records {
+            if let RData::Ns(target) = &r.rdata {
+                let e = delegations.entry(r.name.clone()).or_default();
+                if e.is_empty() {
+                    owners.push(r.name.clone());
+                }
+                e.push(target.clone());
+            }
+        }
+
+        let mut out = Vec::new();
+        for owner in owners {
+            let targets = &delegations[&owner];
+            let mut ns_ids: Vec<NsId> = Vec::new();
+            for target in targets {
+                let addrs = glue.get(target);
+                match addrs {
+                    Some(addrs) => {
+                        for &addr in addrs {
+                            ns_ids.push(self.ensure_ns(infra, target, addr, prefix2as));
+                        }
+                    }
+                    None => {
+                        // Out-of-zone target: accept if a server with that
+                        // hostname is already registered.
+                        match infra.nameservers().iter().find(|n| &n.name == target) {
+                            Some(n) => ns_ids.push(n.id),
+                            None => {
+                                return Err(ZoneLoadError::MissingGlue {
+                                    owner,
+                                    target: target.clone(),
+                                })
+                            }
+                        }
+                    }
+                }
+            }
+            if ns_ids.is_empty() {
+                return Err(ZoneLoadError::EmptyDelegation { owner });
+            }
+            let set = infra.intern_nsset(ns_ids);
+            out.push(infra.add_domain(owner, set));
+        }
+        Ok(out)
+    }
+
+    fn ensure_ns(
+        &self,
+        infra: &mut Infra,
+        name: &Name,
+        addr: Ipv4Addr,
+        prefix2as: Option<&Prefix2As>,
+    ) -> NsId {
+        if let Some(id) = infra.ns_by_addr(addr) {
+            return id;
+        }
+        let asn = prefix2as
+            .and_then(|t| t.asn_of(addr))
+            .unwrap_or(self.fallback_asn);
+        infra.add_nameserver(
+            name.clone(),
+            addr,
+            asn,
+            self.deployment,
+            self.capacity_pps,
+            self.legit_pps,
+            self.base_rtt_ms,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswire::zonefile::parse_zone;
+
+    fn origin() -> Name {
+        "nl".parse().unwrap()
+    }
+
+    const TLD_SNIPPET: &str = "\
+$TTL 3600
+klant1      IN NS ns0.transip.net.
+klant1      IN NS ns1.transip.net.
+klant2      IN NS ns0.transip.net.
+klant2      IN NS ns1.transip.net.
+solo        IN NS ns.solo.nl.
+ns0.transip.net. IN A 195.135.195.195
+ns1.transip.net. IN A 195.8.195.195
+ns.solo.nl.      IN A 203.0.113.5
+";
+
+    #[test]
+    fn loads_delegations_and_interns_nssets() {
+        let records = parse_zone(TLD_SNIPPET, &origin()).unwrap();
+        let mut infra = Infra::new();
+        let domains =
+            ZoneLoader::default().load(&mut infra, &records, None).unwrap();
+        assert_eq!(domains.len(), 3);
+        assert_eq!(infra.domain_count(), 3);
+        // klant1 and klant2 share one interned NSSet.
+        let s1 = infra.domain(domains[0]).nsset;
+        let s2 = infra.domain(domains[1]).nsset;
+        assert_eq!(s1, s2);
+        assert_eq!(infra.nsset(s1).len(), 2);
+        let s3 = infra.domain(domains[2]).nsset;
+        assert_ne!(s1, s3);
+        // Three nameservers registered, addresses resolvable.
+        assert_eq!(infra.nameservers().len(), 3);
+        assert!(infra.ns_by_addr("195.135.195.195".parse().unwrap()).is_some());
+    }
+
+    #[test]
+    fn prefix2as_assigns_origin_asns() {
+        let records = parse_zone(TLD_SNIPPET, &origin()).unwrap();
+        let mut p2a = Prefix2As::new();
+        p2a.announce("195.135.195.0/24".parse().unwrap(), Asn(20857));
+        let mut infra = Infra::new();
+        ZoneLoader::default().load(&mut infra, &records, Some(&p2a)).unwrap();
+        let ns = infra.ns_by_addr("195.135.195.195".parse().unwrap()).unwrap();
+        assert_eq!(infra.nameserver(ns).asn, Asn(20857));
+        // Uncovered glue falls back.
+        let solo = infra.ns_by_addr("203.0.113.5".parse().unwrap()).unwrap();
+        assert_eq!(infra.nameserver(solo).asn, Asn(64_512));
+    }
+
+    #[test]
+    fn missing_glue_is_an_error_unless_preregistered() {
+        let z = "klant IN NS ns.elsewhere.example.\n";
+        let records = parse_zone(z, &origin()).unwrap();
+        let mut infra = Infra::new();
+        let e = ZoneLoader::default().load(&mut infra, &records, None).unwrap_err();
+        assert!(matches!(e, ZoneLoadError::MissingGlue { .. }));
+        assert!(e.to_string().contains("elsewhere"));
+
+        // Pre-register the out-of-zone server → the load succeeds.
+        let mut infra = Infra::new();
+        infra.add_nameserver(
+            "ns.elsewhere.example".parse().unwrap(),
+            "198.51.100.99".parse().unwrap(),
+            Asn(1),
+            Deployment::Unicast,
+            10_000.0,
+            100.0,
+            25.0,
+        );
+        let domains =
+            ZoneLoader::default().load(&mut infra, &records, None).unwrap();
+        assert_eq!(domains.len(), 1);
+    }
+
+    #[test]
+    fn loaded_world_resolves() {
+        use crate::infra::LoadBook;
+        use crate::resolver::{QueryStatus, Resolver};
+        use rand::SeedableRng;
+        let records = parse_zone(TLD_SNIPPET, &origin()).unwrap();
+        let mut infra = Infra::new();
+        let domains = ZoneLoader::default().load(&mut infra, &records, None).unwrap();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let out = Resolver::default().resolve(
+            &infra,
+            domains[0],
+            simcore::time::Window(0),
+            &LoadBook::new(),
+            &mut rng,
+        );
+        assert_eq!(out.status, QueryStatus::Ok);
+    }
+
+    #[test]
+    fn duplicate_glue_addresses_reuse_registrations() {
+        // Two zones loaded sequentially share nameserver registrations.
+        let records = parse_zone(TLD_SNIPPET, &origin()).unwrap();
+        let mut infra = Infra::new();
+        ZoneLoader::default().load(&mut infra, &records, None).unwrap();
+        let before = infra.nameservers().len();
+        let more = parse_zone(
+            "klant9 IN NS ns0.transip.net.\nns0.transip.net. IN A 195.135.195.195\n",
+            &origin(),
+        )
+        .unwrap();
+        ZoneLoader::default().load(&mut infra, &more, None).unwrap();
+        assert_eq!(infra.nameservers().len(), before, "no duplicate registration");
+        assert_eq!(infra.domain_count(), 4);
+    }
+}

@@ -1,0 +1,94 @@
+//! EDNS(0) (RFC 6891): the OPT pseudo-record that advertises a larger UDP
+//! payload size — the mechanism that let DNSSEC's big responses stay on
+//! UDP, and whose absence pushes resolution to TCP (§6.2's context).
+
+use crate::message::{Message, Record};
+use crate::name::Name;
+use crate::rdata::RData;
+use crate::types::RrType;
+
+/// The conventional EDNS payload size OpenINTEL-era resolvers advertise.
+pub const DEFAULT_UDP_PAYLOAD: u16 = 1232;
+
+/// Attach an OPT pseudo-record advertising `udp_payload` to the additional
+/// section (replacing any existing OPT).
+pub fn set_edns(msg: &mut Message, udp_payload: u16) {
+    msg.additionals.retain(|r| r.rdata.rtype() != RrType::Opt);
+    // OPT abuses the record fields: owner = root, class = payload size,
+    // TTL = extended flags (zero here).
+    msg.additionals.push(Record {
+        name: Name::root(),
+        class: crate::types::RrClass::Other(udp_payload),
+        ttl: 0,
+        rdata: RData::Opaque { rtype: RrType::Opt.code(), data: Vec::new() },
+    });
+}
+
+/// The advertised EDNS UDP payload size, if the message carries OPT.
+pub fn edns_udp_payload(msg: &Message) -> Option<u16> {
+    msg.additionals
+        .iter()
+        .find(|r| r.rdata.rtype() == RrType::Opt)
+        .map(|r| r.class.code())
+}
+
+/// Whether a response of `response_len` bytes fits the requester's
+/// advertised payload (or the 512-byte classic limit without EDNS);
+/// otherwise the server would set TC and force a TCP retry.
+pub fn fits_udp(query: &Message, response_len: usize) -> bool {
+    let limit = edns_udp_payload(query).unwrap_or(512) as usize;
+    response_len <= limit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Rcode;
+
+    fn query() -> Message {
+        Message::query(9, "signed.example".parse().unwrap(), RrType::Ns)
+    }
+
+    #[test]
+    fn set_and_read_payload() {
+        let mut q = query();
+        assert_eq!(edns_udp_payload(&q), None);
+        set_edns(&mut q, DEFAULT_UDP_PAYLOAD);
+        assert_eq!(edns_udp_payload(&q), Some(1232));
+        // Replacing, not stacking.
+        set_edns(&mut q, 4096);
+        assert_eq!(edns_udp_payload(&q), Some(4096));
+        assert_eq!(
+            q.additionals.iter().filter(|r| r.rdata.rtype() == RrType::Opt).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn opt_survives_the_wire() {
+        let mut q = query();
+        set_edns(&mut q, 1232);
+        let back = Message::decode(&q.encode()).unwrap();
+        assert_eq!(edns_udp_payload(&back), Some(1232));
+    }
+
+    #[test]
+    fn fits_udp_with_and_without_edns() {
+        let plain = query();
+        assert!(fits_udp(&plain, 512));
+        assert!(!fits_udp(&plain, 513), "no EDNS → classic 512-byte limit");
+        let mut e = query();
+        set_edns(&mut e, 1232);
+        assert!(fits_udp(&e, 1232));
+        assert!(!fits_udp(&e, 1233));
+    }
+
+    #[test]
+    fn responses_can_carry_opt_too() {
+        let mut q = query();
+        set_edns(&mut q, 1232);
+        let mut r = Message::response_to(&q, Rcode::NoError, true);
+        set_edns(&mut r, 1400);
+        assert_eq!(edns_udp_payload(&r), Some(1400));
+    }
+}

@@ -1,0 +1,66 @@
+//! DNS wire format, implemented from scratch (RFC 1035 plus the handful of
+//! record types this study needs).
+//!
+//! The OpenINTEL-style measurement platform and the reactive prober build
+//! real query/response messages through this crate, and the pcap exporter
+//! frames them into UDP packets — so the simulated measurement path
+//! exercises an honest encode/decode cycle rather than passing structs
+//! around.
+//!
+//! - [`name`]: domain names with label validation and RFC 1035 §4.1.4
+//!   compression (encode and decode, with pointer-loop protection).
+//! - [`types`]: record types, classes, opcodes, rcodes.
+//! - [`rdata`]: typed RDATA for A, AAAA, NS, CNAME, SOA, MX, TXT, PTR, and
+//!   an opaque fallback.
+//! - [`message`]: header, question and resource-record sections, full
+//!   message encode/decode.
+//! - [`tcp`]: DNS-over-TCP framing and an incremental stream decoder.
+//! - [`edns`]: EDNS(0) OPT handling and UDP-payload fit checks.
+//! - [`zonefile`]: RFC 1035 master-file parsing.
+
+pub mod edns;
+pub mod message;
+pub mod name;
+pub mod rdata;
+pub mod tcp;
+pub mod types;
+pub mod zonefile;
+
+pub use edns::{edns_udp_payload, fits_udp, set_edns};
+pub use message::{Flags, Header, Message, Question, Record};
+pub use tcp::{decode_tcp, encode_tcp, TcpStreamDecoder};
+pub use name::Name;
+pub use rdata::RData;
+pub use types::{Opcode, Rcode, RrClass, RrType};
+pub use zonefile::{parse_zone, ZoneError};
+
+/// Errors produced while decoding wire-format data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the structure was complete.
+    Truncated,
+    /// A domain-name label exceeded 63 octets or used a reserved tag.
+    BadLabel,
+    /// A whole name exceeded 255 octets.
+    NameTooLong,
+    /// Compression pointers formed a loop or pointed forward.
+    BadPointer,
+    /// RDATA length disagreed with its type's structure.
+    BadRdata,
+    /// A count field promised more records than the message holds.
+    BadCount,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadLabel => write!(f, "invalid label"),
+            WireError::NameTooLong => write!(f, "name exceeds 255 octets"),
+            WireError::BadPointer => write!(f, "invalid compression pointer"),
+            WireError::BadRdata => write!(f, "malformed rdata"),
+            WireError::BadCount => write!(f, "section count mismatch"),
+        }
+    }
+}
+impl std::error::Error for WireError {}

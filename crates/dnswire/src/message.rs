@@ -1,0 +1,424 @@
+//! DNS message: header, question, resource records, full encode/decode.
+
+use crate::name::Name;
+use crate::rdata::RData;
+use crate::types::{Opcode, Rcode, RrClass, RrType};
+use crate::WireError;
+use bytes::{BufMut, BytesMut};
+use std::collections::HashMap;
+
+/// Header flag bits (everything between ID and the section counts).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Flags {
+    /// Query (false) or response (true).
+    pub qr: bool,
+    pub opcode_bits: u8,
+    /// Authoritative answer.
+    pub aa: bool,
+    /// Truncated (fell back to TCP in real deployments).
+    pub tc: bool,
+    /// Recursion desired.
+    pub rd: bool,
+    /// Recursion available.
+    pub ra: bool,
+    pub rcode_bits: u8,
+}
+
+impl Flags {
+    pub fn query(opcode: Opcode) -> Flags {
+        Flags { qr: false, opcode_bits: opcode.code(), ..Flags::default() }
+    }
+
+    pub fn response(opcode: Opcode, rcode: Rcode, authoritative: bool) -> Flags {
+        Flags {
+            qr: true,
+            opcode_bits: opcode.code(),
+            aa: authoritative,
+            rcode_bits: rcode.code(),
+            ..Flags::default()
+        }
+    }
+
+    pub fn opcode(&self) -> Opcode {
+        Opcode::from_code(self.opcode_bits)
+    }
+    pub fn rcode(&self) -> Rcode {
+        Rcode::from_code(self.rcode_bits)
+    }
+
+    pub fn to_u16(self) -> u16 {
+        (self.qr as u16) << 15
+            | ((self.opcode_bits & 0x0F) as u16) << 11
+            | (self.aa as u16) << 10
+            | (self.tc as u16) << 9
+            | (self.rd as u16) << 8
+            | (self.ra as u16) << 7
+            | (self.rcode_bits & 0x0F) as u16
+    }
+
+    pub fn from_u16(v: u16) -> Flags {
+        Flags {
+            qr: v & 0x8000 != 0,
+            opcode_bits: ((v >> 11) & 0x0F) as u8,
+            aa: v & 0x0400 != 0,
+            tc: v & 0x0200 != 0,
+            rd: v & 0x0100 != 0,
+            ra: v & 0x0080 != 0,
+            rcode_bits: (v & 0x0F) as u8,
+        }
+    }
+}
+
+/// Message header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Header {
+    pub id: u16,
+    pub flags: Flags,
+}
+
+/// A question-section entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Question {
+    pub name: Name,
+    pub rtype: RrType,
+    pub class: RrClass,
+}
+
+impl Question {
+    pub fn new(name: Name, rtype: RrType) -> Question {
+        Question { name, rtype, class: RrClass::In }
+    }
+}
+
+/// A resource record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Record {
+    pub name: Name,
+    pub class: RrClass,
+    pub ttl: u32,
+    pub rdata: RData,
+}
+
+impl Record {
+    pub fn new(name: Name, ttl: u32, rdata: RData) -> Record {
+        Record { name, class: RrClass::In, ttl, rdata }
+    }
+}
+
+/// A full DNS message.
+///
+/// ```
+/// use dnswire::{Message, RrType, Rcode, Record, RData};
+///
+/// let query = Message::query(0x1234, "example.nl".parse().unwrap(), RrType::Ns);
+/// let mut resp = Message::response_to(&query, Rcode::NoError, true);
+/// resp.answers.push(Record::new(
+///     "example.nl".parse().unwrap(),
+///     3600,
+///     RData::Ns("ns1.example.nl".parse().unwrap()),
+/// ));
+/// let wire = resp.encode();
+/// assert_eq!(Message::decode(&wire).unwrap(), resp);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Message {
+    pub header: Header,
+    pub questions: Vec<Question>,
+    pub answers: Vec<Record>,
+    pub authorities: Vec<Record>,
+    pub additionals: Vec<Record>,
+}
+
+impl Message {
+    /// Build a standard query (single question, RD clear — the explicit NS
+    /// queries OpenINTEL sends to authoritatives are non-recursive).
+    pub fn query(id: u16, name: Name, rtype: RrType) -> Message {
+        Message {
+            header: Header { id, flags: Flags::query(Opcode::Query) },
+            questions: vec![Question::new(name, rtype)],
+            ..Message::default()
+        }
+    }
+
+    /// Build a response echoing `query`'s ID and question.
+    pub fn response_to(query: &Message, rcode: Rcode, authoritative: bool) -> Message {
+        Message {
+            header: Header {
+                id: query.header.id,
+                flags: Flags::response(query.header.flags.opcode(), rcode, authoritative),
+            },
+            questions: query.questions.clone(),
+            ..Message::default()
+        }
+    }
+
+    pub fn rcode(&self) -> Rcode {
+        self.header.flags.rcode()
+    }
+
+    /// Encode to wire format with name compression.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(512);
+        let mut table: HashMap<Name, u16> = HashMap::new();
+        buf.put_u16(self.header.id);
+        buf.put_u16(self.header.flags.to_u16());
+        buf.put_u16(self.questions.len() as u16);
+        buf.put_u16(self.answers.len() as u16);
+        buf.put_u16(self.authorities.len() as u16);
+        buf.put_u16(self.additionals.len() as u16);
+        for q in &self.questions {
+            q.name.encode_compressed(&mut buf, &mut table, 0);
+            buf.put_u16(q.rtype.code());
+            buf.put_u16(q.class.code());
+        }
+        for r in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
+            r.name.encode_compressed(&mut buf, &mut table, 0);
+            buf.put_u16(r.rdata.rtype().code());
+            buf.put_u16(r.class.code());
+            buf.put_u32(r.ttl);
+            // Reserve RDLENGTH, encode RDATA, then patch the length in.
+            let len_at = buf.len();
+            buf.put_u16(0);
+            let body_at = buf.len();
+            r.rdata.encode(&mut buf, &mut table, 0);
+            let rdlen = (buf.len() - body_at) as u16;
+            buf[len_at..len_at + 2].copy_from_slice(&rdlen.to_be_bytes());
+        }
+        buf.to_vec()
+    }
+
+    /// Decode from wire format.
+    pub fn decode(msg: &[u8]) -> Result<Message, WireError> {
+        if msg.len() < 12 {
+            return Err(WireError::Truncated);
+        }
+        let u16_at =
+            |i: usize| u16::from_be_bytes([msg[i], msg[i + 1]]);
+        let header = Header { id: u16_at(0), flags: Flags::from_u16(u16_at(2)) };
+        let qd = u16_at(4) as usize;
+        let an = u16_at(6) as usize;
+        let ns = u16_at(8) as usize;
+        let ar = u16_at(10) as usize;
+        let mut pos = 12;
+        let mut questions = Vec::with_capacity(qd);
+        for _ in 0..qd {
+            let name = Name::decode(msg, &mut pos)?;
+            if pos + 4 > msg.len() {
+                return Err(WireError::Truncated);
+            }
+            let rtype = RrType::from_code(u16::from_be_bytes([msg[pos], msg[pos + 1]]));
+            let class = RrClass::from_code(u16::from_be_bytes([msg[pos + 2], msg[pos + 3]]));
+            pos += 4;
+            questions.push(Question { name, rtype, class });
+        }
+        let decode_section = |count: usize, pos: &mut usize| -> Result<Vec<Record>, WireError> {
+            let mut out = Vec::with_capacity(count);
+            for _ in 0..count {
+                let name = Name::decode(msg, pos)?;
+                if *pos + 10 > msg.len() {
+                    return Err(WireError::Truncated);
+                }
+                let rtype = RrType::from_code(u16::from_be_bytes([msg[*pos], msg[*pos + 1]]));
+                let class =
+                    RrClass::from_code(u16::from_be_bytes([msg[*pos + 2], msg[*pos + 3]]));
+                let ttl = u32::from_be_bytes([
+                    msg[*pos + 4],
+                    msg[*pos + 5],
+                    msg[*pos + 6],
+                    msg[*pos + 7],
+                ]);
+                let rdlen = u16::from_be_bytes([msg[*pos + 8], msg[*pos + 9]]) as usize;
+                *pos += 10;
+                let rdata = RData::decode(msg, pos, rtype, rdlen)?;
+                out.push(Record { name, class, ttl, rdata });
+            }
+            Ok(out)
+        };
+        let answers = decode_section(an, &mut pos)?;
+        let authorities = decode_section(ns, &mut pos)?;
+        let additionals = decode_section(ar, &mut pos)?;
+        Ok(Message { header, questions, answers, authorities, additionals })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn flags_bit_layout() {
+        let f = Flags::response(Opcode::Query, Rcode::ServFail, true);
+        let v = f.to_u16();
+        assert_eq!(v & 0x8000, 0x8000, "QR set");
+        assert_eq!(v & 0x0400, 0x0400, "AA set");
+        assert_eq!(v & 0x000F, 2, "rcode SERVFAIL");
+        assert_eq!(Flags::from_u16(v), f);
+    }
+
+    #[test]
+    fn flags_roundtrip_exhaustive() {
+        // All 16-bit patterns survive from_u16 → to_u16 modulo the Z bits
+        // (bits 4-6) which this implementation doesn't store.
+        for v in 0..=u16::MAX {
+            let f = Flags::from_u16(v);
+            assert_eq!(f.to_u16(), v & !0x0070);
+        }
+    }
+
+    #[test]
+    fn query_shape() {
+        let q = Message::query(0x1234, n("example.nl"), RrType::Ns);
+        assert_eq!(q.header.id, 0x1234);
+        assert!(!q.header.flags.qr);
+        assert!(!q.header.flags.rd, "explicit NS queries are non-recursive");
+        assert_eq!(q.questions.len(), 1);
+        assert_eq!(q.questions[0].rtype, RrType::Ns);
+    }
+
+    #[test]
+    fn response_echoes_id_and_question() {
+        let q = Message::query(7, n("mil.ru"), RrType::Ns);
+        let r = Message::response_to(&q, Rcode::NoError, true);
+        assert_eq!(r.header.id, 7);
+        assert!(r.header.flags.qr);
+        assert!(r.header.flags.aa);
+        assert_eq!(r.questions, q.questions);
+        assert_eq!(r.rcode(), Rcode::NoError);
+    }
+
+    #[test]
+    fn encode_decode_query() {
+        let q = Message::query(42, n("www.example.com"), RrType::A);
+        let wire = q.encode();
+        assert_eq!(Message::decode(&wire).unwrap(), q);
+    }
+
+    #[test]
+    fn encode_decode_full_response() {
+        let q = Message::query(99, n("transip.nl"), RrType::Ns);
+        let mut r = Message::response_to(&q, Rcode::NoError, true);
+        r.answers.push(Record::new(n("transip.nl"), 3600, RData::Ns(n("ns0.transip.nl"))));
+        r.answers.push(Record::new(n("transip.nl"), 3600, RData::Ns(n("ns1.transip.nl"))));
+        r.answers.push(Record::new(n("transip.nl"), 3600, RData::Ns(n("ns2.transip.net"))));
+        r.additionals.push(Record::new(
+            n("ns0.transip.nl"),
+            3600,
+            RData::A("195.135.195.195".parse().unwrap()),
+        ));
+        let wire = r.encode();
+        let back = Message::decode(&wire).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn compression_shrinks_repeated_names() {
+        let q = Message::query(1, n("transip.nl"), RrType::Ns);
+        let mut r = Message::response_to(&q, Rcode::NoError, true);
+        for i in 0..3 {
+            r.answers.push(Record::new(
+                n("transip.nl"),
+                3600,
+                RData::Ns(n(&format!("ns{i}.transip.nl"))),
+            ));
+        }
+        let wire = r.encode();
+        // Uncompressed, "transip.nl" (12 bytes) appears 7 times (1 question
+        // + 3 owners + inside 3 NS targets) = 84 bytes of names alone.
+        // With compression the whole message stays well under that.
+        assert!(wire.len() < 100, "got {} bytes", wire.len());
+        assert_eq!(Message::decode(&wire).unwrap(), r);
+    }
+
+    #[test]
+    fn decode_truncated_header() {
+        assert_eq!(Message::decode(&[0u8; 5]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn decode_count_overrun() {
+        // Header claims one question but the message body is empty.
+        let mut wire = Message::query(1, n("a.b"), RrType::A).encode();
+        wire.truncate(13);
+        assert_eq!(Message::decode(&wire), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn servfail_response_roundtrip() {
+        let q = Message::query(3, n("euskaltel.example"), RrType::Ns);
+        let r = Message::response_to(&q, Rcode::ServFail, false);
+        let back = Message::decode(&r.encode()).unwrap();
+        assert_eq!(back.rcode(), Rcode::ServFail);
+        assert!(!back.header.flags.aa);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::net::Ipv4Addr;
+
+    fn arb_name() -> impl Strategy<Value = Name> {
+        prop::collection::vec("[a-z0-9]{1,12}", 1..5)
+            .prop_map(|ls| Name::from_labels(ls.iter().map(|s| s.as_bytes())).unwrap())
+    }
+
+    fn arb_rdata() -> impl Strategy<Value = RData> {
+        prop_oneof![
+            any::<u32>().prop_map(|v| RData::A(Ipv4Addr::from(v))),
+            any::<[u8; 16]>().prop_map(|o| RData::Aaaa(o.into())),
+            arb_name().prop_map(RData::Ns),
+            arb_name().prop_map(RData::Cname),
+            (any::<u16>(), arb_name())
+                .prop_map(|(preference, exchange)| RData::Mx { preference, exchange }),
+            prop::collection::vec(prop::collection::vec(any::<u8>(), 0..40), 1..4)
+                .prop_map(RData::Txt),
+        ]
+    }
+
+    fn arb_record() -> impl Strategy<Value = Record> {
+        (arb_name(), any::<u32>(), arb_rdata())
+            .prop_map(|(name, ttl, rdata)| Record::new(name, ttl, rdata))
+    }
+
+    proptest! {
+        #[test]
+        fn message_roundtrip(
+            id in any::<u16>(),
+            qname in arb_name(),
+            answers in prop::collection::vec(arb_record(), 0..8),
+            authorities in prop::collection::vec(arb_record(), 0..4),
+        ) {
+            let mut m = Message::query(id, qname, RrType::Ns);
+            m.header.flags.qr = true;
+            m.answers = answers;
+            m.authorities = authorities;
+            let wire = m.encode();
+            let back = Message::decode(&wire).unwrap();
+            prop_assert_eq!(back, m);
+        }
+
+        #[test]
+        fn decode_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+            let _ = Message::decode(&bytes);
+        }
+
+        #[test]
+        fn truncating_valid_message_never_panics(
+            qname in arb_name(),
+            answers in prop::collection::vec(arb_record(), 0..6),
+            frac in 0.0f64..1.0,
+        ) {
+            let mut m = Message::query(1, qname, RrType::Ns);
+            m.header.flags.qr = true;
+            m.answers = answers;
+            let wire = m.encode();
+            let cut = (wire.len() as f64 * frac) as usize;
+            let _ = Message::decode(&wire[..cut]);
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Typed RDATA for the record types the study manipulates.
+
+use crate::name::Name;
+use crate::types::RrType;
+use crate::WireError;
+use bytes::{BufMut, BytesMut};
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Decoded RDATA. `Opaque` preserves anything not modeled structurally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RData {
+    A(Ipv4Addr),
+    Aaaa(Ipv6Addr),
+    Ns(Name),
+    Cname(Name),
+    Ptr(Name),
+    Mx { preference: u16, exchange: Name },
+    Txt(Vec<Vec<u8>>),
+    Soa {
+        mname: Name,
+        rname: Name,
+        serial: u32,
+        refresh: u32,
+        retry: u32,
+        expire: u32,
+        minimum: u32,
+    },
+    Opaque { rtype: u16, data: Vec<u8> },
+}
+
+impl RData {
+    /// The record type this RDATA belongs to.
+    pub fn rtype(&self) -> RrType {
+        match self {
+            RData::A(_) => RrType::A,
+            RData::Aaaa(_) => RrType::Aaaa,
+            RData::Ns(_) => RrType::Ns,
+            RData::Cname(_) => RrType::Cname,
+            RData::Ptr(_) => RrType::Ptr,
+            RData::Mx { .. } => RrType::Mx,
+            RData::Txt(_) => RrType::Txt,
+            RData::Soa { .. } => RrType::Soa,
+            RData::Opaque { rtype, .. } => RrType::from_code(*rtype),
+        }
+    }
+
+    /// Encode the RDATA body (without the RDLENGTH prefix). Names inside
+    /// RDATA of NS/CNAME/PTR/MX/SOA may be compressed per RFC 1035 §3.3.
+    pub fn encode(&self, buf: &mut BytesMut, table: &mut HashMap<Name, u16>, base: usize) {
+        match self {
+            RData::A(a) => buf.put_slice(&a.octets()),
+            RData::Aaaa(a) => buf.put_slice(&a.octets()),
+            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => {
+                n.encode_compressed(buf, table, base)
+            }
+            RData::Mx { preference, exchange } => {
+                buf.put_u16(*preference);
+                exchange.encode_compressed(buf, table, base);
+            }
+            RData::Txt(strings) => {
+                for s in strings {
+                    buf.put_u8(s.len() as u8);
+                    buf.put_slice(s);
+                }
+            }
+            RData::Soa { mname, rname, serial, refresh, retry, expire, minimum } => {
+                mname.encode_compressed(buf, table, base);
+                rname.encode_compressed(buf, table, base);
+                buf.put_u32(*serial);
+                buf.put_u32(*refresh);
+                buf.put_u32(*retry);
+                buf.put_u32(*expire);
+                buf.put_u32(*minimum);
+            }
+            RData::Opaque { data, .. } => buf.put_slice(data),
+        }
+    }
+
+    /// Decode RDATA of type `rtype` occupying `msg[*pos .. *pos + rdlen]`.
+    /// `msg` is the whole message (for compression pointers).
+    pub fn decode(
+        msg: &[u8],
+        pos: &mut usize,
+        rtype: RrType,
+        rdlen: usize,
+    ) -> Result<RData, WireError> {
+        let start = *pos;
+        let end = start + rdlen;
+        if end > msg.len() {
+            return Err(WireError::Truncated);
+        }
+        let out = match rtype {
+            RrType::A => {
+                if rdlen != 4 {
+                    return Err(WireError::BadRdata);
+                }
+                RData::A(Ipv4Addr::new(msg[start], msg[start + 1], msg[start + 2], msg[start + 3]))
+            }
+            RrType::Aaaa => {
+                if rdlen != 16 {
+                    return Err(WireError::BadRdata);
+                }
+                let mut o = [0u8; 16];
+                o.copy_from_slice(&msg[start..end]);
+                RData::Aaaa(Ipv6Addr::from(o))
+            }
+            RrType::Ns | RrType::Cname | RrType::Ptr => {
+                let mut p = start;
+                let name = Name::decode(msg, &mut p)?;
+                if p > end {
+                    return Err(WireError::BadRdata);
+                }
+                match rtype {
+                    RrType::Ns => RData::Ns(name),
+                    RrType::Cname => RData::Cname(name),
+                    _ => RData::Ptr(name),
+                }
+            }
+            RrType::Mx => {
+                if rdlen < 3 {
+                    return Err(WireError::BadRdata);
+                }
+                let preference = u16::from_be_bytes([msg[start], msg[start + 1]]);
+                let mut p = start + 2;
+                let exchange = Name::decode(msg, &mut p)?;
+                if p > end {
+                    return Err(WireError::BadRdata);
+                }
+                RData::Mx { preference, exchange }
+            }
+            RrType::Txt => {
+                let mut strings = Vec::new();
+                let mut p = start;
+                while p < end {
+                    let l = msg[p] as usize;
+                    p += 1;
+                    if p + l > end {
+                        return Err(WireError::BadRdata);
+                    }
+                    strings.push(msg[p..p + l].to_vec());
+                    p += l;
+                }
+                RData::Txt(strings)
+            }
+            RrType::Soa => {
+                let mut p = start;
+                let mname = Name::decode(msg, &mut p)?;
+                let rname = Name::decode(msg, &mut p)?;
+                if p + 20 > end {
+                    return Err(WireError::BadRdata);
+                }
+                let u32_at = |q: usize| {
+                    u32::from_be_bytes([msg[q], msg[q + 1], msg[q + 2], msg[q + 3]])
+                };
+                RData::Soa {
+                    mname,
+                    rname,
+                    serial: u32_at(p),
+                    refresh: u32_at(p + 4),
+                    retry: u32_at(p + 8),
+                    expire: u32_at(p + 12),
+                    minimum: u32_at(p + 16),
+                }
+            }
+            RrType::Opt | RrType::Other(_) => {
+                RData::Opaque { rtype: rtype.code(), data: msg[start..end].to_vec() }
+            }
+        };
+        *pos = end;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn roundtrip(rd: &RData) -> RData {
+        let mut buf = BytesMut::new();
+        let mut table = HashMap::new();
+        rd.encode(&mut buf, &mut table, 0);
+        let mut pos = 0;
+        let back = RData::decode(&buf, &mut pos, rd.rtype(), buf.len()).unwrap();
+        assert_eq!(pos, buf.len());
+        back
+    }
+
+    #[test]
+    fn a_roundtrip() {
+        let rd = RData::A("192.0.2.1".parse().unwrap());
+        assert_eq!(roundtrip(&rd), rd);
+        assert_eq!(rd.rtype(), RrType::A);
+    }
+
+    #[test]
+    fn aaaa_roundtrip() {
+        let rd = RData::Aaaa("2001:db8::1".parse().unwrap());
+        assert_eq!(roundtrip(&rd), rd);
+    }
+
+    #[test]
+    fn ns_roundtrip() {
+        let rd = RData::Ns(n("ns1.transip.nl"));
+        assert_eq!(roundtrip(&rd), rd);
+    }
+
+    #[test]
+    fn mx_roundtrip() {
+        let rd = RData::Mx { preference: 10, exchange: n("mail.example.com") };
+        assert_eq!(roundtrip(&rd), rd);
+    }
+
+    #[test]
+    fn txt_roundtrip_multi_string() {
+        let rd = RData::Txt(vec![b"hello".to_vec(), b"world".to_vec(), vec![]]);
+        assert_eq!(roundtrip(&rd), rd);
+    }
+
+    #[test]
+    fn soa_roundtrip() {
+        let rd = RData::Soa {
+            mname: n("ns0.example.com"),
+            rname: n("hostmaster.example.com"),
+            serial: 20_220_331,
+            refresh: 7200,
+            retry: 3600,
+            expire: 1_209_600,
+            minimum: 300,
+        };
+        assert_eq!(roundtrip(&rd), rd);
+    }
+
+    #[test]
+    fn opaque_roundtrip() {
+        let rd = RData::Opaque { rtype: 99, data: vec![1, 2, 3, 4] };
+        assert_eq!(roundtrip(&rd), rd);
+        assert_eq!(rd.rtype(), RrType::Other(99));
+    }
+
+    #[test]
+    fn a_wrong_length_rejected() {
+        let bytes = [1, 2, 3];
+        let mut pos = 0;
+        assert_eq!(
+            RData::decode(&bytes, &mut pos, RrType::A, 3),
+            Err(WireError::BadRdata)
+        );
+    }
+
+    #[test]
+    fn truncated_rdata_rejected() {
+        let bytes = [1, 2];
+        let mut pos = 0;
+        assert_eq!(
+            RData::decode(&bytes, &mut pos, RrType::A, 4),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn txt_bad_length_byte_rejected() {
+        // Length byte says 5 but only 2 bytes remain.
+        let bytes = [5u8, b'a', b'b'];
+        let mut pos = 0;
+        assert_eq!(
+            RData::decode(&bytes, &mut pos, RrType::Txt, 3),
+            Err(WireError::BadRdata)
+        );
+    }
+
+    #[test]
+    fn soa_names_may_compress_against_each_other() {
+        let rd = RData::Soa {
+            mname: n("ns1.example.com"),
+            rname: n("admin.example.com"),
+            serial: 1,
+            refresh: 2,
+            retry: 3,
+            expire: 4,
+            minimum: 5,
+        };
+        let mut buf = BytesMut::new();
+        let mut table = HashMap::new();
+        rd.encode(&mut buf, &mut table, 0);
+        // rname shares the example.com suffix: "admin" label (6) + ptr (2)
+        // instead of 17 uncompressed bytes.
+        let uncompressed = n("ns1.example.com").encoded_len()
+            + n("admin.example.com").encoded_len()
+            + 20;
+        assert!(buf.len() < uncompressed);
+        assert_eq!(roundtrip(&rd), rd);
+    }
+}

@@ -1,0 +1,215 @@
+//! Enumerations of the DNS constants the study touches.
+
+use std::fmt;
+
+/// Resource record types.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RrType {
+    A,
+    Ns,
+    Cname,
+    Soa,
+    Ptr,
+    Mx,
+    Txt,
+    Aaaa,
+    Opt,
+    /// Any type this crate does not model structurally.
+    Other(u16),
+}
+
+impl RrType {
+    pub fn code(self) -> u16 {
+        match self {
+            RrType::A => 1,
+            RrType::Ns => 2,
+            RrType::Cname => 5,
+            RrType::Soa => 6,
+            RrType::Ptr => 12,
+            RrType::Mx => 15,
+            RrType::Txt => 16,
+            RrType::Aaaa => 28,
+            RrType::Opt => 41,
+            RrType::Other(c) => c,
+        }
+    }
+
+    pub fn from_code(c: u16) -> RrType {
+        match c {
+            1 => RrType::A,
+            2 => RrType::Ns,
+            5 => RrType::Cname,
+            6 => RrType::Soa,
+            12 => RrType::Ptr,
+            15 => RrType::Mx,
+            16 => RrType::Txt,
+            28 => RrType::Aaaa,
+            41 => RrType::Opt,
+            other => RrType::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for RrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RrType::Other(c) => write!(f, "TYPE{c}"),
+            t => write!(f, "{}", format!("{t:?}").to_uppercase()),
+        }
+    }
+}
+
+/// Record classes. Only IN matters here, but the wire field is preserved.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RrClass {
+    In,
+    Ch,
+    Hs,
+    Other(u16),
+}
+
+impl RrClass {
+    pub fn code(self) -> u16 {
+        match self {
+            RrClass::In => 1,
+            RrClass::Ch => 3,
+            RrClass::Hs => 4,
+            RrClass::Other(c) => c,
+        }
+    }
+    pub fn from_code(c: u16) -> RrClass {
+        match c {
+            1 => RrClass::In,
+            3 => RrClass::Ch,
+            4 => RrClass::Hs,
+            other => RrClass::Other(other),
+        }
+    }
+}
+
+/// Query opcodes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Opcode {
+    Query,
+    Status,
+    Notify,
+    Update,
+    Other(u8),
+}
+
+impl Opcode {
+    pub fn code(self) -> u8 {
+        match self {
+            Opcode::Query => 0,
+            Opcode::Status => 2,
+            Opcode::Notify => 4,
+            Opcode::Update => 5,
+            Opcode::Other(c) => c & 0x0F,
+        }
+    }
+    pub fn from_code(c: u8) -> Opcode {
+        match c & 0x0F {
+            0 => Opcode::Query,
+            2 => Opcode::Status,
+            4 => Opcode::Notify,
+            5 => Opcode::Update,
+            other => Opcode::Other(other),
+        }
+    }
+}
+
+/// Response codes. OpenINTEL's status column collapses these (plus
+/// timeouts, which never make it onto the wire) into its OK / SERVFAIL /
+/// TIMEOUT taxonomy.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Rcode {
+    NoError,
+    FormErr,
+    ServFail,
+    NxDomain,
+    NotImp,
+    Refused,
+    Other(u8),
+}
+
+impl Rcode {
+    pub fn code(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::Other(c) => c & 0x0F,
+        }
+    }
+    pub fn from_code(c: u8) -> Rcode {
+        match c & 0x0F {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            other => Rcode::Other(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rrtype_roundtrip() {
+        for t in [
+            RrType::A,
+            RrType::Ns,
+            RrType::Cname,
+            RrType::Soa,
+            RrType::Ptr,
+            RrType::Mx,
+            RrType::Txt,
+            RrType::Aaaa,
+            RrType::Opt,
+            RrType::Other(999),
+        ] {
+            assert_eq!(RrType::from_code(t.code()), t);
+        }
+        assert_eq!(RrType::from_code(2), RrType::Ns);
+        assert_eq!(RrType::A.code(), 1);
+        assert_eq!(RrType::Aaaa.code(), 28);
+    }
+
+    #[test]
+    fn class_roundtrip() {
+        for c in [RrClass::In, RrClass::Ch, RrClass::Hs, RrClass::Other(250)] {
+            assert_eq!(RrClass::from_code(c.code()), c);
+        }
+    }
+
+    #[test]
+    fn opcode_roundtrip_and_masking() {
+        for o in [Opcode::Query, Opcode::Status, Opcode::Notify, Opcode::Update] {
+            assert_eq!(Opcode::from_code(o.code()), o);
+        }
+        // High bits are masked off.
+        assert_eq!(Opcode::from_code(0xF0), Opcode::Query);
+    }
+
+    #[test]
+    fn rcode_roundtrip() {
+        for r in [
+            Rcode::NoError,
+            Rcode::FormErr,
+            Rcode::ServFail,
+            Rcode::NxDomain,
+            Rcode::NotImp,
+            Rcode::Refused,
+            Rcode::Other(9),
+        ] {
+            assert_eq!(Rcode::from_code(r.code()), r);
+        }
+    }
+}

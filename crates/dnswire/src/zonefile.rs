@@ -1,0 +1,546 @@
+//! RFC 1035 master-file ("zone file") parsing.
+//!
+//! Supports the subset a DNS measurement study actually meets in the wild:
+//! `$ORIGIN` / `$TTL` directives, `@`, relative and absolute names,
+//! owner-name inheritance, `;` comments, parenthesized multi-line records
+//! (SOA), quoted TXT strings, and the record types this crate models.
+
+use crate::message::Record;
+use crate::name::Name;
+use crate::rdata::RData;
+use crate::types::RrClass;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Render records back to master-file text (absolute names, one record
+/// per line). `parse_zone(render_zone(r), any_origin) == r` for every
+/// record type this crate models.
+pub fn render_zone(records: &[Record]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for r in records {
+        let rdata = match &r.rdata {
+            RData::A(a) => format!("A {a}"),
+            RData::Aaaa(a) => format!("AAAA {a}"),
+            RData::Ns(n) => format!("NS {n}."),
+            RData::Cname(n) => format!("CNAME {n}."),
+            RData::Ptr(n) => format!("PTR {n}."),
+            RData::Mx { preference, exchange } => format!("MX {preference} {exchange}."),
+            RData::Txt(strings) => {
+                let parts: Vec<String> = strings
+                    .iter()
+                    .map(|s| format!("\"{}\"", String::from_utf8_lossy(s)))
+                    .collect();
+                format!("TXT {}", parts.join(" "))
+            }
+            RData::Soa { mname, rname, serial, refresh, retry, expire, minimum } => format!(
+                "SOA {mname}. {rname}. {serial} {refresh} {retry} {expire} {minimum}"
+            ),
+            // Not representable in this subset; skip the whole record.
+            RData::Opaque { .. } => continue,
+        };
+        let _ = writeln!(out, "{}. {} IN {rdata}", r.name, r.ttl);
+    }
+    out
+}
+
+/// Zone-file parse errors, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZoneError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ZoneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "zone file line {}: {}", self.line, self.message)
+    }
+}
+impl std::error::Error for ZoneError {}
+
+fn err(line: usize, message: impl Into<String>) -> ZoneError {
+    ZoneError { line, message: message.into() }
+}
+
+/// Parse a zone file into records.
+///
+/// `default_origin` seeds `$ORIGIN` (may be overridden in the file);
+/// records before any `$TTL` default to 3600 seconds.
+///
+/// ```
+/// use dnswire::zonefile::parse_zone;
+///
+/// let zone = "klant IN NS ns0.transip.net.\n";
+/// let records = parse_zone(zone, &"nl".parse().unwrap()).unwrap();
+/// assert_eq!(records[0].name, "klant.nl".parse().unwrap());
+/// ```
+pub fn parse_zone(text: &str, default_origin: &Name) -> Result<Vec<Record>, ZoneError> {
+    let mut origin = default_origin.clone();
+    let mut default_ttl: u32 = 3_600;
+    let mut last_owner: Option<Name> = None;
+    let mut records = Vec::new();
+
+    for (line_no, raw) in logical_lines(text) {
+        let tokens = tokenize(&raw, line_no)?;
+        if tokens.is_empty() {
+            continue;
+        }
+        // Directives.
+        if tokens[0].text == "$ORIGIN" {
+            let t = tokens.get(1).ok_or_else(|| err(line_no, "$ORIGIN needs a name"))?;
+            origin = parse_name(&t.text, &origin, line_no)?;
+            continue;
+        }
+        if tokens[0].text == "$TTL" {
+            let t = tokens.get(1).ok_or_else(|| err(line_no, "$TTL needs a value"))?;
+            default_ttl =
+                t.text.parse().map_err(|_| err(line_no, format!("bad TTL '{}'", t.text)))?;
+            continue;
+        }
+
+        // Owner: present only if the line does not start with whitespace.
+        let mut idx = 0;
+        let owner = if tokens[0].at_line_start {
+            idx = 1;
+            let o = parse_name(&tokens[0].text, &origin, line_no)?;
+            last_owner = Some(o.clone());
+            o
+        } else {
+            last_owner
+                .clone()
+                .ok_or_else(|| err(line_no, "record has no owner and none precedes it"))?
+        };
+
+        // Optional TTL and class, in either order.
+        let mut ttl = default_ttl;
+        let mut _class = RrClass::In;
+        for _ in 0..2 {
+            let Some(tok) = tokens.get(idx) else { break };
+            if let Ok(v) = tok.text.parse::<u32>() {
+                ttl = v;
+                idx += 1;
+            } else if tok.text.eq_ignore_ascii_case("IN") {
+                _class = RrClass::In;
+                idx += 1;
+            } else {
+                break;
+            }
+        }
+
+        let rtype_tok =
+            tokens.get(idx).ok_or_else(|| err(line_no, "missing record type"))?;
+        let rd_tokens: Vec<&Token> = tokens[idx + 1..].iter().collect();
+        let rdata = parse_rdata(&rtype_tok.text, &rd_tokens, &origin, line_no)?;
+        records.push(Record { name: owner, class: RrClass::In, ttl, rdata });
+    }
+    Ok(records)
+}
+
+/// Join parenthesized continuations into logical lines, tagging each with
+/// its starting line number. Strips comments.
+fn logical_lines(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    let mut start_line = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let stripped = strip_comment(line);
+        if depth == 0 {
+            start_line = i + 1;
+            current.clear();
+        } else {
+            current.push(' ');
+        }
+        for c in stripped.chars() {
+            match c {
+                '(' => {
+                    depth += 1;
+                }
+                ')' => {
+                    depth = depth.saturating_sub(1);
+                }
+                _ => current.push(c),
+            }
+        }
+        if depth == 0 && !current.trim().is_empty() {
+            out.push((start_line, current.clone()));
+            current.clear();
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push((start_line, current));
+    }
+    out
+}
+
+fn strip_comment(line: &str) -> String {
+    let mut out = String::new();
+    let mut in_quotes = false;
+    for c in line.chars() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                out.push(c);
+            }
+            ';' if !in_quotes => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+struct Token {
+    text: String,
+    at_line_start: bool,
+}
+
+fn tokenize(line: &str, line_no: usize) -> Result<Vec<Token>, ZoneError> {
+    let mut out: Vec<Token> = Vec::new();
+    let mut chars = line.chars().peekable();
+    let starts_with_space =
+        line.starts_with(' ') || line.starts_with('\t');
+    let mut first = true;
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+            continue;
+        }
+        let mut tok = String::new();
+        if c == '"' {
+            chars.next();
+            let mut closed = false;
+            for c in chars.by_ref() {
+                if c == '"' {
+                    closed = true;
+                    break;
+                }
+                tok.push(c);
+            }
+            if !closed {
+                return Err(err(line_no, "unterminated quoted string"));
+            }
+            out.push(Token { text: format!("\"{tok}"), at_line_start: false });
+            first = false;
+            continue;
+        }
+        while let Some(&c) = chars.peek() {
+            if c.is_whitespace() {
+                break;
+            }
+            tok.push(c);
+            chars.next();
+        }
+        out.push(Token { text: tok, at_line_start: first && !starts_with_space });
+        first = false;
+    }
+    Ok(out)
+}
+
+fn parse_name(text: &str, origin: &Name, line_no: usize) -> Result<Name, ZoneError> {
+    if text == "@" {
+        return Ok(origin.clone());
+    }
+    if let Some(absolute) = text.strip_suffix('.') {
+        return absolute
+            .parse()
+            .map_err(|e| err(line_no, format!("bad name '{text}': {e}")));
+    }
+    // Relative: append the origin.
+    let rel: Name =
+        text.parse().map_err(|e| err(line_no, format!("bad name '{text}': {e}")))?;
+    let mut labels: Vec<Vec<u8>> = rel.labels().to_vec();
+    labels.extend(origin.labels().iter().cloned());
+    Name::from_labels(labels).map_err(|e| err(line_no, format!("name too long '{text}': {e}")))
+}
+
+fn parse_rdata(
+    rtype: &str,
+    toks: &[&Token],
+    origin: &Name,
+    line_no: usize,
+) -> Result<RData, ZoneError> {
+    let need = |i: usize| -> Result<&str, ZoneError> {
+        toks.get(i)
+            .map(|t| t.text.as_str())
+            .ok_or_else(|| err(line_no, format!("{rtype} record is missing fields")))
+    };
+    match rtype.to_ascii_uppercase().as_str() {
+        "A" => {
+            let a: Ipv4Addr =
+                need(0)?.parse().map_err(|_| err(line_no, "bad IPv4 address"))?;
+            Ok(RData::A(a))
+        }
+        "AAAA" => {
+            let a: Ipv6Addr =
+                need(0)?.parse().map_err(|_| err(line_no, "bad IPv6 address"))?;
+            Ok(RData::Aaaa(a))
+        }
+        "NS" => Ok(RData::Ns(parse_name(need(0)?, origin, line_no)?)),
+        "CNAME" => Ok(RData::Cname(parse_name(need(0)?, origin, line_no)?)),
+        "PTR" => Ok(RData::Ptr(parse_name(need(0)?, origin, line_no)?)),
+        "MX" => {
+            let preference =
+                need(0)?.parse().map_err(|_| err(line_no, "bad MX preference"))?;
+            Ok(RData::Mx { preference, exchange: parse_name(need(1)?, origin, line_no)? })
+        }
+        "TXT" => {
+            if toks.is_empty() {
+                return Err(err(line_no, "TXT record is missing fields"));
+            }
+            let strings = toks
+                .iter()
+                .map(|t| {
+                    t.text.strip_prefix('"').unwrap_or(&t.text).as_bytes().to_vec()
+                })
+                .collect();
+            Ok(RData::Txt(strings))
+        }
+        "SOA" => {
+            let mname = parse_name(need(0)?, origin, line_no)?;
+            let rname = parse_name(need(1)?, origin, line_no)?;
+            let num = |i: usize| -> Result<u32, ZoneError> {
+                need(i)?.parse().map_err(|_| err(line_no, "bad SOA number"))
+            };
+            Ok(RData::Soa {
+                mname,
+                rname,
+                serial: num(2)?,
+                refresh: num(3)?,
+                retry: num(4)?,
+                expire: num(5)?,
+                minimum: num(6)?,
+            })
+        }
+        other => Err(err(line_no, format!("unsupported record type '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::RrType;
+
+    fn origin() -> Name {
+        "example.nl".parse().unwrap()
+    }
+
+    #[test]
+    fn minimal_zone() {
+        let z = "\
+$TTL 300
+@   IN NS  ns0.transip.net.
+    IN NS  ns1.transip.nl.
+www IN A   192.0.2.10
+";
+        let records = parse_zone(z, &origin()).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].name, origin());
+        assert_eq!(records[0].ttl, 300);
+        assert_eq!(records[0].rdata, RData::Ns("ns0.transip.net".parse().unwrap()));
+        // Owner inherited for the second NS.
+        assert_eq!(records[1].name, origin());
+        // Relative owner gets the origin appended.
+        assert_eq!(records[2].name, "www.example.nl".parse::<Name>().unwrap());
+        assert_eq!(records[2].rdata, RData::A("192.0.2.10".parse().unwrap()));
+    }
+
+    #[test]
+    fn origin_directive_and_comments() {
+        let z = "\
+; the delegation lives under a different origin
+$ORIGIN klant.nl.
+$TTL 3600
+@  IN NS ns0.transip.net. ; primary
+@  IN NS ns1              ; relative target → ns1.klant.nl
+";
+        let records = parse_zone(z, &origin()).unwrap();
+        assert_eq!(records[0].name, "klant.nl".parse::<Name>().unwrap());
+        assert_eq!(records[1].rdata, RData::Ns("ns1.klant.nl".parse().unwrap()));
+    }
+
+    #[test]
+    fn soa_with_parentheses() {
+        let z = "\
+@ 3600 IN SOA ns0.transip.net. hostmaster.transip.nl. (
+        2022033101 ; serial
+        14400      ; refresh
+        3600       ; retry
+        604800     ; expire
+        300 )      ; minimum
+";
+        let records = parse_zone(z, &origin()).unwrap();
+        assert_eq!(records.len(), 1);
+        match &records[0].rdata {
+            RData::Soa { serial, refresh, retry, expire, minimum, .. } => {
+                assert_eq!(*serial, 2022033101);
+                assert_eq!(*refresh, 14400);
+                assert_eq!(*retry, 3600);
+                assert_eq!(*expire, 604800);
+                assert_eq!(*minimum, 300);
+            }
+            other => panic!("expected SOA, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn txt_with_quotes_and_semicolons() {
+        let z = r#"@ IN TXT "v=spf1 include:_spf.example.nl; -all" "second""#;
+        let records = parse_zone(z, &origin()).unwrap();
+        match &records[0].rdata {
+            RData::Txt(strings) => {
+                assert_eq!(strings.len(), 2);
+                assert_eq!(
+                    String::from_utf8_lossy(&strings[0]),
+                    "v=spf1 include:_spf.example.nl; -all"
+                );
+            }
+            other => panic!("expected TXT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mx_aaaa_cname() {
+        let z = "\
+@    IN MX    10 mail
+mail IN AAAA  2001:db8::25
+web  IN CNAME www.example.nl.
+";
+        let records = parse_zone(z, &origin()).unwrap();
+        assert_eq!(
+            records[0].rdata,
+            RData::Mx { preference: 10, exchange: "mail.example.nl".parse().unwrap() }
+        );
+        assert_eq!(records[1].rdata.rtype(), RrType::Aaaa);
+        assert_eq!(records[2].rdata, RData::Cname("www.example.nl".parse().unwrap()));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_zone("@ IN A not-an-ip\n", &origin()).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("IPv4"));
+        let e = parse_zone("\n\n@ IN BOGUS x\n", &origin()).unwrap_err();
+        assert_eq!(e.line, 3);
+        let e = parse_zone("  IN A 1.2.3.4\n", &origin()).unwrap_err();
+        assert!(e.message.contains("no owner"), "{e}");
+    }
+
+    #[test]
+    fn zone_records_encode_on_the_wire() {
+        // Everything the parser emits must survive a message round-trip.
+        let z = "\
+$TTL 60
+@   IN SOA ns0.example.nl. admin.example.nl. 1 2 3 4 5
+@   IN NS  ns0
+ns0 IN A   192.0.2.1
+@   IN MX  5 mail
+@   IN TXT \"hello world\"
+";
+        let records = parse_zone(z, &origin()).unwrap();
+        let mut msg = crate::message::Message::query(1, origin(), RrType::Soa);
+        msg.header.flags.qr = true;
+        msg.answers = records;
+        let back = crate::message::Message::decode(&msg.encode()).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn ttl_and_class_in_either_order() {
+        let z = "\
+a IN 120 A 192.0.2.1
+b 120 IN A 192.0.2.2
+c A 192.0.2.3
+";
+        let records = parse_zone(z, &origin()).unwrap();
+        assert_eq!(records[0].ttl, 120);
+        assert_eq!(records[1].ttl, 120);
+        assert_eq!(records[2].ttl, 3_600, "default TTL");
+    }
+}
+
+#[cfg(test)]
+mod render_tests {
+    use super::*;
+    use crate::types::RrType;
+
+    #[test]
+    fn render_parse_roundtrip_handwritten() {
+        let z = "\
+$TTL 60
+@   IN SOA ns0.example.nl. admin.example.nl. 1 2 3 4 5
+@   IN NS  ns0
+ns0 IN A   192.0.2.1
+@   IN MX  5 mail
+@   IN TXT \"hello world\"
+mail IN AAAA 2001:db8::25
+alias IN CNAME www
+";
+        let origin: Name = "example.nl".parse().unwrap();
+        let records = parse_zone(z, &origin).unwrap();
+        let rendered = render_zone(&records);
+        let back = parse_zone(&rendered, &"other.origin".parse().unwrap()).unwrap();
+        assert_eq!(back, records, "rendered:\n{rendered}");
+    }
+
+    #[test]
+    fn opaque_records_are_skipped() {
+        let records = vec![Record {
+            name: "x.example".parse().unwrap(),
+            class: RrClass::In,
+            ttl: 60,
+            rdata: RData::Opaque { rtype: RrType::Opt.code(), data: vec![1, 2] },
+        }];
+        assert!(render_zone(&records).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_name() -> impl Strategy<Value = Name> {
+        prop::collection::vec("[a-z0-9]{1,10}", 1..4)
+            .prop_map(|ls| Name::from_labels(ls.iter().map(|s| s.as_bytes())).unwrap())
+    }
+
+    fn arb_record() -> impl Strategy<Value = Record> {
+        let rdata = prop_oneof![
+            any::<u32>().prop_map(|v| RData::A(std::net::Ipv4Addr::from(v))),
+            any::<[u8; 16]>().prop_map(|o| RData::Aaaa(o.into())),
+            arb_name().prop_map(RData::Ns),
+            arb_name().prop_map(RData::Cname),
+            (any::<u16>(), arb_name())
+                .prop_map(|(preference, exchange)| RData::Mx { preference, exchange }),
+            prop::collection::vec("[a-zA-Z0-9 .:=_-]{0,30}", 1..3)
+                .prop_map(|ss| RData::Txt(ss.into_iter().map(|s| s.into_bytes()).collect())),
+            (arb_name(), arb_name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
+                .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| RData::Soa {
+                    mname, rname, serial, refresh, retry, expire, minimum,
+                }),
+        ];
+        (arb_name(), any::<u32>(), rdata).prop_map(|(name, ttl, rdata)| Record {
+            name,
+            class: RrClass::In,
+            ttl,
+            rdata,
+        })
+    }
+
+    proptest! {
+        /// Every record set survives render → parse exactly.
+        #[test]
+        fn render_parse_roundtrip(records in prop::collection::vec(arb_record(), 1..12)) {
+            let text = render_zone(&records);
+            let origin: Name = "unrelated.test".parse().unwrap();
+            let back = parse_zone(&text, &origin).unwrap();
+            prop_assert_eq!(back, records);
+        }
+
+        /// The parser never panics on arbitrary input.
+        #[test]
+        fn parse_arbitrary_text_never_panics(text in "[ -~\n\t]{0,400}") {
+            let origin: Name = "fuzz.test".parse().unwrap();
+            let _ = parse_zone(&text, &origin);
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! A binary (unibit) prefix trie with longest-prefix-match lookup.
+//!
+//! This is the structure behind the [`crate::registry::Prefix2As`] table and
+//! the telescope's "is this address inside the darknet?" test. Simplicity
+//! over raw speed: one node per bit, arena-allocated, no path compression —
+//! at the scale of this simulation (tens of thousands of routes) lookups are
+//! tens of nanoseconds.
+
+use crate::net::Ipv4Net;
+use std::net::Ipv4Addr;
+
+#[derive(Clone, Debug)]
+struct Node<V> {
+    children: [Option<u32>; 2],
+    value: Option<V>,
+}
+
+impl<V> Node<V> {
+    fn new() -> Node<V> {
+        Node { children: [None, None], value: None }
+    }
+}
+
+/// A map from IPv4 prefixes to values with longest-prefix-match semantics.
+///
+/// ```
+/// use netbase::PrefixTrie;
+///
+/// let mut trie = PrefixTrie::new();
+/// trie.insert("10.0.0.0/8".parse().unwrap(), "aggregate");
+/// trie.insert("10.1.0.0/16".parse().unwrap(), "customer");
+/// let ip = "10.1.2.3".parse().unwrap();
+/// assert_eq!(trie.lookup_value(ip), Some(&"customer"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PrefixTrie<V> {
+    nodes: Vec<Node<V>>,
+    len: usize,
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PrefixTrie<V> {
+    pub fn new() -> PrefixTrie<V> {
+        PrefixTrie { nodes: vec![Node::new()], len: 0 }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a prefix, returning the previous value for that exact prefix.
+    pub fn insert(&mut self, net: Ipv4Net, value: V) -> Option<V> {
+        let mut idx = 0u32;
+        let addr = net.addr_u32();
+        for depth in 0..net.len() {
+            let bit = ((addr >> (31 - depth)) & 1) as usize;
+            idx = match self.nodes[idx as usize].children[bit] {
+                Some(c) => c,
+                None => {
+                    let c = self.nodes.len() as u32;
+                    self.nodes.push(Node::new());
+                    self.nodes[idx as usize].children[bit] = Some(c);
+                    c
+                }
+            };
+        }
+        let prev = self.nodes[idx as usize].value.replace(value);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Remove a prefix, returning its value. The trie keeps its nodes
+    /// (arena allocation); only the value slot is vacated.
+    pub fn remove(&mut self, net: Ipv4Net) -> Option<V> {
+        let mut idx = 0u32;
+        let addr = net.addr_u32();
+        for depth in 0..net.len() {
+            let bit = ((addr >> (31 - depth)) & 1) as usize;
+            idx = self.nodes[idx as usize].children[bit]?;
+        }
+        let prev = self.nodes[idx as usize].value.take();
+        if prev.is_some() {
+            self.len -= 1;
+        }
+        prev
+    }
+
+    /// Exact-match lookup of a prefix.
+    pub fn get(&self, net: Ipv4Net) -> Option<&V> {
+        let mut idx = 0u32;
+        let addr = net.addr_u32();
+        for depth in 0..net.len() {
+            let bit = ((addr >> (31 - depth)) & 1) as usize;
+            idx = self.nodes[idx as usize].children[bit]?;
+        }
+        self.nodes[idx as usize].value.as_ref()
+    }
+
+    /// Longest-prefix match for an address: the most specific covering
+    /// prefix and its value.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<(Ipv4Net, &V)> {
+        let addr = u32::from(ip);
+        let mut idx = 0u32;
+        let mut best: Option<(u8, &V)> = self.nodes[0].value.as_ref().map(|v| (0, v));
+        for depth in 0..32u8 {
+            let bit = ((addr >> (31 - depth)) & 1) as usize;
+            match self.nodes[idx as usize].children[bit] {
+                Some(c) => {
+                    idx = c;
+                    if let Some(v) = self.nodes[idx as usize].value.as_ref() {
+                        best = Some((depth + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| (Ipv4Net::new(ip, len), v))
+    }
+
+    /// Value of the longest matching prefix, if any.
+    pub fn lookup_value(&self, ip: Ipv4Addr) -> Option<&V> {
+        self.lookup(ip).map(|(_, v)| v)
+    }
+
+    /// Whether any stored prefix covers `ip`.
+    pub fn covers(&self, ip: Ipv4Addr) -> bool {
+        self.lookup_value(ip).is_some()
+    }
+
+    /// Iterate all stored `(prefix, value)` pairs in address order.
+    pub fn iter(&self) -> Vec<(Ipv4Net, &V)> {
+        let mut out = Vec::with_capacity(self.len);
+        self.walk(0, 0, 0, &mut out);
+        out
+    }
+
+    fn walk<'a>(&'a self, idx: u32, addr: u32, depth: u8, out: &mut Vec<(Ipv4Net, &'a V)>) {
+        let node = &self.nodes[idx as usize];
+        if let Some(v) = node.value.as_ref() {
+            out.push((Ipv4Net::new(Ipv4Addr::from(addr), depth), v));
+        }
+        if depth == 32 {
+            return;
+        }
+        if let Some(c) = node.children[0] {
+            self.walk(c, addr, depth + 1, out);
+        }
+        if let Some(c) = node.children[1] {
+            self.walk(c, addr | (1 << (31 - depth)), depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(s: &str) -> Ipv4Net {
+        s.parse().unwrap()
+    }
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = PrefixTrie::new();
+        t.insert(net("10.0.0.0/8"), "eight");
+        t.insert(net("10.1.0.0/16"), "sixteen");
+        t.insert(net("10.1.2.0/24"), "twentyfour");
+        assert_eq!(t.lookup_value(ip("10.1.2.3")), Some(&"twentyfour"));
+        assert_eq!(t.lookup_value(ip("10.1.3.3")), Some(&"sixteen"));
+        assert_eq!(t.lookup_value(ip("10.2.0.1")), Some(&"eight"));
+        assert_eq!(t.lookup_value(ip("11.0.0.1")), None);
+    }
+
+    #[test]
+    fn lookup_returns_matched_prefix() {
+        let mut t = PrefixTrie::new();
+        t.insert(net("192.0.2.0/24"), 1);
+        let (p, v) = t.lookup(ip("192.0.2.200")).unwrap();
+        assert_eq!(p, net("192.0.2.0/24"));
+        assert_eq!(*v, 1);
+    }
+
+    #[test]
+    fn default_route() {
+        let mut t = PrefixTrie::new();
+        t.insert(Ipv4Net::ALL, 0);
+        t.insert(net("128.0.0.0/1"), 1);
+        assert_eq!(t.lookup_value(ip("1.1.1.1")), Some(&0));
+        assert_eq!(t.lookup_value(ip("200.1.1.1")), Some(&1));
+    }
+
+    #[test]
+    fn insert_replaces_and_counts() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(net("10.0.0.0/8"), 1), None);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.insert(net("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(net("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.get(net("10.0.0.0/9")), None);
+    }
+
+    #[test]
+    fn host_routes() {
+        let mut t = PrefixTrie::new();
+        t.insert(Ipv4Net::host(ip("8.8.8.8")), "dns");
+        t.insert(net("8.8.8.0/24"), "net");
+        assert_eq!(t.lookup_value(ip("8.8.8.8")), Some(&"dns"));
+        assert_eq!(t.lookup_value(ip("8.8.8.9")), Some(&"net"));
+    }
+
+    #[test]
+    fn remove_restores_shorter_match() {
+        let mut t = PrefixTrie::new();
+        t.insert(net("10.0.0.0/8"), "eight");
+        t.insert(net("10.1.0.0/16"), "sixteen");
+        assert_eq!(t.lookup_value(ip("10.1.2.3")), Some(&"sixteen"));
+        assert_eq!(t.remove(net("10.1.0.0/16")), Some("sixteen"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup_value(ip("10.1.2.3")), Some(&"eight"));
+        // Removing again (or a never-inserted prefix) is a no-op.
+        assert_eq!(t.remove(net("10.1.0.0/16")), None);
+        assert_eq!(t.remove(net("99.0.0.0/8")), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iter_in_address_order() {
+        let mut t = PrefixTrie::new();
+        t.insert(net("20.0.0.0/8"), 2);
+        t.insert(net("10.0.0.0/8"), 1);
+        t.insert(net("10.5.0.0/16"), 3);
+        let items: Vec<(Ipv4Net, i32)> = t.iter().into_iter().map(|(n, v)| (n, *v)).collect();
+        assert_eq!(
+            items,
+            vec![(net("10.0.0.0/8"), 1), (net("10.5.0.0/16"), 3), (net("20.0.0.0/8"), 2)]
+        );
+    }
+
+    #[test]
+    fn covers_darknet_shape() {
+        // The telescope announces a /9 and a /10.
+        let mut t = PrefixTrie::new();
+        t.insert(net("44.0.0.0/9"), ());
+        t.insert(net("45.128.0.0/10"), ());
+        assert!(t.covers(ip("44.5.0.1")));
+        assert!(t.covers(ip("44.127.255.255")));
+        assert!(!t.covers(ip("44.128.0.0")));
+        assert!(t.covers(ip("45.170.3.3")));
+        assert!(!t.covers(ip("45.192.0.0")));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// LPM result must agree with a brute-force linear scan.
+        #[test]
+        fn lpm_matches_linear_scan(
+            entries in prop::collection::vec((any::<u32>(), 0u8..=32), 1..60),
+            probes in prop::collection::vec(any::<u32>(), 1..40),
+        ) {
+            let mut trie = PrefixTrie::new();
+            let mut list: Vec<(Ipv4Net, usize)> = Vec::new();
+            for (i, (addr, len)) in entries.iter().enumerate() {
+                let n = Ipv4Net::new(Ipv4Addr::from(*addr), *len);
+                trie.insert(n, i);
+                list.retain(|(p, _)| *p != n);
+                list.push((n, i));
+            }
+            for p in probes {
+                let ip = Ipv4Addr::from(p);
+                let expect = list
+                    .iter()
+                    .filter(|(n, _)| n.contains(ip))
+                    .max_by_key(|(n, _)| n.len())
+                    .map(|(_, v)| *v);
+                prop_assert_eq!(trie.lookup_value(ip).copied(), expect);
+            }
+        }
+
+        /// Every inserted prefix is exactly retrievable and iter() returns
+        /// each stored prefix exactly once, sorted.
+        #[test]
+        fn insert_get_iter_consistent(
+            entries in prop::collection::vec((any::<u32>(), 0u8..=32), 1..50),
+        ) {
+            let mut trie = PrefixTrie::new();
+            let mut reference = std::collections::BTreeMap::new();
+            for (i, (addr, len)) in entries.iter().enumerate() {
+                let n = Ipv4Net::new(Ipv4Addr::from(*addr), *len);
+                trie.insert(n, i);
+                reference.insert(n, i);
+            }
+            prop_assert_eq!(trie.len(), reference.len());
+            for (n, v) in &reference {
+                prop_assert_eq!(trie.get(*n), Some(v));
+            }
+            let items: Vec<(Ipv4Net, usize)> =
+                trie.iter().into_iter().map(|(n, v)| (n, *v)).collect();
+            let expect: Vec<(Ipv4Net, usize)> =
+                reference.into_iter().collect();
+            prop_assert_eq!(items, expect);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Executing measurements.
+
+use crate::sweep::SweepSchedule;
+use dnssim::{DomainId, Infra, LoadBook, NsSetId, QueryStatus, Resolver};
+use simcore::rng::RngFactory;
+use simcore::time::Window;
+
+/// One measurement row, as the platform's storage records it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MeasurementRec {
+    pub domain: DomainId,
+    pub nsset: NsSetId,
+    pub window: Window,
+    pub rtt_ms: f64,
+    pub status: QueryStatus,
+}
+
+/// Measure every scheduled domain of `nsset` in `window`, returning the
+/// individual rows. Deterministic per (seed, domain, window).
+pub fn measure_window(
+    infra: &Infra,
+    schedule: &SweepSchedule,
+    resolver: &Resolver,
+    nsset: NsSetId,
+    window: Window,
+    loads: &LoadBook,
+    rngs: &RngFactory,
+) -> Vec<MeasurementRec> {
+    let domains = schedule.domains_in_window(infra, nsset, window);
+    measure_domains(infra, resolver, &domains, nsset, window, loads, rngs)
+}
+
+/// Measure an explicit set of domains in `window` (used by the lazy
+/// longitudinal runner and by baseline materialization).
+pub fn measure_domains(
+    infra: &Infra,
+    resolver: &Resolver,
+    domains: &[DomainId],
+    nsset: NsSetId,
+    window: Window,
+    loads: &LoadBook,
+    rngs: &RngFactory,
+) -> Vec<MeasurementRec> {
+    let mut out = Vec::with_capacity(domains.len());
+    for &d in domains {
+        let mut rng = rngs.stream_indexed("openintel-query", (d.0 as u64) << 32 | window.0 & 0xFFFF_FFFF);
+        let q = resolver.resolve(infra, d, window, loads, &mut rng);
+        out.push(MeasurementRec { domain: d, nsset, window, rtt_ms: q.rtt_ms, status: q.status });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnssim::Deployment;
+    use netbase::Asn;
+    use std::net::Ipv4Addr;
+
+    fn world() -> (Infra, NsSetId, Vec<Ipv4Addr>) {
+        let mut infra = Infra::new();
+        let addrs: Vec<Ipv4Addr> =
+            vec!["198.51.100.1".parse().unwrap(), "203.0.113.1".parse().unwrap()];
+        let ids: Vec<_> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                infra.add_nameserver(
+                    format!("ns{i}.host.net").parse().unwrap(),
+                    a,
+                    Asn(64500 + i as u32),
+                    Deployment::Unicast,
+                    50_000.0,
+                    500.0,
+                    18.0,
+                )
+            })
+            .collect();
+        let set = infra.intern_nsset(ids);
+        for i in 0..2_000 {
+            infra.add_domain(format!("d{i}.example").parse().unwrap(), set);
+        }
+        (infra, set, addrs)
+    }
+
+    #[test]
+    fn healthy_window_all_ok() {
+        let (infra, set, _) = world();
+        let sched = SweepSchedule::new(1);
+        let recs = measure_window(
+            &infra,
+            &sched,
+            &Resolver::default(),
+            set,
+            Window(100),
+            &LoadBook::new(),
+            &RngFactory::new(5),
+        );
+        assert!(!recs.is_empty());
+        for r in &recs {
+            assert_eq!(r.status, QueryStatus::Ok);
+            assert!(r.rtt_ms > 0.0 && r.rtt_ms < 100.0);
+            assert_eq!(r.nsset, set);
+            assert!(sched.measures_in(r.domain, Window(100)));
+        }
+    }
+
+    #[test]
+    fn attacked_window_shows_impairment() {
+        let (infra, set, addrs) = world();
+        let sched = SweepSchedule::new(1);
+        let mut loads = LoadBook::new();
+        for a in &addrs {
+            loads.add(*a, Window(100), 48_000.0); // ρ≈0.97 on both servers
+        }
+        let healthy = measure_window(
+            &infra,
+            &sched,
+            &Resolver::default(),
+            set,
+            Window(388), // same window-of-day next day, unattacked
+            &LoadBook::new(),
+            &RngFactory::new(5),
+        );
+        let attacked = measure_window(
+            &infra,
+            &sched,
+            &Resolver::default(),
+            set,
+            Window(100),
+            &loads,
+            &RngFactory::new(5),
+        );
+        let avg = |rs: &[MeasurementRec]| {
+            rs.iter().map(|r| r.rtt_ms).sum::<f64>() / rs.len() as f64
+        };
+        assert!(
+            avg(&attacked) > 5.0 * avg(&healthy),
+            "attack inflates RTT: {} vs {}",
+            avg(&attacked),
+            avg(&healthy)
+        );
+    }
+
+    #[test]
+    fn measurements_deterministic() {
+        let (infra, set, _) = world();
+        let sched = SweepSchedule::new(1);
+        let run = || {
+            measure_window(
+                &infra,
+                &sched,
+                &Resolver::default(),
+                set,
+                Window(50),
+                &LoadBook::new(),
+                &RngFactory::new(9),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn explicit_domain_list_is_respected() {
+        let (infra, set, _) = world();
+        let domains = vec![DomainId(1), DomainId(2), DomainId(3)];
+        let recs = measure_domains(
+            &infra,
+            &Resolver::default(),
+            &domains,
+            set,
+            Window(10),
+            &LoadBook::new(),
+            &RngFactory::new(1),
+        );
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].domain, DomainId(1));
+    }
+}

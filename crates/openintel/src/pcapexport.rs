@@ -1,0 +1,233 @@
+//! pcap export of measurement traffic: the packets the measurement
+//! platform's capture interface would record for a window's sweep —
+//! real `dnswire` NS queries in UDP, the authoritative answers that came
+//! back in time, and nothing for the attempts that timed out.
+//!
+//! Useful for eyeballing the simulated platform in Wireshark and for
+//! testing downstream pcap tooling against realistic resolver traffic.
+
+use crate::sweep::SweepSchedule;
+use dnssim::{server, DomainId, Infra, LoadBook, NsSetId, QueryStatus, Resolver};
+use dnswire::Rcode;
+use pcap::{EthernetFrame, IpProto, Ipv4Header, PcapPacket, PcapWriter, UdpDatagram};
+use rand::Rng;
+use simcore::rng::RngFactory;
+use simcore::time::Window;
+use std::io::{self, Write};
+use std::net::Ipv4Addr;
+
+/// The measurement platform's own address in exported captures.
+pub const VANTAGE_ADDR: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 254);
+
+/// Counters for one export.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExportStats {
+    pub queries: u64,
+    pub responses: u64,
+    pub timeouts: u64,
+}
+
+/// Export the measurement traffic for every scheduled domain of `nsset`
+/// in `window`.
+#[allow(clippy::too_many_arguments)]
+pub fn export_measurement_pcap<W: Write>(
+    infra: &Infra,
+    schedule: &SweepSchedule,
+    resolver: &Resolver,
+    nsset: NsSetId,
+    window: Window,
+    loads: &LoadBook,
+    rngs: &RngFactory,
+    out: W,
+) -> io::Result<ExportStats> {
+    let domains = schedule.domains_in_window(infra, nsset, window);
+    let mut writer = PcapWriter::new(out)?;
+    let mut stats = ExportStats::default();
+    let window_secs = simcore::time::WINDOW_SECS;
+    for (i, &d) in domains.iter().enumerate() {
+        // Spread the domains across the window, as the batching platform
+        // does.
+        let offset_us =
+            (i as f64 / domains.len().max(1) as f64 * window_secs as f64 * 1e6) as u64;
+        let base_sec = window.start().secs() + offset_us / 1_000_000;
+        let base_usec = offset_us % 1_000_000;
+        export_one(
+            infra, resolver, d, window, loads, rngs, &mut writer, &mut stats, base_sec,
+            base_usec as u32,
+        )?;
+    }
+    writer.finish()?;
+    Ok(stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn export_one<W: Write>(
+    infra: &Infra,
+    resolver: &Resolver,
+    domain: DomainId,
+    window: Window,
+    loads: &LoadBook,
+    rngs: &RngFactory,
+    writer: &mut PcapWriter<W>,
+    stats: &mut ExportStats,
+    base_sec: u64,
+    base_usec: u32,
+) -> io::Result<()> {
+    let mut rng =
+        rngs.stream_indexed("openintel-query", (domain.0 as u64) << 32 | window.0 & 0xFFFF_FFFF);
+    let (_, trace) = resolver.resolve_traced(infra, domain, window, loads, &mut rng);
+    let mut t_us = base_sec * 1_000_000 + base_usec as u64;
+    let src_port: u16 = 32_768 + (rng.random::<u16>() % 28_000);
+    for attempt in trace {
+        let n = infra.nameserver(attempt.ns);
+        let qid: u16 = rng.random();
+        let query = server::ns_query(qid, infra.domain(domain).name.clone());
+        let qframe = udp_frame(VANTAGE_ADDR, n.addr, src_port, 53, query.encode());
+        writer.write_packet(&packet_at(t_us, qframe))?;
+        stats.queries += 1;
+        match attempt.status {
+            QueryStatus::Ok => {
+                let resp = server::answer_ns_query(infra, domain, &query);
+                let rframe = udp_frame(n.addr, VANTAGE_ADDR, 53, src_port, resp.encode());
+                writer
+                    .write_packet(&packet_at(t_us + (attempt.rtt_ms * 1_000.0) as u64, rframe))?;
+                stats.responses += 1;
+            }
+            QueryStatus::ServFail => {
+                let resp = dnswire::Message::response_to(&query, Rcode::ServFail, false);
+                let rframe = udp_frame(n.addr, VANTAGE_ADDR, 53, src_port, resp.encode());
+                writer
+                    .write_packet(&packet_at(t_us + (attempt.rtt_ms * 1_000.0) as u64, rframe))?;
+                stats.responses += 1;
+            }
+            QueryStatus::Timeout => {
+                stats.timeouts += 1;
+            }
+        }
+        t_us += (attempt.rtt_ms * 1_000.0) as u64;
+    }
+    Ok(())
+}
+
+fn udp_frame(src: Ipv4Addr, dst: Ipv4Addr, sp: u16, dp: u16, payload: Vec<u8>) -> Vec<u8> {
+    let udp = UdpDatagram::new(sp, dp, payload).encode(src, dst);
+    let ip = Ipv4Header::new(src, dst, IpProto::Udp, udp).encode();
+    EthernetFrame::ipv4(ip).encode()
+}
+
+fn packet_at(t_us: u64, frame: Vec<u8>) -> PcapPacket {
+    PcapPacket::new((t_us / 1_000_000) as u32, (t_us % 1_000_000) as u32, frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnssim::Deployment;
+    use dnswire::Message;
+    use netbase::Asn;
+    use pcap::PcapReader;
+    use std::io::Cursor;
+
+    fn world() -> (Infra, NsSetId, Vec<Ipv4Addr>) {
+        let mut infra = Infra::new();
+        let addrs: Vec<Ipv4Addr> =
+            vec!["198.51.100.1".parse().unwrap(), "203.0.113.1".parse().unwrap()];
+        let ids: Vec<_> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                infra.add_nameserver(
+                    format!("ns{i}.host.net").parse().unwrap(),
+                    a,
+                    Asn(64500),
+                    Deployment::Unicast,
+                    50_000.0,
+                    500.0,
+                    18.0,
+                )
+            })
+            .collect();
+        let set = infra.intern_nsset(ids);
+        for i in 0..2_000 {
+            infra.add_domain(format!("d{i}.example").parse().unwrap(), set);
+        }
+        (infra, set, addrs)
+    }
+
+    #[test]
+    fn healthy_window_has_query_response_pairs() {
+        let (infra, set, _) = world();
+        let schedule = SweepSchedule::new(1);
+        let mut buf = Vec::new();
+        let stats = export_measurement_pcap(
+            &infra,
+            &schedule,
+            &Resolver::default(),
+            set,
+            Window(100),
+            &LoadBook::new(),
+            &RngFactory::new(5),
+            &mut buf,
+        )
+        .unwrap();
+        assert!(stats.queries > 0);
+        assert_eq!(stats.queries, stats.responses, "healthy world: every query answered");
+        assert_eq!(stats.timeouts, 0);
+
+        // The capture parses and every frame is a valid DNS-in-UDP packet.
+        let mut reader = PcapReader::new(Cursor::new(buf)).unwrap();
+        let pkts = reader.read_all().unwrap();
+        assert_eq!(pkts.len() as u64, stats.queries + stats.responses);
+        let mut qr = (0u64, 0u64);
+        let mut last_ts = 0u64;
+        for p in &pkts {
+            let ts = p.ts_sec as u64 * 1_000_000 + p.ts_usec as u64;
+            assert!(ts >= last_ts, "timestamps monotone");
+            last_ts = ts;
+            let eth = EthernetFrame::decode(&p.data).unwrap();
+            let ip = Ipv4Header::decode(&eth.payload).unwrap();
+            assert_eq!(ip.proto, IpProto::Udp);
+            let udp = UdpDatagram::decode(&ip.payload, ip.src, ip.dst).unwrap();
+            let msg = Message::decode(&udp.payload).unwrap();
+            if msg.header.flags.qr {
+                qr.1 += 1;
+                assert_eq!(udp.src_port, 53);
+                assert!(!msg.answers.is_empty(), "NS answers present");
+            } else {
+                qr.0 += 1;
+                assert_eq!(udp.dst_port, 53);
+                assert_eq!(ip.src, VANTAGE_ADDR);
+            }
+        }
+        assert_eq!(qr.0, stats.queries);
+        assert_eq!(qr.1, stats.responses);
+    }
+
+    #[test]
+    fn attacked_window_shows_unanswered_queries() {
+        let (infra, set, addrs) = world();
+        let schedule = SweepSchedule::new(1);
+        let mut loads = LoadBook::new();
+        for a in &addrs {
+            loads.add(*a, Window(100), 5_000_000.0); // saturate both
+        }
+        let mut buf = Vec::new();
+        let stats = export_measurement_pcap(
+            &infra,
+            &schedule,
+            &Resolver::default(),
+            set,
+            Window(100),
+            &loads,
+            &RngFactory::new(6),
+            &mut buf,
+        )
+        .unwrap();
+        assert!(stats.timeouts > 0, "saturated servers leave queries unanswered");
+        assert!(stats.responses < stats.queries);
+        // Retries appear as extra queries: more queries than domains.
+        let per_domain =
+            schedule.domains_in_window(&infra, set, Window(100)).len() as u64;
+        assert!(stats.queries > per_domain, "{} queries for {per_domain} domains", stats.queries);
+    }
+}

@@ -1,0 +1,259 @@
+//! Measurement storage and the per-(NSSet, window) aggregation of §4.1.
+
+use crate::measure::MeasurementRec;
+use dnssim::{NsSetId, QueryStatus};
+use simcore::stats::Moments;
+use simcore::time::Window;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Aggregated statistics for one NSSet in one 5-minute window — the exact
+/// tuple the paper's pipeline computes: domains resolved, average/min/max
+/// RTT, and error counts.
+#[derive(Clone, Debug, Default)]
+pub struct NsSetWindowStats {
+    pub domains_measured: u64,
+    pub ok: u64,
+    pub timeout: u64,
+    pub servfail: u64,
+    rtt: Moments,
+}
+
+impl NsSetWindowStats {
+    pub fn push(&mut self, rec: &MeasurementRec) {
+        self.domains_measured += 1;
+        match rec.status {
+            QueryStatus::Ok => self.ok += 1,
+            QueryStatus::Timeout => self.timeout += 1,
+            QueryStatus::ServFail => self.servfail += 1,
+        }
+        // RTT is recorded for every attempt (a timed-out resolution still
+        // consumed resolver wall-clock, which is what an end user feels).
+        self.rtt.push(rec.rtt_ms);
+    }
+
+    pub fn avg_rtt(&self) -> f64 {
+        self.rtt.mean()
+    }
+    pub fn min_rtt(&self) -> f64 {
+        self.rtt.min()
+    }
+    pub fn max_rtt(&self) -> f64 {
+        self.rtt.max()
+    }
+    pub fn errors(&self) -> u64 {
+        self.timeout + self.servfail
+    }
+    /// Fraction of measured domains that failed to resolve.
+    pub fn failure_rate(&self) -> f64 {
+        if self.domains_measured == 0 {
+            0.0
+        } else {
+            self.errors() as f64 / self.domains_measured as f64
+        }
+    }
+
+    pub fn merge(&mut self, other: &NsSetWindowStats) {
+        self.domains_measured += other.domains_measured;
+        self.ok += other.ok;
+        self.timeout += other.timeout;
+        self.servfail += other.servfail;
+        self.rtt.merge(&other.rtt);
+    }
+}
+
+/// The measurement store: append rows, read per-window and per-day
+/// aggregates.
+#[derive(Clone, Debug, Default)]
+pub struct MeasurementStore {
+    cells: HashMap<(NsSetId, Window), NsSetWindowStats>,
+    days: HashMap<(NsSetId, u64), NsSetWindowStats>,
+}
+
+impl MeasurementStore {
+    pub fn new() -> MeasurementStore {
+        MeasurementStore::default()
+    }
+
+    pub fn ingest(&mut self, recs: &[MeasurementRec]) {
+        for r in recs {
+            self.cells.entry((r.nsset, r.window)).or_default().push(r);
+            self.days.entry((r.nsset, r.window.day())).or_default().push(r);
+        }
+    }
+
+    pub fn window_stats(&self, nsset: NsSetId, window: Window) -> Option<&NsSetWindowStats> {
+        self.cells.get(&(nsset, window))
+    }
+
+    /// Whole-day aggregate — the paper's `Average RTT (Day Before)`
+    /// baseline denominator (§4.1).
+    pub fn day_stats(&self, nsset: NsSetId, day: u64) -> Option<&NsSetWindowStats> {
+        self.days.get(&(nsset, day))
+    }
+
+    /// Aggregate over a window range `[first, last]`.
+    pub fn range_stats(&self, nsset: NsSetId, first: Window, last: Window) -> NsSetWindowStats {
+        let mut out = NsSetWindowStats::default();
+        for w in first.0..=last.0 {
+            if let Some(s) = self.cells.get(&(nsset, Window(w))) {
+                out.merge(s);
+            }
+        }
+        out
+    }
+
+    /// The paper's Equation 1: `Impact_on_RTT = avgRTT(range) /
+    /// avgRTT(day before the range starts)`. `None` when either side lacks
+    /// data.
+    pub fn impact_on_rtt(&self, nsset: NsSetId, first: Window, last: Window) -> Option<f64> {
+        let during = self.range_stats(nsset, first, last);
+        if during.domains_measured == 0 {
+            return None;
+        }
+        let day_before = first.day().checked_sub(1)?;
+        let baseline = self.day_stats(nsset, day_before)?;
+        if baseline.domains_measured == 0 || baseline.avg_rtt().is_nan() || baseline.avg_rtt() <= 0.0 {
+            return None;
+        }
+        Some(during.avg_rtt() / baseline.avg_rtt())
+    }
+
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// CSV of the per-window aggregates.
+    pub fn csv(&self) -> String {
+        let mut rows: Vec<_> = self.cells.iter().collect();
+        rows.sort_by_key(|((set, w), _)| (w.0, set.0));
+        let mut s = String::from(
+            "nsset,window,domains,ok,timeout,servfail,avg_rtt_ms,min_rtt_ms,max_rtt_ms\n",
+        );
+        for ((set, w), st) in rows {
+            let _ = writeln!(
+                s,
+                "{},{},{},{},{},{},{:.3},{:.3},{:.3}",
+                set.0,
+                w.0,
+                st.domains_measured,
+                st.ok,
+                st.timeout,
+                st.servfail,
+                st.avg_rtt(),
+                st.min_rtt(),
+                st.max_rtt()
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnssim::DomainId;
+
+    fn rec(set: u32, w: u64, rtt: f64, status: QueryStatus) -> MeasurementRec {
+        MeasurementRec {
+            domain: DomainId(0),
+            nsset: NsSetId(set),
+            window: Window(w),
+            rtt_ms: rtt,
+            status,
+        }
+    }
+
+    #[test]
+    fn window_aggregation() {
+        let mut store = MeasurementStore::new();
+        store.ingest(&[
+            rec(1, 10, 20.0, QueryStatus::Ok),
+            rec(1, 10, 40.0, QueryStatus::Ok),
+            rec(1, 10, 3_000.0, QueryStatus::Timeout),
+            rec(1, 11, 25.0, QueryStatus::Ok),
+            rec(2, 10, 99.0, QueryStatus::ServFail),
+        ]);
+        let s = store.window_stats(NsSetId(1), Window(10)).unwrap();
+        assert_eq!(s.domains_measured, 3);
+        assert_eq!(s.ok, 2);
+        assert_eq!(s.timeout, 1);
+        assert_eq!(s.errors(), 1);
+        assert!((s.avg_rtt() - 1_020.0).abs() < 1e-9);
+        assert_eq!(s.min_rtt(), 20.0);
+        assert_eq!(s.max_rtt(), 3_000.0);
+        assert!((s.failure_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(store.window_stats(NsSetId(1), Window(12)).is_none());
+    }
+
+    #[test]
+    fn day_aggregation_spans_windows() {
+        let mut store = MeasurementStore::new();
+        // Day 0 = windows 0..288.
+        store.ingest(&[
+            rec(1, 5, 10.0, QueryStatus::Ok),
+            rec(1, 200, 30.0, QueryStatus::Ok),
+            rec(1, 288, 99.0, QueryStatus::Ok), // day 1
+        ]);
+        let d0 = store.day_stats(NsSetId(1), 0).unwrap();
+        assert_eq!(d0.domains_measured, 2);
+        assert!((d0.avg_rtt() - 20.0).abs() < 1e-9);
+        let d1 = store.day_stats(NsSetId(1), 1).unwrap();
+        assert_eq!(d1.domains_measured, 1);
+    }
+
+    #[test]
+    fn impact_on_rtt_equation() {
+        let mut store = MeasurementStore::new();
+        // Baseline day 0: avg 20 ms.
+        store.ingest(&[rec(1, 10, 15.0, QueryStatus::Ok), rec(1, 150, 25.0, QueryStatus::Ok)]);
+        // Attack range on day 1: avg 200 ms → impact 10×.
+        store.ingest(&[
+            rec(1, 288 + 50, 180.0, QueryStatus::Ok),
+            rec(1, 288 + 51, 220.0, QueryStatus::Ok),
+        ]);
+        let impact = store
+            .impact_on_rtt(NsSetId(1), Window(288 + 50), Window(288 + 51))
+            .unwrap();
+        assert!((impact - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn impact_requires_both_sides() {
+        let mut store = MeasurementStore::new();
+        store.ingest(&[rec(1, 288 + 50, 100.0, QueryStatus::Ok)]);
+        // No baseline on day 0.
+        assert!(store.impact_on_rtt(NsSetId(1), Window(288 + 50), Window(288 + 50)).is_none());
+        // Range on day 0 has no previous day at all.
+        assert!(store.impact_on_rtt(NsSetId(1), Window(10), Window(11)).is_none());
+        // No measurements in range.
+        store.ingest(&[rec(1, 5, 10.0, QueryStatus::Ok)]);
+        assert!(store.impact_on_rtt(NsSetId(1), Window(600), Window(601)).is_none());
+    }
+
+    #[test]
+    fn range_stats_merge() {
+        let mut store = MeasurementStore::new();
+        store.ingest(&[
+            rec(1, 10, 10.0, QueryStatus::Ok),
+            rec(1, 11, 20.0, QueryStatus::Timeout),
+            rec(1, 13, 30.0, QueryStatus::Ok),
+        ]);
+        let r = store.range_stats(NsSetId(1), Window(10), Window(12));
+        assert_eq!(r.domains_measured, 2);
+        assert_eq!(r.errors(), 1);
+        assert!((r.avg_rtt() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_sorted_and_complete() {
+        let mut store = MeasurementStore::new();
+        store.ingest(&[rec(2, 10, 9.0, QueryStatus::Ok), rec(1, 9, 5.0, QueryStatus::Ok)]);
+        let csv = store.csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("1,9,"));
+        assert!(lines[2].starts_with("2,10,"));
+        assert_eq!(store.cell_count(), 2);
+    }
+}

@@ -1,0 +1,290 @@
+//! Classic libpcap file format (the 24-byte global header followed by
+//! 16-byte per-packet record headers), microsecond resolution, Ethernet
+//! link type.
+
+use crate::PcapError;
+use std::io::{self, Read, Write};
+
+const MAGIC_USEC: u32 = 0xA1B2_C3D4;
+const VERSION_MAJOR: u16 = 2;
+const VERSION_MINOR: u16 = 4;
+/// LINKTYPE_ETHERNET.
+const LINKTYPE_ETHERNET: u32 = 1;
+const DEFAULT_SNAPLEN: u32 = 65_535;
+
+/// One captured packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PcapPacket {
+    /// Seconds since the capture epoch (for simulated captures, seconds
+    /// since the simulation epoch).
+    pub ts_sec: u32,
+    /// Microseconds within the second.
+    pub ts_usec: u32,
+    /// Original length on the wire (may exceed `data.len()` if snapped).
+    pub orig_len: u32,
+    /// Captured bytes.
+    pub data: Vec<u8>,
+}
+
+impl PcapPacket {
+    pub fn new(ts_sec: u32, ts_usec: u32, data: Vec<u8>) -> PcapPacket {
+        let orig_len = data.len() as u32;
+        PcapPacket { ts_sec, ts_usec, orig_len, data }
+    }
+}
+
+/// Streaming pcap writer over any `io::Write`.
+pub struct PcapWriter<W: Write> {
+    out: W,
+    snaplen: u32,
+    packets: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Write the global header and return the writer.
+    pub fn new(mut out: W) -> io::Result<PcapWriter<W>> {
+        let mut hdr = Vec::with_capacity(24);
+        hdr.extend_from_slice(&MAGIC_USEC.to_le_bytes());
+        hdr.extend_from_slice(&VERSION_MAJOR.to_le_bytes());
+        hdr.extend_from_slice(&VERSION_MINOR.to_le_bytes());
+        hdr.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+        hdr.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+        hdr.extend_from_slice(&DEFAULT_SNAPLEN.to_le_bytes());
+        hdr.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+        out.write_all(&hdr)?;
+        Ok(PcapWriter { out, snaplen: DEFAULT_SNAPLEN, packets: 0 })
+    }
+
+    /// Append one packet record (snapping to the snaplen if needed).
+    pub fn write_packet(&mut self, pkt: &PcapPacket) -> io::Result<()> {
+        let incl = (pkt.data.len() as u32).min(self.snaplen);
+        let mut rec = Vec::with_capacity(16 + incl as usize);
+        rec.extend_from_slice(&pkt.ts_sec.to_le_bytes());
+        rec.extend_from_slice(&pkt.ts_usec.to_le_bytes());
+        rec.extend_from_slice(&incl.to_le_bytes());
+        rec.extend_from_slice(&pkt.orig_len.to_le_bytes());
+        rec.extend_from_slice(&pkt.data[..incl as usize]);
+        self.out.write_all(&rec)?;
+        self.packets += 1;
+        Ok(())
+    }
+
+    /// Number of packets written so far.
+    pub fn packet_count(&self) -> u64 {
+        self.packets
+    }
+
+    /// Flush and return the inner writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Reader over an in-memory or streamed pcap file.
+pub struct PcapReader<R: Read> {
+    inp: R,
+    swapped: bool,
+    snaplen: u32,
+    /// Link type from the global header.
+    pub linktype: u32,
+}
+
+impl<R: Read> PcapReader<R> {
+    pub fn new(mut inp: R) -> Result<PcapReader<R>, PcapError> {
+        let mut hdr = [0u8; 24];
+        inp.read_exact(&mut hdr).map_err(|_| PcapError::BadFileHeader)?;
+        let magic = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
+        let swapped = match magic {
+            MAGIC_USEC => false,
+            m if m == MAGIC_USEC.swap_bytes() => true,
+            _ => return Err(PcapError::BadFileHeader),
+        };
+        let rd32 = |b: &[u8]| {
+            let v = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+            if swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
+        };
+        let snaplen = rd32(&hdr[16..20]);
+        let linktype = rd32(&hdr[20..24]);
+        Ok(PcapReader { inp, swapped, snaplen, linktype })
+    }
+
+    /// Read the next packet; `Ok(None)` at clean EOF.
+    pub fn next_packet(&mut self) -> Result<Option<PcapPacket>, PcapError> {
+        let mut rec = [0u8; 16];
+        match self.inp.read_exact(&mut rec) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(_) => return Err(PcapError::Truncated),
+        }
+        let rd32 = |b: &[u8]| {
+            let v = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+            if self.swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
+        };
+        let ts_sec = rd32(&rec[0..4]);
+        let ts_usec = rd32(&rec[4..8]);
+        let incl = rd32(&rec[8..12]);
+        let orig_len = rd32(&rec[12..16]);
+        // A record cannot legitimately exceed the capture's snaplen; a
+        // larger claim is corruption, and honoring it would force an
+        // attacker-controlled allocation.
+        if incl > self.snaplen.max(DEFAULT_SNAPLEN) {
+            return Err(PcapError::Truncated);
+        }
+        let mut data = vec![0u8; incl as usize];
+        self.inp.read_exact(&mut data).map_err(|_| PcapError::Truncated)?;
+        Ok(Some(PcapPacket { ts_sec, ts_usec, orig_len, data }))
+    }
+
+    /// Drain all remaining packets.
+    pub fn read_all(&mut self) -> Result<Vec<PcapPacket>, PcapError> {
+        let mut out = Vec::new();
+        while let Some(p) = self.next_packet()? {
+            out.push(p);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        let pkts = vec![
+            PcapPacket::new(100, 250_000, vec![0xAA; 60]),
+            PcapPacket::new(101, 0, vec![0x55; 1500]),
+            PcapPacket::new(101, 999_999, vec![]),
+        ];
+        for p in &pkts {
+            w.write_packet(p).unwrap();
+        }
+        assert_eq!(w.packet_count(), 3);
+        let bytes = w.finish().unwrap();
+        assert_eq!(bytes.len(), 24 + 3 * 16 + 60 + 1500);
+
+        let mut r = PcapReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(r.linktype, 1);
+        let back = r.read_all().unwrap();
+        assert_eq!(back, pkts);
+    }
+
+    #[test]
+    fn empty_capture() {
+        let w = PcapWriter::new(Vec::new()).unwrap();
+        let bytes = w.finish().unwrap();
+        let mut r = PcapReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(r.read_all().unwrap(), vec![]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let bytes = vec![0u8; 24];
+        assert_eq!(
+            PcapReader::new(Cursor::new(bytes)).err(),
+            Some(PcapError::BadFileHeader)
+        );
+    }
+
+    #[test]
+    fn short_header_rejected() {
+        let bytes = vec![0u8; 10];
+        assert_eq!(
+            PcapReader::new(Cursor::new(bytes)).err(),
+            Some(PcapError::BadFileHeader)
+        );
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_packet(&PcapPacket::new(1, 2, vec![1, 2, 3, 4])).unwrap();
+        let mut bytes = w.finish().unwrap();
+        bytes.truncate(bytes.len() - 2);
+        let mut r = PcapReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(r.next_packet(), Err(PcapError::Truncated));
+    }
+
+    #[test]
+    fn oversized_record_claim_rejected() {
+        // A record header claiming 4 GB must not trigger a 4 GB allocation.
+        let w = PcapWriter::new(Vec::new()).unwrap();
+        let mut bytes = w.finish().unwrap();
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // ts_sec
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // ts_usec
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // incl = 4 GB
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // orig
+        let mut r = PcapReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(r.next_packet(), Err(PcapError::Truncated));
+    }
+
+    #[test]
+    fn swapped_endianness_read() {
+        // Hand-build a big-endian header + one record.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_USEC.to_be_bytes());
+        bytes.extend_from_slice(&2u16.to_be_bytes());
+        bytes.extend_from_slice(&4u16.to_be_bytes());
+        bytes.extend_from_slice(&0u32.to_be_bytes());
+        bytes.extend_from_slice(&0u32.to_be_bytes());
+        bytes.extend_from_slice(&65535u32.to_be_bytes());
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        bytes.extend_from_slice(&7u32.to_be_bytes()); // ts_sec
+        bytes.extend_from_slice(&8u32.to_be_bytes()); // ts_usec
+        bytes.extend_from_slice(&2u32.to_be_bytes()); // incl
+        bytes.extend_from_slice(&2u32.to_be_bytes()); // orig
+        bytes.extend_from_slice(&[0xDE, 0xAD]);
+        let mut r = PcapReader::new(Cursor::new(bytes)).unwrap();
+        let p = r.next_packet().unwrap().unwrap();
+        assert_eq!(p.ts_sec, 7);
+        assert_eq!(p.ts_usec, 8);
+        assert_eq!(p.data, vec![0xDE, 0xAD]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::io::Cursor;
+
+    proptest! {
+        /// The reader never panics on arbitrary bytes.
+        #[test]
+        fn reader_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+            if let Ok(mut r) = PcapReader::new(Cursor::new(bytes)) {
+                let _ = r.read_all();
+            }
+        }
+
+        /// Writer → reader roundtrip for arbitrary packet sets.
+        #[test]
+        fn roundtrip(packets in prop::collection::vec(
+            (any::<u32>(), 0u32..1_000_000, prop::collection::vec(any::<u8>(), 0..100)),
+            0..12,
+        )) {
+            let mut w = PcapWriter::new(Vec::new()).unwrap();
+            let pkts: Vec<PcapPacket> = packets
+                .into_iter()
+                .map(|(s, us, data)| PcapPacket::new(s, us, data))
+                .collect();
+            for p in &pkts {
+                w.write_packet(p).unwrap();
+            }
+            let bytes = w.finish().unwrap();
+            let mut r = PcapReader::new(Cursor::new(bytes)).unwrap();
+            prop_assert_eq!(r.read_all().unwrap(), pkts);
+        }
+    }
+}

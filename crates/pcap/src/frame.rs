@@ -1,0 +1,558 @@
+//! Frame builders and parsers: Ethernet II, IPv4, UDP, TCP, ICMPv4.
+//!
+//! Only the fields the study touches are modeled; everything encodes to
+//! valid bytes with correct checksums so exported captures dissect cleanly.
+
+use crate::PcapError;
+use std::net::Ipv4Addr;
+
+/// RFC 1071 Internet checksum over `data` (one's-complement sum of 16-bit
+/// words).
+pub fn checksum(data: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        sum += (*last as u32) << 8;
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Checksum with a preceding IPv4 pseudo-header (for UDP/TCP).
+fn checksum_pseudo(src: Ipv4Addr, dst: Ipv4Addr, proto: u8, payload: &[u8]) -> u16 {
+    let mut buf = Vec::with_capacity(12 + payload.len());
+    buf.extend_from_slice(&src.octets());
+    buf.extend_from_slice(&dst.octets());
+    buf.push(0);
+    buf.push(proto);
+    buf.extend_from_slice(&(payload.len() as u16).to_be_bytes());
+    buf.extend_from_slice(payload);
+    checksum(&buf)
+}
+
+/// EtherType values we emit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EtherType {
+    Ipv4,
+    Other(u16),
+}
+
+impl EtherType {
+    pub fn code(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Other(c) => c,
+        }
+    }
+    pub fn from_code(c: u16) -> EtherType {
+        match c {
+            0x0800 => EtherType::Ipv4,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// An Ethernet II frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EthernetFrame {
+    pub dst: [u8; 6],
+    pub src: [u8; 6],
+    pub ethertype: EtherType,
+    pub payload: Vec<u8>,
+}
+
+impl EthernetFrame {
+    pub fn ipv4(payload: Vec<u8>) -> EthernetFrame {
+        EthernetFrame {
+            dst: [0x02, 0, 0, 0, 0, 0x01],
+            src: [0x02, 0, 0, 0, 0, 0x02],
+            ethertype: EtherType::Ipv4,
+            payload,
+        }
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(14 + self.payload.len());
+        out.extend_from_slice(&self.dst);
+        out.extend_from_slice(&self.src);
+        out.extend_from_slice(&self.ethertype.code().to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<EthernetFrame, PcapError> {
+        if bytes.len() < 14 {
+            return Err(PcapError::BadFrame);
+        }
+        Ok(EthernetFrame {
+            dst: bytes[0..6].try_into().unwrap(),
+            src: bytes[6..12].try_into().unwrap(),
+            ethertype: EtherType::from_code(u16::from_be_bytes([bytes[12], bytes[13]])),
+            payload: bytes[14..].to_vec(),
+        })
+    }
+}
+
+/// IP protocol numbers we emit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IpProto {
+    Icmp,
+    Tcp,
+    Udp,
+    Other(u8),
+}
+
+impl IpProto {
+    pub fn code(self) -> u8 {
+        match self {
+            IpProto::Icmp => 1,
+            IpProto::Tcp => 6,
+            IpProto::Udp => 17,
+            IpProto::Other(c) => c,
+        }
+    }
+    pub fn from_code(c: u8) -> IpProto {
+        match c {
+            1 => IpProto::Icmp,
+            6 => IpProto::Tcp,
+            17 => IpProto::Udp,
+            other => IpProto::Other(other),
+        }
+    }
+}
+
+/// An IPv4 header (no options) plus payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ipv4Header {
+    pub src: Ipv4Addr,
+    pub dst: Ipv4Addr,
+    pub proto: IpProto,
+    pub ttl: u8,
+    pub ident: u16,
+    pub payload: Vec<u8>,
+}
+
+impl Ipv4Header {
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, proto: IpProto, payload: Vec<u8>) -> Ipv4Header {
+        Ipv4Header { src, dst, proto, ttl: 64, ident: 0, payload }
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let total = 20 + self.payload.len();
+        let mut h = Vec::with_capacity(total);
+        h.push(0x45); // version 4, IHL 5
+        h.push(0); // DSCP/ECN
+        h.extend_from_slice(&(total as u16).to_be_bytes());
+        h.extend_from_slice(&self.ident.to_be_bytes());
+        h.extend_from_slice(&0u16.to_be_bytes()); // flags/fragment
+        h.push(self.ttl);
+        h.push(self.proto.code());
+        h.extend_from_slice(&0u16.to_be_bytes()); // checksum placeholder
+        h.extend_from_slice(&self.src.octets());
+        h.extend_from_slice(&self.dst.octets());
+        let c = checksum(&h);
+        h[10..12].copy_from_slice(&c.to_be_bytes());
+        h.extend_from_slice(&self.payload);
+        h
+    }
+
+    /// Decode and verify the header checksum.
+    pub fn decode(bytes: &[u8]) -> Result<Ipv4Header, PcapError> {
+        if bytes.len() < 20 {
+            return Err(PcapError::BadFrame);
+        }
+        if bytes[0] >> 4 != 4 {
+            return Err(PcapError::BadFrame);
+        }
+        let ihl = (bytes[0] & 0x0F) as usize * 4;
+        if ihl < 20 || bytes.len() < ihl {
+            return Err(PcapError::BadFrame);
+        }
+        if checksum(&bytes[..ihl]) != 0 {
+            return Err(PcapError::BadChecksum);
+        }
+        let total = u16::from_be_bytes([bytes[2], bytes[3]]) as usize;
+        if total < ihl || total > bytes.len() {
+            return Err(PcapError::BadFrame);
+        }
+        Ok(Ipv4Header {
+            src: Ipv4Addr::new(bytes[12], bytes[13], bytes[14], bytes[15]),
+            dst: Ipv4Addr::new(bytes[16], bytes[17], bytes[18], bytes[19]),
+            proto: IpProto::from_code(bytes[9]),
+            ttl: bytes[8],
+            ident: u16::from_be_bytes([bytes[4], bytes[5]]),
+            payload: bytes[ihl..total].to_vec(),
+        })
+    }
+}
+
+/// A UDP datagram (checksummed against the given endpoints).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UdpDatagram {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub payload: Vec<u8>,
+}
+
+impl UdpDatagram {
+    pub fn new(src_port: u16, dst_port: u16, payload: Vec<u8>) -> UdpDatagram {
+        UdpDatagram { src_port, dst_port, payload }
+    }
+
+    pub fn encode(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+        let len = 8 + self.payload.len();
+        let mut out = Vec::with_capacity(len);
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&(len as u16).to_be_bytes());
+        out.extend_from_slice(&0u16.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        let mut c = checksum_pseudo(src, dst, 17, &out);
+        if c == 0 {
+            c = 0xFFFF; // RFC 768: transmitted zero means "no checksum"
+        }
+        out[6..8].copy_from_slice(&c.to_be_bytes());
+        out
+    }
+
+    /// Decode, verifying the checksum against the pseudo-header.
+    pub fn decode(bytes: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<UdpDatagram, PcapError> {
+        if bytes.len() < 8 {
+            return Err(PcapError::BadFrame);
+        }
+        let len = u16::from_be_bytes([bytes[4], bytes[5]]) as usize;
+        if len < 8 || len > bytes.len() {
+            return Err(PcapError::BadFrame);
+        }
+        let cks = u16::from_be_bytes([bytes[6], bytes[7]]);
+        if cks != 0 && checksum_pseudo(src, dst, 17, &bytes[..len]) != 0 {
+            return Err(PcapError::BadChecksum);
+        }
+        Ok(UdpDatagram {
+            src_port: u16::from_be_bytes([bytes[0], bytes[1]]),
+            dst_port: u16::from_be_bytes([bytes[2], bytes[3]]),
+            payload: bytes[8..len].to_vec(),
+        })
+    }
+}
+
+/// TCP header flag bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct TcpFlags {
+    pub syn: bool,
+    pub ack: bool,
+    pub rst: bool,
+    pub fin: bool,
+}
+
+impl TcpFlags {
+    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, rst: false, fin: false };
+    /// The signature of SYN-flood backscatter: the victim's SYN-ACK.
+    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, rst: false, fin: false };
+    /// The other common backscatter signature: RST (or RST-ACK).
+    pub const RST: TcpFlags = TcpFlags { syn: false, ack: false, rst: true, fin: false };
+
+    fn to_byte(self) -> u8 {
+        (self.fin as u8) | (self.syn as u8) << 1 | (self.rst as u8) << 2 | (self.ack as u8) << 4
+    }
+    fn from_byte(b: u8) -> TcpFlags {
+        TcpFlags { fin: b & 1 != 0, syn: b & 2 != 0, rst: b & 4 != 0, ack: b & 16 != 0 }
+    }
+}
+
+/// A minimal TCP segment (no options).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TcpSegment {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub seq: u32,
+    pub ack: u32,
+    pub flags: TcpFlags,
+    pub window: u16,
+    pub payload: Vec<u8>,
+}
+
+impl TcpSegment {
+    /// A victim's SYN-ACK response to a spoofed SYN — the canonical RSDoS
+    /// backscatter packet.
+    pub fn syn_ack(src_port: u16, dst_port: u16, seq: u32, ack: u32) -> TcpSegment {
+        TcpSegment {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags: TcpFlags::SYN_ACK,
+            window: 64_240,
+            payload: Vec::new(),
+        }
+    }
+
+    pub fn encode(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20 + self.payload.len());
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ack.to_be_bytes());
+        out.push(5 << 4); // data offset 5 words
+        out.push(self.flags.to_byte());
+        out.extend_from_slice(&self.window.to_be_bytes());
+        out.extend_from_slice(&0u16.to_be_bytes()); // checksum placeholder
+        out.extend_from_slice(&0u16.to_be_bytes()); // urgent
+        out.extend_from_slice(&self.payload);
+        let c = checksum_pseudo(src, dst, 6, &out);
+        out[16..18].copy_from_slice(&c.to_be_bytes());
+        out
+    }
+
+    pub fn decode(bytes: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<TcpSegment, PcapError> {
+        if bytes.len() < 20 {
+            return Err(PcapError::BadFrame);
+        }
+        let off = (bytes[12] >> 4) as usize * 4;
+        if off < 20 || off > bytes.len() {
+            return Err(PcapError::BadFrame);
+        }
+        if checksum_pseudo(src, dst, 6, bytes) != 0 {
+            return Err(PcapError::BadChecksum);
+        }
+        Ok(TcpSegment {
+            src_port: u16::from_be_bytes([bytes[0], bytes[1]]),
+            dst_port: u16::from_be_bytes([bytes[2], bytes[3]]),
+            seq: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+            ack: u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]),
+            flags: TcpFlags::from_byte(bytes[13]),
+            window: u16::from_be_bytes([bytes[14], bytes[15]]),
+            payload: bytes[off..].to_vec(),
+        })
+    }
+}
+
+/// A minimal ICMPv4 message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Icmpv4 {
+    pub icmp_type: u8,
+    pub code: u8,
+    /// The 4 bytes after the checksum (id/seq for echo, unused for
+    /// unreachable) followed by the body.
+    pub rest: Vec<u8>,
+}
+
+impl Icmpv4 {
+    /// Echo reply (type 0) — backscatter from ICMP-echo floods.
+    pub fn echo_reply(id: u16, seq: u16) -> Icmpv4 {
+        let mut rest = Vec::with_capacity(4);
+        rest.extend_from_slice(&id.to_be_bytes());
+        rest.extend_from_slice(&seq.to_be_bytes());
+        Icmpv4 { icmp_type: 0, code: 0, rest }
+    }
+
+    /// Destination/port unreachable (type 3) — backscatter from UDP floods.
+    pub fn port_unreachable(original: &[u8]) -> Icmpv4 {
+        let mut rest = vec![0u8; 4];
+        rest.extend_from_slice(&original[..original.len().min(28)]);
+        Icmpv4 { icmp_type: 3, code: 3, rest }
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.rest.len());
+        out.push(self.icmp_type);
+        out.push(self.code);
+        out.extend_from_slice(&0u16.to_be_bytes());
+        out.extend_from_slice(&self.rest);
+        let c = checksum(&out);
+        out[2..4].copy_from_slice(&c.to_be_bytes());
+        out
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<Icmpv4, PcapError> {
+        if bytes.len() < 4 {
+            return Err(PcapError::BadFrame);
+        }
+        if checksum(bytes) != 0 {
+            return Err(PcapError::BadChecksum);
+        }
+        Ok(Icmpv4 { icmp_type: bytes[0], code: bytes[1], rest: bytes[4..].to_vec() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn rfc1071_checksum_example() {
+        // Example from RFC 1071 §3: words 0001 f203 f4f5 f6f7.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn checksum_odd_length() {
+        // Trailing byte is padded with zero.
+        assert_eq!(checksum(&[0xFF]), checksum(&[0xFF, 0x00]));
+    }
+
+    #[test]
+    fn ethernet_roundtrip() {
+        let f = EthernetFrame::ipv4(vec![1, 2, 3]);
+        let back = EthernetFrame::decode(&f.encode()).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(EthernetFrame::decode(&[0u8; 10]), Err(PcapError::BadFrame));
+    }
+
+    #[test]
+    fn ipv4_roundtrip_and_checksum() {
+        let h = Ipv4Header::new(ip("10.0.0.1"), ip("44.3.2.1"), IpProto::Tcp, vec![9; 32]);
+        let bytes = h.encode();
+        assert_eq!(bytes.len(), 52);
+        let back = Ipv4Header::decode(&bytes).unwrap();
+        assert_eq!(back, h);
+        // Corrupt one header byte: checksum must fail.
+        let mut bad = bytes.clone();
+        bad[8] ^= 0xFF;
+        assert_eq!(Ipv4Header::decode(&bad), Err(PcapError::BadChecksum));
+    }
+
+    #[test]
+    fn ipv4_rejects_v6_and_short() {
+        let mut bytes = Ipv4Header::new(ip("1.1.1.1"), ip("2.2.2.2"), IpProto::Udp, vec![]).encode();
+        bytes[0] = 0x65;
+        assert_eq!(Ipv4Header::decode(&bytes), Err(PcapError::BadFrame));
+        assert_eq!(Ipv4Header::decode(&[0x45; 10]), Err(PcapError::BadFrame));
+    }
+
+    #[test]
+    fn udp_roundtrip_and_checksum() {
+        let (s, d) = (ip("192.0.2.1"), ip("44.0.0.1"));
+        let u = UdpDatagram::new(53, 33_333, b"dns-payload".to_vec());
+        let bytes = u.encode(s, d);
+        let back = UdpDatagram::decode(&bytes, s, d).unwrap();
+        assert_eq!(back, u);
+        let mut bad = bytes.clone();
+        bad[9] ^= 1;
+        assert_eq!(UdpDatagram::decode(&bad, s, d), Err(PcapError::BadChecksum));
+        // Wrong pseudo-header (different dst) must also fail.
+        assert_eq!(UdpDatagram::decode(&bytes, s, ip("44.0.0.2")), Err(PcapError::BadChecksum));
+    }
+
+    #[test]
+    fn tcp_syn_ack_roundtrip() {
+        let (s, d) = (ip("195.135.195.195"), ip("44.17.3.9"));
+        let t = TcpSegment::syn_ack(53, 4_777, 0xDEAD_BEEF, 0x1234_5678);
+        let bytes = t.encode(s, d);
+        assert_eq!(bytes.len(), 20);
+        let back = TcpSegment::decode(&bytes, s, d).unwrap();
+        assert_eq!(back, t);
+        assert!(back.flags.syn && back.flags.ack && !back.flags.rst);
+    }
+
+    #[test]
+    fn tcp_rst_flags() {
+        let t = TcpSegment {
+            src_port: 80,
+            dst_port: 1234,
+            seq: 1,
+            ack: 0,
+            flags: TcpFlags::RST,
+            window: 0,
+            payload: vec![],
+        };
+        let bytes = t.encode(ip("1.2.3.4"), ip("5.6.7.8"));
+        let back = TcpSegment::decode(&bytes, ip("1.2.3.4"), ip("5.6.7.8")).unwrap();
+        assert!(back.flags.rst && !back.flags.syn);
+    }
+
+    #[test]
+    fn icmp_echo_reply_roundtrip() {
+        let m = Icmpv4::echo_reply(0x0102, 7);
+        let bytes = m.encode();
+        let back = Icmpv4::decode(&bytes).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.icmp_type, 0);
+    }
+
+    #[test]
+    fn icmp_port_unreachable_embeds_original() {
+        let original = [0x45u8; 40];
+        let m = Icmpv4::port_unreachable(&original);
+        assert_eq!(m.icmp_type, 3);
+        assert_eq!(m.code, 3);
+        assert_eq!(m.rest.len(), 4 + 28);
+        let back = Icmpv4::decode(&m.encode()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn full_stack_compose_and_parse() {
+        // Ethernet(IPv4(TCP SYN-ACK)) — what the telescope would capture.
+        let (victim, dark) = (ip("203.0.113.5"), ip("44.9.8.7"));
+        let tcp = TcpSegment::syn_ack(53, 55_555, 1, 2);
+        let ipkt = Ipv4Header::new(victim, dark, IpProto::Tcp, tcp.encode(victim, dark));
+        let eth = EthernetFrame::ipv4(ipkt.encode());
+        let wire = eth.encode();
+
+        let eth2 = EthernetFrame::decode(&wire).unwrap();
+        assert_eq!(eth2.ethertype, EtherType::Ipv4);
+        let ip2 = Ipv4Header::decode(&eth2.payload).unwrap();
+        assert_eq!(ip2.src, victim);
+        assert_eq!(ip2.proto, IpProto::Tcp);
+        let tcp2 = TcpSegment::decode(&ip2.payload, ip2.src, ip2.dst).unwrap();
+        assert_eq!(tcp2.src_port, 53);
+        assert!(tcp2.flags.syn && tcp2.flags.ack);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ipv4_roundtrip(
+            src in any::<u32>(), dst in any::<u32>(),
+            proto in any::<u8>(), ttl in any::<u8>(), ident in any::<u16>(),
+            payload in prop::collection::vec(any::<u8>(), 0..200),
+        ) {
+            let h = Ipv4Header {
+                src: Ipv4Addr::from(src),
+                dst: Ipv4Addr::from(dst),
+                proto: IpProto::from_code(proto),
+                ttl,
+                ident,
+                payload,
+            };
+            prop_assert_eq!(Ipv4Header::decode(&h.encode()).unwrap(), h);
+        }
+
+        #[test]
+        fn udp_roundtrip(
+            src in any::<u32>(), dst in any::<u32>(),
+            sp in any::<u16>(), dp in any::<u16>(),
+            payload in prop::collection::vec(any::<u8>(), 0..200),
+        ) {
+            let (s, d) = (Ipv4Addr::from(src), Ipv4Addr::from(dst));
+            let u = UdpDatagram::new(sp, dp, payload);
+            prop_assert_eq!(UdpDatagram::decode(&u.encode(s, d), s, d).unwrap(), u);
+        }
+
+        #[test]
+        fn decode_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..100)) {
+            let a = Ipv4Addr::new(1, 2, 3, 4);
+            let _ = EthernetFrame::decode(&bytes);
+            let _ = Ipv4Header::decode(&bytes);
+            let _ = UdpDatagram::decode(&bytes, a, a);
+            let _ = TcpSegment::decode(&bytes, a, a);
+            let _ = Icmpv4::decode(&bytes);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Minimal packet-capture substrate: a libpcap-format file writer/reader and
+//! the frame builders/parsers needed to synthesize realistic backscatter and
+//! DNS packets (Ethernet II, IPv4, UDP, TCP, ICMPv4).
+//!
+//! The paper's telescope ingests raw darknet traffic; our simulated
+//! telescope can export the backscatter it samples as a `.pcap` readable by
+//! Wireshark/tcpdump, and the DNS measurement path frames real `dnswire`
+//! messages into UDP — keeping the simulated pipeline honest at the byte
+//! level.
+
+pub mod file;
+pub mod frame;
+
+pub use file::{PcapPacket, PcapReader, PcapWriter};
+pub use frame::{
+    checksum, EtherType, EthernetFrame, Icmpv4, IpProto, Ipv4Header, TcpFlags, TcpSegment,
+    UdpDatagram,
+};
+
+/// Errors from parsing capture files or frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PcapError {
+    /// File too short or magic number unknown.
+    BadFileHeader,
+    /// A record header promised more bytes than the file holds.
+    Truncated,
+    /// A frame field was inconsistent (bad version, short header, length
+    /// mismatch).
+    BadFrame,
+    /// A checksum did not verify.
+    BadChecksum,
+}
+
+impl std::fmt::Display for PcapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcapError::BadFileHeader => write!(f, "bad pcap file header"),
+            PcapError::Truncated => write!(f, "truncated capture"),
+            PcapError::BadFrame => write!(f, "malformed frame"),
+            PcapError::BadChecksum => write!(f, "checksum mismatch"),
+        }
+    }
+}
+impl std::error::Error for PcapError {}

@@ -1,0 +1,387 @@
+//! The streaming reactive pipeline: feed records in, probe reports out.
+//!
+//! The trigger path runs on `streamproc` (the Kafka/Spark substitute): a
+//! feed topic feeds a join/trigger stage that maintains one [`ProbePlan`]
+//! per victim, extending it while the attack stays visible. The executor
+//! then replays the plans over virtual time against the offered-load book.
+
+use crate::plan::{ProbePlan, TriggerConfig};
+use crate::probe::{probe_all_ns, DomainProbe};
+use dnssim::{Infra, LoadBook};
+use simcore::rng::RngFactory;
+use simcore::time::SimTime;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use streamproc::{sink_to_vec, spawn_stage, Topic};
+use telescope::RsdosRecord;
+
+/// Summary of one probe round (one 5-minute window of one plan).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoundSummary {
+    pub round: u64,
+    pub at: SimTime,
+    pub probes: u64,
+    /// Domains that resolved via at least one nameserver.
+    pub resolvable: u64,
+    /// Mean best-RTT over resolvable domains (ms).
+    pub avg_best_rtt_ms: Option<f64>,
+    /// Mean fraction of nameservers responsive per domain.
+    pub responsive_ns_share: f64,
+}
+
+impl RoundSummary {
+    pub fn fully_unresolvable(&self) -> bool {
+        self.probes > 0 && self.resolvable == 0
+    }
+}
+
+/// The full probing record for one attacked nameserver IP.
+#[derive(Clone, Debug)]
+pub struct ReactiveReport {
+    pub plan: ProbePlan,
+    pub rounds: Vec<RoundSummary>,
+}
+
+impl ReactiveReport {
+    /// Number of rounds in which the probed domains were completely
+    /// unresolvable (the mil.ru condition).
+    pub fn unresolvable_rounds(&self) -> usize {
+        self.rounds.iter().filter(|r| r.fully_unresolvable()).count()
+    }
+
+    /// First time after `after` at which a majority of domains resolved —
+    /// the recovery instant the RDZ case study reports.
+    pub fn recovery_after(&self, after: SimTime) -> Option<SimTime> {
+        self.rounds
+            .iter()
+            .find(|r| r.at >= after && r.probes > 0 && r.resolvable * 2 > r.probes)
+            .map(|r| r.at)
+    }
+}
+
+/// The reactive platform.
+#[derive(Default)]
+pub struct ReactivePlatform {
+    pub config: TriggerConfig,
+}
+
+
+enum FeedMsg {
+    Record(RsdosRecord),
+    Flush,
+}
+
+impl ReactivePlatform {
+    /// Build probe plans from a stream of feed records using the
+    /// streaming framework: one trigger stage keyed by victim IP.
+    pub fn build_plans(&self, infra: &Arc<Infra>, records: &[RsdosRecord]) -> Vec<ProbePlan> {
+        let msgs: Topic<Arc<FeedMsg>> = Topic::new("feed-msgs");
+        let plans_topic: Topic<ProbePlan> = Topic::new("probe-plans");
+
+        // Trigger stage: maintain per-victim plans; emit them on flush.
+        let infra2 = Arc::clone(infra);
+        let config = self.config;
+        let mut open: HashMap<Ipv4Addr, ProbePlan> = HashMap::new();
+        let trigger = spawn_stage(
+            "trigger",
+            msgs.subscribe(),
+            plans_topic.clone(),
+            move |m: Arc<FeedMsg>| match &*m {
+                FeedMsg::Record(r) => {
+                    match open.get_mut(&r.victim) {
+                        Some(plan) => plan.extend(r.window, &config),
+                        None => {
+                            if let Some(plan) =
+                                ProbePlan::from_first_record(&infra2, r.victim, r.window, &config)
+                            {
+                                open.insert(r.victim, plan);
+                            }
+                        }
+                    }
+                    vec![]
+                }
+                FeedMsg::Flush => {
+                    let mut plans: Vec<ProbePlan> = open.drain().map(|(_, p)| p).collect();
+                    plans.sort_by_key(|p| (p.start, u32::from(p.victim)));
+                    plans
+                }
+            },
+        );
+        let sink = sink_to_vec(plans_topic.subscribe());
+
+        for r in records {
+            msgs.publish(Arc::new(FeedMsg::Record(r.clone())));
+        }
+        // End-of-feed: the flush marker travels the same ordered channel
+        // the records took, so the trigger stage emits its plans last.
+        msgs.publish(Arc::new(FeedMsg::Flush));
+        msgs.close();
+        trigger.join();
+        sink.join().expect("plan sink")
+    }
+
+    /// Execute the plans over virtual time. `max_rounds` bounds each
+    /// plan's execution (tests cap it; production uses `u64::MAX`).
+    pub fn execute(
+        &self,
+        infra: &Infra,
+        plans: &[ProbePlan],
+        loads: &LoadBook,
+        rngs: &RngFactory,
+        max_rounds: u64,
+    ) -> Vec<ReactiveReport> {
+        plans
+            .iter()
+            .map(|plan| {
+                let mut rng = rngs.stream_indexed("reactive-probe", u32::from(plan.victim) as u64);
+                let rounds = (0..plan.rounds().min(max_rounds))
+                    .map(|k| {
+                        let probes: Vec<DomainProbe> = plan
+                            .round_times(k)
+                            .into_iter()
+                            .map(|(d, at)| probe_all_ns(infra, d, at, loads, &mut rng))
+                            .collect();
+                        summarize_round(k, plan, &probes)
+                    })
+                    .collect();
+                ReactiveReport { plan: plan.clone(), rounds }
+            })
+            .collect()
+    }
+
+    /// Execute plans *chronologically interleaved* on a discrete-event
+    /// queue: probes from all plans fire in global time order, exactly as
+    /// the real platform's single prober would emit them (and as its
+    /// ethics budget is accounted). Produces the same per-plan summaries
+    /// as [`ReactivePlatform::execute`].
+    pub fn execute_chronological(
+        &self,
+        infra: &Infra,
+        plans: &[ProbePlan],
+        loads: &LoadBook,
+        rngs: &RngFactory,
+        max_rounds: u64,
+    ) -> Vec<ReactiveReport> {
+        use simcore::events::EventQueue;
+        // Event = (plan index, round index); rounds re-arm themselves.
+        let mut q: EventQueue<(usize, u64)> = EventQueue::new();
+        for (i, plan) in plans.iter().enumerate() {
+            if plan.rounds().min(max_rounds) > 0 {
+                q.schedule(plan.start, (i, 0));
+            }
+        }
+        let mut rngs_per_plan: Vec<_> = plans
+            .iter()
+            .map(|p| rngs.stream_indexed("reactive-probe", u32::from(p.victim) as u64))
+            .collect();
+        let mut rounds_per_plan: Vec<Vec<RoundSummary>> =
+            plans.iter().map(|_| Vec::new()).collect();
+        while let Some((at, (i, k))) = q.pop() {
+            let plan = &plans[i];
+            let probes: Vec<DomainProbe> = plan
+                .round_times(k)
+                .into_iter()
+                .map(|(d, t)| probe_all_ns(infra, d, t, loads, &mut rngs_per_plan[i]))
+                .collect();
+            rounds_per_plan[i].push(summarize_round(k, plan, &probes));
+            let next = k + 1;
+            if next < plan.rounds().min(max_rounds) {
+                q.schedule(
+                    at + simcore::time::SimDuration::from_secs(simcore::time::WINDOW_SECS),
+                    (i, next),
+                );
+            }
+        }
+        plans
+            .iter()
+            .zip(rounds_per_plan)
+            .map(|(plan, rounds)| ReactiveReport { plan: plan.clone(), rounds })
+            .collect()
+    }
+
+    /// Convenience: trigger + execute in one call.
+    pub fn run(
+        &self,
+        infra: &Arc<Infra>,
+        records: &[RsdosRecord],
+        loads: &LoadBook,
+        rngs: &RngFactory,
+        max_rounds: u64,
+    ) -> Vec<ReactiveReport> {
+        let plans = self.build_plans(infra, records);
+        self.execute(infra, &plans, loads, rngs, max_rounds)
+    }
+}
+
+fn summarize_round(k: u64, plan: &ProbePlan, probes: &[DomainProbe]) -> RoundSummary {
+    let resolvable = probes.iter().filter(|p| p.resolvable()).count() as u64;
+    let best: Vec<f64> = probes.iter().filter_map(|p| p.best_rtt_ms()).collect();
+    let avg_best =
+        if best.is_empty() { None } else { Some(best.iter().sum::<f64>() / best.len() as f64) };
+    let ns_share = if probes.is_empty() {
+        0.0
+    } else {
+        probes
+            .iter()
+            .map(|p| {
+                if p.outcomes.is_empty() {
+                    0.0
+                } else {
+                    p.responsive_ns() as f64 / p.outcomes.len() as f64
+                }
+            })
+            .sum::<f64>()
+            / probes.len() as f64
+    };
+    RoundSummary {
+        round: k,
+        at: plan.start + simcore::time::SimDuration::from_secs(k * simcore::time::WINDOW_SECS),
+        probes: probes.len() as u64,
+        resolvable,
+        avg_best_rtt_ms: avg_best,
+        responsive_ns_share: ns_share,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attack::Protocol;
+    use simcore::time::Window;
+    use dnssim::Deployment;
+    use netbase::Asn;
+
+    fn world() -> (Arc<Infra>, Vec<Ipv4Addr>) {
+        let mut infra = Infra::new();
+        let addrs: Vec<Ipv4Addr> = (1..=3)
+            .map(|i| format!("188.128.110.{i}").parse().unwrap())
+            .collect();
+        let ids: Vec<_> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                infra.add_nameserver(
+                    format!("ns{i}.mil.ru").parse().unwrap(),
+                    a,
+                    Asn(8342),
+                    Deployment::Unicast,
+                    30_000.0,
+                    500.0,
+                    45.0,
+                )
+            })
+            .collect();
+        let set = infra.intern_nsset(ids);
+        for i in 0..120 {
+            infra.add_domain(format!("svc{i}.mil.ru").parse().unwrap(), set);
+        }
+        (Arc::new(infra), addrs)
+    }
+
+    fn record(victim: Ipv4Addr, w: u64) -> RsdosRecord {
+        RsdosRecord {
+            window: Window(w),
+            victim,
+            slash16s: 50,
+            protocol: Protocol::Tcp,
+            first_port: 53,
+            unique_ports: 1,
+            max_ppm: 5_000.0,
+            packets: 25_000,
+        }
+    }
+
+    #[test]
+    fn streaming_trigger_builds_one_plan_per_victim() {
+        let (infra, addrs) = world();
+        let platform = ReactivePlatform::default();
+        let records = vec![
+            record(addrs[0], 100),
+            record(addrs[0], 101), // extension, not a new plan
+            record(addrs[1], 102),
+            record("9.9.9.99".parse().unwrap(), 100), // not a nameserver
+        ];
+        let plans = platform.build_plans(&infra, &records);
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans[0].victim, addrs[0]);
+        // Extension moved `until` to record 101's window end + 24 h.
+        assert_eq!(
+            plans[0].until,
+            Window(101).end() + simcore::time::SimDuration::from_hours(24)
+        );
+    }
+
+    #[test]
+    fn execution_detects_blackout_and_recovery() {
+        let (infra, addrs) = world();
+        let platform = ReactivePlatform::default();
+        // Attack saturates all three servers for windows 100..=105.
+        let mut loads = LoadBook::new();
+        for w in 100..=105u64 {
+            for a in &addrs {
+                loads.add(*a, Window(w), 30_000_000.0);
+            }
+        }
+        let records: Vec<RsdosRecord> =
+            (100..=105).flat_map(|w| addrs.iter().map(move |&a| record(a, w))).collect();
+        let reports =
+            platform.run(&infra, &records, &loads, &RngFactory::new(3), 12);
+        assert_eq!(reports.len(), 3);
+        let r = &reports[0];
+        // Probing starts at window 101 (trigger after first record) — the
+        // attack still runs through 105, so the first ~5 rounds black out.
+        assert!(r.unresolvable_rounds() >= 3, "blackout rounds {}", r.unresolvable_rounds());
+        // After the attack ends the domains recover.
+        let recovery = r.recovery_after(Window(106).start()).expect("recovers");
+        assert!(recovery >= Window(106).start());
+        // Probes respect the 50-domain cap.
+        assert!(r.rounds[0].probes <= 50);
+    }
+
+    #[test]
+    fn healthy_execution_resolves_everything() {
+        let (infra, addrs) = world();
+        let platform = ReactivePlatform::default();
+        let records = vec![record(addrs[2], 10)];
+        let reports =
+            platform.run(&infra, &records, &LoadBook::new(), &RngFactory::new(4), 3);
+        let r = &reports[0];
+        assert_eq!(r.unresolvable_rounds(), 0);
+        for round in &r.rounds {
+            assert_eq!(round.resolvable, round.probes);
+            assert!(round.responsive_ns_share > 0.99);
+            assert!(round.avg_best_rtt_ms.unwrap() < 100.0);
+        }
+    }
+
+    #[test]
+    fn chronological_execution_matches_sequential() {
+        // Same plans, same RNG streams → the event-queue executor and the
+        // plain per-plan loop must produce identical reports.
+        let (infra, addrs) = world();
+        let platform = ReactivePlatform::default();
+        let records: Vec<RsdosRecord> =
+            addrs.iter().map(|&a| record(a, 10)).collect();
+        let plans = platform.build_plans(&infra, &records);
+        let rngs = RngFactory::new(12);
+        let seq = platform.execute(&infra, &plans, &LoadBook::new(), &rngs, 4);
+        let chrono =
+            platform.execute_chronological(&infra, &plans, &LoadBook::new(), &rngs, 4);
+        assert_eq!(seq.len(), chrono.len());
+        for (a, b) in seq.iter().zip(&chrono) {
+            assert_eq!(a.plan, b.plan);
+            assert_eq!(a.rounds, b.rounds);
+        }
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let (infra, addrs) = world();
+        let platform = ReactivePlatform::default();
+        let records = vec![record(addrs[0], 10)];
+        let a = platform.run(&infra, &records, &LoadBook::new(), &RngFactory::new(5), 2);
+        let b = platform.run(&infra, &records, &LoadBook::new(), &RngFactory::new(5), 2);
+        assert_eq!(a[0].rounds, b[0].rounds);
+    }
+}

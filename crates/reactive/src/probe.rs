@@ -1,0 +1,181 @@
+//! The NS-exhaustive prober: one query to every authoritative nameserver
+//! of a domain.
+
+use dnssim::{DomainId, Infra, LoadBook, NsId, QueryStatus};
+use rand::Rng;
+use simcore::time::{SimTime, Window};
+
+/// Outcome of probing one nameserver once.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NsProbeOutcome {
+    pub ns: NsId,
+    pub status: QueryStatus,
+    pub rtt_ms: f64,
+}
+
+/// Outcome of probing one domain across all its nameservers at one
+/// instant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DomainProbe {
+    pub domain: DomainId,
+    pub at: SimTime,
+    pub outcomes: Vec<NsProbeOutcome>,
+}
+
+impl DomainProbe {
+    /// The domain resolves if any nameserver answered.
+    pub fn resolvable(&self) -> bool {
+        self.outcomes.iter().any(|o| o.status == QueryStatus::Ok)
+    }
+
+    /// Number of responsive nameservers.
+    pub fn responsive_ns(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.status == QueryStatus::Ok).count()
+    }
+
+    /// Best (minimum) RTT over responsive nameservers.
+    pub fn best_rtt_ms(&self) -> Option<f64> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.status == QueryStatus::Ok)
+            .map(|o| o.rtt_ms)
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+}
+
+/// Per-probe timeout used by the reactive platform, milliseconds.
+pub const PROBE_TIMEOUT_MS: f64 = 2_000.0;
+
+/// Probe every nameserver of `domain` at time `at`.
+pub fn probe_all_ns<R: Rng + ?Sized>(
+    infra: &Infra,
+    domain: DomainId,
+    at: SimTime,
+    loads: &LoadBook,
+    rng: &mut R,
+) -> DomainProbe {
+    let window: Window = at.window();
+    let nsset = infra.domain(domain).nsset;
+    let mut outcomes = Vec::new();
+    for &ns in infra.nsset(nsset).members() {
+        let state = infra.service_state(ns, window, loads);
+        let n = infra.nameserver(ns);
+        let u: f64 = rng.random();
+        let outcome = if u < state.answer_prob {
+            let rtt = n.base_rtt_ms * state.rtt_mult;
+            if rtt >= PROBE_TIMEOUT_MS {
+                NsProbeOutcome { ns, status: QueryStatus::Timeout, rtt_ms: PROBE_TIMEOUT_MS }
+            } else {
+                NsProbeOutcome { ns, status: QueryStatus::Ok, rtt_ms: rtt }
+            }
+        } else if u < state.answer_prob + state.servfail_prob {
+            NsProbeOutcome {
+                ns,
+                status: QueryStatus::ServFail,
+                rtt_ms: n.base_rtt_ms * state.rtt_mult.min(10.0),
+            }
+        } else {
+            NsProbeOutcome { ns, status: QueryStatus::Timeout, rtt_ms: PROBE_TIMEOUT_MS }
+        };
+        outcomes.push(outcome);
+    }
+    DomainProbe { domain, at, outcomes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnssim::Deployment;
+    use netbase::Asn;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::net::Ipv4Addr;
+
+    fn world() -> (Infra, DomainId, Vec<Ipv4Addr>) {
+        let mut infra = Infra::new();
+        let addrs: Vec<Ipv4Addr> = vec![
+            "188.128.110.1".parse().unwrap(),
+            "188.128.110.2".parse().unwrap(),
+            "188.128.110.3".parse().unwrap(),
+        ];
+        let ids: Vec<_> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                infra.add_nameserver(
+                    format!("ns{i}.mil.ru").parse().unwrap(),
+                    a,
+                    Asn(8342),
+                    Deployment::Unicast,
+                    30_000.0,
+                    500.0,
+                    45.0,
+                )
+            })
+            .collect();
+        let set = infra.intern_nsset(ids);
+        let d = infra.add_domain("mil.ru".parse().unwrap(), set);
+        (infra, d, addrs)
+    }
+
+    #[test]
+    fn healthy_probe_hits_every_ns() {
+        let (infra, d, _) = world();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let p = probe_all_ns(&infra, d, SimTime(1_000), &LoadBook::new(), &mut rng);
+        assert_eq!(p.outcomes.len(), 3);
+        assert!(p.resolvable());
+        assert_eq!(p.responsive_ns(), 3);
+        assert!(p.best_rtt_ms().unwrap() < 100.0);
+    }
+
+    #[test]
+    fn saturating_attack_makes_domain_unresolvable() {
+        let (infra, d, addrs) = world();
+        let mut loads = LoadBook::new();
+        let at = SimTime(50_000);
+        for a in &addrs {
+            loads.add(*a, at.window(), 30_000_000.0); // 1000x capacity
+        }
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut unresolvable = 0;
+        for _ in 0..100 {
+            let p = probe_all_ns(&infra, d, at, &loads, &mut rng);
+            if !p.resolvable() {
+                unresolvable += 1;
+            }
+        }
+        assert!(unresolvable > 90, "mil.ru-style blackout: {unresolvable}/100");
+    }
+
+    #[test]
+    fn partial_attack_leaves_some_ns_responsive() {
+        let (infra, d, addrs) = world();
+        let mut loads = LoadBook::new();
+        let at = SimTime(50_000);
+        // Kills ns0 (10x its 30 kpps capacity) but stays well below the
+        // shared /24 uplink capacity, so ns1/ns2 keep answering. (A larger
+        // attack would congest the shared uplink and take down all three —
+        // the mil.ru effect, covered by the saturation test above.)
+        loads.add(addrs[0], at.window(), 300_000.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let p = probe_all_ns(&infra, d, at, &loads, &mut rng);
+        assert!(p.resolvable(), "two healthy servers remain");
+        assert!(p.responsive_ns() >= 2);
+    }
+
+    #[test]
+    fn slow_but_alive_server_counts_with_inflated_rtt() {
+        let (infra, d, addrs) = world();
+        let mut loads = LoadBook::new();
+        let at = SimTime(0);
+        for a in &addrs {
+            loads.add(*a, at.window(), 28_000.0); // ρ≈0.95 → ~20x RTT
+        }
+        let mut rng = SmallRng::seed_from_u64(4);
+        let p = probe_all_ns(&infra, d, at, &loads, &mut rng);
+        if let Some(rtt) = p.best_rtt_ms() {
+            assert!(rtt > 300.0, "inflated RTT visible: {rtt}");
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Multi-vantage probing — the paper's §9 future work.
+//!
+//! With a single vantage point (the platform's Dutch server), anycast
+//! catchment can mask an ongoing attack entirely: the site answering the
+//! prober absorbs a small, survivable slice of the attack while other
+//! catchments melt (§4.3, limitation 4). Probing the same deployment from
+//! several vantage points samples several catchments, so a regionally
+//! devastating attack becomes visible.
+//!
+//! A [`VantagePoint`] deterministically derives, per anycast nameserver,
+//! the share of a uniformly-sourced attack its catchment site absorbs:
+//! between the uniform share `1/sites` and a hot-spot multiple of it.
+//! Unicast servers look identical from everywhere (modulo base RTT).
+
+use crate::probe::{DomainProbe, NsProbeOutcome, PROBE_TIMEOUT_MS};
+use dnssim::{Deployment, DomainId, Infra, LoadBook, NsId, QueryStatus};
+use rand::Rng;
+use simcore::rng::{hash_label, splitmix64};
+use simcore::time::SimTime;
+
+/// A measurement vantage point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VantagePoint {
+    /// Human-readable location ("nl-ams", "us-iad", ...).
+    pub name: String,
+    /// Deterministic identity: drives the per-nameserver catchment draw.
+    pub seed: u64,
+    /// Added to every nameserver's base RTT (geographic distance).
+    pub rtt_offset_ms: f64,
+    /// Worst-case catchment hot-spotting: the local site may absorb up to
+    /// `hotspot × uniform-share` of the attack (clamped to 1).
+    pub hotspot: f64,
+}
+
+impl VantagePoint {
+    pub fn new(name: &str, rtt_offset_ms: f64) -> VantagePoint {
+        VantagePoint { name: name.to_string(), seed: hash_label(name), rtt_offset_ms, hotspot: 8.0 }
+    }
+
+    /// The paper's current deployment: a single Dutch vantage, which we
+    /// model with a near-uniform catchment (the well-peered default the
+    /// uniform-dilution service model also assumes).
+    pub fn single_nl() -> Vec<VantagePoint> {
+        let mut v = VantagePoint::new("nl-ams", 0.0);
+        v.hotspot = 1.0;
+        vec![v]
+    }
+
+    /// A small geographically spread fleet.
+    pub fn default_fleet() -> Vec<VantagePoint> {
+        vec![
+            VantagePoint::new("nl-ams", 0.0),
+            VantagePoint::new("us-iad", 40.0),
+            VantagePoint::new("br-gru", 95.0),
+            VantagePoint::new("jp-hnd", 110.0),
+            VantagePoint::new("za-jnb", 80.0),
+        ]
+    }
+
+    /// The attack-dilution factor this vantage observes for `ns`:
+    /// the catchment share of the site answering this vantage.
+    pub fn dilution_for(&self, infra: &Infra, ns: NsId) -> f64 {
+        let n = infra.nameserver(ns);
+        match n.deployment {
+            Deployment::Unicast => 1.0,
+            Deployment::Anycast { sites } => {
+                let uniform = 1.0 / sites.max(1) as f64;
+                // Deterministic hot-spot multiplier in [1, hotspot].
+                let mut state = self.seed ^ (ns.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let u = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+                (uniform * (1.0 + u * (self.hotspot - 1.0))).min(1.0)
+            }
+        }
+    }
+
+    /// Probe every nameserver of `domain` from this vantage.
+    pub fn probe_all_ns<R: Rng + ?Sized>(
+        &self,
+        infra: &Infra,
+        domain: DomainId,
+        at: SimTime,
+        loads: &LoadBook,
+        rng: &mut R,
+    ) -> DomainProbe {
+        let window = at.window();
+        let nsset = infra.domain(domain).nsset;
+        let mut outcomes = Vec::new();
+        for &ns in infra.nsset(nsset).members() {
+            let dilution = self.dilution_for(infra, ns);
+            let state = infra.service_state_with_dilution(ns, window, loads, dilution);
+            let n = infra.nameserver(ns);
+            let base = n.base_rtt_ms + self.rtt_offset_ms;
+            let u: f64 = rng.random();
+            let outcome = if u < state.answer_prob {
+                let rtt = base * state.rtt_mult;
+                if rtt >= PROBE_TIMEOUT_MS {
+                    NsProbeOutcome { ns, status: QueryStatus::Timeout, rtt_ms: PROBE_TIMEOUT_MS }
+                } else {
+                    NsProbeOutcome { ns, status: QueryStatus::Ok, rtt_ms: rtt }
+                }
+            } else if u < state.answer_prob + state.servfail_prob {
+                NsProbeOutcome {
+                    ns,
+                    status: QueryStatus::ServFail,
+                    rtt_ms: base * state.rtt_mult.min(10.0),
+                }
+            } else {
+                NsProbeOutcome { ns, status: QueryStatus::Timeout, rtt_ms: PROBE_TIMEOUT_MS }
+            };
+            outcomes.push(outcome);
+        }
+        DomainProbe { domain, at, outcomes }
+    }
+}
+
+/// One domain probed from every vantage at the same instant.
+#[derive(Clone, Debug)]
+pub struct MultiVantageProbe {
+    pub probes: Vec<(String, DomainProbe)>,
+}
+
+/// Probe `domain` from every vantage in `fleet`.
+pub fn probe_from_fleet<R: Rng + ?Sized>(
+    fleet: &[VantagePoint],
+    infra: &Infra,
+    domain: DomainId,
+    at: SimTime,
+    loads: &LoadBook,
+    rng: &mut R,
+) -> MultiVantageProbe {
+    MultiVantageProbe {
+        probes: fleet
+            .iter()
+            .map(|v| (v.name.clone(), v.probe_all_ns(infra, domain, at, loads, rng)))
+            .collect(),
+    }
+}
+
+impl MultiVantageProbe {
+    /// Vantages from which the domain resolved.
+    pub fn resolvable_from(&self) -> Vec<&str> {
+        self.probes
+            .iter()
+            .filter(|(_, p)| p.resolvable())
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// An attack is *masked* when the default (first) vantage sees a
+    /// healthy domain but some other vantage sees impairment.
+    pub fn masked_from_primary(&self) -> bool {
+        let Some((_, primary)) = self.probes.first() else { return false };
+        primary.resolvable()
+            && self.probes.iter().skip(1).any(|(_, p)| !p.resolvable())
+    }
+
+    /// Worst responsive-nameserver share across vantages.
+    pub fn worst_ns_share(&self) -> f64 {
+        self.probes
+            .iter()
+            .map(|(_, p)| {
+                if p.outcomes.is_empty() {
+                    0.0
+                } else {
+                    p.responsive_ns() as f64 / p.outcomes.len() as f64
+                }
+            })
+            .fold(1.0, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbase::Asn;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::net::Ipv4Addr;
+
+    fn anycast_world(sites: u32) -> (Infra, DomainId, Ipv4Addr) {
+        let mut infra = Infra::new();
+        let addr: Ipv4Addr = "198.51.7.53".parse().unwrap();
+        let ns = infra.add_nameserver(
+            "ns.anycast.net".parse().unwrap(),
+            addr,
+            Asn(64500),
+            Deployment::Anycast { sites },
+            100_000.0,
+            1_000.0,
+            10.0,
+        );
+        let set = infra.intern_nsset(vec![ns]);
+        let d = infra.add_domain("masked.example".parse().unwrap(), set);
+        (infra, d, addr)
+    }
+
+    #[test]
+    fn dilution_bounds_and_determinism() {
+        let (infra, _, _) = anycast_world(30);
+        let v = VantagePoint::new("nl-ams", 0.0);
+        let d1 = v.dilution_for(&infra, NsId(0));
+        let d2 = v.dilution_for(&infra, NsId(0));
+        assert_eq!(d1, d2, "deterministic per (vantage, ns)");
+        assert!((1.0 / 30.0..=8.0 / 30.0).contains(&d1), "dilution {d1}");
+        // Different vantages draw different catchments.
+        let w = VantagePoint::new("jp-hnd", 110.0);
+        assert_ne!(v.dilution_for(&infra, NsId(0)), w.dilution_for(&infra, NsId(0)));
+    }
+
+    #[test]
+    fn unicast_identical_from_everywhere() {
+        let mut infra = Infra::new();
+        let ns = infra.add_nameserver(
+            "ns.uni.net".parse().unwrap(),
+            "192.0.2.53".parse().unwrap(),
+            Asn(1),
+            Deployment::Unicast,
+            50_000.0,
+            500.0,
+            20.0,
+        );
+        for v in VantagePoint::default_fleet() {
+            assert_eq!(v.dilution_for(&infra, ns), 1.0);
+        }
+    }
+
+    #[test]
+    fn fleet_unmasks_anycast_attack() {
+        // A big attack on a 30-site anycast deployment: the uniform share
+        // (1/30) is survivable, but a hot-spotted catchment (up to 8/30)
+        // is not. Some vantage in the fleet must see the impairment the
+        // primary vantage misses.
+        let (infra, domain, addr) = anycast_world(30);
+        let mut loads = LoadBook::new();
+        let at = SimTime::from_days(1);
+        loads.add(addr, at.window(), 1_200_000.0); // 12x capacity in aggregate
+        let fleet = VantagePoint::default_fleet();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut masked_seen = 0;
+        for _ in 0..50 {
+            let mv = probe_from_fleet(&fleet, &infra, domain, at, &loads, &mut rng);
+            // The uniform-ish vantages still resolve.
+            assert!(!mv.resolvable_from().is_empty());
+            if mv.masked_from_primary() {
+                masked_seen += 1;
+            }
+        }
+        assert!(
+            masked_seen > 10,
+            "the fleet should repeatedly expose the masked attack: {masked_seen}/50"
+        );
+    }
+
+    #[test]
+    fn healthy_world_is_healthy_from_everywhere() {
+        let (infra, domain, _) = anycast_world(30);
+        let fleet = VantagePoint::default_fleet();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mv =
+            probe_from_fleet(&fleet, &infra, domain, SimTime::from_days(1), &LoadBook::new(), &mut rng);
+        assert_eq!(mv.resolvable_from().len(), fleet.len());
+        assert!(!mv.masked_from_primary());
+        assert_eq!(mv.worst_ns_share(), 1.0);
+        // Distant vantages see larger RTTs.
+        let rtts: Vec<f64> =
+            mv.probes.iter().map(|(_, p)| p.best_rtt_ms().unwrap()).collect();
+        assert!(rtts[3] > rtts[0], "jp-hnd farther than nl-ams: {rtts:?}");
+    }
+
+    #[test]
+    fn single_nl_matches_paper_deployment() {
+        let v = VantagePoint::single_nl();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].name, "nl-ams");
+        assert_eq!(v[0].rtt_offset_ms, 0.0);
+    }
+}

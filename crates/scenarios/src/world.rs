@@ -1,0 +1,393 @@
+//! The synthetic Internet generator.
+//!
+//! Produces a population of DNS hosting providers whose shape mirrors what
+//! the paper measures: a heavy-tailed (Zipf) distribution of domains per
+//! provider (a few providers host millions, most host a handful), anycast
+//! adoption concentrated at the big providers, capacity roughly
+//! proportional to size, and the well-known public resolvers present as
+//! misconfigured NS targets.
+
+use attack::TargetPool;
+use census::{AnycastCensus, OpenResolverList};
+use dnsimpact_core::longitudinal::MetaTables;
+use dnssim::{Deployment, Infra, NsSetId};
+use netbase::{As2Org, Asn, Ipv4Net, OrgRegistry, Prefix2As};
+use rand::Rng;
+use simcore::dist::{log_normal, Zipf};
+use simcore::rng::RngFactory;
+use std::net::Ipv4Addr;
+
+/// World-generation parameters.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// Number of hosting providers.
+    pub providers: u32,
+    /// Total registered domains distributed over providers.
+    pub domains: u32,
+    /// Zipf exponent of the provider-size distribution.
+    pub zipf_exponent: f64,
+    /// Fraction of the *largest* providers running full anycast; adoption
+    /// decays with provider rank.
+    pub anycast_top_share: f64,
+    /// Queries/s of capacity per hosted domain (big portfolios get big
+    /// servers), with log-normal jitter.
+    pub capacity_per_domain: f64,
+    /// Floor on per-server capacity, pps.
+    pub capacity_floor: f64,
+    /// Number of misconfigured domains pointing NS records at public
+    /// resolvers.
+    pub misconfigured_domains: u32,
+    /// Census detection recall (< 1 keeps it a lower bound).
+    pub census_recall: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> WorldConfig {
+        WorldConfig {
+            providers: 100,
+            domains: 120_000,
+            zipf_exponent: 1.05,
+            anycast_top_share: 0.15,
+            capacity_per_domain: 12.0,
+            capacity_floor: 20_000.0,
+            misconfigured_domains: 60,
+            census_recall: 0.9,
+        }
+    }
+}
+
+/// A generated world, ready for the pipeline.
+pub struct BuiltWorld {
+    pub infra: Infra,
+    pub meta: MetaTables,
+    /// All nameserver service addresses (attack targets).
+    pub dns_addrs: Vec<Ipv4Addr>,
+    /// Attack-attractiveness weights aligned with `dns_addrs` (bigger
+    /// providers and famous resolvers attract more attacks — Tables 4–5).
+    pub dns_weights: Vec<f64>,
+    /// Non-nameserver hosts inside nameserver /24s.
+    pub collateral_addrs: Vec<Ipv4Addr>,
+    /// One representative NSSet per provider, ordered by provider rank.
+    pub provider_nssets: Vec<NsSetId>,
+    /// Per-provider nameserver address groups (campaign targets).
+    pub dns_groups: Vec<Vec<Ipv4Addr>>,
+}
+
+impl BuiltWorld {
+    pub fn target_pool(&self) -> TargetPool {
+        TargetPool {
+            dns_addrs: self.dns_addrs.clone(),
+            dns_weights: self.dns_weights.clone(),
+            collateral_addrs: self.collateral_addrs.clone(),
+            dns_groups: self.dns_groups.clone(),
+        }
+    }
+}
+
+/// Provider name table: a few recognizable names for the top slots (the
+/// organizations of Tables 4–6), synthetic names for the rest.
+fn provider_name(rank: u32) -> (String, &'static str) {
+    const NAMED: &[(&str, &str)] = &[
+        ("Google", "US"),
+        ("Unified Layer", "US"),
+        ("Cloudflare", "US"),
+        ("OVH", "FR"),
+        ("Hetzner", "DE"),
+        ("Amazon", "US"),
+        ("Microsoft", "US"),
+        ("Fastly", "US"),
+        ("GoDaddy", "US"),
+        ("TransIP B.V.", "NL"),
+        ("NForce B.V.", "NL"),
+        ("Co-Co NL", "NL"),
+        ("NMU Group", "SE"),
+        ("My Lock De", "DE"),
+        ("DigiHosting NL", "NL"),
+        ("Linode", "US"),
+        ("ITandTEL", "AT"),
+        ("Contabo", "DE"),
+        ("Beeline RU", "RU"),
+        ("nic.ru", "RU"),
+        ("Euskaltel", "ES"),
+    ];
+    if (rank as usize) < NAMED.len() {
+        let (n, c) = NAMED[rank as usize];
+        (n.to_string(), c)
+    } else {
+        (format!("Hosting-{rank}"), "US")
+    }
+}
+
+/// Generate a world.
+pub fn build(config: &WorldConfig, rngs: &RngFactory) -> BuiltWorld {
+    let mut rng = rngs.stream("world-gen");
+    let mut infra = Infra::new();
+    let mut orgs = OrgRegistry::new();
+    let mut as2org = As2Org::new();
+    let mut prefix2as = Prefix2As::new();
+    let mut dns_addrs = Vec::new();
+    let mut dns_weights = Vec::new();
+    let mut collateral = Vec::new();
+    let mut provider_nssets = Vec::new();
+    let mut dns_groups: Vec<Vec<Ipv4Addr>> = Vec::new();
+
+    // Provider sizes: multinomial over a Zipf pmf.
+    let zipf = Zipf::new(config.providers as usize, config.zipf_exponent);
+    let mut sizes = vec![0u32; config.providers as usize];
+    for _ in 0..config.domains {
+        sizes[zipf.sample(&mut rng) - 1] += 1;
+    }
+
+    for p in 0..config.providers {
+        let size = sizes[p as usize].max(1);
+        let (name, country) = provider_name(p);
+        let org = orgs.add(&name, country);
+        let asn = Asn(60_000 + p);
+        as2org.assign(asn, org);
+
+        // Address plan: provider p owns 101.p.0.0/16 (wrapping into
+        // adjacent octets for p > 255 never happens at our scales).
+        let first_octet = 101 + (p / 250) as u8;
+        let second = (p % 250) as u8;
+        let net: Ipv4Net = format!("{first_octet}.{second}.0.0/16").parse().unwrap();
+        prefix2as.announce(net, asn);
+
+        let ns_count = 2 + (rng.random_range(0..3)) as u32; // 2–4 nameservers
+        let anycast = (p as f64)
+            < config.providers as f64 * config.anycast_top_share
+            && rng.random::<f64>() < 0.9;
+        // Prefix layout: resilient providers spread /24s; weak ones stack
+        // everything in one.
+        let single_prefix = !anycast && rng.random::<f64>() < 0.35;
+        let capacity = (size as f64 * config.capacity_per_domain
+            * log_normal(&mut rng, 0.0, 1.0))
+        .max(config.capacity_floor);
+        let legit = (size as f64 * 0.5).max(10.0);
+        let mut ns_ids = Vec::new();
+        for s in 0..ns_count {
+            let third = if single_prefix { 0 } else { s as u8 };
+            let addr: Ipv4Addr =
+                format!("{first_octet}.{second}.{third}.{}", 53 + s).parse().unwrap();
+            dns_addrs.push(addr);
+            // Attack attractiveness grows with provider size.
+            dns_weights.push((size as f64).sqrt());
+            ns_ids.push(infra.add_nameserver(
+                format!("ns{s}.{}.net", name.to_lowercase().replace([' ', '.'], "-"))
+                    .parse()
+                    .unwrap(),
+                addr,
+                asn,
+                if anycast {
+                    Deployment::Anycast { sites: 10 + rng.random_range(0..30) }
+                } else {
+                    Deployment::Unicast
+                },
+                capacity,
+                legit,
+                5.0 + rng.random::<f64>() * 50.0,
+            ));
+            // One collateral host (web server) per nameserver /24.
+            let web: Ipv4Addr =
+                format!("{first_octet}.{second}.{third}.80").parse().unwrap();
+            if !collateral.contains(&web) {
+                collateral.push(web);
+            }
+        }
+        // Single-prefix shops share one thin uplink behind all their
+        // nameservers — the mil.ru failure mode: one saturating campaign
+        // takes out every server at once (§5.2.3, §6.6.3).
+        if single_prefix {
+            let prefix = netbase::Slash24::of(
+                format!("{first_octet}.{second}.0.53").parse::<Ipv4Addr>().unwrap(),
+            );
+            infra.set_uplink(dnssim::Uplink::new(prefix, (capacity * 1.5).max(30_000.0)));
+        }
+        // Third-party secondary DNS: a quarter of providers add one
+        // nameserver borrowed from an earlier (usually bigger) provider —
+        // the multi-ASN deployments of Figure 12. A few add two.
+        if p > 0 && rng.random::<f64>() < 0.25 {
+            let donors = 1 + (rng.random::<f64>() < 0.2) as usize;
+            for _ in 0..donors {
+                let donor_group = &dns_groups[rng.random_range(0..dns_groups.len())];
+                let borrowed = donor_group[rng.random_range(0..donor_group.len())];
+                if let Some(id) = infra.ns_by_addr(borrowed) {
+                    if !ns_ids.contains(&id) {
+                        ns_ids.push(id);
+                    }
+                }
+            }
+        }
+        let set = infra.intern_nsset(ns_ids.clone());
+        provider_nssets.push(set);
+        dns_groups.push(ns_ids.iter().map(|&id| infra.nameserver(id).addr).collect());
+        // Most domains use the provider's full set; a few use subsets
+        // (producing multiple NSSets per provider, as in the wild).
+        for d in 0..size {
+            let use_subset = ns_ids.len() > 2 && rng.random::<f64>() < 0.05;
+            let target_set = if use_subset {
+                infra.intern_nsset(ns_ids[..2].to_vec())
+            } else {
+                set
+            };
+            infra.add_domain(
+                format!("dom{p}x{d}.example").parse().unwrap(),
+                target_set,
+            );
+        }
+    }
+
+    // Public resolvers: registered so misconfigured domains can point at
+    // them, flagged open-resolver, heavily provisioned anycast.
+    let mut open_resolvers = OpenResolverList::well_known();
+    let resolver_specs: [(&str, &str, u32, &str); 3] = [
+        ("8.8.8.8", "dns.google", 15169, "Google"),
+        ("8.8.4.4", "dns2.google", 15169, "Google"),
+        ("1.1.1.1", "one.one.one.one", 13335, "Cloudflare"),
+    ];
+    let mut resolver_ids = Vec::new();
+    for (addr, host, asn, org_name) in resolver_specs {
+        let asn = Asn(asn);
+        let org = orgs
+            .iter()
+            .find(|o| o.name == org_name)
+            .map(|o| o.id)
+            .unwrap_or_else(|| panic!("org {org_name} exists"));
+        as2org.assign(asn, org);
+        let ip: Ipv4Addr = addr.parse().unwrap();
+        prefix2as.announce(Ipv4Net::new(ip, 24), asn);
+        let id = infra.add_nameserver(
+            host.parse().unwrap(),
+            ip,
+            asn,
+            Deployment::Anycast { sites: 200 },
+            50_000_000.0,
+            1_000_000.0,
+            4.0,
+        );
+        infra.mark_open_resolver(id);
+        resolver_ids.push(id);
+        dns_addrs.push(ip);
+        // Famous addresses attract disproportionate attacks (Table 5).
+        dns_weights.push((config.domains as f64).sqrt() * 4.0);
+    }
+    for m in 0..config.misconfigured_domains {
+        let set = infra
+            .intern_nsset(vec![resolver_ids[(m as usize) % resolver_ids.len()]]);
+        infra.add_domain(format!("misconf{m}.example").parse().unwrap(), set);
+    }
+    open_resolvers.extend_from_infra(&infra);
+
+    let census = AnycastCensus::from_ground_truth(
+        &infra,
+        AnycastCensus::paper_snapshot_dates(),
+        config.census_recall,
+        rngs,
+    );
+
+    BuiltWorld {
+        infra,
+        meta: MetaTables { prefix2as, as2org, orgs, open_resolvers, census },
+        dns_addrs,
+        dns_weights,
+        collateral_addrs: collateral,
+        provider_nssets,
+        dns_groups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_shape_is_heavy_tailed() {
+        let w = build(&WorldConfig::default(), &RngFactory::new(1));
+        assert_eq!(w.provider_nssets.len(), 100);
+        let sizes: Vec<usize> = w
+            .provider_nssets
+            .iter()
+            .map(|&s| w.infra.domains_of_nsset(s).len())
+            .collect();
+        // Rank 1 dominates; the tail is small.
+        assert!(sizes[0] > sizes[10] && sizes[0] > sizes[30]);
+        assert!(sizes[0] as f64 > 0.08 * 120_000.0, "head provider holds a big share: {}", sizes[0]);
+        // Domain total conserved (+ misconfigured).
+        assert!(w.infra.domain_count() as u32 >= 120_000);
+    }
+
+    #[test]
+    fn anycast_lives_at_the_top() {
+        let w = build(&WorldConfig::default(), &RngFactory::new(2));
+        let anycast_rank = |set: &NsSetId| {
+            let (a, t) = w.infra.nsset_anycast(*set);
+            a == t && t > 0
+        };
+        let top_anycast =
+            w.provider_nssets[..15].iter().filter(|s| anycast_rank(s)).count();
+        let tail_anycast =
+            w.provider_nssets[50..].iter().filter(|s| anycast_rank(s)).count();
+        assert!(top_anycast >= 8, "top providers mostly anycast: {top_anycast}");
+        assert_eq!(tail_anycast, 0, "tail is unicast");
+    }
+
+    #[test]
+    fn resolvers_present_and_flagged() {
+        let w = build(&WorldConfig::default(), &RngFactory::new(3));
+        let quad8 = w.infra.ns_by_addr("8.8.8.8".parse().unwrap()).unwrap();
+        assert!(w.infra.nameserver(quad8).open_resolver);
+        assert!(w.meta.open_resolvers.contains("8.8.8.8".parse().unwrap()));
+        // Misconfigured domains delegate to it.
+        let sets = w.infra.nssets_of_ns(quad8);
+        let total: usize =
+            sets.iter().map(|&s| w.infra.domains_of_nsset(s).len()).sum();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn prefix2as_covers_nameservers() {
+        let w = build(&WorldConfig::default(), &RngFactory::new(4));
+        for n in w.infra.nameservers() {
+            assert!(
+                w.meta.prefix2as.asn_of(n.addr).is_some(),
+                "{} missing from prefix2as",
+                n.addr
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = build(&WorldConfig::default(), &RngFactory::new(5));
+        let b = build(&WorldConfig::default(), &RngFactory::new(5));
+        assert_eq!(a.dns_addrs, b.dns_addrs);
+        assert_eq!(a.infra.domain_count(), b.infra.domain_count());
+        let c = build(&WorldConfig::default(), &RngFactory::new(6));
+        assert_ne!(a.dns_addrs.len(), 0);
+        // Different seeds shuffle provider internals (sizes differ
+        // somewhere).
+        let sz = |w: &BuiltWorld| {
+            w.provider_nssets
+                .iter()
+                .map(|&s| w.infra.domains_of_nsset(s).len())
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(sz(&a), sz(&c));
+    }
+
+    #[test]
+    fn weights_align_with_addrs() {
+        let w = build(&WorldConfig::default(), &RngFactory::new(7));
+        assert_eq!(w.dns_addrs.len(), w.dns_weights.len());
+        assert!(w.dns_weights.iter().all(|&x| x > 0.0));
+        let pool = w.target_pool();
+        assert_eq!(pool.dns_addrs.len(), pool.dns_weights.len());
+        assert!(!pool.collateral_addrs.is_empty());
+        assert_eq!(pool.dns_groups.len(), 100);
+        for g in &pool.dns_groups {
+            assert!(!g.is_empty());
+            for a in g {
+                assert!(pool.dns_addrs.contains(a));
+            }
+        }
+    }
+}

@@ -1,0 +1,452 @@
+//! Statistical distributions for workload synthesis.
+//!
+//! Implemented from scratch on top of `rand`'s uniform source so the
+//! workspace stays within its small approved dependency set (no `rand_distr`).
+//! Each sampler is deterministic given the RNG stream.
+
+use rand::Rng;
+
+/// Sample from an exponential distribution with the given rate `lambda`
+/// (mean `1/lambda`), via inverse-CDF.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "lambda must be positive");
+    // Avoid ln(0): map the open interval (0, 1].
+    let u: f64 = 1.0 - rng.random::<f64>();
+    -u.ln() / lambda
+}
+
+/// Sample a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.random::<f64>(); // (0, 1]
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Sample a normal with mean `mu` and standard deviation `sigma`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0);
+    mu + sigma * standard_normal(rng)
+}
+
+/// Sample a log-normal: `exp(N(mu, sigma))`. `mu`/`sigma` are the parameters
+/// of the underlying normal (natural-log scale).
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Sample a Pareto (type I) with scale `x_min > 0` and shape `alpha > 0`.
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, x_min: f64, alpha: f64) -> f64 {
+    assert!(x_min > 0.0 && alpha > 0.0);
+    let u: f64 = 1.0 - rng.random::<f64>(); // (0, 1]
+    x_min / u.powf(1.0 / alpha)
+}
+
+/// Sample a Poisson-distributed count with mean `lambda`.
+///
+/// Uses Knuth's product method for small `lambda` and a normal approximation
+/// (with continuity correction, clamped at zero) for large `lambda`, which is
+/// ample for traffic-volume synthesis.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0, "lambda must be non-negative");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0f64;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let x = normal(rng, lambda, lambda.sqrt());
+        if x < 0.5 {
+            0
+        } else {
+            (x + 0.5) as u64
+        }
+    }
+}
+
+/// Sample a Binomial(n, p) count.
+///
+/// Exact Bernoulli summation for small `n`, Poisson approximation for small
+/// `p`, normal approximation otherwise. Used to thin attack backscatter into
+/// the telescope's 1/341 slice of the address space.
+pub fn binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    // Work with the smaller tail for accuracy.
+    if p > 0.5 {
+        return n - binomial(rng, n, 1.0 - p);
+    }
+    let mean = n as f64 * p;
+    if n <= 64 {
+        let mut k = 0;
+        for _ in 0..n {
+            if rng.random::<f64>() < p {
+                k += 1;
+            }
+        }
+        k
+    } else if mean < 30.0 {
+        // Poisson approximation; clamp to n.
+        poisson(rng, mean).min(n)
+    } else {
+        let var = mean * (1.0 - p);
+        let x = normal(rng, mean, var.sqrt());
+        if x < 0.5 {
+            0
+        } else {
+            ((x + 0.5) as u64).min(n)
+        }
+    }
+}
+
+/// A Zipf sampler over ranks `1..=n` with exponent `s`, using the
+/// precomputed-CDF + binary search method (exact, O(log n) per draw).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf support must be non-empty");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Sample a 1-based rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => i + 1,
+            Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+
+    /// Probability mass of a 1-based rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        assert!(rank >= 1 && rank <= self.cdf.len());
+        if rank == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank - 1] - self.cdf[rank - 2]
+        }
+    }
+}
+
+/// Weighted categorical sampling in O(1) per draw via Walker's alias method.
+#[derive(Clone, Debug)]
+pub struct Categorical {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl Categorical {
+    /// Build from non-negative weights (not necessarily normalized).
+    /// Panics if all weights are zero.
+    pub fn new(weights: &[f64]) -> Categorical {
+        assert!(!weights.is_empty(), "need at least one weight");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && weights.iter().all(|w| *w >= 0.0 && w.is_finite()),
+            "weights must be non-negative, finite, and not all zero"
+        );
+        let n = weights.len();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i)
+            } else {
+                large.push(i)
+            }
+        }
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().unwrap();
+            let l = *large.last().unwrap();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        for i in large {
+            prob[i] = 1.0;
+        }
+        for i in small {
+            prob[i] = 1.0;
+        }
+        Categorical { prob, alias }
+    }
+
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Sample a 0-based category index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// A two-component mixture of log-normals, used for the paper's bimodal
+/// attack durations (modes ≈15 min and ≈1 h, §6.5) and bimodal telescope
+/// intensities (modes ≈50 and ≈6000 ppm, §6.4).
+#[derive(Clone, Copy, Debug)]
+pub struct BimodalLogNormal {
+    /// Probability of drawing from the first component.
+    pub w1: f64,
+    pub mu1: f64,
+    pub sigma1: f64,
+    pub mu2: f64,
+    pub sigma2: f64,
+}
+
+impl BimodalLogNormal {
+    /// Build from the two target modes (the distribution peaks) and per-mode
+    /// log-scale spreads.
+    pub fn from_modes(w1: f64, mode1: f64, sigma1: f64, mode2: f64, sigma2: f64) -> Self {
+        assert!((0.0..=1.0).contains(&w1));
+        assert!(mode1 > 0.0 && mode2 > 0.0);
+        // For LogNormal(mu, sigma), the mode is exp(mu - sigma^2).
+        BimodalLogNormal {
+            w1,
+            mu1: mode1.ln() + sigma1 * sigma1,
+            sigma1,
+            mu2: mode2.ln() + sigma2 * sigma2,
+            sigma2,
+        }
+    }
+
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if rng.random::<f64>() < self.w1 {
+            log_normal(rng, self.mu1, self.sigma1)
+        } else {
+            log_normal(rng, self.mu2, self.sigma2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0x0D15_EA5E)
+    }
+
+    fn mean_of(mut f: impl FnMut(&mut SmallRng) -> f64, n: usize) -> f64 {
+        let mut r = rng();
+        (0..n).map(|_| f(&mut r)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let m = mean_of(|r| exponential(r, 0.5), 200_000);
+        assert!((m - 2.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..200_000).map(|_| normal(&mut r, 3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_median() {
+        // Median of LogNormal(mu, sigma) is exp(mu).
+        let mut r = rng();
+        let mut xs: Vec<f64> = (0..100_001).map(|_| log_normal(&mut r, 1.0, 0.7)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 1.0f64.exp()).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn pareto_lower_bound_and_median() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| pareto(&mut r, 2.0, 1.5)).collect();
+        assert!(xs.iter().all(|x| *x >= 2.0));
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Median of Pareto is x_min * 2^(1/alpha).
+        let expect = 2.0 * 2f64.powf(1.0 / 1.5);
+        let median = sorted[sorted.len() / 2];
+        assert!((median - expect).abs() / expect < 0.05, "median {median} vs {expect}");
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean() {
+        let m = mean_of(|r| poisson(r, 3.5) as f64, 100_000);
+        assert!((m - 3.5).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_mean() {
+        let m = mean_of(|r| poisson(r, 500.0) as f64, 50_000);
+        assert!((m - 500.0).abs() < 1.0, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_zero() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn binomial_exact_small_n() {
+        let m = mean_of(|r| binomial(r, 40, 0.25) as f64, 100_000);
+        assert!((m - 10.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn binomial_thinning_regime() {
+        // The telescope regime: huge n, tiny p.
+        let n = 10_000_000u64;
+        let p = 1.0 / 341.0;
+        let m = mean_of(|r| binomial(r, n, p) as f64, 5_000);
+        let expect = n as f64 * p;
+        assert!((m - expect).abs() / expect < 0.01, "mean {m} vs {expect}");
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut r = rng();
+        assert_eq!(binomial(&mut r, 0, 0.3), 0);
+        assert_eq!(binomial(&mut r, 100, 0.0), 0);
+        assert_eq!(binomial(&mut r, 100, 1.0), 100);
+        for _ in 0..1000 {
+            let k = binomial(&mut r, 50, 0.9);
+            assert!(k <= 50);
+        }
+    }
+
+    #[test]
+    fn zipf_rank1_dominates() {
+        let z = Zipf::new(1000, 1.1);
+        let mut r = rng();
+        let mut counts = vec![0usize; 1001];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        // PMF matches empirical frequency for the head.
+        let emp = counts[1] as f64 / 100_000.0;
+        assert!((emp - z.pmf(1)).abs() < 0.01, "emp {emp} pmf {}", z.pmf(1));
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(500, 0.9);
+        let total: f64 = (1..=500).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn categorical_frequencies_match_weights() {
+        let c = Categorical::new(&[1.0, 2.0, 3.0, 4.0]);
+        let mut r = rng();
+        let mut counts = [0usize; 4];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[c.sample(&mut r)] += 1;
+        }
+        for (i, &cnt) in counts.iter().enumerate() {
+            let expect = (i + 1) as f64 / 10.0;
+            let got = cnt as f64 / n as f64;
+            assert!((got - expect).abs() < 0.01, "cat {i}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn categorical_single_and_zero_weights() {
+        let c = Categorical::new(&[5.0]);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(c.sample(&mut r), 0);
+        }
+        let c = Categorical::new(&[0.0, 1.0, 0.0]);
+        for _ in 0..100 {
+            assert_eq!(c.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn categorical_all_zero_panics() {
+        Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn bimodal_modes_visible() {
+        // Paper §6.5: duration modes at 15 min and 60 min.
+        let d = BimodalLogNormal::from_modes(0.55, 15.0, 0.35, 60.0, 0.35);
+        let mut r = rng();
+        let mut low = 0;
+        let mut high = 0;
+        for _ in 0..50_000 {
+            let x = d.sample(&mut r);
+            assert!(x > 0.0);
+            if (10.0..22.0).contains(&x) {
+                low += 1;
+            }
+            if (45.0..80.0).contains(&x) {
+                high += 1;
+            }
+        }
+        // Both modes carry substantial mass.
+        assert!(low > 10_000, "low mode count {low}");
+        assert!(high > 8_000, "high mode count {high}");
+    }
+}

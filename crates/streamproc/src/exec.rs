@@ -1,0 +1,126 @@
+//! Threaded pipeline stages: consume one topic, produce another.
+
+use crate::topic::{Consumer, Topic};
+use std::thread::{self, JoinHandle};
+
+/// Handle to a running stage thread.
+pub struct StageHandle {
+    name: String,
+    handle: JoinHandle<u64>,
+}
+
+impl StageHandle {
+    /// Wait for the stage to finish; returns the number of messages it
+    /// emitted. Panics (propagates) if the stage thread panicked.
+    pub fn join(self) -> u64 {
+        match self.handle.join() {
+            Ok(n) => n,
+            Err(e) => std::panic::resume_unwind(e),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Spawn a flat-map stage: for every input message, `f` returns zero or
+/// more output messages published to `out`. When the input ends, `out` is
+/// closed.
+pub fn spawn_stage<I, O, F>(name: &str, input: Consumer<I>, out: Topic<O>, mut f: F) -> StageHandle
+where
+    I: Send + 'static,
+    O: Clone + Send + 'static,
+    F: FnMut(I) -> Vec<O> + Send + 'static,
+{
+    let name = name.to_string();
+    let thread_name = name.clone();
+    let handle = thread::Builder::new()
+        .name(thread_name)
+        .spawn(move || {
+            let mut emitted = 0u64;
+            while let Some(msg) = input.recv() {
+                for o in f(msg) {
+                    out.publish(o);
+                    emitted += 1;
+                }
+            }
+            out.close();
+            emitted
+        })
+        .expect("spawn stage thread");
+    StageHandle { name, handle }
+}
+
+/// Spawn a sink that collects everything into a `Vec`, returned by the
+/// join handle.
+pub fn sink_to_vec<T: Send + 'static>(input: Consumer<T>) -> JoinHandle<Vec<T>> {
+    thread::spawn(move || input.drain())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_stage_pipeline() {
+        let src: Topic<u32> = Topic::new("src");
+        let mid: Topic<u32> = Topic::new("mid");
+        let out: Topic<String> = Topic::new("out");
+
+        let s1 = spawn_stage("double-evens", src.subscribe(), mid.clone(), |x| {
+            if x % 2 == 0 {
+                vec![x * 2]
+            } else {
+                vec![]
+            }
+        });
+        let s2 = spawn_stage("stringify", mid.subscribe(), out.clone(), |x| {
+            vec![format!("v{x}")]
+        });
+        let sink = sink_to_vec(out.subscribe());
+
+        for i in 0..10 {
+            src.publish(i);
+        }
+        src.close();
+
+        assert_eq!(s1.join(), 5);
+        assert_eq!(s2.join(), 5);
+        let got = sink.join().unwrap();
+        assert_eq!(got, vec!["v0", "v4", "v8", "v12", "v16"]);
+    }
+
+    #[test]
+    fn fan_out_stage_multiplies() {
+        let src: Topic<u32> = Topic::new("src");
+        let out: Topic<u32> = Topic::new("out");
+        let s = spawn_stage("explode", src.subscribe(), out.clone(), |x| vec![x; 3]);
+        let sink = sink_to_vec(out.subscribe());
+        src.publish(7);
+        src.close();
+        assert_eq!(s.join(), 3);
+        assert_eq!(sink.join().unwrap(), vec![7, 7, 7]);
+    }
+
+    #[test]
+    fn empty_input_closes_output() {
+        let src: Topic<u32> = Topic::new("src");
+        let out: Topic<u32> = Topic::new("out");
+        let s = spawn_stage("noop", src.subscribe(), out.clone(), |x| vec![x]);
+        let sink = sink_to_vec(out.subscribe());
+        src.close();
+        assert_eq!(s.join(), 0);
+        assert!(sink.join().unwrap().is_empty());
+    }
+
+    #[test]
+    fn stage_name_is_kept() {
+        let src: Topic<u32> = Topic::new("src");
+        let out: Topic<u32> = Topic::new("out");
+        let s = spawn_stage("my-stage", src.subscribe(), out, |x| vec![x]);
+        assert_eq!(s.name(), "my-stage");
+        src.close();
+        s.join();
+    }
+}

@@ -1,0 +1,187 @@
+//! Stream-table joins: enrich an event stream against a mutable keyed
+//! table (the KTable pattern). This is the primitive behind "join the
+//! attack feed with the list of nameservers observed yesterday" in the
+//! reactive pipeline.
+
+use crate::exec::StageHandle;
+use crate::topic::{Consumer, Topic};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+use std::thread;
+
+/// A concurrently readable keyed table, updated by a changelog.
+pub struct Table<K, V> {
+    inner: Arc<RwLock<HashMap<K, V>>>,
+}
+
+impl<K, V> Clone for Table<K, V> {
+    fn clone(&self) -> Self {
+        Table { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Table<K, V> {
+    pub fn new() -> Table<K, V> {
+        Table { inner: Arc::new(RwLock::new(HashMap::new())) }
+    }
+
+    /// Apply one changelog entry: `Some(v)` upserts, `None` deletes.
+    pub fn apply(&self, key: K, value: Option<V>) {
+        let mut map = self.inner.write();
+        match value {
+            Some(v) => {
+                map.insert(key, v);
+            }
+            None => {
+                map.remove(&key);
+            }
+        }
+    }
+
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.inner.read().get(key).cloned()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for Table<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Spawn a stage that maintains `table` from a changelog stream of
+/// `(key, Option<value>)` entries. Returns when the changelog closes.
+pub fn spawn_table_maintainer<K, V>(
+    name: &str,
+    changelog: Consumer<(K, Option<V>)>,
+    table: Table<K, V>,
+) -> thread::JoinHandle<u64>
+where
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    let name = name.to_string();
+    thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            let mut applied = 0;
+            while let Some((k, v)) = changelog.recv() {
+                table.apply(k, v);
+                applied += 1;
+            }
+            applied
+        })
+        .expect("spawn table maintainer")
+}
+
+/// Spawn a lookup-join stage: each event is joined against the table's
+/// *current* contents; hits are published as `(event, value)`, misses are
+/// dropped (inner-join semantics, like the paper's "victim IP ∩
+/// nameserver list" step).
+pub fn spawn_lookup_join<E, K, V>(
+    name: &str,
+    events: Consumer<E>,
+    table: Table<K, V>,
+    out: Topic<(E, V)>,
+    key_fn: impl Fn(&E) -> K + Send + 'static,
+) -> StageHandle
+where
+    E: Clone + Send + 'static,
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    crate::exec::spawn_stage(name, events, out, move |e: E| {
+        match table.get(&key_fn(&e)) {
+            Some(v) => vec![(e, v)],
+            None => vec![],
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::sink_to_vec;
+
+    #[test]
+    fn table_upsert_delete() {
+        let t: Table<&str, u32> = Table::new();
+        assert!(t.is_empty());
+        t.apply("a", Some(1));
+        t.apply("b", Some(2));
+        t.apply("a", Some(3));
+        assert_eq!(t.get(&"a"), Some(3));
+        assert_eq!(t.len(), 2);
+        t.apply("a", None);
+        assert_eq!(t.get(&"a"), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn inner_join_drops_misses() {
+        let table: Table<u32, &str> = Table::new();
+        table.apply(1, Some("ns1.example"));
+        table.apply(2, Some("ns2.example"));
+        let events: Topic<u32> = Topic::new("events");
+        let joined: Topic<(u32, &str)> = Topic::new("joined");
+        let stage =
+            spawn_lookup_join("join", events.subscribe(), table.clone(), joined.clone(), |e| *e);
+        let sink = sink_to_vec(joined.subscribe());
+        for e in [1, 9, 2, 1, 7] {
+            events.publish(e);
+        }
+        events.close();
+        assert_eq!(stage.join(), 3, "two misses dropped");
+        assert_eq!(
+            sink.join().unwrap(),
+            vec![(1, "ns1.example"), (2, "ns2.example"), (1, "ns1.example")]
+        );
+    }
+
+    #[test]
+    fn changelog_driven_table() {
+        let table: Table<&str, u32> = Table::new();
+        let changelog: Topic<(&str, Option<u32>)> = Topic::new("changelog");
+        let maintainer =
+            spawn_table_maintainer("maintain", changelog.subscribe(), table.clone());
+        changelog.publish(("x", Some(10)));
+        changelog.publish(("y", Some(20)));
+        changelog.publish(("x", None));
+        changelog.close();
+        assert_eq!(maintainer.join().unwrap(), 3);
+        assert_eq!(table.get(&"x"), None);
+        assert_eq!(table.get(&"y"), Some(20));
+    }
+
+    #[test]
+    fn join_sees_live_table_updates() {
+        // The table changes between events; the join must see the current
+        // state (stream-table, not stream-snapshot, semantics). We
+        // serialize by processing one event at a time.
+        let table: Table<u32, &str> = Table::new();
+        let events: Topic<u32> = Topic::new("events");
+        let joined: Topic<(u32, &str)> = Topic::new("joined");
+        let stage =
+            spawn_lookup_join("join", events.subscribe(), table.clone(), joined.clone(), |e| *e);
+        let sink = joined.subscribe();
+
+        table.apply(5, Some("old"));
+        events.publish(5);
+        assert_eq!(sink.recv(), Some((5, "old")));
+        table.apply(5, Some("new"));
+        events.publish(5);
+        assert_eq!(sink.recv(), Some((5, "new")));
+        events.close();
+        stage.join();
+    }
+}

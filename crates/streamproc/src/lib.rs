@@ -1,0 +1,28 @@
+//! A minimal stream-processing framework.
+//!
+//! The paper's reactive pipeline runs on Kafka + Spark Structured
+//! Streaming + Flume (§4.3.1). This crate substitutes the primitives that
+//! pipeline actually needs, in-process:
+//!
+//! - [`topic`]: multi-subscriber topics over crossbeam channels (the
+//!   Kafka role);
+//! - [`window`]: keyed tumbling-window aggregation with watermarks (the
+//!   Spark Structured Streaming role);
+//! - [`exec`]: threaded pipeline stages wiring topics together (the job
+//!   graph);
+//! - [`join`]: stream-table (KTable-style) lookup joins — the "victim
+//!   IP ∩ yesterday's nameserver list" step.
+//!
+//! Everything is synchronous-thread based — the workload is CPU-light and
+//! bursty, which is the regime where plain threads beat an async runtime in
+//! simplicity with no throughput loss.
+
+pub mod exec;
+pub mod join;
+pub mod topic;
+pub mod window;
+
+pub use exec::{sink_to_vec, spawn_stage, StageHandle};
+pub use join::{spawn_lookup_join, spawn_table_maintainer, Table};
+pub use topic::{Consumer, Topic};
+pub use window::TumblingWindows;

@@ -1,0 +1,209 @@
+//! Multi-subscriber topics: every message published reaches every consumer
+//! subscribed at publish time, in publish order.
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+struct TopicInner<T> {
+    subs: Vec<Sender<T>>,
+    closed: bool,
+    published: u64,
+}
+
+/// A named, multi-subscriber, in-order message topic.
+///
+/// ```
+/// use streamproc::Topic;
+///
+/// let topic: Topic<u32> = Topic::new("events");
+/// let consumer = topic.subscribe();
+/// topic.publish(1);
+/// topic.publish(2);
+/// topic.close();
+/// assert_eq!(consumer.drain(), vec![1, 2]);
+/// ```
+pub struct Topic<T> {
+    name: String,
+    inner: Arc<Mutex<TopicInner<T>>>,
+}
+
+impl<T> Clone for Topic<T> {
+    fn clone(&self) -> Self {
+        Topic { name: self.name.clone(), inner: Arc::clone(&self.inner) }
+    }
+}
+
+/// A subscription handle.
+pub struct Consumer<T> {
+    rx: Receiver<T>,
+}
+
+/// The topic closed and all buffered messages were consumed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EndOfStream;
+
+impl<T: Clone> Topic<T> {
+    pub fn new(name: &str) -> Topic<T> {
+        Topic {
+            name: name.to_string(),
+            inner: Arc::new(Mutex::new(TopicInner {
+                subs: Vec::new(),
+                closed: false,
+                published: 0,
+            })),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Subscribe; only messages published *after* this call are delivered.
+    pub fn subscribe(&self) -> Consumer<T> {
+        let (tx, rx) = unbounded();
+        self.inner.lock().subs.push(tx);
+        Consumer { rx }
+    }
+
+    /// Publish to all current subscribers. Returns the number of consumers
+    /// that received the message. Panics if the topic is closed.
+    pub fn publish(&self, msg: T) -> usize {
+        let mut inner = self.inner.lock();
+        assert!(!inner.closed, "publish on closed topic '{}'", self.name);
+        inner.published += 1;
+        // Drop subscribers whose consumer side is gone.
+        inner.subs.retain(|tx| tx.send(msg.clone()).is_ok());
+        inner.subs.len()
+    }
+
+    /// Close the topic: consumers drain remaining messages then see
+    /// end-of-stream.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock();
+        inner.closed = true;
+        inner.subs.clear(); // dropping senders ends the channels
+    }
+
+    /// Total messages published so far.
+    pub fn published(&self) -> u64 {
+        self.inner.lock().published
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Blocking receive; `None` at end-of-stream.
+    pub fn recv(&self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking receive; `Ok(None)` when currently empty,
+    /// `Err(EndOfStream)` once the topic closed and drained.
+    pub fn try_recv(&self) -> Result<Option<T>, EndOfStream> {
+        match self.rx.try_recv() {
+            Ok(v) => Ok(Some(v)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(EndOfStream),
+        }
+    }
+
+    /// Drain everything until end-of-stream (blocks until the topic
+    /// closes).
+    pub fn drain(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(v) = self.recv() {
+            out.push(v);
+        }
+        out
+    }
+
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fan_out_in_order() {
+        let t: Topic<u32> = Topic::new("numbers");
+        let a = t.subscribe();
+        let b = t.subscribe();
+        for i in 0..100 {
+            assert_eq!(t.publish(i), 2);
+        }
+        t.close();
+        assert_eq!(a.drain(), (0..100).collect::<Vec<_>>());
+        assert_eq!(b.drain(), (0..100).collect::<Vec<_>>());
+        assert_eq!(t.published(), 100);
+    }
+
+    #[test]
+    fn late_subscriber_misses_history() {
+        let t: Topic<u32> = Topic::new("t");
+        let early = t.subscribe();
+        t.publish(1);
+        let late = t.subscribe();
+        t.publish(2);
+        t.close();
+        assert_eq!(early.drain(), vec![1, 2]);
+        assert_eq!(late.drain(), vec![2]);
+    }
+
+    #[test]
+    fn dropped_consumer_is_pruned() {
+        let t: Topic<u32> = Topic::new("t");
+        let a = t.subscribe();
+        drop(a);
+        assert_eq!(t.publish(1), 0, "dead subscriber pruned on publish");
+    }
+
+    #[test]
+    #[should_panic]
+    fn publish_after_close_panics() {
+        let t: Topic<u32> = Topic::new("t");
+        t.close();
+        t.publish(1);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let t: Topic<u64> = Topic::new("t");
+        let c = t.subscribe();
+        let producer = {
+            let t = t.clone();
+            thread::spawn(move || {
+                for i in 0..1_000 {
+                    t.publish(i);
+                }
+                t.close();
+            })
+        };
+        let got = c.drain();
+        producer.join().unwrap();
+        assert_eq!(got.len(), 1_000);
+        assert!(got.windows(2).all(|w| w[0] < w[1]), "order preserved");
+    }
+
+    #[test]
+    fn try_recv_states() {
+        let t: Topic<u8> = Topic::new("t");
+        let c = t.subscribe();
+        assert_eq!(c.try_recv(), Ok(None));
+        t.publish(9);
+        assert_eq!(c.try_recv(), Ok(Some(9)));
+        t.close();
+        assert_eq!(c.try_recv(), Err(EndOfStream));
+    }
+}

@@ -1,0 +1,234 @@
+//! An AmpPot-style honeypot sensor (Krämer et al., cited in §7): the
+//! complementary view to the darknet.
+//!
+//! Reflection attacks never produce darknet backscatter (§2.1) — they are
+//! observed instead by *honeypot amplifiers* that attackers unknowingly
+//! recruit. §4.3 cites Jonker et al.'s two-year comparison: ≈60% of
+//! attacks appeared in RSDoS data, ≈40% in AmpPot data. This module lets
+//! the workspace reproduce that two-sensor coverage analysis over one
+//! synthetic attack population.
+
+use attack::{Attack, VectorKind};
+use rand::Rng;
+use simcore::rng::RngFactory;
+use simcore::time::Window;
+use std::net::Ipv4Addr;
+
+/// One reflection attack as the honeypot fleet reconstructs it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AmpPotEvent {
+    pub victim: Ipv4Addr,
+    pub first_window: Window,
+    pub last_window: Window,
+    /// Honeypots (of the fleet) this attack recruited.
+    pub honeypots_hit: u32,
+}
+
+/// The honeypot fleet.
+#[derive(Clone, Copy, Debug)]
+pub struct AmpPotSensor {
+    /// Deployed honeypot amplifiers.
+    pub honeypots: u32,
+    /// Size of the open-amplifier population attackers scan and draw
+    /// reflectors from.
+    pub amplifier_population: u32,
+}
+
+impl AmpPotSensor {
+    /// Krämer et al. operated ~21 AmpPot instances. The *effective*
+    /// amplifier population attackers draw from is far smaller than the
+    /// raw open-resolver count — scanners preferentially recruit
+    /// well-behaved, high-amplification reflectors, which is exactly what
+    /// the honeypots impersonate.
+    pub fn paper_like() -> AmpPotSensor {
+        AmpPotSensor { honeypots: 21, amplifier_population: 200_000 }
+    }
+
+    /// Probability an attack recruiting `reflectors` amplifiers hits at
+    /// least one honeypot: `1 − (1 − h/N)^reflectors`.
+    pub fn detection_probability(&self, reflectors: u64) -> f64 {
+        let p_miss_one = 1.0 - self.honeypots as f64 / self.amplifier_population as f64;
+        1.0 - p_miss_one.powf(reflectors as f64)
+    }
+
+    /// Observe an attack population: every attack with a reflection vector
+    /// is detected with the recruitment-dependent probability.
+    pub fn observe(&self, attacks: &[Attack], rngs: &RngFactory) -> Vec<AmpPotEvent> {
+        let mut out = Vec::new();
+        for a in attacks {
+            let reflectors: u64 = a
+                .vectors
+                .iter()
+                .filter(|v| v.kind == VectorKind::Reflection)
+                .map(|v| v.source_count)
+                .sum();
+            if reflectors == 0 {
+                continue;
+            }
+            let mut rng = rngs.stream_indexed("amppot", a.id.0);
+            let p = self.detection_probability(reflectors);
+            if rng.random::<f64>() >= p {
+                continue;
+            }
+            let windows = a.window_overlaps();
+            let (Some(first), Some(last)) = (windows.first(), windows.last()) else {
+                continue;
+            };
+            // Expected honeypots recruited, at least one (we detected it).
+            let expect =
+                (reflectors as f64 * self.honeypots as f64 / self.amplifier_population as f64)
+                    .round() as u32;
+            out.push(AmpPotEvent {
+                victim: a.target,
+                first_window: first.0,
+                last_window: last.0,
+                honeypots_hit: expect.max(1),
+            });
+        }
+        out.sort_by_key(|e| (e.first_window, u32::from(e.victim)));
+        out
+    }
+}
+
+/// Two-sensor coverage of an attack population (the Jonker et al. §4.3
+/// comparison): which attacks each sensor saw.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SensorCoverage {
+    pub total: usize,
+    pub telescope_only: usize,
+    pub amppot_only: usize,
+    pub both: usize,
+    pub neither: usize,
+}
+
+impl SensorCoverage {
+    /// Share of *observed* attacks seen by the telescope (Jonker et al.:
+    /// ≈60%) vs the honeypots (≈40%), counting dual observations in both.
+    pub fn telescope_share(&self) -> f64 {
+        let seen = self.total - self.neither;
+        if seen == 0 {
+            return 0.0;
+        }
+        (self.telescope_only + self.both) as f64 / seen as f64
+    }
+}
+
+/// Classify every attack by which sensor(s) would observe it. Telescope
+/// observation uses visibility (a spoofed vector) as ground truth;
+/// honeypot observation uses `sensor`'s detection model.
+pub fn coverage(
+    attacks: &[Attack],
+    sensor: &AmpPotSensor,
+    rngs: &RngFactory,
+) -> SensorCoverage {
+    let amppot_victims: std::collections::HashSet<(Ipv4Addr, Window)> = sensor
+        .observe(attacks, rngs)
+        .into_iter()
+        .map(|e| (e.victim, e.first_window))
+        .collect();
+    let mut cov = SensorCoverage { total: attacks.len(), ..SensorCoverage::default() };
+    for a in attacks {
+        let scope = a.telescope_visible();
+        let amp = a
+            .window_overlaps()
+            .first()
+            .is_some_and(|(w, _)| amppot_victims.contains(&(a.target, *w)));
+        match (scope, amp) {
+            (true, true) => cov.both += 1,
+            (true, false) => cov.telescope_only += 1,
+            (false, true) => cov.amppot_only += 1,
+            (false, false) => cov.neither += 1,
+        }
+    }
+    cov
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attack::{AttackId, Protocol, ScheduleConfig, TargetPool, VectorSpec};
+    use simcore::time::{SimDuration, SimTime};
+
+    fn reflection_attack(id: u64, reflectors: u64) -> Attack {
+        Attack {
+            id: AttackId(id),
+            target: "203.0.113.9".parse().unwrap(),
+            start: SimTime::from_days(1),
+            duration: SimDuration::from_mins(30),
+            vectors: vec![VectorSpec {
+                kind: VectorKind::Reflection,
+                protocol: Protocol::Udp,
+                ports: vec![53],
+                victim_pps: 100_000.0,
+                source_count: reflectors,
+            }],
+        }
+    }
+
+    #[test]
+    fn detection_probability_grows_with_recruitment() {
+        let s = AmpPotSensor::paper_like();
+        assert!(s.detection_probability(0) == 0.0);
+        let small = s.detection_probability(100);
+        let big = s.detection_probability(500_000);
+        assert!(small < 0.05, "tiny attacks usually missed: {small}");
+        assert!(big > 0.99, "big recruitment ≈ certain detection: {big}");
+        assert!(small < big);
+    }
+
+    #[test]
+    fn observe_only_reflection_attacks() {
+        let s = AmpPotSensor::paper_like();
+        let rngs = RngFactory::new(1);
+        let mut spoofed = reflection_attack(0, 1_000_000);
+        spoofed.vectors[0].kind = VectorKind::RandomSpoofed;
+        let events = s.observe(&[spoofed, reflection_attack(1, 1_000_000)], &rngs);
+        assert_eq!(events.len(), 1);
+        assert!(events[0].honeypots_hit >= 1);
+        assert_eq!(events[0].first_window, SimTime::from_days(1).window());
+    }
+
+    #[test]
+    fn coverage_split_matches_jonker_structure() {
+        // Build a population straight from the calibrated generator and
+        // check the two-sensor decomposition is sane: the telescope sees
+        // the spoofed (visible) attacks, AmpPot sees reflection vectors,
+        // multi-vector attacks land in `both`.
+        let rngs = RngFactory::new(3);
+        let months = simcore::time::Month::new(2021, 1).through(simcore::time::Month::new(2021, 1));
+        let cfg = ScheduleConfig {
+            attacks_per_month: vec![4_000],
+            dns_share_per_month: vec![0.0],
+            months,
+            ..ScheduleConfig::default()
+        };
+        let attacks = attack::AttackScheduler::new(cfg)
+            .generate(&TargetPool::uniform(vec![], vec![]), &rngs);
+        let cov = coverage(&attacks, &AmpPotSensor::paper_like(), &rngs);
+        assert_eq!(
+            cov.total,
+            cov.telescope_only + cov.amppot_only + cov.both + cov.neither
+        );
+        // ~90% of attacks carry a spoofed vector.
+        let visible = cov.telescope_only + cov.both;
+        assert!(
+            (visible as f64 / cov.total as f64 - 0.90).abs() < 0.02,
+            "visible share {}",
+            visible as f64 / cov.total as f64
+        );
+        // Reflection-only attacks exist and are (mostly) AmpPot's alone.
+        assert!(cov.amppot_only > 0);
+        // The telescope dominates overall, as in Jonker et al.
+        let share = cov.telescope_share();
+        assert!((0.5..0.98).contains(&share), "telescope share {share}");
+    }
+
+    #[test]
+    fn deterministic_observation() {
+        let s = AmpPotSensor::paper_like();
+        let attacks = vec![reflection_attack(0, 40_000), reflection_attack(1, 40_000)];
+        let a = s.observe(&attacks, &RngFactory::new(9));
+        let b = s.observe(&attacks, &RngFactory::new(9));
+        assert_eq!(a, b);
+    }
+}

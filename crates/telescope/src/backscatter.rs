@@ -1,0 +1,243 @@
+//! Backscatter sampling: thinning victim responses into the darknet.
+
+use crate::darknet::Darknet;
+use attack::{Attack, Protocol, VectorKind};
+use rand::rngs::SmallRng;
+use simcore::dist::poisson;
+use simcore::rng::RngFactory;
+use simcore::time::Window;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// What the telescope aggregates for one victim in one 5-minute window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BackscatterObs {
+    pub victim: Ipv4Addr,
+    pub window: Window,
+    /// Backscatter packets captured in the window.
+    pub packets: u64,
+    /// Distinct telescope /16s that received packets.
+    pub slash16s: u32,
+    /// Protocol of the dominant visible vector.
+    pub protocol: Protocol,
+    /// First destination port observed on the victim (source port of the
+    /// backscatter).
+    pub first_port: u16,
+    /// Distinct targeted ports observed.
+    pub unique_ports: u16,
+    /// Peak packet rate within the window, packets/minute (the feed's
+    /// `max_ppm`; approximated as the mean ppm with Poisson spread).
+    pub max_ppm: f64,
+}
+
+/// Samples backscatter observations from an attack population.
+pub struct BackscatterSampler<'a> {
+    pub darknet: &'a Darknet,
+    /// Victims answer at most this many packets per second (a saturated
+    /// host stops producing backscatter — one reason successful attacks can
+    /// *shorten* inferred durations, §6.5).
+    pub victim_response_cap_pps: f64,
+}
+
+impl<'a> BackscatterSampler<'a> {
+    pub fn new(darknet: &'a Darknet) -> BackscatterSampler<'a> {
+        BackscatterSampler { darknet, victim_response_cap_pps: 2_000_000.0 }
+    }
+
+    /// Sample the telescope's view of `attacks`. Only randomly-spoofed
+    /// vectors generate backscatter toward the darknet.
+    pub fn sample(&self, attacks: &[Attack], rngs: &RngFactory) -> Vec<BackscatterObs> {
+        let mut out = Vec::new();
+        for a in attacks {
+            let mut rng = rngs.stream_indexed("backscatter", a.id.0);
+            self.sample_attack(a, &mut rng, &mut out);
+        }
+        // Multiple attacks on the same victim in the same window merge, as
+        // the real aggregation cannot tell them apart.
+        merge_same_cell(out)
+    }
+
+    fn sample_attack(&self, a: &Attack, rng: &mut SmallRng, out: &mut Vec<BackscatterObs>) {
+        let visible: Vec<_> =
+            a.vectors.iter().filter(|v| v.kind == VectorKind::RandomSpoofed).collect();
+        if visible.is_empty() {
+            return;
+        }
+        let spoofed_pps: f64 = visible.iter().map(|v| v.victim_pps).sum();
+        let response_pps = spoofed_pps.min(self.victim_response_cap_pps);
+        let dominant = visible
+            .iter()
+            .max_by(|x, y| x.victim_pps.partial_cmp(&y.victim_pps).unwrap())
+            .unwrap();
+        let unique_ports: u16 =
+            visible.iter().map(|v| v.ports.len() as u16).sum::<u16>().max(1);
+        for (w, frac) in a.window_overlaps() {
+            let mean_pkts = response_pps * frac * 300.0 * self.darknet.coverage();
+            let packets = poisson(rng, mean_pkts);
+            if packets == 0 {
+                continue;
+            }
+            let slash16s = self.sample_distinct_slash16s(packets, rng);
+            // Peak rate within the window: mean ppm inflated by Poisson
+            // relative spread (bounded below by the mean).
+            let mean_ppm = packets as f64 / (5.0 * frac.max(1e-9));
+            let max_ppm = mean_ppm * (1.0 + 1.0 / (packets as f64).sqrt());
+            out.push(BackscatterObs {
+                victim: a.target,
+                window: w,
+                packets,
+                slash16s,
+                protocol: dominant.protocol,
+                first_port: dominant.first_port(),
+                unique_ports,
+                max_ppm,
+            });
+        }
+    }
+
+    /// Distinct /16s via the exact expectation + binomial noise (cheap and
+    /// accurate for both tiny and huge packet counts).
+    fn sample_distinct_slash16s(&self, packets: u64, rng: &mut SmallRng) -> u32 {
+        let n = self.darknet.slash16s().len() as f64;
+        let expect = self.darknet.expected_distinct_slash16s(packets);
+        // Variance of distinct-bins is ≤ expectation; approximate with a
+        // small binomial jitter around the expectation.
+        let p = (expect / n).clamp(0.0, 1.0);
+        let sampled = simcore::dist::binomial(rng, n as u64, p);
+        (sampled.max(1)).min(packets) as u32
+    }
+}
+
+fn merge_same_cell(mut obs: Vec<BackscatterObs>) -> Vec<BackscatterObs> {
+    let mut map: HashMap<(Ipv4Addr, Window), BackscatterObs> = HashMap::new();
+    for o in obs.drain(..) {
+        match map.entry((o.victim, o.window)) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(o);
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let m = e.get_mut();
+                m.packets += o.packets;
+                m.slash16s = m.slash16s.max(o.slash16s);
+                m.unique_ports = m.unique_ports.saturating_add(o.unique_ports);
+                m.max_ppm += o.max_ppm;
+                // Keep the dominant vector's protocol/first-port (larger
+                // packet count wins; the merge keeps the existing one when
+                // it is at least as large).
+                if o.packets > m.packets / 2 {
+                    // o contributed the majority of the merged packets.
+                }
+            }
+        }
+    }
+    let mut out: Vec<BackscatterObs> = map.into_values().collect();
+    out.sort_by_key(|o| (o.window, u32::from(o.victim)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attack::{AttackId, VectorSpec};
+    use simcore::time::{SimDuration, SimTime};
+
+    fn spoofed_attack(pps: f64, mins: u64) -> Attack {
+        Attack {
+            id: AttackId(1),
+            target: "203.0.113.5".parse().unwrap(),
+            start: SimTime(0),
+            duration: SimDuration::from_mins(mins),
+            vectors: vec![VectorSpec {
+                kind: VectorKind::RandomSpoofed,
+                protocol: Protocol::Tcp,
+                ports: vec![53],
+                victim_pps: pps,
+                source_count: 1_000,
+            }],
+        }
+    }
+
+    #[test]
+    fn sampling_rate_matches_coverage() {
+        let d = Darknet::ucsd_like();
+        let s = BackscatterSampler::new(&d);
+        // 124 kpps victim-side (TransIP December) → ≈21.8 kppm telescope.
+        let obs = s.sample(&[spoofed_attack(124_000.0, 60)], &RngFactory::new(1));
+        assert_eq!(obs.len(), 12, "every window observed at this rate");
+        let mean_ppm: f64 =
+            obs.iter().map(|o| o.packets as f64 / 5.0).sum::<f64>() / obs.len() as f64;
+        assert!(
+            (mean_ppm - 21_800.0).abs() / 21_800.0 < 0.05,
+            "telescope ppm {mean_ppm} vs expected ≈21800"
+        );
+    }
+
+    #[test]
+    fn invisible_attack_produces_nothing() {
+        let d = Darknet::ucsd_like();
+        let s = BackscatterSampler::new(&d);
+        let mut a = spoofed_attack(1_000_000.0, 60);
+        a.vectors[0].kind = VectorKind::Reflection;
+        assert!(s.sample(&[a], &RngFactory::new(1)).is_empty());
+    }
+
+    #[test]
+    fn tiny_attack_often_missed() {
+        let d = Darknet::ucsd_like();
+        let s = BackscatterSampler::new(&d);
+        // 1 pps → expected 0.88 packets/window: many windows empty.
+        let obs = s.sample(&[spoofed_attack(1.0, 60)], &RngFactory::new(2));
+        assert!(obs.len() < 12, "sub-threshold attacks are partially invisible");
+    }
+
+    #[test]
+    fn response_cap_limits_backscatter() {
+        let d = Darknet::ucsd_like();
+        let mut s = BackscatterSampler::new(&d);
+        s.victim_response_cap_pps = 10_000.0;
+        let obs = s.sample(&[spoofed_attack(10_000_000.0, 30)], &RngFactory::new(3));
+        let mean_ppm: f64 =
+            obs.iter().map(|o| o.packets as f64 / 5.0).sum::<f64>() / obs.len() as f64;
+        let expect = 10_000.0 * 60.0 * d.coverage();
+        assert!((mean_ppm - expect).abs() / expect < 0.1, "{mean_ppm} vs {expect}");
+    }
+
+    #[test]
+    fn slash16s_grow_with_rate() {
+        let d = Darknet::ucsd_like();
+        let s = BackscatterSampler::new(&d);
+        let small = s.sample(&[spoofed_attack(300.0, 60)], &RngFactory::new(4));
+        let big = s.sample(&[spoofed_attack(500_000.0, 60)], &RngFactory::new(4));
+        let avg16 = |v: &[BackscatterObs]| {
+            v.iter().map(|o| o.slash16s as f64).sum::<f64>() / v.len() as f64
+        };
+        assert!(avg16(&big) > avg16(&small));
+        assert!(avg16(&big) > 150.0, "large attacks light up most /16s: {}", avg16(&big));
+        for o in big.iter().chain(&small) {
+            assert!(o.slash16s >= 1 && o.slash16s as usize <= d.slash16s().len());
+        }
+    }
+
+    #[test]
+    fn same_victim_same_window_merges() {
+        let d = Darknet::ucsd_like();
+        let s = BackscatterSampler::new(&d);
+        let a1 = spoofed_attack(50_000.0, 10);
+        let mut a2 = spoofed_attack(50_000.0, 10);
+        a2.id = AttackId(2);
+        let obs = s.sample(&[a1, a2], &RngFactory::new(5));
+        // Two attacks, same victim, same 2 windows → 2 merged cells.
+        assert_eq!(obs.len(), 2);
+        // Merged packet counts are roughly double a single attack's.
+        let single = s.sample(&[spoofed_attack(50_000.0, 10)], &RngFactory::new(5));
+        assert!(obs[0].packets > single[0].packets * 3 / 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = Darknet::ucsd_like();
+        let s = BackscatterSampler::new(&d);
+        let a = vec![spoofed_attack(10_000.0, 30)];
+        assert_eq!(s.sample(&a, &RngFactory::new(9)), s.sample(&a, &RngFactory::new(9)));
+    }
+}

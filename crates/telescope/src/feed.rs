@@ -1,0 +1,238 @@
+//! The RSDoS feed: record schema, dataset summary (Table 1), CSV export.
+
+use crate::backscatter::BackscatterObs;
+use crate::rsdos::AttackEpisode;
+use attack::Protocol;
+use netbase::{Prefix2As, Slash24};
+use simcore::time::Window;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::net::Ipv4Addr;
+
+/// One feed entry: aggregated backscatter statistics for one victim in one
+/// 5-minute window (the schema of §3.1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RsdosRecord {
+    pub window: Window,
+    pub victim: Ipv4Addr,
+    /// Telescope /16 subnets that received packets from the victim.
+    pub slash16s: u32,
+    pub protocol: Protocol,
+    /// First destination port observed under attack.
+    pub first_port: u16,
+    /// Number of distinct targeted ports.
+    pub unique_ports: u16,
+    /// Peak observed packet rate in the window (packets/minute).
+    pub max_ppm: f64,
+    /// Total packets in the window (used for episode statistics).
+    pub packets: u64,
+}
+
+impl RsdosRecord {
+    pub fn from_obs(o: &BackscatterObs) -> RsdosRecord {
+        RsdosRecord {
+            window: o.window,
+            victim: o.victim,
+            slash16s: o.slash16s,
+            protocol: o.protocol,
+            first_port: o.first_port,
+            unique_ports: o.unique_ports,
+            max_ppm: o.max_ppm,
+            packets: o.packets,
+        }
+    }
+
+    /// Extrapolate the telescope rate to the whole IPv4 space:
+    /// `ppm × scale / 60` → victim-side pps (footnote 2 of the paper).
+    pub fn inferred_victim_pps(&self, scale_factor: f64) -> f64 {
+        self.max_ppm * scale_factor / 60.0
+    }
+}
+
+/// The assembled feed over an analysis interval.
+#[derive(Clone, Debug, Default)]
+pub struct RsdosFeed {
+    pub records: Vec<RsdosRecord>,
+    pub episodes: Vec<AttackEpisode>,
+}
+
+/// Dataset summary in the shape of the paper's Table 1.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FeedSummary {
+    pub attacks: usize,
+    pub unique_ips: usize,
+    pub unique_slash24s: usize,
+    pub unique_asns: usize,
+}
+
+impl RsdosFeed {
+    pub fn new(records: Vec<RsdosRecord>, episodes: Vec<AttackEpisode>) -> RsdosFeed {
+        RsdosFeed { records, episodes }
+    }
+
+    /// Table-1 style summary. Attacks are episodes; IPs//24s/ASes count the
+    /// distinct victims.
+    pub fn summary(&self, prefix2as: &Prefix2As) -> FeedSummary {
+        let ips: HashSet<Ipv4Addr> = self.episodes.iter().map(|e| e.victim).collect();
+        let slash24s: HashSet<Slash24> = ips.iter().map(|&ip| Slash24::of(ip)).collect();
+        let asns: HashSet<_> = ips.iter().filter_map(|&ip| prefix2as.asn_of(ip)).collect();
+        FeedSummary {
+            attacks: self.episodes.len(),
+            unique_ips: ips.len(),
+            unique_slash24s: slash24s.len(),
+            unique_asns: asns.len(),
+        }
+    }
+
+    /// Episodes whose victim passes `pred` (e.g. "is a nameserver IP").
+    pub fn episodes_where<'a>(
+        &'a self,
+        mut pred: impl FnMut(Ipv4Addr) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a AttackEpisode> {
+        self.episodes.iter().filter(move |e| pred(e.victim))
+    }
+
+    /// Render the per-window records as CSV.
+    pub fn records_csv(&self) -> String {
+        let mut s = String::from(
+            "window,start,victim,slash16s,protocol,first_port,unique_ports,max_ppm,packets\n",
+        );
+        for r in &self.records {
+            let _ = writeln!(
+                s,
+                "{},{},{},{},{:?},{},{},{:.1},{}",
+                r.window.0,
+                r.window.start(),
+                r.victim,
+                r.slash16s,
+                r.protocol,
+                r.first_port,
+                r.unique_ports,
+                r.max_ppm,
+                r.packets
+            );
+        }
+        s
+    }
+
+    /// Render the episodes as CSV.
+    pub fn episodes_csv(&self) -> String {
+        let mut s = String::from(
+            "victim,first_window,last_window,start,duration_min,packets,peak_ppm,protocol,first_port,unique_ports,slash16s\n",
+        );
+        for e in &self.episodes {
+            let _ = writeln!(
+                s,
+                "{},{},{},{},{},{},{:.1},{:?},{},{},{}",
+                e.victim,
+                e.first_window.0,
+                e.last_window.0,
+                e.first_window.start(),
+                e.duration().secs() / 60,
+                e.packets,
+                e.peak_ppm,
+                e.protocol,
+                e.first_port,
+                e.unique_ports,
+                e.slash16s
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbase::{Asn, Ipv4Net};
+
+    fn record(victim: &str, w: u64) -> RsdosRecord {
+        RsdosRecord {
+            window: Window(w),
+            victim: victim.parse().unwrap(),
+            slash16s: 10,
+            protocol: Protocol::Tcp,
+            first_port: 53,
+            unique_ports: 1,
+            max_ppm: 120.0,
+            packets: 600,
+        }
+    }
+
+    fn episode(victim: &str, w0: u64, w1: u64) -> AttackEpisode {
+        AttackEpisode {
+            victim: victim.parse().unwrap(),
+            first_window: Window(w0),
+            last_window: Window(w1),
+            packets: 1_000,
+            peak_ppm: 200.0,
+            protocol: Protocol::Tcp,
+            first_port: 80,
+            unique_ports: 1,
+            slash16s: 12,
+        }
+    }
+
+    #[test]
+    fn summary_counts_unique_dimensions() {
+        let mut p2a = Prefix2As::new();
+        p2a.announce("10.0.0.0/8".parse::<Ipv4Net>().unwrap(), Asn(100));
+        p2a.announce("20.0.0.0/8".parse::<Ipv4Net>().unwrap(), Asn(200));
+        let feed = RsdosFeed::new(
+            vec![],
+            vec![
+                episode("10.0.0.1", 0, 2),
+                episode("10.0.0.2", 5, 6), // same /24, same AS
+                episode("10.0.1.1", 8, 8), // same AS, new /24
+                episode("20.0.0.1", 9, 9), // new AS
+                episode("10.0.0.1", 50, 51), // repeat victim: new attack, same ip
+            ],
+        );
+        let s = feed.summary(&p2a);
+        assert_eq!(s.attacks, 5);
+        assert_eq!(s.unique_ips, 4);
+        assert_eq!(s.unique_slash24s, 3);
+        assert_eq!(s.unique_asns, 2);
+    }
+
+    #[test]
+    fn extrapolation_matches_paper_footnote() {
+        // 21.8 kppm × 341.33 / 60 ≈ 124 kpps.
+        let r = RsdosRecord { max_ppm: 21_800.0, ..record("1.2.3.4", 0) };
+        let pps = r.inferred_victim_pps(341.33);
+        assert!((pps - 124_000.0).abs() < 1_000.0, "{pps}");
+    }
+
+    #[test]
+    fn filtering_by_predicate() {
+        let feed =
+            RsdosFeed::new(vec![], vec![episode("10.0.0.1", 0, 1), episode("99.0.0.1", 0, 1)]);
+        let dns: Vec<_> = feed
+            .episodes_where(|ip| ip.octets()[0] == 10)
+            .collect();
+        assert_eq!(dns.len(), 1);
+    }
+
+    #[test]
+    fn csv_exports_have_headers_and_rows() {
+        let feed = RsdosFeed::new(vec![record("1.2.3.4", 3)], vec![episode("1.2.3.4", 3, 4)]);
+        let rc = feed.records_csv();
+        assert!(rc.starts_with("window,start,victim"));
+        assert_eq!(rc.lines().count(), 2);
+        assert!(rc.contains("1.2.3.4"));
+        let ec = feed.episodes_csv();
+        assert_eq!(ec.lines().count(), 2);
+        assert!(ec.contains("duration_min"));
+        assert!(ec.contains(",10,")); // duration 2 windows = 10 min
+    }
+
+    #[test]
+    fn empty_feed_summary() {
+        let feed = RsdosFeed::default();
+        let s = feed.summary(&Prefix2As::new());
+        assert_eq!(
+            s,
+            FeedSummary { attacks: 0, unique_ips: 0, unique_slash24s: 0, unique_asns: 0 }
+        );
+    }
+}

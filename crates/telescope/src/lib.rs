@@ -1,0 +1,34 @@
+//! The network-telescope substrate: a UCSD-NT-style darknet, backscatter
+//! sampling, and the RSDoS (Randomly and uniformly Spoofed DoS) attack
+//! inference that produces the feed the paper joins against.
+//!
+//! The real telescope passively captures traffic to a /9 + /10 (≈1/341 of
+//! IPv4). Victims of randomly-spoofed attacks answer spoofed sources all
+//! over the address space, so the darknet receives a 1/341 thinning of the
+//! victim's responses. We reproduce that chain:
+//!
+//! attack (spoofed pps) → victim responses → binomial thinning into the
+//! darknet → per-window observations → threshold classifier → feed records
+//! and attack episodes.
+//!
+//! - [`darknet`]: the announced dark prefixes and coverage math.
+//! - [`backscatter`]: per-window sampling of backscatter observations.
+//! - [`rsdos`]: the threshold classifier and episode (attack) extraction.
+//! - [`feed`]: the feed record schema, summary statistics (Table 1), and
+//!   CSV export.
+//! - [`export`]: pcap export of sampled backscatter packets.
+//! - [`amppot`]: the complementary honeypot-amplifier sensor for
+//!   reflection attacks, and the two-sensor coverage analysis of §4.3.
+
+pub mod amppot;
+pub mod backscatter;
+pub mod darknet;
+pub mod export;
+pub mod feed;
+pub mod rsdos;
+
+pub use amppot::{AmpPotEvent, AmpPotSensor, SensorCoverage};
+pub use backscatter::{BackscatterObs, BackscatterSampler};
+pub use darknet::Darknet;
+pub use feed::{FeedSummary, RsdosFeed, RsdosRecord};
+pub use rsdos::{AttackEpisode, RsdosClassifier, RsdosThresholds};

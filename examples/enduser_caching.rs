@@ -1,0 +1,50 @@
+//! §6.3.1's end-user argument, quantified: how record TTL and domain
+//! popularity decide whether users *feel* a complete authoritative outage.
+//!
+//! ```sh
+//! cargo run --example enduser_caching
+//! ```
+
+use dnsimpact::core::enduser::{caching_contrast, CacheImpactModel};
+use dnsimpact::prelude::*;
+
+fn main() {
+    println!(
+        "User-visible failure fraction during a complete authoritative outage\n\
+         (one resolver cache; rows = domain profile, columns = outage length)\n"
+    );
+    let outages = [5u64, 15, 60, 240, 1_440];
+    print!("{:<22}", "domain profile");
+    for m in outages {
+        print!("{:>9}", format!("{m} min"));
+    }
+    println!();
+    let profiles: [(&str, f64, f64); 5] = [
+        ("popular, TTL 24h", 1.0, 86_400.0),
+        ("popular, TTL 1h", 1.0, 3_600.0),
+        ("popular, TTL 5m", 1.0, 300.0),
+        ("unpopular, TTL 1h", 1.0 / 7_200.0, 3_600.0),
+        ("unpopular, TTL 5m", 1.0 / 7_200.0, 300.0),
+    ];
+    for (label, rate, ttl) in profiles {
+        let m = CacheImpactModel::new(rate, ttl);
+        print!("{label:<22}");
+        for mins in outages {
+            let f = m.user_failure_fraction(SimDuration::from_mins(mins));
+            print!("{:>9}", format!("{:.0}%", f * 100.0));
+        }
+        println!();
+    }
+
+    println!(
+        "\nThe paper's qualitative claim (§6.3.1), for the modal 30-minute attack:"
+    );
+    for (label, f) in caching_contrast(SimDuration::from_mins(30)) {
+        println!("  {label:<22} {:.0}% of in-outage queries fail", f * 100.0);
+    }
+    println!(
+        "\nMoura et al.'s dike holds while TTL ≫ outage; it breaks for\n\
+         low-TTL (CDN-style) records and for long-tail domains nobody has\n\
+         cached — exactly the populations the paper flags as most exposed."
+    );
+}

@@ -1,0 +1,104 @@
+//! Quickstart: build a tiny DNS world, attack a nameserver, watch the
+//! darknet telescope infer the attack and the measurement platform observe
+//! its impact on resolution.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use dnsimpact::prelude::*;
+
+fn main() {
+    let rngs = RngFactory::new(7);
+
+    // 1. A provider with two unicast nameservers serving 2,000 domains.
+    let mut infra = Infra::new();
+    let ns_a = infra.add_nameserver(
+        "ns1.example-host.net".parse().unwrap(),
+        "198.51.100.53".parse().unwrap(),
+        Asn(64500),
+        Deployment::Unicast,
+        50_000.0, // capacity, pps
+        1_000.0,  // legitimate load, pps
+        18.0,     // unloaded RTT from the vantage point, ms
+    );
+    let ns_b = infra.add_nameserver(
+        "ns2.example-host.net".parse().unwrap(),
+        "203.0.113.53".parse().unwrap(),
+        Asn(64500),
+        Deployment::Unicast,
+        50_000.0,
+        1_000.0,
+        18.0,
+    );
+    let nsset = infra.intern_nsset(vec![ns_a, ns_b]);
+    for i in 0..2_000 {
+        infra.add_domain(format!("site{i}.example").parse().unwrap(), nsset);
+    }
+
+    // 2. A randomly-spoofed SYN flood against ns1 on day 3, 90 minutes,
+    //    45 kpps — enough to push the server to ρ≈0.92.
+    let start = SimTime::from_days(3) + SimDuration::from_hours(12);
+    let attack = Attack {
+        id: AttackId(0),
+        target: "198.51.100.53".parse().unwrap(),
+        start,
+        duration: SimDuration::from_mins(90),
+        vectors: vec![VectorSpec {
+            kind: VectorKind::RandomSpoofed,
+            protocol: Protocol::Tcp,
+            ports: vec![53],
+            victim_pps: 45_000.0,
+            source_count: 2_000_000,
+        }],
+    };
+
+    // 3. The telescope's view: backscatter thinning + RSDoS inference.
+    let darknet = Darknet::ucsd_like();
+    let obs = BackscatterSampler::new(&darknet).sample(std::slice::from_ref(&attack), &rngs);
+    let classifier = RsdosClassifier::default();
+    let records = classifier.classify(&obs);
+    let episodes = classifier.episodes(&records);
+    println!("telescope inferred {} attack episode(s):", episodes.len());
+    for e in &episodes {
+        println!(
+            "  victim {} from {} for {:?} — peak {:.0} ppm → ≈{:.0} kpps victim-side",
+            e.victim,
+            e.first_window.start(),
+            e.duration(),
+            e.peak_ppm,
+            e.peak_ppm * darknet.scale_factor() / 60.0 / 1_000.0,
+        );
+    }
+
+    // 4. Offered load + the unbound-like resolver: what an end user sees.
+    let mut loads = LoadBook::new();
+    for (addr, w, pps) in accumulate_windows(&[attack]) {
+        loads.add(addr, w, pps);
+    }
+    let resolver = Resolver::default();
+    let mut rng = rngs.stream("demo-queries");
+    let avg = |window: Window, rng: &mut rand::rngs::SmallRng, loads: &LoadBook| {
+        let n = 200;
+        let mut sum = 0.0;
+        let mut ok = 0;
+        for i in 0..n {
+            let out = resolver.resolve(&infra, DomainId(i % 2_000), window, loads, rng);
+            sum += out.rtt_ms;
+            ok += (out.status == QueryStatus::Ok) as u32;
+        }
+        (sum / n as f64, ok, n)
+    };
+    let (before, ok_b, n) = avg(SimTime::from_days(3).window(), &mut rng, &loads);
+    let (during, ok_d, _) =
+        avg((start + SimDuration::from_mins(30)).window(), &mut rng, &loads);
+    println!("\nresolution across {n} domains:");
+    println!("  before attack: avg {before:.1} ms, {ok_b}/{n} resolved");
+    println!("  during attack: avg {during:.1} ms, {ok_d}/{n} resolved");
+    println!(
+        "\nimpact factor ≈ {:.1}x. Queries landing on the attacked server pay\n\
+         ≈12x queueing delay (or a retry); the healthy unicast twin absorbs the\n\
+         rest — exactly the resilience trade-off the paper quantifies.",
+        during / before
+    );
+}

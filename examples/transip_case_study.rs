@@ -1,0 +1,88 @@
+//! The §5.1 TransIP case study end to end: two attacks on a large hosting
+//! provider with three unicast nameservers, the telescope's Table-2
+//! metrics, and the Figure-2/3 measurement series.
+//!
+//! ```sh
+//! cargo run --release --example transip_case_study
+//! ```
+
+use dnsimpact::prelude::*;
+use scenarios::TransIpScenario;
+
+fn main() {
+    let rngs = RngFactory::new(42);
+    let sc = TransIpScenario::build(&rngs);
+    println!(
+        "TransIP scenario: {} domains behind {} unicast nameservers ({} /24s, {} ASN)\n",
+        sc.infra.domain_count(),
+        sc.infra.nsset(sc.nsset).len(),
+        sc.infra.nsset_slash24s(sc.nsset).len(),
+        sc.infra.nsset_asns(sc.nsset).len(),
+    );
+
+    // Telescope inference → Table 2.
+    let feed = sc.feed(&rngs);
+    for (name, range) in [("December 2020", sc.dec_range), ("March 2021", sc.mar_range)] {
+        println!("{name} attack (telescope-inferred):");
+        for m in sc.table2(&feed, range).into_iter().flatten() {
+            println!(
+                "  NS {}: peak {:>8.0} ppm → {:>5.2} Gbps inferred, {:>9} attacker IPs, {:>4.0} min",
+                m.label, m.observed_ppm, m.inferred_gbps, m.attacker_ips, m.duration_min
+            );
+        }
+    }
+
+    // Measurement series around the December attack (Figure 2).
+    let loads = sc.load_book();
+    let series = sc.measure_series(sc.dec_range.0, sc.dec_range.1, &loads, &rngs);
+    let baseline: f64 = {
+        let pts: Vec<_> =
+            series.iter().filter(|p| p.window.day() == sc.dec_attack.0.day() - 1).collect();
+        pts.iter().map(|p| p.avg_rtt_ms).sum::<f64>() / pts.len() as f64
+    };
+    println!("\nDecember RTT series (hourly, vs {baseline:.1} ms baseline):");
+    for chunk in series.chunks(12) {
+        let domains: u64 = chunk.iter().map(|p| p.domains).sum();
+        if domains == 0 {
+            continue;
+        }
+        let rtt = chunk.iter().map(|p| p.avg_rtt_ms * p.domains as f64).sum::<f64>()
+            / domains as f64;
+        if rtt > baseline * 3.0 {
+            println!(
+                "  {}  {:>7.1} ms  ({:>5.1}x)  {}",
+                chunk[0].window.start(),
+                rtt,
+                rtt / baseline,
+                if chunk[0].window.start() >= sc.dec_attack.1 {
+                    "← after the RSDoS-inferred end (the 8-hour tail)"
+                } else {
+                    "under visible attack"
+                }
+            );
+        }
+    }
+
+    // March: timeout shares (Figure 3).
+    let series = sc.measure_series(sc.mar_range.0, sc.mar_range.1, &loads, &rngs);
+    println!("\nMarch timeout shares (only impaired hours shown):");
+    for chunk in series.chunks(12) {
+        let domains: u64 = chunk.iter().map(|p| p.domains).sum();
+        if domains == 0 {
+            continue;
+        }
+        let to = chunk.iter().map(|p| p.timeout_share * p.domains as f64).sum::<f64>()
+            / domains as f64;
+        if to > 0.02 {
+            println!(
+                "  {}  {:>5.1}% of domains timed out",
+                chunk[0].window.start(),
+                to * 100.0
+            );
+        }
+    }
+    println!(
+        "\nPaper shapes: ≈10x December inflation persisting 8h past the visible end;\n\
+         March more intense with ≈20% timeouts confined to the telescope interval."
+    );
+}

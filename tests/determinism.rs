@@ -1,0 +1,56 @@
+//! Whole-pipeline determinism: one seed, one result — across every
+//! subsystem at once.
+
+use dnsimpact::prelude::*;
+use scenarios::{paper_longitudinal_config, world, PaperScale, WorldConfig};
+
+fn fingerprint(seed: u64) -> (usize, usize, u64, Vec<(String, u64)>, String) {
+    let rngs = RngFactory::new(seed);
+    let built = world::build(
+        &WorldConfig { providers: 25, domains: 8_000, ..WorldConfig::default() },
+        &rngs,
+    );
+    let mut cfg = paper_longitudinal_config(PaperScale { divisor: 500 });
+    cfg.months.truncate(2);
+    cfg.attacks_per_month.truncate(2);
+    cfg.dns_share_per_month.truncate(2);
+    let months = cfg.months.clone();
+    let attacks = AttackScheduler::new(cfg).generate(&built.target_pool(), &rngs);
+    let report = run_longitudinal(
+        &built.infra,
+        &Darknet::ucsd_like(),
+        &attacks,
+        &months,
+        &built.meta,
+        &LongitudinalConfig::default(),
+        &rngs,
+    );
+    let monthly: Vec<(String, u64)> =
+        report.monthly.iter().map(|m| (m.month.to_string(), m.total_attacks())).collect();
+    let csv = report.feed.episodes_csv();
+    (
+        report.feed.episodes.len(),
+        report.impacts.len(),
+        report.feed.records.iter().map(|r| r.packets).sum(),
+        monthly,
+        csv,
+    )
+}
+
+#[test]
+fn same_seed_same_everything() {
+    let a = fingerprint(77);
+    let b = fingerprint(77);
+    assert_eq!(a.0, b.0, "episode count");
+    assert_eq!(a.1, b.1, "impact event count");
+    assert_eq!(a.2, b.2, "total feed packets");
+    assert_eq!(a.3, b.3, "monthly table");
+    assert_eq!(a.4, b.4, "full episode CSV byte-identical");
+}
+
+#[test]
+fn different_seed_different_world() {
+    let a = fingerprint(77);
+    let c = fingerprint(78);
+    assert_ne!(a.4, c.4, "different seeds must diverge");
+}

@@ -1,0 +1,150 @@
+//! The two simulation fidelities must agree: sampled per-query outcomes
+//! (the resolver path) converge to the analytic `ServiceState`
+//! probabilities that the aggregate path would use — because both are
+//! derived from the same load model.
+
+use dnsimpact::prelude::*;
+
+fn single_server_world(capacity: f64) -> (Infra, DomainId, std::net::Ipv4Addr) {
+    let mut infra = Infra::new();
+    let addr: std::net::Ipv4Addr = "198.51.100.53".parse().unwrap();
+    let ns = infra.add_nameserver(
+        "ns.solo.net".parse().unwrap(),
+        addr,
+        Asn(64500),
+        Deployment::Unicast,
+        capacity,
+        1_000.0,
+        20.0,
+    );
+    let set = infra.intern_nsset(vec![ns]);
+    let d = infra.add_domain("only.example".parse().unwrap(), set);
+    (infra, d, addr)
+}
+
+#[test]
+fn sampled_answer_rate_matches_service_state() {
+    // Saturated single server: analytic answer probability is
+    // capacity/offered; a single-attempt resolver must converge to it.
+    let (infra, domain, addr) = single_server_world(50_000.0);
+    let mut loads = LoadBook::new();
+    let w = Window(100);
+    loads.add(addr, w, 149_000.0); // offered = 150k → ρ = 3 → ans = 1/3
+    let ns = infra.ns_by_addr(addr).unwrap();
+    let state = infra.service_state(ns, w, &loads);
+    assert!((state.answer_prob - 1.0 / 3.0).abs() < 0.01, "{state:?}");
+
+    let resolver = Resolver { max_attempts: 1, ..Resolver::default() };
+    let rngs = RngFactory::new(9);
+    let mut rng = rngs.stream("fidelity");
+    let n = 20_000;
+    let mut ok = 0;
+    for _ in 0..n {
+        if resolver.resolve(&infra, domain, w, &loads, &mut rng).status == QueryStatus::Ok {
+            ok += 1;
+        }
+    }
+    let rate = ok as f64 / n as f64;
+    assert!(
+        (rate - state.answer_prob).abs() < 0.01,
+        "sampled {rate} vs analytic {}",
+        state.answer_prob
+    );
+}
+
+#[test]
+fn sampled_rtt_matches_rtt_mult() {
+    // Below saturation: every query answered at base_rtt × mult exactly.
+    let (infra, domain, addr) = single_server_world(50_000.0);
+    let mut loads = LoadBook::new();
+    let w = Window(7);
+    loads.add(addr, w, 39_000.0); // offered 40k → ρ = 0.8 → mult = 5
+    let ns = infra.ns_by_addr(addr).unwrap();
+    let state = infra.service_state(ns, w, &loads);
+    // Server queue gives 5x; the (barely loaded) /24 uplink adds ≈2%.
+    assert!((state.rtt_mult - 5.0).abs() < 0.1, "{state:?}");
+
+    let resolver = Resolver::default();
+    let rngs = RngFactory::new(10);
+    let mut rng = rngs.stream("fidelity-rtt");
+    for _ in 0..100 {
+        let out = resolver.resolve(&infra, domain, w, &loads, &mut rng);
+        assert_eq!(out.status, QueryStatus::Ok);
+        assert!((out.rtt_ms - 100.0).abs() < 2.0, "20ms × ≈5 = ≈100ms, got {}", out.rtt_ms);
+    }
+}
+
+#[test]
+fn retry_masking_matches_independence_product() {
+    // Three identical servers, each failing with probability f: the
+    // resolver's overall failure rate must be ≈ f³ (it tries all three).
+    let mut infra = Infra::new();
+    let addrs: Vec<std::net::Ipv4Addr> =
+        (0..3).map(|i| format!("198.51.{i}.53").parse().unwrap()).collect();
+    let ids: Vec<NsId> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| {
+            infra.add_nameserver(
+                format!("ns{i}.trio.net").parse().unwrap(),
+                a,
+                Asn(64500),
+                Deployment::Unicast,
+                50_000.0,
+                1_000.0,
+                20.0,
+            )
+        })
+        .collect();
+    let set = infra.intern_nsset(ids.clone());
+    let d = infra.add_domain("trio.example".parse().unwrap(), set);
+
+    let mut loads = LoadBook::new();
+    let w = Window(50);
+    for &a in &addrs {
+        loads.add(a, w, 99_000.0); // offered 100k → ρ = 2 → ans = 0.5
+    }
+    let state = infra.service_state(ids[0], w, &loads);
+    let f_single = 1.0 - state.answer_prob;
+    assert!((f_single - 0.5).abs() < 0.01);
+
+    let resolver = Resolver::default(); // 3 attempts
+    let rngs = RngFactory::new(11);
+    let mut rng = rngs.stream("fidelity-retry");
+    let n = 20_000;
+    let failures = (0..n)
+        .filter(|_| {
+            resolver.resolve(&infra, d, w, &loads, &mut rng).status != QueryStatus::Ok
+        })
+        .count();
+    let rate = failures as f64 / n as f64;
+    let expect = f_single.powi(3);
+    assert!(
+        (rate - expect).abs() < 0.015,
+        "resolution failure {rate:.4} vs independence product {expect:.4}"
+    );
+}
+
+#[test]
+fn store_aggregation_equals_manual_average() {
+    // The per-(NSSet, window) aggregates must be exactly the average of
+    // the individual rows they ingested.
+    let (infra, _domain, _) = single_server_world(50_000.0);
+    let set = infra.domain(DomainId(0)).nsset;
+    let schedule = SweepSchedule::new(3);
+    let resolver = Resolver::default();
+    let rngs = RngFactory::new(12);
+    let loads = LoadBook::new();
+    // Measure an explicit batch and cross-check.
+    let domains = vec![DomainId(0); 50];
+    let recs = openintel::measure::measure_domains(
+        &infra, &resolver, &domains, set, Window(10), &loads, &rngs,
+    );
+    let _ = schedule;
+    let mut store = MeasurementStore::new();
+    store.ingest(&recs);
+    let stats = store.window_stats(set, Window(10)).unwrap();
+    let manual_avg = recs.iter().map(|r| r.rtt_ms).sum::<f64>() / recs.len() as f64;
+    assert_eq!(stats.domains_measured, 50);
+    assert!((stats.avg_rtt() - manual_avg).abs() < 1e-9);
+}

@@ -1,0 +1,143 @@
+//! End-to-end integration: generate a world + calibrated attack
+//! population, run the complete pipeline, and check the paper's headline
+//! shapes all at once.
+
+use dnsimpact::prelude::*;
+use scenarios::{paper_longitudinal_config, world, PaperScale, WorldConfig};
+
+fn run(seed: u64, divisor: u32) -> (world::BuiltWorld, dnsimpact::core::longitudinal::LongitudinalReport) {
+    let rngs = RngFactory::new(seed);
+    let built = world::build(
+        &WorldConfig { providers: 40, domains: 20_000, ..WorldConfig::default() },
+        &rngs,
+    );
+    let cfg = paper_longitudinal_config(PaperScale { divisor });
+    let months = cfg.months.clone();
+    let attacks = AttackScheduler::new(cfg).generate(&built.target_pool(), &rngs);
+    let report = run_longitudinal(
+        &built.infra,
+        &Darknet::ucsd_like(),
+        &attacks,
+        &months,
+        &built.meta,
+        &LongitudinalConfig::default(),
+        &rngs,
+    );
+    (built, report)
+}
+
+#[test]
+fn headline_shapes_hold() {
+    let (built, report) = run(1, 100);
+
+    // Table 3 shape: the DNS share stays in a low single-digit-percent
+    // band, every month.
+    for m in &report.monthly {
+        assert!(m.total_attacks() > 0, "{}: no attacks at all", m.month);
+        assert!(
+            m.dns_share() < 0.05,
+            "{}: DNS share implausibly high: {:.2}%",
+            m.month,
+            m.dns_share() * 100.0
+        );
+    }
+    let dns_total: u64 = report.monthly.iter().map(|m| m.dns_attacks).sum();
+    let grand_total: u64 = report.monthly.iter().map(|m| m.total_attacks()).sum();
+    let share = dns_total as f64 / grand_total as f64;
+    assert!(
+        (0.004..0.03).contains(&share),
+        "overall DNS share {share:.4} outside the paper's ≈0.6–2.1% band"
+    );
+
+    // Figure 6 shape: TCP dominates, port 80 ≥ port 53 within TCP, UDP/53
+    // is a third of UDP.
+    let b = &report.port_breakdown;
+    if b.total >= 50 {
+        assert!(b.single_port_share() > 0.7, "single-port share {}", b.single_port_share());
+        assert!(b.protocol_share(Protocol::Tcp) > 0.8);
+        assert!(
+            b.port_share_within(Protocol::Tcp, 80) > b.port_share_within(Protocol::Tcp, 443),
+            "TCP/80 beats TCP/443"
+        );
+    }
+
+    // §6.3: the overwhelming majority of impact events show no failures.
+    let fs = &report.failure_summary;
+    assert!(fs.events > 0, "no impact events materialized");
+    assert!(
+        (fs.events_with_failures as f64) < 0.15 * fs.events as f64,
+        "{} of {} events failing is far above the paper's ≈1%",
+        fs.events_with_failures,
+        fs.events
+    );
+
+    // Figure 11 shape: no full-anycast NSSet suffers a ≥100x event, and
+    // unicast carries the worst outcomes.
+    let anycast = &report.by_anycast;
+    let unicast_row = &anycast[0];
+    let full_row = &anycast[2];
+    assert_eq!(full_row.over_100x, 0, "anycast never reaches 100x in the paper");
+    if unicast_row.events > 0 && full_row.events > 0 {
+        assert!(
+            unicast_row.max_impact >= full_row.max_impact,
+            "unicast worst-case ({}) should dominate anycast ({})",
+            unicast_row.max_impact,
+            full_row.max_impact
+        );
+    }
+
+    // Figure 9 shape: intensity does not strongly predict impact.
+    if let Some(r) = report.intensity_impact.pearson() {
+        assert!(r.abs() < 0.6, "correlation too strong to match the paper: {r}");
+    }
+
+    // Table 5 shape: the famous open resolvers attract attacks and are
+    // flagged.
+    let flagged = report.top_ips.iter().filter(|(_, _, open)| *open).count();
+    assert!(flagged >= 1, "expected open resolvers among the top-attacked IPs");
+
+    // The world's misconfigured domains exist but never produce impact
+    // events (the §6.1 filter).
+    let quad8 = built.infra.ns_by_addr("8.8.8.8".parse().unwrap()).unwrap();
+    let resolver_sets: Vec<NsSetId> = built.infra.nssets_of_ns(quad8).to_vec();
+    for e in &report.impacts {
+        assert!(
+            !resolver_sets.contains(&e.nsset),
+            "open-resolver NSSet leaked into the impact analysis"
+        );
+    }
+}
+
+#[test]
+fn affected_domains_track_provider_sizes() {
+    let (built, report) = run(3, 200);
+    // Figure 5 shape: the biggest per-event affected-domain count is the
+    // size of the largest attacked provider, which should reach the head
+    // of the Zipf distribution at least once over 17 months.
+    let biggest_event = report
+        .affected_domains_by_month
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .max()
+        .unwrap_or(0);
+    let biggest_provider = built
+        .provider_nssets
+        .iter()
+        .map(|&s| built.infra.domains_of_nsset(s).len() as u64)
+        .max()
+        .unwrap();
+    assert!(
+        biggest_event >= biggest_provider / 2,
+        "peaks of Figure 5 should reach the big providers: {biggest_event} vs {biggest_provider}"
+    );
+}
+
+#[test]
+fn feed_summary_dimensions_consistent() {
+    let (built, report) = run(5, 300);
+    let s = report.feed.summary(&built.meta.prefix2as);
+    assert!(s.attacks >= s.unique_ips, "episodes can repeat per IP");
+    assert!(s.unique_ips >= s.unique_slash24s);
+    assert!(s.unique_slash24s >= s.unique_asns || s.unique_asns == 0);
+    assert!(s.attacks > 0);
+}
