@@ -3,7 +3,7 @@
 //! writing CSV series to `results/`.
 //!
 //! ```text
-//! repro [--seed N] [--scale D] [--out DIR] [EXPERIMENT...]
+//! repro [--seed N] [--scale D] [--jobs N] [--out DIR] [EXPERIMENT...]
 //!
 //! EXPERIMENT ∈ { table1 table2 table3 table4 table5 table6
 //!                fig2 fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
@@ -12,26 +12,25 @@
 //!
 //! `--scale D` divides the paper's monthly attack volumes by `D`
 //! (default 40; `--scale 1` reproduces the full 4M-attack feed).
+//!
+//! `--jobs N` sets the worker-thread count for the experiment scheduler
+//! and the pipeline's parallel stages (default: available parallelism;
+//! `--jobs 1` runs fully sequentially). The outputs are byte-identical
+//! for any `--jobs` value — threads only change the wall clock, never
+//! the CSVs.
 
 use bench_support::{
-    ablate_baseline, fig10, fig11, fig12, fig13, fig5, fig6, fig7, fig8, fig9, run_experiments,
-    table1, table3, table4, table5, table6, Artifact, Experiments,
+    needs_longitudinal, run_catalog, run_experiments_with_jobs, Artifact, Experiments, CATALOG,
 };
-use dnsimpact_core::casestudy::TimePoint;
-use dnsimpact_core::report::{render_csv, render_table, write_output};
-use reactive::ReactivePlatform;
-use scenarios::{
-    correlate_messages, osint, MilRuScenario, PaperScale, RdzScenario, TransIpScenario,
-    WorldConfig,
-};
-use simcore::rng::RngFactory;
-use simcore::time::SimDuration;
+use dnsimpact_core::report::write_output;
+use scenarios::{PaperScale, WorldConfig};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 struct Options {
     seed: u64,
     scale: u32,
+    jobs: usize,
     out: PathBuf,
     experiments: Vec<String>,
 }
@@ -40,6 +39,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         seed: 42,
         scale: 40,
+        jobs: 0, // 0 = available parallelism
         out: PathBuf::from("results"),
         experiments: Vec::new(),
     };
@@ -48,35 +48,15 @@ fn parse_args() -> Options {
         match a.as_str() {
             "--seed" => opts.seed = args.next().expect("--seed N").parse().expect("seed"),
             "--scale" => opts.scale = args.next().expect("--scale D").parse().expect("scale"),
+            "--jobs" => opts.jobs = args.next().expect("--jobs N").parse().expect("jobs"),
             "--out" => opts.out = PathBuf::from(args.next().expect("--out DIR")),
             "--help" | "-h" => {
-                println!("repro [--seed N] [--scale D] [--out DIR] [EXPERIMENT...]");
+                println!("repro [--seed N] [--scale D] [--jobs N] [--out DIR] [EXPERIMENT...]");
                 println!("run `repro --list` for the experiment catalog");
                 std::process::exit(0);
             }
             "--list" => {
-                for (id, what) in [
-                    ("table1", "RSDoS dataset summary"),
-                    ("table2", "TransIP per-nameserver attack metrics"),
-                    ("table3", "monthly attack activity (DNS vs other)"),
-                    ("table4", "top 10 attacked ASNs"),
-                    ("table5", "top 10 attacked IPs"),
-                    ("table6", "most affected companies by RTT increase"),
-                    ("fig2", "TransIP RTT time series"),
-                    ("fig3", "TransIP March timeout shares"),
-                    ("fig5", "potentially affected domains per month"),
-                    ("fig6", "protocol/port distribution (+§6.3.1 contrast)"),
-                    ("fig7", "resolution failures vs measured domains"),
-                    ("fig8", "RTT impact vs hosted-domain count"),
-                    ("fig9", "intensity vs impact correlation"),
-                    ("fig10", "duration vs impact correlation"),
-                    ("fig11", "anycast efficacy"),
-                    ("fig12", "AS diversity efficacy"),
-                    ("fig13", "/24 prefix diversity efficacy"),
-                    ("russia", "mil.ru + RDZ reactive probing and OSINT correlation"),
-                    ("futurework", "§9 multi-vantage probing vs anycast masking"),
-                    ("ablate", "§4.1 day-before vs week-before baseline"),
-                ] {
+                for (id, what) in CATALOG {
                     println!("{id:<12} {what}");
                 }
                 std::process::exit(0);
@@ -85,14 +65,7 @@ fn parse_args() -> Options {
         }
     }
     if opts.experiments.is_empty() || opts.experiments.iter().any(|e| e == "all") {
-        opts.experiments = [
-            "table1", "table2", "table3", "table4", "table5", "table6", "fig2", "fig3", "fig5",
-            "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "russia",
-            "futurework", "ablate",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+        opts.experiments = CATALOG.iter().map(|(id, _)| id.to_string()).collect();
     }
     opts
 }
@@ -112,292 +85,57 @@ fn emit(out: &Path, a: &Artifact) {
     }
 }
 
-fn timeseries_artifact(id: &'static str, title: &str, series: &[TimePoint]) -> Artifact {
-    let headers = ["window", "time", "domains", "avg_rtt_ms", "timeout_share", "failure_share"];
-    let rows: Vec<Vec<String>> = series
-        .iter()
-        .map(|p| {
-            vec![
-                p.window.0.to_string(),
-                p.window.start().to_string(),
-                p.domains.to_string(),
-                format!("{:.2}", p.avg_rtt_ms),
-                format!("{:.4}", p.timeout_share),
-                format!("{:.4}", p.failure_share),
-            ]
-        })
-        .collect();
-    // The stdout rendering shows an hourly summary; full resolution goes
-    // to the CSV.
-    let mut hourly: Vec<Vec<String>> = Vec::new();
-    for chunk in series.chunks(12) {
-        let domains: u64 = chunk.iter().map(|p| p.domains).sum();
-        if domains == 0 {
-            continue;
-        }
-        let rtt = chunk.iter().map(|p| p.avg_rtt_ms * p.domains as f64).sum::<f64>()
-            / domains as f64;
-        let to = chunk.iter().map(|p| p.timeout_share * p.domains as f64).sum::<f64>()
-            / domains as f64;
-        hourly.push(vec![
-            chunk[0].window.start().to_string(),
-            domains.to_string(),
-            format!("{rtt:.1}"),
-            format!("{:.1}%", to * 100.0),
-        ]);
-    }
-    Artifact {
-        id,
-        title: title.into(),
-        text: render_table(&["hour", "domains", "avg_rtt_ms", "timeout_share"], &hourly),
-        csv: render_csv(&headers, &rows),
-    }
-}
-
-fn run_transip(out: &Path, seed: u64) {
-    let rngs = RngFactory::new(seed);
-    let sc = TransIpScenario::build(&rngs);
-    let feed = sc.feed(&rngs);
-    let loads = sc.load_book();
-
-    // Table 2.
-    let headers = ["Attack", "NS", "Observed PPM", "Inferred volume (Gbps)", "Attacker IPs", "Duration (min)"];
-    let mut rows = Vec::new();
-    for (attack, range) in [("December 2020", sc.dec_range), ("March 2021", sc.mar_range)] {
-        for m in sc.table2(&feed, range).into_iter().flatten() {
-            rows.push(vec![
-                attack.to_string(),
-                m.label.clone(),
-                format!("{:.0}", m.observed_ppm),
-                format!("{:.2}", m.inferred_gbps),
-                dnsimpact_core::report::fmt_count(m.attacker_ips),
-                format!("{:.0}", m.duration_min),
-            ]);
-        }
-    }
-    emit(
-        out,
-        &Artifact {
-            id: "table2",
-            title: "Table 2: TransIP attack metrics (telescope-inferred)".into(),
-            text: render_table(&headers, &rows),
-            csv: render_csv(&headers, &rows),
-        },
-    );
-
-    // Figures 2 and 3.
-    let dec = sc.measure_series(sc.dec_range.0, sc.dec_range.1, &loads, &rngs);
-    emit(
-        out,
-        &timeseries_artifact(
-            "fig2",
-            "Figure 2: RTT around the TransIP attacks (December window)",
-            &dec,
-        ),
-    );
-    let mar = sc.measure_series(sc.mar_range.0, sc.mar_range.1, &loads, &rngs);
-    emit(
-        out,
-        &timeseries_artifact(
-            "fig3",
-            "Figure 3: timeout errors during the March 2021 TransIP attack",
-            &mar,
-        ),
-    );
-}
-
-fn run_russia(out: &Path, seed: u64) {
-    let rngs = RngFactory::new(seed);
-
-    // mil.ru: reactive probing through the attack.
-    let mil = MilRuScenario::build(&rngs);
-    let feed = mil.feed(&rngs);
-    let loads = mil.load_book();
-    let infra = Arc::new(mil.infra);
-    let platform = ReactivePlatform::default();
-    // Execute three days of probing per victim (864 rounds) to keep the
-    // run bounded while covering the blackout onset.
-    let reports = platform.run(&infra, &feed.records, &loads, &rngs, 864);
-    let headers = ["victim", "rounds", "unresolvable_rounds", "first_round", "recovered_by_probe_end"];
-    let rows: Vec<Vec<String>> = reports
-        .iter()
-        .map(|r| {
-            vec![
-                r.plan.victim.to_string(),
-                r.rounds.len().to_string(),
-                r.unresolvable_rounds().to_string(),
-                r.plan.start.to_string(),
-                r.recovery_after(mil.blackout.1).map(|t| t.to_string()).unwrap_or("no".into()),
-            ]
-        })
-        .collect();
-    emit(
-        out,
-        &Artifact {
-            id: "russia_milru",
-            title: "§5.2.1: mil.ru reactive probing (blackout March 12–16)".into(),
-            text: render_table(&headers, &rows),
-            csv: render_csv(&headers, &rows),
-        },
-    );
-
-    // RDZ: recovery timing + OSINT correlation.
-    let rdz = RdzScenario::build(&rngs);
-    let rdz_feed = rdz.feed(&rngs);
-    let rdz_loads = rdz.load_book();
-    let rdz_infra = Arc::new(rdz.infra);
-    let reports = platform.run(&rdz_infra, &rdz_feed.records, &rdz_loads, &rngs, 200);
-    let mut rows = Vec::new();
-    for r in &reports {
-        rows.push(vec![
-            r.plan.victim.to_string(),
-            r.unresolvable_rounds().to_string(),
-            r.recovery_after(rdz.visible_span.1)
-                .map(|t| t.to_string())
-                .unwrap_or("not within probe horizon".into()),
-        ]);
-    }
-    let log = osint::rdz_channel_log(&rdz.addrs);
-    let matches = correlate_messages(&log, &rdz_feed.episodes, SimDuration::from_mins(30));
-    let mut text = render_table(&["victim", "unresolvable_rounds", "recovery"], &rows);
-    text.push_str("\nOSINT correlation (Figure 4 substitute):\n");
-    for m in &matches {
-        let msg = &log[m.message_idx];
-        let ep = &rdz_feed.episodes[m.episode_idx];
-        text.push_str(&format!(
-            "  message {:?} at {} ↔ attack on {} starting {} (lag {} min)\n",
-            msg.channel,
-            msg.at,
-            ep.victim,
-            ep.first_window.start(),
-            m.lag_secs / 60,
-        ));
-    }
-    emit(
-        out,
-        &Artifact {
-            id: "russia_rdz",
-            title: "§5.2.2: RDZ railways reactive probing + coordination-channel correlation"
-                .into(),
-            text,
-            csv: render_csv(&["victim", "unresolvable_rounds", "recovery"], &rows),
-        },
-    );
-}
-
-/// §9 future work: multi-vantage probing vs the anycast catchment mask.
-fn run_futurework(out: &Path, seed: u64) {
-    use dnsimpact_core::report::fmt_pct;
-    use reactive::{probe_from_fleet, VantagePoint};
-    use scenarios::world::{self, WorldConfig};
-
-    let rngs = RngFactory::new(seed);
-    let built = world::build(
-        &WorldConfig { providers: 30, domains: 10_000, ..WorldConfig::default() },
-        &rngs,
-    );
-    // Attack every *anycast* provider's nameservers with an aggregate rate
-    // that is devastating regionally but survivable at a uniform catchment.
-    let mut loads = dnssim::LoadBook::new();
-    let at = simcore::time::SimTime::from_days(10);
-    let mut targets = Vec::new();
-    for n in built.infra.nameservers() {
-        if n.deployment.is_anycast() && !n.open_resolver {
-            loads.add(n.addr, at.window(), n.capacity_pps * 12.0);
-            targets.push(n.id);
-        }
-    }
-    let single = VantagePoint::single_nl();
-    let fleet = VantagePoint::default_fleet();
-    let mut rng = rngs.stream("futurework");
-    let mut single_detects = 0u64;
-    let mut fleet_detects = 0u64;
-    let mut probed = 0u64;
-    for &set in &built.provider_nssets {
-        let (any, total) = built.infra.nsset_anycast(set);
-        if any != total || total == 0 {
-            continue;
-        }
-        let Some(&d) = built.infra.domains_of_nsset(set).first() else { continue };
-        for _ in 0..20 {
-            probed += 1;
-            let sv = probe_from_fleet(&single, &built.infra, d, at, &loads, &mut rng);
-            if sv.probes[0].1.responsive_ns() < sv.probes[0].1.outcomes.len() {
-                single_detects += 1;
-            }
-            let mv = probe_from_fleet(&fleet, &built.infra, d, at, &loads, &mut rng);
-            if mv.worst_ns_share() < 1.0 {
-                fleet_detects += 1;
-            }
-        }
-    }
-    let headers = ["probes", "single-vantage detections", "5-vantage detections"];
-    let rows = vec![vec![
-        probed.to_string(),
-        format!("{single_detects} ({})", fmt_pct(single_detects as f64 / probed.max(1) as f64)),
-        format!("{fleet_detects} ({})", fmt_pct(fleet_detects as f64 / probed.max(1) as f64)),
-    ]];
-    emit(
-        out,
-        &Artifact {
-            id: "futurework",
-            title: "§9 future work: multi-vantage probing pierces the anycast catchment mask"
-                .into(),
-            text: render_table(&headers, &rows),
-            csv: render_csv(&headers, &rows),
-        },
-    );
-}
-
 fn main() {
     let opts = parse_args();
-    let needs_longitudinal = opts.experiments.iter().any(|e| {
-        matches!(
-            e.as_str(),
-            "table1" | "table3" | "table4" | "table5" | "table6" | "fig5" | "fig6" | "fig7"
-                | "fig8" | "fig9" | "fig10" | "fig11" | "fig12" | "fig13" | "ablate"
-        )
-    });
-    let ex: Option<Experiments> = needs_longitudinal.then(|| {
+    let known: Vec<String> = opts
+        .experiments
+        .iter()
+        .filter(|e| {
+            let ok = CATALOG.iter().any(|(id, _)| id == e);
+            if !ok {
+                eprintln!("[repro] unknown experiment '{e}' (skipped)");
+            }
+            ok
+        })
+        .cloned()
+        .collect();
+    let jobs = streamproc::effective_jobs(opts.jobs);
+    let total = Instant::now();
+
+    // Stage 1: the shared longitudinal pipeline, if any requested
+    // experiment renders from it.
+    let mut timings: Vec<(String, Duration)> = Vec::new();
+    let ex: Option<Experiments> = known.iter().any(|e| needs_longitudinal(e)).then(|| {
         eprintln!(
-            "[repro] running longitudinal pipeline (seed {}, scale 1/{}) ...",
+            "[repro] running longitudinal pipeline (seed {}, scale 1/{}, jobs {jobs}) ...",
             opts.seed, opts.scale
         );
-        run_experiments(
+        let start = Instant::now();
+        let ex = run_experiments_with_jobs(
             opts.seed,
             PaperScale { divisor: opts.scale },
             &WorldConfig::default(),
-        )
+            opts.jobs,
+        );
+        timings.push(("longitudinal pipeline".into(), start.elapsed()));
+        ex
     });
-    let mut transip_done = false;
-    for e in &opts.experiments {
-        match (e.as_str(), &ex) {
-            ("table1", Some(ex)) => emit(&opts.out, &table1(ex)),
-            ("table3", Some(ex)) => emit(&opts.out, &table3(ex)),
-            ("table4", Some(ex)) => emit(&opts.out, &table4(ex)),
-            ("table5", Some(ex)) => emit(&opts.out, &table5(ex)),
-            ("table6", Some(ex)) => emit(&opts.out, &table6(ex)),
-            ("fig5", Some(ex)) => emit(&opts.out, &fig5(ex)),
-            ("fig6", Some(ex)) => emit(&opts.out, &fig6(ex)),
-            ("fig7", Some(ex)) => emit(&opts.out, &fig7(ex)),
-            ("fig8", Some(ex)) => emit(&opts.out, &fig8(ex)),
-            ("fig9", Some(ex)) => emit(&opts.out, &fig9(ex)),
-            ("fig10", Some(ex)) => emit(&opts.out, &fig10(ex)),
-            ("fig11", Some(ex)) => emit(&opts.out, &fig11(ex)),
-            ("fig12", Some(ex)) => emit(&opts.out, &fig12(ex)),
-            ("fig13", Some(ex)) => emit(&opts.out, &fig13(ex)),
-            ("ablate", Some(ex)) => emit(&opts.out, &ablate_baseline(ex)),
-            ("table2" | "fig2" | "fig3", _) => {
-                // The three TransIP experiments share one scenario run.
-                if !transip_done {
-                    run_transip(&opts.out, opts.seed);
-                    transip_done = true;
-                }
-            }
-            ("russia", _) => run_russia(&opts.out, opts.seed),
-            ("futurework", _) => run_futurework(&opts.out, opts.seed),
-            (other, _) => eprintln!("[repro] unknown experiment '{other}' (skipped)"),
+
+    // Stage 2: schedule the experiments across the worker pool. Outcomes
+    // come back in canonical order, so emission below is deterministic.
+    let runs = run_catalog(ex.as_ref(), opts.seed, &known, opts.jobs);
+    for run in &runs {
+        for a in &run.artifacts {
+            emit(&opts.out, a);
         }
+        timings.push((run.id.clone(), run.wall));
     }
+
+    // Stage timing summary.
+    eprintln!("[repro] stage timings (jobs={jobs}):");
+    for (stage, wall) in &timings {
+        eprintln!("[repro]   {stage:<24} {:>8.2?}", wall);
+    }
+    eprintln!("[repro]   {:<24} {:>8.2?} wall", "total", total.elapsed());
     eprintln!("[repro] CSV series written to {}", opts.out.display());
 }

@@ -3,14 +3,20 @@
 //! longitudinal pipeline, and renders every table/figure series of the
 //! paper as text + CSV.
 
+use dnsimpact_core::casestudy::TimePoint;
 use dnsimpact_core::longitudinal::{
     self, LongitudinalConfig, LongitudinalReport,
 };
 use dnsimpact_core::report::{fmt_count, fmt_pct, render_csv, render_table};
-use scenarios::{paper_longitudinal_config, world, PaperScale, WorldConfig};
+use reactive::ReactivePlatform;
+use scenarios::{
+    correlate_messages, osint, paper_longitudinal_config, world, MilRuScenario, PaperScale,
+    RdzScenario, TransIpScenario, WorldConfig,
+};
 use simcore::rng::RngFactory;
 use simcore::stats::quantile;
-use simcore::time::Month;
+use simcore::time::{Month, SimDuration};
+use std::sync::Arc;
 use telescope::Darknet;
 
 /// A fully materialized longitudinal experiment.
@@ -23,8 +29,22 @@ pub struct Experiments {
     pub rngs: RngFactory,
 }
 
-/// Build the standard world and run the full longitudinal pipeline.
+/// Build the standard world and run the full longitudinal pipeline with
+/// the machine's available parallelism.
 pub fn run_experiments(seed: u64, scale: PaperScale, world_cfg: &WorldConfig) -> Experiments {
+    run_experiments_with_jobs(seed, scale, world_cfg, 0)
+}
+
+/// [`run_experiments`] with an explicit worker count for the pipeline's
+/// parallel stages (`0` = available parallelism, `1` = sequential). The
+/// report — and every artifact rendered from it — is byte-identical for
+/// any `jobs` value.
+pub fn run_experiments_with_jobs(
+    seed: u64,
+    scale: PaperScale,
+    world_cfg: &WorldConfig,
+    jobs: usize,
+) -> Experiments {
     let rngs = RngFactory::new(seed);
     let built = world::build(world_cfg, &rngs);
     let schedule_cfg = paper_longitudinal_config(scale);
@@ -38,7 +58,7 @@ pub fn run_experiments(seed: u64, scale: PaperScale, world_cfg: &WorldConfig) ->
         &attacks,
         &months,
         &built.meta,
-        &LongitudinalConfig::default(),
+        &LongitudinalConfig { jobs, ..LongitudinalConfig::default() },
         &rngs,
     );
     Experiments { world: built, attacks, months, darknet, report, rngs }
@@ -551,6 +571,339 @@ pub fn table6(ex: &Experiments) -> Artifact {
         text: render_table(&headers, &rows),
         csv: render_csv(&headers, &rows),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario experiments (self-contained: each builds its own world from the
+// seed, so they schedule as independent jobs on the experiment pool).
+// ---------------------------------------------------------------------------
+
+fn timeseries_artifact(id: &'static str, title: &str, series: &[TimePoint]) -> Artifact {
+    let headers = ["window", "time", "domains", "avg_rtt_ms", "timeout_share", "failure_share"];
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|p| {
+            vec![
+                p.window.0.to_string(),
+                p.window.start().to_string(),
+                p.domains.to_string(),
+                format!("{:.2}", p.avg_rtt_ms),
+                format!("{:.4}", p.timeout_share),
+                format!("{:.4}", p.failure_share),
+            ]
+        })
+        .collect();
+    // The stdout rendering shows an hourly summary; full resolution goes
+    // to the CSV.
+    let mut hourly: Vec<Vec<String>> = Vec::new();
+    for chunk in series.chunks(12) {
+        let domains: u64 = chunk.iter().map(|p| p.domains).sum();
+        if domains == 0 {
+            continue;
+        }
+        let rtt = chunk.iter().map(|p| p.avg_rtt_ms * p.domains as f64).sum::<f64>()
+            / domains as f64;
+        let to = chunk.iter().map(|p| p.timeout_share * p.domains as f64).sum::<f64>()
+            / domains as f64;
+        hourly.push(vec![
+            chunk[0].window.start().to_string(),
+            domains.to_string(),
+            format!("{rtt:.1}"),
+            format!("{:.1}%", to * 100.0),
+        ]);
+    }
+    Artifact {
+        id,
+        title: title.into(),
+        text: render_table(&["hour", "domains", "avg_rtt_ms", "timeout_share"], &hourly),
+        csv: render_csv(&headers, &rows),
+    }
+}
+
+/// §5.1 TransIP case study: Table 2 plus Figures 2–3 from one scenario run.
+pub fn transip_artifacts(seed: u64) -> Vec<Artifact> {
+    let rngs = RngFactory::new(seed);
+    let sc = TransIpScenario::build(&rngs);
+    let feed = sc.feed(&rngs);
+    let loads = sc.load_book();
+
+    // Table 2.
+    let headers =
+        ["Attack", "NS", "Observed PPM", "Inferred volume (Gbps)", "Attacker IPs", "Duration (min)"];
+    let mut rows = Vec::new();
+    for (attack, range) in [("December 2020", sc.dec_range), ("March 2021", sc.mar_range)] {
+        for m in sc.table2(&feed, range).into_iter().flatten() {
+            rows.push(vec![
+                attack.to_string(),
+                m.label.clone(),
+                format!("{:.0}", m.observed_ppm),
+                format!("{:.2}", m.inferred_gbps),
+                fmt_count(m.attacker_ips),
+                format!("{:.0}", m.duration_min),
+            ]);
+        }
+    }
+    let table2 = Artifact {
+        id: "table2",
+        title: "Table 2: TransIP attack metrics (telescope-inferred)".into(),
+        text: render_table(&headers, &rows),
+        csv: render_csv(&headers, &rows),
+    };
+
+    // Figures 2 and 3.
+    let dec = sc.measure_series(sc.dec_range.0, sc.dec_range.1, &loads, &rngs);
+    let fig2 = timeseries_artifact(
+        "fig2",
+        "Figure 2: RTT around the TransIP attacks (December window)",
+        &dec,
+    );
+    let mar = sc.measure_series(sc.mar_range.0, sc.mar_range.1, &loads, &rngs);
+    let fig3 = timeseries_artifact(
+        "fig3",
+        "Figure 3: timeout errors during the March 2021 TransIP attack",
+        &mar,
+    );
+    vec![table2, fig2, fig3]
+}
+
+/// §5.2 Russian-infrastructure case studies: mil.ru reactive probing and
+/// RDZ recovery + OSINT correlation.
+pub fn russia_artifacts(seed: u64) -> Vec<Artifact> {
+    let rngs = RngFactory::new(seed);
+
+    // mil.ru: reactive probing through the attack.
+    let mil = MilRuScenario::build(&rngs);
+    let feed = mil.feed(&rngs);
+    let loads = mil.load_book();
+    let infra = Arc::new(mil.infra);
+    let platform = ReactivePlatform::default();
+    // Execute three days of probing per victim (864 rounds) to keep the
+    // run bounded while covering the blackout onset.
+    let reports = platform.run(&infra, &feed.records, &loads, &rngs, 864);
+    let headers =
+        ["victim", "rounds", "unresolvable_rounds", "first_round", "recovered_by_probe_end"];
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.plan.victim.to_string(),
+                r.rounds.len().to_string(),
+                r.unresolvable_rounds().to_string(),
+                r.plan.start.to_string(),
+                r.recovery_after(mil.blackout.1).map(|t| t.to_string()).unwrap_or("no".into()),
+            ]
+        })
+        .collect();
+    let milru = Artifact {
+        id: "russia_milru",
+        title: "§5.2.1: mil.ru reactive probing (blackout March 12–16)".into(),
+        text: render_table(&headers, &rows),
+        csv: render_csv(&headers, &rows),
+    };
+
+    // RDZ: recovery timing + OSINT correlation.
+    let rdz = RdzScenario::build(&rngs);
+    let rdz_feed = rdz.feed(&rngs);
+    let rdz_loads = rdz.load_book();
+    let rdz_infra = Arc::new(rdz.infra);
+    let reports = platform.run(&rdz_infra, &rdz_feed.records, &rdz_loads, &rngs, 200);
+    let mut rows = Vec::new();
+    for r in &reports {
+        rows.push(vec![
+            r.plan.victim.to_string(),
+            r.unresolvable_rounds().to_string(),
+            r.recovery_after(rdz.visible_span.1)
+                .map(|t| t.to_string())
+                .unwrap_or("not within probe horizon".into()),
+        ]);
+    }
+    let log = osint::rdz_channel_log(&rdz.addrs);
+    let matches = correlate_messages(&log, &rdz_feed.episodes, SimDuration::from_mins(30));
+    let mut text = render_table(&["victim", "unresolvable_rounds", "recovery"], &rows);
+    text.push_str("\nOSINT correlation (Figure 4 substitute):\n");
+    for m in &matches {
+        let msg = &log[m.message_idx];
+        let ep = &rdz_feed.episodes[m.episode_idx];
+        text.push_str(&format!(
+            "  message {:?} at {} ↔ attack on {} starting {} (lag {} min)\n",
+            msg.channel,
+            msg.at,
+            ep.victim,
+            ep.first_window.start(),
+            m.lag_secs / 60,
+        ));
+    }
+    let rdz_artifact = Artifact {
+        id: "russia_rdz",
+        title: "§5.2.2: RDZ railways reactive probing + coordination-channel correlation".into(),
+        text,
+        csv: render_csv(&["victim", "unresolvable_rounds", "recovery"], &rows),
+    };
+    vec![milru, rdz_artifact]
+}
+
+/// §9 future work: multi-vantage probing vs the anycast catchment mask.
+pub fn futurework_artifacts(seed: u64) -> Vec<Artifact> {
+    use reactive::{probe_from_fleet, VantagePoint};
+
+    let rngs = RngFactory::new(seed);
+    let built = world::build(
+        &WorldConfig { providers: 30, domains: 10_000, ..WorldConfig::default() },
+        &rngs,
+    );
+    // Attack every *anycast* provider's nameservers with an aggregate rate
+    // that is devastating regionally but survivable at a uniform catchment.
+    let mut loads = dnssim::LoadBook::new();
+    let at = simcore::time::SimTime::from_days(10);
+    let mut targets = Vec::new();
+    for n in built.infra.nameservers() {
+        if n.deployment.is_anycast() && !n.open_resolver {
+            loads.add(n.addr, at.window(), n.capacity_pps * 12.0);
+            targets.push(n.id);
+        }
+    }
+    let single = VantagePoint::single_nl();
+    let fleet = VantagePoint::default_fleet();
+    let mut rng = rngs.stream("futurework");
+    let mut single_detects = 0u64;
+    let mut fleet_detects = 0u64;
+    let mut probed = 0u64;
+    for &set in &built.provider_nssets {
+        let (any, total) = built.infra.nsset_anycast(set);
+        if any != total || total == 0 {
+            continue;
+        }
+        let Some(&d) = built.infra.domains_of_nsset(set).first() else { continue };
+        for _ in 0..20 {
+            probed += 1;
+            let sv = probe_from_fleet(&single, &built.infra, d, at, &loads, &mut rng);
+            if sv.probes[0].1.responsive_ns() < sv.probes[0].1.outcomes.len() {
+                single_detects += 1;
+            }
+            let mv = probe_from_fleet(&fleet, &built.infra, d, at, &loads, &mut rng);
+            if mv.worst_ns_share() < 1.0 {
+                fleet_detects += 1;
+            }
+        }
+    }
+    let headers = ["probes", "single-vantage detections", "5-vantage detections"];
+    let rows = vec![vec![
+        probed.to_string(),
+        format!("{single_detects} ({})", fmt_pct(single_detects as f64 / probed.max(1) as f64)),
+        format!("{fleet_detects} ({})", fmt_pct(fleet_detects as f64 / probed.max(1) as f64)),
+    ]];
+    vec![Artifact {
+        id: "futurework",
+        title: "§9 future work: multi-vantage probing pierces the anycast catchment mask".into(),
+        text: render_table(&headers, &rows),
+        csv: render_csv(&headers, &rows),
+    }]
+}
+
+// ---------------------------------------------------------------------------
+// The experiment catalog and the work-stealing scheduler.
+// ---------------------------------------------------------------------------
+
+/// Every experiment id the harness knows, with a one-line description.
+pub const CATALOG: &[(&str, &str)] = &[
+    ("table1", "RSDoS dataset summary"),
+    ("table2", "TransIP per-nameserver attack metrics"),
+    ("table3", "monthly attack activity (DNS vs other)"),
+    ("table4", "top 10 attacked ASNs"),
+    ("table5", "top 10 attacked IPs"),
+    ("table6", "most affected companies by RTT increase"),
+    ("fig2", "TransIP RTT time series"),
+    ("fig3", "TransIP March timeout shares"),
+    ("fig5", "potentially affected domains per month"),
+    ("fig6", "protocol/port distribution (+§6.3.1 contrast)"),
+    ("fig7", "resolution failures vs measured domains"),
+    ("fig8", "RTT impact vs hosted-domain count"),
+    ("fig9", "intensity vs impact correlation"),
+    ("fig10", "duration vs impact correlation"),
+    ("fig11", "anycast efficacy"),
+    ("fig12", "AS diversity efficacy"),
+    ("fig13", "/24 prefix diversity efficacy"),
+    ("russia", "mil.ru + RDZ reactive probing and OSINT correlation"),
+    ("futurework", "§9 multi-vantage probing vs anycast masking"),
+    ("ablate", "§4.1 day-before vs week-before baseline"),
+];
+
+/// Does this experiment render from the shared longitudinal run?
+pub fn needs_longitudinal(id: &str) -> bool {
+    matches!(
+        id,
+        "table1" | "table3" | "table4" | "table5" | "table6" | "fig5" | "fig6" | "fig7"
+            | "fig8" | "fig9" | "fig10" | "fig11" | "fig12" | "fig13" | "ablate"
+    )
+}
+
+/// Render one longitudinal artifact by id.
+pub fn render_longitudinal(ex: &Experiments, id: &str) -> Option<Artifact> {
+    Some(match id {
+        "table1" => table1(ex),
+        "table3" => table3(ex),
+        "table4" => table4(ex),
+        "table5" => table5(ex),
+        "table6" => table6(ex),
+        "fig5" => fig5(ex),
+        "fig6" => fig6(ex),
+        "fig7" => fig7(ex),
+        "fig8" => fig8(ex),
+        "fig9" => fig9(ex),
+        "fig10" => fig10(ex),
+        "fig11" => fig11(ex),
+        "fig12" => fig12(ex),
+        "fig13" => fig13(ex),
+        "ablate" => ablate_baseline(ex),
+        _ => return None,
+    })
+}
+
+/// One scheduled experiment's output: its artifacts (in catalog-canonical
+/// order) and how long the job ran on its worker.
+pub struct ExperimentRun {
+    pub id: String,
+    pub artifacts: Vec<Artifact>,
+    pub wall: std::time::Duration,
+}
+
+/// Schedule the requested experiments across up to `jobs` worker threads
+/// (`0` = available parallelism) sharing one work queue.
+///
+/// The requested ids are first normalized into a canonical job list —
+/// duplicates dropped, the three TransIP ids (`table2`/`fig2`/`fig3`)
+/// coalesced into one `transip` job since they share a scenario run — and
+/// the outcomes come back in that canonical order whatever the thread
+/// count, so downstream emission (stdout, CSVs, the results index) is
+/// deterministic. Unknown ids yield an empty artifact list.
+pub fn run_catalog(
+    ex: Option<&Experiments>,
+    seed: u64,
+    ids: &[String],
+    jobs: usize,
+) -> Vec<ExperimentRun> {
+    let mut specs: Vec<String> = Vec::new();
+    for id in ids {
+        let spec = match id.as_str() {
+            "table2" | "fig2" | "fig3" => "transip".to_string(),
+            other => other.to_string(),
+        };
+        if !specs.contains(&spec) {
+            specs.push(spec);
+        }
+    }
+    streamproc::parallel_map(jobs, specs, |_, spec| {
+        let start = std::time::Instant::now();
+        let artifacts = match spec.as_str() {
+            "transip" => transip_artifacts(seed),
+            "russia" => russia_artifacts(seed),
+            "futurework" => futurework_artifacts(seed),
+            other => {
+                ex.and_then(|ex| render_longitudinal(ex, other)).into_iter().collect()
+            }
+        };
+        ExperimentRun { id: spec, artifacts, wall: start.elapsed() }
+    })
 }
 
 #[cfg(test)]

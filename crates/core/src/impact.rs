@@ -66,9 +66,23 @@ impl Default for ImpactConfig {
     }
 }
 
+/// One unit of OpenINTEL measurement work, planned sequentially and
+/// executed on any worker. Tasks never share RNG state: `measure_domains`
+/// derives a fresh stream per `(domain, window)` from the factory, so a
+/// task's records depend only on its inputs — not on which thread ran it
+/// or when.
+enum MeasureTask {
+    /// One deduplicated (NSSet, window) attack-measurement cell.
+    Cell { nsset: NsSetId, window: u64, domains: Vec<dnssim::DomainId> },
+    /// The sampled previous-day baseline for one (NSSet, day), each probe
+    /// in its own scheduled window.
+    Baseline { nsset: NsSetId, probes: Vec<(dnssim::DomainId, simcore::time::Window)> },
+}
+
 /// Compute the impact events for all joined attacks. Also returns the
 /// filled measurement store (per-window aggregates) for time-series
-/// rendering.
+/// rendering. Sequential convenience wrapper around
+/// [`compute_impacts_with_jobs`].
 #[allow(clippy::too_many_arguments)]
 pub fn compute_impacts(
     infra: &Infra,
@@ -81,12 +95,46 @@ pub fn compute_impacts(
     rngs: &RngFactory,
     config: &ImpactConfig,
 ) -> (Vec<ImpactEvent>, MeasurementStore) {
-    let mut store = MeasurementStore::new();
+    compute_impacts_with_jobs(
+        infra, schedule, resolver, loads, episodes, events, census, rngs, config, 1,
+    )
+}
+
+/// [`compute_impacts`] with the measurement phase fanned out over up to
+/// `jobs` worker threads (`0` → available parallelism).
+///
+/// Three phases keep the output independent of `jobs`:
+///
+/// 1. **Plan** (sequential): walk the events in order and emit a canonical,
+///    deduplicated task list — attack-window cells and sampled baselines.
+/// 2. **Measure** (parallel): run the tasks on a shared-queue worker pool;
+///    [`streamproc::parallel_map`] returns the record batches in plan
+///    order regardless of scheduling.
+/// 3. **Merge + aggregate** (sequential): ingest the batches in plan order
+///    (fixing the f64 summation order inside the store), then derive every
+///    event's statistics from the fully-populated store.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_impacts_with_jobs(
+    infra: &Infra,
+    schedule: &SweepSchedule,
+    resolver: &Resolver,
+    loads: &LoadBook,
+    episodes: &[AttackEpisode],
+    events: &[DnsAttackEvent],
+    census: &AnycastCensus,
+    rngs: &RngFactory,
+    config: &ImpactConfig,
+    jobs: usize,
+) -> (Vec<ImpactEvent>, MeasurementStore) {
+    // Phase 1: plan.
     let mut measured_cells: HashSet<(NsSetId, u64)> = HashSet::new();
     let mut baseline_days: HashSet<(NsSetId, u64)> = HashSet::new();
-    let mut out = Vec::new();
+    let mut tasks: Vec<MeasureTask> = Vec::new();
+    // The (event, NSSet) pairs that pass the ≥5-domains filter, in event
+    // order — phase 3 emits exactly one ImpactEvent per entry.
+    let mut rows: Vec<(usize, NsSetId)> = Vec::new();
 
-    for ev in events {
+    for (ei, ev) in events.iter().enumerate() {
         let ep = &episodes[ev.episode_idx];
         for &nsset in &ev.nssets {
             let measured =
@@ -94,6 +142,7 @@ pub fn compute_impacts(
             if (measured.len() as u64) < config.min_domains_measured {
                 continue;
             }
+            rows.push((ei, nsset));
             // Measure the attack windows (once per (nsset, window) cell
             // even when episodes overlap).
             let mut by_window: std::collections::BTreeMap<u64, Vec<dnssim::DomainId>> =
@@ -101,55 +150,78 @@ pub fn compute_impacts(
             for (d, w) in &measured {
                 by_window.entry(w.0).or_default().push(*d);
             }
-            for (w, ds) in &by_window {
-                if measured_cells.insert((nsset, *w)) {
-                    let recs = measure_domains(
-                        infra,
-                        resolver,
-                        ds,
-                        nsset,
-                        simcore::time::Window(*w),
-                        loads,
-                        rngs,
-                    );
-                    store.ingest(&recs);
+            for (w, ds) in by_window {
+                if measured_cells.insert((nsset, w)) {
+                    tasks.push(MeasureTask::Cell { nsset, window: w, domains: ds });
                 }
             }
-            // Materialize the previous-day baseline (sampled).
+            // Plan the previous-day baseline (sampled).
             if let Some(day_before) = ep.first_window.day().checked_sub(1) {
                 if baseline_days.insert((nsset, day_before)) {
                     let all = infra.domains_of_nsset(nsset);
                     let step = (all.len() / config.baseline_sample_cap).max(1);
-                    for &d in all.iter().step_by(step).take(config.baseline_sample_cap) {
-                        let w = schedule.window_on_day(d, day_before);
-                        let recs =
-                            measure_domains(infra, resolver, &[d], nsset, w, loads, rngs);
-                        store.ingest(&recs);
-                    }
+                    let probes: Vec<(dnssim::DomainId, simcore::time::Window)> = all
+                        .iter()
+                        .step_by(step)
+                        .take(config.baseline_sample_cap)
+                        .map(|&d| (d, schedule.window_on_day(d, day_before)))
+                        .collect();
+                    tasks.push(MeasureTask::Baseline { nsset, probes });
                 }
             }
-            let during = store.range_stats(nsset, ep.first_window, ep.last_window);
-            let impact = store.impact_on_rtt(nsset, ep.first_window, ep.last_window);
-            let (asns, prefixes) =
-                (infra.nsset_asns(nsset).len(), infra.nsset_slash24s(nsset).len());
-            out.push(ImpactEvent {
-                episode_idx: ev.episode_idx,
-                nsset,
-                domains_measured: during.domains_measured,
-                impact_on_rtt: impact,
-                failure_rate: during.failure_rate(),
-                timeouts: during.timeout,
-                servfails: during.servfail,
-                nsset_domains: infra.domains_of_nsset(nsset).len() as u64,
-                protocol: ep.protocol,
-                first_port: ep.first_port,
-                peak_ppm: ep.peak_ppm,
-                duration_min: ep.duration().secs() as f64 / 60.0,
-                anycast: census.classify(infra, nsset, ep.first_window.start()),
-                asn_count: asns,
-                prefix_count: prefixes,
-            });
         }
+    }
+
+    // Phase 2: measure on the worker pool.
+    let batches = streamproc::parallel_map(jobs, tasks, |_, task| match task {
+        MeasureTask::Cell { nsset, window, domains } => measure_domains(
+            infra,
+            resolver,
+            &domains,
+            nsset,
+            simcore::time::Window(window),
+            loads,
+            rngs,
+        ),
+        MeasureTask::Baseline { nsset, probes } => {
+            let mut recs = Vec::new();
+            for (d, w) in probes {
+                recs.extend(measure_domains(infra, resolver, &[d], nsset, w, loads, rngs));
+            }
+            recs
+        }
+    });
+
+    // Phase 3: merge in plan order, then aggregate per event.
+    let mut store = MeasurementStore::new();
+    for batch in &batches {
+        store.ingest(batch);
+    }
+    let mut out = Vec::with_capacity(rows.len());
+    for (ei, nsset) in rows {
+        let ev = &events[ei];
+        let ep = &episodes[ev.episode_idx];
+        let during = store.range_stats(nsset, ep.first_window, ep.last_window);
+        let impact = store.impact_on_rtt(nsset, ep.first_window, ep.last_window);
+        let (asns, prefixes) =
+            (infra.nsset_asns(nsset).len(), infra.nsset_slash24s(nsset).len());
+        out.push(ImpactEvent {
+            episode_idx: ev.episode_idx,
+            nsset,
+            domains_measured: during.domains_measured,
+            impact_on_rtt: impact,
+            failure_rate: during.failure_rate(),
+            timeouts: during.timeout,
+            servfails: during.servfail,
+            nsset_domains: infra.domains_of_nsset(nsset).len() as u64,
+            protocol: ep.protocol,
+            first_port: ep.first_port,
+            peak_ppm: ep.peak_ppm,
+            duration_min: ep.duration().secs() as f64 / 60.0,
+            anycast: census.classify(infra, nsset, ep.first_window.start()),
+            asn_count: asns,
+            prefix_count: prefixes,
+        });
     }
     (out, store)
 }
@@ -254,6 +326,59 @@ mod tests {
         assert_eq!(e.asn_count, 1);
         assert_eq!(e.prefix_count, 3);
         assert!((e.duration_min - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_impacts() {
+        let (infra, addrs) = world(6_000);
+        let rngs = RngFactory::new(11);
+        let schedule = SweepSchedule::new(1);
+        let first = 3 * 288 + 100;
+        let last = first + 23;
+        let mut loads = LoadBook::new();
+        for w in first..=last {
+            for a in &addrs {
+                loads.add(*a, Window(w), 47_000.0);
+            }
+        }
+        let eps: Vec<AttackEpisode> =
+            addrs.iter().map(|&a| episode(a, first, last)).collect();
+        let events = join_episodes(&infra, &infra, &eps, &OpenResolverList::new(), false);
+        let census = census_of(&infra);
+        let run = |jobs| {
+            compute_impacts_with_jobs(
+                &infra,
+                &schedule,
+                &Resolver::default(),
+                &loads,
+                &eps,
+                &events,
+                &census,
+                &rngs,
+                &ImpactConfig::default(),
+                jobs,
+            )
+        };
+        let (seq, seq_store) = run(1);
+        for jobs in [2, 8] {
+            let (par, par_store) = run(jobs);
+            assert_eq!(seq.len(), par.len(), "jobs={jobs}");
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.episode_idx, b.episode_idx);
+                assert_eq!(a.nsset, b.nsset);
+                assert_eq!(a.domains_measured, b.domains_measured);
+                assert_eq!(a.impact_on_rtt, b.impact_on_rtt, "bit-identical f64s");
+                assert_eq!(a.failure_rate, b.failure_rate);
+                assert_eq!(a.timeouts, b.timeouts);
+                assert_eq!(a.servfails, b.servfails);
+            }
+            let (s, p) = (
+                seq_store.range_stats(seq[0].nsset, Window(first), Window(last)),
+                par_store.range_stats(seq[0].nsset, Window(first), Window(last)),
+            );
+            assert_eq!(s.domains_measured, p.domains_measured);
+            assert_eq!(s.avg_rtt().to_bits(), p.avg_rtt().to_bits(), "f64 merge order fixed");
+        }
     }
 
     #[test]

@@ -114,8 +114,24 @@ pub fn join_episodes_with_offset(
     include_collateral: bool,
     day_offset: u64,
 ) -> Vec<DnsAttackEvent> {
+    join_chunk(infra, directory, 0, episodes, open_resolvers, include_collateral, day_offset)
+}
+
+/// Join one contiguous shard of the episode list. `base_idx` is the global
+/// index of `episodes[0]`, so the emitted `episode_idx` values are
+/// identical whether the feed is processed whole or in shards.
+fn join_chunk(
+    infra: &Infra,
+    directory: &dyn NsDirectory,
+    base_idx: usize,
+    episodes: &[AttackEpisode],
+    open_resolvers: &OpenResolverList,
+    include_collateral: bool,
+    day_offset: u64,
+) -> Vec<DnsAttackEvent> {
     let mut out = Vec::new();
-    for (idx, ep) in episodes.iter().enumerate() {
+    for (off, ep) in episodes.iter().enumerate() {
+        let idx = base_idx + off;
         if open_resolvers.contains(ep.victim) {
             continue;
         }
@@ -166,6 +182,52 @@ pub fn join_episodes(
     include_collateral: bool,
 ) -> Vec<DnsAttackEvent> {
     join_episodes_with_offset(infra, directory, episodes, open_resolvers, include_collateral, 1)
+}
+
+/// [`join_episodes_with_offset`] sharded across up to `jobs` worker
+/// threads (`jobs == 0` → available parallelism, `jobs == 1` → the plain
+/// sequential path).
+///
+/// The RSDoS×NSSet join is embarrassingly parallel: each episode is joined
+/// independently against the (read-only) directory, with no RNG involved.
+/// The feed is cut into contiguous shards, each worker joins its shard
+/// carrying the shard's global base index, and the per-shard outputs are
+/// concatenated in shard order — so the result is exactly the sequential
+/// output, byte for byte, for any `jobs`.
+pub fn join_episodes_sharded(
+    infra: &Infra,
+    directory: &(dyn NsDirectory + Sync),
+    episodes: &[AttackEpisode],
+    open_resolvers: &OpenResolverList,
+    include_collateral: bool,
+    day_offset: u64,
+    jobs: usize,
+) -> Vec<DnsAttackEvent> {
+    let jobs = streamproc::effective_jobs(jobs);
+    if jobs <= 1 || episodes.len() < 2 {
+        return join_episodes_with_offset(
+            infra,
+            directory,
+            episodes,
+            open_resolvers,
+            include_collateral,
+            day_offset,
+        );
+    }
+    let shard_len = episodes.len().div_ceil(jobs);
+    let shards: Vec<&[AttackEpisode]> = episodes.chunks(shard_len).collect();
+    let parts = streamproc::parallel_map(jobs, shards, |shard_idx, shard| {
+        join_chunk(
+            infra,
+            directory,
+            shard_idx * shard_len,
+            shard,
+            open_resolvers,
+            include_collateral,
+            day_offset,
+        )
+    });
+    parts.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

@@ -5,8 +5,8 @@
 use crate::casestudy;
 use crate::correlate::{self, CorrelationSeries};
 use crate::failures::{self, FailureSummary};
-use crate::impact::{compute_impacts, ImpactConfig, ImpactEvent};
-use crate::join::{join_episodes, DnsAttackEvent};
+use crate::impact::{compute_impacts_with_jobs, ImpactConfig, ImpactEvent};
+use crate::join::{join_episodes_sharded, DnsAttackEvent};
 use crate::ports::{self, PortBreakdown};
 use crate::resilience::{self, ClassImpact};
 use attack::Attack;
@@ -39,6 +39,10 @@ pub struct LongitudinalConfig {
     /// Include /24-collateral joins in the DNS-attack accounting (the
     /// headline Table 3 counts direct nameserver-IP hits).
     pub include_collateral: bool,
+    /// Worker threads for the sharded join and the measurement phase
+    /// (`0` = available parallelism, `1` = fully sequential). The report is
+    /// byte-identical for any value — parallelism only buys wall clock.
+    pub jobs: usize,
 }
 
 
@@ -123,24 +127,29 @@ pub fn run(
     let episodes = classifier.episodes(&records);
     let feed = RsdosFeed::new(records, episodes);
 
-    // Join to the DNS.
-    let dns_events = join_episodes(
+    // Join to the DNS (sharded across config.jobs workers; the output is
+    // identical to the sequential join for any worker count).
+    let dns_events = join_episodes_sharded(
         infra,
         infra,
         &feed.episodes,
         &meta.open_resolvers,
         config.include_collateral,
+        1,
+        config.jobs,
     );
     // Tables 3–5 count every victim that serves as a nameserver —
     // including the open resolvers that misconfigured domains point NS
     // records at. The open-resolver filter (§6.1) applies to the *impact*
     // analyses below, not to the raw attack accounting.
-    let unfiltered_events = join_episodes(
+    let unfiltered_events = join_episodes_sharded(
         infra,
         infra,
         &feed.episodes,
         &OpenResolverList::new(),
         config.include_collateral,
+        1,
+        config.jobs,
     );
     let unfiltered_idxs: HashSet<usize> =
         unfiltered_events.iter().map(|e| e.episode_idx).collect();
@@ -171,7 +180,7 @@ pub fn run(
 
     // Impacts (step 4).
     let schedule = SweepSchedule::new(rngs.seed());
-    let (impacts, store) = compute_impacts(
+    let (impacts, store) = compute_impacts_with_jobs(
         infra,
         &schedule,
         &config.resolver,
@@ -181,6 +190,7 @@ pub fn run(
         &meta.census,
         rngs,
         &config.impact,
+        config.jobs,
     );
 
     let successful_port_breakdown = ports::breakdown_successful(&impacts);

@@ -178,7 +178,7 @@ pub fn build(config: &WorldConfig, rngs: &RngFactory) -> BuiltWorld {
                 addr,
                 asn,
                 if anycast {
-                    Deployment::Anycast { sites: 10 + rng.random_range(0..30) }
+                    Deployment::Anycast { sites: 10 + rng.random_range(0..30u32) }
                 } else {
                     Deployment::Unicast
                 },

@@ -76,6 +76,19 @@ impl RngFactory {
         let mut s = self.seed ^ hash_label(label) ^ 0xA076_1D64_78BD_642F;
         RngFactory { seed: splitmix64(&mut s) }
     }
+
+    /// A sub-factory for the `idx`-th shard/worker of the component named
+    /// `label`. The parallel execution layer derives one factory per shard
+    /// from this so that no RNG state is ever shared across threads and a
+    /// shard's stream depends only on `(seed, label, idx)` — never on which
+    /// worker thread picks the shard up or in what order.
+    pub fn fork_indexed(&self, label: &str, idx: u64) -> RngFactory {
+        let mut s = self.seed
+            ^ hash_label(label)
+            ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ 0xE703_7ED1_A0B4_28DB;
+        RngFactory { seed: splitmix64(&mut s) }
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +138,20 @@ mod tests {
         let direct: u64 = f.stream("dns").random();
         let forked: u64 = g.stream("dns").random();
         assert_ne!(direct, forked);
+    }
+
+    #[test]
+    fn fork_indexed_streams_are_stable_and_distinct() {
+        let f = RngFactory::new(9);
+        let s0 = f.fork_indexed("shard", 0);
+        let s1 = f.fork_indexed("shard", 1);
+        assert_ne!(s0.seed(), s1.seed());
+        assert_eq!(s0.seed(), f.fork_indexed("shard", 0).seed());
+        // Independent of the un-indexed fork and of direct streams.
+        assert_ne!(s0.seed(), f.fork("shard").seed());
+        let direct: u64 = f.stream("shard").random();
+        let sharded: u64 = s0.stream("shard").random();
+        assert_ne!(direct, sharded);
     }
 
     #[test]

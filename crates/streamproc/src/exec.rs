@@ -10,6 +10,20 @@ pub struct StageHandle {
 }
 
 impl StageHandle {
+    /// Run `body` on a named thread and hand back its handle. `body`
+    /// returns the number of messages the stage emitted.
+    pub fn spawn<F>(name: &str, body: F) -> StageHandle
+    where
+        F: FnOnce() -> u64 + Send + 'static,
+    {
+        let name = name.to_string();
+        let handle = thread::Builder::new()
+            .name(name.clone())
+            .spawn(body)
+            .expect("spawn stage thread");
+        StageHandle { name, handle }
+    }
+
     /// Wait for the stage to finish; returns the number of messages it
     /// emitted. Panics (propagates) if the stage thread panicked.
     pub fn join(self) -> u64 {
@@ -33,23 +47,17 @@ where
     O: Clone + Send + 'static,
     F: FnMut(I) -> Vec<O> + Send + 'static,
 {
-    let name = name.to_string();
-    let thread_name = name.clone();
-    let handle = thread::Builder::new()
-        .name(thread_name)
-        .spawn(move || {
-            let mut emitted = 0u64;
-            while let Some(msg) = input.recv() {
-                for o in f(msg) {
-                    out.publish(o);
-                    emitted += 1;
-                }
+    StageHandle::spawn(name, move || {
+        let mut emitted = 0u64;
+        while let Some(msg) = input.recv() {
+            for o in f(msg) {
+                out.publish(o);
+                emitted += 1;
             }
-            out.close();
-            emitted
-        })
-        .expect("spawn stage thread");
-    StageHandle { name, handle }
+        }
+        out.close();
+        emitted
+    })
 }
 
 /// Spawn a sink that collects everything into a `Vec`, returned by the

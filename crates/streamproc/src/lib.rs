@@ -11,7 +11,10 @@
 //! - [`exec`]: threaded pipeline stages wiring topics together (the job
 //!   graph);
 //! - [`join`]: stream-table (KTable-style) lookup joins — the "victim
-//!   IP ∩ yesterday's nameserver list" step.
+//!   IP ∩ yesterday's nameserver list" step;
+//! - [`pool`]: work-stealing worker pools over `std::thread::scope` —
+//!   order-preserving batch fan-out ([`pool::parallel_map`]) and bounded
+//!   multi-worker stages ([`pool::spawn_pool`]).
 //!
 //! Everything is synchronous-thread based — the workload is CPU-light and
 //! bursty, which is the regime where plain threads beat an async runtime in
@@ -19,10 +22,12 @@
 
 pub mod exec;
 pub mod join;
+pub mod pool;
 pub mod topic;
 pub mod window;
 
 pub use exec::{sink_to_vec, spawn_stage, StageHandle};
+pub use pool::{effective_jobs, parallel_map, spawn_pool, PoolHandle};
 pub use join::{spawn_lookup_join, spawn_table_maintainer, Table};
 pub use topic::{Consumer, Topic};
 pub use window::TumblingWindows;

@@ -1,0 +1,221 @@
+//! Work-stealing worker pools over `std::thread::scope`.
+//!
+//! Two shapes of parallelism, both determinism-friendly:
+//!
+//! - [`parallel_map`]: run a closure over a batch of items on up to N
+//!   worker threads pulling from a shared queue, and return the results
+//!   **in input order**. Thread count and scheduling never affect the
+//!   output, only the wall clock — callers derive any randomness from
+//!   per-item labels/indices (see `simcore::rng::RngFactory`), never from
+//!   shared mutable RNG state.
+//! - [`spawn_pool`]: a bounded pool of stage workers draining one
+//!   [`Consumer`] and publishing to one [`Topic`] — the multi-worker
+//!   generalization of [`crate::spawn_stage`]. Output order across workers
+//!   is *not* deterministic; use it for throughput paths where the
+//!   downstream aggregation is order-insensitive, or re-sort downstream.
+
+use crate::exec::StageHandle;
+use crate::topic::{Consumer, Topic};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// Resolve a requested worker count: `0` means "use the machine's
+/// available parallelism" (falling back to 1 if that is unknown).
+pub fn effective_jobs(requested: usize) -> usize {
+    if requested == 0 {
+        thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Apply `f` to every item on up to `jobs` worker threads and return the
+/// results in input order.
+///
+/// Workers share a single queue (a locked enumerated iterator): a free
+/// worker pops the next `(index, item)`, computes `f(index, item)`, and
+/// tags the result with its index. After all workers finish the results
+/// are sorted by index, so the returned `Vec` is byte-for-byte the same
+/// whatever `jobs` is. `jobs <= 1` takes a plain sequential path with no
+/// threads at all. A panic in `f` propagates to the caller once every
+/// worker has stopped.
+///
+/// ```
+/// use streamproc::pool::parallel_map;
+///
+/// let squares = parallel_map(4, (0u64..100).collect(), |_, x| x * x);
+/// assert_eq!(squares, (0u64..100).map(|x| x * x).collect::<Vec<_>>());
+/// ```
+pub fn parallel_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let jobs = effective_jobs(jobs).min(items.len());
+    if jobs <= 1 {
+        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let n = items.len();
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                // Pop under the lock, compute outside it.
+                let next = queue.lock().next();
+                let Some((idx, item)) = next else { break };
+                let r = f(idx, item);
+                results.lock().push((idx, r));
+            });
+        }
+    });
+    let mut tagged = results.into_inner();
+    tagged.sort_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Handle to a running worker pool (see [`spawn_pool`]).
+pub struct PoolHandle {
+    name: String,
+    handles: Vec<StageHandle>,
+}
+
+impl PoolHandle {
+    /// Wait for every worker to finish; returns the total number of
+    /// messages the pool emitted. Panics (propagates) if any worker
+    /// panicked.
+    pub fn join(self) -> u64 {
+        self.handles.into_iter().map(StageHandle::join).sum()
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+}
+
+/// Spawn a flat-map stage running on `workers` threads: the workers share
+/// `input` (each message is processed by exactly one worker), and each
+/// output of `f` is published to `out`. When the input ends and every
+/// worker has drained, the last worker out closes `out`.
+///
+/// `workers == 0` uses the machine's available parallelism;
+/// `workers == 1` is exactly [`crate::spawn_stage`] plus the shared-input
+/// plumbing. Cross-worker output order is unspecified.
+pub fn spawn_pool<I, O, F>(
+    name: &str,
+    workers: usize,
+    input: Consumer<I>,
+    out: Topic<O>,
+    f: F,
+) -> PoolHandle
+where
+    I: Send + 'static,
+    O: Clone + Send + 'static,
+    F: Fn(I) -> Vec<O> + Send + Sync + 'static,
+{
+    let workers = effective_jobs(workers);
+    let input = Arc::new(input);
+    let f = Arc::new(f);
+    let live = Arc::new(AtomicUsize::new(workers));
+    let mut handles = Vec::with_capacity(workers);
+    for w in 0..workers {
+        let worker_name = format!("{name}[{w}/{workers}]");
+        let input = Arc::clone(&input);
+        let out = out.clone();
+        let f = Arc::clone(&f);
+        let live = Arc::clone(&live);
+        handles.push(StageHandle::spawn(&worker_name, move || {
+            let mut emitted = 0u64;
+            while let Some(msg) = input.recv() {
+                for o in f(msg) {
+                    out.publish(o);
+                    emitted += 1;
+                }
+            }
+            // Last worker to drain the (now ended) input closes the
+            // output so downstream consumers see end-of-stream.
+            if live.fetch_sub(1, Ordering::AcqRel) == 1 {
+                out.close();
+            }
+            emitted
+        }));
+    }
+    PoolHandle { name: name.to_string(), handles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        for jobs in [0, 1, 2, 3, 8, 64] {
+            let got = parallel_map(jobs, (0u64..500).collect(), |i, x| {
+                assert_eq!(i as u64, x);
+                x * 3 + 1
+            });
+            let want: Vec<u64> = (0..500).map(|x| x * 3 + 1).collect();
+            assert_eq!(got, want, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        let empty: Vec<u32> = parallel_map(8, Vec::<u32>::new(), |_, x| x);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_map(8, vec![7u32], |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_map_more_jobs_than_items() {
+        let got = parallel_map(32, vec![1u32, 2, 3], |_, x| x * 10);
+        assert_eq!(got, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn parallel_map_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            parallel_map(4, (0u32..64).collect(), |_, x| {
+                if x == 33 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        });
+        assert!(r.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn pool_shares_work_exactly_once() {
+        let src: Topic<u64> = Topic::new("src");
+        let out: Topic<u64> = Topic::new("out");
+        let pool = spawn_pool("triple", 4, src.subscribe(), out.clone(), |x| vec![x * 3]);
+        assert_eq!(pool.workers(), 4);
+        let sink = crate::exec::sink_to_vec(out.subscribe());
+        for i in 0..1_000 {
+            src.publish(i);
+        }
+        src.close();
+        assert_eq!(pool.join(), 1_000, "every input processed exactly once");
+        let mut got = sink.join().unwrap();
+        got.sort();
+        assert_eq!(got, (0..1_000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_worker_names_enumerate() {
+        let src: Topic<u8> = Topic::new("src");
+        let out: Topic<u8> = Topic::new("out");
+        let pool = spawn_pool("stage", 2, src.subscribe(), out, |x| vec![x]);
+        assert_eq!(pool.name(), "stage");
+        src.close();
+        pool.join();
+    }
+}

@@ -1,0 +1,132 @@
+//! Concurrency edge cases of the streaming layer: topic lifecycle misuse,
+//! multi-consumer fan-out under threads, panic propagation through stage
+//! handles, and worker-pool shutdown on an empty queue.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use streamproc::{sink_to_vec, spawn_pool, spawn_stage, Topic};
+
+#[test]
+fn publish_after_close_panics_with_topic_name() {
+    let t: Topic<u32> = Topic::new("lifecycle");
+    t.publish(1);
+    t.close();
+    let err = catch_unwind(AssertUnwindSafe(|| t.publish(2))).unwrap_err();
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("lifecycle"), "panic names the topic: {msg}");
+    assert_eq!(t.published(), 1, "the rejected publish is not counted");
+}
+
+#[test]
+fn multiple_consumers_each_see_the_full_stream() {
+    // Broadcast semantics: every subscriber gets every message, in order,
+    // even when the consumers drain concurrently from their own threads.
+    let t: Topic<u64> = Topic::new("broadcast");
+    let consumers: Vec<_> = (0..4).map(|_| t.subscribe()).collect();
+    let drainers: Vec<_> = consumers
+        .into_iter()
+        .map(|c| thread::spawn(move || c.drain()))
+        .collect();
+    let producer = {
+        let t = t.clone();
+        thread::spawn(move || {
+            for i in 0..2_000u64 {
+                t.publish(i);
+            }
+            t.close();
+        })
+    };
+    producer.join().unwrap();
+    for d in drainers {
+        let got = d.join().unwrap();
+        assert_eq!(got.len(), 2_000);
+        assert!(got.windows(2).all(|w| w[0] + 1 == w[1]), "in publish order");
+    }
+    assert_eq!(t.published(), 2_000);
+}
+
+#[test]
+fn stage_panic_propagates_through_join() {
+    let src: Topic<u32> = Topic::new("src");
+    let out: Topic<u32> = Topic::new("out");
+    let stage = spawn_stage("faulty", src.subscribe(), out, |x| {
+        if x == 3 {
+            panic!("stage choked on {x}");
+        }
+        vec![x]
+    });
+    for i in 0..10 {
+        src.publish(i);
+    }
+    src.close();
+    let err = catch_unwind(AssertUnwindSafe(move || stage.join())).unwrap_err();
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("stage choked"), "payload survives the handoff: {msg}");
+}
+
+#[test]
+fn pool_worker_panic_propagates_through_join() {
+    let src: Topic<u32> = Topic::new("src");
+    let out: Topic<u32> = Topic::new("out");
+    let pool = spawn_pool("fragile", 3, src.subscribe(), out, |x| {
+        if x == 7 {
+            panic!("worker down");
+        }
+        vec![x]
+    });
+    for i in 0..32 {
+        src.publish(i);
+    }
+    src.close();
+    assert!(catch_unwind(AssertUnwindSafe(move || pool.join())).is_err());
+}
+
+#[test]
+fn pool_empty_queue_shuts_down_cleanly() {
+    // Closing the input before any message arrives must release every
+    // blocked worker, close the output, and report zero emissions.
+    let src: Topic<u8> = Topic::new("src");
+    let out: Topic<u8> = Topic::new("out");
+    let pool = spawn_pool("idle", 4, src.subscribe(), out.clone(), |x| vec![x]);
+    let sink = sink_to_vec(out.subscribe());
+    src.close();
+    assert_eq!(pool.join(), 0, "no messages, no emissions");
+    assert!(sink.join().unwrap().is_empty(), "output closed and empty");
+    assert!(out.is_closed(), "last worker out closed the output topic");
+}
+
+#[test]
+fn pool_distributes_work_without_duplication_or_loss() {
+    // Each message goes to exactly one worker; a per-worker side effect
+    // totals exactly the input count.
+    let processed = Arc::new(AtomicU64::new(0));
+    let src: Topic<u64> = Topic::new("src");
+    let out: Topic<u64> = Topic::new("out");
+    let pool = {
+        let processed = Arc::clone(&processed);
+        spawn_pool("count", 4, src.subscribe(), out.clone(), move |x| {
+            processed.fetch_add(1, Ordering::Relaxed);
+            vec![x]
+        })
+    };
+    let sink = sink_to_vec(out.subscribe());
+    for i in 0..5_000 {
+        src.publish(i);
+    }
+    src.close();
+    assert_eq!(pool.join(), 5_000);
+    assert_eq!(processed.load(Ordering::Relaxed), 5_000, "exactly-once processing");
+    let mut got = sink.join().unwrap();
+    got.sort();
+    assert_eq!(got, (0..5_000).collect::<Vec<_>>());
+}

@@ -1,0 +1,138 @@
+//! Offline shim for `bytes::{BytesMut, BufMut}`: a growable byte buffer
+//! over `Vec<u8>` with the big-endian put methods the wire encoders use.
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable, contiguous byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut { data: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    pub fn extend_from_slice(&mut self, slice: &[u8]) {
+        self.data.extend_from_slice(slice);
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(data: Vec<u8>) -> BytesMut {
+        BytesMut { data }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(slice: &[u8]) -> BytesMut {
+        BytesMut { data: slice.to_vec() }
+    }
+}
+
+/// Appending typed values in network (big-endian) byte order.
+pub trait BufMut {
+    fn put_slice(&mut self, slice: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.data.extend_from_slice(slice);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.extend_from_slice(slice);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn puts_are_big_endian() {
+        let mut b = BytesMut::new();
+        b.put_u8(0x01);
+        b.put_u16(0x0203);
+        b.put_u32(0x0405_0607);
+        b.put_slice(&[0xAA, 0xBB]);
+        assert_eq!(&b[..], &[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0xAA, 0xBB]);
+        assert_eq!(b.len(), 9);
+    }
+
+    #[test]
+    fn deref_and_index() {
+        let mut b = BytesMut::with_capacity(4);
+        b.extend_from_slice(b"abcd");
+        assert_eq!(b[1], b'b');
+        assert_eq!(&b[1..3], b"bc");
+        let slice: &[u8] = &b;
+        assert_eq!(slice, b"abcd");
+    }
+}

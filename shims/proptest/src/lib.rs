@@ -1,0 +1,554 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! Supports the `proptest!` macro with `pattern in strategy` bindings,
+//! integer/float range strategies, character-class string strategies
+//! (`"[a-z0-9]{1,12}"`), tuple strategies, `prop::collection::vec`,
+//! `any::<T>()`, `.prop_map`, `prop_oneof!`, and
+//! `prop_assert!`/`prop_assert_eq!`.
+//!
+//! No shrinking: a failing case panics with the generated inputs'
+//! case number and the deterministic per-test seed, which reproduces the
+//! failure exactly (case generation is seeded from the test name).
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator driving all strategies (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed ^ 0x5851_F42D_4C95_7F2D }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// FNV-1a hash used to derive a per-test seed from the test name.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0100_0000_01B3);
+    }
+    h
+}
+
+/// Cases run per `proptest!` test.
+pub const CASES: u32 = 128;
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// A failed property within one generated case.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail<S: Into<String>>(message: S) -> TestCaseError {
+            TestCaseError { message: message.into() }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+/// A generator of values of one type.
+///
+/// Object-safe (used boxed by `prop_oneof!`); combinators require `Sized`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f, whence }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`]. Rejection-samples.
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected 10000 consecutive candidates", self.whence);
+    }
+}
+
+/// A value that can be generated uniformly over its whole domain
+/// (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for chunk in out.chunks_mut(8) {
+            let v = rng.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&v[..n]);
+        }
+        out
+    }
+}
+
+/// Strategy over any [`Arbitrary`] type's whole domain.
+pub struct Any<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()`: a strategy over `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: PhantomData }
+}
+
+/// `Just(value)`: a strategy that always yields clones of `value`.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        let u = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_strategy_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+);
+
+/// Character-class string strategies: a `&'static str` of the form
+/// `"[class]{min,max}"` is itself a strategy producing matching strings.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, min, max) = parse_charclass_pattern(self);
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len).map(|_| chars[rng.below(chars.len() as u64) as usize]).collect()
+    }
+}
+
+/// Parse `[class]{min,max}` into the expanded character set and bounds.
+/// Supports ranges (`a-z`, ` -~`), escapes (`\n`, `\t`, `\\`, `\-`, `\]`),
+/// and a literal `-` first or last in the class.
+fn parse_charclass_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    fn bail(pattern: &str) -> ! {
+        panic!("unsupported string strategy pattern: {pattern:?} (shim supports only \"[class]{{min,max}}\")")
+    }
+    let rest = pattern.strip_prefix('[').unwrap_or_else(|| bail(pattern));
+    let mut chars: Vec<char> = Vec::new();
+    let mut iter = rest.chars().peekable();
+    let mut closed = false;
+    while let Some(c) = iter.next() {
+        match c {
+            ']' => {
+                closed = true;
+                break;
+            }
+            '\\' => {
+                let esc = iter.next().unwrap_or_else(|| bail(pattern));
+                chars.push(match esc {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                });
+            }
+            _ => {
+                // Range if followed by '-' and the '-' is not class-final.
+                if iter.peek() == Some(&'-') {
+                    let mut ahead = iter.clone();
+                    ahead.next(); // consume '-'
+                    match ahead.peek() {
+                        Some(&end) if end != ']' => {
+                            iter = ahead;
+                            let end = iter.next().unwrap_or_else(|| bail(pattern));
+                            assert!(c <= end, "descending range in {pattern:?}");
+                            for v in c as u32..=end as u32 {
+                                chars.extend(char::from_u32(v));
+                            }
+                            continue;
+                        }
+                        _ => chars.push(c),
+                    }
+                } else {
+                    chars.push(c);
+                }
+            }
+        }
+    }
+    if !closed || chars.is_empty() {
+        bail(pattern);
+    }
+    let bounds = iter.collect::<String>();
+    let bounds = bounds
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .unwrap_or_else(|| bail(pattern));
+    let (min, max) = match bounds.split_once(',') {
+        Some((lo, hi)) => (
+            lo.parse().unwrap_or_else(|_| bail(pattern)),
+            hi.parse().unwrap_or_else(|_| bail(pattern)),
+        ),
+        None => {
+            let n = bounds.parse().unwrap_or_else(|_| bail(pattern));
+            (n, n)
+        }
+    };
+    assert!(min <= max, "bad repetition bounds in {pattern:?}");
+    (chars, min, max)
+}
+
+/// A uniform choice among boxed same-valued strategies (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Union<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s of `min..max` elements of an inner strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::prop`: namespace mirror (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
+        proptest, Arbitrary, Just, Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$attr:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut rng = $crate::TestRng::new(seed);
+            for case in 0..$crate::CASES {
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)*
+                let result: $crate::test_runner::TestCaseResult = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest case {}/{} failed (seed {:#x}): {}",
+                        case + 1,
+                        $crate::CASES,
+                        seed,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        // No rejection bookkeeping in the shim: an assumption failure just
+        // skips the rest of this case.
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let options: ::std::vec::Vec<::std::boxed::Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::Union::new(options)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::{parse_charclass_pattern, TestRng};
+
+    #[test]
+    fn charclass_parsing() {
+        let (chars, min, max) = parse_charclass_pattern("[a-c0-2x]{1,5}");
+        assert_eq!(chars, vec!['a', 'b', 'c', '0', '1', '2', 'x']);
+        assert_eq!((min, max), (1, 5));
+        let (chars, ..) = parse_charclass_pattern("[a-z .:=_-]{0,30}");
+        assert!(chars.contains(&'-') && chars.contains(&'.') && chars.contains(&'z'));
+        let (chars, min, max) = parse_charclass_pattern("[ -~\n\t]{0,400}");
+        assert!(chars.contains(&' ') && chars.contains(&'~') && chars.contains(&'\n'));
+        assert_eq!(chars.len(), 95 + 2);
+        assert_eq!((min, max), (0, 400));
+    }
+
+    #[test]
+    fn string_strategy_respects_class_and_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-f]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='f').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..100 {
+            let v = Strategy::generate(&prop::collection::vec((0u64..20, 0u32..4), 0..50), &mut rng);
+            assert!(v.len() < 50);
+            for (a, b) in v {
+                assert!(a < 20 && b < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_and_map() {
+        let strat = prop_oneof![
+            (0u32..10).prop_map(|v| v as u64),
+            any::<u32>().prop_map(|v| 1_000 + v as u64),
+        ];
+        let mut rng = TestRng::new(3);
+        let mut low = 0;
+        let mut high = 0;
+        for _ in 0..200 {
+            let v = Strategy::generate(&strat, &mut rng);
+            if v < 10 {
+                low += 1;
+            } else {
+                assert!(v >= 1_000);
+                high += 1;
+            }
+        }
+        assert!(low > 0 && high > 0);
+    }
+
+    proptest! {
+        #[test]
+        fn macro_binds_patterns(x in 0u64..100, mut v in prop::collection::vec(any::<u8>(), 0..10)) {
+            v.push(x as u8);
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.last().copied(), Some(x as u8));
+        }
+    }
+}
