@@ -30,4 +30,29 @@ diff -r "$SMOKE/j1" "$SMOKE/j2"
 diff "$SMOKE/j1.stdout" "$SMOKE/j2.stdout"
 echo "==> determinism smoke passed (artifacts byte-identical across job counts)"
 
+echo "==> chaos gate: fault injection, kill -9 mid-run, resume, diff vs clean"
+# The same catalog subset plus the self-contained scenario experiments, so
+# the killed run has checkpointable jobs both before and after the kill.
+# Scale 100 makes the run long enough (~2-3 s) for the kill to land
+# mid-flight; the diff holds wherever it lands.
+CHAOS_EXPERIMENTS="$EXPERIMENTS table2 fig2 fig3 russia"
+"$REPRO" --seed 42 --scale 100 --jobs 2 --out "$SMOKE/chaos-clean" \
+    $CHAOS_EXPERIMENTS > /dev/null 2>&1
+# Chaos run with completion markers, killed hard mid-flight.
+"$REPRO" --seed 42 --scale 100 --jobs 2 --chaos-seed 9 \
+    --checkpoint-dir "$SMOKE/ckpt" --out "$SMOKE/chaos-out" \
+    $CHAOS_EXPERIMENTS > /dev/null 2>&1 &
+CHAOS_PID=$!
+sleep 1
+kill -9 "$CHAOS_PID" 2> /dev/null || true
+wait "$CHAOS_PID" 2> /dev/null || true
+# Resume with the same seed, chaos seed, and checkpoint dir: completed
+# jobs are skipped, the rest re-run; the output must match a run that was
+# never killed and never saw a fault.
+"$REPRO" --seed 42 --scale 100 --jobs 2 --chaos-seed 9 \
+    --checkpoint-dir "$SMOKE/ckpt" --out "$SMOKE/chaos-out" \
+    $CHAOS_EXPERIMENTS > /dev/null 2>&1
+diff -r "$SMOKE/chaos-clean" "$SMOKE/chaos-out"
+echo "==> chaos gate passed (killed-and-resumed run byte-identical to clean run)"
+
 echo "==> ci green"

@@ -295,7 +295,7 @@ fn cumulative(weights: &[f64]) -> Vec<f64> {
 
 fn pick_weighted(cdf: &[f64], rng: &mut SmallRng) -> usize {
     let u: f64 = rng.random();
-    match cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+    match cdf.binary_search_by(|c| c.total_cmp(&u)) {
         Ok(i) => i + 1,
         Err(i) => i,
     }

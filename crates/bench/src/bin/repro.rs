@@ -3,7 +3,8 @@
 //! writing CSV series to `results/`.
 //!
 //! ```text
-//! repro [--seed N] [--scale D] [--jobs N] [--out DIR] [EXPERIMENT...]
+//! repro [--seed N] [--scale D] [--jobs N] [--out DIR]
+//!       [--chaos-seed N] [--checkpoint-dir DIR] [EXPERIMENT...]
 //!
 //! EXPERIMENT ∈ { table1 table2 table3 table4 table5 table6
 //!                fig2 fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
@@ -18,13 +19,25 @@
 //! `--jobs 1` runs fully sequentially). The outputs are byte-identical
 //! for any `--jobs` value — threads only change the wall clock, never
 //! the CSVs.
+//!
+//! `--chaos-seed N` turns on deterministic fault injection: measurement
+//! tasks and experiment jobs are crashed on a schedule derived from `N`
+//! and recovered by the supervisor. The artifacts are byte-identical to a
+//! run without the flag — chaos only exercises the recovery machinery.
+//!
+//! `--checkpoint-dir DIR` makes the run resumable: each experiment job
+//! writes its artifacts atomically and then records a completion marker in
+//! `DIR`. A killed run (even `kill -9` mid-write) re-invoked with the same
+//! flags and checkpoint dir skips the completed jobs and finishes the
+//! rest, leaving `--out` byte-identical to an uninterrupted run.
 
 use bench_support::{
-    needs_longitudinal, run_catalog, run_experiments_with_jobs, Artifact, Experiments, CATALOG,
+    needs_longitudinal, run_catalog_checkpointed, run_experiments_chaos, Artifact, CheckpointDir,
+    Experiments, ExperimentRun, CATALOG,
 };
-use dnsimpact_core::report::write_output;
+use dnsimpact_core::report::{write_atomic, write_output};
 use scenarios::{PaperScale, WorldConfig};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 struct Options {
@@ -32,6 +45,8 @@ struct Options {
     scale: u32,
     jobs: usize,
     out: PathBuf,
+    chaos_seed: Option<u64>,
+    checkpoint_dir: Option<PathBuf>,
     experiments: Vec<String>,
 }
 
@@ -41,6 +56,8 @@ fn parse_args() -> Options {
         scale: 40,
         jobs: 0, // 0 = available parallelism
         out: PathBuf::from("results"),
+        chaos_seed: None,
+        checkpoint_dir: None,
         experiments: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -50,8 +67,19 @@ fn parse_args() -> Options {
             "--scale" => opts.scale = args.next().expect("--scale D").parse().expect("scale"),
             "--jobs" => opts.jobs = args.next().expect("--jobs N").parse().expect("jobs"),
             "--out" => opts.out = PathBuf::from(args.next().expect("--out DIR")),
+            "--chaos-seed" => {
+                opts.chaos_seed =
+                    Some(args.next().expect("--chaos-seed N").parse().expect("chaos seed"))
+            }
+            "--checkpoint-dir" => {
+                opts.checkpoint_dir =
+                    Some(PathBuf::from(args.next().expect("--checkpoint-dir DIR")))
+            }
             "--help" | "-h" => {
-                println!("repro [--seed N] [--scale D] [--jobs N] [--out DIR] [EXPERIMENT...]");
+                println!(
+                    "repro [--seed N] [--scale D] [--jobs N] [--out DIR] \
+                     [--chaos-seed N] [--checkpoint-dir DIR] [EXPERIMENT...]"
+                );
                 println!("run `repro --list` for the experiment catalog");
                 std::process::exit(0);
             }
@@ -70,18 +98,32 @@ fn parse_args() -> Options {
     opts
 }
 
-fn emit(out: &Path, a: &Artifact) {
-    println!("=== {} ===\n{}\n", a.title, a.text);
-    write_output(out, &format!("{}.csv", a.id), &a.csv).expect("write results");
-    // Maintain an index of everything written this run.
-    let line = format!("- `{}.csv` — {}\n", a.id, a.title);
+fn index_line(a: &Artifact) -> String {
+    format!("- `{}.csv` — {}\n", a.id, a.title)
+}
+
+const INDEX_HEADER: &str = "# results index\n\nCSV series produced by the `repro` harness.\n\n";
+
+/// Rebuild `INDEX.md` deterministically: header, then any pre-existing
+/// lines this run did not produce (earlier runs with other experiment
+/// subsets), then this run's lines in canonical order. Atomic, so a kill
+/// never leaves a truncated index.
+fn rebuild_index(out: &std::path::Path, ours: &[String]) {
     let index = out.join("INDEX.md");
-    let mut existing = std::fs::read_to_string(&index).unwrap_or_else(|_| {
-        "# results index\n\nCSV series produced by the `repro` harness.\n\n".into()
-    });
-    if !existing.contains(&line) {
-        existing.push_str(&line);
-        let _ = std::fs::write(&index, existing);
+    let foreign: Vec<String> = std::fs::read_to_string(&index)
+        .map(|s| {
+            s.lines()
+                .map(|l| format!("{l}\n"))
+                .filter(|l| l.starts_with("- ") && !ours.contains(l))
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut content = String::from(INDEX_HEADER);
+    for l in foreign.iter().chain(ours) {
+        content.push_str(l);
+    }
+    if std::fs::create_dir_all(out).is_ok() {
+        let _ = write_atomic(&index, &content);
     }
 }
 
@@ -101,35 +143,79 @@ fn main() {
         .collect();
     let jobs = streamproc::effective_jobs(opts.jobs);
     let total = Instant::now();
+    let ckpt = opts
+        .checkpoint_dir
+        .as_ref()
+        .map(|d| CheckpointDir::new(d).expect("create checkpoint dir"));
 
     // Stage 1: the shared longitudinal pipeline, if any requested
     // experiment renders from it.
     let mut timings: Vec<(String, Duration)> = Vec::new();
     let ex: Option<Experiments> = known.iter().any(|e| needs_longitudinal(e)).then(|| {
         eprintln!(
-            "[repro] running longitudinal pipeline (seed {}, scale 1/{}, jobs {jobs}) ...",
-            opts.seed, opts.scale
+            "[repro] running longitudinal pipeline (seed {}, scale 1/{}, jobs {jobs}{}) ...",
+            opts.seed,
+            opts.scale,
+            opts.chaos_seed.map(|c| format!(", chaos {c}")).unwrap_or_default(),
         );
         let start = Instant::now();
-        let ex = run_experiments_with_jobs(
+        let ex = run_experiments_chaos(
             opts.seed,
             PaperScale { divisor: opts.scale },
             &WorldConfig::default(),
             opts.jobs,
+            opts.chaos_seed,
         );
         timings.push(("longitudinal pipeline".into(), start.elapsed()));
         ex
     });
 
-    // Stage 2: schedule the experiments across the worker pool. Outcomes
-    // come back in canonical order, so emission below is deterministic.
-    let runs = run_catalog(ex.as_ref(), opts.seed, &known, opts.jobs);
-    for run in &runs {
+    // Stage 2: schedule the experiments across the worker pool, each job
+    // supervised (and crashed on schedule under --chaos-seed). Artifacts
+    // are persisted from the worker as each job completes — atomically,
+    // then checkpoint-marked — so a killed run keeps its finished jobs.
+    let fault = opts.chaos_seed.map(|cs| {
+        streamproc::FaultPlan::from_seed(cs, "experiment-catalog", streamproc::ChaosConfig::CALIBRATED)
+    });
+    let out_dir = opts.out.clone();
+    let ckpt_ref = ckpt.as_ref();
+    let persist = |run: &ExperimentRun| {
+        let mut lines = Vec::new();
         for a in &run.artifacts {
-            emit(&opts.out, a);
+            write_output(&out_dir, &format!("{}.csv", a.id), &a.csv).expect("write results");
+            lines.push(index_line(a));
+        }
+        if let Some(c) = ckpt_ref {
+            c.mark_done(&run.id, &lines).expect("write checkpoint marker");
+        }
+    };
+    let (runs, chaos_stats) = run_catalog_checkpointed(
+        ex.as_ref(),
+        opts.seed,
+        &known,
+        opts.jobs,
+        fault.as_ref(),
+        ckpt_ref,
+        &persist,
+    );
+
+    // Stage 3: stdout in canonical order, then the results index.
+    let mut index_lines: Vec<String> = Vec::new();
+    for run in &runs {
+        if run.resumed {
+            eprintln!("[repro] {} already complete (checkpoint); skipped", run.id);
+            if let Some(c) = ckpt_ref {
+                index_lines.extend(c.done_index_lines(&run.id));
+            }
+        } else {
+            for a in &run.artifacts {
+                println!("=== {} ===\n{}\n", a.title, a.text);
+                index_lines.push(index_line(a));
+            }
         }
         timings.push((run.id.clone(), run.wall));
     }
+    rebuild_index(&opts.out, &index_lines);
 
     // Stage timing summary.
     eprintln!("[repro] stage timings (jobs={jobs}):");
@@ -137,5 +223,11 @@ fn main() {
         eprintln!("[repro]   {stage:<24} {:>8.2?}", wall);
     }
     eprintln!("[repro]   {:<24} {:>8.2?} wall", "total", total.elapsed());
+    if let Some(cs) = opts.chaos_seed {
+        eprintln!(
+            "[repro] chaos (seed {cs}): {} injected crash(es) recovered, {} ms backoff",
+            chaos_stats.restarts, chaos_stats.backoff_ms
+        );
+    }
     eprintln!("[repro] CSV series written to {}", opts.out.display());
 }

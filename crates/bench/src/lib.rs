@@ -19,6 +19,9 @@ use simcore::time::{Month, SimDuration};
 use std::sync::Arc;
 use telescope::Darknet;
 
+pub mod checkpoint;
+pub use checkpoint::CheckpointDir;
+
 /// A fully materialized longitudinal experiment.
 pub struct Experiments {
     pub world: world::BuiltWorld,
@@ -45,6 +48,20 @@ pub fn run_experiments_with_jobs(
     world_cfg: &WorldConfig,
     jobs: usize,
 ) -> Experiments {
+    run_experiments_chaos(seed, scale, world_cfg, jobs, None)
+}
+
+/// [`run_experiments_with_jobs`] with an optional chaos seed: the impact
+/// pipeline's measurement phase then runs under fault injection (scheduled
+/// task crashes, supervised restarts). The report is byte-identical to a
+/// fault-free run for any chaos seed — the knob only exercises recovery.
+pub fn run_experiments_chaos(
+    seed: u64,
+    scale: PaperScale,
+    world_cfg: &WorldConfig,
+    jobs: usize,
+    chaos_seed: Option<u64>,
+) -> Experiments {
     let rngs = RngFactory::new(seed);
     let built = world::build(world_cfg, &rngs);
     let schedule_cfg = paper_longitudinal_config(scale);
@@ -52,13 +69,15 @@ pub fn run_experiments_with_jobs(
     let scheduler = attack::AttackScheduler::new(schedule_cfg);
     let attacks = scheduler.generate(&built.target_pool(), &rngs);
     let darknet = Darknet::ucsd_like();
+    let mut config = LongitudinalConfig { jobs, ..LongitudinalConfig::default() };
+    config.impact.chaos_seed = chaos_seed;
     let report = longitudinal::run(
         &built.infra,
         &darknet,
         &attacks,
         &months,
         &built.meta,
-        &LongitudinalConfig { jobs, ..LongitudinalConfig::default() },
+        &config,
         &rngs,
     );
     Experiments { world: built, attacks, months, darknet, report, rngs }
@@ -288,7 +307,9 @@ pub fn fig7(ex: &Experiments) -> Artifact {
          timeout share of failures:   {} (paper: 92%)\n\
          unicast share of failing:    {} (paper: ≈99%)\n\
          single-/24 share (complete): {} (paper: ≈60%)\n\
-         single-ASN share (complete): {} (paper: ≈81%)\n",
+         single-ASN share (complete): {} (paper: ≈81%)\n\
+         week-before baseline fallbacks (sensor outage): {}\n\
+         events with no usable baseline:                 {}\n",
         fs.events,
         fs.events_with_failures,
         fmt_pct(fs.events_with_failures as f64 / fs.events.max(1) as f64),
@@ -297,6 +318,8 @@ pub fn fig7(ex: &Experiments) -> Artifact {
         fmt_pct(fs.unicast_share_of_failures),
         fmt_pct(fs.single_prefix_share_of_failures),
         fmt_pct(fs.single_asn_share_of_failures),
+        ex.report.baseline_fallbacks(),
+        ex.report.baselines_missing(),
     );
     Artifact {
         id: "fig7",
@@ -865,6 +888,10 @@ pub struct ExperimentRun {
     pub id: String,
     pub artifacts: Vec<Artifact>,
     pub wall: std::time::Duration,
+    /// True when a checkpoint marker showed the job already complete and
+    /// it was skipped (its artifacts are already on disk; `artifacts` is
+    /// empty).
+    pub resumed: bool,
 }
 
 /// Schedule the requested experiments across up to `jobs` worker threads
@@ -882,6 +909,12 @@ pub fn run_catalog(
     ids: &[String],
     jobs: usize,
 ) -> Vec<ExperimentRun> {
+    run_catalog_checkpointed(ex, seed, ids, jobs, None, None, &|_| {}).0
+}
+
+/// Normalize requested ids into the canonical job list: duplicates
+/// dropped, the TransIP trio coalesced into one `transip` job.
+fn canonical_specs(ids: &[String]) -> Vec<String> {
     let mut specs: Vec<String> = Vec::new();
     for id in ids {
         let spec = match id.as_str() {
@@ -892,18 +925,71 @@ pub fn run_catalog(
             specs.push(spec);
         }
     }
-    streamproc::parallel_map(jobs, specs, |_, spec| {
-        let start = std::time::Instant::now();
-        let artifacts = match spec.as_str() {
-            "transip" => transip_artifacts(seed),
-            "russia" => russia_artifacts(seed),
-            "futurework" => futurework_artifacts(seed),
-            other => {
-                ex.and_then(|ex| render_longitudinal(ex, other)).into_iter().collect()
+    specs
+}
+
+/// Render one canonical spec's artifacts (pure function of `(seed, spec)`
+/// plus the shared longitudinal run).
+fn render_spec(ex: Option<&Experiments>, seed: u64, spec: &str) -> Vec<Artifact> {
+    match spec {
+        "transip" => transip_artifacts(seed),
+        "russia" => russia_artifacts(seed),
+        "futurework" => futurework_artifacts(seed),
+        other => ex.and_then(|ex| render_longitudinal(ex, other)).into_iter().collect(),
+    }
+}
+
+/// [`run_catalog`] under supervision, with optional fault injection and
+/// checkpoint/resume:
+///
+/// - With a `fault` plan, worker tasks are crashed on schedule and
+///   restarted with bounded backoff; the returned runs are byte-identical
+///   to a fault-free schedule (crashes land *before* a job's render, so
+///   `on_done` still fires exactly once per completed job).
+/// - With a checkpoint directory, jobs whose `.done` marker exists are
+///   skipped (returned with `resumed = true` and no artifacts); the rest
+///   run normally. Callers persist artifacts and write the marker from
+///   `on_done`, which runs on the worker as each job completes — so a
+///   killed run loses only its in-flight jobs.
+///
+/// Outcomes come back in canonical spec order regardless of `jobs`,
+/// faults, or how much of the run was resumed.
+pub fn run_catalog_checkpointed(
+    ex: Option<&Experiments>,
+    seed: u64,
+    ids: &[String],
+    jobs: usize,
+    fault: Option<&streamproc::FaultPlan>,
+    ckpt: Option<&CheckpointDir>,
+    on_done: &(dyn Fn(&ExperimentRun) + Sync),
+) -> (Vec<ExperimentRun>, streamproc::SuperviseStats) {
+    let specs = canonical_specs(ids);
+    streamproc::parallel_map_supervised(
+        jobs,
+        specs,
+        fault,
+        &streamproc::SupervisorConfig::default(),
+        |_, spec| {
+            if ckpt.map_or(false, |c| c.is_done(spec)) {
+                return ExperimentRun {
+                    id: spec.clone(),
+                    artifacts: Vec::new(),
+                    wall: std::time::Duration::ZERO,
+                    resumed: true,
+                };
             }
-        };
-        ExperimentRun { id: spec, artifacts, wall: start.elapsed() }
-    })
+            let start = std::time::Instant::now();
+            let artifacts = render_spec(ex, seed, spec);
+            let run = ExperimentRun {
+                id: spec.clone(),
+                artifacts,
+                wall: start.elapsed(),
+                resumed: false,
+            };
+            on_done(&run);
+            run
+        },
+    )
 }
 
 #[cfg(test)]

@@ -109,6 +109,7 @@ mod tests {
             nsset: NsSetId(0),
             domains_measured: 10,
             impact_on_rtt: impact,
+            baseline_source: crate::impact::BaselineSource::DayBefore,
             failure_rate: 0.0,
             timeouts: 0,
             servfails: 0,

@@ -9,11 +9,25 @@
 use crate::join::DnsAttackEvent;
 use census::{AnycastCensus, AnycastClass};
 use dnssim::{Infra, LoadBook, NsSetId, Resolver};
-use openintel::{measure::measure_domains, MeasurementStore, SweepSchedule};
+use openintel::{measure::measure_domains, MeasurementStore, OutageModel, SweepSchedule};
 use simcore::rng::RngFactory;
 use telescope::AttackEpisode;
 use attack::Protocol;
 use std::collections::HashSet;
+
+/// Which baseline day the denominator of Equation 1 came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BaselineSource {
+    /// The normal case: the sweep of the day before the attack.
+    DayBefore,
+    /// Degraded: the day-before sweep was lost to a sensor outage, so the
+    /// week-before day substitutes (§4.1's ablation: the two baselines
+    /// correlate at r = 0.999).
+    WeekBefore,
+    /// No usable baseline day (day-zero attack, or both candidate sweeps
+    /// lost) — `impact_on_rtt` is `None`.
+    Missing,
+}
 
 /// One row of the paper's impact analysis: an attack on one NSSet, with
 /// its measured consequences and the deployment metadata the resilience
@@ -24,8 +38,10 @@ pub struct ImpactEvent {
     pub nsset: NsSetId,
     /// Domains OpenINTEL measured during the attack windows.
     pub domains_measured: u64,
-    /// Equation 1; `None` when the previous-day baseline is missing.
+    /// Equation 1; `None` when no usable baseline exists.
     pub impact_on_rtt: Option<f64>,
+    /// Where the baseline denominator came from (degradation accounting).
+    pub baseline_source: BaselineSource,
     /// Fraction of measured domains that failed to resolve.
     pub failure_rate: f64,
     pub timeouts: u64,
@@ -58,11 +74,25 @@ pub struct ImpactConfig {
     /// Baseline sampling cap: at most this many of the NSSet's domains are
     /// measured on the previous day to form the denominator of Equation 1.
     pub baseline_sample_cap: usize,
+    /// Simulated sensor outages: daily sweeps on missed days produce no
+    /// measurements, and baselines falling on them trigger the week-before
+    /// fallback. `None` (the default) models a lossless platform.
+    pub sweep_outage: Option<OutageModel>,
+    /// When set, the measurement phase runs under chaos: injected task
+    /// crashes, supervised with bounded restarts. The impacts are
+    /// byte-identical to a fault-free run — this knob only exercises the
+    /// recovery machinery.
+    pub chaos_seed: Option<u64>,
 }
 
 impl Default for ImpactConfig {
     fn default() -> ImpactConfig {
-        ImpactConfig { min_domains_measured: 5, baseline_sample_cap: 200 }
+        ImpactConfig {
+            min_domains_measured: 5,
+            baseline_sample_cap: 200,
+            sweep_outage: None,
+            chaos_seed: None,
+        }
     }
 }
 
@@ -127,22 +157,36 @@ pub fn compute_impacts_with_jobs(
     jobs: usize,
 ) -> (Vec<ImpactEvent>, MeasurementStore) {
     // Phase 1: plan.
+    let day_swept = |day: u64| config.sweep_outage.map_or(true, |o| !o.day_missed(day));
     let mut measured_cells: HashSet<(NsSetId, u64)> = HashSet::new();
     let mut baseline_days: HashSet<(NsSetId, u64)> = HashSet::new();
     let mut tasks: Vec<MeasureTask> = Vec::new();
     // The (event, NSSet) pairs that pass the ≥5-domains filter, in event
-    // order — phase 3 emits exactly one ImpactEvent per entry.
-    let mut rows: Vec<(usize, NsSetId)> = Vec::new();
+    // order, with their resolved baseline day — phase 3 emits exactly one
+    // ImpactEvent per entry.
+    let mut rows: Vec<(usize, NsSetId, Option<u64>, BaselineSource)> = Vec::new();
 
     for (ei, ev) in events.iter().enumerate() {
         let ep = &episodes[ev.episode_idx];
         for &nsset in &ev.nssets {
-            let measured =
+            let mut measured =
                 schedule.domains_in_window_range(infra, nsset, ep.first_window, ep.last_window);
+            // A sweep outage during the attack loses those windows' probes.
+            measured.retain(|(_, w)| day_swept(w.day()));
             if (measured.len() as u64) < config.min_domains_measured {
                 continue;
             }
-            rows.push((ei, nsset));
+            // Baseline day: day-before normally; week-before when the
+            // day-before sweep was lost (graceful degradation, §4.1).
+            let attack_day = ep.first_window.day();
+            let (base_day, base_source) = match attack_day.checked_sub(1) {
+                Some(d) if day_swept(d) => (Some(d), BaselineSource::DayBefore),
+                _ => match attack_day.checked_sub(7) {
+                    Some(d) if day_swept(d) => (Some(d), BaselineSource::WeekBefore),
+                    _ => (None, BaselineSource::Missing),
+                },
+            };
+            rows.push((ei, nsset, base_day, base_source));
             // Measure the attack windows (once per (nsset, window) cell
             // even when episodes overlap).
             let mut by_window: std::collections::BTreeMap<u64, Vec<dnssim::DomainId>> =
@@ -155,16 +199,16 @@ pub fn compute_impacts_with_jobs(
                     tasks.push(MeasureTask::Cell { nsset, window: w, domains: ds });
                 }
             }
-            // Plan the previous-day baseline (sampled).
-            if let Some(day_before) = ep.first_window.day().checked_sub(1) {
-                if baseline_days.insert((nsset, day_before)) {
+            // Plan the baseline sweep day (sampled).
+            if let Some(day) = base_day {
+                if baseline_days.insert((nsset, day)) {
                     let all = infra.domains_of_nsset(nsset);
                     let step = (all.len() / config.baseline_sample_cap).max(1);
                     let probes: Vec<(dnssim::DomainId, simcore::time::Window)> = all
                         .iter()
                         .step_by(step)
                         .take(config.baseline_sample_cap)
-                        .map(|&d| (d, schedule.window_on_day(d, day_before)))
+                        .map(|&d| (d, schedule.window_on_day(d, day)))
                         .collect();
                     tasks.push(MeasureTask::Baseline { nsset, probes });
                 }
@@ -172,25 +216,38 @@ pub fn compute_impacts_with_jobs(
         }
     }
 
-    // Phase 2: measure on the worker pool.
-    let batches = streamproc::parallel_map(jobs, tasks, |_, task| match task {
+    // Phase 2: measure on the worker pool. With a chaos seed configured the
+    // pool runs supervised — tasks are crashed on schedule and retried —
+    // which cannot change the batches: tasks are pure functions of their
+    // inputs.
+    let run_task = |task: &MeasureTask| match task {
         MeasureTask::Cell { nsset, window, domains } => measure_domains(
             infra,
             resolver,
-            &domains,
-            nsset,
-            simcore::time::Window(window),
+            domains,
+            *nsset,
+            simcore::time::Window(*window),
             loads,
             rngs,
         ),
         MeasureTask::Baseline { nsset, probes } => {
             let mut recs = Vec::new();
             for (d, w) in probes {
-                recs.extend(measure_domains(infra, resolver, &[d], nsset, w, loads, rngs));
+                recs.extend(measure_domains(infra, resolver, &[*d], *nsset, *w, loads, rngs));
             }
             recs
         }
-    });
+    };
+    let plan = config
+        .chaos_seed
+        .map(|cs| streamproc::FaultPlan::from_seed(cs, "impact-measure", streamproc::ChaosConfig::SPARSE));
+    let (batches, _chaos) = streamproc::parallel_map_supervised(
+        jobs,
+        tasks,
+        plan.as_ref(),
+        &streamproc::SupervisorConfig::default(),
+        |_, task| run_task(task),
+    );
 
     // Phase 3: merge in plan order, then aggregate per event.
     let mut store = MeasurementStore::new();
@@ -198,11 +255,13 @@ pub fn compute_impacts_with_jobs(
         store.ingest(batch);
     }
     let mut out = Vec::with_capacity(rows.len());
-    for (ei, nsset) in rows {
+    for (ei, nsset, base_day, base_source) in rows {
         let ev = &events[ei];
         let ep = &episodes[ev.episode_idx];
         let during = store.range_stats(nsset, ep.first_window, ep.last_window);
-        let impact = store.impact_on_rtt(nsset, ep.first_window, ep.last_window);
+        let impact = base_day.and_then(|day| {
+            store.impact_on_rtt_from_day(nsset, ep.first_window, ep.last_window, day)
+        });
         let (asns, prefixes) =
             (infra.nsset_asns(nsset).len(), infra.nsset_slash24s(nsset).len());
         out.push(ImpactEvent {
@@ -210,6 +269,7 @@ pub fn compute_impacts_with_jobs(
             nsset,
             domains_measured: during.domains_measured,
             impact_on_rtt: impact,
+            baseline_source: base_source,
             failure_rate: during.failure_rate(),
             timeouts: during.timeout,
             servfails: during.servfail,
@@ -449,6 +509,104 @@ mod tests {
         );
         assert_eq!(impacts.len(), 1);
         assert!(impacts[0].impact_on_rtt.is_none());
+    }
+
+    #[test]
+    fn sweep_outage_falls_back_to_week_before_baseline() {
+        let (infra, addrs) = world(6_000);
+        let rngs = RngFactory::new(7);
+        let schedule = SweepSchedule::new(1);
+        // Attack on day 8 so a week-before baseline (day 1) exists.
+        let first = 8 * 288 + 100;
+        let last = first + 23;
+        let eps = vec![episode(addrs[0], first, last)];
+        let events = join_episodes(&infra, &infra, &eps, &OpenResolverList::new(), false);
+        let census = census_of(&infra);
+        // Find an outage draw that loses exactly the day-before sweep
+        // (day 7) while keeping the attack day and the week-before day.
+        let outage = (0u64..)
+            .map(|s| openintel::OutageModel::from_seed(s, 0.5))
+            .find(|o| o.day_missed(7) && !o.day_missed(8) && !o.day_missed(1))
+            .unwrap();
+        let config = ImpactConfig { sweep_outage: Some(outage), ..ImpactConfig::default() };
+        let (impacts, _) = compute_impacts(
+            &infra,
+            &schedule,
+            &Resolver::default(),
+            &LoadBook::new(),
+            &eps,
+            &events,
+            &census,
+            &rngs,
+            &config,
+        );
+        assert_eq!(impacts.len(), 1);
+        let e = &impacts[0];
+        assert_eq!(e.baseline_source, BaselineSource::WeekBefore);
+        let impact = e.impact_on_rtt.expect("week-before sweep provides a baseline");
+        assert!((impact - 1.0).abs() < 0.5, "no load → impact ≈ 1, got {impact}");
+        // The same attack without the outage uses the day before.
+        let (clean, _) = compute_impacts(
+            &infra,
+            &schedule,
+            &Resolver::default(),
+            &LoadBook::new(),
+            &eps,
+            &events,
+            &census,
+            &rngs,
+            &ImpactConfig::default(),
+        );
+        assert_eq!(clean[0].baseline_source, BaselineSource::DayBefore);
+    }
+
+    #[test]
+    fn chaos_seed_never_changes_impacts() {
+        let (infra, addrs) = world(6_000);
+        let rngs = RngFactory::new(11);
+        let schedule = SweepSchedule::new(1);
+        let first = 3 * 288 + 100;
+        let last = first + 23;
+        let mut loads = LoadBook::new();
+        for w in first..=last {
+            for a in &addrs {
+                loads.add(*a, Window(w), 47_000.0);
+            }
+        }
+        let eps: Vec<AttackEpisode> =
+            addrs.iter().map(|&a| episode(a, first, last)).collect();
+        let events = join_episodes(&infra, &infra, &eps, &OpenResolverList::new(), false);
+        let census = census_of(&infra);
+        let run = |chaos_seed, jobs| {
+            let config = ImpactConfig { chaos_seed, ..ImpactConfig::default() };
+            compute_impacts_with_jobs(
+                &infra,
+                &schedule,
+                &Resolver::default(),
+                &loads,
+                &eps,
+                &events,
+                &census,
+                &rngs,
+                &config,
+                jobs,
+            )
+        };
+        let (clean, _) = run(None, 1);
+        for (chaos, jobs) in [(Some(42), 1), (Some(42), 8), (Some(7), 4)] {
+            let (faulted, _) = run(chaos, jobs);
+            assert_eq!(clean.len(), faulted.len());
+            for (a, b) in clean.iter().zip(&faulted) {
+                assert_eq!(a.nsset, b.nsset);
+                assert_eq!(
+                    a.impact_on_rtt.map(f64::to_bits),
+                    b.impact_on_rtt.map(f64::to_bits),
+                    "chaos={chaos:?} jobs={jobs}: bit-identical impacts"
+                );
+                assert_eq!(a.failure_rate.to_bits(), b.failure_rate.to_bits());
+                assert_eq!(a.timeouts, b.timeouts);
+            }
+        }
     }
 
     #[test]

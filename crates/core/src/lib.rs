@@ -31,6 +31,6 @@ pub mod ports;
 pub mod report;
 pub mod resilience;
 
-pub use impact::ImpactEvent;
+pub use impact::{BaselineSource, ImpactConfig, ImpactEvent};
 pub use join::{ChangingDirectory, DnsAttackEvent, NsDirectory};
 pub use longitudinal::{LongitudinalConfig, LongitudinalReport, MonthlyRow};

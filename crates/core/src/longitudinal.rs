@@ -103,6 +103,26 @@ pub struct LongitudinalReport {
     pub store: MeasurementStore,
 }
 
+impl LongitudinalReport {
+    /// How many impact events degraded to the week-before baseline because
+    /// the day-before sweep was lost to a sensor outage. Reported alongside
+    /// the impacts whenever an outage model is active.
+    pub fn baseline_fallbacks(&self) -> u64 {
+        self.impacts
+            .iter()
+            .filter(|e| e.baseline_source == crate::impact::BaselineSource::WeekBefore)
+            .count() as u64
+    }
+
+    /// Impact events with no usable baseline at all.
+    pub fn baselines_missing(&self) -> u64 {
+        self.impacts
+            .iter()
+            .filter(|e| e.baseline_source == crate::impact::BaselineSource::Missing)
+            .count() as u64
+    }
+}
+
 /// Run the full longitudinal pipeline.
 pub fn run(
     infra: &Infra,
@@ -318,7 +338,7 @@ fn top_affected_orgs(
         }
     }
     let mut out: Vec<(String, f64)> = per_org.into_iter().collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     out.truncate(10);
     out
 }

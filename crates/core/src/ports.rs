@@ -158,6 +158,7 @@ mod tests {
             nsset: NsSetId(0),
             domains_measured: 10,
             impact_on_rtt: Some(1.0),
+            baseline_source: crate::impact::BaselineSource::DayBefore,
             failure_rate,
             timeouts: 0,
             servfails: 0,

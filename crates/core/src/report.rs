@@ -62,9 +62,22 @@ pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
 }
 
 /// Write a string to `dir/name`, creating `dir` if needed.
+///
+/// The write is atomic: content lands in `name.tmp` first and is renamed
+/// into place, so a run killed mid-write can never leave a truncated
+/// artifact — readers see either the old file or the complete new one.
 pub fn write_output(dir: &Path, name: &str, content: &str) -> io::Result<()> {
     fs::create_dir_all(dir)?;
-    fs::write(dir.join(name), content)
+    write_atomic(&dir.join(name), content)
+}
+
+/// Atomically replace `path` with `content` (write `path.tmp`, rename).
+pub fn write_atomic(path: &Path, content: &str) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    fs::write(&tmp, content)?;
+    fs::rename(&tmp, path)
 }
 
 /// Format a count with thousands separators (for paper-style tables).
@@ -144,6 +157,20 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         write_output(&dir, "x.csv", "a,b\n").unwrap();
         assert_eq!(std::fs::read_to_string(dir.join("x.csv")).unwrap(), "a,b\n");
+        assert!(!dir.join("x.csv.tmp").exists(), "temp file renamed away");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_replaces_existing() {
+        let dir = std::env::temp_dir().join("dnsimpact-report-atomic-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f.csv");
+        write_atomic(&path, "old\n").unwrap();
+        write_atomic(&path, "new\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new\n");
+        assert!(!dir.join("f.csv.tmp").exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

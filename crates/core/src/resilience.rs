@@ -97,6 +97,7 @@ mod tests {
             nsset: NsSetId(0),
             domains_measured: 10,
             impact_on_rtt: Some(impact),
+            baseline_source: crate::impact::BaselineSource::DayBefore,
             failure_rate: if impact >= 400.0 { 1.0 } else { 0.0 },
             timeouts: 0,
             servfails: 0,

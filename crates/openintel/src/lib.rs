@@ -26,12 +26,14 @@
 
 pub mod aggregate;
 pub mod measure;
+pub mod outage;
 pub mod pcapexport;
 pub mod store;
 pub mod sweep;
 
 pub use aggregate::{expected_impact_on_rtt, expected_outcome, ExpectedStats};
 pub use measure::{measure_window, MeasurementRec};
+pub use outage::OutageModel;
 pub use pcapexport::{export_measurement_pcap, ExportStats};
 pub use store::{MeasurementStore, NsSetWindowStats};
 pub use sweep::SweepSchedule;

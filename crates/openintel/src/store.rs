@@ -107,12 +107,26 @@ impl MeasurementStore {
     /// avgRTT(day before the range starts)`. `None` when either side lacks
     /// data.
     pub fn impact_on_rtt(&self, nsset: NsSetId, first: Window, last: Window) -> Option<f64> {
+        let day_before = first.day().checked_sub(1)?;
+        self.impact_on_rtt_from_day(nsset, first, last, day_before)
+    }
+
+    /// Equation 1 against an explicit baseline day — the degradation path:
+    /// when the day-before sweep was lost to a sensor outage, the pipeline
+    /// falls back to the week-before day (§4.1's r = 0.999 ablation shows
+    /// the two baselines agree).
+    pub fn impact_on_rtt_from_day(
+        &self,
+        nsset: NsSetId,
+        first: Window,
+        last: Window,
+        baseline_day: u64,
+    ) -> Option<f64> {
         let during = self.range_stats(nsset, first, last);
         if during.domains_measured == 0 {
             return None;
         }
-        let day_before = first.day().checked_sub(1)?;
-        let baseline = self.day_stats(nsset, day_before)?;
+        let baseline = self.day_stats(nsset, baseline_day)?;
         if baseline.domains_measured == 0 || baseline.avg_rtt().is_nan() || baseline.avg_rtt() <= 0.0 {
             return None;
         }

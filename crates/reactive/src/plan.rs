@@ -84,6 +84,34 @@ impl ProbePlan {
         })
     }
 
+    /// Build a plan from the first feed record for `victim`, honouring the
+    /// record's actual *arrival* time at the platform.
+    ///
+    /// Under a healthy feed a window-`W` record arrives right after `W`
+    /// closes and this is identical to [`ProbePlan::from_first_record`].
+    /// When a sensor outage holds records back (backlog delivery), probing
+    /// cannot start before the record exists: the first round snaps to the
+    /// next 5-minute window boundary at or after `arrival`. Either way the
+    /// gap between arrival and first probe is under one window — well
+    /// inside the ≤10-minute trigger bound, by construction.
+    pub fn from_record_with_arrival(
+        infra: &Infra,
+        victim: Ipv4Addr,
+        record_window: Window,
+        arrival: SimTime,
+        config: &TriggerConfig,
+    ) -> Option<ProbePlan> {
+        let mut plan = ProbePlan::from_first_record(infra, victim, record_window, config)?;
+        let aligned = SimTime(arrival.secs().div_ceil(WINDOW_SECS) * WINDOW_SECS);
+        if aligned > plan.start {
+            plan.start = aligned;
+        }
+        if plan.until < plan.start {
+            plan.until = plan.start;
+        }
+        Some(plan)
+    }
+
     /// Extend the plan when a later feed record shows the attack is still
     /// running.
     pub fn extend(&mut self, record_window: Window, config: &TriggerConfig) {
@@ -117,6 +145,18 @@ impl ProbePlan {
     /// the ≤10-minute bound).
     pub fn trigger_delay(&self, record_window: Window) -> SimDuration {
         self.start - record_window.start()
+    }
+
+    /// Trigger delay relative to when the triggering record actually
+    /// *arrived*. This is the bound the platform controls: a record held
+    /// back by a feed gap cannot trigger probing before it exists, but
+    /// once delivered the first round must follow within ten minutes.
+    pub fn trigger_delay_from_arrival(&self, arrival: SimTime) -> SimDuration {
+        if self.start > arrival {
+            self.start - arrival
+        } else {
+            SimDuration::ZERO
+        }
     }
 }
 
@@ -176,6 +216,36 @@ mod tests {
             ProbePlan::from_first_record(&infra, addr, w, &TriggerConfig::default()).unwrap();
         assert!(plan.trigger_delay(w) <= SimDuration::from_mins(10));
         assert_eq!(plan.start, w.end());
+    }
+
+    #[test]
+    fn on_time_arrival_matches_plain_trigger() {
+        let (infra, addr) = world(100);
+        let cfg = TriggerConfig::default();
+        let w = Window(42);
+        let plain = ProbePlan::from_first_record(&infra, addr, w, &cfg).unwrap();
+        let timed =
+            ProbePlan::from_record_with_arrival(&infra, addr, w, w.end(), &cfg).unwrap();
+        assert_eq!(plain, timed, "healthy feed: arrival at window close changes nothing");
+    }
+
+    #[test]
+    fn late_arrival_snaps_to_next_window_within_bound() {
+        let (infra, addr) = world(100);
+        let cfg = TriggerConfig::default();
+        let w = Window(42);
+        // The record is held back 3 hours by a feed gap and lands 17 s
+        // past a window boundary.
+        let arrival = w.end() + SimDuration::from_hours(3) + SimDuration::from_secs(17);
+        let plan = ProbePlan::from_record_with_arrival(&infra, addr, w, arrival, &cfg).unwrap();
+        assert!(plan.start >= arrival, "cannot probe before the record exists");
+        assert_eq!(plan.start.secs() % WINDOW_SECS, 0, "rounds stay window-aligned");
+        assert!(
+            plan.trigger_delay_from_arrival(arrival) <= cfg.max_trigger_delay,
+            "≤10-minute bound holds relative to arrival"
+        );
+        // `until` keeps its attack-anchored tail but never precedes start.
+        assert!(plan.until >= plan.start);
     }
 
     #[test]

@@ -68,14 +68,37 @@ pub struct ReactivePlatform {
 
 
 enum FeedMsg {
-    Record(RsdosRecord),
+    /// A record plus its actual arrival instant at the platform (a
+    /// healthy feed delivers window `W`'s record as `W` closes; backlog
+    /// delivery after a feed gap arrives late).
+    Arrived(RsdosRecord, SimTime),
     Flush,
 }
 
 impl ReactivePlatform {
     /// Build probe plans from a stream of feed records using the
-    /// streaming framework: one trigger stage keyed by victim IP.
+    /// streaming framework: one trigger stage keyed by victim IP. Models a
+    /// healthy feed: each window's record arrives the moment the window
+    /// closes.
     pub fn build_plans(&self, infra: &Arc<Infra>, records: &[RsdosRecord]) -> Vec<ProbePlan> {
+        let arrivals: Vec<(RsdosRecord, SimTime)> =
+            records.iter().map(|r| (r.clone(), r.window.end())).collect();
+        self.build_plans_with_arrivals(infra, &arrivals)
+    }
+
+    /// [`ReactivePlatform::build_plans`] for a possibly degraded feed:
+    /// each record carries the instant it actually reached the platform
+    /// (e.g. the output of [`telescope::FeedGapModel::apply`], which
+    /// delivers gapped windows as a backlog at the gap's end). Records
+    /// must be given in arrival order. Each victim's plan triggers from
+    /// its first *arrived* record and starts probing at the next window
+    /// boundary — the ≤10-minute trigger bound holds relative to arrival
+    /// even when the record itself is hours late.
+    pub fn build_plans_with_arrivals(
+        &self,
+        infra: &Arc<Infra>,
+        arrivals: &[(RsdosRecord, SimTime)],
+    ) -> Vec<ProbePlan> {
         let msgs: Topic<Arc<FeedMsg>> = Topic::new("feed-msgs");
         let plans_topic: Topic<ProbePlan> = Topic::new("probe-plans");
 
@@ -88,13 +111,13 @@ impl ReactivePlatform {
             msgs.subscribe(),
             plans_topic.clone(),
             move |m: Arc<FeedMsg>| match &*m {
-                FeedMsg::Record(r) => {
+                FeedMsg::Arrived(r, at) => {
                     match open.get_mut(&r.victim) {
                         Some(plan) => plan.extend(r.window, &config),
                         None => {
-                            if let Some(plan) =
-                                ProbePlan::from_first_record(&infra2, r.victim, r.window, &config)
-                            {
+                            if let Some(plan) = ProbePlan::from_record_with_arrival(
+                                &infra2, r.victim, r.window, *at, &config,
+                            ) {
                                 open.insert(r.victim, plan);
                             }
                         }
@@ -110,8 +133,8 @@ impl ReactivePlatform {
         );
         let sink = sink_to_vec(plans_topic.subscribe());
 
-        for r in records {
-            msgs.publish(Arc::new(FeedMsg::Record(r.clone())));
+        for (r, at) in arrivals {
+            msgs.publish(Arc::new(FeedMsg::Arrived(r.clone(), *at)));
         }
         // End-of-feed: the flush marker travels the same ordered channel
         // the records took, so the trigger stage emits its plans last.
@@ -119,6 +142,30 @@ impl ReactivePlatform {
         msgs.close();
         trigger.join();
         sink.join().expect("plan sink")
+    }
+
+    /// [`ReactivePlatform::build_plans_with_arrivals`] with the feed
+    /// transported over the chaos layer: records ride a fault-injected
+    /// stream (drops, duplicates, reordering) that the supervised
+    /// transport repairs before the trigger stage sees them. Because the
+    /// repaired batch is exactly the original (records keep their original
+    /// arrival stamps), the resulting plans are identical to a fault-free
+    /// run — the returned [`streamproc::SuperviseStats`] records how much
+    /// repair that took.
+    pub fn build_plans_chaos(
+        &self,
+        infra: &Arc<Infra>,
+        arrivals: &[(RsdosRecord, SimTime)],
+        fault: Option<&streamproc::FaultPlan>,
+        supervisor: &streamproc::SupervisorConfig,
+    ) -> (Vec<ProbePlan>, streamproc::SuperviseStats) {
+        let (restored, stats) = streamproc::reliable_stream(
+            "reactive-feed",
+            arrivals.to_vec(),
+            fault,
+            supervisor,
+        );
+        (self.build_plans_with_arrivals(infra, &restored), stats)
     }
 
     /// Execute the plans over virtual time. `max_rounds` bounds each
@@ -373,6 +420,103 @@ mod tests {
             assert_eq!(a.plan, b.plan);
             assert_eq!(a.rounds, b.rounds);
         }
+    }
+
+    #[test]
+    fn degraded_feed_triggers_within_ten_minutes() {
+        use telescope::FeedGapModel;
+        let (infra, addrs) = world();
+        let platform = ReactivePlatform::default();
+        // Every day has a gap of up to 4 hours; a quarter of in-gap
+        // records are lost, the rest are delivered late as a backlog.
+        let gaps = FeedGapModel::from_seed(13, 1.0, 48, 0.25);
+        let records: Vec<RsdosRecord> = (0..2_000u64)
+            .flat_map(|w| addrs.iter().map(move |&a| record(a, w)))
+            .collect();
+        let (arrivals, lost) = gaps.apply(&records);
+        assert!(lost > 0, "the gap model actually degrades this feed");
+        assert!(
+            arrivals.iter().any(|(r, at)| *at > r.window.end()),
+            "some records arrive late"
+        );
+        let plans = platform.build_plans_with_arrivals(&infra, &arrivals);
+        assert_eq!(plans.len(), addrs.len());
+        let cfg = TriggerConfig::default();
+        for plan in &plans {
+            // The plan was created by the victim's first *arrived* record.
+            let (_, arrival) = arrivals
+                .iter()
+                .find(|(r, _)| r.victim == plan.victim)
+                .expect("triggering record");
+            assert!(
+                plan.trigger_delay_from_arrival(*arrival) <= cfg.max_trigger_delay,
+                "victim {}: probing follows arrival within 10 min",
+                plan.victim
+            );
+        }
+    }
+
+    #[test]
+    fn probe_budget_respected_while_degraded() {
+        use simcore::time::{SimDuration, WINDOW_SECS};
+        use telescope::FeedGapModel;
+        let (infra, addrs) = world();
+        let platform = ReactivePlatform::default();
+        let gaps = FeedGapModel::from_seed(13, 1.0, 48, 0.25);
+        let records: Vec<RsdosRecord> = (100..160u64)
+            .flat_map(|w| addrs.iter().map(move |&a| record(a, w)))
+            .collect();
+        let (arrivals, _) = gaps.apply(&records);
+        let plans = platform.build_plans_with_arrivals(&infra, &arrivals);
+        // Saturating attack: degraded feed AND degraded infrastructure.
+        let mut loads = LoadBook::new();
+        for w in 100..160u64 {
+            for a in &addrs {
+                loads.add(*a, Window(w), 30_000_000.0);
+            }
+        }
+        let reports = platform.execute(&infra, &plans, &loads, &RngFactory::new(9), 6);
+        assert!(!reports.is_empty());
+        for report in &reports {
+            for (k, round) in report.rounds.iter().enumerate() {
+                assert!(round.probes <= 50, "50-domain cap holds under degradation");
+                // All of round k's probes fall inside its own 5-minute
+                // window: the ethics budget (≈1 query/6 s) is never
+                // front-loaded to catch up after a gap.
+                let times = report.plan.round_times(k as u64);
+                let base = report.plan.start + SimDuration::from_secs(k as u64 * WINDOW_SECS);
+                for (_, t) in &times {
+                    assert!(*t >= base && *t < base + SimDuration::from_secs(WINDOW_SECS));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_transport_never_changes_plans() {
+        use streamproc::{ChaosConfig, FaultPlan, SupervisorConfig};
+        use telescope::FeedGapModel;
+        let (infra, addrs) = world();
+        let platform = ReactivePlatform::default();
+        let gaps = FeedGapModel::from_seed(21, 0.7, 24, 0.2);
+        let records: Vec<RsdosRecord> = (0..600u64)
+            .flat_map(|w| addrs.iter().map(move |&a| record(a, w)))
+            .collect();
+        let (arrivals, _) = gaps.apply(&records);
+        let clean = platform.build_plans_with_arrivals(&infra, &arrivals);
+        let sup = SupervisorConfig::default();
+        // Fault-injected transport repairs to the identical plan set.
+        let fault = FaultPlan::from_seed(77, "reactive-feed", ChaosConfig::CALIBRATED);
+        let (chaotic, stats) = platform.build_plans_chaos(&infra, &arrivals, Some(&fault), &sup);
+        assert_eq!(clean, chaotic, "repaired transport → identical plans");
+        assert!(
+            stats.dropped + stats.duplicated + stats.reordered > 0,
+            "faults were actually injected: {stats:?}"
+        );
+        // No fault plan → clean stats, same plans.
+        let (plain, clean_stats) = platform.build_plans_chaos(&infra, &arrivals, None, &sup);
+        assert_eq!(clean, plain);
+        assert!(clean_stats.is_clean());
     }
 
     #[test]

@@ -39,7 +39,7 @@ impl DomainProbe {
             .iter()
             .filter(|o| o.status == QueryStatus::Ok)
             .map(|o| o.rtt_ms)
-            .min_by(|a, b| a.partial_cmp(b).unwrap())
+            .min_by(|a, b| a.total_cmp(b))
     }
 }
 

@@ -147,7 +147,7 @@ impl Zipf {
     /// Sample a 1-based rank.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.random();
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+        match self.cdf.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => i + 1,
             Err(i) => (i + 1).min(self.cdf.len()),
         }

@@ -124,7 +124,7 @@ pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
 
 fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap());
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     let mut out = vec![0.0; xs.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -148,7 +148,7 @@ pub fn quantile(samples: &mut [f64], q: f64) -> Option<f64> {
     if samples.is_empty() {
         return None;
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (samples.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -164,7 +164,7 @@ pub fn ccdf(samples: &[f64]) -> Vec<(f64, f64)> {
         return Vec::new();
     }
     let mut xs: Vec<f64> = samples.to_vec();
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.sort_by(|a, b| a.total_cmp(b));
     let n = xs.len() as f64;
     let mut out: Vec<(f64, f64)> = Vec::new();
     let mut i = 0;

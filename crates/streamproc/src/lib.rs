@@ -14,20 +14,31 @@
 //!   IP ∩ yesterday's nameserver list" step;
 //! - [`pool`]: work-stealing worker pools over `std::thread::scope` —
 //!   order-preserving batch fan-out ([`pool::parallel_map`]) and bounded
-//!   multi-worker stages ([`pool::spawn_pool`]).
+//!   multi-worker stages ([`pool::spawn_pool`]);
+//! - [`fault`]: deterministic seeded fault injection (drops, duplicates,
+//!   reordering, late delivery, stage crashes) for chaos runs;
+//! - [`supervise`]: bounded-restart supervision and sequence-numbered
+//!   at-least-once delivery with idempotent dedup, so chaos runs produce
+//!   byte-identical output to fault-free runs.
 //!
 //! Everything is synchronous-thread based — the workload is CPU-light and
 //! bursty, which is the regime where plain threads beat an async runtime in
 //! simplicity with no throughput loss.
 
 pub mod exec;
+pub mod fault;
 pub mod join;
 pub mod pool;
+pub mod supervise;
 pub mod topic;
 pub mod window;
 
 pub use exec::{sink_to_vec, spawn_stage, StageHandle};
-pub use pool::{effective_jobs, parallel_map, spawn_pool, PoolHandle};
+pub use fault::{seq_stamp, spawn_chaos_stage, ChaosConfig, FaultAction, FaultPlan, Seq};
+pub use pool::{
+    effective_jobs, parallel_map, parallel_map_supervised, spawn_pool, PoolHandle,
+};
 pub use join::{spawn_lookup_join, spawn_table_maintainer, Table};
+pub use supervise::{reliable_stream, supervised_flat_map, SuperviseStats, SupervisorConfig};
 pub use topic::{Consumer, Topic};
 pub use window::TumblingWindows;

@@ -15,11 +15,15 @@
 //!   downstream aggregation is order-insensitive, or re-sort downstream.
 
 use crate::exec::StageHandle;
+use crate::fault::{injected_crash, FaultPlan};
+use crate::supervise::{SuperviseStats, SupervisorConfig};
 use crate::topic::{Consumer, Topic};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
 /// Resolve a requested worker count: `0` means "use the machine's
 /// available parallelism" (falling back to 1 if that is unknown).
@@ -75,6 +79,67 @@ where
     let mut tagged = results.into_inner();
     tagged.sort_by_key(|&(i, _)| i);
     tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// [`parallel_map`] under supervision: each task runs in a bounded-restart
+/// retry loop, with the plan's injected crashes (and any real panic in `f`)
+/// caught, backed off exponentially, and retried. The task index — not the
+/// worker thread — keys the crash schedule, so the set of injected faults
+/// is independent of `jobs`, and because `f` is deterministic per item, the
+/// returned `Vec` is byte-identical to `parallel_map`'s for any plan.
+///
+/// `f` borrows the item (unlike [`parallel_map`]) so a restarted attempt
+/// can re-run it. The panic propagates once `cfg.max_restarts` is spent.
+pub fn parallel_map_supervised<T, R, F>(
+    jobs: usize,
+    items: Vec<T>,
+    plan: Option<&FaultPlan>,
+    cfg: &SupervisorConfig,
+    f: F,
+) -> (Vec<R>, SuperviseStats)
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let Some(&plan) = plan else {
+        let out = parallel_map(jobs, items, |i, t| f(i, &t));
+        return (out, SuperviseStats::default());
+    };
+    let restarts = AtomicU64::new(0);
+    let backoff_ms = AtomicU64::new(0);
+    let out = parallel_map(jobs, items, |i, t| {
+        let planned = plan.planned_crashes(i as u64);
+        let mut attempt: u32 = 0;
+        loop {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                if attempt < planned {
+                    injected_crash();
+                }
+                f(i, &t)
+            }));
+            match r {
+                Ok(v) => return v,
+                Err(e) => {
+                    if attempt >= cfg.max_restarts {
+                        std::panic::resume_unwind(e);
+                    }
+                    restarts.fetch_add(1, Ordering::Relaxed);
+                    let backoff =
+                        (cfg.backoff_base_ms << attempt.min(16)).min(cfg.backoff_cap_ms);
+                    backoff_ms.fetch_add(backoff, Ordering::Relaxed);
+                    thread::sleep(Duration::from_millis(backoff));
+                    attempt += 1;
+                }
+            }
+        }
+    });
+    let stats = SuperviseStats {
+        restarts: restarts.into_inner(),
+        backoff_ms: backoff_ms.into_inner(),
+        ..SuperviseStats::default()
+    };
+    (out, stats)
 }
 
 /// Handle to a running worker pool (see [`spawn_pool`]).
@@ -190,6 +255,46 @@ mod tests {
             })
         });
         assert!(r.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn parallel_map_supervised_matches_plain_for_any_jobs() {
+        use crate::fault::ChaosConfig;
+        use simcore::rng::RngFactory;
+        let plan = FaultPlan::new(&RngFactory::new(3), "pool-test", ChaosConfig::CALIBRATED);
+        let cfg = SupervisorConfig { backoff_base_ms: 0, ..Default::default() };
+        let want: Vec<u64> = (0..200u64).map(|x| x * 7 + 1).collect();
+        let mut all_restarts = Vec::new();
+        for jobs in [1, 2, 8] {
+            let (got, stats) = parallel_map_supervised(
+                jobs,
+                (0..200u64).collect(),
+                Some(&plan),
+                &cfg,
+                |_, x| x * 7 + 1,
+            );
+            assert_eq!(got, want, "jobs={jobs}");
+            all_restarts.push(stats.restarts);
+        }
+        assert!(all_restarts[0] > 0, "calibrated profile crashes some tasks");
+        assert!(
+            all_restarts.windows(2).all(|w| w[0] == w[1]),
+            "injected crash schedule is independent of jobs: {all_restarts:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_map_supervised_exhausted_budget_propagates() {
+        use crate::fault::ChaosConfig;
+        use simcore::rng::RngFactory;
+        let plan = FaultPlan::new(&RngFactory::new(3), "pool-test", ChaosConfig::DISABLED);
+        let cfg = SupervisorConfig { max_restarts: 1, backoff_base_ms: 0, ..Default::default() };
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            parallel_map_supervised(2, vec![1u32], Some(&plan), &cfg, |_, _| -> u32 {
+                std::panic::resume_unwind(Box::new("real bug"))
+            })
+        }));
+        assert!(r.is_err(), "real panics escape after the restart budget");
     }
 
     #[test]

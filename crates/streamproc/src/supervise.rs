@@ -1,0 +1,364 @@
+//! Supervised stages: bounded restarts, at-least-once delivery, idempotent
+//! dedup.
+//!
+//! Recovery is layered the way the paper's stack layers Kafka under Spark
+//! (§4.3.1):
+//!
+//! 1. **Transport repair** ([`reliable_stream`]): records cross a lossy
+//!    chaos channel sequence-stamped; the sink dedups and re-orders, detects
+//!    gaps, and retransmits the missing sequences in bounded repair rounds.
+//!    The final round is fault-free, so delivery always terminates with the
+//!    exact input batch, in order.
+//! 2. **Stage supervision** ([`supervised_flat_map`]): the stage body runs
+//!    in worker incarnations that are restarted (bounded, with exponential
+//!    backoff) when they panic — whether the panic is an injected
+//!    [`crate::fault::InjectedCrash`] or a real bug. Restarts resume from an
+//!    acknowledged input watermark, so any input processed after the last
+//!    ack is redelivered; outputs are keyed `(input seq, output index)` and
+//!    deduped at the sink, making redelivery idempotent.
+//!
+//! Together these give the headline invariant: for a deterministic stage
+//! body, *fault-free output ≡ faulted-and-recovered output*.
+
+use crate::exec::{sink_to_vec, spawn_stage};
+use crate::fault::{injected_crash, spawn_chaos_stage, FaultPlan, Seq};
+use crate::topic::Topic;
+use simcore::rng::hash_label;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Restart and delivery policy for supervised stages.
+#[derive(Clone, Copy, Debug)]
+pub struct SupervisorConfig {
+    /// Restart budget per stage; the panic propagates once it is exhausted.
+    /// Keep `>= ChaosConfig::max_crashes` so injected crashes always recover.
+    pub max_restarts: u32,
+    /// Exponential backoff between restarts: `base << attempt`, capped.
+    pub backoff_base_ms: u64,
+    pub backoff_cap_ms: u64,
+    /// Advance the ack watermark every N processed inputs. Smaller means
+    /// less redelivery after a crash; larger exercises dedup harder.
+    pub ack_interval: u64,
+    /// Chaos repair rounds before the transport falls back to a fault-free
+    /// retransmission, bounding delivery time.
+    pub max_repair_rounds: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            max_restarts: 8,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 16,
+            ack_interval: 16,
+            max_repair_rounds: 8,
+        }
+    }
+}
+
+/// What the recovery machinery observed and repaired. All counters are
+/// deterministic for a given plan + input (they never depend on thread
+/// timing), so chaos runs can assert on them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SuperviseStats {
+    /// Records dropped in transit (each retransmitted later).
+    pub dropped: u64,
+    /// Duplicate deliveries collapsed by sequence-number dedup.
+    pub duplicated: u64,
+    /// Records that arrived out of order and were re-sequenced.
+    pub reordered: u64,
+    /// Transport repair rounds that had to retransmit missing sequences.
+    pub repair_rounds: u64,
+    /// Stage incarnations restarted after a panic.
+    pub restarts: u64,
+    /// Outputs redelivered by restarted incarnations and deduped away.
+    pub redelivered: u64,
+    /// Total restart backoff slept, in milliseconds.
+    pub backoff_ms: u64,
+}
+
+impl SuperviseStats {
+    pub fn merge(&mut self, other: &SuperviseStats) {
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+        self.repair_rounds += other.repair_rounds;
+        self.restarts += other.restarts;
+        self.redelivered += other.redelivered;
+        self.backoff_ms += other.backoff_ms;
+    }
+
+    /// True when no fault of any kind was observed.
+    pub fn is_clean(&self) -> bool {
+        *self == SuperviseStats::default()
+    }
+}
+
+/// Deliver `items` across a chaos transport with at-least-once semantics
+/// and return them exactly, in order, plus what it took to get there.
+///
+/// With `plan: None` this is free: the batch is returned untouched.
+pub fn reliable_stream<T>(
+    name: &str,
+    items: Vec<T>,
+    plan: Option<&FaultPlan>,
+    cfg: &SupervisorConfig,
+) -> (Vec<T>, SuperviseStats)
+where
+    T: Clone + Send + 'static,
+{
+    let mut stats = SuperviseStats::default();
+    let Some(&plan) = plan else { return (items, stats) };
+    let total = items.len();
+    let mut received: BTreeMap<u64, T> = BTreeMap::new();
+    let mut pending: Vec<Seq<T>> = crate::fault::seq_stamp(items);
+    let mut round = 0u64;
+    while !pending.is_empty() {
+        let src: Topic<Seq<T>> = Topic::new(&format!("{name}:replay"));
+        let out: Topic<Seq<T>> = Topic::new(&format!("{name}:delivered"));
+        // Bounded repair: after `max_repair_rounds` faulty rounds the
+        // retransmission is fault-free, so delivery always terminates.
+        let stage = if round < cfg.max_repair_rounds as u64 {
+            spawn_chaos_stage(name, plan, round, src.subscribe(), out.clone())
+        } else {
+            spawn_stage(&format!("replay:{name}"), src.subscribe(), out.clone(), |m| vec![m])
+        };
+        let sink = sink_to_vec(out.subscribe());
+        for m in &pending {
+            src.publish(m.clone());
+        }
+        src.close();
+        stage.join();
+        // Sink-side dedup + re-sequencing.
+        let mut high_water = None;
+        for m in sink.join().expect("reliable_stream sink") {
+            if high_water.map_or(false, |hw| m.seq < hw) {
+                stats.reordered += 1;
+            }
+            high_water = Some(high_water.map_or(m.seq, |hw: u64| hw.max(m.seq)));
+            if received.insert(m.seq, m.payload).is_some() {
+                stats.duplicated += 1;
+            }
+        }
+        // Gap detection: whatever is still missing goes into the next
+        // retransmission round.
+        pending.retain(|m| !received.contains_key(&m.seq));
+        stats.dropped += pending.len() as u64;
+        if !pending.is_empty() {
+            stats.repair_rounds += 1;
+        }
+        round += 1;
+    }
+    debug_assert_eq!(received.len(), total);
+    (received.into_values().collect(), stats)
+}
+
+/// Run `f` as a supervised flat-map over `items`: input crosses a repaired
+/// chaos transport, the stage body is restarted on panics (resuming from
+/// the ack watermark), and sequence-keyed outputs are deduped at the sink.
+///
+/// `f(i, &item)` must be deterministic in `(i, item)` — the usual rule for
+/// this codebase — which is what makes redelivery invisible in the output:
+/// the returned `Vec` equals `items.iter().enumerate().flat_map(f)` exactly,
+/// for any plan.
+pub fn supervised_flat_map<I, O, F>(
+    name: &str,
+    items: Vec<I>,
+    plan: Option<&FaultPlan>,
+    cfg: &SupervisorConfig,
+    f: F,
+) -> (Vec<O>, SuperviseStats)
+where
+    I: Clone + Send + Sync + 'static,
+    O: Clone + Send + 'static,
+    F: Fn(u64, &I) -> Vec<O> + Send + Sync + 'static,
+{
+    // Layer 1: repaired transport.
+    let (input, mut stats) = reliable_stream(name, items, plan, cfg);
+    let input: Arc<Vec<I>> = Arc::new(input);
+    let n = input.len() as u64;
+    let task = hash_label(name);
+    let plan = plan.copied();
+
+    // Layer 2: supervised incarnations feeding a dedup sink.
+    let out: Topic<((u64, u32), O)> = Topic::new(&format!("{name}:out"));
+    let sink = sink_to_vec(out.subscribe());
+    let acked = Arc::new(AtomicU64::new(0));
+    let f = Arc::new(f);
+    let mut attempt: u32 = 0;
+    loop {
+        let start = acked.load(Ordering::Acquire);
+        let crash_after = plan.and_then(|p| p.crash_point(task, attempt, n - start));
+        let worker = {
+            let input = Arc::clone(&input);
+            let out = out.clone();
+            let acked = Arc::clone(&acked);
+            let f = Arc::clone(&f);
+            let ack_interval = cfg.ack_interval.max(1);
+            // A raw thread (not StageHandle) so the supervisor sees the
+            // panic as a `Result` instead of propagating it.
+            thread::Builder::new()
+                .name(format!("{name}#{attempt}"))
+                .spawn(move || {
+                    let mut since_ack = 0u64;
+                    for i in start..n {
+                        if crash_after == Some(i - start) {
+                            injected_crash();
+                        }
+                        for (k, o) in f(i, &input[i as usize]).into_iter().enumerate() {
+                            out.publish(((i, k as u32), o));
+                        }
+                        since_ack += 1;
+                        if since_ack >= ack_interval {
+                            acked.store(i + 1, Ordering::Release);
+                            since_ack = 0;
+                        }
+                    }
+                    if crash_after == Some(n - start) {
+                        injected_crash();
+                    }
+                })
+                .expect("spawn supervised stage")
+        };
+        match worker.join() {
+            Ok(()) => break,
+            Err(e) => {
+                if attempt >= cfg.max_restarts {
+                    out.close();
+                    std::panic::resume_unwind(e);
+                }
+                stats.restarts += 1;
+                let backoff =
+                    (cfg.backoff_base_ms << attempt.min(16)).min(cfg.backoff_cap_ms);
+                stats.backoff_ms += backoff;
+                thread::sleep(Duration::from_millis(backoff));
+                attempt += 1;
+            }
+        }
+    }
+    out.close();
+
+    // Idempotent dedup: outputs redelivered after a restart collapse onto
+    // their (input seq, output index) key, restoring sequential order.
+    let mut deduped: BTreeMap<(u64, u32), O> = BTreeMap::new();
+    for (key, o) in sink.join().expect("supervised sink") {
+        if deduped.insert(key, o).is_some() {
+            stats.redelivered += 1;
+        }
+    }
+    (deduped.into_values().collect(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::ChaosConfig;
+    use simcore::rng::RngFactory;
+
+    fn plan(cfg: ChaosConfig) -> FaultPlan {
+        FaultPlan::new(&RngFactory::new(11), "supervise-test", cfg)
+    }
+
+    #[test]
+    fn reliable_stream_is_exactly_once_end_to_end() {
+        let items: Vec<u64> = (0..700).collect();
+        let p = plan(ChaosConfig::CALIBRATED);
+        let (got, stats) = reliable_stream("t", items.clone(), Some(&p), &SupervisorConfig::default());
+        assert_eq!(got, items, "dedup + reorder + retransmit restores the batch");
+        assert!(stats.dropped > 0, "chaos actually dropped records: {stats:?}");
+        assert!(stats.duplicated > 0);
+        assert!(stats.reordered > 0);
+        assert!(stats.repair_rounds > 0);
+    }
+
+    #[test]
+    fn reliable_stream_stats_are_deterministic() {
+        let p = plan(ChaosConfig::CALIBRATED);
+        let run = || reliable_stream("t", (0..300u64).collect(), Some(&p), &SupervisorConfig::default());
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reliable_stream_without_plan_is_identity() {
+        let (got, stats) = reliable_stream("t", vec![1, 2, 3], None, &SupervisorConfig::default());
+        assert_eq!(got, vec![1, 2, 3]);
+        assert!(stats.is_clean());
+    }
+
+    #[test]
+    fn reliable_stream_terminates_even_at_full_drop_rate() {
+        // Every chaos round drops everything; the bounded fault-free round
+        // must still deliver.
+        let cfg = ChaosConfig {
+            drop_prob: 1.0,
+            dup_prob: 0.0,
+            hold_prob: 0.0,
+            max_hold: 0,
+            crash_prob: 0.0,
+            max_crashes: 0,
+        };
+        let p = plan(cfg);
+        let sup = SupervisorConfig { max_repair_rounds: 3, ..SupervisorConfig::default() };
+        let (got, stats) = reliable_stream("t", (0..50u32).collect(), Some(&p), &sup);
+        assert_eq!(got, (0..50).collect::<Vec<u32>>());
+        assert_eq!(stats.repair_rounds, 3);
+        assert_eq!(stats.dropped, 150);
+    }
+
+    #[test]
+    fn supervised_flat_map_equals_sequential_under_chaos() {
+        let items: Vec<u64> = (0..400).collect();
+        let body = |i: u64, x: &u64| vec![i * 1000 + x, i * 1000 + x + 1];
+        let want: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .flat_map(|(i, x)| body(i as u64, x))
+            .collect();
+        let p = plan(ChaosConfig::CALIBRATED);
+        let (got, stats) =
+            supervised_flat_map("t", items, Some(&p), &SupervisorConfig::default(), body);
+        assert_eq!(got, want, "recovered output equals fault-free output");
+        assert!(stats.restarts > 0, "the calibrated profile crashes this stage: {stats:?}");
+    }
+
+    #[test]
+    fn supervised_flat_map_without_plan_is_plain_flat_map() {
+        let (got, stats) = supervised_flat_map(
+            "t",
+            vec![10u64, 20, 30],
+            None,
+            &SupervisorConfig::default(),
+            |_, x| vec![x * 2],
+        );
+        assert_eq!(got, vec![20, 40, 60]);
+        assert!(stats.is_clean());
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_propagates_the_panic() {
+        // A body that always really panics must eventually escape, even
+        // under supervision.
+        let cfg = SupervisorConfig { max_restarts: 2, backoff_base_ms: 0, ..Default::default() };
+        let r = std::panic::catch_unwind(|| {
+            supervised_flat_map("t", vec![1u32], None, &cfg, |_, _: &u32| -> Vec<u32> {
+                std::panic::resume_unwind(Box::new("real bug"))
+            })
+        });
+        assert!(r.is_err(), "panic escapes after the restart budget");
+    }
+
+    #[test]
+    fn restarts_resume_from_ack_watermark() {
+        // Tight ack interval + forced crashes: output still exact.
+        let chaos = ChaosConfig { crash_prob: 1.0, max_crashes: 2, ..ChaosConfig::DISABLED };
+        let p = plan(chaos);
+        let sup = SupervisorConfig { ack_interval: 4, backoff_base_ms: 0, ..Default::default() };
+        let items: Vec<u64> = (0..100).collect();
+        let (got, stats) = supervised_flat_map("t", items.clone(), Some(&p), &sup, |_, x| vec![*x]);
+        assert_eq!(got, items);
+        assert_eq!(stats.restarts, p.planned_crashes(hash_label("t")) as u64);
+    }
+}

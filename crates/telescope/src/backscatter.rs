@@ -58,17 +58,21 @@ impl<'a> BackscatterSampler<'a> {
     }
 
     fn sample_attack(&self, a: &Attack, rng: &mut SmallRng, out: &mut Vec<BackscatterObs>) {
-        let visible: Vec<_> =
-            a.vectors.iter().filter(|v| v.kind == VectorKind::RandomSpoofed).collect();
-        if visible.is_empty() {
-            return;
-        }
+        // A NaN/infinite rate would poison the pps sum and the dominant-vector
+        // comparison; such a vector cannot deliver packets, so it is simply
+        // not visible.
+        let visible: Vec<_> = a
+            .vectors
+            .iter()
+            .filter(|v| v.kind == VectorKind::RandomSpoofed && v.victim_pps.is_finite())
+            .collect();
+        let Some(dominant) =
+            visible.iter().max_by(|x, y| x.victim_pps.total_cmp(&y.victim_pps))
+        else {
+            return; // nothing spoofed → nothing reaches the telescope
+        };
         let spoofed_pps: f64 = visible.iter().map(|v| v.victim_pps).sum();
         let response_pps = spoofed_pps.min(self.victim_response_cap_pps);
-        let dominant = visible
-            .iter()
-            .max_by(|x, y| x.victim_pps.partial_cmp(&y.victim_pps).unwrap())
-            .unwrap();
         let unique_ports: u16 =
             visible.iter().map(|v| v.ports.len() as u16).sum::<u16>().max(1);
         for (w, frac) in a.window_overlaps() {
@@ -231,6 +235,29 @@ mod tests {
         // Merged packet counts are roughly double a single attack's.
         let single = s.sample(&[spoofed_attack(50_000.0, 10)], &RngFactory::new(5));
         assert!(obs[0].packets > single[0].packets * 3 / 2);
+    }
+
+    #[test]
+    fn nan_rate_vector_never_aborts_sampling() {
+        let d = Darknet::ucsd_like();
+        let s = BackscatterSampler::new(&d);
+        // One poisoned vector plus one healthy one: the healthy vector must
+        // still be sampled (previously the NaN comparison aborted).
+        let mut a = spoofed_attack(50_000.0, 30);
+        a.vectors.push(VectorSpec {
+            kind: VectorKind::RandomSpoofed,
+            protocol: Protocol::Udp,
+            ports: vec![123],
+            victim_pps: f64::NAN,
+            source_count: 10,
+        });
+        let obs = s.sample(&[a], &RngFactory::new(6));
+        assert!(!obs.is_empty(), "healthy vector still observed");
+        assert!(obs.iter().all(|o| o.packets > 0 && o.max_ppm.is_finite()));
+        // An attack whose only vector is poisoned is invisible, not fatal.
+        let mut lone = spoofed_attack(1.0, 10);
+        lone.vectors[0].victim_pps = f64::NAN;
+        assert!(s.sample(&[lone], &RngFactory::new(6)).is_empty());
     }
 
     #[test]

@@ -25,10 +25,12 @@ pub mod backscatter;
 pub mod darknet;
 pub mod export;
 pub mod feed;
+pub mod outage;
 pub mod rsdos;
 
 pub use amppot::{AmpPotEvent, AmpPotSensor, SensorCoverage};
 pub use backscatter::{BackscatterObs, BackscatterSampler};
 pub use darknet::Darknet;
 pub use feed::{FeedSummary, RsdosFeed, RsdosRecord};
+pub use outage::FeedGapModel;
 pub use rsdos::{AttackEpisode, RsdosClassifier, RsdosThresholds};
