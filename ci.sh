@@ -1,7 +1,16 @@
 #!/bin/sh
-# Offline CI gate: build, full test suite, then an end-to-end determinism
-# smoke on the built `repro` binary — the experiment catalog run with
-# --jobs 1 and --jobs 2 must produce byte-identical CSVs and stdout.
+# Offline CI gate. In order:
+#
+#   1. lint        cargo fmt --check + cargo clippy -D warnings
+#   2. build       cargo build --release
+#   3. tests       cargo test --workspace
+#   4. determinism repro at --jobs 1 vs --jobs 2: byte-identical CSVs+stdout
+#   5. chaos       fault injection, kill -9 mid-run, resume, diff vs clean
+#   6. metrics     repro bench: schema-validated run report, counter
+#                  invariants (fault accounting balances, reactive latency
+#                  and probe budgets hold)
+#
+# `./ci.sh --quick` runs only steps 2-3 (the tier-1 loop).
 #
 # Everything here works without network access: all external dependencies
 # are local shim crates (see shims/README.md).
@@ -9,23 +18,47 @@ set -eu
 
 cd "$(dirname "$0")"
 
+QUICK=0
+[ "${1:-}" = "--quick" ] && QUICK=1
+
+REPRO=target/release/repro
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+
+# All repro invocations share the run identity; only jobs/output/chaos
+# flags vary per gate. Keeps the gates honest: one config, many angles.
+repro_run() {
+    scale=$1
+    jobs=$2
+    out=$3
+    shift 3
+    "$REPRO" --seed 42 --scale "$scale" --jobs "$jobs" --out "$SMOKE/$out" "$@"
+}
+
+if [ "$QUICK" -eq 0 ]; then
+    echo "==> lint gate: cargo fmt --check"
+    cargo fmt --check
+    echo "==> lint gate: cargo clippy -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
 echo "==> cargo build --release"
-cargo build --release
+cargo build --release --workspace
 
 echo "==> cargo test -q (workspace)"
 cargo test --workspace -q
 
+if [ "$QUICK" -eq 1 ]; then
+    echo "==> ci green (quick: build + tests only)"
+    exit 0
+fi
+
 echo "==> determinism smoke: repro --jobs 1 vs --jobs 2"
-REPRO=target/release/repro
-SMOKE=$(mktemp -d)
-trap 'rm -rf "$SMOKE"' EXIT
 # A cheap but representative subset: longitudinal renders, the shared-run
 # coalescing trio, and a self-contained scenario experiment.
 EXPERIMENTS="table1 table3 table5 fig5 fig8 fig11 ablate futurework"
-"$REPRO" --seed 42 --scale 1500 --jobs 1 --out "$SMOKE/j1" $EXPERIMENTS \
-    > "$SMOKE/j1.stdout" 2> /dev/null
-"$REPRO" --seed 42 --scale 1500 --jobs 2 --out "$SMOKE/j2" $EXPERIMENTS \
-    > "$SMOKE/j2.stdout" 2> /dev/null
+repro_run 1500 1 j1 $EXPERIMENTS > "$SMOKE/j1.stdout" 2> /dev/null
+repro_run 1500 2 j2 $EXPERIMENTS > "$SMOKE/j2.stdout" 2> /dev/null
 diff -r "$SMOKE/j1" "$SMOKE/j2"
 diff "$SMOKE/j1.stdout" "$SMOKE/j2.stdout"
 echo "==> determinism smoke passed (artifacts byte-identical across job counts)"
@@ -36,11 +69,9 @@ echo "==> chaos gate: fault injection, kill -9 mid-run, resume, diff vs clean"
 # Scale 100 makes the run long enough (~2-3 s) for the kill to land
 # mid-flight; the diff holds wherever it lands.
 CHAOS_EXPERIMENTS="$EXPERIMENTS table2 fig2 fig3 russia"
-"$REPRO" --seed 42 --scale 100 --jobs 2 --out "$SMOKE/chaos-clean" \
-    $CHAOS_EXPERIMENTS > /dev/null 2>&1
+repro_run 100 2 chaos-clean $CHAOS_EXPERIMENTS > /dev/null 2>&1
 # Chaos run with completion markers, killed hard mid-flight.
-"$REPRO" --seed 42 --scale 100 --jobs 2 --chaos-seed 9 \
-    --checkpoint-dir "$SMOKE/ckpt" --out "$SMOKE/chaos-out" \
+repro_run 100 2 chaos-out --chaos-seed 9 --checkpoint-dir "$SMOKE/ckpt" \
     $CHAOS_EXPERIMENTS > /dev/null 2>&1 &
 CHAOS_PID=$!
 sleep 1
@@ -49,10 +80,26 @@ wait "$CHAOS_PID" 2> /dev/null || true
 # Resume with the same seed, chaos seed, and checkpoint dir: completed
 # jobs are skipped, the rest re-run; the output must match a run that was
 # never killed and never saw a fault.
-"$REPRO" --seed 42 --scale 100 --jobs 2 --chaos-seed 9 \
-    --checkpoint-dir "$SMOKE/ckpt" --out "$SMOKE/chaos-out" \
+repro_run 100 2 chaos-out --chaos-seed 9 --checkpoint-dir "$SMOKE/ckpt" \
     $CHAOS_EXPERIMENTS > /dev/null 2>&1
 diff -r "$SMOKE/chaos-clean" "$SMOKE/chaos-out"
 echo "==> chaos gate passed (killed-and-resumed run byte-identical to clean run)"
+
+echo "==> metrics gate: repro bench + schema/invariant validation"
+# The bench subcommand replays its pinned catalog subset (chaos on, so the
+# fault-accounting invariant is exercised) and emits the schema-v1 run
+# report; validate-metrics re-reads it and fails on any schema violation
+# or counter-invariant break.
+BENCH_JSON="$SMOKE/bench/BENCH.json"
+"$REPRO" bench --metrics-json "$BENCH_JSON" --out "$SMOKE/bench-out" \
+    > "$SMOKE/bench.stdout" 2> /dev/null
+# Bench suppresses artifact text: a non-empty stdout means metrics leaked.
+if [ -s "$SMOKE/bench.stdout" ]; then
+    echo "bench wrote to stdout:" >&2
+    cat "$SMOKE/bench.stdout" >&2
+    exit 1
+fi
+"$REPRO" validate-metrics "$BENCH_JSON"
+echo "==> metrics gate passed (schema-valid report, counter invariants hold)"
 
 echo "==> ci green"

@@ -6,9 +6,7 @@
 //! thousands of records are cheap) or scaled down.
 
 use crate::spec::{Attack, AttackId, VectorSpec};
-use crate::vector::{
-    sample_port, sample_port_count, sample_protocol, Protocol, VectorKind,
-};
+use crate::vector::{sample_port, sample_port_count, sample_protocol, Protocol, VectorKind};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use simcore::dist::{pareto, BimodalLogNormal};
@@ -140,13 +138,10 @@ impl AttackScheduler {
                 // Campaigns: hit every nameserver of the provider group.
                 let group = pool.group_of(target).filter(|g| g.len() > 1).map(<[Ipv4Addr]>::to_vec);
                 match group {
-                    Some(members)
-                        if rng.random::<f64>() < self.config.campaign_prob =>
-                    {
+                    Some(members) if rng.random::<f64>() < self.config.campaign_prob => {
                         let base = self.one_attack(AttackId(next_id), target, start, &mut rng);
                         next_id += 1;
-                        let dns_port =
-                            rng.random::<f64>() < self.config.campaign_dns_port_prob;
+                        let dns_port = rng.random::<f64>() < self.config.campaign_dns_port_prob;
                         for &member in &members {
                             let mut a = base.clone();
                             a.id = AttackId(next_id);
@@ -161,8 +156,7 @@ impl AttackScheduler {
                             let aware_boost = if dns_port { 4.0 } else { 1.0 };
                             for v in &mut a.vectors {
                                 v.victim_pps *= jitter * aware_boost;
-                                v.source_count =
-                                    ((v.source_count as f64) * jitter) as u64;
+                                v.source_count = ((v.source_count as f64) * jitter) as u64;
                                 if dns_port && v.protocol != Protocol::Icmp {
                                     v.ports = vec![53];
                                 }
@@ -247,11 +241,8 @@ impl AttackScheduler {
             // The invisible component can dwarf the visible one, which is
             // why telescope intensity fails to predict impact (§6.4).
             let mult = pareto(rng, 0.5, 1.1).min(50.0);
-            let kind = if rng.random::<f64>() < 0.7 {
-                VectorKind::Reflection
-            } else {
-                VectorKind::Direct
-            };
+            let kind =
+                if rng.random::<f64>() < 0.7 { VectorKind::Reflection } else { VectorKind::Direct };
             vectors.push(VectorSpec {
                 kind,
                 protocol: Protocol::Udp,
@@ -324,8 +315,7 @@ mod tests {
     use super::*;
 
     fn pool() -> TargetPool {
-        let dns: Vec<Ipv4Addr> =
-            (0..50).map(|i| Ipv4Addr::new(195, 135, i as u8, 53)).collect();
+        let dns: Vec<Ipv4Addr> = (0..50).map(|i| Ipv4Addr::new(195, 135, i as u8, 53)).collect();
         let collateral: Vec<Ipv4Addr> =
             (0..10).map(|i| Ipv4Addr::new(195, 135, i as u8, 80)).collect();
         TargetPool::uniform(dns, collateral)
@@ -442,10 +432,7 @@ mod tests {
     fn campaigns_hit_whole_groups() {
         let mut p = pool();
         // Two provider groups of 3 nameservers each.
-        p.dns_groups = vec![
-            p.dns_addrs[0..3].to_vec(),
-            p.dns_addrs[3..6].to_vec(),
-        ];
+        p.dns_groups = vec![p.dns_addrs[0..3].to_vec(), p.dns_addrs[3..6].to_vec()];
         let cfg = ScheduleConfig {
             dns_share_per_month: vec![0.5; 3], // lots of DNS attacks
             campaign_prob: 1.0,                // every group hit becomes a campaign
@@ -459,10 +446,7 @@ mod tests {
             std::collections::HashMap::new();
         for a in &attacks {
             if p.dns_groups[0].contains(&a.target) {
-                by_start
-                    .entry((a.start.secs(), a.duration.secs()))
-                    .or_default()
-                    .insert(a.target);
+                by_start.entry((a.start.secs(), a.duration.secs())).or_default().insert(a.target);
             }
         }
         let full = by_start.values().filter(|s| s.len() == 3).count();

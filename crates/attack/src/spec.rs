@@ -52,11 +52,7 @@ impl Attack {
     /// Packet rate of the telescope-visible (randomly spoofed) vectors
     /// only — what backscatter inference can be based on.
     pub fn spoofed_pps(&self) -> f64 {
-        self.vectors
-            .iter()
-            .filter(|v| v.kind.telescope_visible())
-            .map(|v| v.victim_pps)
-            .sum()
+        self.vectors.iter().filter(|v| v.kind.telescope_visible()).map(|v| v.victim_pps).sum()
     }
 
     /// Whether any vector is visible to the telescope.

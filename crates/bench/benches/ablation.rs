@@ -45,9 +45,30 @@ fn bench_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation");
     g.sample_size(10);
     for (label, config) in [
-        ("min_domains_5_cap_200", ImpactConfig { min_domains_measured: 5, baseline_sample_cap: 200 }),
-        ("min_domains_1_cap_200", ImpactConfig { min_domains_measured: 1, baseline_sample_cap: 200 }),
-        ("min_domains_5_cap_1000", ImpactConfig { min_domains_measured: 5, baseline_sample_cap: 1_000 }),
+        (
+            "min_domains_5_cap_200",
+            ImpactConfig {
+                min_domains_measured: 5,
+                baseline_sample_cap: 200,
+                ..ImpactConfig::default()
+            },
+        ),
+        (
+            "min_domains_1_cap_200",
+            ImpactConfig {
+                min_domains_measured: 1,
+                baseline_sample_cap: 200,
+                ..ImpactConfig::default()
+            },
+        ),
+        (
+            "min_domains_5_cap_1000",
+            ImpactConfig {
+                min_domains_measured: 5,
+                baseline_sample_cap: 1_000,
+                ..ImpactConfig::default()
+            },
+        ),
     ] {
         g.bench_function(format!("compute_impacts/{label}"), |b| {
             b.iter(|| {

@@ -53,9 +53,8 @@ fn bench_reactive(c: &mut Criterion) {
     let (infra, addrs) = world();
     let platform = ReactivePlatform::default();
     // A burst of feed records: 50 victims × 6 windows.
-    let records: Vec<RsdosRecord> = (0..6u64)
-        .flat_map(|w| addrs.iter().map(move |&a| record(a, 100 + w)))
-        .collect();
+    let records: Vec<RsdosRecord> =
+        (0..6u64).flat_map(|w| addrs.iter().map(move |&a| record(a, 100 + w))).collect();
     let rngs = RngFactory::new(4);
 
     let mut g = c.benchmark_group("reactive");

@@ -18,10 +18,8 @@ fn bench_telescope(c: &mut Criterion) {
         months,
         ..ScheduleConfig::default()
     };
-    let pool = TargetPool::uniform(
-        (0..100).map(|i| Ipv4Addr::new(198, 51, i, 53)).collect(),
-        vec![],
-    );
+    let pool =
+        TargetPool::uniform((0..100).map(|i| Ipv4Addr::new(198, 51, i, 53)).collect(), vec![]);
     let attacks = AttackScheduler::new(cfg).generate(&pool, &rngs);
     let darknet = Darknet::ucsd_like();
     let sampler = BackscatterSampler::new(&darknet);

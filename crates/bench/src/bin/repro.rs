@@ -4,7 +4,10 @@
 //!
 //! ```text
 //! repro [--seed N] [--scale D] [--jobs N] [--out DIR]
-//!       [--chaos-seed N] [--checkpoint-dir DIR] [EXPERIMENT...]
+//!       [--chaos-seed N] [--checkpoint-dir DIR]
+//!       [--metrics-json PATH] [--metrics-summary] [EXPERIMENT...]
+//! repro bench [same flags]
+//! repro validate-metrics FILE
 //!
 //! EXPERIMENT ∈ { table1 table2 table3 table4 table5 table6
 //!                fig2 fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
@@ -30,15 +33,55 @@
 //! `DIR`. A killed run (even `kill -9` mid-write) re-invoked with the same
 //! flags and checkpoint dir skips the completed jobs and finishes the
 //! rest, leaving `--out` byte-identical to an uninterrupted run.
+//!
+//! `--metrics-json PATH` writes the machine-readable run report (schema
+//! `dnsimpact-metrics/v1`: per-stage wall times, throughput counters,
+//! gauges, latency histograms, peak RSS) after the run; the document is
+//! schema-validated before it is written. `--metrics-summary` prints the
+//! human version of the same report to stderr. Both are out-of-band:
+//! metrics never influence artifact bytes or stdout.
+//!
+//! `repro bench` replays a fixed catalog subset at a pinned
+//! seed/scale/chaos configuration and writes `results/BENCH_<date>.json`
+//! in the same schema (CSVs go to a scratch directory). CI runs it and
+//! validates the report; keep one artifact per date for trend tracking.
+//!
+//! `repro validate-metrics FILE` schema-validates a previously written
+//! report and checks the cross-counter invariants (fault accounting
+//! balances; reactive latency and probe budgets hold). Exit 1 on any
+//! violation — this is the CI metrics gate.
 
 use bench_support::{
     needs_longitudinal, run_catalog_checkpointed, run_experiments_chaos, Artifact, CheckpointDir,
-    Experiments, ExperimentRun, CATALOG,
+    ExperimentRun, Experiments, CATALOG,
 };
 use dnsimpact_core::report::{write_atomic, write_output};
 use scenarios::{PaperScale, WorldConfig};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
+
+/// The fixed subset `repro bench` replays: every pipeline stage is
+/// exercised — longitudinal (tables/figures), the TransIP scenario
+/// (`table2`/`fig2`/`fig3`), the Russia scenario (reactive platform and
+/// telescope feed gaps), the §4.1 ablation, and the future-work probe.
+const BENCH_EXPERIMENTS: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "table5",
+    "fig2",
+    "fig3",
+    "fig5",
+    "fig8",
+    "fig11",
+    "russia",
+    "ablate",
+    "futurework",
+];
+/// Pinned bench configuration: small fixed scale, chaos on so the fault
+/// accounting (and its CI invariant) is exercised every bench run.
+const BENCH_SCALE: u32 = 1500;
+const BENCH_CHAOS_SEED: u64 = 9;
 
 struct Options {
     seed: u64,
@@ -47,6 +90,9 @@ struct Options {
     out: PathBuf,
     chaos_seed: Option<u64>,
     checkpoint_dir: Option<PathBuf>,
+    metrics_json: Option<PathBuf>,
+    metrics_summary: bool,
+    bench: bool,
     experiments: Vec<String>,
 }
 
@@ -58,15 +104,25 @@ fn parse_args() -> Options {
         out: PathBuf::from("results"),
         chaos_seed: None,
         checkpoint_dir: None,
+        metrics_json: None,
+        metrics_summary: false,
+        bench: false,
         experiments: Vec::new(),
     };
+    let (mut scale_set, mut out_set) = (false, false);
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--seed" => opts.seed = args.next().expect("--seed N").parse().expect("seed"),
-            "--scale" => opts.scale = args.next().expect("--scale D").parse().expect("scale"),
+            "--scale" => {
+                opts.scale = args.next().expect("--scale D").parse().expect("scale");
+                scale_set = true;
+            }
             "--jobs" => opts.jobs = args.next().expect("--jobs N").parse().expect("jobs"),
-            "--out" => opts.out = PathBuf::from(args.next().expect("--out DIR")),
+            "--out" => {
+                opts.out = PathBuf::from(args.next().expect("--out DIR"));
+                out_set = true;
+            }
             "--chaos-seed" => {
                 opts.chaos_seed =
                     Some(args.next().expect("--chaos-seed N").parse().expect("chaos seed"))
@@ -75,11 +131,24 @@ fn parse_args() -> Options {
                 opts.checkpoint_dir =
                     Some(PathBuf::from(args.next().expect("--checkpoint-dir DIR")))
             }
+            "--metrics-json" => {
+                opts.metrics_json = Some(PathBuf::from(args.next().expect("--metrics-json PATH")))
+            }
+            "--metrics-summary" => opts.metrics_summary = true,
+            "bench" => opts.bench = true,
+            "validate-metrics" => {
+                let file = PathBuf::from(args.next().expect("validate-metrics FILE"));
+                std::process::exit(validate_metrics(&file));
+            }
             "--help" | "-h" => {
                 println!(
                     "repro [--seed N] [--scale D] [--jobs N] [--out DIR] \
-                     [--chaos-seed N] [--checkpoint-dir DIR] [EXPERIMENT...]"
+                     [--chaos-seed N] [--checkpoint-dir DIR] \
+                     [--metrics-json PATH] [--metrics-summary] [EXPERIMENT...]"
                 );
+                println!("repro bench                   replay the fixed bench subset,");
+                println!("                              write results/BENCH_<date>.json");
+                println!("repro validate-metrics FILE   schema + invariant check a report");
                 println!("run `repro --list` for the experiment catalog");
                 std::process::exit(0);
             }
@@ -92,10 +161,81 @@ fn parse_args() -> Options {
             other => opts.experiments.push(other.to_string()),
         }
     }
+    if opts.bench {
+        // Pin the bench configuration; explicit flags still win.
+        if !scale_set {
+            opts.scale = BENCH_SCALE;
+        }
+        if opts.chaos_seed.is_none() {
+            opts.chaos_seed = Some(BENCH_CHAOS_SEED);
+        }
+        if !out_set {
+            // Bench CSVs are throwaway — keep them out of the committed
+            // `results/` series.
+            opts.out = PathBuf::from("target/bench-out");
+        }
+        if opts.metrics_json.is_none() {
+            opts.metrics_json =
+                Some(PathBuf::from(format!("results/BENCH_{}.json", obs::report::today_utc())));
+        }
+        opts.metrics_summary = true;
+        if opts.experiments.is_empty() {
+            opts.experiments = BENCH_EXPERIMENTS.iter().map(|e| e.to_string()).collect();
+        }
+    }
     if opts.experiments.is_empty() || opts.experiments.iter().any(|e| e == "all") {
         opts.experiments = CATALOG.iter().map(|(id, _)| id.to_string()).collect();
     }
     opts
+}
+
+/// The `validate-metrics` subcommand: schema-validate a run report and
+/// check its counter invariants. Returns the process exit code.
+fn validate_metrics(path: &Path) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("[repro] cannot read {}: {e}", path.display());
+            return 2;
+        }
+    };
+    let doc = match obs::Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("[repro] {} is not valid JSON: {e}", path.display());
+            return 2;
+        }
+    };
+    let mut errors = Vec::new();
+    if let Err(e) = obs::report::validate(&doc) {
+        errors.extend(e);
+    }
+    if let Err(e) = obs::report::check_invariants(&doc) {
+        errors.extend(e);
+    }
+    if errors.is_empty() {
+        let count =
+            |key: &str| doc.get(key).and_then(|m| m.as_object().map(|o| o.len())).unwrap_or(0);
+        obs::progress(
+            "repro",
+            &format!(
+                "{} is a valid {} report ({} counters, {} gauges, {} histograms); \
+                 invariants hold",
+                path.display(),
+                obs::SCHEMA_ID,
+                count("counters"),
+                count("gauges"),
+                count("histograms"),
+            ),
+        );
+        0
+    } else {
+        for e in &errors {
+            eprintln!("[repro] metrics violation: {e}");
+        }
+        eprintln!("[repro] {}: {} violation(s)", path.display(), errors.len());
+        1
+    }
 }
 
 fn index_line(a: &Artifact) -> String {
@@ -127,6 +267,68 @@ fn rebuild_index(out: &std::path::Path, ours: &[String]) {
     }
 }
 
+/// Build the schema-`v1` run report from this run's identity, stage
+/// timings, and the global metrics registry.
+fn build_report(
+    opts: &Options,
+    known: &[String],
+    jobs: usize,
+    timings: &[(String, Duration)],
+    total_wall: Duration,
+) -> obs::RunReport {
+    obs::RunReport {
+        meta: obs::RunMeta {
+            seed: opts.seed,
+            scale: u64::from(opts.scale),
+            jobs: jobs as u64,
+            chaos_seed: opts.chaos_seed,
+            bench: opts.bench,
+            date: obs::report::today_utc(),
+            experiments: known.to_vec(),
+        },
+        total_wall_ms: total_wall.as_millis() as u64,
+        peak_rss_kb: obs::rss::peak_rss_kb(),
+        stages: timings
+            .iter()
+            .map(|(name, wall)| obs::StageWall {
+                name: name.clone(),
+                wall_ms: wall.as_millis() as u64,
+            })
+            .collect(),
+        metrics: obs::registry().snapshot(),
+    }
+}
+
+/// Validate-then-write the run report: the emitting side runs the same
+/// schema and invariant checks the CI gate does, so a broken report never
+/// reaches disk silently.
+fn emit_report(report: &obs::RunReport, path: &Path) {
+    let doc = report.to_json();
+    let mut errors = Vec::new();
+    if let Err(e) = obs::report::validate(&doc) {
+        errors.extend(e);
+    }
+    if let Err(e) = obs::report::check_invariants(&doc) {
+        errors.extend(e);
+    }
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("[repro] metrics violation: {e}");
+        }
+        eprintln!("[repro] refusing to write invalid metrics report to {}", path.display());
+        std::process::exit(1);
+    }
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create metrics dir");
+        }
+    }
+    let mut text = doc.pretty();
+    text.push('\n');
+    write_atomic(path, &text).expect("write metrics report");
+    obs::progress("repro", &format!("metrics report written to {}", path.display()));
+}
+
 fn main() {
     let opts = parse_args();
     let known: Vec<String> = opts
@@ -135,7 +337,7 @@ fn main() {
         .filter(|e| {
             let ok = CATALOG.iter().any(|(id, _)| id == e);
             if !ok {
-                eprintln!("[repro] unknown experiment '{e}' (skipped)");
+                obs::progress("repro", &format!("unknown experiment '{e}' (skipped)"));
             }
             ok
         })
@@ -143,21 +345,23 @@ fn main() {
         .collect();
     let jobs = streamproc::effective_jobs(opts.jobs);
     let total = Instant::now();
-    let ckpt = opts
-        .checkpoint_dir
-        .as_ref()
-        .map(|d| CheckpointDir::new(d).expect("create checkpoint dir"));
+    let ckpt =
+        opts.checkpoint_dir.as_ref().map(|d| CheckpointDir::new(d).expect("create checkpoint dir"));
 
     // Stage 1: the shared longitudinal pipeline, if any requested
     // experiment renders from it.
     let mut timings: Vec<(String, Duration)> = Vec::new();
     let ex: Option<Experiments> = known.iter().any(|e| needs_longitudinal(e)).then(|| {
-        eprintln!(
-            "[repro] running longitudinal pipeline (seed {}, scale 1/{}, jobs {jobs}{}) ...",
-            opts.seed,
-            opts.scale,
-            opts.chaos_seed.map(|c| format!(", chaos {c}")).unwrap_or_default(),
+        obs::progress(
+            "repro",
+            &format!(
+                "running longitudinal pipeline (seed {}, scale 1/{}, jobs {jobs}{}) ...",
+                opts.seed,
+                opts.scale,
+                opts.chaos_seed.map(|c| format!(", chaos {c}")).unwrap_or_default(),
+            ),
         );
+        let _span = obs::span("longitudinal");
         let start = Instant::now();
         let ex = run_experiments_chaos(
             opts.seed,
@@ -175,7 +379,11 @@ fn main() {
     // are persisted from the worker as each job completes — atomically,
     // then checkpoint-marked — so a killed run keeps its finished jobs.
     let fault = opts.chaos_seed.map(|cs| {
-        streamproc::FaultPlan::from_seed(cs, "experiment-catalog", streamproc::ChaosConfig::CALIBRATED)
+        streamproc::FaultPlan::from_seed(
+            cs,
+            "experiment-catalog",
+            streamproc::ChaosConfig::CALIBRATED,
+        )
     });
     let out_dir = opts.out.clone();
     let ckpt_ref = ckpt.as_ref();
@@ -189,45 +397,72 @@ fn main() {
             c.mark_done(&run.id, &lines).expect("write checkpoint marker");
         }
     };
-    let (runs, chaos_stats) = run_catalog_checkpointed(
-        ex.as_ref(),
-        opts.seed,
-        &known,
-        opts.jobs,
-        fault.as_ref(),
-        ckpt_ref,
-        &persist,
-    );
+    let catalog_start = Instant::now();
+    let (runs, chaos_stats) = {
+        let _span = obs::span("catalog");
+        run_catalog_checkpointed(
+            ex.as_ref(),
+            opts.seed,
+            &known,
+            opts.jobs,
+            fault.as_ref(),
+            ckpt_ref,
+            &persist,
+        )
+    };
+    timings.push(("experiment catalog".into(), catalog_start.elapsed()));
 
-    // Stage 3: stdout in canonical order, then the results index.
+    // Stage 3: stdout in canonical order, then the results index. Under
+    // `bench` the artifact text is suppressed — the report is the product.
+    let _span_emit = obs::span("emit");
     let mut index_lines: Vec<String> = Vec::new();
     for run in &runs {
         if run.resumed {
-            eprintln!("[repro] {} already complete (checkpoint); skipped", run.id);
+            obs::progress("repro", &format!("{} already complete (checkpoint); skipped", run.id));
             if let Some(c) = ckpt_ref {
                 index_lines.extend(c.done_index_lines(&run.id));
             }
         } else {
             for a in &run.artifacts {
-                println!("=== {} ===\n{}\n", a.title, a.text);
+                if !opts.bench {
+                    println!("=== {} ===\n{}\n", a.title, a.text);
+                }
                 index_lines.push(index_line(a));
             }
         }
         timings.push((run.id.clone(), run.wall));
     }
     rebuild_index(&opts.out, &index_lines);
+    drop(_span_emit);
 
-    // Stage timing summary.
-    eprintln!("[repro] stage timings (jobs={jobs}):");
+    // Stage timing summary (stderr only, via obs — stdout stays reserved
+    // for artifact text so the CI determinism diff is never polluted).
+    obs::progress("repro", &format!("stage timings (jobs={jobs}):"));
     for (stage, wall) in &timings {
-        eprintln!("[repro]   {stage:<24} {:>8.2?}", wall);
+        obs::progress("repro", &format!("  {stage:<24} {wall:>8.2?}"));
     }
-    eprintln!("[repro]   {:<24} {:>8.2?} wall", "total", total.elapsed());
+    obs::progress("repro", &format!("  {:<24} {:>8.2?} wall", "total", total.elapsed()));
     if let Some(cs) = opts.chaos_seed {
-        eprintln!(
-            "[repro] chaos (seed {cs}): {} injected crash(es) recovered, {} ms backoff",
-            chaos_stats.restarts, chaos_stats.backoff_ms
+        obs::progress(
+            "repro",
+            &format!(
+                "chaos (seed {cs}): {} injected crash(es) recovered, {} ms backoff",
+                chaos_stats.restarts, chaos_stats.backoff_ms
+            ),
         );
     }
-    eprintln!("[repro] CSV series written to {}", opts.out.display());
+    obs::progress("repro", &format!("CSV series written to {}", opts.out.display()));
+
+    // The run report: built from the registry snapshot after all stages,
+    // validated, then written/printed. Strictly read-only with respect to
+    // the pipeline — artifacts and stdout above are already final.
+    if opts.metrics_json.is_some() || opts.metrics_summary {
+        let report = build_report(&opts, &known, jobs, &timings, total.elapsed());
+        if let Some(path) = &opts.metrics_json {
+            emit_report(&report, path);
+        }
+        if opts.metrics_summary {
+            eprint!("{}", report.summary_table());
+        }
+    }
 }

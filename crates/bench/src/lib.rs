@@ -4,9 +4,7 @@
 //! paper as text + CSV.
 
 use dnsimpact_core::casestudy::TimePoint;
-use dnsimpact_core::longitudinal::{
-    self, LongitudinalConfig, LongitudinalReport,
-};
+use dnsimpact_core::longitudinal::{self, LongitudinalConfig, LongitudinalReport};
 use dnsimpact_core::report::{fmt_count, fmt_pct, render_csv, render_table};
 use reactive::ReactivePlatform;
 use scenarios::{
@@ -62,24 +60,23 @@ pub fn run_experiments_chaos(
     jobs: usize,
     chaos_seed: Option<u64>,
 ) -> Experiments {
+    let _span = obs::span("experiments");
     let rngs = RngFactory::new(seed);
-    let built = world::build(world_cfg, &rngs);
-    let schedule_cfg = paper_longitudinal_config(scale);
-    let months = schedule_cfg.months.clone();
-    let scheduler = attack::AttackScheduler::new(schedule_cfg);
-    let attacks = scheduler.generate(&built.target_pool(), &rngs);
-    let darknet = Darknet::ucsd_like();
+    let (built, attacks, months, darknet) = {
+        let _span = obs::span("world");
+        let built = world::build(world_cfg, &rngs);
+        let schedule_cfg = paper_longitudinal_config(scale);
+        let months = schedule_cfg.months.clone();
+        let scheduler = attack::AttackScheduler::new(schedule_cfg);
+        let attacks = scheduler.generate(&built.target_pool(), &rngs);
+        (built, attacks, months, Darknet::ucsd_like())
+    };
     let mut config = LongitudinalConfig { jobs, ..LongitudinalConfig::default() };
     config.impact.chaos_seed = chaos_seed;
-    let report = longitudinal::run(
-        &built.infra,
-        &darknet,
-        &attacks,
-        &months,
-        &built.meta,
-        &config,
-        &rngs,
-    );
+    let report = {
+        let _span = obs::span("longitudinal-run");
+        longitudinal::run(&built.infra, &darknet, &attacks, &months, &built.meta, &config, &rngs)
+    };
     Experiments { world: built, attacks, months, darknet, report, rngs }
 }
 
@@ -140,11 +137,8 @@ pub fn table3(ex: &Experiments) -> Artifact {
             ]
         })
         .collect();
-    let (dns, other): (u64, u64) = ex
-        .report
-        .monthly
-        .iter()
-        .fold((0, 0), |(a, b), m| (a + m.dns_attacks, b + m.other_attacks));
+    let (dns, other): (u64, u64) =
+        ex.report.monthly.iter().fold((0, 0), |(a, b), m| (a + m.dns_attacks, b + m.other_attacks));
     rows.push(vec![
         "Total".into(),
         fmt_count(dns),
@@ -244,9 +238,24 @@ pub fn fig6(ex: &Experiments) -> Artifact {
             fmt_pct(s.single_port_share()),
             "80.7%".into(),
         ],
-        vec!["TCP share".into(), fmt_pct(b.protocol_share(Tcp)), fmt_pct(s.protocol_share(Tcp)), "90.4%".into()],
-        vec!["UDP share".into(), fmt_pct(b.protocol_share(Udp)), fmt_pct(s.protocol_share(Udp)), "8.4%".into()],
-        vec!["ICMP share".into(), fmt_pct(b.protocol_share(Icmp)), fmt_pct(s.protocol_share(Icmp)), "1.2%".into()],
+        vec![
+            "TCP share".into(),
+            fmt_pct(b.protocol_share(Tcp)),
+            fmt_pct(s.protocol_share(Tcp)),
+            "90.4%".into(),
+        ],
+        vec![
+            "UDP share".into(),
+            fmt_pct(b.protocol_share(Udp)),
+            fmt_pct(s.protocol_share(Udp)),
+            "8.4%".into(),
+        ],
+        vec![
+            "ICMP share".into(),
+            fmt_pct(b.protocol_share(Icmp)),
+            fmt_pct(s.protocol_share(Icmp)),
+            "1.2%".into(),
+        ],
         vec![
             "TCP→:80 (within TCP)".into(),
             fmt_pct(b.port_share_within(Tcp, 80)),
@@ -284,7 +293,8 @@ pub fn fig6(ex: &Experiments) -> Artifact {
 /// failure summary.
 pub fn fig7(ex: &Experiments) -> Artifact {
     let pts = dnsimpact_core::failures::failure_points(&ex.report.impacts);
-    let headers = ["domains_measured", "failure_rate", "nsset_domains", "anycast", "prefixes", "asns"];
+    let headers =
+        ["domains_measured", "failure_rate", "nsset_domains", "anycast", "prefixes", "asns"];
     let rows: Vec<Vec<String>> = pts
         .iter()
         .map(|p| {
@@ -332,24 +342,23 @@ pub fn fig7(ex: &Experiments) -> Artifact {
 /// Figure 8: RTT impact vs hosted-domain size class.
 pub fn fig8(ex: &Experiments) -> Artifact {
     let impacts = &ex.report.impacts;
-    let with_impact: Vec<(f64, u64)> = impacts
-        .iter()
-        .filter_map(|e| e.impact_on_rtt.map(|i| (i, e.nsset_domains)))
-        .collect();
+    let with_impact: Vec<(f64, u64)> =
+        impacts.iter().filter_map(|e| e.impact_on_rtt.map(|i| (i, e.nsset_domains))).collect();
     let total = with_impact.len().max(1);
     let over10 = with_impact.iter().filter(|(i, _)| *i >= 10.0).count();
     let over100 = with_impact.iter().filter(|(i, _)| *i >= 100.0).count();
     let headers = ["size_class", "events", "median_impact", "p90_impact", "max_impact"];
-    let classes: [(&str, u64, u64); 4] =
-        [("<100", 0, 100), ("100-10K", 100, 10_000), ("10K-1M", 10_000, 1_000_000), (">=1M", 1_000_000, u64::MAX)];
+    let classes: [(&str, u64, u64); 4] = [
+        ("<100", 0, 100),
+        ("100-10K", 100, 10_000),
+        ("10K-1M", 10_000, 1_000_000),
+        (">=1M", 1_000_000, u64::MAX),
+    ];
     let rows: Vec<Vec<String>> = classes
         .iter()
         .map(|(label, lo, hi)| {
-            let mut xs: Vec<f64> = with_impact
-                .iter()
-                .filter(|(_, d)| d >= lo && d < hi)
-                .map(|(i, _)| *i)
-                .collect();
+            let mut xs: Vec<f64> =
+                with_impact.iter().filter(|(_, d)| d >= lo && d < hi).map(|(i, _)| *i).collect();
             let n = xs.len();
             vec![
                 label.to_string(),
@@ -368,10 +377,8 @@ pub fn fig8(ex: &Experiments) -> Artifact {
         fmt_pct(over10 as f64 / total as f64),
     );
     text.push_str(&render_table(&headers, &rows));
-    let csv_rows: Vec<Vec<String>> = with_impact
-        .iter()
-        .map(|(i, d)| vec![format!("{i:.3}"), d.to_string()])
-        .collect();
+    let csv_rows: Vec<Vec<String>> =
+        with_impact.iter().map(|(i, d)| vec![format!("{i:.3}"), d.to_string()]).collect();
     Artifact {
         id: "fig8",
         title: "Figure 8: RTT impact vs number of hosted domains".into(),
@@ -384,12 +391,8 @@ pub fn fig8(ex: &Experiments) -> Artifact {
 pub fn fig9(ex: &Experiments) -> Artifact {
     let s = &ex.report.intensity_impact;
     let headers = ["peak_ppm", "impact_on_rtt"];
-    let rows: Vec<Vec<String>> = s
-        .x
-        .iter()
-        .zip(&s.y)
-        .map(|(x, y)| vec![format!("{x:.1}"), format!("{y:.3}")])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        s.x.iter().zip(&s.y).map(|(x, y)| vec![format!("{x:.1}"), format!("{y:.3}")]).collect();
     let text = format!(
         "Figure 9: telescope intensity vs Impact_on_RTT\n\
          events: {}\n\
@@ -416,12 +419,8 @@ pub fn fig10(ex: &Experiments) -> Artifact {
     let s = &ex.report.duration_impact;
     let hist = dnsimpact_core::correlate::duration_histogram(&ex.report.impacts);
     let headers = ["duration_min", "impact_on_rtt"];
-    let rows: Vec<Vec<String>> = s
-        .x
-        .iter()
-        .zip(&s.y)
-        .map(|(x, y)| vec![format!("{x:.1}"), format!("{y:.3}")])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        s.x.iter().zip(&s.y).map(|(x, y)| vec![format!("{x:.1}"), format!("{y:.3}")]).collect();
     let mut text = format!(
         "Figure 10: inferred duration vs Impact_on_RTT\n\
          events: {}, Pearson r: {}\n\
@@ -445,8 +444,16 @@ fn resilience_artifact(
     title: &str,
     rows_in: &[dnsimpact_core::resilience::ClassImpact],
 ) -> Artifact {
-    let headers =
-        ["class", "events", "median_impact", "p90_impact", "max_impact", ">=10x", ">=100x", "complete_failures"];
+    let headers = [
+        "class",
+        "events",
+        "median_impact",
+        "p90_impact",
+        "max_impact",
+        ">=10x",
+        ">=100x",
+        "complete_failures",
+    ];
     let rows: Vec<Vec<String>> = rows_in
         .iter()
         .map(|c| {
@@ -544,16 +551,10 @@ pub fn ablate_baseline(ex: &Experiments) -> Artifact {
         week1.push(during.avg_rtt() / base.avg_rtt());
     }
     let r = simcore::stats::pearson(&day1, &week1);
-    let log_ratios: Vec<f64> =
-        day1.iter().zip(&week1).map(|(a, b)| (a / b).ln().abs()).collect();
-    let median_dev = simcore::stats::quantile(&mut log_ratios.clone(), 0.5)
-        .map(|v| v.exp())
-        .unwrap_or(f64::NAN);
-    let agree10 = day1
-        .iter()
-        .zip(&week1)
-        .filter(|(a, b)| (*a >= &10.0) == (*b >= &10.0))
-        .count();
+    let log_ratios: Vec<f64> = day1.iter().zip(&week1).map(|(a, b)| (a / b).ln().abs()).collect();
+    let median_dev =
+        simcore::stats::quantile(&mut log_ratios.clone(), 0.5).map(|v| v.exp()).unwrap_or(f64::NAN);
+    let agree10 = day1.iter().zip(&week1).filter(|(a, b)| (*a >= &10.0) == (*b >= &10.0)).count();
     let text = format!(
         "§4.1 ablation: Impact_on_RTT with day-before vs week-before baseline\n\
          events compared:        {}\n\
@@ -566,11 +567,8 @@ pub fn ablate_baseline(ex: &Experiments) -> Artifact {
         r.map(|v| format!("{v:.3}")).unwrap_or("-".into()),
         day1.len(),
     );
-    let rows: Vec<Vec<String>> = day1
-        .iter()
-        .zip(&week1)
-        .map(|(a, b)| vec![format!("{a:.3}"), format!("{b:.3}")])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        day1.iter().zip(&week1).map(|(a, b)| vec![format!("{a:.3}"), format!("{b:.3}")]).collect();
     Artifact {
         id: "ablate_baseline",
         title: "§4.1 ablation: day-before vs week-before RTT baseline".into(),
@@ -624,10 +622,10 @@ fn timeseries_artifact(id: &'static str, title: &str, series: &[TimePoint]) -> A
         if domains == 0 {
             continue;
         }
-        let rtt = chunk.iter().map(|p| p.avg_rtt_ms * p.domains as f64).sum::<f64>()
-            / domains as f64;
-        let to = chunk.iter().map(|p| p.timeout_share * p.domains as f64).sum::<f64>()
-            / domains as f64;
+        let rtt =
+            chunk.iter().map(|p| p.avg_rtt_ms * p.domains as f64).sum::<f64>() / domains as f64;
+        let to =
+            chunk.iter().map(|p| p.timeout_share * p.domains as f64).sum::<f64>() / domains as f64;
         hourly.push(vec![
             chunk[0].window.start().to_string(),
             domains.to_string(),
@@ -651,8 +649,14 @@ pub fn transip_artifacts(seed: u64) -> Vec<Artifact> {
     let loads = sc.load_book();
 
     // Table 2.
-    let headers =
-        ["Attack", "NS", "Observed PPM", "Inferred volume (Gbps)", "Attacker IPs", "Duration (min)"];
+    let headers = [
+        "Attack",
+        "NS",
+        "Observed PPM",
+        "Inferred volume (Gbps)",
+        "Attacker IPs",
+        "Duration (min)",
+    ];
     let mut rows = Vec::new();
     for (attack, range) in [("December 2020", sc.dec_range), ("March 2021", sc.mar_range)] {
         for m in sc.table2(&feed, range).into_iter().flatten() {
@@ -855,8 +859,21 @@ pub const CATALOG: &[(&str, &str)] = &[
 pub fn needs_longitudinal(id: &str) -> bool {
     matches!(
         id,
-        "table1" | "table3" | "table4" | "table5" | "table6" | "fig5" | "fig6" | "fig7"
-            | "fig8" | "fig9" | "fig10" | "fig11" | "fig12" | "fig13" | "ablate"
+        "table1"
+            | "table3"
+            | "table4"
+            | "table5"
+            | "table6"
+            | "fig5"
+            | "fig6"
+            | "fig7"
+            | "fig8"
+            | "fig9"
+            | "fig10"
+            | "fig11"
+            | "fig12"
+            | "fig13"
+            | "ablate"
     )
 }
 
@@ -970,7 +987,7 @@ pub fn run_catalog_checkpointed(
         fault,
         &streamproc::SupervisorConfig::default(),
         |_, spec| {
-            if ckpt.map_or(false, |c| c.is_done(spec)) {
+            if ckpt.is_some_and(|c| c.is_done(spec)) {
                 return ExperimentRun {
                     id: spec.clone(),
                     artifacts: Vec::new(),

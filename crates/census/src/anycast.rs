@@ -77,11 +77,8 @@ impl AnycastCensus {
             .enumerate()
             .map(|(i, date)| {
                 let mut rng = rngs.stream_indexed("anycast-census", i as u64);
-                let detected = truth
-                    .iter()
-                    .copied()
-                    .filter(|_| rng.random::<f64>() < recall)
-                    .collect();
+                let detected =
+                    truth.iter().copied().filter(|_| rng.random::<f64>() < recall).collect();
                 CensusSnapshot { date, anycast_slash24s: detected }
             })
             .collect();
@@ -97,11 +94,7 @@ impl AnycastCensus {
     /// before the first census snapshot).
     pub fn snapshot_at(&self, t: SimTime) -> &CensusSnapshot {
         let date = t.civil();
-        self.snapshots
-            .iter()
-            .rev()
-            .find(|s| s.date <= date)
-            .unwrap_or(&self.snapshots[0])
+        self.snapshots.iter().rev().find(|s| s.date <= date).unwrap_or(&self.snapshots[0])
     }
 
     /// Whether a /24 is detected as anycast at `t`.
@@ -201,13 +194,11 @@ mod tests {
         let early = census.snapshot_at(SimTime::EPOCH);
         assert_eq!(early.date, CivilDate::new(2021, 1, 1));
         // Mid-2021 → the July snapshot.
-        let mid = census
-            .snapshot_at(SimTime::from_civil(CivilDate::new(2021, 8, 15), 0, 0, 0));
+        let mid = census.snapshot_at(SimTime::from_civil(CivilDate::new(2021, 8, 15), 0, 0, 0));
         assert_eq!(mid.date, CivilDate::new(2021, 7, 1));
         // Far future → last snapshot.
         let late = census.snapshot_at(
-            SimTime::from_civil(CivilDate::new(2022, 3, 31), 0, 0, 0)
-                + SimDuration::from_days(100),
+            SimTime::from_civil(CivilDate::new(2022, 3, 31), 0, 0, 0) + SimDuration::from_days(100),
         );
         assert_eq!(late.date, CivilDate::new(2022, 1, 1));
     }

@@ -1,8 +1,8 @@
 //! Case-study metrics: Table 2's per-nameserver attack characterization
 //! and the Figure 2/3 time series.
 
-use openintel::MeasurementStore;
 use dnssim::NsSetId;
+use openintel::MeasurementStore;
 use simcore::time::Window;
 use std::net::Ipv4Addr;
 use telescope::AttackEpisode;
@@ -52,8 +52,7 @@ pub fn ns_attack_metrics(
     }
     let observed_ppm = relevant.iter().map(|e| e.peak_ppm).fold(0.0, f64::max);
     let packets: u64 = relevant.iter().map(|e| e.packets).sum();
-    let duration_min: f64 =
-        relevant.iter().map(|e| e.duration().secs() as f64 / 60.0).sum();
+    let duration_min: f64 = relevant.iter().map(|e| e.duration().secs() as f64 / 60.0).sum();
     let victim_pps = observed_ppm * scale_factor / 60.0;
     Some(NsAttackMetrics {
         label: label.to_string(),
@@ -140,11 +139,7 @@ mod tests {
         // 124 Kpps × 1410 B × 8 ≈ 1.4 Gbps.
         assert!((m.inferred_gbps - 1.4).abs() < 0.1, "gbps {}", m.inferred_gbps);
         // ≈5.8M attacker IPs.
-        assert!(
-            (5_000_000..7_000_000).contains(&m.attacker_ips),
-            "attackers {}",
-            m.attacker_ips
-        );
+        assert!((5_000_000..7_000_000).contains(&m.attacker_ips), "attackers {}", m.attacker_ips);
         assert!((m.duration_min - 870.0).abs() < 1.0);
     }
 

@@ -178,7 +178,8 @@ mod tests {
 
     #[test]
     fn x_median() {
-        let impacts = vec![mk(10.0, 1.0, Some(1.0)), mk(20.0, 1.0, Some(1.0)), mk(30.0, 1.0, Some(1.0))];
+        let impacts =
+            vec![mk(10.0, 1.0, Some(1.0)), mk(20.0, 1.0, Some(1.0)), mk(30.0, 1.0, Some(1.0))];
         let s = intensity_vs_impact(&impacts);
         assert_eq!(s.x_median(), Some(20.0));
         assert!(CorrelationSeries::default().x_median().is_none());

@@ -77,11 +77,7 @@ impl CacheImpactModel {
             return 1.0;
         }
         // E[min(D, U(0,TTL))]:
-        let e_min = if d >= self.ttl {
-            self.ttl / 2.0
-        } else {
-            d - d * d / (2.0 * self.ttl)
-        };
+        let e_min = if d >= self.ttl { self.ttl / 2.0 } else { d - d * d / (2.0 * self.ttl) };
         (1.0 - self.fresh_probability() * e_min / d).clamp(0.0, 1.0)
     }
 }
@@ -96,7 +92,10 @@ pub fn caching_contrast(outage: SimDuration) -> Vec<(&'static str, f64)> {
             "unpopular, TTL 1h",
             CacheImpactModel::new(1.0 / 7_200.0, 3_600.0).user_failure_fraction(outage),
         ),
-        ("unpopular, TTL 5m", CacheImpactModel::new(1.0 / 7_200.0, 300.0).user_failure_fraction(outage)),
+        (
+            "unpopular, TTL 5m",
+            CacheImpactModel::new(1.0 / 7_200.0, 300.0).user_failure_fraction(outage),
+        ),
     ]
 }
 
@@ -132,8 +131,8 @@ mod tests {
             // cycle (length ≈ TTL + 1/λ) and sample only cycle
             // boundaries instead of a uniform phase.
             let mut t = 0.0f64;
-            let phase: f64 = rand::Rng::random::<f64>(&mut rng)
-                * (model.ttl + 1.0 / model.query_rate);
+            let phase: f64 =
+                rand::Rng::random::<f64>(&mut rng) * (model.ttl + 1.0 / model.query_rate);
             let outage_start = warmup + phase;
             let outage_end = outage_start + outage_secs;
             loop {
@@ -168,10 +167,7 @@ mod tests {
         let m = CacheImpactModel::new(1.0, 600.0);
         let analytic = m.user_failure_fraction(SimDuration::from_mins(30));
         let mc = monte_carlo(&m, 1_800.0, 60);
-        assert!(
-            (analytic - mc).abs() < 0.05,
-            "analytic {analytic:.3} vs MC {mc:.3}"
-        );
+        assert!((analytic - mc).abs() < 0.05, "analytic {analytic:.3} vs MC {mc:.3}");
     }
 
     #[test]
@@ -180,10 +176,7 @@ mod tests {
         let m = CacheImpactModel::new(0.5, 3_600.0);
         let analytic = m.user_failure_fraction(SimDuration::from_mins(15));
         let mc = monte_carlo(&m, 900.0, 40);
-        assert!(
-            (analytic - mc).abs() < 0.06,
-            "analytic {analytic:.3} vs MC {mc:.3}"
-        );
+        assert!((analytic - mc).abs() < 0.06, "analytic {analytic:.3} vs MC {mc:.3}");
         assert!(analytic < 0.25, "short outage, long TTL → mild impact: {analytic:.3}");
     }
 
@@ -198,10 +191,7 @@ mod tests {
         let unpop = CacheImpactModel::new(1.0 / 86_400.0, 300.0);
         assert!(unpop.user_failure_fraction(SimDuration::from_mins(60)) > 0.98);
         // Zero-length outage → nothing to fail.
-        assert_eq!(
-            CacheImpactModel::new(1.0, 300.0).user_failure_fraction(SimDuration::ZERO),
-            0.0
-        );
+        assert_eq!(CacheImpactModel::new(1.0, 300.0).user_failure_fraction(SimDuration::ZERO), 0.0);
         // Very popular + TTL ≫ outage → failures bounded by D/(2·TTL)-ish.
         let pop = CacheImpactModel::new(10.0, 86_400.0);
         let f = pop.user_failure_fraction(SimDuration::from_mins(15));

@@ -54,10 +54,8 @@ pub fn failure_points(impacts: &[ImpactEvent]) -> Vec<FailurePoint> {
 /// Compute the §6.3.1 headline numbers.
 pub fn summarize(impacts: &[ImpactEvent]) -> FailureSummary {
     let events = impacts.len() as u64;
-    let failing: Vec<&ImpactEvent> =
-        impacts.iter().filter(|e| e.failure_rate > 0.0).collect();
-    let complete: Vec<&&ImpactEvent> =
-        failing.iter().filter(|e| e.complete_failure()).collect();
+    let failing: Vec<&ImpactEvent> = impacts.iter().filter(|e| e.failure_rate > 0.0).collect();
+    let complete: Vec<&&ImpactEvent> = failing.iter().filter(|e| e.complete_failure()).collect();
     let timeouts: u64 = failing.iter().map(|e| e.timeouts).sum();
     let servfails: u64 = failing.iter().map(|e| e.servfails).sum();
     let denom = (timeouts + servfails) as f64;

@@ -7,13 +7,13 @@
 //! attack are discarded as noise, exactly as §6.3 does.
 
 use crate::join::DnsAttackEvent;
+use attack::Protocol;
 use census::{AnycastCensus, AnycastClass};
 use dnssim::{Infra, LoadBook, NsSetId, Resolver};
 use openintel::{measure::measure_domains, MeasurementStore, OutageModel, SweepSchedule};
 use simcore::rng::RngFactory;
-use telescope::AttackEpisode;
-use attack::Protocol;
 use std::collections::HashSet;
+use telescope::AttackEpisode;
 
 /// Which baseline day the denominator of Equation 1 came from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -156,8 +156,16 @@ pub fn compute_impacts_with_jobs(
     config: &ImpactConfig,
     jobs: usize,
 ) -> (Vec<ImpactEvent>, MeasurementStore) {
-    // Phase 1: plan.
-    let day_swept = |day: u64| config.sweep_outage.map_or(true, |o| !o.day_missed(day));
+    // Phase 1: plan. Out-of-band accounting only (see `obs`): the lost-day
+    // set is recorded for the run report, never read back by the planner.
+    let lost_days: std::cell::RefCell<HashSet<u64>> = std::cell::RefCell::new(HashSet::new());
+    let day_swept = |day: u64| {
+        let swept = config.sweep_outage.is_none_or(|o| !o.day_missed(day));
+        if !swept {
+            lost_days.borrow_mut().insert(day);
+        }
+        swept
+    };
     let mut measured_cells: HashSet<(NsSetId, u64)> = HashSet::new();
     let mut baseline_days: HashSet<(NsSetId, u64)> = HashSet::new();
     let mut tasks: Vec<MeasureTask> = Vec::new();
@@ -216,6 +224,15 @@ pub fn compute_impacts_with_jobs(
         }
     }
 
+    obs::counter("impact.rows").add(rows.len() as u64);
+    obs::counter("impact.windows_computed").add(measured_cells.len() as u64);
+    obs::counter("impact.baselines").add(baseline_days.len() as u64);
+    obs::counter("impact.baseline_fallbacks")
+        .add(rows.iter().filter(|(_, _, _, s)| *s == BaselineSource::WeekBefore).count() as u64);
+    obs::counter("impact.baselines_missing")
+        .add(rows.iter().filter(|(_, _, _, s)| *s == BaselineSource::Missing).count() as u64);
+    obs::counter("outage.sweep_days_lost").add(lost_days.borrow().len() as u64);
+
     // Phase 2: measure on the worker pool. With a chaos seed configured the
     // pool runs supervised — tasks are crashed on schedule and retried —
     // which cannot change the batches: tasks are pure functions of their
@@ -238,9 +255,9 @@ pub fn compute_impacts_with_jobs(
             recs
         }
     };
-    let plan = config
-        .chaos_seed
-        .map(|cs| streamproc::FaultPlan::from_seed(cs, "impact-measure", streamproc::ChaosConfig::SPARSE));
+    let plan = config.chaos_seed.map(|cs| {
+        streamproc::FaultPlan::from_seed(cs, "impact-measure", streamproc::ChaosConfig::SPARSE)
+    });
     let (batches, _chaos) = streamproc::parallel_map_supervised(
         jobs,
         tasks,
@@ -252,6 +269,7 @@ pub fn compute_impacts_with_jobs(
     // Phase 3: merge in plan order, then aggregate per event.
     let mut store = MeasurementStore::new();
     for batch in &batches {
+        obs::counter("openintel.records_measured").add(batch.len() as u64);
         store.ingest(batch);
     }
     let mut out = Vec::with_capacity(rows.len());
@@ -262,8 +280,7 @@ pub fn compute_impacts_with_jobs(
         let impact = base_day.and_then(|day| {
             store.impact_on_rtt_from_day(nsset, ep.first_window, ep.last_window, day)
         });
-        let (asns, prefixes) =
-            (infra.nsset_asns(nsset).len(), infra.nsset_slash24s(nsset).len());
+        let (asns, prefixes) = (infra.nsset_asns(nsset).len(), infra.nsset_slash24s(nsset).len());
         out.push(ImpactEvent {
             episode_idx: ev.episode_idx,
             nsset,
@@ -362,8 +379,7 @@ mod tests {
                 loads.add(*a, Window(w), 47_000.0);
             }
         }
-        let eps: Vec<AttackEpisode> =
-            addrs.iter().map(|&a| episode(a, first, last)).collect();
+        let eps: Vec<AttackEpisode> = addrs.iter().map(|&a| episode(a, first, last)).collect();
         let events = join_episodes(&infra, &infra, &eps, &OpenResolverList::new(), false);
         assert_eq!(events.len(), 3);
         let (impacts, _store) = compute_impacts(
@@ -401,8 +417,7 @@ mod tests {
                 loads.add(*a, Window(w), 47_000.0);
             }
         }
-        let eps: Vec<AttackEpisode> =
-            addrs.iter().map(|&a| episode(a, first, last)).collect();
+        let eps: Vec<AttackEpisode> = addrs.iter().map(|&a| episode(a, first, last)).collect();
         let events = join_episodes(&infra, &infra, &eps, &OpenResolverList::new(), false);
         let census = census_of(&infra);
         let run = |jobs| {
@@ -573,8 +588,7 @@ mod tests {
                 loads.add(*a, Window(w), 47_000.0);
             }
         }
-        let eps: Vec<AttackEpisode> =
-            addrs.iter().map(|&a| episode(a, first, last)).collect();
+        let eps: Vec<AttackEpisode> = addrs.iter().map(|&a| episode(a, first, last)).collect();
         let events = join_episodes(&infra, &infra, &eps, &OpenResolverList::new(), false);
         let census = census_of(&infra);
         let run = |chaos_seed, jobs| {
@@ -622,8 +636,7 @@ mod tests {
                 loads.add(*a, Window(w), 5_000_000.0); // 100x capacity
             }
         }
-        let eps: Vec<AttackEpisode> =
-            addrs.iter().map(|&a| episode(a, first, last)).collect();
+        let eps: Vec<AttackEpisode> = addrs.iter().map(|&a| episode(a, first, last)).collect();
         let events = join_episodes(&infra, &infra, &eps, &OpenResolverList::new(), false);
         let (impacts, _) = compute_impacts(
             &infra,

@@ -170,6 +170,10 @@ fn join_chunk(
             month: ep.first_window.start().month(),
         });
     }
+    // Per-shard totals sum to the same whole-feed totals whatever the
+    // sharding, so these counters are `--jobs`-independent.
+    obs::counter("join.episodes_in").add(episodes.len() as u64);
+    obs::counter("join.rows_joined").add(out.len() as u64);
     out
 }
 
@@ -216,6 +220,9 @@ pub fn join_episodes_sharded(
     }
     let shard_len = episodes.len().div_ceil(jobs);
     let shards: Vec<&[AttackEpisode]> = episodes.chunks(shard_len).collect();
+    // Shard count tracks the requested parallelism, so it lives in the
+    // scheduling-dependent namespace.
+    obs::counter("sched.join.shards").add(shards.len() as u64);
     let parts = streamproc::parallel_map(jobs, shards, |shard_idx, shard| {
         join_chunk(
             infra,
@@ -287,8 +294,7 @@ mod tests {
     fn direct_hit_joins_all_nssets_and_domains() {
         let (infra, a, _) = world();
         let eps = vec![episode("195.135.195.195", 288 * 3)];
-        let events =
-            join_episodes(&infra, &infra, &eps, &OpenResolverList::new(), false);
+        let events = join_episodes(&infra, &infra, &eps, &OpenResolverList::new(), false);
         assert_eq!(events.len(), 1);
         let e = &events[0];
         assert_eq!(e.ns_direct, vec![a]);
@@ -301,8 +307,7 @@ mod tests {
     fn non_dns_victim_produces_no_event() {
         let (infra, ..) = world();
         let eps = vec![episode("8.100.2.3", 288)];
-        let events =
-            join_episodes(&infra, &infra, &eps, &OpenResolverList::new(), false);
+        let events = join_episodes(&infra, &infra, &eps, &OpenResolverList::new(), false);
         assert!(events.is_empty());
     }
 
@@ -349,8 +354,7 @@ mod tests {
         let (infra, ..) = world();
         // Window on 2020-12-01: day 30.
         let eps = vec![episode("195.135.195.195", 30 * 288 + 5)];
-        let events =
-            join_episodes(&infra, &infra, &eps, &OpenResolverList::new(), false);
+        let events = join_episodes(&infra, &infra, &eps, &OpenResolverList::new(), false);
         assert_eq!(events[0].month, Month::new(2020, 12));
     }
 
@@ -363,17 +367,10 @@ mod tests {
         let addr: Ipv4Addr = "195.135.195.195".parse().unwrap();
         let dir = ChangingDirectory::new(&infra).change(5, addr, None);
         let eps = vec![episode("195.135.195.195", 5 * 288 + 10)];
-        let same_day = join_episodes_with_offset(
-            &infra,
-            &dir,
-            &eps,
-            &OpenResolverList::new(),
-            false,
-            0,
-        );
+        let same_day =
+            join_episodes_with_offset(&infra, &dir, &eps, &OpenResolverList::new(), false, 0);
         assert!(same_day.is_empty(), "same-day list no longer names the victim");
-        let prev_day =
-            join_episodes(&infra, &dir, &eps, &OpenResolverList::new(), false);
+        let prev_day = join_episodes(&infra, &dir, &eps, &OpenResolverList::new(), false);
         assert_eq!(prev_day.len(), 1);
         assert_eq!(prev_day[0].ns_direct, vec![a]);
     }
@@ -383,9 +380,7 @@ mod tests {
         let (infra, a, b) = world();
         let addr: Ipv4Addr = "195.135.195.195".parse().unwrap();
         // Renumbered to ns B's identity on day 3, withdrawn on day 8.
-        let dir = ChangingDirectory::new(&infra)
-            .change(3, addr, Some(b))
-            .change(8, addr, None);
+        let dir = ChangingDirectory::new(&infra).change(3, addr, Some(b)).change(8, addr, None);
         assert_eq!(dir.ns_at(addr, 0), Some(a));
         assert_eq!(dir.ns_at(addr, 2), Some(a));
         assert_eq!(dir.ns_at(addr, 3), Some(b));
@@ -397,12 +392,8 @@ mod tests {
     #[test]
     fn domains_not_double_counted_across_nssets() {
         let (infra, ..) = world();
-        let eps = vec![
-            episode("195.135.195.195", 288),
-            episode("203.0.113.53", 288),
-        ];
-        let events =
-            join_episodes(&infra, &infra, &eps, &OpenResolverList::new(), false);
+        let eps = vec![episode("195.135.195.195", 288), episode("203.0.113.53", 288)];
+        let events = join_episodes(&infra, &infra, &eps, &OpenResolverList::new(), false);
         // Each event counts its own reachable domains without dupes.
         assert_eq!(events[0].domains_affected, 140);
         assert_eq!(events[1].domains_affected, 100);

@@ -30,8 +30,7 @@ pub struct MetaTables {
 }
 
 /// Orchestrator configuration.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct LongitudinalConfig {
     pub resolver: Resolver,
     pub impact: ImpactConfig,
@@ -44,7 +43,6 @@ pub struct LongitudinalConfig {
     /// byte-identical for any value — parallelism only buys wall clock.
     pub jobs: usize,
 }
-
 
 /// One row of Table 3.
 #[derive(Clone, Debug, PartialEq)]
@@ -171,8 +169,7 @@ pub fn run(
         1,
         config.jobs,
     );
-    let unfiltered_idxs: HashSet<usize> =
-        unfiltered_events.iter().map(|e| e.episode_idx).collect();
+    let unfiltered_idxs: HashSet<usize> = unfiltered_events.iter().map(|e| e.episode_idx).collect();
 
     // Table 3.
     let monthly = monthly_rows(&feed, &unfiltered_idxs, months);
@@ -182,10 +179,8 @@ pub fn run(
     for ev in &dns_events {
         by_month.entry(ev.month).or_default().push(ev.domains_affected);
     }
-    let affected_domains_by_month: Vec<(Month, Vec<u64>)> = months
-        .iter()
-        .map(|m| (*m, by_month.remove(m).unwrap_or_default()))
-        .collect();
+    let affected_domains_by_month: Vec<(Month, Vec<u64>)> =
+        months.iter().map(|m| (*m, by_month.remove(m).unwrap_or_default())).collect();
 
     // Tables 4–5 include the open-resolver victims too (the paper's
     // tables show Google DNS et al. precisely to expose the
@@ -193,8 +188,7 @@ pub fn run(
     let (top_asns, top_ips) = top_targets(&feed, &unfiltered_events, meta);
 
     // Figure 6 over authoritative DNS-infra episodes (post-filter).
-    let dns_episode_idxs: HashSet<usize> =
-        dns_events.iter().map(|e| e.episode_idx).collect();
+    let dns_episode_idxs: HashSet<usize> = dns_events.iter().map(|e| e.episode_idx).collect();
     let port_breakdown =
         ports::breakdown_episodes(dns_episode_idxs.iter().map(|&i| &feed.episodes[i]));
 
@@ -243,11 +237,7 @@ pub fn run(
     }
 }
 
-fn monthly_rows(
-    feed: &RsdosFeed,
-    dns_idxs: &HashSet<usize>,
-    months: &[Month],
-) -> Vec<MonthlyRow> {
+fn monthly_rows(feed: &RsdosFeed, dns_idxs: &HashSet<usize>, months: &[Month]) -> Vec<MonthlyRow> {
     months
         .iter()
         .map(|&month| {
@@ -310,10 +300,8 @@ fn top_targets(
         .collect();
     asns.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
     asns.truncate(10);
-    let mut ips: Vec<(Ipv4Addr, u64, bool)> = per_ip
-        .into_iter()
-        .map(|(ip, n)| (ip, n, meta.open_resolvers.contains(ip)))
-        .collect();
+    let mut ips: Vec<(Ipv4Addr, u64, bool)> =
+        per_ip.into_iter().map(|(ip, n)| (ip, n, meta.open_resolvers.contains(ip))).collect();
     ips.sort_by(|a, b| b.1.cmp(&a.1).then(u32::from(a.0).cmp(&u32::from(b.0))));
     ips.truncate(10);
     (asns, ips)

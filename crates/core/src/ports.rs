@@ -56,12 +56,7 @@ impl PortBreakdown {
         if self.total == 0 {
             return 0.0;
         }
-        let n: u64 = self
-            .by_port
-            .iter()
-            .filter(|((_, p), _)| *p == port)
-            .map(|(_, c)| *c)
-            .sum();
+        let n: u64 = self.by_port.iter().filter(|((_, p), _)| *p == port).map(|(_, c)| *c).sum();
         n as f64 / self.total as f64
     }
 
@@ -123,11 +118,13 @@ mod tests {
 
     #[test]
     fn shares_computed() {
-        let eps = [ep(Protocol::Tcp, 80, 1),
+        let eps = [
+            ep(Protocol::Tcp, 80, 1),
             ep(Protocol::Tcp, 80, 1),
             ep(Protocol::Tcp, 53, 1),
             ep(Protocol::Udp, 53, 4),
-            ep(Protocol::Icmp, 0, 1)];
+            ep(Protocol::Icmp, 0, 1),
+        ];
         let b = breakdown_episodes(eps.iter());
         assert_eq!(b.total, 5);
         assert_eq!(b.single_port, 4);

@@ -106,10 +106,7 @@ mod tests {
     fn table_alignment() {
         let t = render_table(
             &["Month", "#Attacks"],
-            &[
-                vec!["2020-11".into(), "2,550".into()],
-                vec!["2020-12".into(), "3,876".into()],
-            ],
+            &[vec!["2020-11".into(), "2,550".into()], vec!["2020-12".into(), "3,876".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

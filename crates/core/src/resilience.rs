@@ -45,8 +45,7 @@ pub fn by_anycast(impacts: &[ImpactEvent]) -> Vec<ClassImpact> {
     [AnycastClass::Unicast, AnycastClass::Partial, AnycastClass::Full]
         .into_iter()
         .map(|class| {
-            let evs: Vec<&ImpactEvent> =
-                impacts.iter().filter(|e| e.anycast == class).collect();
+            let evs: Vec<&ImpactEvent> = impacts.iter().filter(|e| e.anycast == class).collect();
             summarize_class(format!("{class:?}"), &evs)
         })
         .collect()

@@ -85,19 +85,11 @@ fn sharded_join_equals_sequential_for_any_worker_count() {
         };
         eps.push(episode(victim, 288 + i * 7));
     }
-    let seq =
-        join_episodes_with_offset(&infra, &infra, &eps, &OpenResolverList::new(), false, 1);
+    let seq = join_episodes_with_offset(&infra, &infra, &eps, &OpenResolverList::new(), false, 1);
     assert!(!seq.is_empty());
     for jobs in [2, 3, 5, 8, 64] {
-        let par = join_episodes_sharded(
-            &infra,
-            &infra,
-            &eps,
-            &OpenResolverList::new(),
-            false,
-            1,
-            jobs,
-        );
+        let par =
+            join_episodes_sharded(&infra, &infra, &eps, &OpenResolverList::new(), false, 1, jobs);
         assert_same(&seq, &par, &format!("jobs={jobs}"));
     }
 }
@@ -113,8 +105,7 @@ fn nsset_straddling_two_shards_yields_both_events() {
         episode("9.100.2.3", 310),
         episode("203.0.113.53", 320),
     ];
-    let par =
-        join_episodes_sharded(&infra, &infra, &eps, &OpenResolverList::new(), false, 1, 2);
+    let par = join_episodes_sharded(&infra, &infra, &eps, &OpenResolverList::new(), false, 1, 2);
     assert_eq!(par.len(), 2);
     assert_eq!(par[0].episode_idx, 0, "global indices survive sharding");
     assert_eq!(par[0].ns_direct, vec![a]);
@@ -122,11 +113,9 @@ fn nsset_straddling_two_shards_yields_both_events() {
     assert_eq!(par[1].ns_direct, vec![b]);
     // Both events name the shared NSSet even though each shard only saw
     // one of its members.
-    let shared: Vec<_> =
-        par[0].nssets.iter().filter(|s| par[1].nssets.contains(s)).collect();
+    let shared: Vec<_> = par[0].nssets.iter().filter(|s| par[1].nssets.contains(s)).collect();
     assert!(!shared.is_empty(), "the straddling NSSet appears in both events");
-    let seq =
-        join_episodes_with_offset(&infra, &infra, &eps, &OpenResolverList::new(), false, 1);
+    let seq = join_episodes_with_offset(&infra, &infra, &eps, &OpenResolverList::new(), false, 1);
     assert_same(&seq, &par, "straddling NSSet");
 }
 
@@ -163,24 +152,14 @@ fn day_boundary_window_joins_identically_across_shards() {
 fn more_workers_than_episodes_handles_empty_shards() {
     let (infra, ..) = world();
     let eps = vec![episode("195.135.195.195", 288), episode("203.0.113.53", 300)];
-    let seq =
-        join_episodes_with_offset(&infra, &infra, &eps, &OpenResolverList::new(), false, 1);
-    let par =
-        join_episodes_sharded(&infra, &infra, &eps, &OpenResolverList::new(), false, 1, 64);
+    let seq = join_episodes_with_offset(&infra, &infra, &eps, &OpenResolverList::new(), false, 1);
+    let par = join_episodes_sharded(&infra, &infra, &eps, &OpenResolverList::new(), false, 1, 64);
     assert_same(&seq, &par, "jobs=64 over 2 episodes");
     // Degenerate inputs: one episode and none at all.
-    let one = join_episodes_sharded(
-        &infra,
-        &infra,
-        &eps[..1],
-        &OpenResolverList::new(),
-        false,
-        1,
-        8,
-    );
+    let one =
+        join_episodes_sharded(&infra, &infra, &eps[..1], &OpenResolverList::new(), false, 1, 8);
     assert_eq!(one.len(), 1);
     let none: Vec<AttackEpisode> = Vec::new();
-    let empty =
-        join_episodes_sharded(&infra, &infra, &none, &OpenResolverList::new(), false, 1, 8);
+    let empty = join_episodes_sharded(&infra, &infra, &none, &OpenResolverList::new(), false, 1, 8);
     assert!(empty.is_empty());
 }

@@ -77,10 +77,7 @@ impl Infra {
         legit_pps: f64,
         base_rtt_ms: f64,
     ) -> NsId {
-        assert!(
-            !self.by_addr.contains_key(&addr),
-            "nameserver address {addr} already registered"
-        );
+        assert!(!self.by_addr.contains_key(&addr), "nameserver address {addr} already registered");
         let id = NsId(self.nameservers.len() as u32);
         self.nameservers.push(Nameserver {
             id,
@@ -195,11 +192,7 @@ impl Infra {
     /// All nameservers in a /24 (the subnet-level join the longitudinal
     /// analysis performs).
     pub fn nameservers_in_slash24(&self, prefix: Slash24) -> Vec<NsId> {
-        self.nameservers
-            .iter()
-            .filter(|n| n.slash24() == prefix)
-            .map(|n| n.id)
-            .collect()
+        self.nameservers.iter().filter(|n| n.slash24() == prefix).map(|n| n.id).collect()
     }
 
     // ------------------------------------------------------------------

@@ -117,11 +117,7 @@ impl Resolver {
                 AttemptResult::Answered(rtt) => {
                     trace.push(AttemptTrace { ns, status: QueryStatus::Ok, rtt_ms: rtt });
                     return (
-                        QueryOutcome {
-                            status: QueryStatus::Ok,
-                            rtt_ms: rtt_total + rtt,
-                            attempts,
-                        },
+                        QueryOutcome { status: QueryStatus::Ok, rtt_ms: rtt_total + rtt, attempts },
                         trace,
                     );
                 }
@@ -168,7 +164,10 @@ impl Resolver {
                 return AttemptResult::Timeout;
             }
             if self.exercise_wire {
-                let q = server::via_wire(&server::ns_query(rng.random(), infra.domain(domain).name.clone()));
+                let q = server::via_wire(&server::ns_query(
+                    rng.random(),
+                    infra.domain(domain).name.clone(),
+                ));
                 let resp = server::via_wire(&server::answer_ns_query(infra, domain, &q));
                 debug_assert_eq!(resp.header.id, q.header.id);
             }
@@ -207,10 +206,7 @@ impl Resolver {
         let key = CacheKey { name: name.clone(), rtype: RrType::Ns };
         if cache.get(&key, at).is_some() {
             // Local cache hit: sub-millisecond, no authoritative contact.
-            return (
-                QueryOutcome { status: QueryStatus::Ok, rtt_ms: 0.1, attempts: 0 },
-                true,
-            );
+            return (QueryOutcome { status: QueryStatus::Ok, rtt_ms: 0.1, attempts: 0 }, true);
         }
         let out = self.resolve(infra, domain, at.window(), loads, rng);
         if out.status == QueryStatus::Ok {
@@ -250,8 +246,11 @@ mod tests {
 
     fn world(capacity: f64) -> (Infra, DomainId, Vec<Ipv4Addr>) {
         let mut infra = Infra::new();
-        let addrs: Vec<Ipv4Addr> =
-            vec!["195.135.195.195".parse().unwrap(), "195.8.195.195".parse().unwrap(), "37.97.199.195".parse().unwrap()];
+        let addrs: Vec<Ipv4Addr> = vec![
+            "195.135.195.195".parse().unwrap(),
+            "195.8.195.195".parse().unwrap(),
+            "37.97.199.195".parse().unwrap(),
+        ];
         let ids: Vec<_> = addrs
             .iter()
             .enumerate()

@@ -136,9 +136,7 @@ impl ZoneLoader {
         if let Some(id) = infra.ns_by_addr(addr) {
             return id;
         }
-        let asn = prefix2as
-            .and_then(|t| t.asn_of(addr))
-            .unwrap_or(self.fallback_asn);
+        let asn = prefix2as.and_then(|t| t.asn_of(addr)).unwrap_or(self.fallback_asn);
         infra.add_nameserver(
             name.clone(),
             addr,
@@ -176,8 +174,7 @@ ns.solo.nl.      IN A 203.0.113.5
     fn loads_delegations_and_interns_nssets() {
         let records = parse_zone(TLD_SNIPPET, &origin()).unwrap();
         let mut infra = Infra::new();
-        let domains =
-            ZoneLoader::default().load(&mut infra, &records, None).unwrap();
+        let domains = ZoneLoader::default().load(&mut infra, &records, None).unwrap();
         assert_eq!(domains.len(), 3);
         assert_eq!(infra.domain_count(), 3);
         // klant1 and klant2 share one interned NSSet.
@@ -226,8 +223,7 @@ ns.solo.nl.      IN A 203.0.113.5
             100.0,
             25.0,
         );
-        let domains =
-            ZoneLoader::default().load(&mut infra, &records, None).unwrap();
+        let domains = ZoneLoader::default().load(&mut infra, &records, None).unwrap();
         assert_eq!(domains.len(), 1);
     }
 

@@ -26,10 +26,7 @@ pub fn set_edns(msg: &mut Message, udp_payload: u16) {
 
 /// The advertised EDNS UDP payload size, if the message carries OPT.
 pub fn edns_udp_payload(msg: &Message) -> Option<u16> {
-    msg.additionals
-        .iter()
-        .find(|r| r.rdata.rtype() == RrType::Opt)
-        .map(|r| r.class.code())
+    msg.additionals.iter().find(|r| r.rdata.rtype() == RrType::Opt).map(|r| r.class.code())
 }
 
 /// Whether a response of `response_len` bytes fits the requester's
@@ -58,10 +55,7 @@ mod tests {
         // Replacing, not stacking.
         set_edns(&mut q, 4096);
         assert_eq!(edns_udp_payload(&q), Some(4096));
-        assert_eq!(
-            q.additionals.iter().filter(|r| r.rdata.rtype() == RrType::Opt).count(),
-            1
-        );
+        assert_eq!(q.additionals.iter().filter(|r| r.rdata.rtype() == RrType::Opt).count(), 1);
     }
 
     #[test]

@@ -28,9 +28,9 @@ pub mod zonefile;
 
 pub use edns::{edns_udp_payload, fits_udp, set_edns};
 pub use message::{Flags, Header, Message, Question, Record};
-pub use tcp::{decode_tcp, encode_tcp, TcpStreamDecoder};
 pub use name::Name;
 pub use rdata::RData;
+pub use tcp::{decode_tcp, encode_tcp, TcpStreamDecoder};
 pub use types::{Opcode, Rcode, RrClass, RrType};
 pub use zonefile::{parse_zone, ZoneError};
 

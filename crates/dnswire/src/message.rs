@@ -192,8 +192,7 @@ impl Message {
         if msg.len() < 12 {
             return Err(WireError::Truncated);
         }
-        let u16_at =
-            |i: usize| u16::from_be_bytes([msg[i], msg[i + 1]]);
+        let u16_at = |i: usize| u16::from_be_bytes([msg[i], msg[i + 1]]);
         let header = Header { id: u16_at(0), flags: Flags::from_u16(u16_at(2)) };
         let qd = u16_at(4) as usize;
         let an = u16_at(6) as usize;
@@ -219,8 +218,7 @@ impl Message {
                     return Err(WireError::Truncated);
                 }
                 let rtype = RrType::from_code(u16::from_be_bytes([msg[*pos], msg[*pos + 1]]));
-                let class =
-                    RrClass::from_code(u16::from_be_bytes([msg[*pos + 2], msg[*pos + 3]]));
+                let class = RrClass::from_code(u16::from_be_bytes([msg[*pos + 2], msg[*pos + 3]]));
                 let ttl = u32::from_be_bytes([
                     msg[*pos + 4],
                     msg[*pos + 5],

@@ -254,10 +254,7 @@ mod tests {
         let long = "a".repeat(63);
         assert!(Name::from_labels([long.as_bytes()]).is_ok());
         let too_long = "a".repeat(64);
-        assert_eq!(
-            Name::from_labels([too_long.as_bytes()]).unwrap_err(),
-            WireError::BadLabel
-        );
+        assert_eq!(Name::from_labels([too_long.as_bytes()]).unwrap_err(), WireError::BadLabel);
         assert_eq!(Name::from_labels(["".as_bytes()]).unwrap_err(), WireError::BadLabel);
     }
 

@@ -15,7 +15,10 @@ pub enum RData {
     Ns(Name),
     Cname(Name),
     Ptr(Name),
-    Mx { preference: u16, exchange: Name },
+    Mx {
+        preference: u16,
+        exchange: Name,
+    },
     Txt(Vec<Vec<u8>>),
     Soa {
         mname: Name,
@@ -26,7 +29,10 @@ pub enum RData {
         expire: u32,
         minimum: u32,
     },
-    Opaque { rtype: u16, data: Vec<u8> },
+    Opaque {
+        rtype: u16,
+        data: Vec<u8>,
+    },
 }
 
 impl RData {
@@ -51,9 +57,7 @@ impl RData {
         match self {
             RData::A(a) => buf.put_slice(&a.octets()),
             RData::Aaaa(a) => buf.put_slice(&a.octets()),
-            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => {
-                n.encode_compressed(buf, table, base)
-            }
+            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => n.encode_compressed(buf, table, base),
             RData::Mx { preference, exchange } => {
                 buf.put_u16(*preference);
                 exchange.encode_compressed(buf, table, base);
@@ -150,9 +154,8 @@ impl RData {
                 if p + 20 > end {
                     return Err(WireError::BadRdata);
                 }
-                let u32_at = |q: usize| {
-                    u32::from_be_bytes([msg[q], msg[q + 1], msg[q + 2], msg[q + 3]])
-                };
+                let u32_at =
+                    |q: usize| u32::from_be_bytes([msg[q], msg[q + 1], msg[q + 2], msg[q + 3]]);
                 RData::Soa {
                     mname,
                     rname,
@@ -246,20 +249,14 @@ mod tests {
     fn a_wrong_length_rejected() {
         let bytes = [1, 2, 3];
         let mut pos = 0;
-        assert_eq!(
-            RData::decode(&bytes, &mut pos, RrType::A, 3),
-            Err(WireError::BadRdata)
-        );
+        assert_eq!(RData::decode(&bytes, &mut pos, RrType::A, 3), Err(WireError::BadRdata));
     }
 
     #[test]
     fn truncated_rdata_rejected() {
         let bytes = [1, 2];
         let mut pos = 0;
-        assert_eq!(
-            RData::decode(&bytes, &mut pos, RrType::A, 4),
-            Err(WireError::Truncated)
-        );
+        assert_eq!(RData::decode(&bytes, &mut pos, RrType::A, 4), Err(WireError::Truncated));
     }
 
     #[test]
@@ -267,10 +264,7 @@ mod tests {
         // Length byte says 5 but only 2 bytes remain.
         let bytes = [5u8, b'a', b'b'];
         let mut pos = 0;
-        assert_eq!(
-            RData::decode(&bytes, &mut pos, RrType::Txt, 3),
-            Err(WireError::BadRdata)
-        );
+        assert_eq!(RData::decode(&bytes, &mut pos, RrType::Txt, 3), Err(WireError::BadRdata));
     }
 
     #[test]
@@ -289,9 +283,8 @@ mod tests {
         rd.encode(&mut buf, &mut table, 0);
         // rname shares the example.com suffix: "admin" label (6) + ptr (2)
         // instead of 17 uncompressed bytes.
-        let uncompressed = n("ns1.example.com").encoded_len()
-            + n("admin.example.com").encoded_len()
-            + 20;
+        let uncompressed =
+            n("ns1.example.com").encoded_len() + n("admin.example.com").encoded_len() + 20;
         assert!(buf.len() < uncompressed);
         assert_eq!(roundtrip(&rd), rd);
     }

@@ -93,10 +93,7 @@ mod tests {
     fn frame_roundtrip() {
         let m = msg(7);
         let framed = encode_tcp(&m);
-        assert_eq!(
-            u16::from_be_bytes([framed[0], framed[1]]) as usize,
-            framed.len() - 2
-        );
+        assert_eq!(u16::from_be_bytes([framed[0], framed[1]]) as usize, framed.len() - 2);
         let (back, consumed) = decode_tcp(&framed).unwrap();
         assert_eq!(back, m);
         assert_eq!(consumed, framed.len());

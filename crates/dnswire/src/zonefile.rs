@@ -26,15 +26,13 @@ pub fn render_zone(records: &[Record]) -> String {
             RData::Ptr(n) => format!("PTR {n}."),
             RData::Mx { preference, exchange } => format!("MX {preference} {exchange}."),
             RData::Txt(strings) => {
-                let parts: Vec<String> = strings
-                    .iter()
-                    .map(|s| format!("\"{}\"", String::from_utf8_lossy(s)))
-                    .collect();
+                let parts: Vec<String> =
+                    strings.iter().map(|s| format!("\"{}\"", String::from_utf8_lossy(s))).collect();
                 format!("TXT {}", parts.join(" "))
             }
-            RData::Soa { mname, rname, serial, refresh, retry, expire, minimum } => format!(
-                "SOA {mname}. {rname}. {serial} {refresh} {retry} {expire} {minimum}"
-            ),
+            RData::Soa { mname, rname, serial, refresh, retry, expire, minimum } => {
+                format!("SOA {mname}. {rname}. {serial} {refresh} {retry} {expire} {minimum}")
+            }
             // Not representable in this subset; skip the whole record.
             RData::Opaque { .. } => continue,
         };
@@ -126,8 +124,7 @@ pub fn parse_zone(text: &str, default_origin: &Name) -> Result<Vec<Record>, Zone
             }
         }
 
-        let rtype_tok =
-            tokens.get(idx).ok_or_else(|| err(line_no, "missing record type"))?;
+        let rtype_tok = tokens.get(idx).ok_or_else(|| err(line_no, "missing record type"))?;
         let rd_tokens: Vec<&Token> = tokens[idx + 1..].iter().collect();
         let rdata = parse_rdata(&rtype_tok.text, &rd_tokens, &origin, line_no)?;
         records.push(Record { name: owner, class: RrClass::In, ttl, rdata });
@@ -196,8 +193,7 @@ struct Token {
 fn tokenize(line: &str, line_no: usize) -> Result<Vec<Token>, ZoneError> {
     let mut out: Vec<Token> = Vec::new();
     let mut chars = line.chars().peekable();
-    let starts_with_space =
-        line.starts_with(' ') || line.starts_with('\t');
+    let starts_with_space = line.starts_with(' ') || line.starts_with('\t');
     let mut first = true;
     while let Some(&c) = chars.peek() {
         if c.is_whitespace() {
@@ -240,13 +236,10 @@ fn parse_name(text: &str, origin: &Name, line_no: usize) -> Result<Name, ZoneErr
         return Ok(origin.clone());
     }
     if let Some(absolute) = text.strip_suffix('.') {
-        return absolute
-            .parse()
-            .map_err(|e| err(line_no, format!("bad name '{text}': {e}")));
+        return absolute.parse().map_err(|e| err(line_no, format!("bad name '{text}': {e}")));
     }
     // Relative: append the origin.
-    let rel: Name =
-        text.parse().map_err(|e| err(line_no, format!("bad name '{text}': {e}")))?;
+    let rel: Name = text.parse().map_err(|e| err(line_no, format!("bad name '{text}': {e}")))?;
     let mut labels: Vec<Vec<u8>> = rel.labels().to_vec();
     labels.extend(origin.labels().iter().cloned());
     Name::from_labels(labels).map_err(|e| err(line_no, format!("name too long '{text}': {e}")))
@@ -265,21 +258,18 @@ fn parse_rdata(
     };
     match rtype.to_ascii_uppercase().as_str() {
         "A" => {
-            let a: Ipv4Addr =
-                need(0)?.parse().map_err(|_| err(line_no, "bad IPv4 address"))?;
+            let a: Ipv4Addr = need(0)?.parse().map_err(|_| err(line_no, "bad IPv4 address"))?;
             Ok(RData::A(a))
         }
         "AAAA" => {
-            let a: Ipv6Addr =
-                need(0)?.parse().map_err(|_| err(line_no, "bad IPv6 address"))?;
+            let a: Ipv6Addr = need(0)?.parse().map_err(|_| err(line_no, "bad IPv6 address"))?;
             Ok(RData::Aaaa(a))
         }
         "NS" => Ok(RData::Ns(parse_name(need(0)?, origin, line_no)?)),
         "CNAME" => Ok(RData::Cname(parse_name(need(0)?, origin, line_no)?)),
         "PTR" => Ok(RData::Ptr(parse_name(need(0)?, origin, line_no)?)),
         "MX" => {
-            let preference =
-                need(0)?.parse().map_err(|_| err(line_no, "bad MX preference"))?;
+            let preference = need(0)?.parse().map_err(|_| err(line_no, "bad MX preference"))?;
             Ok(RData::Mx { preference, exchange: parse_name(need(1)?, origin, line_no)? })
         }
         "TXT" => {
@@ -288,9 +278,7 @@ fn parse_rdata(
             }
             let strings = toks
                 .iter()
-                .map(|t| {
-                    t.text.strip_prefix('"').unwrap_or(&t.text).as_bytes().to_vec()
-                })
+                .map(|t| t.text.strip_prefix('"').unwrap_or(&t.text).as_bytes().to_vec())
                 .collect();
             Ok(RData::Txt(strings))
         }
@@ -513,9 +501,17 @@ mod proptests {
                 .prop_map(|(preference, exchange)| RData::Mx { preference, exchange }),
             prop::collection::vec("[a-zA-Z0-9 .:=_-]{0,30}", 1..3)
                 .prop_map(|ss| RData::Txt(ss.into_iter().map(|s| s.into_bytes()).collect())),
-            (arb_name(), arb_name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
-                .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| RData::Soa {
-                    mname, rname, serial, refresh, retry, expire, minimum,
+            (
+                arb_name(),
+                arb_name(),
+                any::<u32>(),
+                any::<u32>(),
+                any::<u32>(),
+                any::<u32>(),
+                any::<u32>()
+            )
+                .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
+                    RData::Soa { mname, rname, serial, refresh, retry, expire, minimum }
                 }),
         ];
         (arb_name(), any::<u32>(), rdata).prop_map(|(name, ttl, rdata)| Record {

@@ -157,8 +157,7 @@ impl Prefix2As {
                 continue;
             }
             let mut fields = line.split_whitespace();
-            let (Some(addr), Some(len), Some(asn)) =
-                (fields.next(), fields.next(), fields.next())
+            let (Some(addr), Some(len), Some(asn)) = (fields.next(), fields.next(), fields.next())
             else {
                 return Err(format!("line {}: expected 3 fields", i + 1));
             };
@@ -169,12 +168,8 @@ impl Prefix2As {
                 return Err(format!("line {}: bad length", i + 1));
             }
             // Multi-origin: take the first ASN.
-            let first = asn
-                .split(['_', ','])
-                .next()
-                .unwrap_or(asn);
-            let asn: u32 =
-                first.parse().map_err(|_| format!("line {}: bad ASN", i + 1))?;
+            let first = asn.split(['_', ',']).next().unwrap_or(asn);
+            let asn: u32 = first.parse().map_err(|_| format!("line {}: bad ASN", i + 1))?;
             out.announce(Ipv4Net::new(addr, len), Asn(asn));
         }
         Ok(out)

@@ -1,0 +1,62 @@
+//! Out-of-band observability for the `dnsimpact` workspace.
+//!
+//! The measurement pipeline has quantitative budgets the paper cares about
+//! — per-5-minute joins, the ≤50-domains/5-min reactive probe budget, the
+//! ≤10-minute trigger bound, outage accounting — and this crate makes them
+//! observable from a run without perturbing it.
+//!
+//! ## The out-of-band rule
+//!
+//! Instrumentation is **write-only** from the pipeline's point of view:
+//! metrics are recorded by the instrumented crates and read *only* by the
+//! reporting layer (`repro --metrics-json` / `--metrics-summary`). Nothing
+//! in the workspace ever branches on a metric value, seeds an RNG from one,
+//! or lets one reach an artifact byte or stdout. That is what keeps the
+//! PR-1/PR-2 determinism invariants (byte-identical artifacts for any
+//! `--jobs` and any `--chaos-seed`) intact with instrumentation compiled
+//! in and always on.
+//!
+//! ## Determinism domains
+//!
+//! Metric names are namespaced by determinism:
+//!
+//! - plain names (`join.rows_joined`, `chaos.faults_injected`, …) are
+//!   **deterministic**: for a fixed seed/scale/experiment set their final
+//!   values are identical across `--jobs` counts, and the pipeline counters
+//!   are identical across chaos seeds too (recovery is exact);
+//! - names prefixed `time.` or `sched.` depend on wall clock or scheduling
+//!   (span durations, per-task latency, queue depths, shard counts) and are
+//!   excluded from determinism comparisons — present for humans, never for
+//!   diffing.
+//!
+//! [`Snapshot::deterministic`] applies that filter; the metrics-determinism
+//! tests and the CI counter-invariant gate are built on it.
+//!
+//! ## Pieces
+//!
+//! - [`metrics`]: atomic [`Counter`]s, max-[`Gauge`]s, log-bucketed
+//!   [`Histogram`]s behind a process-global registry with stable,
+//!   sorted snapshots;
+//! - [`span`]: hierarchical RAII span timers (`obs::span("join")`)
+//!   recording wall time under `time.span.<path>`;
+//! - [`report`]: the stable-schema machine-readable run report
+//!   (`dnsimpact-metrics/v1`), its JSON round-trip, schema validation and
+//!   counter-invariant checks;
+//! - [`json`]: the dependency-free JSON value/writer/parser the report
+//!   rides on;
+//! - [`progress`]: stderr-only progress/timing lines, so nothing
+//!   nondeterministic can ever reach the stdout that the CI determinism
+//!   diff compares.
+
+pub mod json;
+pub mod metrics;
+pub mod progress;
+pub mod report;
+pub mod rss;
+pub mod span;
+
+pub use json::Json;
+pub use metrics::{counter, gauge, histogram, registry, Counter, Gauge, Histogram, Snapshot};
+pub use progress::progress;
+pub use report::{RunMeta, RunReport, StageWall, SCHEMA_ID};
+pub use span::span;

@@ -1,0 +1,553 @@
+//! The machine-readable run report: schema `dnsimpact-metrics/v1`.
+//!
+//! One JSON document per run, emitted by `repro --metrics-json PATH` and
+//! by `repro bench` (as `BENCH_<date>.json`). The schema is stable and
+//! validated in CI:
+//!
+//! ```json
+//! {
+//!   "schema": "dnsimpact-metrics/v1",
+//!   "meta": {
+//!     "seed": 42, "scale": 1500, "jobs": 2,
+//!     "chaos_seed": null,          // or a u64
+//!     "bench": false,
+//!     "date": "2026-08-05",        // UTC
+//!     "experiments": ["table1", "..."]
+//!   },
+//!   "total_wall_ms": 1234,
+//!   "peak_rss_kb": 56789,
+//!   "stages": [ { "name": "longitudinal", "wall_ms": 400 }, ... ],
+//!   "counters":   { "join.rows_joined": 100, ... },
+//!   "gauges":     { "reactive.trigger_latency_max_secs": 480, ... },
+//!   "histograms": { "time.pool.task_ms": { "count": 8, "sum": 10,
+//!                   "min": 0, "max": 4, "p50": 1, "p90": 3, "p99": 3 } }
+//! }
+//! ```
+//!
+//! `counters`/`gauges`/`histograms` are name-sorted; `stages` is in
+//! execution order. Wall times, RSS, and `time.`/`sched.`-prefixed
+//! metrics vary run to run by design — consumers comparing runs must
+//! restrict themselves to the deterministic namespace, as the CI metrics
+//! gate and the determinism tests do.
+
+use crate::json::Json;
+use crate::metrics::{HistogramSnapshot, Snapshot};
+
+/// Schema identifier carried in every report.
+pub const SCHEMA_ID: &str = "dnsimpact-metrics/v1";
+
+/// Run identity: the inputs that determine the deterministic metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    pub seed: u64,
+    pub scale: u64,
+    pub jobs: u64,
+    pub chaos_seed: Option<u64>,
+    pub bench: bool,
+    /// UTC date of the run, `YYYY-MM-DD`.
+    pub date: String,
+    pub experiments: Vec<String>,
+}
+
+/// One named stage and its wall time, in execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageWall {
+    pub name: String,
+    pub wall_ms: u64,
+}
+
+/// A complete run report, convertible to and from schema-`v1` JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    pub meta: RunMeta,
+    pub total_wall_ms: u64,
+    pub peak_rss_kb: u64,
+    pub stages: Vec<StageWall>,
+    pub metrics: Snapshot,
+}
+
+impl RunReport {
+    pub fn to_json(&self) -> Json {
+        let mut meta = Json::obj();
+        meta.set("seed", Json::U64(self.meta.seed));
+        meta.set("scale", Json::U64(self.meta.scale));
+        meta.set("jobs", Json::U64(self.meta.jobs));
+        meta.set("chaos_seed", self.meta.chaos_seed.map_or(Json::Null, Json::U64));
+        meta.set("bench", Json::Bool(self.meta.bench));
+        meta.set("date", Json::Str(self.meta.date.clone()));
+        meta.set(
+            "experiments",
+            Json::Array(self.meta.experiments.iter().map(|e| Json::Str(e.clone())).collect()),
+        );
+
+        let stages = Json::Array(
+            self.stages
+                .iter()
+                .map(|s| {
+                    let mut o = Json::obj();
+                    o.set("name", Json::Str(s.name.clone()));
+                    o.set("wall_ms", Json::U64(s.wall_ms));
+                    o
+                })
+                .collect(),
+        );
+
+        let mut counters = Json::obj();
+        for (k, v) in &self.metrics.counters {
+            counters.set(k, Json::U64(*v));
+        }
+        let mut gauges = Json::obj();
+        for (k, v) in &self.metrics.gauges {
+            gauges.set(k, Json::U64(*v));
+        }
+        let mut histograms = Json::obj();
+        for (k, h) in &self.metrics.histograms {
+            let mut o = Json::obj();
+            o.set("count", Json::U64(h.count));
+            o.set("sum", Json::U64(h.sum));
+            o.set("min", Json::U64(h.min));
+            o.set("max", Json::U64(h.max));
+            o.set("p50", Json::U64(h.p50));
+            o.set("p90", Json::U64(h.p90));
+            o.set("p99", Json::U64(h.p99));
+            histograms.set(k, o);
+        }
+
+        let mut doc = Json::obj();
+        doc.set("schema", Json::Str(SCHEMA_ID.into()));
+        doc.set("meta", meta);
+        doc.set("total_wall_ms", Json::U64(self.total_wall_ms));
+        doc.set("peak_rss_kb", Json::U64(self.peak_rss_kb));
+        doc.set("stages", stages);
+        doc.set("counters", counters);
+        doc.set("gauges", gauges);
+        doc.set("histograms", histograms);
+        doc
+    }
+
+    /// Rebuild a report from schema-`v1` JSON. Runs full schema validation
+    /// first, so `from_json(text)?` doubles as a validity check.
+    pub fn from_json(doc: &Json) -> Result<RunReport, Vec<String>> {
+        validate(doc)?;
+        let meta = doc.get("meta").unwrap();
+        let run_meta = RunMeta {
+            seed: meta.get("seed").unwrap().as_u64().unwrap(),
+            scale: meta.get("scale").unwrap().as_u64().unwrap(),
+            jobs: meta.get("jobs").unwrap().as_u64().unwrap(),
+            chaos_seed: meta.get("chaos_seed").unwrap().as_u64(),
+            bench: matches!(meta.get("bench").unwrap(), Json::Bool(true)),
+            date: meta.get("date").unwrap().as_str().unwrap().to_string(),
+            experiments: meta
+                .get("experiments")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|e| e.as_str().unwrap().to_string())
+                .collect(),
+        };
+        let stages = doc
+            .get("stages")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| StageWall {
+                name: s.get("name").unwrap().as_str().unwrap().to_string(),
+                wall_ms: s.get("wall_ms").unwrap().as_u64().unwrap(),
+            })
+            .collect();
+        let metrics = Snapshot {
+            counters: doc
+                .get("counters")
+                .unwrap()
+                .as_object()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.as_u64().unwrap()))
+                .collect(),
+            gauges: doc
+                .get("gauges")
+                .unwrap()
+                .as_object()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.as_u64().unwrap()))
+                .collect(),
+            histograms: doc
+                .get("histograms")
+                .unwrap()
+                .as_object()
+                .unwrap()
+                .iter()
+                .map(|(k, h)| {
+                    let f = |field: &str| h.get(field).unwrap().as_u64().unwrap();
+                    (
+                        k.clone(),
+                        HistogramSnapshot {
+                            count: f("count"),
+                            sum: f("sum"),
+                            min: f("min"),
+                            max: f("max"),
+                            p50: f("p50"),
+                            p90: f("p90"),
+                            p99: f("p99"),
+                        },
+                    )
+                })
+                .collect(),
+        };
+        Ok(RunReport {
+            meta: run_meta,
+            total_wall_ms: doc.get("total_wall_ms").unwrap().as_u64().unwrap(),
+            peak_rss_kb: doc.get("peak_rss_kb").unwrap().as_u64().unwrap(),
+            stages,
+            metrics,
+        })
+    }
+
+    /// Human-readable summary for `--metrics-summary` (stderr). Shows the
+    /// run identity, per-stage wall times, and the deterministic counters
+    /// and gauges; histograms are collapsed to count/p50/p99.
+    pub fn summary_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let chaos = self.meta.chaos_seed.map_or("off".to_string(), |s| format!("{s}"));
+        let _ = writeln!(
+            out,
+            "run: seed={} scale={} jobs={} chaos={} date={}  wall={}ms rss={}kB",
+            self.meta.seed,
+            self.meta.scale,
+            self.meta.jobs,
+            chaos,
+            self.meta.date,
+            self.total_wall_ms,
+            self.peak_rss_kb
+        );
+        let _ = writeln!(out, "{:-<72}", "");
+        let _ = writeln!(out, "{:<40} {:>12}", "stage", "wall_ms");
+        for s in &self.stages {
+            let _ = writeln!(out, "{:<40} {:>12}", s.name, s.wall_ms);
+        }
+        let _ = writeln!(out, "{:-<72}", "");
+        let _ = writeln!(out, "{:<40} {:>12}", "counter", "value");
+        for (k, v) in &self.metrics.counters {
+            let _ = writeln!(out, "{k:<40} {v:>12}");
+        }
+        for (k, v) in &self.metrics.gauges {
+            let _ = writeln!(out, "{:<40} {:>12}", format!("{k} (gauge)"), v);
+        }
+        if !self.metrics.histograms.is_empty() {
+            let _ = writeln!(out, "{:-<72}", "");
+            let _ = writeln!(out, "{:<40} {:>9} {:>9} {:>9}", "histogram", "count", "p50", "p99");
+            for (k, h) in &self.metrics.histograms {
+                let _ = writeln!(out, "{:<40} {:>9} {:>9} {:>9}", k, h.count, h.p50, h.p99);
+            }
+        }
+        out
+    }
+}
+
+fn require<'a>(obj: &'a Json, key: &str, path: &str, errors: &mut Vec<String>) -> Option<&'a Json> {
+    let v = obj.get(key);
+    if v.is_none() {
+        errors.push(format!("missing field {path}.{key}"));
+    }
+    v
+}
+
+fn require_u64(obj: &Json, key: &str, path: &str, errors: &mut Vec<String>) {
+    if let Some(v) = require(obj, key, path, errors) {
+        if v.as_u64().is_none() {
+            errors.push(format!("{path}.{key} must be an unsigned integer"));
+        }
+    }
+}
+
+fn check_metric_map(doc: &Json, key: &str, errors: &mut Vec<String>, histogram: bool) {
+    let Some(map) = require(doc, key, "$", errors) else {
+        return;
+    };
+    let Some(pairs) = map.as_object() else {
+        errors.push(format!("$.{key} must be an object"));
+        return;
+    };
+    for (name, v) in pairs {
+        if histogram {
+            if v.as_object().is_none() {
+                errors.push(format!("$.{key}.{name} must be an object"));
+                continue;
+            }
+            for field in ["count", "sum", "min", "max", "p50", "p90", "p99"] {
+                require_u64(v, field, &format!("$.{key}.{name}"), errors);
+            }
+        } else if v.as_u64().is_none() {
+            errors.push(format!("$.{key}.{name} must be an unsigned integer"));
+        }
+    }
+}
+
+/// Validate a document against schema `dnsimpact-metrics/v1`. Returns the
+/// full list of violations rather than stopping at the first.
+pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    match doc.get("schema").and_then(|s| s.as_str()) {
+        Some(s) if s == SCHEMA_ID => {}
+        Some(s) => errors.push(format!("schema is {s:?}, expected {SCHEMA_ID:?}")),
+        None => errors.push("missing string field $.schema".into()),
+    }
+    if let Some(meta) = require(doc, "meta", "$", &mut errors) {
+        for key in ["seed", "scale", "jobs"] {
+            require_u64(meta, key, "$.meta", &mut errors);
+        }
+        match require(meta, "chaos_seed", "$.meta", &mut errors) {
+            Some(Json::Null) | Some(Json::U64(_)) | None => {}
+            Some(_) => errors.push("$.meta.chaos_seed must be null or an unsigned integer".into()),
+        }
+        match require(meta, "bench", "$.meta", &mut errors) {
+            Some(Json::Bool(_)) | None => {}
+            Some(_) => errors.push("$.meta.bench must be a boolean".into()),
+        }
+        match require(meta, "date", "$.meta", &mut errors) {
+            Some(Json::Str(d)) => {
+                let ok = d.len() == 10
+                    && d.bytes().enumerate().all(|(i, b)| {
+                        if i == 4 || i == 7 {
+                            b == b'-'
+                        } else {
+                            b.is_ascii_digit()
+                        }
+                    });
+                if !ok {
+                    errors.push(format!("$.meta.date {d:?} is not YYYY-MM-DD"));
+                }
+            }
+            Some(_) => errors.push("$.meta.date must be a string".into()),
+            None => {}
+        }
+        match require(meta, "experiments", "$.meta", &mut errors) {
+            Some(Json::Array(items)) if items.iter().any(|e| e.as_str().is_none()) => {
+                errors.push("$.meta.experiments entries must be strings".into());
+            }
+            Some(Json::Array(_)) | None => {}
+            Some(_) => errors.push("$.meta.experiments must be an array".into()),
+        }
+    }
+    require_u64(doc, "total_wall_ms", "$", &mut errors);
+    require_u64(doc, "peak_rss_kb", "$", &mut errors);
+    match require(doc, "stages", "$", &mut errors) {
+        Some(Json::Array(items)) => {
+            for (i, s) in items.iter().enumerate() {
+                let path = format!("$.stages[{i}]");
+                match require(s, "name", &path, &mut errors) {
+                    Some(Json::Str(_)) | None => {}
+                    Some(_) => errors.push(format!("{path}.name must be a string")),
+                }
+                require_u64(s, "wall_ms", &path, &mut errors);
+            }
+        }
+        Some(_) => errors.push("$.stages must be an array".into()),
+        None => {}
+    }
+    check_metric_map(doc, "counters", &mut errors, false);
+    check_metric_map(doc, "gauges", &mut errors, false);
+    check_metric_map(doc, "histograms", &mut errors, true);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Reactive trigger bound from the paper: ≤ 10 minutes.
+pub const MAX_TRIGGER_LATENCY_SECS: u64 = 600;
+/// Reactive probe budget from the paper: ≤ 50 domains per 5-minute round.
+pub const MAX_PROBES_PER_ROUND: u64 = 50;
+
+/// Check the cross-counter invariants CI gates on. Assumes a *completed*
+/// run (every injected fault has had its repair window):
+///
+/// - `chaos.faults_injected > 0` ⇒ `chaos.faults_repaired` equals it;
+/// - `reactive.trigger_latency_max_secs` ≤ 10 minutes;
+/// - `reactive.probe_round_max_probes` ≤ 50.
+pub fn check_invariants(doc: &Json) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    let counter = |name: &str| -> u64 {
+        doc.get("counters").and_then(|c| c.get(name)).and_then(|v| v.as_u64()).unwrap_or(0)
+    };
+    let gauge = |name: &str| -> u64 {
+        doc.get("gauges").and_then(|g| g.get(name)).and_then(|v| v.as_u64()).unwrap_or(0)
+    };
+
+    let injected = counter("chaos.faults_injected");
+    let repaired = counter("chaos.faults_repaired");
+    if injected > 0 && repaired != injected {
+        errors.push(format!(
+            "chaos.faults_repaired ({repaired}) != chaos.faults_injected ({injected})"
+        ));
+    }
+    let latency = gauge("reactive.trigger_latency_max_secs");
+    if latency > MAX_TRIGGER_LATENCY_SECS {
+        errors.push(format!(
+            "reactive.trigger_latency_max_secs ({latency}) exceeds the \
+             {MAX_TRIGGER_LATENCY_SECS}s bound"
+        ));
+    }
+    let probes = gauge("reactive.probe_round_max_probes");
+    if probes > MAX_PROBES_PER_ROUND {
+        errors.push(format!(
+            "reactive.probe_round_max_probes ({probes}) exceeds the \
+             {MAX_PROBES_PER_ROUND}-domain budget"
+        ));
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Today's date in UTC as `YYYY-MM-DD`, from the system clock. Uses the
+/// days-to-civil algorithm (Howard Hinnant's `civil_from_days`), so no
+/// date dependency is needed.
+pub fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sample_report() -> RunReport {
+        let mut counters = BTreeMap::new();
+        counters.insert("chaos.faults_injected".to_string(), 12);
+        counters.insert("chaos.faults_repaired".to_string(), 12);
+        counters.insert("join.rows_joined".to_string(), 345);
+        let mut gauges = BTreeMap::new();
+        gauges.insert("reactive.trigger_latency_max_secs".to_string(), 480);
+        gauges.insert("reactive.probe_round_max_probes".to_string(), 50);
+        let mut histograms = BTreeMap::new();
+        histograms.insert(
+            "time.pool.task_ms".to_string(),
+            crate::metrics::HistogramSnapshot {
+                count: 8,
+                sum: 40,
+                min: 1,
+                max: 15,
+                p50: 3,
+                p90: 15,
+                p99: 15,
+            },
+        );
+        RunReport {
+            meta: RunMeta {
+                seed: 42,
+                scale: 1500,
+                jobs: 2,
+                chaos_seed: Some(9),
+                bench: true,
+                date: "2026-08-05".into(),
+                experiments: vec!["table1".into(), "fig5".into()],
+            },
+            total_wall_ms: 1234,
+            peak_rss_kb: 56_789,
+            stages: vec![
+                StageWall { name: "longitudinal".into(), wall_ms: 800 },
+                StageWall { name: "catalog".into(), wall_ms: 400 },
+            ],
+            metrics: Snapshot { counters, gauges, histograms },
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json_text() {
+        let report = sample_report();
+        let text = report.to_json().pretty();
+        let parsed = Json::parse(&text).unwrap();
+        let back = RunReport::from_json(&parsed).unwrap();
+        assert_eq!(back, report);
+        // Re-serialization is byte-identical.
+        assert_eq!(back.to_json().pretty(), text);
+    }
+
+    #[test]
+    fn validate_accepts_sample_and_reports_all_errors() {
+        let mut doc = sample_report().to_json();
+        assert!(validate(&doc).is_ok());
+        doc.set("schema", Json::Str("bogus/v9".into()));
+        doc.set("total_wall_ms", Json::Str("fast".into()));
+        let errors = validate(&doc).unwrap_err();
+        assert!(errors.len() >= 2, "{errors:?}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_date_and_meta() {
+        let mut doc = sample_report().to_json();
+        let mut meta = doc.get("meta").unwrap().clone();
+        meta.set("date", Json::Str("08/05/2026".into()));
+        meta.set("chaos_seed", Json::Str("nine".into()));
+        doc.set("meta", meta);
+        let errors = validate(&doc).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("date")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("chaos_seed")), "{errors:?}");
+    }
+
+    #[test]
+    fn invariants_catch_unrepaired_faults_and_latency() {
+        let doc = sample_report().to_json();
+        assert!(check_invariants(&doc).is_ok());
+
+        let mut bad = doc.clone();
+        let mut counters = bad.get("counters").unwrap().clone();
+        counters.set("chaos.faults_repaired", Json::U64(7));
+        bad.set("counters", counters);
+        let errors = check_invariants(&bad).unwrap_err();
+        assert!(errors[0].contains("faults_repaired"), "{errors:?}");
+
+        let mut slow = doc.clone();
+        let mut gauges = slow.get("gauges").unwrap().clone();
+        gauges.set("reactive.trigger_latency_max_secs", Json::U64(601));
+        gauges.set("reactive.probe_round_max_probes", Json::U64(51));
+        slow.set("gauges", gauges);
+        let errors = check_invariants(&slow).unwrap_err();
+        assert_eq!(errors.len(), 2, "{errors:?}");
+    }
+
+    #[test]
+    fn civil_from_days_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1));
+        // 2026-08-05 is 20_670 days after the epoch.
+        assert_eq!(civil_from_days(20_670), (2026, 8, 5));
+        let today = today_utc();
+        assert_eq!(today.len(), 10);
+    }
+
+    #[test]
+    fn summary_table_mentions_stages_and_counters() {
+        let table = sample_report().summary_table();
+        assert!(table.contains("longitudinal"));
+        assert!(table.contains("join.rows_joined"));
+        assert!(table.contains("time.pool.task_ms"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Peak resident-set-size readout.
+//!
+//! Linux exposes the process high-water mark as `VmHWM` in
+//! `/proc/self/status`; on other platforms (or if the file is missing)
+//! we report `0` rather than fail — RSS is informational, never gating.
+
+/// Peak RSS of the current process in kilobytes, or 0 if unavailable.
+pub fn peak_rss_kb() -> u64 {
+    read_vm_hwm().unwrap_or(0)
+}
+
+fn read_vm_hwm() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches(" kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_positive_on_linux() {
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_kb() > 0);
+        }
+    }
+}

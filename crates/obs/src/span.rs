@@ -1,0 +1,103 @@
+//! Hierarchical RAII span timers.
+//!
+//! `let _s = obs::span("catalog");` starts a span; dropping it records the
+//! elapsed wall time into the histogram `time.span.<path>`, where `<path>`
+//! joins the names of all spans open on the current thread with `/`
+//! (e.g. `time.span.catalog/render`). Span output lives entirely in the
+//! `time.` namespace, so it is reported but never part of a determinism
+//! comparison.
+//!
+//! Nesting is tracked per thread. Worker threads start with an empty
+//! stack, so spans opened inside pool workers get their own root path —
+//! which is what you want: per-task spans are scheduling-dependent anyway.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::metrics::histogram;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A running span; records on drop.
+pub struct Span {
+    start: Instant,
+    name: &'static str,
+}
+
+/// Open a named span on the current thread. The returned guard records
+/// `time.span.<path>` (milliseconds) when dropped.
+pub fn span(name: &'static str) -> Span {
+    STACK.with(|s| s.borrow_mut().push(name));
+    Span { start: Instant::now(), name }
+}
+
+impl Span {
+    /// Elapsed time so far, in whole milliseconds.
+    pub fn elapsed_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed = self.elapsed_ms();
+        let path = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = stack.join("/");
+            // Guard against mis-nested drops (e.g. a span moved across a
+            // panic boundary): only pop if we are the innermost span.
+            if stack.last() == Some(&self.name) {
+                stack.pop();
+            }
+            path
+        });
+        histogram(interned(format!("time.span.{path}"))).record(elapsed);
+    }
+}
+
+/// Intern a composed span path, leaking it at most once: the registry
+/// needs `&'static str` keys, and spans recur.
+fn interned(key: String) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+    static INTERN: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut set = INTERN.lock().unwrap();
+    if let Some(&existing) = set.get(key.as_str()) {
+        existing
+    } else {
+        let leaked: &'static str = Box::leak(key.into_boxed_str());
+        set.insert(leaked);
+        leaked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::registry;
+
+    #[test]
+    fn spans_nest_into_paths() {
+        {
+            let _outer = span("test_span_outer");
+            {
+                let _inner = span("test_span_inner");
+            }
+        }
+        let snap = registry().snapshot();
+        assert!(snap.histograms.contains_key("time.span.test_span_outer"));
+        assert!(snap.histograms.contains_key("time.span.test_span_outer/test_span_inner"));
+        assert_eq!(snap.histograms["time.span.test_span_outer"].count, 1);
+    }
+
+    #[test]
+    fn span_metrics_are_nondeterministic_namespace() {
+        {
+            let _s = span("test_span_excluded");
+        }
+        let det = registry().snapshot().deterministic();
+        assert!(!det.histograms.keys().any(|k| k.starts_with("time.span.")));
+    }
+}

@@ -322,10 +322,9 @@ mod tests {
                 loads.add(a, Window(w), 44_000.0);
             }
         }
-        let analytic = expected_impact_on_rtt(
-            &infra, &schedule, &resolver, set, first, last, &loads,
-        )
-        .expect("baseline exists");
+        let analytic =
+            expected_impact_on_rtt(&infra, &schedule, &resolver, set, first, last, &loads)
+                .expect("baseline exists");
         assert!(analytic > 5.0, "attack inflates expected impact: {analytic:.2}");
 
         // Sampled pipeline on the same cells.
@@ -333,16 +332,12 @@ mod tests {
         let mut store = MeasurementStore::new();
         for w in first.0..=last.0 {
             let ds = schedule.domains_in_window(&infra, set, Window(w));
-            store.ingest(&measure_domains(
-                &infra, &resolver, &ds, set, Window(w), &loads, &rngs,
-            ));
+            store.ingest(&measure_domains(&infra, &resolver, &ds, set, Window(w), &loads, &rngs));
         }
         let day_before = first.day() - 1;
         for w in (day_before * WINDOWS_PER_DAY)..((day_before + 1) * WINDOWS_PER_DAY) {
             let ds = schedule.domains_in_window(&infra, set, Window(w));
-            store.ingest(&measure_domains(
-                &infra, &resolver, &ds, set, Window(w), &loads, &rngs,
-            ));
+            store.ingest(&measure_domains(&infra, &resolver, &ds, set, Window(w), &loads, &rngs));
         }
         let sampled = store.impact_on_rtt(set, first, last).expect("sampled impact");
         assert!(

@@ -43,7 +43,8 @@ pub fn measure_domains(
 ) -> Vec<MeasurementRec> {
     let mut out = Vec::with_capacity(domains.len());
     for &d in domains {
-        let mut rng = rngs.stream_indexed("openintel-query", (d.0 as u64) << 32 | window.0 & 0xFFFF_FFFF);
+        let mut rng =
+            rngs.stream_indexed("openintel-query", (d.0 as u64) << 32 | window.0 & 0xFFFF_FFFF);
         let q = resolver.resolve(infra, d, window, loads, &mut rng);
         out.push(MeasurementRec { domain: d, nsset, window, rtt_ms: q.rtt_ms, status: q.status });
     }
@@ -131,9 +132,8 @@ mod tests {
             &loads,
             &RngFactory::new(5),
         );
-        let avg = |rs: &[MeasurementRec]| {
-            rs.iter().map(|r| r.rtt_ms).sum::<f64>() / rs.len() as f64
-        };
+        let avg =
+            |rs: &[MeasurementRec]| rs.iter().map(|r| r.rtt_ms).sum::<f64>() / rs.len() as f64;
         assert!(
             avg(&attacked) > 5.0 * avg(&healthy),
             "attack inflates RTT: {} vs {}",

@@ -38,9 +38,12 @@ impl OutageModel {
         u < self.daily_miss_prob
     }
 
-    /// Missed days in `[first_day, last_day]`, for reporting.
+    /// Missed days in `[first_day, last_day]`, for reporting. Also records
+    /// the count out-of-band as `outage.days_missed` (see the `obs` crate).
     pub fn missed_days(&self, first_day: u64, last_day: u64) -> Vec<u64> {
-        (first_day..=last_day).filter(|d| self.day_missed(*d)).collect()
+        let missed: Vec<u64> = (first_day..=last_day).filter(|d| self.day_missed(*d)).collect();
+        obs::counter("outage.days_missed").add(missed.len() as u64);
+        missed
     }
 }
 

@@ -47,12 +47,19 @@ pub fn export_measurement_pcap<W: Write>(
     for (i, &d) in domains.iter().enumerate() {
         // Spread the domains across the window, as the batching platform
         // does.
-        let offset_us =
-            (i as f64 / domains.len().max(1) as f64 * window_secs as f64 * 1e6) as u64;
+        let offset_us = (i as f64 / domains.len().max(1) as f64 * window_secs as f64 * 1e6) as u64;
         let base_sec = window.start().secs() + offset_us / 1_000_000;
         let base_usec = offset_us % 1_000_000;
         export_one(
-            infra, resolver, d, window, loads, rngs, &mut writer, &mut stats, base_sec,
+            infra,
+            resolver,
+            d,
+            window,
+            loads,
+            rngs,
+            &mut writer,
+            &mut stats,
+            base_sec,
             base_usec as u32,
         )?;
     }
@@ -226,8 +233,7 @@ mod tests {
         assert!(stats.timeouts > 0, "saturated servers leave queries unanswered");
         assert!(stats.responses < stats.queries);
         // Retries appear as extra queries: more queries than domains.
-        let per_domain =
-            schedule.domains_in_window(&infra, set, Window(100)).len() as u64;
+        let per_domain = schedule.domains_in_window(&infra, set, Window(100)).len() as u64;
         assert!(stats.queries > per_domain, "{} queries for {per_domain} domains", stats.queries);
     }
 }

@@ -127,7 +127,10 @@ impl MeasurementStore {
             return None;
         }
         let baseline = self.day_stats(nsset, baseline_day)?;
-        if baseline.domains_measured == 0 || baseline.avg_rtt().is_nan() || baseline.avg_rtt() <= 0.0 {
+        if baseline.domains_measured == 0
+            || baseline.avg_rtt().is_nan()
+            || baseline.avg_rtt() <= 0.0
+        {
             return None;
         }
         Some(during.avg_rtt() / baseline.avg_rtt())
@@ -226,9 +229,7 @@ mod tests {
             rec(1, 288 + 50, 180.0, QueryStatus::Ok),
             rec(1, 288 + 51, 220.0, QueryStatus::Ok),
         ]);
-        let impact = store
-            .impact_on_rtt(NsSetId(1), Window(288 + 50), Window(288 + 51))
-            .unwrap();
+        let impact = store.impact_on_rtt(NsSetId(1), Window(288 + 50), Window(288 + 51)).unwrap();
         assert!((impact - 10.0).abs() < 1e-9);
     }
 

@@ -173,8 +173,7 @@ mod tests {
     fn multi_day_range_measures_domains_repeatedly() {
         let (infra, set) = world(288);
         let s = SweepSchedule::new(11);
-        let measured =
-            s.domains_in_window_range(&infra, set, Window(0), Window(3 * 288 - 1));
+        let measured = s.domains_in_window_range(&infra, set, Window(0), Window(3 * 288 - 1));
         assert_eq!(measured.len(), 288 * 3, "each domain once per day for 3 days");
     }
 

@@ -191,19 +191,13 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let bytes = vec![0u8; 24];
-        assert_eq!(
-            PcapReader::new(Cursor::new(bytes)).err(),
-            Some(PcapError::BadFileHeader)
-        );
+        assert_eq!(PcapReader::new(Cursor::new(bytes)).err(), Some(PcapError::BadFileHeader));
     }
 
     #[test]
     fn short_header_rejected() {
         let bytes = vec![0u8; 10];
-        assert_eq!(
-            PcapReader::new(Cursor::new(bytes)).err(),
-            Some(PcapError::BadFileHeader)
-        );
+        assert_eq!(PcapReader::new(Cursor::new(bytes)).err(), Some(PcapError::BadFileHeader));
     }
 
     #[test]

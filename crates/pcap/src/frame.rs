@@ -424,7 +424,8 @@ mod tests {
 
     #[test]
     fn ipv4_rejects_v6_and_short() {
-        let mut bytes = Ipv4Header::new(ip("1.1.1.1"), ip("2.2.2.2"), IpProto::Udp, vec![]).encode();
+        let mut bytes =
+            Ipv4Header::new(ip("1.1.1.1"), ip("2.2.2.2"), IpProto::Udp, vec![]).encode();
         bytes[0] = 0x65;
         assert_eq!(Ipv4Header::decode(&bytes), Err(PcapError::BadFrame));
         assert_eq!(Ipv4Header::decode(&[0x45; 10]), Err(PcapError::BadFrame));

@@ -130,9 +130,7 @@ impl ProbePlan {
         self.domains
             .iter()
             .enumerate()
-            .map(|(i, &d)| {
-                (d, base + SimDuration::from_secs(i as u64 * WINDOW_SECS / n.max(1)))
-            })
+            .map(|(i, &d)| (d, base + SimDuration::from_secs(i as u64 * WINDOW_SECS / n.max(1))))
             .collect()
     }
 
@@ -202,9 +200,8 @@ mod tests {
     #[test]
     fn small_population_probed_entirely() {
         let (infra, addr) = world(7);
-        let plan =
-            ProbePlan::from_first_record(&infra, addr, Window(0), &TriggerConfig::default())
-                .unwrap();
+        let plan = ProbePlan::from_first_record(&infra, addr, Window(0), &TriggerConfig::default())
+            .unwrap();
         assert_eq!(plan.domains.len(), 7);
     }
 
@@ -224,8 +221,7 @@ mod tests {
         let cfg = TriggerConfig::default();
         let w = Window(42);
         let plain = ProbePlan::from_first_record(&infra, addr, w, &cfg).unwrap();
-        let timed =
-            ProbePlan::from_record_with_arrival(&infra, addr, w, w.end(), &cfg).unwrap();
+        let timed = ProbePlan::from_record_with_arrival(&infra, addr, w, w.end(), &cfg).unwrap();
         assert_eq!(plain, timed, "healthy feed: arrival at window close changes nothing");
     }
 
@@ -263,9 +259,8 @@ mod tests {
     #[test]
     fn probes_spread_across_round() {
         let (infra, addr) = world(500);
-        let plan =
-            ProbePlan::from_first_record(&infra, addr, Window(0), &TriggerConfig::default())
-                .unwrap();
+        let plan = ProbePlan::from_first_record(&infra, addr, Window(0), &TriggerConfig::default())
+            .unwrap();
         let times = plan.round_times(0);
         assert_eq!(times.len(), 50);
         // First probe at round start, spacing = 300/50 = 6 s.

@@ -66,7 +66,6 @@ pub struct ReactivePlatform {
     pub config: TriggerConfig,
 }
 
-
 enum FeedMsg {
     /// A record plus its actual arrival instant at the platform (a
     /// healthy feed delivers window `W`'s record as `W` closes; backlog
@@ -118,6 +117,12 @@ impl ReactivePlatform {
                             if let Some(plan) = ProbePlan::from_record_with_arrival(
                                 &infra2, r.victim, r.window, *at, &config,
                             ) {
+                                // Out-of-band: worst observed trigger
+                                // latency vs. the ≤10-minute bound, gated
+                                // in CI. Stream order is fixed, so the
+                                // maximum is deterministic.
+                                obs::gauge("reactive.trigger_latency_max_secs")
+                                    .record_max(plan.trigger_delay_from_arrival(*at).secs());
                                 open.insert(r.victim, plan);
                             }
                         }
@@ -127,6 +132,7 @@ impl ReactivePlatform {
                 FeedMsg::Flush => {
                     let mut plans: Vec<ProbePlan> = open.drain().map(|(_, p)| p).collect();
                     plans.sort_by_key(|p| (p.start, u32::from(p.victim)));
+                    obs::counter("reactive.plans").add(plans.len() as u64);
                     plans
                 }
             },
@@ -159,12 +165,8 @@ impl ReactivePlatform {
         fault: Option<&streamproc::FaultPlan>,
         supervisor: &streamproc::SupervisorConfig,
     ) -> (Vec<ProbePlan>, streamproc::SuperviseStats) {
-        let (restored, stats) = streamproc::reliable_stream(
-            "reactive-feed",
-            arrivals.to_vec(),
-            fault,
-            supervisor,
-        );
+        let (restored, stats) =
+            streamproc::reliable_stream("reactive-feed", arrivals.to_vec(), fault, supervisor);
         (self.build_plans_with_arrivals(infra, &restored), stats)
     }
 
@@ -262,6 +264,12 @@ impl ReactivePlatform {
 }
 
 fn summarize_round(k: u64, plan: &ProbePlan, probes: &[DomainProbe]) -> RoundSummary {
+    // Probe-budget accounting: both executors summarize through here, so
+    // the counters cover every round however the plans were replayed. The
+    // per-round maximum is gated in CI against the 50-domain budget.
+    obs::counter("reactive.probe_rounds").incr();
+    obs::counter("reactive.probes").add(probes.len() as u64);
+    obs::gauge("reactive.probe_round_max_probes").record_max(probes.len() as u64);
     let resolvable = probes.iter().filter(|p| p.resolvable()).count() as u64;
     let best: Vec<f64> = probes.iter().filter_map(|p| p.best_rtt_ms()).collect();
     let avg_best =
@@ -295,15 +303,14 @@ fn summarize_round(k: u64, plan: &ProbePlan, probes: &[DomainProbe]) -> RoundSum
 mod tests {
     use super::*;
     use attack::Protocol;
-    use simcore::time::Window;
     use dnssim::Deployment;
     use netbase::Asn;
+    use simcore::time::Window;
 
     fn world() -> (Arc<Infra>, Vec<Ipv4Addr>) {
         let mut infra = Infra::new();
-        let addrs: Vec<Ipv4Addr> = (1..=3)
-            .map(|i| format!("188.128.110.{i}").parse().unwrap())
-            .collect();
+        let addrs: Vec<Ipv4Addr> =
+            (1..=3).map(|i| format!("188.128.110.{i}").parse().unwrap()).collect();
         let ids: Vec<_> = addrs
             .iter()
             .enumerate()
@@ -353,10 +360,7 @@ mod tests {
         assert_eq!(plans.len(), 2);
         assert_eq!(plans[0].victim, addrs[0]);
         // Extension moved `until` to record 101's window end + 24 h.
-        assert_eq!(
-            plans[0].until,
-            Window(101).end() + simcore::time::SimDuration::from_hours(24)
-        );
+        assert_eq!(plans[0].until, Window(101).end() + simcore::time::SimDuration::from_hours(24));
     }
 
     #[test]
@@ -372,8 +376,7 @@ mod tests {
         }
         let records: Vec<RsdosRecord> =
             (100..=105).flat_map(|w| addrs.iter().map(move |&a| record(a, w))).collect();
-        let reports =
-            platform.run(&infra, &records, &loads, &RngFactory::new(3), 12);
+        let reports = platform.run(&infra, &records, &loads, &RngFactory::new(3), 12);
         assert_eq!(reports.len(), 3);
         let r = &reports[0];
         // Probing starts at window 101 (trigger after first record) — the
@@ -391,8 +394,7 @@ mod tests {
         let (infra, addrs) = world();
         let platform = ReactivePlatform::default();
         let records = vec![record(addrs[2], 10)];
-        let reports =
-            platform.run(&infra, &records, &LoadBook::new(), &RngFactory::new(4), 3);
+        let reports = platform.run(&infra, &records, &LoadBook::new(), &RngFactory::new(4), 3);
         let r = &reports[0];
         assert_eq!(r.unresolvable_rounds(), 0);
         for round in &r.rounds {
@@ -408,13 +410,11 @@ mod tests {
         // plain per-plan loop must produce identical reports.
         let (infra, addrs) = world();
         let platform = ReactivePlatform::default();
-        let records: Vec<RsdosRecord> =
-            addrs.iter().map(|&a| record(a, 10)).collect();
+        let records: Vec<RsdosRecord> = addrs.iter().map(|&a| record(a, 10)).collect();
         let plans = platform.build_plans(&infra, &records);
         let rngs = RngFactory::new(12);
         let seq = platform.execute(&infra, &plans, &LoadBook::new(), &rngs, 4);
-        let chrono =
-            platform.execute_chronological(&infra, &plans, &LoadBook::new(), &rngs, 4);
+        let chrono = platform.execute_chronological(&infra, &plans, &LoadBook::new(), &rngs, 4);
         assert_eq!(seq.len(), chrono.len());
         for (a, b) in seq.iter().zip(&chrono) {
             assert_eq!(a.plan, b.plan);
@@ -430,24 +430,18 @@ mod tests {
         // Every day has a gap of up to 4 hours; a quarter of in-gap
         // records are lost, the rest are delivered late as a backlog.
         let gaps = FeedGapModel::from_seed(13, 1.0, 48, 0.25);
-        let records: Vec<RsdosRecord> = (0..2_000u64)
-            .flat_map(|w| addrs.iter().map(move |&a| record(a, w)))
-            .collect();
+        let records: Vec<RsdosRecord> =
+            (0..2_000u64).flat_map(|w| addrs.iter().map(move |&a| record(a, w))).collect();
         let (arrivals, lost) = gaps.apply(&records);
         assert!(lost > 0, "the gap model actually degrades this feed");
-        assert!(
-            arrivals.iter().any(|(r, at)| *at > r.window.end()),
-            "some records arrive late"
-        );
+        assert!(arrivals.iter().any(|(r, at)| *at > r.window.end()), "some records arrive late");
         let plans = platform.build_plans_with_arrivals(&infra, &arrivals);
         assert_eq!(plans.len(), addrs.len());
         let cfg = TriggerConfig::default();
         for plan in &plans {
             // The plan was created by the victim's first *arrived* record.
-            let (_, arrival) = arrivals
-                .iter()
-                .find(|(r, _)| r.victim == plan.victim)
-                .expect("triggering record");
+            let (_, arrival) =
+                arrivals.iter().find(|(r, _)| r.victim == plan.victim).expect("triggering record");
             assert!(
                 plan.trigger_delay_from_arrival(*arrival) <= cfg.max_trigger_delay,
                 "victim {}: probing follows arrival within 10 min",
@@ -463,9 +457,8 @@ mod tests {
         let (infra, addrs) = world();
         let platform = ReactivePlatform::default();
         let gaps = FeedGapModel::from_seed(13, 1.0, 48, 0.25);
-        let records: Vec<RsdosRecord> = (100..160u64)
-            .flat_map(|w| addrs.iter().map(move |&a| record(a, w)))
-            .collect();
+        let records: Vec<RsdosRecord> =
+            (100..160u64).flat_map(|w| addrs.iter().map(move |&a| record(a, w))).collect();
         let (arrivals, _) = gaps.apply(&records);
         let plans = platform.build_plans_with_arrivals(&infra, &arrivals);
         // Saturating attack: degraded feed AND degraded infrastructure.
@@ -499,9 +492,8 @@ mod tests {
         let (infra, addrs) = world();
         let platform = ReactivePlatform::default();
         let gaps = FeedGapModel::from_seed(21, 0.7, 24, 0.2);
-        let records: Vec<RsdosRecord> = (0..600u64)
-            .flat_map(|w| addrs.iter().map(move |&a| record(a, w)))
-            .collect();
+        let records: Vec<RsdosRecord> =
+            (0..600u64).flat_map(|w| addrs.iter().map(move |&a| record(a, w))).collect();
         let (arrivals, _) = gaps.apply(&records);
         let clean = platform.build_plans_with_arrivals(&infra, &arrivals);
         let sup = SupervisorConfig::default();

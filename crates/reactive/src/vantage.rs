@@ -139,19 +139,14 @@ pub fn probe_from_fleet<R: Rng + ?Sized>(
 impl MultiVantageProbe {
     /// Vantages from which the domain resolved.
     pub fn resolvable_from(&self) -> Vec<&str> {
-        self.probes
-            .iter()
-            .filter(|(_, p)| p.resolvable())
-            .map(|(n, _)| n.as_str())
-            .collect()
+        self.probes.iter().filter(|(_, p)| p.resolvable()).map(|(n, _)| n.as_str()).collect()
     }
 
     /// An attack is *masked* when the default (first) vantage sees a
     /// healthy domain but some other vantage sees impairment.
     pub fn masked_from_primary(&self) -> bool {
         let Some((_, primary)) = self.probes.first() else { return false };
-        primary.resolvable()
-            && self.probes.iter().skip(1).any(|(_, p)| !p.resolvable())
+        primary.resolvable() && self.probes.iter().skip(1).any(|(_, p)| !p.resolvable())
     }
 
     /// Worst responsive-nameserver share across vantages.
@@ -256,14 +251,19 @@ mod tests {
         let (infra, domain, _) = anycast_world(30);
         let fleet = VantagePoint::default_fleet();
         let mut rng = SmallRng::seed_from_u64(6);
-        let mv =
-            probe_from_fleet(&fleet, &infra, domain, SimTime::from_days(1), &LoadBook::new(), &mut rng);
+        let mv = probe_from_fleet(
+            &fleet,
+            &infra,
+            domain,
+            SimTime::from_days(1),
+            &LoadBook::new(),
+            &mut rng,
+        );
         assert_eq!(mv.resolvable_from().len(), fleet.len());
         assert!(!mv.masked_from_primary());
         assert_eq!(mv.worst_ns_share(), 1.0);
         // Distant vantages see larger RTTs.
-        let rtts: Vec<f64> =
-            mv.probes.iter().map(|(_, p)| p.best_rtt_ms().unwrap()).collect();
+        let rtts: Vec<f64> = mv.probes.iter().map(|(_, p)| p.best_rtt_ms().unwrap()).collect();
         assert!(rtts[3] > rtts[0], "jp-hnd farther than nl-ams: {rtts:?}");
     }
 

@@ -7,14 +7,14 @@ use simcore::time::Month;
 /// The paper's Table 3, verbatim: per-month total attack counts and the
 /// share aimed at DNS infrastructure.
 pub const PAPER_MONTHLY_TOTALS: [u32; 17] = [
-    159_434, 359_918, 174_016, 144_822, 279_797, 165_883, 199_513, 230_118, 338_193,
-    292_842, 245_290, 228_092, 284_569, 221_054, 235_027, 239_775, 241_142,
+    159_434, 359_918, 174_016, 144_822, 279_797, 165_883, 199_513, 230_118, 338_193, 292_842,
+    245_290, 228_092, 284_569, 221_054, 235_027, 239_775, 241_142,
 ];
 
 /// Table 3's monthly DNS-attack shares (fractions, not percent).
 pub const PAPER_DNS_SHARES: [f64; 17] = [
-    0.0163, 0.0108, 0.0168, 0.0198, 0.0118, 0.0212, 0.0199, 0.0098, 0.0066, 0.0153,
-    0.0105, 0.0086, 0.0094, 0.0135, 0.0086, 0.0057, 0.0137,
+    0.0163, 0.0108, 0.0168, 0.0198, 0.0118, 0.0212, 0.0199, 0.0098, 0.0066, 0.0153, 0.0105, 0.0086,
+    0.0094, 0.0135, 0.0086, 0.0057, 0.0137,
 ];
 
 /// Scaling of the longitudinal run. `divisor = 1` reproduces the feed at

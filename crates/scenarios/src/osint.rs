@@ -75,11 +75,7 @@ pub fn rdz_channel_log(ns_addrs: &[Ipv4Addr]) -> Vec<ChannelMessage> {
             channel: "IT ARMY of Ukraine".into(),
             text: format!(
                 "Target: RDZ railway DNS — {} — hit port 53/UDP, need everyone!",
-                ns_addrs
-                    .iter()
-                    .map(|a| a.to_string())
-                    .collect::<Vec<_>>()
-                    .join(", ")
+                ns_addrs.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(", ")
             ),
             targets: ns_addrs.to_vec(),
             port: Some(53),

@@ -124,7 +124,13 @@ impl MilRuScenario {
             attacks.push(invis(base + 2, a, day(17, 0), day(19, 0), 300_000.0));
         }
         // Collateral: the web site shares the /24 and its uplink.
-        attacks.push(invis(999, "188.128.110.70".parse().unwrap(), day(12, 0), day(17, 0), 2_000_000.0));
+        attacks.push(invis(
+            999,
+            "188.128.110.70".parse().unwrap(),
+            day(12, 0),
+            day(17, 0),
+            2_000_000.0,
+        ));
 
         let census = AnycastCensus::from_ground_truth(
             &infra,
@@ -213,9 +219,7 @@ impl RdzScenario {
             infra.add_domain(format!("{s}.rzd.ru").parse().unwrap(), nsset);
         }
 
-        let t = |d: u32, h: u32, m: u32| {
-            SimTime::from_civil(CivilDate::new(2022, 3, d), h, m, 0)
-        };
+        let t = |d: u32, h: u32, m: u32| SimTime::from_civil(CivilDate::new(2022, 3, d), h, m, 0);
         let visible_span = (t(8, 15, 31), t(8, 20, 45));
         let recovery = t(9, 6, 0);
         let mut attacks = Vec::new();
@@ -297,8 +301,7 @@ mod tests {
         let resolver = Resolver::default();
         let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
         // During the blackout OpenINTEL-style resolution fails ~always.
-        let mid_blackout =
-            SimTime::from_civil(CivilDate::new(2022, 3, 14), 12, 0, 0).window();
+        let mid_blackout = SimTime::from_civil(CivilDate::new(2022, 3, 14), 12, 0, 0).window();
         let mut failures = 0;
         for _ in 0..50 {
             let out = resolver.resolve(&sc.infra, sc.mil_ru, mid_blackout, &loads, &mut rng);
@@ -309,8 +312,7 @@ mod tests {
         assert!(failures >= 48, "blackout: {failures}/50 failed");
         // On March 11 (heavy but not geofenced) some queries still get
         // through.
-        let day_one =
-            SimTime::from_civil(CivilDate::new(2022, 3, 11), 12, 0, 0).window();
+        let day_one = SimTime::from_civil(CivilDate::new(2022, 3, 11), 12, 0, 0).window();
         let mut ok = 0;
         for _ in 0..100 {
             if resolver.resolve(&sc.infra, sc.mil_ru, day_one, &loads, &mut rng).status
@@ -356,8 +358,7 @@ mod tests {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(6);
         // 22:00 on March 8: visible attack over, invisible continues →
         // still dead.
-        let overnight =
-            SimTime::from_civil(CivilDate::new(2022, 3, 8), 22, 0, 0).window();
+        let overnight = SimTime::from_civil(CivilDate::new(2022, 3, 8), 22, 0, 0).window();
         let mut failures = 0;
         for _ in 0..50 {
             if resolver.resolve(&sc.infra, sc.domain, overnight, &loads, &mut rng).status
@@ -368,8 +369,7 @@ mod tests {
         }
         assert!(failures >= 45, "overnight outage persists: {failures}/50");
         // 06:30 next morning: recovered.
-        let morning =
-            SimTime::from_civil(CivilDate::new(2022, 3, 9), 6, 30, 0).window();
+        let morning = SimTime::from_civil(CivilDate::new(2022, 3, 9), 6, 30, 0).window();
         let out = resolver.resolve(&sc.infra, sc.domain, morning, &loads, &mut rng);
         assert_eq!(out.status, QueryStatus::Ok, "recovered at 06:00");
     }

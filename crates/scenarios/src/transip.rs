@@ -83,9 +83,7 @@ impl TransIpScenario {
             .enumerate()
             .map(|(i, &a)| {
                 infra.add_nameserver(
-                    ["ns0.transip.net", "ns1.transip.nl", "ns2.transip.eu"][i]
-                        .parse()
-                        .unwrap(),
+                    ["ns0.transip.net", "ns1.transip.nl", "ns2.transip.eu"][i].parse().unwrap(),
                     a,
                     asn,
                     Deployment::Unicast,
@@ -274,15 +272,11 @@ impl TransIpScenario {
         for i in 0..n_probes {
             use rand::Rng as _;
             let at = span.0
-                + simcore::time::SimDuration::from_secs(
-                    (i as u64 * span_secs) / n_probes as u64,
-                );
+                + simcore::time::SimDuration::from_secs((i as u64 * span_secs) / n_probes as u64);
             let d = domains[rng.random_range(0..domains.len())];
-            let third_party = (d.0 as u64 * 2_654_435_761) % 100
-                < (self.third_party_web_share * 100.0) as u64;
-            let dns_ok = resolver
-                .resolve(&self.infra, d, at.window(), loads, &mut rng)
-                .status
+            let third_party =
+                (d.0 as u64 * 2_654_435_761) % 100 < (self.third_party_web_share * 100.0) as u64;
+            let dns_ok = resolver.resolve(&self.infra, d, at.window(), loads, &mut rng).status
                 == dnssim::QueryStatus::Ok;
             // Self-hosted web servers share TransIP's attacked uplinks; a
             // web fetch succeeds with the nameservers' average delivery
@@ -311,10 +305,7 @@ impl TransIpScenario {
                 }
             }
         }
-        (
-            tp_fail as f64 / tp_total.max(1) as f64,
-            sh_fail as f64 / sh_total.max(1) as f64,
-        )
+        (tp_fail as f64 / tp_total.max(1) as f64, sh_fail as f64 / sh_total.max(1) as f64)
     }
 
     /// Table 2: per-nameserver inferred metrics for one of the attacks.
@@ -328,14 +319,7 @@ impl TransIpScenario {
             .iter()
             .enumerate()
             .map(|(i, &a)| {
-                ns_attack_metrics(
-                    &feed.episodes,
-                    ["A", "B", "C"][i],
-                    a,
-                    range.0,
-                    range.1,
-                    scale,
-                )
+                ns_attack_metrics(&feed.episodes, ["A", "B", "C"][i], a, range.0, range.1, scale)
             })
             .collect()
     }
@@ -346,10 +330,8 @@ mod tests {
     use super::*;
 
     fn avg_rtt_in(series: &[TimePoint], from: SimTime, to: SimTime) -> f64 {
-        let pts: Vec<&TimePoint> = series
-            .iter()
-            .filter(|p| p.window.start() >= from && p.window.start() < to)
-            .collect();
+        let pts: Vec<&TimePoint> =
+            series.iter().filter(|p| p.window.start() >= from && p.window.start() < to).collect();
         assert!(!pts.is_empty(), "no measurements between {from} and {to}");
         pts.iter().map(|p| p.avg_rtt_ms * p.domains as f64).sum::<f64>()
             / pts.iter().map(|p| p.domains as f64).sum::<f64>()
@@ -363,11 +345,7 @@ mod tests {
         let series = sc.measure_series(sc.dec_range.0, sc.dec_range.1, &loads, &rngs);
 
         let day_before = SimTime::from_civil(CivilDate::new(2020, 11, 29), 0, 0, 0);
-        let baseline = avg_rtt_in(
-            &series,
-            day_before,
-            day_before + SimDuration::from_days(1),
-        );
+        let baseline = avg_rtt_in(&series, day_before, day_before + SimDuration::from_days(1));
         // During the visible attack: ≈10× inflation.
         let during = avg_rtt_in(&series, sc.dec_attack.0, sc.dec_attack.1);
         let impact = during / baseline;

@@ -153,15 +153,13 @@ pub fn build(config: &WorldConfig, rngs: &RngFactory) -> BuiltWorld {
         prefix2as.announce(net, asn);
 
         let ns_count = 2 + (rng.random_range(0..3)) as u32; // 2–4 nameservers
-        let anycast = (p as f64)
-            < config.providers as f64 * config.anycast_top_share
+        let anycast = (p as f64) < config.providers as f64 * config.anycast_top_share
             && rng.random::<f64>() < 0.9;
         // Prefix layout: resilient providers spread /24s; weak ones stack
         // everything in one.
         let single_prefix = !anycast && rng.random::<f64>() < 0.35;
-        let capacity = (size as f64 * config.capacity_per_domain
-            * log_normal(&mut rng, 0.0, 1.0))
-        .max(config.capacity_floor);
+        let capacity = (size as f64 * config.capacity_per_domain * log_normal(&mut rng, 0.0, 1.0))
+            .max(config.capacity_floor);
         let legit = (size as f64 * 0.5).max(10.0);
         let mut ns_ids = Vec::new();
         for s in 0..ns_count {
@@ -171,24 +169,25 @@ pub fn build(config: &WorldConfig, rngs: &RngFactory) -> BuiltWorld {
             dns_addrs.push(addr);
             // Attack attractiveness grows with provider size.
             dns_weights.push((size as f64).sqrt());
-            ns_ids.push(infra.add_nameserver(
-                format!("ns{s}.{}.net", name.to_lowercase().replace([' ', '.'], "-"))
-                    .parse()
-                    .unwrap(),
-                addr,
-                asn,
-                if anycast {
-                    Deployment::Anycast { sites: 10 + rng.random_range(0..30u32) }
-                } else {
-                    Deployment::Unicast
-                },
-                capacity,
-                legit,
-                5.0 + rng.random::<f64>() * 50.0,
-            ));
+            ns_ids.push(
+                infra.add_nameserver(
+                    format!("ns{s}.{}.net", name.to_lowercase().replace([' ', '.'], "-"))
+                        .parse()
+                        .unwrap(),
+                    addr,
+                    asn,
+                    if anycast {
+                        Deployment::Anycast { sites: 10 + rng.random_range(0..30u32) }
+                    } else {
+                        Deployment::Unicast
+                    },
+                    capacity,
+                    legit,
+                    5.0 + rng.random::<f64>() * 50.0,
+                ),
+            );
             // One collateral host (web server) per nameserver /24.
-            let web: Ipv4Addr =
-                format!("{first_octet}.{second}.{third}.80").parse().unwrap();
+            let web: Ipv4Addr = format!("{first_octet}.{second}.{third}.80").parse().unwrap();
             if !collateral.contains(&web) {
                 collateral.push(web);
             }
@@ -224,15 +223,9 @@ pub fn build(config: &WorldConfig, rngs: &RngFactory) -> BuiltWorld {
         // (producing multiple NSSets per provider, as in the wild).
         for d in 0..size {
             let use_subset = ns_ids.len() > 2 && rng.random::<f64>() < 0.05;
-            let target_set = if use_subset {
-                infra.intern_nsset(ns_ids[..2].to_vec())
-            } else {
-                set
-            };
-            infra.add_domain(
-                format!("dom{p}x{d}.example").parse().unwrap(),
-                target_set,
-            );
+            let target_set =
+                if use_subset { infra.intern_nsset(ns_ids[..2].to_vec()) } else { set };
+            infra.add_domain(format!("dom{p}x{d}.example").parse().unwrap(), target_set);
         }
     }
 
@@ -271,8 +264,7 @@ pub fn build(config: &WorldConfig, rngs: &RngFactory) -> BuiltWorld {
         dns_weights.push((config.domains as f64).sqrt() * 4.0);
     }
     for m in 0..config.misconfigured_domains {
-        let set = infra
-            .intern_nsset(vec![resolver_ids[(m as usize) % resolver_ids.len()]]);
+        let set = infra.intern_nsset(vec![resolver_ids[(m as usize) % resolver_ids.len()]]);
         infra.add_domain(format!("misconf{m}.example").parse().unwrap(), set);
     }
     open_resolvers.extend_from_infra(&infra);
@@ -303,14 +295,15 @@ mod tests {
     fn world_shape_is_heavy_tailed() {
         let w = build(&WorldConfig::default(), &RngFactory::new(1));
         assert_eq!(w.provider_nssets.len(), 100);
-        let sizes: Vec<usize> = w
-            .provider_nssets
-            .iter()
-            .map(|&s| w.infra.domains_of_nsset(s).len())
-            .collect();
+        let sizes: Vec<usize> =
+            w.provider_nssets.iter().map(|&s| w.infra.domains_of_nsset(s).len()).collect();
         // Rank 1 dominates; the tail is small.
         assert!(sizes[0] > sizes[10] && sizes[0] > sizes[30]);
-        assert!(sizes[0] as f64 > 0.08 * 120_000.0, "head provider holds a big share: {}", sizes[0]);
+        assert!(
+            sizes[0] as f64 > 0.08 * 120_000.0,
+            "head provider holds a big share: {}",
+            sizes[0]
+        );
         // Domain total conserved (+ misconfigured).
         assert!(w.infra.domain_count() as u32 >= 120_000);
     }
@@ -322,10 +315,8 @@ mod tests {
             let (a, t) = w.infra.nsset_anycast(*set);
             a == t && t > 0
         };
-        let top_anycast =
-            w.provider_nssets[..15].iter().filter(|s| anycast_rank(s)).count();
-        let tail_anycast =
-            w.provider_nssets[50..].iter().filter(|s| anycast_rank(s)).count();
+        let top_anycast = w.provider_nssets[..15].iter().filter(|s| anycast_rank(s)).count();
+        let tail_anycast = w.provider_nssets[50..].iter().filter(|s| anycast_rank(s)).count();
         assert!(top_anycast >= 8, "top providers mostly anycast: {top_anycast}");
         assert_eq!(tail_anycast, 0, "tail is unicast");
     }
@@ -338,8 +329,7 @@ mod tests {
         assert!(w.meta.open_resolvers.contains("8.8.8.8".parse().unwrap()));
         // Misconfigured domains delegate to it.
         let sets = w.infra.nssets_of_ns(quad8);
-        let total: usize =
-            sets.iter().map(|&s| w.infra.domains_of_nsset(s).len()).sum();
+        let total: usize = sets.iter().map(|&s| w.infra.domains_of_nsset(s).len()).sum();
         assert!(total > 0);
     }
 
@@ -347,11 +337,7 @@ mod tests {
     fn prefix2as_covers_nameservers() {
         let w = build(&WorldConfig::default(), &RngFactory::new(4));
         for n in w.infra.nameservers() {
-            assert!(
-                w.meta.prefix2as.asn_of(n.addr).is_some(),
-                "{} missing from prefix2as",
-                n.addr
-            );
+            assert!(w.meta.prefix2as.asn_of(n.addr).is_some(), "{} missing from prefix2as", n.addr);
         }
     }
 
@@ -366,10 +352,7 @@ mod tests {
         // Different seeds shuffle provider internals (sizes differ
         // somewhere).
         let sz = |w: &BuiltWorld| {
-            w.provider_nssets
-                .iter()
-                .map(|&s| w.infra.domains_of_nsset(s).len())
-                .collect::<Vec<_>>()
+            w.provider_nssets.iter().map(|&s| w.infra.domains_of_nsset(s).len()).collect::<Vec<_>>()
         };
         assert_ne!(sz(&a), sz(&c));
     }

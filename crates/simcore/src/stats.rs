@@ -206,11 +206,7 @@ impl LogHistogram {
     /// Decade bins: one bin per power of ten from `10^lo_exp` to `10^hi_exp`.
     pub fn decades(lo_exp: i32, hi_exp: i32) -> LogHistogram {
         assert!(hi_exp > lo_exp);
-        LogHistogram::new(
-            10f64.powi(lo_exp),
-            10f64.powi(hi_exp),
-            (hi_exp - lo_exp) as usize,
-        )
+        LogHistogram::new(10f64.powi(lo_exp), 10f64.powi(hi_exp), (hi_exp - lo_exp) as usize)
     }
 
     pub fn push(&mut self, x: f64) {

@@ -17,10 +17,8 @@ impl StageHandle {
         F: FnOnce() -> u64 + Send + 'static,
     {
         let name = name.to_string();
-        let handle = thread::Builder::new()
-            .name(name.clone())
-            .spawn(body)
-            .expect("spawn stage thread");
+        let handle =
+            thread::Builder::new().name(name.clone()).spawn(body).expect("spawn stage thread");
         StageHandle { name, handle }
     }
 
@@ -83,9 +81,7 @@ mod tests {
                 vec![]
             }
         });
-        let s2 = spawn_stage("stringify", mid.subscribe(), out.clone(), |x| {
-            vec![format!("v{x}")]
-        });
+        let s2 = spawn_stage("stringify", mid.subscribe(), out.clone(), |x| vec![format!("v{x}")]);
         let sink = sink_to_vec(out.subscribe());
 
         for i in 0..10 {

@@ -29,11 +29,7 @@ pub struct Seq<T> {
 
 /// Stamp a batch with consecutive sequence numbers starting at 0.
 pub fn seq_stamp<T>(items: impl IntoIterator<Item = T>) -> Vec<Seq<T>> {
-    items
-        .into_iter()
-        .enumerate()
-        .map(|(i, payload)| Seq { seq: i as u64, payload })
-        .collect()
+    items.into_iter().enumerate().map(|(i, payload)| Seq { seq: i as u64, payload }).collect()
 }
 
 /// What the chaos layer does to one delivered record.
@@ -194,6 +190,8 @@ pub struct InjectedCrash;
 /// than `panic!` so the process-global panic hook stays quiet — injected
 /// crashes are expected and would otherwise spam stderr on every chaos run.
 pub fn injected_crash() -> ! {
+    obs::counter("chaos.crashes_injected").incr();
+    obs::counter("chaos.faults_injected").incr();
     std::panic::resume_unwind(Box::new(InjectedCrash))
 }
 
@@ -215,6 +213,14 @@ where
     T: Clone + Send + 'static,
 {
     StageHandle::spawn(&format!("chaos:{name}"), move || {
+        // Fault accounting (out-of-band, see `obs`): injections counted
+        // here at the moment each fault is applied; repairs counted where
+        // the recovery machinery undoes them — holds at release (below),
+        // drops at retransmission, duplicates at sink dedup, crashes at
+        // supervisor restart. For a completed run every class balances, so
+        // `chaos.faults_repaired == chaos.faults_injected` exactly.
+        let injected = obs::counter("chaos.faults_injected");
+        let repaired = obs::counter("chaos.faults_repaired");
         let mut emitted = 0u64;
         let mut held: Vec<(u32, Seq<T>)> = Vec::new();
         while let Some(msg) = input.recv() {
@@ -223,13 +229,22 @@ where
                     out.publish(msg);
                     emitted += 1;
                 }
-                FaultAction::Drop => {}
+                FaultAction::Drop => {
+                    obs::counter("chaos.drops_injected").incr();
+                    injected.incr();
+                }
                 FaultAction::Duplicate => {
+                    obs::counter("chaos.dups_injected").incr();
+                    injected.incr();
                     out.publish(msg.clone());
                     out.publish(msg);
                     emitted += 2;
                 }
-                FaultAction::Hold(lag) => held.push((lag, msg)),
+                FaultAction::Hold(lag) => {
+                    obs::counter("chaos.holds_injected").incr();
+                    injected.incr();
+                    held.push((lag, msg));
+                }
             }
             // Age held records; release the due ones (late, out of order).
             let mut due = Vec::new();
@@ -243,6 +258,8 @@ where
                 }
             });
             for m in due {
+                obs::counter("chaos.holds_repaired").incr();
+                repaired.incr();
                 out.publish(m);
                 emitted += 1;
             }
@@ -251,6 +268,8 @@ where
         // watermark, in (remaining lag, seq) order.
         held.sort_by_key(|(lag, m)| (*lag, m.seq));
         for (_, m) in held {
+            obs::counter("chaos.holds_repaired").incr();
+            repaired.incr();
             out.publish(m);
             emitted += 1;
         }
@@ -274,10 +293,10 @@ mod tests {
         let a: Vec<FaultAction> = (0..500).map(|s| p.action(0, s)).collect();
         let b: Vec<FaultAction> = (0..500).map(|s| p.action(0, s)).collect();
         assert_eq!(a, b, "same plan, same decisions");
-        assert!(a.iter().any(|x| *x == FaultAction::Drop));
-        assert!(a.iter().any(|x| *x == FaultAction::Duplicate));
+        assert!(a.contains(&FaultAction::Drop));
+        assert!(a.contains(&FaultAction::Duplicate));
         assert!(a.iter().any(|x| matches!(x, FaultAction::Hold(_))));
-        assert!(a.iter().any(|x| *x == FaultAction::Deliver));
+        assert!(a.contains(&FaultAction::Deliver));
         // Repair rounds re-roll: round 1 differs from round 0.
         let r1: Vec<FaultAction> = (0..500).map(|s| p.action(1, s)).collect();
         assert_ne!(a, r1);

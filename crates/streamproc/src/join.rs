@@ -100,11 +100,9 @@ where
     K: Eq + Hash + Clone + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
 {
-    crate::exec::spawn_stage(name, events, out, move |e: E| {
-        match table.get(&key_fn(&e)) {
-            Some(v) => vec![(e, v)],
-            None => vec![],
-        }
+    crate::exec::spawn_stage(name, events, out, move |e: E| match table.get(&key_fn(&e)) {
+        Some(v) => vec![(e, v)],
+        None => vec![],
     })
 }
 
@@ -152,8 +150,7 @@ mod tests {
     fn changelog_driven_table() {
         let table: Table<&str, u32> = Table::new();
         let changelog: Topic<(&str, Option<u32>)> = Topic::new("changelog");
-        let maintainer =
-            spawn_table_maintainer("maintain", changelog.subscribe(), table.clone());
+        let maintainer = spawn_table_maintainer("maintain", changelog.subscribe(), table.clone());
         changelog.publish(("x", Some(10)));
         changelog.publish(("y", Some(20)));
         changelog.publish(("x", None));

@@ -23,7 +23,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Resolve a requested worker count: `0` means "use the machine's
 /// available parallelism" (falling back to 1 if that is unknown).
@@ -59,20 +59,59 @@ where
     F: Fn(usize, T) -> R + Sync,
 {
     let jobs = effective_jobs(jobs).min(items.len());
+    // Out-of-band accounting (see the `obs` crate): everything here lives
+    // in the `time.`/`sched.` namespaces excluded from determinism
+    // comparisons — callers batch work differently per worker count (e.g.
+    // per-`jobs` sharding), so even the task count is jobs-dependent.
+    obs::counter("sched.pool.tasks").add(items.len() as u64);
+    obs::gauge("sched.pool.jobs_max").record_max(jobs as u64);
+    let task_ms = obs::histogram("time.pool.task_ms");
     if jobs <= 1 {
-        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let start = Instant::now();
+                let r = f(i, t);
+                task_ms.record(start.elapsed().as_millis() as u64);
+                r
+            })
+            .collect();
     }
     let n = items.len();
     let queue = Mutex::new(items.into_iter().enumerate());
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
     thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                // Pop under the lock, compute outside it.
-                let next = queue.lock().next();
-                let Some((idx, item)) = next else { break };
-                let r = f(idx, item);
-                results.lock().push((idx, r));
+        for w in 0..jobs {
+            let (queue, results, f) = (&queue, &results, &f);
+            scope.spawn(move || {
+                let mut busy = Duration::ZERO;
+                loop {
+                    // Pop under the lock, compute outside it.
+                    let next = {
+                        let mut q = queue.lock();
+                        let depth = q.size_hint().0 as u64;
+                        let next = q.next();
+                        if next.is_some() {
+                            obs::histogram("sched.pool.queue_depth").record(depth);
+                            if w > 0 {
+                                // Any pop by a non-primary worker is work
+                                // that a single-threaded run would not
+                                // have given away: count it as a steal.
+                                obs::counter("sched.pool.steals").incr();
+                            }
+                        }
+                        next
+                    };
+                    let Some((idx, item)) = next else { break };
+                    let start = Instant::now();
+                    let r = f(idx, item);
+                    let elapsed = start.elapsed();
+                    busy += elapsed;
+                    task_ms.record(elapsed.as_millis() as u64);
+                    results.lock().push((idx, r));
+                }
+                obs::histogram("time.pool.worker_busy_ms").record(busy.as_millis() as u64);
             });
         }
     });
@@ -124,9 +163,17 @@ where
                     if attempt >= cfg.max_restarts {
                         std::panic::resume_unwind(e);
                     }
+                    // The restart is the repair of an injected crash; a
+                    // real panic being retried is a restart but not a
+                    // repaired fault.
+                    if e.downcast_ref::<crate::fault::InjectedCrash>().is_some() {
+                        obs::counter("chaos.crashes_repaired").incr();
+                        obs::counter("chaos.faults_repaired").incr();
+                    }
+                    obs::counter("chaos.restarts").incr();
                     restarts.fetch_add(1, Ordering::Relaxed);
-                    let backoff =
-                        (cfg.backoff_base_ms << attempt.min(16)).min(cfg.backoff_cap_ms);
+                    let backoff = (cfg.backoff_base_ms << attempt.min(16)).min(cfg.backoff_cap_ms);
+                    obs::counter("chaos.backoff_ms").add(backoff);
                     backoff_ms.fetch_add(backoff, Ordering::Relaxed);
                     thread::sleep(Duration::from_millis(backoff));
                     attempt += 1;
@@ -198,11 +245,15 @@ where
         let live = Arc::clone(&live);
         handles.push(StageHandle::spawn(&worker_name, move || {
             let mut emitted = 0u64;
+            let task_ms = obs::histogram("time.pool.stage_task_ms");
             while let Some(msg) = input.recv() {
+                obs::counter("pool.stage_messages").incr();
+                let start = Instant::now();
                 for o in f(msg) {
                     out.publish(o);
                     emitted += 1;
                 }
+                task_ms.record(start.elapsed().as_millis() as u64);
             }
             // Last worker to drain the (now ended) input closes the
             // output so downstream consumers see end-of-stream.
@@ -266,13 +317,10 @@ mod tests {
         let want: Vec<u64> = (0..200u64).map(|x| x * 7 + 1).collect();
         let mut all_restarts = Vec::new();
         for jobs in [1, 2, 8] {
-            let (got, stats) = parallel_map_supervised(
-                jobs,
-                (0..200u64).collect(),
-                Some(&plan),
-                &cfg,
-                |_, x| x * 7 + 1,
-            );
+            let (got, stats) =
+                parallel_map_supervised(jobs, (0..200u64).collect(), Some(&plan), &cfg, |_, x| {
+                    x * 7 + 1
+                });
             assert_eq!(got, want, "jobs={jobs}");
             all_restarts.push(stats.restarts);
         }

@@ -117,6 +117,13 @@ where
     let mut pending: Vec<Seq<T>> = crate::fault::seq_stamp(items);
     let mut round = 0u64;
     while !pending.is_empty() {
+        if round > 0 {
+            // This round's retransmission is the repair of the previous
+            // round's drops (records dropped again re-inject and get a
+            // further round, so the totals balance exactly).
+            obs::counter("chaos.drops_repaired").add(pending.len() as u64);
+            obs::counter("chaos.faults_repaired").add(pending.len() as u64);
+        }
         let src: Topic<Seq<T>> = Topic::new(&format!("{name}:replay"));
         let out: Topic<Seq<T>> = Topic::new(&format!("{name}:delivered"));
         // Bounded repair: after `max_repair_rounds` faulty rounds the
@@ -135,12 +142,17 @@ where
         // Sink-side dedup + re-sequencing.
         let mut high_water = None;
         for m in sink.join().expect("reliable_stream sink") {
-            if high_water.map_or(false, |hw| m.seq < hw) {
+            if high_water.is_some_and(|hw| m.seq < hw) {
                 stats.reordered += 1;
+                obs::counter("chaos.reordered_observed").incr();
             }
             high_water = Some(high_water.map_or(m.seq, |hw: u64| hw.max(m.seq)));
             if received.insert(m.seq, m.payload).is_some() {
                 stats.duplicated += 1;
+                // Sink-side dedup repairs exactly the duplicate copies the
+                // chaos stage injected.
+                obs::counter("chaos.dups_repaired").incr();
+                obs::counter("chaos.faults_repaired").incr();
             }
         }
         // Gap detection: whatever is still missing goes into the next
@@ -149,6 +161,7 @@ where
         stats.dropped += pending.len() as u64;
         if !pending.is_empty() {
             stats.repair_rounds += 1;
+            obs::counter("chaos.retransmit_rounds").incr();
         }
         round += 1;
     }
@@ -230,10 +243,15 @@ where
                     out.close();
                     std::panic::resume_unwind(e);
                 }
+                if e.downcast_ref::<crate::fault::InjectedCrash>().is_some() {
+                    obs::counter("chaos.crashes_repaired").incr();
+                    obs::counter("chaos.faults_repaired").incr();
+                }
+                obs::counter("chaos.restarts").incr();
                 stats.restarts += 1;
-                let backoff =
-                    (cfg.backoff_base_ms << attempt.min(16)).min(cfg.backoff_cap_ms);
+                let backoff = (cfg.backoff_base_ms << attempt.min(16)).min(cfg.backoff_cap_ms);
                 stats.backoff_ms += backoff;
+                obs::counter("chaos.backoff_ms").add(backoff);
                 thread::sleep(Duration::from_millis(backoff));
                 attempt += 1;
             }
@@ -247,6 +265,7 @@ where
     for (key, o) in sink.join().expect("supervised sink") {
         if deduped.insert(key, o).is_some() {
             stats.redelivered += 1;
+            obs::counter("chaos.redelivered").incr();
         }
     }
     (deduped.into_values().collect(), stats)
@@ -266,7 +285,8 @@ mod tests {
     fn reliable_stream_is_exactly_once_end_to_end() {
         let items: Vec<u64> = (0..700).collect();
         let p = plan(ChaosConfig::CALIBRATED);
-        let (got, stats) = reliable_stream("t", items.clone(), Some(&p), &SupervisorConfig::default());
+        let (got, stats) =
+            reliable_stream("t", items.clone(), Some(&p), &SupervisorConfig::default());
         assert_eq!(got, items, "dedup + reorder + retransmit restores the batch");
         assert!(stats.dropped > 0, "chaos actually dropped records: {stats:?}");
         assert!(stats.duplicated > 0);
@@ -277,7 +297,8 @@ mod tests {
     #[test]
     fn reliable_stream_stats_are_deterministic() {
         let p = plan(ChaosConfig::CALIBRATED);
-        let run = || reliable_stream("t", (0..300u64).collect(), Some(&p), &SupervisorConfig::default());
+        let run =
+            || reliable_stream("t", (0..300u64).collect(), Some(&p), &SupervisorConfig::default());
         assert_eq!(run(), run());
     }
 
@@ -312,11 +333,8 @@ mod tests {
     fn supervised_flat_map_equals_sequential_under_chaos() {
         let items: Vec<u64> = (0..400).collect();
         let body = |i: u64, x: &u64| vec![i * 1000 + x, i * 1000 + x + 1];
-        let want: Vec<u64> = items
-            .iter()
-            .enumerate()
-            .flat_map(|(i, x)| body(i as u64, x))
-            .collect();
+        let want: Vec<u64> =
+            items.iter().enumerate().flat_map(|(i, x)| body(i as u64, x)).collect();
         let p = plan(ChaosConfig::CALIBRATED);
         let (got, stats) =
             supervised_flat_map("t", items, Some(&p), &SupervisorConfig::default(), body);

@@ -39,8 +39,7 @@ impl<K: Eq + Hash + Clone + Ord, A: Default> TumblingWindows<K, A> {
         }
         self.watermark = w;
         let mut out = Vec::new();
-        let sealed: Vec<Window> =
-            self.open.range(..w).map(|(win, _)| *win).collect();
+        let sealed: Vec<Window> = self.open.range(..w).map(|(win, _)| *win).collect();
         for win in sealed {
             let cells = self.open.remove(&win).unwrap();
             let mut cells: Vec<(K, A)> = cells.into_iter().collect();

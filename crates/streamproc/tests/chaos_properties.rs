@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use simcore::rng::RngFactory;
 use streamproc::fault::{ChaosConfig, FaultPlan};
-use streamproc::supervise::{reliable_stream, supervised_flat_map, SupervisorConfig};
 use streamproc::parallel_map_supervised;
+use streamproc::supervise::{reliable_stream, supervised_flat_map, SupervisorConfig};
 
 fn arb_config() -> impl Strategy<Value = ChaosConfig> {
     (0.0f64..0.4, 0.0f64..0.4, 0.0f64..0.4, 1u32..16, 0.0f64..1.0, 0u32..4).prop_map(

@@ -29,10 +29,8 @@ fn multiple_consumers_each_see_the_full_stream() {
     // even when the consumers drain concurrently from their own threads.
     let t: Topic<u64> = Topic::new("broadcast");
     let consumers: Vec<_> = (0..4).map(|_| t.subscribe()).collect();
-    let drainers: Vec<_> = consumers
-        .into_iter()
-        .map(|c| thread::spawn(move || c.drain()))
-        .collect();
+    let drainers: Vec<_> =
+        consumers.into_iter().map(|c| thread::spawn(move || c.drain())).collect();
     let producer = {
         let t = t.clone();
         thread::spawn(move || {

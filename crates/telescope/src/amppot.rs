@@ -75,9 +75,9 @@ impl AmpPotSensor {
                 continue;
             };
             // Expected honeypots recruited, at least one (we detected it).
-            let expect =
-                (reflectors as f64 * self.honeypots as f64 / self.amplifier_population as f64)
-                    .round() as u32;
+            let expect = (reflectors as f64 * self.honeypots as f64
+                / self.amplifier_population as f64)
+                .round() as u32;
             out.push(AmpPotEvent {
                 victim: a.target,
                 first_window: first.0,
@@ -116,16 +116,9 @@ impl SensorCoverage {
 /// Classify every attack by which sensor(s) would observe it. Telescope
 /// observation uses visibility (a spoofed vector) as ground truth;
 /// honeypot observation uses `sensor`'s detection model.
-pub fn coverage(
-    attacks: &[Attack],
-    sensor: &AmpPotSensor,
-    rngs: &RngFactory,
-) -> SensorCoverage {
-    let amppot_victims: std::collections::HashSet<(Ipv4Addr, Window)> = sensor
-        .observe(attacks, rngs)
-        .into_iter()
-        .map(|e| (e.victim, e.first_window))
-        .collect();
+pub fn coverage(attacks: &[Attack], sensor: &AmpPotSensor, rngs: &RngFactory) -> SensorCoverage {
+    let amppot_victims: std::collections::HashSet<(Ipv4Addr, Window)> =
+        sensor.observe(attacks, rngs).into_iter().map(|e| (e.victim, e.first_window)).collect();
     let mut cov = SensorCoverage { total: attacks.len(), ..SensorCoverage::default() };
     for a in attacks {
         let scope = a.telescope_visible();
@@ -202,13 +195,10 @@ mod tests {
             months,
             ..ScheduleConfig::default()
         };
-        let attacks = attack::AttackScheduler::new(cfg)
-            .generate(&TargetPool::uniform(vec![], vec![]), &rngs);
+        let attacks =
+            attack::AttackScheduler::new(cfg).generate(&TargetPool::uniform(vec![], vec![]), &rngs);
         let cov = coverage(&attacks, &AmpPotSensor::paper_like(), &rngs);
-        assert_eq!(
-            cov.total,
-            cov.telescope_only + cov.amppot_only + cov.both + cov.neither
-        );
+        assert_eq!(cov.total, cov.telescope_only + cov.amppot_only + cov.both + cov.neither);
         // ~90% of attacks carry a spoofed vector.
         let visible = cov.telescope_only + cov.both;
         assert!(

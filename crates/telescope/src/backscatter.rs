@@ -66,15 +66,13 @@ impl<'a> BackscatterSampler<'a> {
             .iter()
             .filter(|v| v.kind == VectorKind::RandomSpoofed && v.victim_pps.is_finite())
             .collect();
-        let Some(dominant) =
-            visible.iter().max_by(|x, y| x.victim_pps.total_cmp(&y.victim_pps))
+        let Some(dominant) = visible.iter().max_by(|x, y| x.victim_pps.total_cmp(&y.victim_pps))
         else {
             return; // nothing spoofed → nothing reaches the telescope
         };
         let spoofed_pps: f64 = visible.iter().map(|v| v.victim_pps).sum();
         let response_pps = spoofed_pps.min(self.victim_response_cap_pps);
-        let unique_ports: u16 =
-            visible.iter().map(|v| v.ports.len() as u16).sum::<u16>().max(1);
+        let unique_ports: u16 = visible.iter().map(|v| v.ports.len() as u16).sum::<u16>().max(1);
         for (w, frac) in a.window_overlaps() {
             let mean_pkts = response_pps * frac * 300.0 * self.darknet.coverage();
             let packets = poisson(rng, mean_pkts);

@@ -55,10 +55,7 @@ impl Darknet {
     /// §3.1). Placed in documentation space-adjacent blocks; the exact
     /// location is irrelevant to the statistics.
     pub fn ucsd_like() -> Darknet {
-        Darknet::new(vec![
-            "44.0.0.0/9".parse().unwrap(),
-            "45.128.0.0/10".parse().unwrap(),
-        ])
+        Darknet::new(vec!["44.0.0.0/9".parse().unwrap(), "45.128.0.0/10".parse().unwrap()])
     }
 
     pub fn prefixes(&self) -> &[Ipv4Net] {

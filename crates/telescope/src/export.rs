@@ -9,7 +9,9 @@
 use crate::backscatter::BackscatterObs;
 use crate::darknet::Darknet;
 use attack::Protocol;
-use pcap::{EthernetFrame, Icmpv4, IpProto, Ipv4Header, PcapPacket, PcapWriter, TcpSegment, UdpDatagram};
+use pcap::{
+    EthernetFrame, Icmpv4, IpProto, Ipv4Header, PcapPacket, PcapWriter, TcpSegment, UdpDatagram,
+};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::io::Write;
@@ -55,8 +57,7 @@ pub fn export_pcap<W: Write>(
                         vec![0; 8],
                     )
                     .encode(dark_dst, o.victim);
-                    let inner =
-                        Ipv4Header::new(dark_dst, o.victim, IpProto::Udp, quoted).encode();
+                    let inner = Ipv4Header::new(dark_dst, o.victim, IpProto::Udp, quoted).encode();
                     let icmp = Icmpv4::port_unreachable(&inner);
                     Ipv4Header::new(o.victim, dark_dst, IpProto::Icmp, icmp.encode()).encode()
                 }

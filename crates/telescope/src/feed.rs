@@ -182,9 +182,9 @@ mod tests {
             vec![],
             vec![
                 episode("10.0.0.1", 0, 2),
-                episode("10.0.0.2", 5, 6), // same /24, same AS
-                episode("10.0.1.1", 8, 8), // same AS, new /24
-                episode("20.0.0.1", 9, 9), // new AS
+                episode("10.0.0.2", 5, 6),   // same /24, same AS
+                episode("10.0.1.1", 8, 8),   // same AS, new /24
+                episode("20.0.0.1", 9, 9),   // new AS
                 episode("10.0.0.1", 50, 51), // repeat victim: new attack, same ip
             ],
         );
@@ -207,9 +207,7 @@ mod tests {
     fn filtering_by_predicate() {
         let feed =
             RsdosFeed::new(vec![], vec![episode("10.0.0.1", 0, 1), episode("99.0.0.1", 0, 1)]);
-        let dns: Vec<_> = feed
-            .episodes_where(|ip| ip.octets()[0] == 10)
-            .collect();
+        let dns: Vec<_> = feed.episodes_where(|ip| ip.octets()[0] == 10).collect();
         assert_eq!(dns.len(), 1);
     }
 

@@ -29,11 +29,21 @@ pub struct FeedGapModel {
 }
 
 impl FeedGapModel {
-    pub fn new(rngs: &RngFactory, gap_prob: f64, max_gap_windows: u32, loss_frac: f64) -> FeedGapModel {
+    pub fn new(
+        rngs: &RngFactory,
+        gap_prob: f64,
+        max_gap_windows: u32,
+        loss_frac: f64,
+    ) -> FeedGapModel {
         FeedGapModel { seed: rngs.fork("feed-gap").seed(), gap_prob, max_gap_windows, loss_frac }
     }
 
-    pub fn from_seed(seed: u64, gap_prob: f64, max_gap_windows: u32, loss_frac: f64) -> FeedGapModel {
+    pub fn from_seed(
+        seed: u64,
+        gap_prob: f64,
+        max_gap_windows: u32,
+        loss_frac: f64,
+    ) -> FeedGapModel {
         FeedGapModel::new(&RngFactory::new(seed), gap_prob, max_gap_windows, loss_frac)
     }
 
@@ -49,7 +59,7 @@ impl FeedGapModel {
         }
         let len = 1 + (self.unit("gap-len", day) * self.max_gap_windows as f64) as u64;
         let offset = (self.unit("gap-off", day) * WINDOWS_PER_DAY as f64) as u64;
-        let start = day * WINDOWS_PER_DAY as u64 + offset.min(WINDOWS_PER_DAY as u64 - 1);
+        let start = day * WINDOWS_PER_DAY + offset.min(WINDOWS_PER_DAY - 1);
         Some((start, start + len))
     }
 
@@ -95,14 +105,28 @@ impl FeedGapModel {
     /// count of records lost to gaps.
     pub fn apply(&self, records: &[RsdosRecord]) -> (Vec<(RsdosRecord, SimTime)>, u64) {
         let mut lost = 0u64;
+        let mut late = 0u64;
+        let mut gap_windows = 0u64;
         let mut out: Vec<(RsdosRecord, SimTime)> = Vec::with_capacity(records.len());
         for r in records {
             if self.record_lost(r) {
                 lost += 1;
                 continue;
             }
-            out.push((r.clone(), self.arrival_of(r.window)));
+            let arrival = self.arrival_of(r.window);
+            if arrival > r.window.end() {
+                late += 1;
+                // Delay from window close to backlog delivery, in whole
+                // 5-minute windows.
+                gap_windows += (arrival.secs() - r.window.end().secs()) / 300;
+            }
+            out.push((r.clone(), arrival));
         }
+        // Out-of-band accounting (see `obs`): pure function of (seed, feed),
+        // so these are deterministic for a fixed experiment.
+        obs::counter("feedgap.records_lost").add(lost);
+        obs::counter("feedgap.records_late").add(late);
+        obs::counter("feedgap.gap_minutes").add(gap_windows * 5);
         // Stable by arrival: late backlog records slot in after the on-time
         // records that precede the gap's close.
         out.sort_by_key(|(_, at)| *at);

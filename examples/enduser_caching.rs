@@ -36,9 +36,7 @@ fn main() {
         println!();
     }
 
-    println!(
-        "\nThe paper's qualitative claim (§6.3.1), for the modal 30-minute attack:"
-    );
+    println!("\nThe paper's qualitative claim (§6.3.1), for the modal 30-minute attack:");
     for (label, f) in caching_contrast(SimDuration::from_mins(30)) {
         println!("  {label:<22} {:.0}% of in-outage queries fail", f * 100.0);
     }

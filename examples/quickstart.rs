@@ -90,8 +90,7 @@ fn main() {
         (sum / n as f64, ok, n)
     };
     let (before, ok_b, n) = avg(SimTime::from_days(3).window(), &mut rng, &loads);
-    let (during, ok_d, _) =
-        avg((start + SimDuration::from_mins(30)).window(), &mut rng, &loads);
+    let (during, ok_d, _) = avg((start + SimDuration::from_mins(30)).window(), &mut rng, &loads);
     println!("\nresolution across {n} domains:");
     println!("  before attack: avg {before:.1} ms, {ok_b}/{n} resolved");
     println!("  during attack: avg {during:.1} ms, {ok_d}/{n} resolved");

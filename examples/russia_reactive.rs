@@ -47,10 +47,7 @@ fn main() {
     let sc = RdzScenario::build(&rngs);
     let feed = sc.feed(&rngs);
     let loads = sc.load_book();
-    println!(
-        "\nRDZ railways: visible attack {} → {}",
-        sc.visible_span.0, sc.visible_span.1
-    );
+    println!("\nRDZ railways: visible attack {} → {}", sc.visible_span.0, sc.visible_span.1);
     let infra = Arc::new(sc.infra);
     // 24h of probing after the trigger.
     let reports = platform.run(&infra, &feed.records, &loads, &rngs, 288);

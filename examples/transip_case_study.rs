@@ -46,8 +46,8 @@ fn main() {
         if domains == 0 {
             continue;
         }
-        let rtt = chunk.iter().map(|p| p.avg_rtt_ms * p.domains as f64).sum::<f64>()
-            / domains as f64;
+        let rtt =
+            chunk.iter().map(|p| p.avg_rtt_ms * p.domains as f64).sum::<f64>() / domains as f64;
         if rtt > baseline * 3.0 {
             println!(
                 "  {}  {:>7.1} ms  ({:>5.1}x)  {}",
@@ -71,14 +71,10 @@ fn main() {
         if domains == 0 {
             continue;
         }
-        let to = chunk.iter().map(|p| p.timeout_share * p.domains as f64).sum::<f64>()
-            / domains as f64;
+        let to =
+            chunk.iter().map(|p| p.timeout_share * p.domains as f64).sum::<f64>() / domains as f64;
         if to > 0.02 {
-            println!(
-                "  {}  {:>5.1}% of domains timed out",
-                chunk[0].window.start(),
-                to * 100.0
-            );
+            println!("  {}  {:>5.1}% of domains timed out", chunk[0].window.start(), to * 100.0);
         }
     }
     println!(

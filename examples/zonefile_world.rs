@@ -40,9 +40,7 @@ fn main() {
     p2a.announce("192.0.2.0/24".parse().unwrap(), Asn(64_502));
     p2a.announce("198.18.0.0/15".parse().unwrap(), Asn(64_503));
     let mut infra = Infra::new();
-    let domains = ZoneLoader::default()
-        .load(&mut infra, &records, Some(&p2a))
-        .expect("zone loads");
+    let domains = ZoneLoader::default().load(&mut infra, &records, Some(&p2a)).expect("zone loads");
     // Promote the shared anycast server to an actual anycast deployment.
     // (Zone data cannot express deployment; the census would tell us.)
     let anycast_ns = infra.ns_by_addr("192.0.2.53".parse().unwrap()).unwrap();

@@ -23,7 +23,8 @@ impl Bencher {
         let once = probe.elapsed().max(Duration::from_nanos(1));
         // Aim for ~200ms of measurement, capped to keep slow paper-scale
         // benches bounded.
-        let iters = (Duration::from_millis(200).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let iters =
+            (Duration::from_millis(200).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
         let start = Instant::now();
         for _ in 0..iters {
             std::hint::black_box(f());

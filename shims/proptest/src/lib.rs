@@ -88,11 +88,7 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
-    fn prop_filter<F: Fn(&Self::Value) -> bool>(
-        self,
-        whence: &'static str,
-        f: F,
-    ) -> Filter<Self, F>
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
     where
         Self: Sized,
     {
@@ -321,10 +317,8 @@ fn parse_charclass_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
         bail(pattern);
     }
     let bounds = iter.collect::<String>();
-    let bounds = bounds
-        .strip_prefix('{')
-        .and_then(|b| b.strip_suffix('}'))
-        .unwrap_or_else(|| bail(pattern));
+    let bounds =
+        bounds.strip_prefix('{').and_then(|b| b.strip_suffix('}')).unwrap_or_else(|| bail(pattern));
     let (min, max) = match bounds.split_once(',') {
         Some((lo, hi)) => (
             lo.parse().unwrap_or_else(|_| bail(pattern)),
@@ -393,8 +387,8 @@ pub mod prop {
 pub mod prelude {
     pub use crate::test_runner::{TestCaseError, TestCaseResult};
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
-        proptest, Arbitrary, Just, Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, Strategy,
     };
 }
 
@@ -514,7 +508,8 @@ mod tests {
     fn vec_and_tuple_strategies() {
         let mut rng = TestRng::new(2);
         for _ in 0..100 {
-            let v = Strategy::generate(&prop::collection::vec((0u64..20, 0u32..4), 0..50), &mut rng);
+            let v =
+                Strategy::generate(&prop::collection::vec((0u64..20, 0u32..4), 0..50), &mut rng);
             assert!(v.len() < 50);
             for (a, b) in v {
                 assert!(a < 20 && b < 4);

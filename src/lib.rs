@@ -49,8 +49,8 @@ pub mod prelude {
         run as run_longitudinal, LongitudinalConfig, MetaTables,
     };
     pub use dnssim::{
-        Deployment, DomainId, Infra, LoadBook, NsId, NsSetId, QueryOutcome, QueryStatus,
-        Resolver, Uplink,
+        Deployment, DomainId, Infra, LoadBook, NsId, NsSetId, QueryOutcome, QueryStatus, Resolver,
+        Uplink,
     };
     pub use dnswire::{Message, Name, RData, Rcode, Record, RrType};
     pub use netbase::{Asn, Ipv4Net, Prefix2As, Slash16, Slash24};

@@ -1,8 +1,8 @@
 //! Semantic ablations of the methodology's design choices (§4.1–§4.2):
 //! what changes when the knobs move.
 
-use dnsimpact::prelude::*;
 use dnsimpact::core::impact::compute_impacts;
+use dnsimpact::prelude::*;
 use scenarios::{paper_longitudinal_config, world, PaperScale, WorldConfig};
 
 struct Fixture {

@@ -40,12 +40,11 @@ fn chaos_never_changes_artifacts() {
 
     // Catalog artifacts: fault-free sequential vs fault-injected runs at
     // jobs 1 and 8, rendered from the chaos-run experiments.
-    let ids: Vec<String> = [
-        "table1", "table3", "table5", "fig5", "fig7", "fig8", "fig11", "ablate",
-    ]
-    .iter()
-    .map(|s| s.to_string())
-    .collect();
+    let ids: Vec<String> =
+        ["table1", "table3", "table5", "fig5", "fig7", "fig8", "fig11", "ablate"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
     let clean = run_catalog(Some(&clean_ex), 42, &ids, 1);
     let mut total_restarts = 0u64;
     for jobs in [1usize, 8] {
@@ -54,15 +53,8 @@ fn chaos_never_changes_artifacts() {
             "experiment-catalog",
             streamproc::ChaosConfig::CALIBRATED,
         );
-        let (faulted, stats) = run_catalog_checkpointed(
-            Some(&chaos_ex),
-            42,
-            &ids,
-            jobs,
-            Some(&fault),
-            None,
-            &|_| {},
-        );
+        let (faulted, stats) =
+            run_catalog_checkpointed(Some(&chaos_ex), 42, &ids, jobs, Some(&fault), None, &|_| {});
         total_restarts += stats.restarts;
         assert_eq!(clean.len(), faulted.len(), "jobs={jobs}");
         for (a, b) in clean.iter().zip(&faulted) {
@@ -127,8 +119,11 @@ fn killed_and_resumed_run_is_byte_identical() {
 
     // "Killed" run: only the transip job completes before the kill.
     let partial: Vec<String> = vec!["table2".into()];
-    let fault =
-        streamproc::FaultPlan::from_seed(9, "experiment-catalog", streamproc::ChaosConfig::CALIBRATED);
+    let fault = streamproc::FaultPlan::from_seed(
+        9,
+        "experiment-catalog",
+        streamproc::ChaosConfig::CALIBRATED,
+    );
     let (first, _) =
         run_catalog_checkpointed(None, 42, &partial, 1, Some(&fault), Some(&ckpt), &persist);
     assert_eq!(first.len(), 1);
@@ -138,8 +133,7 @@ fn killed_and_resumed_run_is_byte_identical() {
     // chaos and parallelism: the completed job is skipped, the rest run.
     let (second, _) =
         run_catalog_checkpointed(None, 42, &all, 8, Some(&fault), Some(&ckpt), &persist);
-    let resumed: Vec<&str> =
-        second.iter().filter(|r| r.resumed).map(|r| r.id.as_str()).collect();
+    let resumed: Vec<&str> = second.iter().filter(|r| r.resumed).map(|r| r.id.as_str()).collect();
     assert_eq!(resumed, vec!["transip"], "only the pre-kill job is skipped");
     assert!(second.iter().all(|r| ckpt.is_done(&r.id)), "every job checkpointed");
 

@@ -79,8 +79,24 @@ fn thread_count_never_changes_artifacts() {
     // Every artifact the scheduler renders agrees byte-for-byte, in the
     // same canonical order (the transip trio coalesces into one job).
     let ids: Vec<String> = [
-        "table1", "table2", "table3", "table4", "table5", "table6", "fig2", "fig3", "fig5",
-        "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "futurework",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "fig2",
+        "fig3",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "futurework",
         "ablate",
     ]
     .iter()

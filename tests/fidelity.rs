@@ -113,9 +113,7 @@ fn retry_masking_matches_independence_product() {
     let mut rng = rngs.stream("fidelity-retry");
     let n = 20_000;
     let failures = (0..n)
-        .filter(|_| {
-            resolver.resolve(&infra, d, w, &loads, &mut rng).status != QueryStatus::Ok
-        })
+        .filter(|_| resolver.resolve(&infra, d, w, &loads, &mut rng).status != QueryStatus::Ok)
         .count();
     let rate = failures as f64 / n as f64;
     let expect = f_single.powi(3);
@@ -138,7 +136,13 @@ fn store_aggregation_equals_manual_average() {
     // Measure an explicit batch and cross-check.
     let domains = vec![DomainId(0); 50];
     let recs = openintel::measure::measure_domains(
-        &infra, &resolver, &domains, set, Window(10), &loads, &rngs,
+        &infra,
+        &resolver,
+        &domains,
+        set,
+        Window(10),
+        &loads,
+        &rngs,
     );
     let _ = schedule;
     let mut store = MeasurementStore::new();

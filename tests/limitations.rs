@@ -146,10 +146,8 @@ fn agnostic_resolution_cannot_attribute() {
     // The *reactive* NS-exhaustive prober, by contrast, pinpoints it.
     let infra = Arc::new(infra);
     let mut rng = rngs.stream("exhaustive");
-    let probe =
-        reactive::probe_all_ns(&infra, domain, w.start(), &loads, &mut rng);
-    let dead: Vec<_> =
-        probe.outcomes.iter().filter(|o| o.status != QueryStatus::Ok).collect();
+    let probe = reactive::probe_all_ns(&infra, domain, w.start(), &loads, &mut rng);
+    let dead: Vec<_> = probe.outcomes.iter().filter(|o| o.status != QueryStatus::Ok).collect();
     assert_eq!(dead.len(), 1, "exactly the attacked server is unresponsive");
 }
 
@@ -168,9 +166,7 @@ fn caching_masks_attacks() {
         .nsset(infra.domain(domain).nsset)
         .members()
         .iter()
-        .map(|&ns| {
-            Record::new(name.clone(), 3_600, RData::Ns(infra.nameserver(ns).name.clone()))
-        })
+        .map(|&ns| Record::new(name.clone(), 3_600, RData::Ns(infra.nameserver(ns).name.clone())))
         .collect();
     cache.put(CacheKey { name: name.clone(), rtype: RrType::Ns }, records, t0);
 
@@ -316,8 +312,13 @@ fn open_resolver_filter_is_load_bearing() {
         unique_ports: 1,
         slash16s: 190,
     };
-    let naive =
-        join_episodes(&infra, &infra, std::slice::from_ref(&episode), &OpenResolverList::new(), false);
+    let naive = join_episodes(
+        &infra,
+        &infra,
+        std::slice::from_ref(&episode),
+        &OpenResolverList::new(),
+        false,
+    );
     assert_eq!(naive.len(), 1, "without the filter, Quad8 counts as DNS infra");
     let mut list = OpenResolverList::new();
     list.extend_from_infra(&infra);

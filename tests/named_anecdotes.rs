@@ -17,9 +17,8 @@ fn build(
     capacity: f64,
 ) -> (Infra, NsSetId, Vec<std::net::Ipv4Addr>) {
     let mut infra = Infra::new();
-    let addrs: Vec<std::net::Ipv4Addr> = (0..ns_count)
-        .map(|i| format!("185.10.{i}.53").parse().unwrap())
-        .collect();
+    let addrs: Vec<std::net::Ipv4Addr> =
+        (0..ns_count).map(|i| format!("185.10.{i}.53").parse().unwrap()).collect();
     let ids: Vec<NsId> = addrs
         .iter()
         .enumerate()
@@ -78,12 +77,8 @@ fn run_attack(
         loads.add(addr, w, pps);
     }
     let events = join_episodes(infra, infra, &episodes, &OpenResolverList::new(), false);
-    let census = AnycastCensus::from_ground_truth(
-        infra,
-        AnycastCensus::paper_snapshot_dates(),
-        1.0,
-        &rngs,
-    );
+    let census =
+        AnycastCensus::from_ground_truth(infra, AnycastCensus::paper_snapshot_dates(), 1.0, &rngs);
     let (impacts, _) = compute_impacts(
         infra,
         &SweepSchedule::new(seed),

@@ -5,7 +5,10 @@
 use dnsimpact::prelude::*;
 use scenarios::{paper_longitudinal_config, world, PaperScale, WorldConfig};
 
-fn run(seed: u64, divisor: u32) -> (world::BuiltWorld, dnsimpact::core::longitudinal::LongitudinalReport) {
+fn run(
+    seed: u64,
+    divisor: u32,
+) -> (world::BuiltWorld, dnsimpact::core::longitudinal::LongitudinalReport) {
     let rngs = RngFactory::new(seed);
     let built = world::build(
         &WorldConfig { providers: 40, domains: 20_000, ..WorldConfig::default() },

@@ -79,12 +79,8 @@ fn zone_loaded_world_through_full_pipeline() {
     assert_eq!(events.len(), 2);
     assert_eq!(events[0].domains_affected, 3_000, "the provider's whole portfolio");
 
-    let census = AnycastCensus::from_ground_truth(
-        &infra,
-        AnycastCensus::paper_snapshot_dates(),
-        1.0,
-        &rngs,
-    );
+    let census =
+        AnycastCensus::from_ground_truth(&infra, AnycastCensus::paper_snapshot_dates(), 1.0, &rngs);
     let (impacts, _store) = compute_impacts(
         &infra,
         &SweepSchedule::new(rngs.seed()),
@@ -97,10 +93,7 @@ fn zone_loaded_world_through_full_pipeline() {
         &ImpactConfig::default(),
     );
     assert!(!impacts.is_empty(), "impact events materialize from zone data");
-    let worst = impacts
-        .iter()
-        .filter_map(|e| e.impact_on_rtt)
-        .fold(0.0f64, f64::max);
+    let worst = impacts.iter().filter_map(|e| e.impact_on_rtt).fold(0.0f64, f64::max);
     assert!(worst > 5.0, "the attack is visible in Impact_on_RTT: {worst:.1}x");
     // The untouched small shop never enters the analysis.
     let shop_set = infra.domain(domains[0]).nsset;
