@@ -8,7 +8,11 @@
 #   5. chaos       fault injection, kill -9 mid-run, resume, diff vs clean
 #   6. metrics     repro bench: schema-validated run report, counter
 #                  invariants (fault accounting balances, reactive latency
-#                  and probe budgets hold)
+#                  and probe budgets hold), regression diff against the
+#                  committed BENCH baseline
+#   7. trace       pinned scenario with --trace-json: schema + causality
+#                  validation of the exported event trace, and `repro
+#                  explain` byte-identical across worker counts
 #
 # `./ci.sh --quick` runs only steps 2-3 (the tier-1 loop).
 #
@@ -91,7 +95,10 @@ echo "==> metrics gate: repro bench + schema/invariant validation"
 # report; validate-metrics re-reads it and fails on any schema violation
 # or counter-invariant break.
 BENCH_JSON="$SMOKE/bench/BENCH.json"
-"$REPRO" bench --metrics-json "$BENCH_JSON" --out "$SMOKE/bench-out" \
+# --compare with no path diffs against the newest committed BENCH report
+# under results/: deterministic counters must match exactly, wall time and
+# peak RSS must stay within the regression envelope.
+"$REPRO" bench --compare --metrics-json "$BENCH_JSON" --out "$SMOKE/bench-out" \
     > "$SMOKE/bench.stdout" 2> /dev/null
 # Bench suppresses artifact text: a non-empty stdout means metrics leaked.
 if [ -s "$SMOKE/bench.stdout" ]; then
@@ -100,6 +107,24 @@ if [ -s "$SMOKE/bench.stdout" ]; then
     exit 1
 fi
 "$REPRO" validate-metrics "$BENCH_JSON"
-echo "==> metrics gate passed (schema-valid report, counter invariants hold)"
+echo "==> metrics gate passed (report valid, invariants hold, no bench regression)"
+
+echo "==> trace gate: causal event trace export + forensics"
+# The pinned scenario covers every emission layer: the longitudinal
+# pipeline (rsdos episodes), the reactive feeds (milru/rdz), and the
+# catalog's stage brackets. validate-trace re-reads the Chrome trace and
+# checks schema + causality (triggers within the 10-minute bound, probe
+# rounds within the 50-domain budget, faults paired inject/repair).
+TRACE_JSON="$SMOKE/trace.json"
+repro_run 1500 2 trace-out --trace-json "$TRACE_JSON" table1 russia \
+    > /dev/null 2> /dev/null
+"$REPRO" validate-trace "$TRACE_JSON"
+# Episode forensics are part of the determinism contract: the explain
+# timeline for the same episode must be byte-identical whatever --jobs.
+repro_run 1500 1 expl-j1 explain milru/0 > "$SMOKE/explain-j1.txt" 2> /dev/null
+repro_run 1500 4 expl-j4 explain milru/0 > "$SMOKE/explain-j4.txt" 2> /dev/null
+diff "$SMOKE/explain-j1.txt" "$SMOKE/explain-j4.txt"
+grep -q "AttackOnset" "$SMOKE/explain-j1.txt"
+echo "==> trace gate passed (trace causally sound, explain deterministic)"
 
 echo "==> ci green"

@@ -5,9 +5,12 @@
 //! ```text
 //! repro [--seed N] [--scale D] [--jobs N] [--out DIR]
 //!       [--chaos-seed N] [--checkpoint-dir DIR]
-//!       [--metrics-json PATH] [--metrics-summary] [EXPERIMENT...]
-//! repro bench [same flags]
+//!       [--metrics-json PATH] [--metrics-summary]
+//!       [--trace-json PATH] [EXPERIMENT...]
+//! repro bench [--compare [BASELINE.json]] [same flags]
+//! repro explain EPISODE-ID [same flags]
 //! repro validate-metrics FILE
+//! repro validate-trace FILE
 //!
 //! EXPERIMENT ∈ { table1 table2 table3 table4 table5 table6
 //!                fig2 fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
@@ -41,15 +44,43 @@
 //! human version of the same report to stderr. Both are out-of-band:
 //! metrics never influence artifact bytes or stdout.
 //!
+//! `--trace-json PATH` writes the run's causal event trace (attack onsets,
+//! feed arrivals, joins, reactive triggers/probes, chaos faults/repairs,
+//! stage brackets) as Chrome trace-event JSON, loadable in Perfetto or
+//! `chrome://tracing`. Like the metrics report it is out-of-band: tracing
+//! never influences artifact bytes or stdout.
+//!
 //! `repro bench` replays a fixed catalog subset at a pinned
 //! seed/scale/chaos configuration and writes `results/BENCH_<date>.json`
-//! in the same schema (CSVs go to a scratch directory). CI runs it and
-//! validates the report; keep one artifact per date for trend tracking.
+//! in the same schema (CSVs go to a scratch directory). A second bench run
+//! on the same date goes to `BENCH_<date>_run2.json` (and so on) instead
+//! of clobbering the first; the report's `meta.run` carries the counter.
+//! CI runs it and validates the report.
+//!
+//! `repro bench --compare [BASELINE.json]` additionally diffs the fresh
+//! report against a baseline (default: the newest other
+//! `results/BENCH_*.json`): wall-clock or peak-RSS beyond the generous
+//! thresholds in `obs::report` fail, and any drift in the deterministic
+//! counters/gauges/histograms fails exactly. Exit 1 on failure — this is
+//! the CI bench-regression gate.
+//!
+//! `repro explain EPISODE-ID` (e.g. `rsdos/3`, `milru/0`, or a bare index
+//! meaning `rsdos/<idx>`) replays the experiments that cover the episode's
+//! scope and prints the episode's causal timeline: onset → feed arrival →
+//! join → trigger delay vs the 10-minute bound → probe rounds vs the
+//! 50-domain budget → impact rows, plus the run's fault/repair tally. The
+//! timeline is built from the trace's deterministic fields only, so it is
+//! byte-identical for any `--jobs` value.
 //!
 //! `repro validate-metrics FILE` schema-validates a previously written
 //! report and checks the cross-counter invariants (fault accounting
 //! balances; reactive latency and probe budgets hold). Exit 1 on any
 //! violation — this is the CI metrics gate.
+//!
+//! `repro validate-trace FILE` loads a `--trace-json` file back and checks
+//! the causality invariants (triggers follow feed arrivals within bound,
+//! fault repairs match injections, probe budgets hold). Exit 1 on any
+//! violation — this is the CI trace gate.
 
 use bench_support::{
     needs_longitudinal, run_catalog_checkpointed, run_experiments_chaos, Artifact, CheckpointDir,
@@ -92,7 +123,15 @@ struct Options {
     checkpoint_dir: Option<PathBuf>,
     metrics_json: Option<PathBuf>,
     metrics_summary: bool,
+    trace_json: Option<PathBuf>,
     bench: bool,
+    /// Same-day bench run counter (1 for the first run of a date).
+    run: u64,
+    /// `bench --compare`: `Some(None)` = auto-pick the newest baseline,
+    /// `Some(Some(path))` = explicit baseline file.
+    compare: Option<Option<PathBuf>>,
+    /// `explain EPISODE-ID`: print the episode's causal timeline.
+    explain: Option<String>,
     experiments: Vec<String>,
 }
 
@@ -106,12 +145,19 @@ fn parse_args() -> Options {
         checkpoint_dir: None,
         metrics_json: None,
         metrics_summary: false,
+        trace_json: None,
         bench: false,
+        run: 1,
+        compare: None,
+        explain: None,
         experiments: Vec::new(),
     };
     let (mut scale_set, mut out_set) = (false, false);
     let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
+    // `--compare`'s operand is optional: when the next argument is not a
+    // baseline path it is pushed back and re-processed here.
+    let mut pushback: Option<String> = None;
+    while let Some(a) = pushback.take().or_else(|| args.next()) {
         match a.as_str() {
             "--seed" => opts.seed = args.next().expect("--seed N").parse().expect("seed"),
             "--scale" => {
@@ -135,20 +181,46 @@ fn parse_args() -> Options {
                 opts.metrics_json = Some(PathBuf::from(args.next().expect("--metrics-json PATH")))
             }
             "--metrics-summary" => opts.metrics_summary = true,
+            "--trace-json" => {
+                opts.trace_json = Some(PathBuf::from(args.next().expect("--trace-json PATH")))
+            }
+            "--compare" => {
+                // Optional operand: a .json baseline path; otherwise the
+                // newest other results/BENCH_*.json is picked at run time.
+                opts.compare = Some(None);
+                if let Some(peeked) = args.next() {
+                    if peeked.ends_with(".json") {
+                        opts.compare = Some(Some(PathBuf::from(peeked)));
+                    } else {
+                        // Not a baseline: re-process as a normal argument.
+                        pushback = Some(peeked);
+                    }
+                }
+            }
             "bench" => opts.bench = true,
+            "explain" => opts.explain = Some(args.next().expect("explain EPISODE-ID")),
             "validate-metrics" => {
                 let file = PathBuf::from(args.next().expect("validate-metrics FILE"));
                 std::process::exit(validate_metrics(&file));
+            }
+            "validate-trace" => {
+                let file = PathBuf::from(args.next().expect("validate-trace FILE"));
+                std::process::exit(validate_trace(&file));
             }
             "--help" | "-h" => {
                 println!(
                     "repro [--seed N] [--scale D] [--jobs N] [--out DIR] \
                      [--chaos-seed N] [--checkpoint-dir DIR] \
-                     [--metrics-json PATH] [--metrics-summary] [EXPERIMENT...]"
+                     [--metrics-json PATH] [--metrics-summary] \
+                     [--trace-json PATH] [EXPERIMENT...]"
                 );
                 println!("repro bench                   replay the fixed bench subset,");
-                println!("                              write results/BENCH_<date>.json");
+                println!("                              write results/BENCH_<date>[_runN].json");
+                println!("repro bench --compare [FILE]  also diff against a baseline report");
+                println!("repro explain EPISODE-ID      print an episode's causal timeline");
+                println!("                              (e.g. rsdos/3, milru/0, transip/1)");
                 println!("repro validate-metrics FILE   schema + invariant check a report");
+                println!("repro validate-trace FILE     causality-check a --trace-json file");
                 println!("run `repro --list` for the experiment catalog");
                 std::process::exit(0);
             }
@@ -175,18 +247,53 @@ fn parse_args() -> Options {
             opts.out = PathBuf::from("target/bench-out");
         }
         if opts.metrics_json.is_none() {
-            opts.metrics_json =
-                Some(PathBuf::from(format!("results/BENCH_{}.json", obs::report::today_utc())));
+            // Same-day runs never clobber: the first run of a date owns
+            // BENCH_<date>.json, later runs get a _runN suffix, and the
+            // report's meta.run records which slot this was.
+            let (run, path) = next_bench_slot(Path::new("results"), &obs::report::today_utc());
+            opts.run = run;
+            opts.metrics_json = Some(path);
         }
         opts.metrics_summary = true;
         if opts.experiments.is_empty() {
             opts.experiments = BENCH_EXPERIMENTS.iter().map(|e| e.to_string()).collect();
         }
     }
+    if let Some(id) = &opts.explain {
+        // Replay only the experiments that populate the episode's scope.
+        let scope = obs::trace::parse_episode_id(id).map(|(s, _)| s).unwrap_or_default();
+        opts.experiments = vec![match scope.as_str() {
+            "milru" | "rdz" => "russia".to_string(),
+            "transip" => "table2".to_string(),
+            _ => "table1".to_string(), // any longitudinal id traces "rsdos"
+        }];
+    }
     if opts.experiments.is_empty() || opts.experiments.iter().any(|e| e == "all") {
         opts.experiments = CATALOG.iter().map(|(id, _)| id.to_string()).collect();
     }
     opts
+}
+
+/// Pick this bench run's report slot for `date`: run 1 owns
+/// `BENCH_<date>.json`; if that (or a `_runN`) already exists, the next
+/// free `BENCH_<date>_run<N>.json` is used instead.
+fn next_bench_slot(dir: &Path, date: &str) -> (u64, PathBuf) {
+    let mut run = 1u64;
+    loop {
+        let path = bench_slot_path(dir, date, run);
+        if !path.exists() {
+            return (run, path);
+        }
+        run += 1;
+    }
+}
+
+fn bench_slot_path(dir: &Path, date: &str, run: u64) -> PathBuf {
+    if run <= 1 {
+        dir.join(format!("BENCH_{date}.json"))
+    } else {
+        dir.join(format!("BENCH_{date}_run{run}.json"))
+    }
 }
 
 /// The `validate-metrics` subcommand: schema-validate a run report and
@@ -195,14 +302,14 @@ fn validate_metrics(path: &Path) -> i32 {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("[repro] cannot read {}: {e}", path.display());
+            obs::progress("repro", &format!("cannot read {}: {e}", path.display()));
             return 2;
         }
     };
     let doc = match obs::Json::parse(&text) {
         Ok(d) => d,
         Err(e) => {
-            eprintln!("[repro] {} is not valid JSON: {e}", path.display());
+            obs::progress("repro", &format!("{} is not valid JSON: {e}", path.display()));
             return 2;
         }
     };
@@ -231,9 +338,58 @@ fn validate_metrics(path: &Path) -> i32 {
         0
     } else {
         for e in &errors {
-            eprintln!("[repro] metrics violation: {e}");
+            obs::progress("repro", &format!("metrics violation: {e}"));
         }
-        eprintln!("[repro] {}: {} violation(s)", path.display(), errors.len());
+        obs::progress("repro", &format!("{}: {} violation(s)", path.display(), errors.len()));
+        1
+    }
+}
+
+/// The `validate-trace` subcommand: load a `--trace-json` file back from
+/// its Chrome trace-event form and check the causality invariants. Returns
+/// the process exit code.
+fn validate_trace(path: &Path) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            obs::progress("repro", &format!("cannot read {}: {e}", path.display()));
+            return 2;
+        }
+    };
+    let doc = match obs::Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            obs::progress("repro", &format!("{} is not valid JSON: {e}", path.display()));
+            return 2;
+        }
+    };
+    let events = match obs::trace::from_chrome_json(&doc) {
+        Ok(ev) => ev,
+        Err(errors) => {
+            for e in &errors {
+                obs::progress("repro", &format!("trace schema violation: {e}"));
+            }
+            return 2;
+        }
+    };
+    let errors = obs::trace::check_causality(&events);
+    if errors.is_empty() {
+        let episodes = obs::trace::available_episodes(&events);
+        obs::progress(
+            "repro",
+            &format!(
+                "{} is a valid trace ({} events, {} episode scope(s)); causality holds",
+                path.display(),
+                events.len(),
+                episodes.len(),
+            ),
+        );
+        0
+    } else {
+        for e in &errors {
+            obs::progress("repro", &format!("causality violation: {e}"));
+        }
+        obs::progress("repro", &format!("{}: {} violation(s)", path.display(), errors.len()));
         1
     }
 }
@@ -267,8 +423,8 @@ fn rebuild_index(out: &std::path::Path, ours: &[String]) {
     }
 }
 
-/// Build the schema-`v1` run report from this run's identity, stage
-/// timings, and the global metrics registry.
+/// Build the schema-`v2` run report from this run's identity, stage
+/// timings, the global metrics registry, and the trace summary.
 fn build_report(
     opts: &Options,
     known: &[String],
@@ -281,6 +437,7 @@ fn build_report(
             seed: opts.seed,
             scale: u64::from(opts.scale),
             jobs: jobs as u64,
+            run: opts.run,
             chaos_seed: opts.chaos_seed,
             bench: opts.bench,
             date: obs::report::today_utc(),
@@ -296,6 +453,7 @@ fn build_report(
             })
             .collect(),
         metrics: obs::registry().snapshot(),
+        trace: obs::trace::summary(),
     }
 }
 
@@ -313,9 +471,12 @@ fn emit_report(report: &obs::RunReport, path: &Path) {
     }
     if !errors.is_empty() {
         for e in &errors {
-            eprintln!("[repro] metrics violation: {e}");
+            obs::progress("repro", &format!("metrics violation: {e}"));
         }
-        eprintln!("[repro] refusing to write invalid metrics report to {}", path.display());
+        obs::progress(
+            "repro",
+            &format!("refusing to write invalid metrics report to {}", path.display()),
+        );
         std::process::exit(1);
     }
     if let Some(parent) = path.parent() {
@@ -395,6 +556,14 @@ fn main() {
         }
         if let Some(c) = ckpt_ref {
             c.mark_done(&run.id, &lines).expect("write checkpoint marker");
+            obs::trace::emit(
+                obs::EventKind::CheckpointWritten,
+                &run.id,
+                None,
+                None,
+                "completion marker",
+                Some(run.artifacts.len() as u64),
+            );
         }
     };
     let catalog_start = Instant::now();
@@ -413,7 +582,9 @@ fn main() {
     timings.push(("experiment catalog".into(), catalog_start.elapsed()));
 
     // Stage 3: stdout in canonical order, then the results index. Under
-    // `bench` the artifact text is suppressed — the report is the product.
+    // `bench` and `explain` the artifact text is suppressed — the report
+    // (or the episode timeline) is the product.
+    let quiet = opts.bench || opts.explain.is_some();
     let _span_emit = obs::span("emit");
     let mut index_lines: Vec<String> = Vec::new();
     for run in &runs {
@@ -424,7 +595,7 @@ fn main() {
             }
         } else {
             for a in &run.artifacts {
-                if !opts.bench {
+                if !quiet {
                     println!("=== {} ===\n{}\n", a.title, a.text);
                 }
                 index_lines.push(index_line(a));
@@ -453,10 +624,28 @@ fn main() {
     }
     obs::progress("repro", &format!("CSV series written to {}", opts.out.display()));
 
+    // The causal event trace: exported as Chrome trace-event JSON for
+    // Perfetto / chrome://tracing. Read-only like the metrics report.
+    if let Some(path) = &opts.trace_json {
+        let events = obs::trace::snapshot();
+        let mut text = obs::trace::to_chrome_json(&events).pretty();
+        text.push('\n');
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create trace dir");
+            }
+        }
+        write_atomic(path, &text).expect("write trace json");
+        obs::progress(
+            "repro",
+            &format!("trace ({} events) written to {}", events.len(), path.display()),
+        );
+    }
+
     // The run report: built from the registry snapshot after all stages,
     // validated, then written/printed. Strictly read-only with respect to
     // the pipeline — artifacts and stdout above are already final.
-    if opts.metrics_json.is_some() || opts.metrics_summary {
+    if opts.metrics_json.is_some() || opts.metrics_summary || opts.compare.is_some() {
         let report = build_report(&opts, &known, jobs, &timings, total.elapsed());
         if let Some(path) = &opts.metrics_json {
             emit_report(&report, path);
@@ -464,5 +653,105 @@ fn main() {
         if opts.metrics_summary {
             eprint!("{}", report.summary_table());
         }
+        if let Some(baseline) = &opts.compare {
+            compare_with_baseline(&report, baseline.as_deref(), opts.metrics_json.as_deref());
+        }
     }
+
+    // `explain`: print the requested episode's causal timeline to stdout
+    // (the only stdout this mode produces).
+    if let Some(id) = &opts.explain {
+        let events = obs::trace::snapshot();
+        let timeline = obs::trace::parse_episode_id(id)
+            .and_then(|(scope, idx)| obs::trace::explain(&events, &scope, idx));
+        match timeline {
+            Some(text) => print!("{text}"),
+            None => {
+                obs::progress("repro", &format!("episode '{id}' not found in this run's trace"));
+                obs::progress("repro", "episodes available (scope: events, max index):");
+                for (scope, n, max) in obs::trace::available_episodes(&events) {
+                    obs::progress("repro", &format!("  {scope}: {n} event(s), ids 0..={max}"));
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// `bench --compare`: diff the fresh report against a baseline (explicit,
+/// or the newest other `results/BENCH_*.json`). Failures exit 1.
+fn compare_with_baseline(report: &obs::RunReport, explicit: Option<&Path>, current: Option<&Path>) {
+    let baseline = match explicit {
+        Some(p) => p.to_path_buf(),
+        None => match latest_bench_report(Path::new("results"), current) {
+            Some(p) => p,
+            None => {
+                obs::progress(
+                    "repro",
+                    "no baseline BENCH_*.json found in results/; comparison skipped",
+                );
+                return;
+            }
+        },
+    };
+    let doc = match std::fs::read_to_string(&baseline)
+        .map_err(|e| e.to_string())
+        .and_then(|t| obs::Json::parse(&t).map_err(|e| e.to_string()))
+    {
+        Ok(d) => d,
+        Err(e) => {
+            obs::progress("repro", &format!("cannot load baseline {}: {e}", baseline.display()));
+            std::process::exit(2);
+        }
+    };
+    let (failures, warnings) = obs::report::compare_reports(&report.to_json(), &doc);
+    for w in &warnings {
+        obs::progress("repro", &format!("bench compare: {w}"));
+    }
+    if failures.is_empty() {
+        obs::progress(
+            "repro",
+            &format!(
+                "no regressions vs baseline {} ({} warning(s))",
+                baseline.display(),
+                warnings.len()
+            ),
+        );
+    } else {
+        for f in &failures {
+            obs::progress("repro", &format!("bench regression: {f}"));
+        }
+        obs::progress(
+            "repro",
+            &format!("{} regression(s) vs baseline {}", failures.len(), baseline.display()),
+        );
+        std::process::exit(1);
+    }
+}
+
+/// The newest `BENCH_*.json` in `dir`, excluding `current` (the file this
+/// run is writing). "Newest" orders by `(date, same-day run counter)`
+/// parsed from the `BENCH_<date>[_run<N>].json` name.
+fn latest_bench_report(dir: &Path, current: Option<&Path>) -> Option<PathBuf> {
+    let entries = std::fs::read_dir(dir).ok()?;
+    let mut best: Option<((String, u64), PathBuf)> = None;
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(stem) = name.strip_prefix("BENCH_").and_then(|s| s.strip_suffix(".json")) else {
+            continue;
+        };
+        let path = entry.path();
+        if current.is_some_and(|c| c == path.as_path()) {
+            continue;
+        }
+        let (date, run) = match stem.split_once("_run") {
+            Some((d, n)) => (d.to_string(), n.parse().unwrap_or(0)),
+            None => (stem.to_string(), 1),
+        };
+        let key = (date, run);
+        if best.as_ref().is_none_or(|(k, _)| *k < key) {
+            best = Some((key, path));
+        }
+    }
+    best.map(|(_, p)| p)
 }

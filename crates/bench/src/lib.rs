@@ -646,6 +646,7 @@ pub fn transip_artifacts(seed: u64) -> Vec<Artifact> {
     let rngs = RngFactory::new(seed);
     let sc = TransIpScenario::build(&rngs);
     let feed = sc.feed(&rngs);
+    feed.trace_onsets("transip");
     let loads = sc.load_book();
 
     // Table 2.
@@ -701,9 +702,14 @@ pub fn russia_artifacts(seed: u64) -> Vec<Artifact> {
     // mil.ru: reactive probing through the attack.
     let mil = MilRuScenario::build(&rngs);
     let feed = mil.feed(&rngs);
+    feed.trace_onsets("milru");
     let loads = mil.load_book();
     let infra = Arc::new(mil.infra);
-    let platform = ReactivePlatform::default();
+    let platform = ReactivePlatform {
+        trace_scope: Some("milru"),
+        episode_index: Some(Arc::new(feed.episode_index())),
+        ..ReactivePlatform::default()
+    };
     // Execute three days of probing per victim (864 rounds) to keep the
     // run bounded while covering the blackout onset.
     let reports = platform.run(&infra, &feed.records, &loads, &rngs, 864);
@@ -731,8 +737,14 @@ pub fn russia_artifacts(seed: u64) -> Vec<Artifact> {
     // RDZ: recovery timing + OSINT correlation.
     let rdz = RdzScenario::build(&rngs);
     let rdz_feed = rdz.feed(&rngs);
+    rdz_feed.trace_onsets("rdz");
     let rdz_loads = rdz.load_book();
     let rdz_infra = Arc::new(rdz.infra);
+    let platform = ReactivePlatform {
+        trace_scope: Some("rdz"),
+        episode_index: Some(Arc::new(rdz_feed.episode_index())),
+        ..ReactivePlatform::default()
+    };
     let reports = platform.run(&rdz_infra, &rdz_feed.records, &rdz_loads, &rngs, 200);
     let mut rows = Vec::new();
     for r in &reports {
@@ -995,6 +1007,11 @@ pub fn run_catalog_checkpointed(
                     resumed: true,
                 };
             }
+            // Stage bracketing rides on `parallel_map_supervised`'s
+            // exactly-once body guarantee (injected crashes land before the
+            // body runs), so each spec traces one start/end pair whatever
+            // the worker count or chaos seed.
+            obs::trace::emit(obs::EventKind::StageStart, spec, None, None, "experiment job", None);
             let start = std::time::Instant::now();
             let artifacts = render_spec(ex, seed, spec);
             let run = ExperimentRun {
@@ -1003,6 +1020,14 @@ pub fn run_catalog_checkpointed(
                 wall: start.elapsed(),
                 resumed: false,
             };
+            obs::trace::emit(
+                obs::EventKind::StageEnd,
+                spec,
+                None,
+                None,
+                "experiment job",
+                Some(run.artifacts.len() as u64),
+            );
             on_done(&run);
             run
         },

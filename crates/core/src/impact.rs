@@ -83,6 +83,11 @@ pub struct ImpactConfig {
     /// byte-identical to a fault-free run — this knob only exercises the
     /// recovery machinery.
     pub chaos_seed: Option<u64>,
+    /// Trace scope for `BaselineFallback`/`ImpactComputed` events (see
+    /// `obs::trace`); `None` disables emission. Both emission sites sit in
+    /// the sequential plan/aggregate phases, so the event stream is
+    /// `--jobs`- and chaos-independent.
+    pub trace_scope: Option<&'static str>,
 }
 
 impl Default for ImpactConfig {
@@ -92,6 +97,7 @@ impl Default for ImpactConfig {
             baseline_sample_cap: 200,
             sweep_outage: None,
             chaos_seed: None,
+            trace_scope: None,
         }
     }
 }
@@ -194,6 +200,19 @@ pub fn compute_impacts_with_jobs(
                     _ => (None, BaselineSource::Missing),
                 },
             };
+            if let (Some(scope), BaselineSource::WeekBefore) = (config.trace_scope, base_source) {
+                obs::trace::emit(
+                    obs::EventKind::BaselineFallback,
+                    scope,
+                    Some(ev.episode_idx as u64),
+                    Some(ep.first_window.start().secs()),
+                    format!(
+                        "nsset {nsset:?}: day-before sweep lost, week-before day {} substitutes",
+                        base_day.unwrap_or(0)
+                    ),
+                    base_day,
+                );
+            }
             rows.push((ei, nsset, base_day, base_source));
             // Measure the attack windows (once per (nsset, window) cell
             // even when episodes overlap).
@@ -281,6 +300,20 @@ pub fn compute_impacts_with_jobs(
             store.impact_on_rtt_from_day(nsset, ep.first_window, ep.last_window, day)
         });
         let (asns, prefixes) = (infra.nsset_asns(nsset).len(), infra.nsset_slash24s(nsset).len());
+        if let Some(scope) = config.trace_scope {
+            obs::trace::emit(
+                obs::EventKind::ImpactComputed,
+                scope,
+                Some(ev.episode_idx as u64),
+                Some(ep.first_window.start().secs()),
+                format!(
+                    "nsset {nsset:?} ({:?} baseline), failure rate {:.4}",
+                    base_source,
+                    during.failure_rate()
+                ),
+                Some(during.domains_measured),
+            );
+        }
         out.push(ImpactEvent {
             episode_idx: ev.episode_idx,
             nsset,

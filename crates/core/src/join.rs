@@ -114,12 +114,16 @@ pub fn join_episodes_with_offset(
     include_collateral: bool,
     day_offset: u64,
 ) -> Vec<DnsAttackEvent> {
-    join_chunk(infra, directory, 0, episodes, open_resolvers, include_collateral, day_offset)
+    join_chunk(infra, directory, 0, episodes, open_resolvers, include_collateral, day_offset, None)
 }
 
 /// Join one contiguous shard of the episode list. `base_idx` is the global
 /// index of `episodes[0]`, so the emitted `episode_idx` values are
-/// identical whether the feed is processed whole or in shards.
+/// identical whether the feed is processed whole or in shards. With a
+/// `trace_scope` set, every joined row also emits a `JoinMatched` trace
+/// event under that scope — each episode is joined exactly once whatever
+/// the sharding, so the event stream is `--jobs`-independent too.
+#[allow(clippy::too_many_arguments)]
 fn join_chunk(
     infra: &Infra,
     directory: &dyn NsDirectory,
@@ -128,6 +132,7 @@ fn join_chunk(
     open_resolvers: &OpenResolverList,
     include_collateral: bool,
     day_offset: u64,
+    trace_scope: Option<&str>,
 ) -> Vec<DnsAttackEvent> {
     let mut out = Vec::new();
     for (off, ep) in episodes.iter().enumerate() {
@@ -161,6 +166,22 @@ fn join_chunk(
         }
         let mut nssets: Vec<NsSetId> = nssets.into_iter().collect();
         nssets.sort();
+        if let Some(scope) = trace_scope {
+            obs::trace::emit(
+                obs::EventKind::JoinMatched,
+                scope,
+                Some(idx as u64),
+                Some(ep.first_window.start().secs()),
+                format!(
+                    "victim {} → {} direct + {} collateral ns, {} nsset(s)",
+                    ep.victim,
+                    ns_direct.len(),
+                    ns_collateral.len(),
+                    nssets.len()
+                ),
+                Some(domains.len() as u64),
+            );
+        }
         out.push(DnsAttackEvent {
             episode_idx: idx,
             ns_direct,
@@ -207,15 +228,44 @@ pub fn join_episodes_sharded(
     day_offset: u64,
     jobs: usize,
 ) -> Vec<DnsAttackEvent> {
+    join_episodes_sharded_traced(
+        infra,
+        directory,
+        episodes,
+        open_resolvers,
+        include_collateral,
+        day_offset,
+        jobs,
+        None,
+    )
+}
+
+/// [`join_episodes_sharded`] with `JoinMatched` trace emission under
+/// `trace_scope` (see `obs::trace`). Kept separate so only the feed-scoped
+/// headline join traces: the orchestrator also runs an unfiltered join of
+/// the same episodes for Tables 3–5, which must not double-emit.
+#[allow(clippy::too_many_arguments)]
+pub fn join_episodes_sharded_traced(
+    infra: &Infra,
+    directory: &(dyn NsDirectory + Sync),
+    episodes: &[AttackEpisode],
+    open_resolvers: &OpenResolverList,
+    include_collateral: bool,
+    day_offset: u64,
+    jobs: usize,
+    trace_scope: Option<&str>,
+) -> Vec<DnsAttackEvent> {
     let jobs = streamproc::effective_jobs(jobs);
     if jobs <= 1 || episodes.len() < 2 {
-        return join_episodes_with_offset(
+        return join_chunk(
             infra,
             directory,
+            0,
             episodes,
             open_resolvers,
             include_collateral,
             day_offset,
+            trace_scope,
         );
     }
     let shard_len = episodes.len().div_ceil(jobs);
@@ -232,6 +282,7 @@ pub fn join_episodes_sharded(
             open_resolvers,
             include_collateral,
             day_offset,
+            trace_scope,
         )
     });
     parts.into_iter().flatten().collect()

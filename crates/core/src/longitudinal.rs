@@ -6,7 +6,7 @@ use crate::casestudy;
 use crate::correlate::{self, CorrelationSeries};
 use crate::failures::{self, FailureSummary};
 use crate::impact::{compute_impacts_with_jobs, ImpactConfig, ImpactEvent};
-use crate::join::{join_episodes_sharded, DnsAttackEvent};
+use crate::join::{join_episodes_sharded, join_episodes_sharded_traced, DnsAttackEvent};
 use crate::ports::{self, PortBreakdown};
 use crate::resilience::{self, ClassImpact};
 use attack::Attack;
@@ -19,6 +19,9 @@ use simcore::time::Month;
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 use telescope::{BackscatterSampler, Darknet, RsdosClassifier, RsdosFeed};
+
+/// Trace scope of the longitudinal feed: episode `i` is `rsdos/i`.
+const TRACE_SCOPE: &str = "rsdos";
 
 /// Ancillary lookup tables (the paper's §3.3 datasets).
 pub struct MetaTables {
@@ -144,10 +147,15 @@ pub fn run(
     let records = classifier.classify(&obs);
     let episodes = classifier.episodes(&records);
     let feed = RsdosFeed::new(records, episodes);
+    // Causal tracing (see `obs::trace`): the longitudinal feed owns the
+    // `rsdos` scope, so episode `i` is addressable as `rsdos/i`.
+    feed.trace_onsets(TRACE_SCOPE);
 
     // Join to the DNS (sharded across config.jobs workers; the output is
-    // identical to the sequential join for any worker count).
-    let dns_events = join_episodes_sharded(
+    // identical to the sequential join for any worker count). Only this
+    // headline join traces — the unfiltered Tables-3–5 join below re-joins
+    // the same episodes and must not double-emit.
+    let dns_events = join_episodes_sharded_traced(
         infra,
         infra,
         &feed.episodes,
@@ -155,6 +163,7 @@ pub fn run(
         config.include_collateral,
         1,
         config.jobs,
+        Some(TRACE_SCOPE),
     );
     // Tables 3–5 count every victim that serves as a nameserver —
     // including the open resolvers that misconfigured domains point NS
@@ -192,8 +201,12 @@ pub fn run(
     let port_breakdown =
         ports::breakdown_episodes(dns_episode_idxs.iter().map(|&i| &feed.episodes[i]));
 
-    // Impacts (step 4).
+    // Impacts (step 4), trace-attributed to the feed's scope.
     let schedule = SweepSchedule::new(rngs.seed());
+    let impact_config = ImpactConfig {
+        trace_scope: config.impact.trace_scope.or(Some(TRACE_SCOPE)),
+        ..config.impact
+    };
     let (impacts, store) = compute_impacts_with_jobs(
         infra,
         &schedule,
@@ -203,7 +216,7 @@ pub fn run(
         &dns_events,
         &meta.census,
         rngs,
-        &config.impact,
+        &impact_config,
         config.jobs,
     );
 

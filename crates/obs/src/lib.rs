@@ -39,9 +39,13 @@
 //!   sorted snapshots;
 //! - [`span`]: hierarchical RAII span timers (`obs::span("join")`)
 //!   recording wall time under `time.span.<path>`;
+//! - [`trace`]: the causal event trace (DESIGN §10) — a bounded,
+//!   lock-sharded ring of typed, episode-attributed pipeline events, with
+//!   Chrome-trace export, causality checking, and the `repro explain`
+//!   timeline renderer;
 //! - [`report`]: the stable-schema machine-readable run report
-//!   (`dnsimpact-metrics/v1`), its JSON round-trip, schema validation and
-//!   counter-invariant checks;
+//!   (`dnsimpact-metrics/v2`), its JSON round-trip, schema validation,
+//!   counter-invariant checks, and the bench-regression comparator;
 //! - [`json`]: the dependency-free JSON value/writer/parser the report
 //!   rides on;
 //! - [`progress`]: stderr-only progress/timing lines, so nothing
@@ -54,9 +58,11 @@ pub mod progress;
 pub mod report;
 pub mod rss;
 pub mod span;
+pub mod trace;
 
 pub use json::Json;
 pub use metrics::{counter, gauge, histogram, registry, Counter, Gauge, Histogram, Snapshot};
 pub use progress::progress;
 pub use report::{RunMeta, RunReport, StageWall, SCHEMA_ID};
 pub use span::span;
+pub use trace::{EventKind, TraceEvent, TraceSummary};

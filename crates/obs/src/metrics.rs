@@ -139,6 +139,7 @@ impl Histogram {
             max: self.max.load(Ordering::Relaxed),
             p50: quantile(0.50),
             p90: quantile(0.90),
+            p95: quantile(0.95),
             p99: quantile(0.99),
         }
     }
@@ -163,6 +164,7 @@ pub struct HistogramSnapshot {
     pub max: u64,
     pub p50: u64,
     pub p90: u64,
+    pub p95: u64,
     pub p99: u64,
 }
 
@@ -345,7 +347,9 @@ mod tests {
         assert_eq!(s.max, 100);
         // Log2 buckets: quantile is an upper bound and never below min.
         assert!(s.p50 >= 50 && s.p50 <= 127, "p50={}", s.p50);
+        assert!(s.p95 >= 95, "p95={}", s.p95);
         assert!(s.p99 >= 99, "p99={}", s.p99);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99, "quantiles ordered");
     }
 
     #[test]
@@ -353,7 +357,7 @@ mod tests {
         let s = histogram("test.metrics.empty_histo").snapshot();
         assert_eq!(
             s,
-            HistogramSnapshot { count: 0, sum: 0, min: 0, max: 0, p50: 0, p90: 0, p99: 0 }
+            HistogramSnapshot { count: 0, sum: 0, min: 0, max: 0, p50: 0, p90: 0, p95: 0, p99: 0 }
         );
     }
 

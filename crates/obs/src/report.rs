@@ -1,14 +1,15 @@
-//! The machine-readable run report: schema `dnsimpact-metrics/v1`.
+//! The machine-readable run report: schema `dnsimpact-metrics/v2`.
 //!
 //! One JSON document per run, emitted by `repro --metrics-json PATH` and
-//! by `repro bench` (as `BENCH_<date>.json`). The schema is stable and
-//! validated in CI:
+//! by `repro bench` (as `BENCH_<date>[_runN].json`). The schema is stable
+//! and validated in CI:
 //!
 //! ```json
 //! {
-//!   "schema": "dnsimpact-metrics/v1",
+//!   "schema": "dnsimpact-metrics/v2",
 //!   "meta": {
 //!     "seed": 42, "scale": 1500, "jobs": 2,
+//!     "run": 1,                    // same-day bench run counter
 //!     "chaos_seed": null,          // or a u64
 //!     "bench": false,
 //!     "date": "2026-08-05",        // UTC
@@ -20,21 +21,29 @@
 //!   "counters":   { "join.rows_joined": 100, ... },
 //!   "gauges":     { "reactive.trigger_latency_max_secs": 480, ... },
 //!   "histograms": { "time.pool.task_ms": { "count": 8, "sum": 10,
-//!                   "min": 0, "max": 4, "p50": 1, "p90": 3, "p99": 3 } }
+//!                   "min": 0, "max": 4, "p50": 1, "p90": 3,
+//!                   "p95": 3, "p99": 3 } },
+//!   "trace": { "events": 512, "dropped": 0,
+//!              "by_kind": { "AttackOnset": 100, ... } }
 //! }
 //! ```
 //!
 //! `counters`/`gauges`/`histograms` are name-sorted; `stages` is in
-//! execution order. Wall times, RSS, and `time.`/`sched.`-prefixed
-//! metrics vary run to run by design — consumers comparing runs must
-//! restrict themselves to the deterministic namespace, as the CI metrics
-//! gate and the determinism tests do.
+//! execution order; `trace` summarizes the causal event ring ([`crate::trace`]),
+//! its `by_kind` keys drawn from the event taxonomy. Wall times, RSS, and
+//! `time.`/`sched.`-prefixed metrics vary run to run by design — consumers
+//! comparing runs must restrict themselves to the deterministic namespace,
+//! as the CI metrics gate, [`compare_reports`], and the determinism tests
+//! do.
+//!
+//! v1 → v2: added `meta.run`, histogram `p95`, and the `trace` block.
 
 use crate::json::Json;
 use crate::metrics::{HistogramSnapshot, Snapshot};
+use crate::trace::{EventKind, TraceSummary};
 
 /// Schema identifier carried in every report.
-pub const SCHEMA_ID: &str = "dnsimpact-metrics/v1";
+pub const SCHEMA_ID: &str = "dnsimpact-metrics/v2";
 
 /// Run identity: the inputs that determine the deterministic metrics.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +51,9 @@ pub struct RunMeta {
     pub seed: u64,
     pub scale: u64,
     pub jobs: u64,
+    /// Same-day run counter (bench artifacts: `BENCH_<date>_run<N>.json`
+    /// from the second run of a date on; plain runs report 1).
+    pub run: u64,
     pub chaos_seed: Option<u64>,
     pub bench: bool,
     /// UTC date of the run, `YYYY-MM-DD`.
@@ -56,7 +68,7 @@ pub struct StageWall {
     pub wall_ms: u64,
 }
 
-/// A complete run report, convertible to and from schema-`v1` JSON.
+/// A complete run report, convertible to and from schema-`v2` JSON.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     pub meta: RunMeta,
@@ -64,6 +76,8 @@ pub struct RunReport {
     pub peak_rss_kb: u64,
     pub stages: Vec<StageWall>,
     pub metrics: Snapshot,
+    /// Summary of the causal event trace ([`crate::trace::summary`]).
+    pub trace: TraceSummary,
 }
 
 impl RunReport {
@@ -72,6 +86,7 @@ impl RunReport {
         meta.set("seed", Json::U64(self.meta.seed));
         meta.set("scale", Json::U64(self.meta.scale));
         meta.set("jobs", Json::U64(self.meta.jobs));
+        meta.set("run", Json::U64(self.meta.run));
         meta.set("chaos_seed", self.meta.chaos_seed.map_or(Json::Null, Json::U64));
         meta.set("bench", Json::Bool(self.meta.bench));
         meta.set("date", Json::Str(self.meta.date.clone()));
@@ -109,9 +124,19 @@ impl RunReport {
             o.set("max", Json::U64(h.max));
             o.set("p50", Json::U64(h.p50));
             o.set("p90", Json::U64(h.p90));
+            o.set("p95", Json::U64(h.p95));
             o.set("p99", Json::U64(h.p99));
             histograms.set(k, o);
         }
+
+        let mut trace = Json::obj();
+        trace.set("events", Json::U64(self.trace.events));
+        trace.set("dropped", Json::U64(self.trace.dropped));
+        let mut by_kind = Json::obj();
+        for (k, n) in &self.trace.by_kind {
+            by_kind.set(k, Json::U64(*n));
+        }
+        trace.set("by_kind", by_kind);
 
         let mut doc = Json::obj();
         doc.set("schema", Json::Str(SCHEMA_ID.into()));
@@ -122,10 +147,11 @@ impl RunReport {
         doc.set("counters", counters);
         doc.set("gauges", gauges);
         doc.set("histograms", histograms);
+        doc.set("trace", trace);
         doc
     }
 
-    /// Rebuild a report from schema-`v1` JSON. Runs full schema validation
+    /// Rebuild a report from schema-`v2` JSON. Runs full schema validation
     /// first, so `from_json(text)?` doubles as a validity check.
     pub fn from_json(doc: &Json) -> Result<RunReport, Vec<String>> {
         validate(doc)?;
@@ -134,6 +160,7 @@ impl RunReport {
             seed: meta.get("seed").unwrap().as_u64().unwrap(),
             scale: meta.get("scale").unwrap().as_u64().unwrap(),
             jobs: meta.get("jobs").unwrap().as_u64().unwrap(),
+            run: meta.get("run").unwrap().as_u64().unwrap(),
             chaos_seed: meta.get("chaos_seed").unwrap().as_u64(),
             bench: matches!(meta.get("bench").unwrap(), Json::Bool(true)),
             date: meta.get("date").unwrap().as_str().unwrap().to_string(),
@@ -191,10 +218,24 @@ impl RunReport {
                             max: f("max"),
                             p50: f("p50"),
                             p90: f("p90"),
+                            p95: f("p95"),
                             p99: f("p99"),
                         },
                     )
                 })
+                .collect(),
+        };
+        let t = doc.get("trace").unwrap();
+        let trace = TraceSummary {
+            events: t.get("events").unwrap().as_u64().unwrap(),
+            dropped: t.get("dropped").unwrap().as_u64().unwrap(),
+            by_kind: t
+                .get("by_kind")
+                .unwrap()
+                .as_object()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.as_u64().unwrap()))
                 .collect(),
         };
         Ok(RunReport {
@@ -203,24 +244,27 @@ impl RunReport {
             peak_rss_kb: doc.get("peak_rss_kb").unwrap().as_u64().unwrap(),
             stages,
             metrics,
+            trace,
         })
     }
 
     /// Human-readable summary for `--metrics-summary` (stderr). Shows the
-    /// run identity, per-stage wall times, and the deterministic counters
-    /// and gauges; histograms are collapsed to count/p50/p99.
+    /// run identity, per-stage wall times, the deterministic counters and
+    /// gauges, latency histograms collapsed to count/p50/p95/p99, and the
+    /// trace-event accounting.
     pub fn summary_table(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let chaos = self.meta.chaos_seed.map_or("off".to_string(), |s| format!("{s}"));
         let _ = writeln!(
             out,
-            "run: seed={} scale={} jobs={} chaos={} date={}  wall={}ms rss={}kB",
+            "run: seed={} scale={} jobs={} chaos={} date={} run#{}  wall={}ms rss={}kB",
             self.meta.seed,
             self.meta.scale,
             self.meta.jobs,
             chaos,
             self.meta.date,
+            self.meta.run,
             self.total_wall_ms,
             self.peak_rss_kb
         );
@@ -239,10 +283,27 @@ impl RunReport {
         }
         if !self.metrics.histograms.is_empty() {
             let _ = writeln!(out, "{:-<72}", "");
-            let _ = writeln!(out, "{:<40} {:>9} {:>9} {:>9}", "histogram", "count", "p50", "p99");
+            let _ = writeln!(
+                out,
+                "{:<36} {:>8} {:>8} {:>8} {:>8}",
+                "histogram", "count", "p50", "p95", "p99"
+            );
             for (k, h) in &self.metrics.histograms {
-                let _ = writeln!(out, "{:<40} {:>9} {:>9} {:>9}", k, h.count, h.p50, h.p99);
+                let _ = writeln!(
+                    out,
+                    "{:<36} {:>8} {:>8} {:>8} {:>8}",
+                    k, h.count, h.p50, h.p95, h.p99
+                );
             }
+        }
+        let _ = writeln!(out, "{:-<72}", "");
+        let _ = writeln!(
+            out,
+            "trace: {} event(s) retained, {} dropped",
+            self.trace.events, self.trace.dropped
+        );
+        for (kind, n) in &self.trace.by_kind {
+            let _ = writeln!(out, "  {kind:<38} {n:>12}");
         }
         out
     }
@@ -278,7 +339,7 @@ fn check_metric_map(doc: &Json, key: &str, errors: &mut Vec<String>, histogram: 
                 errors.push(format!("$.{key}.{name} must be an object"));
                 continue;
             }
-            for field in ["count", "sum", "min", "max", "p50", "p90", "p99"] {
+            for field in ["count", "sum", "min", "max", "p50", "p90", "p95", "p99"] {
                 require_u64(v, field, &format!("$.{key}.{name}"), errors);
             }
         } else if v.as_u64().is_none() {
@@ -287,7 +348,7 @@ fn check_metric_map(doc: &Json, key: &str, errors: &mut Vec<String>, histogram: 
     }
 }
 
-/// Validate a document against schema `dnsimpact-metrics/v1`. Returns the
+/// Validate a document against schema `dnsimpact-metrics/v2`. Returns the
 /// full list of violations rather than stopping at the first.
 pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
     let mut errors = Vec::new();
@@ -297,7 +358,7 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
         None => errors.push("missing string field $.schema".into()),
     }
     if let Some(meta) = require(doc, "meta", "$", &mut errors) {
-        for key in ["seed", "scale", "jobs"] {
+        for key in ["seed", "scale", "jobs", "run"] {
             require_u64(meta, key, "$.meta", &mut errors);
         }
         match require(meta, "chaos_seed", "$.meta", &mut errors) {
@@ -352,6 +413,24 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
     check_metric_map(doc, "counters", &mut errors, false);
     check_metric_map(doc, "gauges", &mut errors, false);
     check_metric_map(doc, "histograms", &mut errors, true);
+    if let Some(trace) = require(doc, "trace", "$", &mut errors) {
+        require_u64(trace, "events", "$.trace", &mut errors);
+        require_u64(trace, "dropped", "$.trace", &mut errors);
+        match require(trace, "by_kind", "$.trace", &mut errors) {
+            Some(Json::Object(pairs)) => {
+                for (kind, n) in pairs {
+                    if EventKind::parse(kind).is_none() {
+                        errors.push(format!("$.trace.by_kind key {kind:?} is not an event kind"));
+                    }
+                    if n.as_u64().is_none() {
+                        errors.push(format!("$.trace.by_kind.{kind} must be an unsigned integer"));
+                    }
+                }
+            }
+            Some(_) => errors.push("$.trace.by_kind must be an object".into()),
+            None => {}
+        }
+    }
     if errors.is_empty() {
         Ok(())
     } else {
@@ -407,6 +486,133 @@ pub fn check_invariants(doc: &Json) -> Result<(), Vec<String>> {
     }
 }
 
+/// `repro bench --compare` wall-clock regression threshold: fail when the
+/// new run exceeds baseline × factor + floor. Generous on purpose — the
+/// baseline may come from a different machine; this catches order-of-
+/// magnitude regressions, not noise.
+pub const WALL_REGRESSION_FACTOR: f64 = 3.0;
+/// Absolute slack added to the wall-clock limit (protects tiny baselines).
+pub const WALL_REGRESSION_FLOOR_MS: u64 = 2_000;
+/// Peak-RSS regression threshold factor.
+pub const RSS_REGRESSION_FACTOR: f64 = 2.0;
+/// Absolute slack added to the RSS limit, in kB.
+pub const RSS_REGRESSION_FLOOR_KB: u64 = 131_072;
+
+/// Diff a fresh bench report against a baseline report (`repro bench
+/// --compare`). Returns `(failures, warnings)`:
+///
+/// - wall clock / peak RSS beyond the generous regression thresholds
+///   **fail**;
+/// - deterministic counters, gauges, and histogram shapes (names not
+///   prefixed `time.`/`sched.`) present in *both* reports must match
+///   **exactly** — any drift fails, because for a pinned bench
+///   seed/scale/chaos configuration they are pure functions of the code;
+/// - names present in only one report (new or retired metrics) **warn**;
+/// - a baseline with a different seed/scale/chaos configuration warns and
+///   skips the drift check (the counters are incomparable).
+///
+/// Reads both documents leniently through raw JSON, so a schema-`v1`
+/// baseline (no `meta.run`, no `p95`, no `trace` block) remains usable.
+pub fn compare_reports(current: &Json, baseline: &Json) -> (Vec<String>, Vec<String>) {
+    let mut failures = Vec::new();
+    let mut warnings = Vec::new();
+    let top = |doc: &Json, key: &str| doc.get(key).and_then(|v| v.as_u64());
+
+    match (top(current, "total_wall_ms"), top(baseline, "total_wall_ms")) {
+        (Some(cur), Some(base)) => {
+            let limit = (base as f64 * WALL_REGRESSION_FACTOR) as u64 + WALL_REGRESSION_FLOOR_MS;
+            if cur > limit {
+                failures.push(format!(
+                    "wall-clock regression: {cur} ms vs baseline {base} ms (limit {limit} ms)"
+                ));
+            }
+        }
+        _ => warnings.push("total_wall_ms missing; wall-clock comparison skipped".into()),
+    }
+    match (top(current, "peak_rss_kb"), top(baseline, "peak_rss_kb")) {
+        (Some(cur), Some(base)) => {
+            let limit = (base as f64 * RSS_REGRESSION_FACTOR) as u64 + RSS_REGRESSION_FLOOR_KB;
+            if cur > limit {
+                failures.push(format!(
+                    "peak-RSS regression: {cur} kB vs baseline {base} kB (limit {limit} kB)"
+                ));
+            }
+        }
+        _ => warnings.push("peak_rss_kb missing; RSS comparison skipped".into()),
+    }
+
+    // Drift is only meaningful for an identical run configuration.
+    let meta = |doc: &Json, key: &str| doc.get("meta").and_then(|m| m.get(key)).cloned();
+    let mut config_matches = true;
+    for key in ["seed", "scale", "chaos_seed", "experiments"] {
+        if meta(current, key) != meta(baseline, key) {
+            warnings.push(format!(
+                "baseline meta.{key} differs from this run; deterministic drift check skipped"
+            ));
+            config_matches = false;
+        }
+    }
+    if !config_matches {
+        return (failures, warnings);
+    }
+
+    let deterministic = |name: &str| !name.starts_with("time.") && !name.starts_with("sched.");
+    for section in ["counters", "gauges"] {
+        let (Some(cur), Some(base)) = (
+            current.get(section).and_then(|s| s.as_object()),
+            baseline.get(section).and_then(|s| s.as_object()),
+        ) else {
+            warnings.push(format!("{section} missing; drift check skipped for it"));
+            continue;
+        };
+        for (name, value) in cur {
+            if !deterministic(name) {
+                continue;
+            }
+            match base.iter().find(|(k, _)| k == name) {
+                Some((_, b)) if b == value => {}
+                Some((_, b)) => failures.push(format!(
+                    "deterministic drift: {section}.{name} = {value:?} vs baseline {b:?}"
+                )),
+                None => warnings.push(format!("{section}.{name} absent from baseline")),
+            }
+        }
+        for (name, _) in base {
+            if deterministic(name) && !cur.iter().any(|(k, _)| k == name) {
+                warnings.push(format!("{section}.{name} present in baseline only"));
+            }
+        }
+    }
+    // Deterministic histograms compare field-by-field over the fields both
+    // documents carry (a v1 baseline lacks p95).
+    if let (Some(cur), Some(base)) = (
+        current.get("histograms").and_then(|s| s.as_object()),
+        baseline.get("histograms").and_then(|s| s.as_object()),
+    ) {
+        for (name, h) in cur {
+            if !deterministic(name) {
+                continue;
+            }
+            let Some((_, bh)) = base.iter().find(|(k, _)| k == name) else {
+                warnings.push(format!("histograms.{name} absent from baseline"));
+                continue;
+            };
+            for field in ["count", "sum", "min", "max", "p50", "p90", "p95", "p99"] {
+                if let (Some(a), Some(b)) =
+                    (h.get(field).and_then(|v| v.as_u64()), bh.get(field).and_then(|v| v.as_u64()))
+                {
+                    if a != b {
+                        failures.push(format!(
+                            "deterministic drift: histograms.{name}.{field} = {a} vs baseline {b}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    (failures, warnings)
+}
+
 /// Today's date in UTC as `YYYY-MM-DD`, from the system clock. Uses the
 /// days-to-civil algorithm (Howard Hinnant's `civil_from_days`), so no
 /// date dependency is needed.
@@ -456,6 +662,7 @@ mod tests {
                 max: 15,
                 p50: 3,
                 p90: 15,
+                p95: 15,
                 p99: 15,
             },
         );
@@ -464,6 +671,7 @@ mod tests {
                 seed: 42,
                 scale: 1500,
                 jobs: 2,
+                run: 1,
                 chaos_seed: Some(9),
                 bench: true,
                 date: "2026-08-05".into(),
@@ -476,6 +684,11 @@ mod tests {
                 StageWall { name: "catalog".into(), wall_ms: 400 },
             ],
             metrics: Snapshot { counters, gauges, histograms },
+            trace: TraceSummary {
+                events: 400,
+                dropped: 0,
+                by_kind: vec![("AttackOnset".into(), 300), ("JoinMatched".into(), 100)],
+            },
         }
     }
 
@@ -531,6 +744,58 @@ mod tests {
         slow.set("gauges", gauges);
         let errors = check_invariants(&slow).unwrap_err();
         assert_eq!(errors.len(), 2, "{errors:?}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_trace_block() {
+        let mut doc = sample_report().to_json();
+        let mut trace = doc.get("trace").unwrap().clone();
+        let mut by_kind = Json::obj();
+        by_kind.set("NotAKind", Json::U64(1));
+        by_kind.set("AttackOnset", Json::Str("three".into()));
+        trace.set("by_kind", by_kind);
+        doc.set("trace", trace);
+        let errors = validate(&doc).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("NotAKind")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("by_kind.AttackOnset")), "{errors:?}");
+    }
+
+    #[test]
+    fn compare_flags_regressions_and_drift_only() {
+        let base = sample_report().to_json();
+        // Identical reports: clean.
+        let (failures, warnings) = compare_reports(&base, &base);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert!(warnings.is_empty(), "{warnings:?}");
+
+        // Wall/RSS regressions beyond the generous thresholds fail; a new
+        // counter only warns; drift on a shared counter fails exactly.
+        let mut cur = sample_report();
+        cur.total_wall_ms = 1234 * 4 + WALL_REGRESSION_FLOOR_MS;
+        cur.peak_rss_kb = 56_789 * 3 + RSS_REGRESSION_FLOOR_KB;
+        cur.metrics.counters.insert("trace.events".into(), 400);
+        *cur.metrics.counters.get_mut("join.rows_joined").unwrap() = 346;
+        let (failures, warnings) = compare_reports(&cur.to_json(), &base);
+        assert_eq!(failures.len(), 3, "{failures:?}");
+        assert!(failures.iter().any(|e| e.contains("wall-clock regression")));
+        assert!(failures.iter().any(|e| e.contains("peak-RSS regression")));
+        assert!(failures.iter().any(|e| e.contains("counters.join.rows_joined")));
+        assert!(warnings.iter().any(|w| w.contains("trace.events absent from baseline")));
+
+        // Faster runs never fail; nondeterministic sections are ignored.
+        let mut fast = sample_report();
+        fast.total_wall_ms = 1;
+        fast.metrics.histograms.get_mut("time.pool.task_ms").unwrap().p50 = 999;
+        let (failures, _) = compare_reports(&fast.to_json(), &base);
+        assert!(failures.is_empty(), "{failures:?}");
+
+        // A baseline from a different configuration skips the drift check.
+        let mut other = sample_report();
+        other.meta.scale = 40;
+        *other.metrics.counters.get_mut("join.rows_joined").unwrap() = 9;
+        let (failures, warnings) = compare_reports(&cur.to_json(), &other.to_json());
+        assert!(failures.iter().all(|e| !e.contains("drift")), "{failures:?}");
+        assert!(warnings.iter().any(|w| w.contains("meta.scale")), "{warnings:?}");
     }
 
     #[test]

@@ -64,6 +64,13 @@ impl ReactiveReport {
 #[derive(Default)]
 pub struct ReactivePlatform {
     pub config: TriggerConfig,
+    /// Trace attribution (see `obs::trace`): the feed scope this platform
+    /// consumes (`milru`, `rdz`, …). `None` disables trace emission —
+    /// the default, so unscoped constructions behave exactly as before.
+    pub trace_scope: Option<&'static str>,
+    /// Victim → episode lookup attributing feed records and probe rounds
+    /// to `scope/idx` causal ids; only consulted when `trace_scope` is set.
+    pub episode_index: Option<Arc<telescope::EpisodeIndex>>,
 }
 
 enum FeedMsg {
@@ -104,6 +111,8 @@ impl ReactivePlatform {
         // Trigger stage: maintain per-victim plans; emit them on flush.
         let infra2 = Arc::clone(infra);
         let config = self.config;
+        let trace_scope = self.trace_scope;
+        let episode_index = self.episode_index.clone();
         let mut open: HashMap<Ipv4Addr, ProbePlan> = HashMap::new();
         let trigger = spawn_stage(
             "trigger",
@@ -111,6 +120,34 @@ impl ReactivePlatform {
             plans_topic.clone(),
             move |m: Arc<FeedMsg>| match &*m {
                 FeedMsg::Arrived(r, at) => {
+                    // Causal tracing (single-threaded stage over a fixed
+                    // stream order → deterministic event stream).
+                    if let Some(scope) = trace_scope {
+                        let ep =
+                            episode_index.as_ref().and_then(|ix| ix.lookup(r.victim, r.window));
+                        obs::trace::emit(
+                            obs::EventKind::FeedRecordArrived,
+                            scope,
+                            ep,
+                            Some(at.secs()),
+                            format!("victim {} window {}", r.victim, r.window.0),
+                            None,
+                        );
+                        // Backlog delivery after a feed gap: the record is
+                        // at least one whole window late.
+                        let delay_windows = at.secs().saturating_sub(r.window.end().secs())
+                            / simcore::time::WINDOW_SECS;
+                        if delay_windows > 0 {
+                            obs::trace::emit(
+                                obs::EventKind::FeedGap,
+                                scope,
+                                ep,
+                                Some(at.secs()),
+                                format!("victim {} window {} delivered late", r.victim, r.window.0),
+                                Some(delay_windows),
+                            );
+                        }
+                    }
                     match open.get_mut(&r.victim) {
                         Some(plan) => plan.extend(r.window, &config),
                         None => {
@@ -121,8 +158,29 @@ impl ReactivePlatform {
                                 // latency vs. the ≤10-minute bound, gated
                                 // in CI. Stream order is fixed, so the
                                 // maximum is deterministic.
-                                obs::gauge("reactive.trigger_latency_max_secs")
-                                    .record_max(plan.trigger_delay_from_arrival(*at).secs());
+                                let delay = plan.trigger_delay_from_arrival(*at).secs();
+                                obs::gauge("reactive.trigger_latency_max_secs").record_max(delay);
+                                if let Some(scope) = trace_scope {
+                                    let ep = episode_index
+                                        .as_ref()
+                                        .and_then(|ix| ix.lookup(r.victim, r.window));
+                                    obs::trace::emit(
+                                        obs::EventKind::TriggerFired,
+                                        scope,
+                                        ep,
+                                        Some(plan.start.secs()),
+                                        format!("victim {}", r.victim),
+                                        Some(delay),
+                                    );
+                                    obs::trace::emit(
+                                        obs::EventKind::ProbeScheduled,
+                                        scope,
+                                        ep,
+                                        Some(plan.start.secs()),
+                                        format!("victim {}", r.victim),
+                                        Some(plan.domains.len() as u64),
+                                    );
+                                }
                                 open.insert(r.victim, plan);
                             }
                         }
@@ -183,6 +241,7 @@ impl ReactivePlatform {
         plans
             .iter()
             .map(|plan| {
+                let trace = self.plan_trace(plan);
                 let mut rng = rngs.stream_indexed("reactive-probe", u32::from(plan.victim) as u64);
                 let rounds = (0..plan.rounds().min(max_rounds))
                     .map(|k| {
@@ -191,12 +250,25 @@ impl ReactivePlatform {
                             .into_iter()
                             .map(|(d, at)| probe_all_ns(infra, d, at, loads, &mut rng))
                             .collect();
-                        summarize_round(k, plan, &probes)
+                        summarize_round(k, plan, &probes, trace)
                     })
                     .collect();
                 ReactiveReport { plan: plan.clone(), rounds }
             })
             .collect()
+    }
+
+    /// Trace attribution of one plan's probe rounds: the platform's scope
+    /// plus the episode the plan's triggering victim/window belongs to.
+    fn plan_trace(&self, plan: &ProbePlan) -> Option<(&'static str, Option<u64>)> {
+        self.trace_scope.map(|scope| {
+            (
+                scope,
+                self.episode_index
+                    .as_ref()
+                    .and_then(|ix| ix.lookup(plan.victim, plan.start.window())),
+            )
+        })
     }
 
     /// Execute plans *chronologically interleaved* on a discrete-event
@@ -233,7 +305,7 @@ impl ReactivePlatform {
                 .into_iter()
                 .map(|(d, t)| probe_all_ns(infra, d, t, loads, &mut rngs_per_plan[i]))
                 .collect();
-            rounds_per_plan[i].push(summarize_round(k, plan, &probes));
+            rounds_per_plan[i].push(summarize_round(k, plan, &probes, self.plan_trace(plan)));
             let next = k + 1;
             if next < plan.rounds().min(max_rounds) {
                 q.schedule(
@@ -263,13 +335,32 @@ impl ReactivePlatform {
     }
 }
 
-fn summarize_round(k: u64, plan: &ProbePlan, probes: &[DomainProbe]) -> RoundSummary {
+fn summarize_round(
+    k: u64,
+    plan: &ProbePlan,
+    probes: &[DomainProbe],
+    trace: Option<(&'static str, Option<u64>)>,
+) -> RoundSummary {
     // Probe-budget accounting: both executors summarize through here, so
     // the counters cover every round however the plans were replayed. The
     // per-round maximum is gated in CI against the 50-domain budget.
     obs::counter("reactive.probe_rounds").incr();
     obs::counter("reactive.probes").add(probes.len() as u64);
     obs::gauge("reactive.probe_round_max_probes").record_max(probes.len() as u64);
+    if let Some((scope, ep)) = trace {
+        obs::trace::emit(
+            obs::EventKind::ProbeCompleted,
+            scope,
+            ep,
+            Some(
+                (plan.start
+                    + simcore::time::SimDuration::from_secs(k * simcore::time::WINDOW_SECS))
+                .secs(),
+            ),
+            format!("victim {} round {k}", plan.victim),
+            Some(probes.len() as u64),
+        );
+    }
     let resolvable = probes.iter().filter(|p| p.resolvable()).count() as u64;
     let best: Vec<f64> = probes.iter().filter_map(|p| p.best_rtt_ms()).collect();
     let avg_best =

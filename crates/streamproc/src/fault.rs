@@ -212,13 +212,17 @@ pub fn spawn_chaos_stage<T>(
 where
     T: Clone + Send + 'static,
 {
+    let site = name.to_string();
     StageHandle::spawn(&format!("chaos:{name}"), move || {
         // Fault accounting (out-of-band, see `obs`): injections counted
         // here at the moment each fault is applied; repairs counted where
         // the recovery machinery undoes them — holds at release (below),
         // drops at retransmission, duplicates at sink dedup, crashes at
         // supervisor restart. For a completed run every class balances, so
-        // `chaos.faults_repaired == chaos.faults_injected` exactly.
+        // `chaos.faults_repaired == chaos.faults_injected` exactly. Trace
+        // events mirror the counters with matching detail keys, so
+        // `obs::trace::check_causality` can pair each injection with its
+        // repair per `(site, detail)`.
         let injected = obs::counter("chaos.faults_injected");
         let repaired = obs::counter("chaos.faults_repaired");
         let mut emitted = 0u64;
@@ -232,10 +236,26 @@ where
                 FaultAction::Drop => {
                     obs::counter("chaos.drops_injected").incr();
                     injected.incr();
+                    obs::trace::emit(
+                        obs::EventKind::FaultInjected,
+                        &site,
+                        None,
+                        None,
+                        format!("drop seq={}", msg.seq),
+                        None,
+                    );
                 }
                 FaultAction::Duplicate => {
                     obs::counter("chaos.dups_injected").incr();
                     injected.incr();
+                    obs::trace::emit(
+                        obs::EventKind::FaultInjected,
+                        &site,
+                        None,
+                        None,
+                        format!("dup seq={}", msg.seq),
+                        None,
+                    );
                     out.publish(msg.clone());
                     out.publish(msg);
                     emitted += 2;
@@ -243,6 +263,14 @@ where
                 FaultAction::Hold(lag) => {
                     obs::counter("chaos.holds_injected").incr();
                     injected.incr();
+                    obs::trace::emit(
+                        obs::EventKind::FaultInjected,
+                        &site,
+                        None,
+                        None,
+                        format!("hold seq={}", msg.seq),
+                        Some(lag as u64),
+                    );
                     held.push((lag, msg));
                 }
             }
@@ -260,6 +288,14 @@ where
             for m in due {
                 obs::counter("chaos.holds_repaired").incr();
                 repaired.incr();
+                obs::trace::emit(
+                    obs::EventKind::FaultRepaired,
+                    &site,
+                    None,
+                    None,
+                    format!("hold seq={}", m.seq),
+                    None,
+                );
                 out.publish(m);
                 emitted += 1;
             }
@@ -270,6 +306,14 @@ where
         for (_, m) in held {
             obs::counter("chaos.holds_repaired").incr();
             repaired.incr();
+            obs::trace::emit(
+                obs::EventKind::FaultRepaired,
+                &site,
+                None,
+                None,
+                format!("hold seq={}", m.seq),
+                None,
+            );
             out.publish(m);
             emitted += 1;
         }

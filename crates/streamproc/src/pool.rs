@@ -153,6 +153,14 @@ where
         loop {
             let r = catch_unwind(AssertUnwindSafe(|| {
                 if attempt < planned {
+                    obs::trace::emit(
+                        obs::EventKind::FaultInjected,
+                        "pool",
+                        None,
+                        None,
+                        format!("crash task={i} attempt={attempt}"),
+                        None,
+                    );
                     injected_crash();
                 }
                 f(i, &t)
@@ -169,6 +177,14 @@ where
                     if e.downcast_ref::<crate::fault::InjectedCrash>().is_some() {
                         obs::counter("chaos.crashes_repaired").incr();
                         obs::counter("chaos.faults_repaired").incr();
+                        obs::trace::emit(
+                            obs::EventKind::FaultRepaired,
+                            "pool",
+                            None,
+                            None,
+                            format!("crash task={i} attempt={attempt}"),
+                            None,
+                        );
                     }
                     obs::counter("chaos.restarts").incr();
                     restarts.fetch_add(1, Ordering::Relaxed);

@@ -123,6 +123,16 @@ where
             // further round, so the totals balance exactly).
             obs::counter("chaos.drops_repaired").add(pending.len() as u64);
             obs::counter("chaos.faults_repaired").add(pending.len() as u64);
+            for m in &pending {
+                obs::trace::emit(
+                    obs::EventKind::FaultRepaired,
+                    name,
+                    None,
+                    None,
+                    format!("drop seq={}", m.seq),
+                    None,
+                );
+            }
         }
         let src: Topic<Seq<T>> = Topic::new(&format!("{name}:replay"));
         let out: Topic<Seq<T>> = Topic::new(&format!("{name}:delivered"));
@@ -153,6 +163,14 @@ where
                 // chaos stage injected.
                 obs::counter("chaos.dups_repaired").incr();
                 obs::counter("chaos.faults_repaired").incr();
+                obs::trace::emit(
+                    obs::EventKind::FaultRepaired,
+                    name,
+                    None,
+                    None,
+                    format!("dup seq={}", m.seq),
+                    None,
+                );
             }
         }
         // Gap detection: whatever is still missing goes into the next
@@ -211,6 +229,7 @@ where
             let acked = Arc::clone(&acked);
             let f = Arc::clone(&f);
             let ack_interval = cfg.ack_interval.max(1);
+            let site = name.to_string();
             // A raw thread (not StageHandle) so the supervisor sees the
             // panic as a `Result` instead of propagating it.
             thread::Builder::new()
@@ -219,6 +238,14 @@ where
                     let mut since_ack = 0u64;
                     for i in start..n {
                         if crash_after == Some(i - start) {
+                            obs::trace::emit(
+                                obs::EventKind::FaultInjected,
+                                &site,
+                                None,
+                                None,
+                                format!("crash attempt={attempt}"),
+                                None,
+                            );
                             injected_crash();
                         }
                         for (k, o) in f(i, &input[i as usize]).into_iter().enumerate() {
@@ -231,6 +258,14 @@ where
                         }
                     }
                     if crash_after == Some(n - start) {
+                        obs::trace::emit(
+                            obs::EventKind::FaultInjected,
+                            &site,
+                            None,
+                            None,
+                            format!("crash attempt={attempt}"),
+                            None,
+                        );
                         injected_crash();
                     }
                 })
@@ -246,6 +281,14 @@ where
                 if e.downcast_ref::<crate::fault::InjectedCrash>().is_some() {
                     obs::counter("chaos.crashes_repaired").incr();
                     obs::counter("chaos.faults_repaired").incr();
+                    obs::trace::emit(
+                        obs::EventKind::FaultRepaired,
+                        name,
+                        None,
+                        None,
+                        format!("crash attempt={attempt}"),
+                        None,
+                    );
                 }
                 obs::counter("chaos.restarts").incr();
                 stats.restarts += 1;

@@ -5,7 +5,7 @@ use crate::rsdos::AttackEpisode;
 use attack::Protocol;
 use netbase::{Prefix2As, Slash24};
 use simcore::time::Window;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 use std::net::Ipv4Addr;
 
@@ -92,6 +92,33 @@ impl RsdosFeed {
         self.episodes.iter().filter(move |e| pred(e.victim))
     }
 
+    /// Emit one `AttackOnset` trace event per episode, attributed to the
+    /// feed `scope` (`rsdos`, `milru`, …). The episode's index in this
+    /// feed becomes its causal id (`scope/idx`) for the rest of the
+    /// pipeline. Pure function of the feed, so the emitted stream is
+    /// identical for any `--jobs` or chaos seed.
+    pub fn trace_onsets(&self, scope: &str) {
+        for (idx, e) in self.episodes.iter().enumerate() {
+            obs::trace::emit(
+                obs::EventKind::AttackOnset,
+                scope,
+                Some(idx as u64),
+                Some(e.first_window.start().secs()),
+                format!(
+                    "victim {} {:?} port {} peak {:.0} ppm",
+                    e.victim, e.protocol, e.first_port, e.peak_ppm
+                ),
+                Some(e.duration().secs() / 60),
+            );
+        }
+    }
+
+    /// Build the victim → episode lookup that attributes downstream
+    /// events (feed arrivals, triggers, probes) back to episode ids.
+    pub fn episode_index(&self) -> EpisodeIndex {
+        EpisodeIndex::new(&self.episodes)
+    }
+
     /// Render the per-window records as CSV.
     pub fn records_csv(&self) -> String {
         let mut s = String::from(
@@ -138,6 +165,38 @@ impl RsdosFeed {
             );
         }
         s
+    }
+}
+
+/// Victim → episode lookup for trace attribution: maps a feed record's
+/// `(victim, window)` to the episode index it belongs to. A record can
+/// trail its episode's `last_window` (the trigger path extends plans on
+/// every sighting), so the lookup picks the *latest* episode of the
+/// victim whose first window is ≤ the record's window rather than
+/// requiring containment.
+#[derive(Clone, Debug, Default)]
+pub struct EpisodeIndex {
+    /// Per victim: `(first_window, episode idx)`, sorted by first window.
+    by_victim: HashMap<Ipv4Addr, Vec<(u64, u64)>>,
+}
+
+impl EpisodeIndex {
+    pub fn new(episodes: &[AttackEpisode]) -> EpisodeIndex {
+        let mut by_victim: HashMap<Ipv4Addr, Vec<(u64, u64)>> = HashMap::new();
+        for (idx, e) in episodes.iter().enumerate() {
+            by_victim.entry(e.victim).or_default().push((e.first_window.0, idx as u64));
+        }
+        for spans in by_victim.values_mut() {
+            spans.sort_unstable();
+        }
+        EpisodeIndex { by_victim }
+    }
+
+    /// The episode a record of `victim` in window `w` belongs to, if any.
+    pub fn lookup(&self, victim: Ipv4Addr, w: Window) -> Option<u64> {
+        let spans = self.by_victim.get(&victim)?;
+        let at = spans.partition_point(|&(first, _)| first <= w.0);
+        at.checked_sub(1).map(|i| spans[i].1)
     }
 }
 
@@ -222,6 +281,27 @@ mod tests {
         assert_eq!(ec.lines().count(), 2);
         assert!(ec.contains("duration_min"));
         assert!(ec.contains(",10,")); // duration 2 windows = 10 min
+    }
+
+    #[test]
+    fn episode_index_attributes_records() {
+        let feed = RsdosFeed::new(
+            vec![],
+            vec![
+                episode("10.0.0.1", 10, 12),
+                episode("10.0.0.1", 50, 51), // second attack on the same ip
+                episode("10.0.0.2", 20, 21),
+            ],
+        );
+        let ix = feed.episode_index();
+        let ip: Ipv4Addr = "10.0.0.1".parse().unwrap();
+        assert_eq!(ix.lookup(ip, Window(10)), Some(0));
+        // Trailing records (plan extensions) still attribute to episode 0.
+        assert_eq!(ix.lookup(ip, Window(30)), Some(0));
+        assert_eq!(ix.lookup(ip, Window(50)), Some(1));
+        assert_eq!(ix.lookup(ip, Window(9)), None, "before the first onset");
+        assert_eq!(ix.lookup("10.9.9.9".parse().unwrap(), Window(10)), None);
+        assert_eq!(ix.lookup("10.0.0.2".parse().unwrap(), Window(25)), Some(2));
     }
 
     #[test]

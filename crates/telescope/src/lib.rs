@@ -31,6 +31,6 @@ pub mod rsdos;
 pub use amppot::{AmpPotEvent, AmpPotSensor, SensorCoverage};
 pub use backscatter::{BackscatterObs, BackscatterSampler};
 pub use darknet::Darknet;
-pub use feed::{FeedSummary, RsdosFeed, RsdosRecord};
+pub use feed::{EpisodeIndex, FeedSummary, RsdosFeed, RsdosRecord};
 pub use outage::FeedGapModel;
 pub use rsdos::{AttackEpisode, RsdosClassifier, RsdosThresholds};

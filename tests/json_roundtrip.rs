@@ -1,0 +1,162 @@
+//! Edge-case and property tests for the zero-dependency JSON layer in
+//! `obs::json` — the carrier for run reports, BENCH baselines, and the
+//! Chrome trace export. The layer's contract is byte-stable round-trips:
+//! `parse(v.pretty()) == v` and `parse(text).pretty() == text`, so a
+//! baseline written by one run diffs clean against a re-serialization by
+//! another.
+
+use obs::Json;
+use proptest::prelude::*;
+use proptest::{Strategy, TestRng};
+
+#[test]
+fn escape_edge_cases() {
+    // Every escape the writer emits parses back to the same string.
+    let gauntlet = [
+        "",
+        "\"",
+        "\\",
+        "\\\\\"\"",
+        "a\"b\\c/d",
+        "line\nfeed\rreturn\ttab",
+        "\u{8}\u{c}\u{1}\u{1f}", // backspace, formfeed, raw controls
+        "mixed \u{0} nul and text",
+        "ünïcode — ελληνικά — 日本語 — 🦀",
+        "trailing backslash\\",
+    ];
+    for s in gauntlet {
+        let doc = Json::Str(s.to_string());
+        let text = doc.pretty();
+        let parsed = Json::parse(&text).unwrap_or_else(|e| panic!("{text:?}: {e}"));
+        assert_eq!(parsed, doc, "escape round-trip for {s:?}");
+    }
+
+    // Escapes the parser accepts beyond what the writer emits.
+    assert_eq!(Json::parse(r#""\/""#).unwrap(), Json::Str("/".into()));
+    assert_eq!(Json::parse(r#""Aé""#).unwrap(), Json::Str("Aé".into()));
+    // Unpaired surrogates map to U+FFFD rather than erroring.
+    assert_eq!(Json::parse(r#""\ud800""#).unwrap(), Json::Str("\u{fffd}".into()));
+    // Unknown escapes are rejected.
+    assert!(Json::parse(r#""\q""#).is_err());
+}
+
+#[test]
+fn deep_nesting_round_trips() {
+    // 500 levels of alternating arrays and single-key objects: recursion
+    // in the parser, the writer, and the recursive Drop all survive it.
+    let mut v = Json::U64(7);
+    for depth in 0..500u32 {
+        v = if depth % 2 == 0 {
+            Json::Array(vec![v])
+        } else {
+            let mut o = Json::obj();
+            o.set("k", v);
+            o
+        };
+    }
+    let text = v.pretty();
+    let parsed = Json::parse(&text).expect("deeply nested document parses");
+    assert_eq!(parsed, v);
+    assert_eq!(parsed.pretty(), text);
+}
+
+#[test]
+fn truncated_input_is_rejected() {
+    // A document that ends in a closing brace has no valid proper prefix,
+    // so every truncation point must be a parse error — never a silent
+    // partial value (a truncated BENCH baseline must fail loudly).
+    let mut doc = Json::obj();
+    doc.set("schema", Json::Str("x/v1".into()));
+    doc.set("list", Json::Array(vec![Json::U64(1), Json::Bool(true), Json::Null]));
+    doc.set("nested", {
+        let mut o = Json::obj();
+        o.set("f", Json::F64(2.5));
+        o
+    });
+    let text = doc.pretty();
+    let text = text.trim_end(); // the trailing newline is a valid suffix to drop
+    for cut in 0..text.len() {
+        if !text.is_char_boundary(cut) {
+            continue;
+        }
+        assert!(
+            Json::parse(&text[..cut]).is_err(),
+            "prefix of {cut} bytes parsed as a complete document"
+        );
+    }
+
+    // Truncation inside escapes and literals.
+    for bad in ["\"\\", "\"\\u", "\"\\u00", "\"abc", "tru", "nul", "fals", "-", "[1,", "{\"a\":"] {
+        assert!(Json::parse(bad).is_err(), "{bad:?} accepted");
+    }
+}
+
+#[test]
+fn number_edge_cases() {
+    // u64 boundary values stay exact; past the boundary falls to f64.
+    assert_eq!(Json::parse("18446744073709551615").unwrap(), Json::U64(u64::MAX));
+    assert!(matches!(Json::parse("18446744073709551616").unwrap(), Json::F64(_)));
+    assert_eq!(Json::parse("1e3").unwrap(), Json::F64(1000.0));
+    assert_eq!(Json::parse("-0.25").unwrap(), Json::F64(-0.25));
+    // Whitespace tolerance around every token.
+    let spaced = " { \"a\" :\t[ 1 ,\n null , \"s\" ] } ";
+    let mut want = Json::obj();
+    want.set("a", Json::Array(vec![Json::U64(1), Json::Null, Json::Str("s".into())]));
+    assert_eq!(Json::parse(spaced).unwrap(), want);
+}
+
+/// Generator for arbitrary `Json` trees, depth-bounded so generation
+/// terminates. Floats are kept finite and non-integral: non-finite
+/// values serialize as `null` and integral floats print without a '.'
+/// and legitimately re-parse as `U64` — both are intentional one-way
+/// normalizations, not round-trip targets.
+struct ArbJson {
+    depth: u32,
+}
+
+fn gen_string(rng: &mut TestRng) -> String {
+    Strategy::generate(&"[ -~\n\t]{0,12}", rng)
+}
+
+fn gen_json(rng: &mut TestRng, depth: u32) -> Json {
+    let leaf_only = depth == 0;
+    let pick = rng.next_u64() % if leaf_only { 5 } else { 7 };
+    match pick {
+        0 => Json::Null,
+        1 => Json::Bool(rng.next_u64().is_multiple_of(2)),
+        2 => Json::U64(rng.next_u64()),
+        3 => {
+            let f = Strategy::generate(&(0.0f64..1.0), rng) + 0.5;
+            Json::F64(if f.fract() == 0.0 { 0.25 } else { f })
+        }
+        4 => Json::Str(gen_string(rng)),
+        5 => {
+            let n = rng.next_u64() % 4;
+            Json::Array((0..n).map(|_| gen_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.next_u64() % 4;
+            Json::Object((0..n).map(|_| (gen_string(rng), gen_json(rng, depth - 1))).collect())
+        }
+    }
+}
+
+impl Strategy for ArbJson {
+    type Value = Json;
+    fn generate(&self, rng: &mut TestRng) -> Json {
+        gen_json(rng, self.depth)
+    }
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_documents_round_trip(doc in ArbJson { depth: 4 }) {
+        let text = doc.pretty();
+        let parsed = Json::parse(&text)
+            .map_err(|e| proptest::test_runner::TestCaseError::fail(format!("{text:?}: {e}")))?;
+        prop_assert_eq!(&parsed, &doc);
+        // Re-serialization is byte-identical: the on-disk form is a
+        // fixed point of parse ∘ pretty.
+        prop_assert_eq!(parsed.pretty(), text);
+    }
+}

@@ -113,6 +113,7 @@ fn metrics_are_out_of_band_and_deterministic() {
             seed: 42,
             scale: 400,
             jobs: 8,
+            run: 1,
             chaos_seed: Some(4242),
             bench: false,
             date: obs::report::today_utc(),
@@ -122,6 +123,7 @@ fn metrics_are_out_of_band_and_deterministic() {
         peak_rss_kb: obs::rss::peak_rss_kb(),
         stages: vec![obs::StageWall { name: "test".into(), wall_ms: 1 }],
         metrics: obs::registry().snapshot(),
+        trace: obs::trace::summary(),
     };
     let doc = report.to_json();
     obs::report::validate(&doc).expect("live report validates");
