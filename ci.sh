@@ -13,6 +13,10 @@
 #   7. trace       pinned scenario with --trace-json: schema + causality
 #                  validation of the exported event trace, and `repro
 #                  explain` byte-identical across worker counts
+#   8. sweep       repro bench --scale-sweep smoke (1.5k + 15k cells):
+#                  cross-jobs artifact fingerprints enforced in-run, the
+#                  emitted dnsimpact-sweep/v1 report schema-validated
+#                  (heavy 150k/1.5M cells stay local: DNSIMPACT_SCALE_HEAVY)
 #
 # `./ci.sh --quick` runs only steps 2-3 (the tier-1 loop).
 #
@@ -126,5 +130,17 @@ repro_run 1500 4 expl-j4 explain milru/0 > "$SMOKE/explain-j4.txt" 2> /dev/null
 diff "$SMOKE/explain-j1.txt" "$SMOKE/explain-j4.txt"
 grep -q "AttackOnset" "$SMOKE/explain-j1.txt"
 echo "==> trace gate passed (trace causally sound, explain deterministic)"
+
+echo "==> sweep gate: repro bench --scale-sweep smoke"
+# The sweep refuses to emit a report unless every jobs=N cell's artifact
+# fingerprint matches its scale's jobs=1 cell, and (on multi-core hosts)
+# the largest scale's jobs=N cell shows speedup > 1; on a single-CPU host
+# the speedup gate auto-skips but the 8-thread determinism cell still
+# runs. validate-metrics then re-reads the report through the sweep-v1
+# schema: sorted cells, finite rates, consistent record accounting.
+"$REPRO" bench --scale-sweep --seed 42 --out "$SMOKE/sweep" 2> /dev/null
+SWEEP_JSON=$(ls "$SMOKE"/sweep/SWEEP_*.json)
+"$REPRO" validate-metrics "$SWEEP_JSON"
+echo "==> sweep gate passed (cross-jobs fingerprints equal, report schema valid)"
 
 echo "==> ci green"

@@ -8,6 +8,7 @@
 //!       [--metrics-json PATH] [--metrics-summary]
 //!       [--trace-json PATH] [EXPERIMENT...]
 //! repro bench [--compare [BASELINE.json]] [same flags]
+//! repro bench --scale-sweep [--out DIR] [same flags]
 //! repro explain EPISODE-ID [same flags]
 //! repro validate-metrics FILE
 //! repro validate-trace FILE
@@ -38,7 +39,7 @@
 //! rest, leaving `--out` byte-identical to an uninterrupted run.
 //!
 //! `--metrics-json PATH` writes the machine-readable run report (schema
-//! `dnsimpact-metrics/v1`: per-stage wall times, throughput counters,
+//! `dnsimpact-metrics/v2`: per-stage wall times, throughput counters,
 //! gauges, latency histograms, peak RSS) after the run; the document is
 //! schema-validated before it is written. `--metrics-summary` prints the
 //! human version of the same report to stderr. Both are out-of-band:
@@ -64,6 +65,18 @@
 //! counters/gauges/histograms fails exactly. Exit 1 on failure — this is
 //! the CI bench-regression gate.
 //!
+//! `repro bench --scale-sweep` runs the pinned longitudinal pipeline over
+//! the scale grid — target attack counts {1.5k, 15k}, plus 150k with
+//! `DNSIMPACT_SCALE_HEAVY=1` and 1.5M with `DNSIMPACT_SCALE_HEAVY=2` —
+//! each at jobs ∈ {1, N}, and writes a `dnsimpact-sweep/v1` report
+//! (records/sec, wall, peak RSS, speedup-vs-jobs=1 per cell) to
+//! `SWEEP_<date>[_runN].json` under `--out` (default `results/`). Every
+//! jobs=N cell's artifacts are fingerprint-checked against its scale's
+//! jobs=1 cell (on a single-CPU host an 8-thread cell still runs for this
+//! check), and on a multi-CPU host the largest scale must show
+//! speedup > 1 at jobs=N; either violation exits 1 without writing a
+//! report.
+//!
 //! `repro explain EPISODE-ID` (e.g. `rsdos/3`, `milru/0`, or a bare index
 //! meaning `rsdos/<idx>`) replays the experiments that cover the episode's
 //! scope and prints the episode's causal timeline: onset → feed arrival →
@@ -73,9 +86,12 @@
 //! byte-identical for any `--jobs` value.
 //!
 //! `repro validate-metrics FILE` schema-validates a previously written
-//! report and checks the cross-counter invariants (fault accounting
-//! balances; reactive latency and probe budgets hold). Exit 1 on any
-//! violation — this is the CI metrics gate.
+//! report, dispatching on the document's `schema` field: a
+//! `dnsimpact-metrics/v2` run report additionally gets the cross-counter
+//! invariant checks (fault accounting balances; reactive latency and
+//! probe budgets hold), a `dnsimpact-sweep/v1` sweep report gets the
+//! cell-grid checks (sorted, duplicate-free cells; finite floats). Exit 1
+//! on any violation — this is the CI metrics gate.
 //!
 //! `repro validate-trace FILE` loads a `--trace-json` file back and checks
 //! the causality invariants (triggers follow feed arrivals within bound,
@@ -125,6 +141,9 @@ struct Options {
     metrics_summary: bool,
     trace_json: Option<PathBuf>,
     bench: bool,
+    /// `bench --scale-sweep`: run the scale×jobs grid instead of the
+    /// experiment catalog and emit a `dnsimpact-sweep/v1` report.
+    scale_sweep: bool,
     /// Same-day bench run counter (1 for the first run of a date).
     run: u64,
     /// `bench --compare`: `Some(None)` = auto-pick the newest baseline,
@@ -147,6 +166,7 @@ fn parse_args() -> Options {
         metrics_summary: false,
         trace_json: None,
         bench: false,
+        scale_sweep: false,
         run: 1,
         compare: None,
         explain: None,
@@ -198,6 +218,7 @@ fn parse_args() -> Options {
                 }
             }
             "bench" => opts.bench = true,
+            "--scale-sweep" => opts.scale_sweep = true,
             "explain" => opts.explain = Some(args.next().expect("explain EPISODE-ID")),
             "validate-metrics" => {
                 let file = PathBuf::from(args.next().expect("validate-metrics FILE"));
@@ -217,6 +238,13 @@ fn parse_args() -> Options {
                 println!("repro bench                   replay the fixed bench subset,");
                 println!("                              write results/BENCH_<date>[_runN].json");
                 println!("repro bench --compare [FILE]  also diff against a baseline report");
+                println!("repro bench --scale-sweep     scale x jobs throughput grid,");
+                println!(
+                    "                              write SWEEP_<date>[_runN].json under --out"
+                );
+                println!(
+                    "                              (DNSIMPACT_SCALE_HEAVY=1|2 adds 150k/1.5M)"
+                );
                 println!("repro explain EPISODE-ID      print an episode's causal timeline");
                 println!("                              (e.g. rsdos/3, milru/0, transip/1)");
                 println!("repro validate-metrics FILE   schema + invariant check a report");
@@ -241,12 +269,13 @@ fn parse_args() -> Options {
         if opts.chaos_seed.is_none() {
             opts.chaos_seed = Some(BENCH_CHAOS_SEED);
         }
-        if !out_set {
+        if !out_set && !opts.scale_sweep {
             // Bench CSVs are throwaway — keep them out of the committed
-            // `results/` series.
+            // `results/` series. (Sweep mode instead writes its report
+            // under `--out`, default `results/`.)
             opts.out = PathBuf::from("target/bench-out");
         }
-        if opts.metrics_json.is_none() {
+        if opts.metrics_json.is_none() && !opts.scale_sweep {
             // Same-day runs never clobber: the first run of a date owns
             // BENCH_<date>.json, later runs get a _runN suffix, and the
             // report's meta.run records which slot this was.
@@ -278,9 +307,14 @@ fn parse_args() -> Options {
 /// `BENCH_<date>.json`; if that (or a `_runN`) already exists, the next
 /// free `BENCH_<date>_run<N>.json` is used instead.
 fn next_bench_slot(dir: &Path, date: &str) -> (u64, PathBuf) {
+    next_slot(dir, "BENCH", date)
+}
+
+/// Same-day slot logic shared by `BENCH_` and `SWEEP_` report series.
+fn next_slot(dir: &Path, prefix: &str, date: &str) -> (u64, PathBuf) {
     let mut run = 1u64;
     loop {
-        let path = bench_slot_path(dir, date, run);
+        let path = slot_path(dir, prefix, date, run);
         if !path.exists() {
             return (run, path);
         }
@@ -288,16 +322,19 @@ fn next_bench_slot(dir: &Path, date: &str) -> (u64, PathBuf) {
     }
 }
 
-fn bench_slot_path(dir: &Path, date: &str, run: u64) -> PathBuf {
+fn slot_path(dir: &Path, prefix: &str, date: &str, run: u64) -> PathBuf {
     if run <= 1 {
-        dir.join(format!("BENCH_{date}.json"))
+        dir.join(format!("{prefix}_{date}.json"))
     } else {
-        dir.join(format!("BENCH_{date}_run{run}.json"))
+        dir.join(format!("{prefix}_{date}_run{run}.json"))
     }
 }
 
-/// The `validate-metrics` subcommand: schema-validate a run report and
-/// check its counter invariants. Returns the process exit code.
+/// The `validate-metrics` subcommand: schema-validate a previously
+/// written report, dispatching on its `schema` field — run reports
+/// (`dnsimpact-metrics/v2`) also get the counter-invariant checks, sweep
+/// reports (`dnsimpact-sweep/v1`) the cell-grid checks. Returns the
+/// process exit code.
 fn validate_metrics(path: &Path) -> i32 {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -313,6 +350,33 @@ fn validate_metrics(path: &Path) -> i32 {
             return 2;
         }
     };
+    if doc.get("schema").and_then(|s| s.as_str()) == Some(obs::SWEEP_SCHEMA_ID) {
+        return match obs::sweep::validate(&doc) {
+            Ok(()) => {
+                let cells =
+                    doc.get("cells").and_then(|c| c.as_array().map(|a| a.len())).unwrap_or(0);
+                obs::progress(
+                    "repro",
+                    &format!(
+                        "{} is a valid {} report ({cells} cell(s), sorted, finite)",
+                        path.display(),
+                        obs::SWEEP_SCHEMA_ID,
+                    ),
+                );
+                0
+            }
+            Err(errors) => {
+                for e in &errors {
+                    obs::progress("repro", &format!("sweep violation: {e}"));
+                }
+                obs::progress(
+                    "repro",
+                    &format!("{}: {} violation(s)", path.display(), errors.len()),
+                );
+                1
+            }
+        };
+    }
     let mut errors = Vec::new();
     if let Err(e) = obs::report::validate(&doc) {
         errors.extend(e);
@@ -492,6 +556,9 @@ fn emit_report(report: &obs::RunReport, path: &Path) {
 
 fn main() {
     let opts = parse_args();
+    if opts.scale_sweep {
+        std::process::exit(run_scale_sweep_cmd(&opts));
+    }
     let known: Vec<String> = opts
         .experiments
         .iter()
@@ -676,6 +743,94 @@ fn main() {
             }
         }
     }
+}
+
+/// The `DNSIMPACT_SCALE_HEAVY` level: 0 (unset) = smoke cells only,
+/// 1 adds the 150k-attack scale, 2 (or `full`) adds 1.5M too.
+fn heavy_level() -> u64 {
+    match std::env::var("DNSIMPACT_SCALE_HEAVY").ok().as_deref() {
+        None | Some("") | Some("0") => 0,
+        Some("1") => 1,
+        Some(_) => 2,
+    }
+}
+
+/// `bench --scale-sweep`: run the scale×jobs grid, check the cross-jobs
+/// fingerprints and the largest-scale speedup, and emit the validated
+/// `dnsimpact-sweep/v1` report. Returns the process exit code.
+fn run_scale_sweep_cmd(opts: &Options) -> i32 {
+    if !opts.bench {
+        obs::progress("repro", "--scale-sweep is a bench mode: run `repro bench --scale-sweep`");
+        return 2;
+    }
+    let heavy = heavy_level();
+    let mut scales: Vec<u64> = vec![1_500, 15_000];
+    if heavy >= 1 {
+        scales.push(150_000);
+    }
+    if heavy >= 2 {
+        scales.push(1_500_000);
+    }
+    // jobs=N: the machine's parallelism when it has any; on a single-CPU
+    // host fall back to an 8-thread cell — no speedup to measure there,
+    // but the sharded path and its cross-jobs fingerprint check still run
+    // with real thread interleaving.
+    let parallelism = streamproc::effective_jobs(opts.jobs);
+    let jobs_n = if parallelism > 1 { parallelism } else { 8 };
+    let jobs = vec![1, jobs_n];
+    obs::progress(
+        "repro",
+        &format!(
+            "scale sweep: scales {scales:?} x jobs {jobs:?} (seed {}, chaos {}, heavy {heavy})",
+            opts.seed,
+            opts.chaos_seed.map_or("off".to_string(), |c| c.to_string()),
+        ),
+    );
+    let cfg = bench_support::SweepConfig {
+        seed: opts.seed,
+        chaos_seed: opts.chaos_seed,
+        scales,
+        jobs,
+        world_cfg: WorldConfig::default(),
+        heavy,
+    };
+    let report = match bench_support::run_scale_sweep(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            obs::progress("repro", &format!("scale sweep failed: {e}"));
+            return 1;
+        }
+    };
+    // Speedup sanity: the largest scale is where parallelism must pay —
+    // a jobs=N cell no faster than jobs=1 there means the hot path
+    // regressed to sequential. Only meaningful where the machine has
+    // real parallelism; a 1-CPU host can't speed anything up.
+    if let Some(last) = report.cells.last() {
+        if parallelism > 1 && last.jobs > 1 && last.speedup_vs_jobs1 <= 1.0 {
+            obs::progress(
+                "repro",
+                &format!(
+                    "scale sweep: no speedup at scale {} jobs {} ({:.2}x <= 1.00x)",
+                    last.scale, last.jobs, last.speedup_vs_jobs1
+                ),
+            );
+            return 1;
+        }
+    }
+    let doc = report.to_json();
+    if let Err(errors) = obs::sweep::validate(&doc) {
+        for e in &errors {
+            obs::progress("repro", &format!("sweep violation: {e}"));
+        }
+        obs::progress("repro", "refusing to write invalid sweep report");
+        return 1;
+    }
+    std::fs::create_dir_all(&opts.out).expect("create sweep out dir");
+    let (_, path) = next_slot(&opts.out, "SWEEP", &obs::report::today_utc());
+    write_atomic(&path, &doc.pretty()).expect("write sweep report");
+    eprint!("{}", report.summary_table());
+    obs::progress("repro", &format!("sweep report written to {}", path.display()));
+    0
 }
 
 /// `bench --compare`: diff the fresh report against a baseline (explicit,

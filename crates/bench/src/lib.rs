@@ -18,7 +18,9 @@ use std::sync::Arc;
 use telescope::Darknet;
 
 pub mod checkpoint;
+pub mod sweep;
 pub use checkpoint::CheckpointDir;
+pub use sweep::{divisor_for_target, run_scale_sweep, SweepConfig, PAPER_TOTAL_ATTACKS};
 
 /// A fully materialized longitudinal experiment.
 pub struct Experiments {

@@ -6,6 +6,7 @@
 //! failure rates. NSSets with fewer than five domains measured during the
 //! attack are discarded as noise, exactly as §6.3 does.
 
+use crate::columnar::JoinTable;
 use crate::join::DnsAttackEvent;
 use attack::Protocol;
 use census::{AnycastCensus, AnycastClass};
@@ -13,7 +14,7 @@ use dnssim::{Infra, LoadBook, NsSetId, Resolver};
 use openintel::{measure::measure_domains, MeasurementStore, OutageModel, SweepSchedule};
 use simcore::rng::RngFactory;
 use std::collections::HashSet;
-use telescope::AttackEpisode;
+use telescope::{AttackEpisode, EpisodeColumns};
 
 /// Which baseline day the denominator of Equation 1 came from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -329,6 +330,209 @@ pub fn compute_impacts_with_jobs(
             peak_ppm: ep.peak_ppm,
             duration_min: ep.duration().secs() as f64 / 60.0,
             anycast: census.classify(infra, nsset, ep.first_window.start()),
+            asn_count: asns,
+            prefix_count: prefixes,
+        });
+    }
+    (out, store)
+}
+
+/// The columnar twin of [`compute_impacts_with_jobs`]: plan from a
+/// [`JoinTable`] + [`EpisodeColumns`] instead of row events, streaming
+/// each NSSet's sweep measurements ([`SweepSchedule::for_each_in_window_range`])
+/// straight into the per-window buckets so the `(domain, window)`
+/// cross-product is never materialized or sorted. Cells another event
+/// already claimed are counted but not buffered at all.
+///
+/// The row path above is the *reference implementation*; this function
+/// replicates its plan order, task list, counters, and trace stream
+/// exactly (the differential suite in `tests/columnar_equivalence.rs`
+/// holds both to identical outputs), so the three-phase `--jobs`- and
+/// chaos-independence argument carries over unchanged.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_impacts_columnar(
+    infra: &Infra,
+    schedule: &SweepSchedule,
+    resolver: &Resolver,
+    loads: &LoadBook,
+    episodes: &EpisodeColumns,
+    table: &JoinTable,
+    census: &AnycastCensus,
+    rngs: &RngFactory,
+    config: &ImpactConfig,
+    jobs: usize,
+) -> (Vec<ImpactEvent>, MeasurementStore) {
+    // Phase 1: plan (sequential; see the reference path for the scheme).
+    let mut lost_days: HashSet<u64> = HashSet::new();
+    let mut measured_cells: HashSet<(NsSetId, u64)> = HashSet::new();
+    let mut baseline_days: HashSet<(NsSetId, u64)> = HashSet::new();
+    let mut tasks: Vec<MeasureTask> = Vec::new();
+    // One entry per (event, NSSet) pair passing the ≥5-domains filter, in
+    // event order, carrying the *global* episode index (the row path
+    // stores the event index and dereferences it later — same value).
+    let mut rows: Vec<(usize, NsSetId, Option<u64>, BaselineSource)> = Vec::new();
+    let mut by_window: std::collections::BTreeMap<u64, Vec<dnssim::DomainId>> =
+        std::collections::BTreeMap::new();
+
+    for r in 0..table.len() {
+        let episode_idx = table.episode_idx[r] as usize;
+        let (first, last) =
+            (episodes.first_windows[episode_idx], episodes.last_windows[episode_idx]);
+        for &nsset in table.nssets.row(r) {
+            // Stream the sweep: count every surviving measurement, buffer
+            // only windows no earlier event already claimed. Domain-major
+            // visiting fills each window's bucket in ascending domain id
+            // order — the per-window order of the reference path's
+            // `(window, domain)`-sorted materialized list.
+            let mut measured: u64 = 0;
+            by_window.clear();
+            schedule.for_each_in_window_range(infra, nsset, first, last, |d, w| {
+                let day = w.day();
+                let swept = config.sweep_outage.is_none_or(|o| !o.day_missed(day));
+                if !swept {
+                    lost_days.insert(day);
+                    return;
+                }
+                measured += 1;
+                if !measured_cells.contains(&(nsset, w.0)) {
+                    by_window.entry(w.0).or_default().push(d);
+                }
+            });
+            if measured < config.min_domains_measured {
+                continue;
+            }
+            let attack_day = first.day();
+            let mut day_swept = |day: u64| {
+                let swept = config.sweep_outage.is_none_or(|o| !o.day_missed(day));
+                if !swept {
+                    lost_days.insert(day);
+                }
+                swept
+            };
+            let (base_day, base_source) = match attack_day.checked_sub(1) {
+                Some(d) if day_swept(d) => (Some(d), BaselineSource::DayBefore),
+                _ => match attack_day.checked_sub(7) {
+                    Some(d) if day_swept(d) => (Some(d), BaselineSource::WeekBefore),
+                    _ => (None, BaselineSource::Missing),
+                },
+            };
+            if let (Some(scope), BaselineSource::WeekBefore) = (config.trace_scope, base_source) {
+                obs::trace::emit(
+                    obs::EventKind::BaselineFallback,
+                    scope,
+                    Some(episode_idx as u64),
+                    Some(first.start().secs()),
+                    format!(
+                        "nsset {nsset:?}: day-before sweep lost, week-before day {} substitutes",
+                        base_day.unwrap_or(0)
+                    ),
+                    base_day,
+                );
+            }
+            rows.push((episode_idx, nsset, base_day, base_source));
+            for (w, ds) in std::mem::take(&mut by_window) {
+                if measured_cells.insert((nsset, w)) {
+                    tasks.push(MeasureTask::Cell { nsset, window: w, domains: ds });
+                }
+            }
+            if let Some(day) = base_day {
+                if baseline_days.insert((nsset, day)) {
+                    let all = infra.domains_of_nsset(nsset);
+                    let step = (all.len() / config.baseline_sample_cap).max(1);
+                    let probes: Vec<(dnssim::DomainId, simcore::time::Window)> = all
+                        .iter()
+                        .step_by(step)
+                        .take(config.baseline_sample_cap)
+                        .map(|&d| (d, schedule.window_on_day(d, day)))
+                        .collect();
+                    tasks.push(MeasureTask::Baseline { nsset, probes });
+                }
+            }
+        }
+    }
+
+    obs::counter("impact.rows").add(rows.len() as u64);
+    obs::counter("impact.windows_computed").add(measured_cells.len() as u64);
+    obs::counter("impact.baselines").add(baseline_days.len() as u64);
+    obs::counter("impact.baseline_fallbacks")
+        .add(rows.iter().filter(|(_, _, _, s)| *s == BaselineSource::WeekBefore).count() as u64);
+    obs::counter("impact.baselines_missing")
+        .add(rows.iter().filter(|(_, _, _, s)| *s == BaselineSource::Missing).count() as u64);
+    obs::counter("outage.sweep_days_lost").add(lost_days.len() as u64);
+
+    // Phase 2: measure on the worker pool (identical to the reference
+    // path — the task list is, so the chaos schedule is too).
+    let run_task = |task: &MeasureTask| match task {
+        MeasureTask::Cell { nsset, window, domains } => measure_domains(
+            infra,
+            resolver,
+            domains,
+            *nsset,
+            simcore::time::Window(*window),
+            loads,
+            rngs,
+        ),
+        MeasureTask::Baseline { nsset, probes } => {
+            let mut recs = Vec::new();
+            for (d, w) in probes {
+                recs.extend(measure_domains(infra, resolver, &[*d], *nsset, *w, loads, rngs));
+            }
+            recs
+        }
+    };
+    let plan = config.chaos_seed.map(|cs| {
+        streamproc::FaultPlan::from_seed(cs, "impact-measure", streamproc::ChaosConfig::SPARSE)
+    });
+    let (batches, _chaos) = streamproc::parallel_map_supervised(
+        jobs,
+        tasks,
+        plan.as_ref(),
+        &streamproc::SupervisorConfig::default(),
+        |_, task| run_task(task),
+    );
+
+    // Phase 3: merge in plan order, then aggregate per row.
+    let mut store = MeasurementStore::new();
+    for batch in &batches {
+        obs::counter("openintel.records_measured").add(batch.len() as u64);
+        store.ingest(batch);
+    }
+    let mut out = Vec::with_capacity(rows.len());
+    for (episode_idx, nsset, base_day, base_source) in rows {
+        let (first, last) =
+            (episodes.first_windows[episode_idx], episodes.last_windows[episode_idx]);
+        let during = store.range_stats(nsset, first, last);
+        let impact = base_day.and_then(|day| store.impact_on_rtt_from_day(nsset, first, last, day));
+        let (asns, prefixes) = (infra.nsset_asns(nsset).len(), infra.nsset_slash24s(nsset).len());
+        if let Some(scope) = config.trace_scope {
+            obs::trace::emit(
+                obs::EventKind::ImpactComputed,
+                scope,
+                Some(episode_idx as u64),
+                Some(first.start().secs()),
+                format!(
+                    "nsset {nsset:?} ({:?} baseline), failure rate {:.4}",
+                    base_source,
+                    during.failure_rate()
+                ),
+                Some(during.domains_measured),
+            );
+        }
+        out.push(ImpactEvent {
+            episode_idx,
+            nsset,
+            domains_measured: during.domains_measured,
+            impact_on_rtt: impact,
+            baseline_source: base_source,
+            failure_rate: during.failure_rate(),
+            timeouts: during.timeout,
+            servfails: during.servfail,
+            nsset_domains: infra.domains_of_nsset(nsset).len() as u64,
+            protocol: episodes.protocols[episode_idx],
+            first_port: episodes.first_ports[episode_idx],
+            peak_ppm: episodes.peak_ppm[episode_idx],
+            duration_min: ((last.0 - first.0 + 1) * 300) as f64 / 60.0,
+            anycast: census.classify(infra, nsset, first.start()),
             asn_count: asns,
             prefix_count: prefixes,
         });

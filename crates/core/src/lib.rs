@@ -21,6 +21,7 @@
 //! authoritative outages).
 
 pub mod casestudy;
+pub mod columnar;
 pub mod correlate;
 pub mod enduser;
 pub mod failures;
@@ -31,6 +32,7 @@ pub mod ports;
 pub mod report;
 pub mod resilience;
 
-pub use impact::{BaselineSource, ImpactConfig, ImpactEvent};
+pub use columnar::{ColList, Interner, JoinTable};
+pub use impact::{compute_impacts_columnar, BaselineSource, ImpactConfig, ImpactEvent};
 pub use join::{ChangingDirectory, DnsAttackEvent, NsDirectory};
 pub use longitudinal::{LongitudinalConfig, LongitudinalReport, MonthlyRow};

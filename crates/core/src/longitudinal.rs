@@ -3,10 +3,11 @@
 //! the paper's evaluation.
 
 use crate::casestudy;
+use crate::columnar::JoinTable;
 use crate::correlate::{self, CorrelationSeries};
 use crate::failures::{self, FailureSummary};
-use crate::impact::{compute_impacts_with_jobs, ImpactConfig, ImpactEvent};
-use crate::join::{join_episodes_sharded, join_episodes_sharded_traced, DnsAttackEvent};
+use crate::impact::{compute_impacts_columnar, ImpactConfig, ImpactEvent};
+use crate::join::DnsAttackEvent;
 use crate::ports::{self, PortBreakdown};
 use crate::resilience::{self, ClassImpact};
 use attack::Attack;
@@ -151,33 +152,39 @@ pub fn run(
     // `rsdos` scope, so episode `i` is addressable as `rsdos/i`.
     feed.trace_onsets(TRACE_SCOPE);
 
-    // Join to the DNS (sharded across config.jobs workers; the output is
-    // identical to the sequential join for any worker count). Only this
-    // headline join traces — the unfiltered Tables-3–5 join below re-joins
-    // the same episodes and must not double-emit.
-    let dns_events = join_episodes_sharded_traced(
+    // Join to the DNS on the columnar hot path (see `crate::columnar`;
+    // the row join in `crate::join` is the differential reference). The
+    // build is sharded across config.jobs workers and byte-identical to
+    // the sequential join for any worker count. Only this headline join
+    // traces — the unfiltered Tables-3–5 join below re-joins the same
+    // episodes and must not double-emit.
+    let columns = telescope::EpisodeColumns::from_episodes(&feed.episodes);
+    let join_table = JoinTable::build(
         infra,
         infra,
-        &feed.episodes,
+        &columns,
         &meta.open_resolvers,
         config.include_collateral,
         1,
         config.jobs,
         Some(TRACE_SCOPE),
     );
+    let dns_events = join_table.to_events();
     // Tables 3–5 count every victim that serves as a nameserver —
     // including the open resolvers that misconfigured domains point NS
     // records at. The open-resolver filter (§6.1) applies to the *impact*
     // analyses below, not to the raw attack accounting.
-    let unfiltered_events = join_episodes_sharded(
+    let unfiltered_table = JoinTable::build(
         infra,
         infra,
-        &feed.episodes,
+        &columns,
         &OpenResolverList::new(),
         config.include_collateral,
         1,
         config.jobs,
+        None,
     );
+    let unfiltered_events = unfiltered_table.to_events();
     let unfiltered_idxs: HashSet<usize> = unfiltered_events.iter().map(|e| e.episode_idx).collect();
 
     // Table 3.
@@ -207,13 +214,13 @@ pub fn run(
         trace_scope: config.impact.trace_scope.or(Some(TRACE_SCOPE)),
         ..config.impact
     };
-    let (impacts, store) = compute_impacts_with_jobs(
+    let (impacts, store) = compute_impacts_columnar(
         infra,
         &schedule,
         &config.resolver,
         &loads,
-        &feed.episodes,
-        &dns_events,
+        &columns,
+        &join_table,
         &meta.census,
         rngs,
         &impact_config,

@@ -46,6 +46,9 @@
 //! - [`report`]: the stable-schema machine-readable run report
 //!   (`dnsimpact-metrics/v2`), its JSON round-trip, schema validation,
 //!   counter-invariant checks, and the bench-regression comparator;
+//! - [`sweep`]: the scale-sweep report (`dnsimpact-sweep/v1`) emitted by
+//!   `repro bench --scale-sweep` — per-(scale, jobs) throughput, wall, and
+//!   peak-RSS cells, with strict sortedness/finiteness validation;
 //! - [`json`]: the dependency-free JSON value/writer/parser the report
 //!   rides on;
 //! - [`progress`]: stderr-only progress/timing lines, so nothing
@@ -58,6 +61,7 @@ pub mod progress;
 pub mod report;
 pub mod rss;
 pub mod span;
+pub mod sweep;
 pub mod trace;
 
 pub use json::Json;
@@ -65,4 +69,5 @@ pub use metrics::{counter, gauge, histogram, registry, Counter, Gauge, Histogram
 pub use progress::progress;
 pub use report::{RunMeta, RunReport, StageWall, SCHEMA_ID};
 pub use span::span;
+pub use sweep::{SweepCell, SweepMeta, SweepReport, SWEEP_SCHEMA_ID};
 pub use trace::{EventKind, TraceEvent, TraceSummary};

@@ -9,6 +9,15 @@ pub fn peak_rss_kb() -> u64 {
     read_vm_hwm().unwrap_or(0)
 }
 
+/// Reset the kernel's peak-RSS high-water mark, so a following
+/// [`peak_rss_kb`] reads the peak *since this call* rather than since
+/// process start. Linux-only (`/proc/self/clear_refs`); best-effort — on
+/// failure the high-water mark simply stays monotonic, which per-cell
+/// consumers must tolerate anyway.
+pub fn reset_peak() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
 fn read_vm_hwm() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     for line in status.lines() {
@@ -27,6 +36,14 @@ mod tests {
     fn peak_rss_positive_on_linux() {
         if std::path::Path::new("/proc/self/status").exists() {
             assert!(peak_rss_kb() > 0);
+        }
+    }
+
+    #[test]
+    fn reset_peak_never_panics_and_rss_stays_readable() {
+        reset_peak();
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_kb() > 0, "HWM readable after reset");
         }
     }
 }

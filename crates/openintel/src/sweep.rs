@@ -64,6 +64,30 @@ impl SweepSchedule {
         last: Window,
     ) -> Vec<(DomainId, Window)> {
         let mut out = Vec::new();
+        self.for_each_in_window_range(infra, nsset, first, last, |d, w| out.push((d, w)));
+        out.sort_by_key(|&(d, w)| (w, d.0));
+        out
+    }
+
+    /// Streaming form of [`domains_in_window_range`]: visit every
+    /// `(domain, window)` measurement in `[first, last]` without
+    /// materializing the list. Visits are domain-major (domains in
+    /// ascending id order, each domain's windows ascending), so any
+    /// per-window grouping a caller builds receives each window's domains
+    /// in ascending id order — exactly the order the materialized,
+    /// `(window, domain)`-sorted form yields per window. The columnar
+    /// impact planner leans on that to stay byte-identical to the
+    /// reference path while skipping the sort and the allocation.
+    ///
+    /// [`domains_in_window_range`]: SweepSchedule::domains_in_window_range
+    pub fn for_each_in_window_range(
+        &self,
+        infra: &Infra,
+        nsset: NsSetId,
+        first: Window,
+        last: Window,
+        mut visit: impl FnMut(DomainId, Window),
+    ) {
         for &d in infra.domains_of_nsset(nsset) {
             let wod = self.window_of_day(d);
             // Scan the days the range touches.
@@ -71,13 +95,11 @@ impl SweepSchedule {
             while day <= last.day() {
                 let w = Window(day * WINDOWS_PER_DAY + wod);
                 if w >= first && w <= last {
-                    out.push((d, w));
+                    visit(d, w);
                 }
                 day += 1;
             }
         }
-        out.sort_by_key(|&(d, w)| (w, d.0));
-        out
     }
 }
 
@@ -175,6 +197,24 @@ mod tests {
         let s = SweepSchedule::new(11);
         let measured = s.domains_in_window_range(&infra, set, Window(0), Window(3 * 288 - 1));
         assert_eq!(measured.len(), 288 * 3, "each domain once per day for 3 days");
+    }
+
+    #[test]
+    fn streaming_visit_matches_materialized_range() {
+        let (infra, set) = world(2_880);
+        let s = SweepSchedule::new(3);
+        let first = Window(100 * 288 + 30);
+        let last = Window(101 * 288 + 10);
+        let materialized = s.domains_in_window_range(&infra, set, first, last);
+        let mut streamed = Vec::new();
+        s.for_each_in_window_range(&infra, set, first, last, |d, w| streamed.push((d, w)));
+        assert_eq!(streamed.len(), materialized.len());
+        streamed.sort_by_key(|&(d, w)| (w, d.0));
+        assert_eq!(streamed, materialized);
+        // Visit order is domain-major: strictly ascending (domain, window).
+        let mut raw = Vec::new();
+        s.for_each_in_window_range(&infra, set, first, last, |d, w| raw.push((d.0, w.0)));
+        assert!(raw.windows(2).all(|p| p[0] < p[1]), "domain-major visit order");
     }
 
     #[test]

@@ -17,13 +17,17 @@
 //! - [`events`]: a monotonic discrete-event queue.
 //! - [`stats`]: streaming moments, Pearson correlation, quantiles and
 //!   log-spaced histograms used by the analysis pipeline.
+//! - [`intern`]: deterministic `u32` arena interner backing the columnar
+//!   (struct-of-arrays) hot path downstream.
 
 pub mod dist;
 pub mod events;
+pub mod intern;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use events::EventQueue;
+pub use intern::Interner;
 pub use rng::RngFactory;
 pub use time::{CivilDate, Month, SimDuration, SimTime, Window, DAY, HOUR, MINUTE, WINDOW_SECS};

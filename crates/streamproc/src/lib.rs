@@ -36,7 +36,9 @@ pub mod window;
 pub use exec::{sink_to_vec, spawn_stage, StageHandle};
 pub use fault::{seq_stamp, spawn_chaos_stage, ChaosConfig, FaultAction, FaultPlan, Seq};
 pub use join::{spawn_lookup_join, spawn_table_maintainer, Table};
-pub use pool::{effective_jobs, parallel_map, parallel_map_supervised, spawn_pool, PoolHandle};
+pub use pool::{
+    effective_jobs, parallel_map, parallel_map_supervised, shard_ranges, spawn_pool, PoolHandle,
+};
 pub use supervise::{reliable_stream, supervised_flat_map, SuperviseStats, SupervisorConfig};
 pub use topic::{Consumer, Topic};
 pub use window::TumblingWindows;

@@ -35,6 +35,21 @@ pub fn effective_jobs(requested: usize) -> usize {
     }
 }
 
+/// Cut `0..len` into at most `jobs` contiguous shards of equal ceiling
+/// size — the canonical batching the columnar join and sweep stages use.
+/// Concatenating the ranges in order always reproduces `0..len`, so any
+/// per-shard pass that appends its results in shard order is
+/// byte-identical to the sequential pass. `jobs == 0` resolves to the
+/// machine's parallelism; `len == 0` yields no shards.
+pub fn shard_ranges(len: usize, jobs: usize) -> Vec<std::ops::Range<usize>> {
+    let jobs = effective_jobs(jobs);
+    if len == 0 {
+        return Vec::new();
+    }
+    let shard_len = len.div_ceil(jobs);
+    (0..len.div_ceil(shard_len)).map(|i| i * shard_len..((i + 1) * shard_len).min(len)).collect()
+}
+
 /// Apply `f` to every item on up to `jobs` worker threads and return the
 /// results in input order.
 ///
@@ -285,6 +300,24 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shard_ranges_tile_the_input() {
+        for len in [0usize, 1, 2, 7, 100, 1001] {
+            for jobs in [1usize, 2, 3, 8, 64] {
+                let shards = shard_ranges(len, jobs);
+                assert!(shards.len() <= jobs.max(1), "len={len} jobs={jobs}");
+                let flat: Vec<usize> = shards.iter().cloned().flatten().collect();
+                assert_eq!(flat, (0..len).collect::<Vec<_>>(), "len={len} jobs={jobs}");
+                if let Some(first) = shards.first() {
+                    // Equal ceiling-size shards except possibly the last.
+                    for s in &shards[..shards.len() - 1] {
+                        assert_eq!(s.len(), first.len());
+                    }
+                }
+            }
+        }
+    }
 
     #[test]
     fn parallel_map_preserves_input_order() {

@@ -16,12 +16,15 @@
 //! - [`rsdos`]: the threshold classifier and episode (attack) extraction.
 //! - [`feed`]: the feed record schema, summary statistics (Table 1), and
 //!   CSV export.
+//! - [`columns`]: the feed's episodes as a columnar (struct-of-arrays)
+//!   table with interned victims — the scale-sweep hot path's input form.
 //! - [`export`]: pcap export of sampled backscatter packets.
 //! - [`amppot`]: the complementary honeypot-amplifier sensor for
 //!   reflection attacks, and the two-sensor coverage analysis of §4.3.
 
 pub mod amppot;
 pub mod backscatter;
+pub mod columns;
 pub mod darknet;
 pub mod export;
 pub mod feed;
@@ -30,6 +33,7 @@ pub mod rsdos;
 
 pub use amppot::{AmpPotEvent, AmpPotSensor, SensorCoverage};
 pub use backscatter::{BackscatterObs, BackscatterSampler};
+pub use columns::EpisodeColumns;
 pub use darknet::Darknet;
 pub use feed::{EpisodeIndex, FeedSummary, RsdosFeed, RsdosRecord};
 pub use outage::FeedGapModel;
