@@ -17,6 +17,11 @@
 #                  cross-jobs artifact fingerprints enforced in-run, the
 #                  emitted dnsimpact-sweep/v1 report schema-validated
 #                  (heavy 150k/1.5M cells stay local: DNSIMPACT_SCALE_HEAVY)
+#   9. daemon      dnsimpactd on the pinned feed: query a known-impacted
+#                  domain mid-ingest, kill -9, restart from the checkpoint,
+#                  and diff the recovered index fingerprint against a clean
+#                  single-pass replay; the committed DAEMON perf snapshot
+#                  (if any) is schema-validated
 #
 # `./ci.sh --quick` runs only steps 2-3 (the tier-1 loop).
 #
@@ -142,5 +147,84 @@ echo "==> sweep gate: repro bench --scale-sweep smoke"
 SWEEP_JSON=$(ls "$SMOKE"/sweep/SWEEP_*.json)
 "$REPRO" validate-metrics "$SWEEP_JSON"
 echo "==> sweep gate passed (cross-jobs fingerprints equal, report schema valid)"
+
+echo "==> daemon gate: dnsimpactd crash recovery + query surface"
+# The daemon's whole robustness claim in one experiment: the index a
+# kill -9'd, checkpoint-recovered, chaos-injected daemon ends up serving
+# must fingerprint identically to an in-process clean single-pass replay
+# of the same feed. `dnsimpactd get` is the HTTP client (curl is not
+# guaranteed in this container).
+DAEMON=target/release/dnsimpactd
+DFEED="--seed 7 --scale-target 15000 --months 2 --providers 20 --domains 6000"
+CLEAN_FP=$("$DAEMON" fingerprint $DFEED)
+DOM=$("$DAEMON" domains $DFEED --impacted -n 1)
+DCKPT="$SMOKE/daemon-ckpt"
+mkdir -p "$DCKPT"
+
+# Poll an endpoint with `dnsimpactd get` until it answers 2xx (10s cap).
+daemon_wait() {
+    for _ in $(seq 1 100); do
+        if "$DAEMON" get "$@" > /dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "daemon did not answer: $*" >&2
+    return 1
+}
+
+# First incarnation: paced ingest (so the kill lands mid-stream) under a
+# chaos seed (so recovery is proven against transport faults too).
+"$DAEMON" serve $DFEED --chaos-seed 3 --pace-ms 15 \
+    --port-file "$SMOKE/daemon.port" --checkpoint-dir "$DCKPT" \
+    2> "$SMOKE/daemon1.log" &
+DPID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE/daemon.port" ] && break
+    sleep 0.1
+done
+DADDR=$(cat "$SMOKE/daemon.port")
+daemon_wait "$DADDR/healthz"
+# The query surface answers while ingest is still running.
+"$DAEMON" get "$DADDR/query?domain=$DOM" > "$SMOKE/daemon-answer1.json"
+grep -q '"staleness_s"' "$SMOKE/daemon-answer1.json"
+INGEST_DONE=$("$DAEMON" get --field ingest_done "$DADDR/statz" || true)
+kill -9 "$DPID"
+wait "$DPID" 2> /dev/null || true
+# The paced feed takes ~18s to ingest; the kill above landed mid-stream.
+[ "$INGEST_DONE" = "false" ] || {
+    echo "daemon finished ingest before the kill; gate is vacuous" >&2
+    exit 1
+}
+
+# Second incarnation: same checkpoint dir, no pacing. It must recover,
+# finish ingest, and serve the clean-replay fingerprint.
+"$DAEMON" serve $DFEED --chaos-seed 3 \
+    --port-file "$SMOKE/daemon.port2" --checkpoint-dir "$DCKPT" \
+    2> "$SMOKE/daemon2.log" &
+DPID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE/daemon.port2" ] && break
+    sleep 0.1
+done
+DADDR=$(cat "$SMOKE/daemon.port2")
+daemon_wait "$DADDR/healthz"
+for _ in $(seq 1 100); do
+    [ "$("$DAEMON" get --field ingest_done "$DADDR/statz" || true)" = "true" ] && break
+    sleep 0.1
+done
+grep -q "recovered: replayed" "$SMOKE/daemon2.log"
+RECOVERED_FP=$("$DAEMON" get --field full_fp "$DADDR/statz")
+[ "$RECOVERED_FP" = "$CLEAN_FP" ] || {
+    echo "recovered fingerprint $RECOVERED_FP != clean replay $CLEAN_FP" >&2
+    exit 1
+}
+"$DAEMON" get "$DADDR/query?domain=$DOM" | grep -q '"attacks_seen"'
+"$DAEMON" get "$DADDR/readyz" > /dev/null
+kill -9 "$DPID"
+wait "$DPID" 2> /dev/null || true
+# The committed perf snapshot (if any) must parse under its schema.
+for DJSON in results/DAEMON_*.json; do
+    [ -e "$DJSON" ] && "$REPRO" validate-metrics "$DJSON"
+done
+echo "==> daemon gate passed (kill -9 recovery fingerprint-identical, shed-accounted serving)"
 
 echo "==> ci green"

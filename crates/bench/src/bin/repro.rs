@@ -85,13 +85,22 @@
 //! timeline is built from the trace's deterministic fields only, so it is
 //! byte-identical for any `--jobs` value.
 //!
+//! `repro daemon-bench` runs the whole `dnsimpactd` serving story in one
+//! process — pinned feed, supervised ingest, HTTP serving, Zipf query
+//! load — and writes a `dnsimpactd-report/v1` snapshot (ingest
+//! fingerprint, QPS, p50/p95/p99 tail latency, shed accounting) to
+//! `results/DAEMON_<date>[_runN].json`.
+//!
 //! `repro validate-metrics FILE` schema-validates a previously written
 //! report, dispatching on the document's `schema` field: a
 //! `dnsimpact-metrics/v2` run report additionally gets the cross-counter
 //! invariant checks (fault accounting balances; reactive latency and
 //! probe budgets hold), a `dnsimpact-sweep/v1` sweep report gets the
-//! cell-grid checks (sorted, duplicate-free cells; finite floats). Exit 1
-//! on any violation — this is the CI metrics gate.
+//! cell-grid checks (sorted, duplicate-free cells; finite floats), a
+//! `dnsimpactd-report/v1` daemon report gets the shed-accounting check.
+//! An unknown or missing schema id is rejected outright, naming the id
+//! and the known schemas. Exit 1 on any violation — this is the CI
+//! metrics gate.
 //!
 //! `repro validate-trace FILE` loads a `--trace-json` file back and checks
 //! the causality invariants (triggers follow feed arrivals within bound,
@@ -154,6 +163,26 @@ struct Options {
     experiments: Vec<String>,
 }
 
+/// Fatal usage/environment error: say what was wrong, in context, and
+/// exit 2. The CLI surface never panics on bad input or failed I/O.
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
+/// The operand of `flag`, or a contextful usage error.
+fn operand(args: &mut impl Iterator<Item = String>, flag: &str, what: &str) -> String {
+    args.next().unwrap_or_else(|| die(&format!("{flag} needs {what} (usage: {flag} {what})")))
+}
+
+/// Parse `value` as the numeric operand of `flag`.
+fn num_operand<T: std::str::FromStr>(flag: &str, value: &str) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    value.parse().unwrap_or_else(|e| die(&format!("{flag}: bad value {value:?}: {e}")))
+}
+
 fn parse_args() -> Options {
     let mut opts = Options {
         seed: 42,
@@ -179,30 +208,31 @@ fn parse_args() -> Options {
     let mut pushback: Option<String> = None;
     while let Some(a) = pushback.take().or_else(|| args.next()) {
         match a.as_str() {
-            "--seed" => opts.seed = args.next().expect("--seed N").parse().expect("seed"),
+            "--seed" => opts.seed = num_operand("--seed", &operand(&mut args, "--seed", "N")),
             "--scale" => {
-                opts.scale = args.next().expect("--scale D").parse().expect("scale");
+                opts.scale = num_operand("--scale", &operand(&mut args, "--scale", "D"));
                 scale_set = true;
             }
-            "--jobs" => opts.jobs = args.next().expect("--jobs N").parse().expect("jobs"),
+            "--jobs" => opts.jobs = num_operand("--jobs", &operand(&mut args, "--jobs", "N")),
             "--out" => {
-                opts.out = PathBuf::from(args.next().expect("--out DIR"));
+                opts.out = PathBuf::from(operand(&mut args, "--out", "DIR"));
                 out_set = true;
             }
             "--chaos-seed" => {
                 opts.chaos_seed =
-                    Some(args.next().expect("--chaos-seed N").parse().expect("chaos seed"))
+                    Some(num_operand("--chaos-seed", &operand(&mut args, "--chaos-seed", "N")))
             }
             "--checkpoint-dir" => {
                 opts.checkpoint_dir =
-                    Some(PathBuf::from(args.next().expect("--checkpoint-dir DIR")))
+                    Some(PathBuf::from(operand(&mut args, "--checkpoint-dir", "DIR")))
             }
             "--metrics-json" => {
-                opts.metrics_json = Some(PathBuf::from(args.next().expect("--metrics-json PATH")))
+                opts.metrics_json =
+                    Some(PathBuf::from(operand(&mut args, "--metrics-json", "PATH")))
             }
             "--metrics-summary" => opts.metrics_summary = true,
             "--trace-json" => {
-                opts.trace_json = Some(PathBuf::from(args.next().expect("--trace-json PATH")))
+                opts.trace_json = Some(PathBuf::from(operand(&mut args, "--trace-json", "PATH")))
             }
             "--compare" => {
                 // Optional operand: a .json baseline path; otherwise the
@@ -219,13 +249,17 @@ fn parse_args() -> Options {
             }
             "bench" => opts.bench = true,
             "--scale-sweep" => opts.scale_sweep = true,
-            "explain" => opts.explain = Some(args.next().expect("explain EPISODE-ID")),
+            "explain" => opts.explain = Some(operand(&mut args, "explain", "EPISODE-ID")),
+            "daemon-bench" => {
+                let rest: Vec<String> = args.collect();
+                std::process::exit(daemon_bench(&rest));
+            }
             "validate-metrics" => {
-                let file = PathBuf::from(args.next().expect("validate-metrics FILE"));
+                let file = PathBuf::from(operand(&mut args, "validate-metrics", "FILE"));
                 std::process::exit(validate_metrics(&file));
             }
             "validate-trace" => {
-                let file = PathBuf::from(args.next().expect("validate-trace FILE"));
+                let file = PathBuf::from(operand(&mut args, "validate-trace", "FILE"));
                 std::process::exit(validate_trace(&file));
             }
             "--help" | "-h" => {
@@ -247,6 +281,9 @@ fn parse_args() -> Options {
                 );
                 println!("repro explain EPISODE-ID      print an episode's causal timeline");
                 println!("                              (e.g. rsdos/3, milru/0, transip/1)");
+                println!("repro daemon-bench            ingest the pinned daemon feed, serve it,");
+                println!("                              fire a Zipf query load, write");
+                println!("                              DAEMON_<date>[_runN].json under --out");
                 println!("repro validate-metrics FILE   schema + invariant check a report");
                 println!("repro validate-trace FILE     causality-check a --trace-json file");
                 println!("run `repro --list` for the experiment catalog");
@@ -333,7 +370,11 @@ fn slot_path(dir: &Path, prefix: &str, date: &str, run: u64) -> PathBuf {
 /// The `validate-metrics` subcommand: schema-validate a previously
 /// written report, dispatching on its `schema` field — run reports
 /// (`dnsimpact-metrics/v2`) also get the counter-invariant checks, sweep
-/// reports (`dnsimpact-sweep/v1`) the cell-grid checks. Returns the
+/// reports (`dnsimpact-sweep/v1`) the cell-grid checks, daemon reports
+/// (`dnsimpactd-report/v1`) the shed-accounting check. A document whose
+/// schema is missing or matches none of those is rejected (exit 2) with
+/// the unknown id and the known schema list — a typo'd or future schema
+/// must never silently fall through to the wrong validator. Returns the
 /// process exit code.
 fn validate_metrics(path: &Path) -> i32 {
     let text = match std::fs::read_to_string(path) {
@@ -350,8 +391,14 @@ fn validate_metrics(path: &Path) -> i32 {
             return 2;
         }
     };
-    if doc.get("schema").and_then(|s| s.as_str()) == Some(obs::SWEEP_SCHEMA_ID) {
-        return match obs::sweep::validate(&doc) {
+    let report_violations = |kind: &str, errors: &[String]| {
+        for e in errors {
+            obs::progress("repro", &format!("{kind} violation: {e}"));
+        }
+        obs::progress("repro", &format!("{}: {} violation(s)", path.display(), errors.len()));
+    };
+    match doc.get("schema").and_then(|s| s.as_str()) {
+        Some(obs::SWEEP_SCHEMA_ID) => match obs::sweep::validate(&doc) {
             Ok(()) => {
                 let cells =
                     doc.get("cells").and_then(|c| c.as_array().map(|a| a.len())).unwrap_or(0);
@@ -366,46 +413,71 @@ fn validate_metrics(path: &Path) -> i32 {
                 0
             }
             Err(errors) => {
-                for e in &errors {
-                    obs::progress("repro", &format!("sweep violation: {e}"));
-                }
-                obs::progress(
-                    "repro",
-                    &format!("{}: {} violation(s)", path.display(), errors.len()),
-                );
+                report_violations("sweep", &errors);
                 1
             }
-        };
-    }
-    let mut errors = Vec::new();
-    if let Err(e) = obs::report::validate(&doc) {
-        errors.extend(e);
-    }
-    if let Err(e) = obs::report::check_invariants(&doc) {
-        errors.extend(e);
-    }
-    if errors.is_empty() {
-        let count =
-            |key: &str| doc.get(key).and_then(|m| m.as_object().map(|o| o.len())).unwrap_or(0);
-        obs::progress(
-            "repro",
-            &format!(
-                "{} is a valid {} report ({} counters, {} gauges, {} histograms); \
-                 invariants hold",
-                path.display(),
-                obs::SCHEMA_ID,
-                count("counters"),
-                count("gauges"),
-                count("histograms"),
-            ),
-        );
-        0
-    } else {
-        for e in &errors {
-            obs::progress("repro", &format!("metrics violation: {e}"));
+        },
+        Some(obs::DAEMON_SCHEMA_ID) => match obs::daemon::validate(&doc) {
+            Ok(()) => {
+                obs::progress(
+                    "repro",
+                    &format!(
+                        "{} is a valid {} report (shed accounting balances, floats finite)",
+                        path.display(),
+                        obs::DAEMON_SCHEMA_ID,
+                    ),
+                );
+                0
+            }
+            Err(errors) => {
+                report_violations("daemon", &errors);
+                1
+            }
+        },
+        Some(obs::SCHEMA_ID) => {
+            let mut errors = Vec::new();
+            if let Err(e) = obs::report::validate(&doc) {
+                errors.extend(e);
+            }
+            if let Err(e) = obs::report::check_invariants(&doc) {
+                errors.extend(e);
+            }
+            if errors.is_empty() {
+                let count = |key: &str| {
+                    doc.get(key).and_then(|m| m.as_object().map(|o| o.len())).unwrap_or(0)
+                };
+                obs::progress(
+                    "repro",
+                    &format!(
+                        "{} is a valid {} report ({} counters, {} gauges, {} histograms); \
+                         invariants hold",
+                        path.display(),
+                        obs::SCHEMA_ID,
+                        count("counters"),
+                        count("gauges"),
+                        count("histograms"),
+                    ),
+                );
+                0
+            } else {
+                report_violations("metrics", &errors);
+                1
+            }
         }
-        obs::progress("repro", &format!("{}: {} violation(s)", path.display(), errors.len()));
-        1
+        other => {
+            obs::progress(
+                "repro",
+                &format!(
+                    "{}: unknown schema {}; known schemas: {}, {}, {}",
+                    path.display(),
+                    other.map_or("<missing>".to_string(), |s| format!("{s:?}")),
+                    obs::SCHEMA_ID,
+                    obs::SWEEP_SCHEMA_ID,
+                    obs::DAEMON_SCHEMA_ID,
+                ),
+            );
+            2
+        }
     }
 }
 
@@ -456,6 +528,145 @@ fn validate_trace(path: &Path) -> i32 {
         obs::progress("repro", &format!("{}: {} violation(s)", path.display(), errors.len()));
         1
     }
+}
+
+/// `repro daemon-bench`: one in-process pass over the daemon's whole
+/// serving story — build the pinned feed, ingest it through the
+/// supervised transport, serve it over HTTP, fire the Zipf query load,
+/// and commit a validated `dnsimpactd-report/v1` snapshot to
+/// `results/DAEMON_<date>[_runN].json` (same-day runs get `_runN` slots,
+/// like `BENCH_`/`SWEEP_`). Returns the process exit code.
+fn daemon_bench(args: &[String]) -> i32 {
+    let mut seed = 42u64;
+    let mut scale = 1_500u64;
+    let mut months = 2usize;
+    let mut jobs = 0usize;
+    let mut chaos_seed: Option<u64> = None;
+    let mut out = PathBuf::from("results");
+    let mut qcfg = bench_support::QloadConfig::default();
+    let mut staleness_bound_s = 1_800u64;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--seed" => seed = num_operand(flag, &val(flag)),
+            "--scale-target" => scale = num_operand(flag, &val(flag)),
+            "--months" => months = num_operand(flag, &val(flag)),
+            "--jobs" => jobs = num_operand(flag, &val(flag)),
+            "--chaos-seed" => chaos_seed = Some(num_operand(flag, &val(flag))),
+            "--clients" => qcfg.clients = num_operand(flag, &val(flag)),
+            "--queries" => qcfg.queries_per_client = num_operand(flag, &val(flag)),
+            "--zipf-s" => qcfg.zipf_s = num_operand(flag, &val(flag)),
+            "--staleness-bound-s" => staleness_bound_s = num_operand(flag, &val(flag)),
+            "--out" => out = PathBuf::from(val(flag)),
+            other => die(&format!("daemon-bench: unknown flag {other:?}")),
+        }
+    }
+    qcfg.seed = seed;
+    let jobs = streamproc::effective_jobs(jobs);
+
+    let mut feed_cfg = dnsimpactd::FeedConfig::pinned(scale);
+    feed_cfg.seed = seed;
+    feed_cfg.months = months;
+    obs::progress(
+        "repro",
+        &format!("daemon-bench: building feed (seed {seed}, scale {scale}, months {months}, jobs {jobs})"),
+    );
+    let source = dnsimpactd::feed::build(&feed_cfg, jobs);
+    let dir = std::sync::Arc::new(dnsimpactd::DomainDir::build(&source.world.infra));
+    let cell = std::sync::Arc::new(streamproc::SwapCell::new(dnsimpactd::IndexSnapshot::default()));
+
+    let ingest_start = Instant::now();
+    let mut ingestor = dnsimpactd::Ingestor::new(
+        &source,
+        dnsimpactd::IngestConfig { chaos_seed, ..dnsimpactd::IngestConfig::default() },
+        std::sync::Arc::clone(&cell),
+    );
+    ingestor.run();
+    let ingest_wall_ms = ingest_start.elapsed().as_millis() as u64;
+    let fingerprint = format!("{:#018x}", ingestor.state.full_fingerprint());
+    obs::progress(
+        "repro",
+        &format!(
+            "daemon-bench: ingested {} batches / {} records in {ingest_wall_ms} ms, fp {fingerprint}",
+            source.batches.len(),
+            source.total_records
+        ),
+    );
+
+    let server_cfg =
+        dnsimpactd::ServerConfig { staleness_bound_s, ..dnsimpactd::ServerConfig::default() };
+    let server =
+        match dnsimpactd::Server::start(&server_cfg, std::sync::Arc::clone(&cell), dir.clone()) {
+            Ok(s) => s,
+            Err(e) => {
+                obs::progress("repro", &format!("daemon-bench: cannot bind server: {e}"));
+                return 1;
+            }
+        };
+    let names: Vec<String> = dir.names().map(str::to_string).collect();
+    obs::progress(
+        "repro",
+        &format!(
+            "daemon-bench: firing {} clients x {} queries (zipf s={}) at {}",
+            qcfg.clients,
+            qcfg.queries_per_client,
+            qcfg.zipf_s,
+            server.addr()
+        ),
+    );
+    let stats = bench_support::qload::run(server.addr(), &names, &qcfg);
+    let snap = cell.load();
+    server.shutdown();
+
+    let rtt = obs::histogram("sched.qload.rtt_us").snapshot();
+    let report = obs::DaemonReport {
+        meta: obs::DaemonMeta {
+            seed,
+            scale,
+            months: months as u64,
+            jobs: jobs as u64,
+            date: obs::report::today_utc(),
+            clients: qcfg.clients as u64,
+            zipf_s: qcfg.zipf_s,
+            staleness_bound_s,
+        },
+        batches: source.batches.len() as u64,
+        records: source.total_records,
+        episodes: source.episodes_emitted,
+        ingest_wall_ms,
+        fingerprint,
+        queries_sent: stats.sent,
+        ok: stats.ok,
+        not_found: stats.not_found,
+        shed: stats.shed,
+        errors: stats.errors,
+        qps: stats.qps(),
+        p50_us: rtt.p50 as f64,
+        p95_us: rtt.p95 as f64,
+        p99_us: rtt.p99 as f64,
+        staleness_s: snap.staleness_s(),
+    };
+    let doc = report.to_json();
+    if let Err(errors) = obs::daemon::validate(&doc) {
+        for e in &errors {
+            obs::progress("repro", &format!("daemon violation: {e}"));
+        }
+        obs::progress("repro", "refusing to write invalid daemon report");
+        return 1;
+    }
+    std::fs::create_dir_all(&out)
+        .unwrap_or_else(|e| die(&format!("cannot create out dir {}: {e}", out.display())));
+    let (_, path) = next_slot(&out, "DAEMON", &obs::report::today_utc());
+    let mut text = doc.pretty();
+    text.push('\n');
+    write_atomic(&path, &text)
+        .unwrap_or_else(|e| die(&format!("cannot write daemon report {}: {e}", path.display())));
+    eprint!("{}", report.summary_table());
+    obs::progress("repro", &format!("daemon report written to {}", path.display()));
+    0
 }
 
 fn index_line(a: &Artifact) -> String {
@@ -545,12 +756,15 @@ fn emit_report(report: &obs::RunReport, path: &Path) {
     }
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent).expect("create metrics dir");
+            std::fs::create_dir_all(parent).unwrap_or_else(|e| {
+                die(&format!("cannot create metrics dir {}: {e}", parent.display()))
+            });
         }
     }
     let mut text = doc.pretty();
     text.push('\n');
-    write_atomic(path, &text).expect("write metrics report");
+    write_atomic(path, &text)
+        .unwrap_or_else(|e| die(&format!("cannot write metrics report {}: {e}", path.display())));
     obs::progress("repro", &format!("metrics report written to {}", path.display()));
 }
 
@@ -573,8 +787,10 @@ fn main() {
         .collect();
     let jobs = streamproc::effective_jobs(opts.jobs);
     let total = Instant::now();
-    let ckpt =
-        opts.checkpoint_dir.as_ref().map(|d| CheckpointDir::new(d).expect("create checkpoint dir"));
+    let ckpt = opts.checkpoint_dir.as_ref().map(|d| {
+        CheckpointDir::new(d)
+            .unwrap_or_else(|e| die(&format!("cannot create checkpoint dir {}: {e}", d.display())))
+    });
 
     // Stage 1: the shared longitudinal pipeline, if any requested
     // experiment renders from it.
@@ -618,11 +834,15 @@ fn main() {
     let persist = |run: &ExperimentRun| {
         let mut lines = Vec::new();
         for a in &run.artifacts {
-            write_output(&out_dir, &format!("{}.csv", a.id), &a.csv).expect("write results");
+            write_output(&out_dir, &format!("{}.csv", a.id), &a.csv).unwrap_or_else(|e| {
+                die(&format!("cannot write {}.csv under {}: {e}", a.id, out_dir.display()))
+            });
             lines.push(index_line(a));
         }
         if let Some(c) = ckpt_ref {
-            c.mark_done(&run.id, &lines).expect("write checkpoint marker");
+            c.mark_done(&run.id, &lines).unwrap_or_else(|e| {
+                die(&format!("cannot write checkpoint marker for {}: {e}", run.id))
+            });
             obs::trace::emit(
                 obs::EventKind::CheckpointWritten,
                 &run.id,
@@ -699,10 +919,13 @@ fn main() {
         text.push('\n');
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent).expect("create trace dir");
+                std::fs::create_dir_all(parent).unwrap_or_else(|e| {
+                    die(&format!("cannot create trace dir {}: {e}", parent.display()))
+                });
             }
         }
-        write_atomic(path, &text).expect("write trace json");
+        write_atomic(path, &text)
+            .unwrap_or_else(|e| die(&format!("cannot write trace {}: {e}", path.display())));
         obs::progress(
             "repro",
             &format!("trace ({} events) written to {}", events.len(), path.display()),
@@ -825,9 +1048,12 @@ fn run_scale_sweep_cmd(opts: &Options) -> i32 {
         obs::progress("repro", "refusing to write invalid sweep report");
         return 1;
     }
-    std::fs::create_dir_all(&opts.out).expect("create sweep out dir");
+    std::fs::create_dir_all(&opts.out).unwrap_or_else(|e| {
+        die(&format!("cannot create sweep out dir {}: {e}", opts.out.display()))
+    });
     let (_, path) = next_slot(&opts.out, "SWEEP", &obs::report::today_utc());
-    write_atomic(&path, &doc.pretty()).expect("write sweep report");
+    write_atomic(&path, &doc.pretty())
+        .unwrap_or_else(|e| die(&format!("cannot write sweep report {}: {e}", path.display())));
     eprint!("{}", report.summary_table());
     obs::progress("repro", &format!("sweep report written to {}", path.display()));
     0

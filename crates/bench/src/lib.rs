@@ -18,8 +18,10 @@ use std::sync::Arc;
 use telescope::Darknet;
 
 pub mod checkpoint;
+pub mod qload;
 pub mod sweep;
 pub use checkpoint::CheckpointDir;
+pub use qload::{QloadConfig, QloadStats};
 pub use sweep::{divisor_for_target, run_scale_sweep, SweepConfig, PAPER_TOTAL_ATTACKS};
 
 /// A fully materialized longitudinal experiment.

@@ -1,0 +1,135 @@
+//! The daemon query-load generator: Zipf-popular domain queries from N
+//! concurrent clients against a running `dnsimpactd` HTTP endpoint.
+//!
+//! Domain popularity follows a Zipf draw over the directory's
+//! deterministic name order (rank 1 = lexicographically first), the same
+//! heavy-tailed shape real resolver workloads show — which is what makes
+//! the overload test honest: the hot ranks hammer the same snapshot while
+//! the tail sprays the index. Per-query RTTs land in the existing
+//! `obs::histogram` machinery (`sched.qload.rtt_us`), so percentiles come
+//! from the same log-bucketed estimator every other latency in the
+//! workspace uses.
+//!
+//! Outcomes are classified exactly once per query — `ok` (200),
+//! `not_found` (404), `shed` (503), `errors` (transport failure) — so the
+//! caller can check the daemon's shed accounting against its own books.
+
+use dnsimpactd::http_get;
+use simcore::dist::Zipf;
+use simcore::rng::RngFactory;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Query-load shape.
+#[derive(Clone, Debug)]
+pub struct QloadConfig {
+    pub seed: u64,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Queries per client.
+    pub queries_per_client: usize,
+    /// Zipf exponent over the domain rank order.
+    pub zipf_s: f64,
+    pub timeout: Duration,
+}
+
+impl Default for QloadConfig {
+    fn default() -> QloadConfig {
+        QloadConfig {
+            seed: 42,
+            clients: 4,
+            queries_per_client: 250,
+            zipf_s: 1.1,
+            timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What happened across the whole run. `sent == ok + not_found + shed +
+/// errors` by construction (every query is classified exactly once).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QloadStats {
+    pub sent: u64,
+    pub ok: u64,
+    pub not_found: u64,
+    pub shed: u64,
+    pub errors: u64,
+    pub wall_ms: u64,
+}
+
+impl QloadStats {
+    pub fn qps(&self) -> f64 {
+        if self.wall_ms == 0 {
+            0.0
+        } else {
+            self.sent as f64 * 1_000.0 / self.wall_ms as f64
+        }
+    }
+
+    fn absorb(&mut self, other: QloadStats) {
+        self.sent += other.sent;
+        self.ok += other.ok;
+        self.not_found += other.not_found;
+        self.shed += other.shed;
+        self.errors += other.errors;
+    }
+}
+
+/// Fire the configured load at `addr` and classify every response.
+/// `names` must be in the directory's deterministic rank order.
+pub fn run(addr: SocketAddr, names: &[String], cfg: &QloadConfig) -> QloadStats {
+    assert!(!names.is_empty(), "query load needs a non-empty domain directory");
+    let rngs = RngFactory::new(cfg.seed);
+    let zipf = Zipf::new(names.len(), cfg.zipf_s);
+    let start = Instant::now();
+    let mut totals = QloadStats::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients.max(1))
+            .map(|client| {
+                let mut rng = rngs.stream_indexed("qload-client", client as u64);
+                let zipf = &zipf;
+                let names = &names;
+                scope.spawn(move || {
+                    let mut s = QloadStats::default();
+                    for _ in 0..cfg.queries_per_client {
+                        let rank = zipf.sample(&mut rng);
+                        let name = &names[rank - 1];
+                        let t0 = Instant::now();
+                        let outcome = http_get(addr, &format!("/query?domain={name}"), cfg.timeout);
+                        obs::histogram("sched.qload.rtt_us")
+                            .record(t0.elapsed().as_micros() as u64);
+                        s.sent += 1;
+                        match outcome {
+                            Ok((200, _)) => s.ok += 1,
+                            Ok((404, _)) => s.not_found += 1,
+                            Ok((503, _)) => s.shed += 1,
+                            Ok(_) | Err(_) => s.errors += 1,
+                        }
+                    }
+                    s
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Ok(s) = h.join() {
+                totals.absorb(s);
+            }
+        }
+    });
+    totals.wall_ms = start.elapsed().as_millis() as u64;
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_account_and_qps_is_sane() {
+        let mut s = QloadStats { sent: 0, ok: 7, not_found: 1, shed: 2, errors: 0, wall_ms: 500 };
+        s.sent = s.ok + s.not_found + s.shed + s.errors;
+        assert_eq!(s.sent, 10);
+        assert!((s.qps() - 20.0).abs() < 1e-9);
+        assert_eq!(QloadStats::default().qps(), 0.0);
+    }
+}

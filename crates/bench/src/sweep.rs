@@ -23,16 +23,10 @@ use scenarios::{paper_longitudinal_config, world, PaperScale, WorldConfig};
 use simcore::rng::RngFactory;
 use telescope::Darknet;
 
-/// Total attacks in the paper's RSDoS catalog (Table 1): the sum of the
-/// pinned monthly totals the scheduler divides down.
-pub const PAPER_TOTAL_ATTACKS: u64 = 4_039_485;
-
-/// The `PaperScale` divisor whose catalog lands nearest `target` attacks.
-pub fn divisor_for_target(target: u64) -> u32 {
-    let target = target.max(1);
-    u32::try_from(((PAPER_TOTAL_ATTACKS + target / 2) / target).max(1))
-        .expect("divisor fits u32 for any target >= 1")
-}
+/// Total attacks in the paper's RSDoS catalog and the divisor that lands
+/// nearest a target count — defined next to the Table 3 calibration in
+/// `scenarios`, re-exported here because the sweep named them first.
+pub use scenarios::{divisor_for_target, PAPER_TOTAL_ATTACKS};
 
 /// One sweep request: the grid plus the run identity.
 pub struct SweepConfig {

@@ -157,14 +157,53 @@ impl JoinTable {
         });
         let mut table = JoinTable::default();
         for mut part in parts {
-            table.episode_idx.append(&mut part.episode_idx);
-            table.months.append(&mut part.months);
-            table.domains_affected.append(&mut part.domains_affected);
-            table.ns_direct.append(&mut part.ns_direct);
-            table.ns_collateral.append(&mut part.ns_collateral);
-            table.nssets.append(&mut part.nssets);
+            table.append(&mut part);
         }
         table
+    }
+
+    /// Move every row of `other` onto the end of `self` (shard stitching;
+    /// `other` is drained). Rows keep their original `episode_idx`.
+    pub fn append(&mut self, other: &mut JoinTable) {
+        self.episode_idx.append(&mut other.episode_idx);
+        self.months.append(&mut other.months);
+        self.domains_affected.append(&mut other.domains_affected);
+        self.ns_direct.append(&mut other.ns_direct);
+        self.ns_collateral.append(&mut other.ns_collateral);
+        self.nssets.append(&mut other.nssets);
+    }
+
+    /// Incrementally join episodes `[from, episodes.len())` and append the
+    /// resulting rows. Growing a table by repeated `extend` calls as a
+    /// feed streams in yields exactly the table [`JoinTable::build`] would
+    /// produce over the full feed — the streaming consumer's way of
+    /// keeping a hot join without rebuilding it per batch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn extend(
+        &mut self,
+        infra: &Infra,
+        directory: &dyn NsDirectory,
+        episodes: &EpisodeColumns,
+        from: usize,
+        open_resolvers: &OpenResolverList,
+        include_collateral: bool,
+        day_offset: u64,
+        trace_scope: Option<&str>,
+    ) {
+        if from >= episodes.len() {
+            return;
+        }
+        let mut part = build_chunk(
+            infra,
+            directory,
+            episodes,
+            from..episodes.len(),
+            open_resolvers,
+            include_collateral,
+            day_offset,
+            trace_scope,
+        );
+        self.append(&mut part);
     }
 
     /// Materialize the row form (the `LongitudinalReport` API and the
@@ -398,6 +437,47 @@ mod tests {
         for jobs in [2usize, 3, 8, 64] {
             let par = build(jobs);
             assert_eq!(format!("{:?}", seq.to_events()), format!("{:?}", par.to_events()));
+        }
+    }
+
+    #[test]
+    fn incremental_extend_matches_bulk_build() {
+        let infra = world();
+        let eps = feed();
+        let cols = EpisodeColumns::from_episodes(&eps);
+        for include_collateral in [false, true] {
+            let bulk = JoinTable::build(
+                &infra,
+                &infra,
+                &cols,
+                &OpenResolverList::new(),
+                include_collateral,
+                1,
+                1,
+                None,
+            );
+            // Grow episode-by-episode, the way a streaming ingester does.
+            let mut inc = JoinTable::default();
+            let mut streamed = EpisodeColumns::default();
+            for e in &eps {
+                let from = streamed.len();
+                streamed.push_episode(e);
+                inc.extend(
+                    &infra,
+                    &infra,
+                    &streamed,
+                    from,
+                    &OpenResolverList::new(),
+                    include_collateral,
+                    1,
+                    None,
+                );
+            }
+            assert_eq!(
+                format!("{inc:?}"),
+                format!("{bulk:?}"),
+                "collateral={include_collateral}: streamed join equals bulk join"
+            );
         }
     }
 

@@ -1,0 +1,373 @@
+//! A minimal hand-rolled HTTP/1.1 server for the query API.
+//!
+//! No HTTP library exists in this workspace, and the API surface is four
+//! GET routes returning small JSON bodies — so this is a deliberately
+//! tiny server: an accept thread that admits connections into a
+//! fixed-capacity [`streamproc::BoundedQueue`], and N worker threads
+//! that pop, parse one request, and answer from the current
+//! [`IndexSnapshot`].
+//!
+//! The overload contract lives at admission: `try_push` never blocks and
+//! never buffers beyond capacity. A full queue means the connection gets
+//! an immediate `503 {"error":"overloaded"}` and a counted shed — memory
+//! stays bounded no matter the offered load, and the books balance:
+//! `queries_received == queries_served + queries_shed + query_errors`.
+//! (Those counters are `sched.`-prefixed: which queries shed depends on
+//! thread timing, so they are real observability but excluded from
+//! determinism diffs.)
+//!
+//! Routes:
+//!
+//! - `GET /healthz` — liveness: the process accepts and answers.
+//! - `GET /readyz` — readiness: 200 only while the served snapshot is
+//!   fresher than the staleness bound; 503 with the same JSON body
+//!   otherwise, so probes and humans see *why*.
+//! - `GET /query?domain=NAME` — the impact answer, always carrying
+//!   `staleness_s` and `degraded`.
+//! - `GET /statz` — ingest progress and fingerprints, for the CI gate.
+
+use crate::index::{BaselineSource, DomainDir, IndexSnapshot};
+use obs::Json;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use streamproc::{BoundedQueue, PushError, SwapCell};
+
+/// Serving policy.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (tests).
+    pub bind: String,
+    pub workers: usize,
+    /// Admission queue capacity; overflow sheds with a 503.
+    pub queue_cap: usize,
+    /// `/readyz` flips not-ready when the snapshot is staler than this.
+    pub staleness_bound_s: u64,
+    /// Artificial per-request delay — a test hook to force queue overflow
+    /// deterministically-enough to assert shedding happens and is counted.
+    pub handle_delay_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            bind: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_cap: 64,
+            staleness_bound_s: 1800,
+            handle_delay_ms: 0,
+        }
+    }
+}
+
+/// A running server; dropping it does NOT stop it — call [`Server::shutdown`].
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    queue: Arc<BoundedQueue<TcpStream>>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving the snapshots published through `cell`.
+    pub fn start(
+        cfg: &ServerConfig,
+        cell: Arc<SwapCell<IndexSnapshot>>,
+        dir: Arc<DomainDir>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.bind)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(BoundedQueue::new(cfg.queue_cap.max(1)));
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(conn) = conn else { continue };
+                    obs::counter("sched.daemon.queries_received").incr();
+                    match queue.try_push(conn) {
+                        Ok(()) => {}
+                        Err(PushError::Full(conn)) | Err(PushError::Closed(conn)) => {
+                            obs::counter("sched.daemon.queries_shed").incr();
+                            // Drain the request before answering: closing a
+                            // socket with unread data RSTs the connection and
+                            // can discard the queued 503 — the client would
+                            // see a reset, not the shed verdict. Bounded by a
+                            // short timeout so a slow client cannot stall
+                            // admission for long.
+                            let _ = drain_request(&conn, Duration::from_millis(250));
+                            let _ = respond(conn, 503, &{
+                                let mut b = Json::obj();
+                                b.set("error", Json::Str("overloaded".into()));
+                                b
+                            });
+                        }
+                    }
+                }
+            })
+        };
+
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let cell = Arc::clone(&cell);
+                let dir = Arc::clone(&dir);
+                let cfg = cfg.clone();
+                std::thread::spawn(move || {
+                    while let Some(conn) = queue.pop() {
+                        if cfg.handle_delay_ms > 0 {
+                            std::thread::sleep(Duration::from_millis(cfg.handle_delay_ms));
+                        }
+                        match handle(conn, &cell, &dir, &cfg) {
+                            Ok(()) => obs::counter("sched.daemon.queries_served").incr(),
+                            Err(_) => obs::counter("sched.daemon.query_errors").incr(),
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        Ok(Server { addr, stop, queue, accept: Some(accept), workers })
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain the admitted queue, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop is blocked in accept(); poke it awake. The
+        // wakeup connection is seen after `stop` and never counted.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Best-effort read of one request's head (request line + headers) so the
+/// peer's send buffer is empty before we respond and close. Stops at the
+/// blank line, EOF, an 8 KiB cap, or `timeout` — whichever comes first.
+fn drain_request(mut conn: &TcpStream, timeout: Duration) -> std::io::Result<()> {
+    conn.set_read_timeout(Some(timeout))?;
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = conn.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+            return Ok(());
+        }
+    }
+}
+
+/// Read one request line + headers (8 KiB cap), route, respond.
+fn handle(
+    mut conn: TcpStream,
+    cell: &SwapCell<IndexSnapshot>,
+    dir: &DomainDir,
+    cfg: &ServerConfig,
+) -> std::io::Result<()> {
+    conn.set_read_timeout(Some(Duration::from_secs(5)))?;
+    conn.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = conn.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+            break;
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let request_line = text.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        let mut body = Json::obj();
+        body.set("error", Json::Str("only GET is served".into()));
+        return respond(conn, 405, &body);
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let snap = cell.load();
+    let (status, body) = route(path, query, &snap, dir, cfg);
+    respond(conn, status, &body)
+}
+
+fn route(
+    path: &str,
+    query: Option<&str>,
+    snap: &IndexSnapshot,
+    dir: &DomainDir,
+    cfg: &ServerConfig,
+) -> (u16, Json) {
+    match path {
+        "/healthz" => {
+            let mut b = Json::obj();
+            b.set("ok", Json::Bool(true));
+            (200, b)
+        }
+        "/readyz" => {
+            let ready = snap.ready(cfg.staleness_bound_s);
+            let mut b = Json::obj();
+            b.set("ready", Json::Bool(ready));
+            b.set("staleness_s", Json::U64(snap.staleness_s()));
+            b.set("staleness_bound_s", Json::U64(cfg.staleness_bound_s));
+            b.set("applied_seq", Json::U64(snap.applied_seq));
+            (if ready { 200 } else { 503 }, b)
+        }
+        "/statz" => {
+            let mut b = Json::obj();
+            b.set("applied_seq", Json::U64(snap.applied_seq));
+            b.set("total_batches", Json::U64(snap.total_batches));
+            b.set("records_applied", Json::U64(snap.records_applied));
+            b.set("episodes", Json::U64(snap.episodes));
+            b.set("joined_rows", Json::U64(snap.joined_rows));
+            b.set("clock_s", Json::U64(snap.clock.secs()));
+            b.set("staleness_s", Json::U64(snap.staleness_s()));
+            b.set("ready", Json::Bool(snap.ready(cfg.staleness_bound_s)));
+            b.set("ingest_done", Json::Bool(snap.ingest_done()));
+            b.set("state_fp", Json::Str(format!("{:#018x}", snap.state_fp)));
+            if let Some(fp) = snap.full_fp {
+                b.set("full_fp", Json::Str(format!("{fp:#018x}")));
+            }
+            (200, b)
+        }
+        "/query" => {
+            let Some(name) = query.and_then(|q| {
+                q.split('&').find_map(|kv| kv.strip_prefix("domain=")).filter(|v| !v.is_empty())
+            }) else {
+                let mut b = Json::obj();
+                b.set("error", Json::Str("missing ?domain=NAME".into()));
+                return (400, b);
+            };
+            let Some((_, nsset)) = dir.lookup(name) else {
+                let mut b = Json::obj();
+                b.set("error", Json::Str(format!("unknown domain {name:?}")));
+                return (404, b);
+            };
+            (200, answer(name, nsset.0, snap, cfg))
+        }
+        _ => {
+            let mut b = Json::obj();
+            b.set("error", Json::Str(format!("no route {path:?}")));
+            (404, b)
+        }
+    }
+}
+
+/// The impact answer for one domain. Degradation is part of the answer,
+/// not a side channel: `staleness_s` is always present, and `degraded`
+/// is true whenever the view is stale past the bound OR the impact ratio
+/// rests on a fallback (week-before) or missing baseline.
+fn answer(name: &str, nsset: u32, snap: &IndexSnapshot, cfg: &ServerConfig) -> Json {
+    let mut b = Json::obj();
+    b.set("domain", Json::Str(name.into()));
+    b.set("nsset", Json::U64(nsset as u64));
+    b.set("staleness_s", Json::U64(snap.staleness_s()));
+    let stale = snap.staleness_s() > cfg.staleness_bound_s;
+    match snap.nssets.get(&nsset) {
+        Some(s) => {
+            b.set("attacks_seen", Json::U64(s.attacks_seen));
+            b.set(
+                "under_attack",
+                Json::Bool(s.last_attack_window.is_some_and(|w| w >= snap.horizon)),
+            );
+            b.set("peak_ppm", Json::F64(s.peak_ppm));
+            if let Some(w) = s.first_attack_window {
+                b.set("first_attack_window", Json::U64(w.0));
+            }
+            if let Some(w) = s.last_attack_window {
+                b.set("last_attack_window", Json::U64(w.0));
+            }
+            if let Some(rtt) = s.during_rtt_ms {
+                b.set("during_rtt_ms", Json::F64(rtt));
+            }
+            if let Some(r) = s.impact_on_rtt {
+                b.set("impact_on_rtt", Json::F64(r));
+            }
+            if let Some(r) = s.worst_impact_on_rtt {
+                b.set("worst_impact_on_rtt", Json::F64(r));
+            }
+            let baseline = s.baseline_source.unwrap_or(BaselineSource::Missing);
+            let weak_baseline = s.during_rtt_ms.is_some() && baseline != BaselineSource::DayBefore;
+            b.set("baseline_source", Json::Str(baseline.as_str().into()));
+            b.set("degraded", Json::Bool(stale || weak_baseline));
+        }
+        None => {
+            b.set("attacks_seen", Json::U64(0));
+            b.set("under_attack", Json::Bool(false));
+            b.set("baseline_source", Json::Str("none_needed".into()));
+            b.set("degraded", Json::Bool(stale));
+        }
+    }
+    b
+}
+
+fn respond(mut conn: TcpStream, status: u16, body: &Json) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let payload = body.pretty();
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        payload.len()
+    );
+    conn.write_all(head.as_bytes())?;
+    conn.write_all(payload.as_bytes())?;
+    conn.flush()
+}
+
+/// A blocking one-shot GET client — enough for the CI gate, the query
+/// load generator, and tests; no external curl required.
+pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> std::io::Result<(u16, String)> {
+    let mut conn = TcpStream::connect_timeout(&addr, timeout)?;
+    conn.set_read_timeout(Some(timeout))?;
+    conn.set_write_timeout(Some(timeout))?;
+    conn.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: dnsimpactd\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw)?;
+    let status = raw
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed response: {raw:?}"),
+            )
+        })?;
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    Ok((status, body))
+}

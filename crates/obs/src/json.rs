@@ -318,7 +318,10 @@ impl Parser<'_> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // The consumed bytes are all ASCII by construction, but a parser
+        // must not be able to panic on any input byte sequence.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number bytes at byte {start}"))?;
         if !is_float {
             if let Ok(n) = text.parse::<u64>() {
                 return Ok(Json::U64(n));

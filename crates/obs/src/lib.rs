@@ -49,12 +49,17 @@
 //! - [`sweep`]: the scale-sweep report (`dnsimpact-sweep/v1`) emitted by
 //!   `repro bench --scale-sweep` — per-(scale, jobs) throughput, wall, and
 //!   peak-RSS cells, with strict sortedness/finiteness validation;
+//! - [`daemon`]: the daemon serving-benchmark report
+//!   (`dnsimpactd-report/v1`) emitted by `repro daemon-bench` — ingest
+//!   fingerprint plus query QPS/tail-latency, with the shed-accounting
+//!   identity enforced at validation;
 //! - [`json`]: the dependency-free JSON value/writer/parser the report
 //!   rides on;
 //! - [`progress`]: stderr-only progress/timing lines, so nothing
 //!   nondeterministic can ever reach the stdout that the CI determinism
 //!   diff compares.
 
+pub mod daemon;
 pub mod json;
 pub mod metrics;
 pub mod progress;
@@ -64,6 +69,7 @@ pub mod span;
 pub mod sweep;
 pub mod trace;
 
+pub use daemon::{DaemonMeta, DaemonReport, DAEMON_SCHEMA_ID};
 pub use json::Json;
 pub use metrics::{counter, gauge, histogram, registry, Counter, Gauge, Histogram, Snapshot};
 pub use progress::progress;

@@ -152,96 +152,97 @@ impl RunReport {
     }
 
     /// Rebuild a report from schema-`v2` JSON. Runs full schema validation
-    /// first, so `from_json(text)?` doubles as a validity check.
+    /// first, so `from_json(text)?` doubles as a validity check. On a
+    /// document [`validate`] passes every accessor below succeeds; any gap
+    /// between the two (a validator blind spot, a hand-edited file) comes
+    /// back as a named-field error, never a panic.
     pub fn from_json(doc: &Json) -> Result<RunReport, Vec<String>> {
         validate(doc)?;
-        let meta = doc.get("meta").unwrap();
+        let meta = want(doc, "$", "meta")?;
         let run_meta = RunMeta {
-            seed: meta.get("seed").unwrap().as_u64().unwrap(),
-            scale: meta.get("scale").unwrap().as_u64().unwrap(),
-            jobs: meta.get("jobs").unwrap().as_u64().unwrap(),
-            run: meta.get("run").unwrap().as_u64().unwrap(),
-            chaos_seed: meta.get("chaos_seed").unwrap().as_u64(),
-            bench: matches!(meta.get("bench").unwrap(), Json::Bool(true)),
-            date: meta.get("date").unwrap().as_str().unwrap().to_string(),
-            experiments: meta
-                .get("experiments")
-                .unwrap()
-                .as_array()
-                .unwrap()
+            seed: want_u64(meta, "$.meta", "seed")?,
+            scale: want_u64(meta, "$.meta", "scale")?,
+            jobs: want_u64(meta, "$.meta", "jobs")?,
+            run: want_u64(meta, "$.meta", "run")?,
+            chaos_seed: want(meta, "$.meta", "chaos_seed")?.as_u64(),
+            bench: matches!(want(meta, "$.meta", "bench")?, Json::Bool(true)),
+            date: want_str(meta, "$.meta", "date")?,
+            experiments: want_array(meta, "$.meta", "experiments")?
                 .iter()
-                .map(|e| e.as_str().unwrap().to_string())
-                .collect(),
+                .enumerate()
+                .map(|(i, e)| {
+                    e.as_str().map(str::to_string).ok_or_else(|| {
+                        vec![format!("malformed report: $.meta.experiments[{i}] is not a string")]
+                    })
+                })
+                .collect::<Result<_, _>>()?,
         };
-        let stages = doc
-            .get("stages")
-            .unwrap()
-            .as_array()
-            .unwrap()
+        let stages = want_array(doc, "$", "stages")?
             .iter()
-            .map(|s| StageWall {
-                name: s.get("name").unwrap().as_str().unwrap().to_string(),
-                wall_ms: s.get("wall_ms").unwrap().as_u64().unwrap(),
+            .enumerate()
+            .map(|(i, s)| {
+                let path = format!("$.stages[{i}]");
+                Ok(StageWall {
+                    name: want_str(s, &path, "name")?,
+                    wall_ms: want_u64(s, &path, "wall_ms")?,
+                })
             })
-            .collect();
+            .collect::<Result<_, Vec<String>>>()?;
+        let u64_map =
+            |key: &'static str| -> Result<std::collections::BTreeMap<String, u64>, Vec<String>> {
+                want_object(doc, "$", key)?
+                    .iter()
+                    .map(|(k, v)| {
+                        v.as_u64().map(|n| (k.clone(), n)).ok_or_else(|| {
+                            vec![format!(
+                                "malformed report: $.{key}.{k} is not an unsigned integer"
+                            )]
+                        })
+                    })
+                    .collect()
+            };
         let metrics = Snapshot {
-            counters: doc
-                .get("counters")
-                .unwrap()
-                .as_object()
-                .unwrap()
-                .iter()
-                .map(|(k, v)| (k.clone(), v.as_u64().unwrap()))
-                .collect(),
-            gauges: doc
-                .get("gauges")
-                .unwrap()
-                .as_object()
-                .unwrap()
-                .iter()
-                .map(|(k, v)| (k.clone(), v.as_u64().unwrap()))
-                .collect(),
-            histograms: doc
-                .get("histograms")
-                .unwrap()
-                .as_object()
-                .unwrap()
+            counters: u64_map("counters")?,
+            gauges: u64_map("gauges")?,
+            histograms: want_object(doc, "$", "histograms")?
                 .iter()
                 .map(|(k, h)| {
-                    let f = |field: &str| h.get(field).unwrap().as_u64().unwrap();
-                    (
+                    let path = format!("$.histograms.{k}");
+                    Ok((
                         k.clone(),
                         HistogramSnapshot {
-                            count: f("count"),
-                            sum: f("sum"),
-                            min: f("min"),
-                            max: f("max"),
-                            p50: f("p50"),
-                            p90: f("p90"),
-                            p95: f("p95"),
-                            p99: f("p99"),
+                            count: want_u64(h, &path, "count")?,
+                            sum: want_u64(h, &path, "sum")?,
+                            min: want_u64(h, &path, "min")?,
+                            max: want_u64(h, &path, "max")?,
+                            p50: want_u64(h, &path, "p50")?,
+                            p90: want_u64(h, &path, "p90")?,
+                            p95: want_u64(h, &path, "p95")?,
+                            p99: want_u64(h, &path, "p99")?,
                         },
-                    )
+                    ))
                 })
-                .collect(),
+                .collect::<Result<_, Vec<String>>>()?,
         };
-        let t = doc.get("trace").unwrap();
+        let t = want(doc, "$", "trace")?;
         let trace = TraceSummary {
-            events: t.get("events").unwrap().as_u64().unwrap(),
-            dropped: t.get("dropped").unwrap().as_u64().unwrap(),
-            by_kind: t
-                .get("by_kind")
-                .unwrap()
-                .as_object()
-                .unwrap()
+            events: want_u64(t, "$.trace", "events")?,
+            dropped: want_u64(t, "$.trace", "dropped")?,
+            by_kind: want_object(t, "$.trace", "by_kind")?
                 .iter()
-                .map(|(k, v)| (k.clone(), v.as_u64().unwrap()))
-                .collect(),
+                .map(|(k, v)| {
+                    v.as_u64().map(|n| (k.clone(), n)).ok_or_else(|| {
+                        vec![format!(
+                            "malformed report: $.trace.by_kind.{k} is not an unsigned integer"
+                        )]
+                    })
+                })
+                .collect::<Result<_, _>>()?,
         };
         Ok(RunReport {
             meta: run_meta,
-            total_wall_ms: doc.get("total_wall_ms").unwrap().as_u64().unwrap(),
-            peak_rss_kb: doc.get("peak_rss_kb").unwrap().as_u64().unwrap(),
+            total_wall_ms: want_u64(doc, "$", "total_wall_ms")?,
+            peak_rss_kb: want_u64(doc, "$", "peak_rss_kb")?,
             stages,
             metrics,
             trace,
@@ -315,6 +316,42 @@ fn require<'a>(obj: &'a Json, key: &str, path: &str, errors: &mut Vec<String>) -
         errors.push(format!("missing field {path}.{key}"));
     }
     v
+}
+
+// `from_json` accessors: like `require*` but fallible-by-return, for the
+// reconstruction path — a missing or mistyped field yields a named error
+// the caller can surface, never a panic.
+fn want<'a>(obj: &'a Json, path: &str, key: &str) -> Result<&'a Json, Vec<String>> {
+    obj.get(key).ok_or_else(|| vec![format!("malformed report: missing {path}.{key}")])
+}
+
+fn want_u64(obj: &Json, path: &str, key: &str) -> Result<u64, Vec<String>> {
+    want(obj, path, key)?
+        .as_u64()
+        .ok_or_else(|| vec![format!("malformed report: {path}.{key} is not an unsigned integer")])
+}
+
+fn want_str(obj: &Json, path: &str, key: &str) -> Result<String, Vec<String>> {
+    want(obj, path, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| vec![format!("malformed report: {path}.{key} is not a string")])
+}
+
+fn want_array<'a>(obj: &'a Json, path: &str, key: &str) -> Result<&'a [Json], Vec<String>> {
+    want(obj, path, key)?
+        .as_array()
+        .ok_or_else(|| vec![format!("malformed report: {path}.{key} is not an array")])
+}
+
+fn want_object<'a>(
+    obj: &'a Json,
+    path: &str,
+    key: &str,
+) -> Result<&'a [(String, Json)], Vec<String>> {
+    want(obj, path, key)?
+        .as_object()
+        .ok_or_else(|| vec![format!("malformed report: {path}.{key} is not an object")])
 }
 
 fn require_u64(obj: &Json, key: &str, path: &str, errors: &mut Vec<String>) {

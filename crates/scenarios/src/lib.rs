@@ -20,7 +20,9 @@ pub mod russia;
 pub mod transip;
 pub mod world;
 
-pub use longitudinal::{paper_longitudinal_config, PaperScale};
+pub use longitudinal::{
+    divisor_for_target, paper_longitudinal_config, PaperScale, PAPER_TOTAL_ATTACKS,
+};
 pub use osint::{correlate_messages, ChannelMessage, OsintMatch};
 pub use russia::{MilRuScenario, RdzScenario};
 pub use transip::TransIpScenario;

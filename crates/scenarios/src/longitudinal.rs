@@ -17,6 +17,19 @@ pub const PAPER_DNS_SHARES: [f64; 17] = [
     0.0094, 0.0135, 0.0086, 0.0057, 0.0137,
 ];
 
+/// Total attacks in the paper's RSDoS catalog (Table 1): the sum of the
+/// pinned monthly totals the scheduler divides down.
+pub const PAPER_TOTAL_ATTACKS: u64 = 4_039_485;
+
+/// The [`PaperScale`] divisor whose catalog lands nearest `target`
+/// attacks. Shared by every harness that names its runs by target attack
+/// count (the scale sweep, the serving daemon's pinned feed).
+pub fn divisor_for_target(target: u64) -> u32 {
+    let target = target.max(1);
+    u32::try_from(((PAPER_TOTAL_ATTACKS + target / 2) / target).max(1))
+        .expect("divisor fits u32 for any target >= 1")
+}
+
 /// Scaling of the longitudinal run. `divisor = 1` reproduces the feed at
 /// full volume (4M attacks — records are cheap, measurement is lazy);
 /// the default `40` keeps a laptop run under a minute.

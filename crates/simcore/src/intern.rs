@@ -17,10 +17,19 @@ use std::hash::Hash;
 /// `intern` is idempotent: re-interning a known value returns its existing
 /// id. `resolve` is total over assigned ids and panics on out-of-range ids
 /// (an id can only come from this arena, so out-of-range is a logic bug).
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Interner<T: Eq + Hash + Clone> {
     ids: HashMap<T, u32>,
     values: Vec<T>,
+}
+
+/// Prints only the arena (id order). The reverse map's `HashMap` iteration
+/// order is seeded per-instance, and fingerprints are taken over `Debug`
+/// output — the derived impl would make equal arenas print unequally.
+impl<T: Eq + Hash + Clone + std::fmt::Debug> std::fmt::Debug for Interner<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Interner").field("values", &self.values).finish()
+    }
 }
 
 impl<T: Eq + Hash + Clone> Default for Interner<T> {

@@ -44,17 +44,26 @@ impl EpisodeColumns {
         cols.unique_ports.reserve(episodes.len());
         cols.slash16s.reserve(episodes.len());
         for e in episodes {
-            cols.victim_ids.push(cols.victims.intern(e.victim));
-            cols.first_windows.push(e.first_window);
-            cols.last_windows.push(e.last_window);
-            cols.packets.push(e.packets);
-            cols.peak_ppm.push(e.peak_ppm);
-            cols.protocols.push(e.protocol);
-            cols.first_ports.push(e.first_port);
-            cols.unique_ports.push(e.unique_ports);
-            cols.slash16s.push(e.slash16s);
+            cols.push_episode(e);
         }
         cols
+    }
+
+    /// Append one episode, interning its victim. The incremental form of
+    /// [`from_episodes`](EpisodeColumns::from_episodes): pushing a feed
+    /// episode-by-episode yields byte-identical columns (victim ids stay
+    /// first-come), which is what lets a streaming consumer grow the
+    /// table without rebuilding it per batch.
+    pub fn push_episode(&mut self, e: &AttackEpisode) {
+        self.victim_ids.push(self.victims.intern(e.victim));
+        self.first_windows.push(e.first_window);
+        self.last_windows.push(e.last_window);
+        self.packets.push(e.packets);
+        self.peak_ppm.push(e.peak_ppm);
+        self.protocols.push(e.protocol);
+        self.first_ports.push(e.first_port);
+        self.unique_ports.push(e.unique_ports);
+        self.slash16s.push(e.slash16s);
     }
 
     pub fn len(&self) -> usize {
@@ -120,6 +129,18 @@ mod tests {
             assert_eq!(&cols.episode(i), row, "episode {i} must round-trip");
             assert_eq!(cols.victim(i), row.victim);
         }
+    }
+
+    #[test]
+    fn incremental_push_matches_bulk_transpose() {
+        let rows =
+            vec![episode("10.0.0.1", 0, 2), episode("10.0.0.2", 5, 6), episode("10.0.0.1", 50, 51)];
+        let bulk = EpisodeColumns::from_episodes(&rows);
+        let mut inc = EpisodeColumns::default();
+        for r in &rows {
+            inc.push_episode(r);
+        }
+        assert_eq!(format!("{inc:?}"), format!("{bulk:?}"), "push path is byte-identical");
     }
 
     #[test]
