@@ -10,20 +10,25 @@
 #                  invariants (fault accounting balances, reactive latency
 #                  and probe budgets hold), regression diff against the
 #                  committed BENCH baseline
-#   7. trace       pinned scenario with --trace-json: schema + causality
+#   7. wirebench   criterion smoke over the zero-copy parse and arena
+#                  feed-block benches: every expected benchmark must run
+#                  to completion and report a number
+#   8. trace       pinned scenario with --trace-json: schema + causality
 #                  validation of the exported event trace, and `repro
 #                  explain` byte-identical across worker counts
-#   8. sweep       repro bench --scale-sweep smoke (1.5k + 15k cells):
+#   9. sweep       repro bench --scale-sweep smoke (1.5k + 15k cells):
 #                  cross-jobs artifact fingerprints enforced in-run, the
 #                  emitted dnsimpact-sweep/v1 report schema-validated
 #                  (heavy 150k/1.5M cells stay local: DNSIMPACT_SCALE_HEAVY)
-#   9. daemon      dnsimpactd on the pinned feed: query a known-impacted
+#  10. daemon      dnsimpactd on the pinned feed: query a known-impacted
 #                  domain mid-ingest, kill -9, restart from the checkpoint,
 #                  and diff the recovered index fingerprint against a clean
 #                  single-pass replay; the committed DAEMON perf snapshot
 #                  (if any) is schema-validated
 #
-# `./ci.sh --quick` runs only steps 2-3 (the tier-1 loop).
+# `./ci.sh --quick` runs only steps 2-3 (the tier-1 loop), which includes
+# the borrowed-vs-owned wire differential suite by name so a skipped or
+# filtered-out differential run can never pass quietly.
 #
 # Everything here works without network access: all external dependencies
 # are local shim crates (see shims/README.md).
@@ -60,6 +65,12 @@ cargo build --release --workspace
 
 echo "==> cargo test -q (workspace)"
 cargo test --workspace -q
+
+echo "==> tier-1 differential: borrowed wire views vs owned decoders"
+# Run the borrowed==owned differential suite by name: it is the contract
+# that lets every hot path use the zero-copy views, so it must visibly
+# execute (not just ride along inside the workspace pass above).
+cargo test -q -p dnswire --test differential
 
 if [ "$QUICK" -eq 1 ]; then
     echo "==> ci green (quick: build + tests only)"
@@ -117,6 +128,27 @@ if [ -s "$SMOKE/bench.stdout" ]; then
 fi
 "$REPRO" validate-metrics "$BENCH_JSON"
 echo "==> metrics gate passed (report valid, invariants hold, no bench regression)"
+
+echo "==> wire gate: criterion smoke over parse + feed-block benches"
+# The zero-copy parse and arena-block benches must run to completion and
+# report every expected benchmark — a panicking or silently-dropped bench
+# fails here. The feedblock bench's own post-run assert re-proves block
+# rows == row-path records on the bench input.
+cargo bench -p dnsimpact-bench --bench wire --bench feedblock \
+    > "$SMOKE/wirebench.txt" 2>&1 || {
+    cat "$SMOKE/wirebench.txt" >&2
+    exit 1
+}
+for B in dnswire/decode_ns_response dnswire/parse_ref_ns_response \
+    dnswire/parse_ref_and_canonical_qname feedblock/classify_into_block \
+    feedblock/episodes_from_block feedblock/fanout_block_clone; do
+    grep -q "$B" "$SMOKE/wirebench.txt" || {
+        echo "benchmark $B missing from criterion smoke output" >&2
+        cat "$SMOKE/wirebench.txt" >&2
+        exit 1
+    }
+done
+echo "==> wire gate passed (all parse/feed-block benches ran and reported)"
 
 echo "==> trace gate: causal event trace export + forensics"
 # The pinned scenario covers every emission layer: the longitudinal

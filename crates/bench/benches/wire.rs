@@ -2,7 +2,7 @@
 //! the per-query measurement fidelity.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use dnswire::{Message, Name, RData, Record, RrType};
+use dnswire::{Message, MessageRef, Name, RData, Record, RrType};
 use std::hint::black_box;
 
 fn sample_response() -> Message {
@@ -30,6 +30,22 @@ fn bench_wire(c: &mut Criterion) {
     });
     g.bench_function("decode_ns_response", |b| {
         b.iter(|| Message::decode(black_box(&wire)).unwrap());
+    });
+    // The zero-copy view path: same wire bytes, borrowed labels/rdata.
+    g.bench_function("parse_ref_ns_response", |b| {
+        b.iter(|| MessageRef::parse(black_box(&wire)).unwrap());
+    });
+    // What a feed consumer actually does per packet: borrowed parse, then
+    // the qname's canonical wire form into a reused scratch buffer (the
+    // interning key) — still no owned Message.
+    let mut scratch = Vec::with_capacity(64);
+    g.bench_function("parse_ref_and_canonical_qname", |b| {
+        b.iter(|| {
+            let m = MessageRef::parse(black_box(&wire)).unwrap();
+            scratch.clear();
+            m.questions[0].name.write_canonical(&mut scratch);
+            black_box(scratch.len())
+        });
     });
     g.bench_function("roundtrip", |b| {
         b.iter(|| Message::decode(&black_box(&msg).encode()).unwrap());

@@ -153,6 +153,9 @@ struct Options {
     /// `bench --scale-sweep`: run the scale×jobs grid instead of the
     /// experiment catalog and emit a `dnsimpact-sweep/v1` report.
     scale_sweep: bool,
+    /// `bench --trajectory`: print the committed `BENCH_`/`SWEEP_` report
+    /// series as a wall/RSS/throughput time series instead of running.
+    trajectory: bool,
     /// Same-day bench run counter (1 for the first run of a date).
     run: u64,
     /// `bench --compare`: `Some(None)` = auto-pick the newest baseline,
@@ -196,6 +199,7 @@ fn parse_args() -> Options {
         trace_json: None,
         bench: false,
         scale_sweep: false,
+        trajectory: false,
         run: 1,
         compare: None,
         explain: None,
@@ -249,6 +253,7 @@ fn parse_args() -> Options {
             }
             "bench" => opts.bench = true,
             "--scale-sweep" => opts.scale_sweep = true,
+            "--trajectory" => opts.trajectory = true,
             "explain" => opts.explain = Some(operand(&mut args, "explain", "EPISODE-ID")),
             "daemon-bench" => {
                 let rest: Vec<String> = args.collect();
@@ -279,6 +284,13 @@ fn parse_args() -> Options {
                 println!(
                     "                              (DNSIMPACT_SCALE_HEAVY=1|2 adds 150k/1.5M)"
                 );
+                println!("repro bench --trajectory      print the committed BENCH_/SWEEP_ report");
+                println!(
+                    "                              series under --out (default results/) as a"
+                );
+                println!(
+                    "                              wall / peak-RSS / records-per-sec time series"
+                );
                 println!("repro explain EPISODE-ID      print an episode's causal timeline");
                 println!("                              (e.g. rsdos/3, milru/0, transip/1)");
                 println!("repro daemon-bench            ingest the pinned daemon feed, serve it,");
@@ -306,13 +318,14 @@ fn parse_args() -> Options {
         if opts.chaos_seed.is_none() {
             opts.chaos_seed = Some(BENCH_CHAOS_SEED);
         }
-        if !out_set && !opts.scale_sweep {
+        if !out_set && !opts.scale_sweep && !opts.trajectory {
             // Bench CSVs are throwaway — keep them out of the committed
             // `results/` series. (Sweep mode instead writes its report
-            // under `--out`, default `results/`.)
+            // under `--out`, default `results/`; trajectory mode reads
+            // the committed series from there.)
             opts.out = PathBuf::from("target/bench-out");
         }
-        if opts.metrics_json.is_none() && !opts.scale_sweep {
+        if opts.metrics_json.is_none() && !opts.scale_sweep && !opts.trajectory {
             // Same-day runs never clobber: the first run of a date owns
             // BENCH_<date>.json, later runs get a _runN suffix, and the
             // report's meta.run records which slot this was.
@@ -770,6 +783,9 @@ fn emit_report(report: &obs::RunReport, path: &Path) {
 
 fn main() {
     let opts = parse_args();
+    if opts.trajectory {
+        std::process::exit(run_trajectory_cmd(&opts));
+    }
     if opts.scale_sweep {
         std::process::exit(run_scale_sweep_cmd(&opts));
     }
@@ -981,6 +997,165 @@ fn heavy_level() -> u64 {
 /// `bench --scale-sweep`: run the scale×jobs grid, check the cross-jobs
 /// fingerprints and the largest-scale speedup, and emit the validated
 /// `dnsimpact-sweep/v1` report. Returns the process exit code.
+/// One report in a committed `BENCH_`/`SWEEP_` series: the slot filename
+/// plus the parsed document.
+struct SeriesReport {
+    name: String,
+    doc: obs::Json,
+}
+
+/// Parse `PREFIX_<date>[_run<N>].json` back into its `(date, run)` slot
+/// key — the inverse of `slot_path` (run 1 owns the suffix-less name).
+/// `None` when the filename is not part of this report series.
+fn parse_slot_name(name: &str, prefix: &str) -> Option<(String, u64)> {
+    let stem = name.strip_prefix(prefix)?.strip_prefix('_')?.strip_suffix(".json")?;
+    Some(match stem.split_once("_run") {
+        Some((date, n)) => (date.to_string(), n.parse().unwrap_or(0)),
+        None => (stem.to_string(), 1),
+    })
+}
+
+/// Every `<prefix>_<date>[_run<N>].json` under `dir`, parsed and ordered
+/// by `(date, same-day run)`. Unreadable or non-JSON files are reported
+/// and skipped, not fatal — one corrupt historical report must not hide
+/// the rest of the series.
+fn collect_report_series(dir: &Path, prefix: &str) -> Vec<SeriesReport> {
+    let Ok(entries) = std::fs::read_dir(dir) else { return Vec::new() };
+    let mut found: Vec<((String, u64), SeriesReport)> = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(key) = parse_slot_name(&name, prefix) else { continue };
+        let path = entry.path();
+        let doc = match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| obs::Json::parse(&t).map_err(|e| e.to_string()))
+        {
+            Ok(d) => d,
+            Err(e) => {
+                obs::progress("repro", &format!("trajectory: skipping {}: {e}", path.display()));
+                continue;
+            }
+        };
+        found.push((key, SeriesReport { name, doc }));
+    }
+    found.sort_by(|a, b| a.0.cmp(&b.0));
+    found.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Percent change of `cur` against a previous value, or `-` when there is
+/// no meaningful baseline.
+fn pct_change(cur: f64, prev: f64) -> String {
+    if prev > 0.0 {
+        format!("{:+.1}%", (cur - prev) / prev * 100.0)
+    } else {
+        "-".to_string()
+    }
+}
+
+/// `bench --trajectory`: the committed report series as a time series.
+/// Reads every `BENCH_*.json` and `SWEEP_*.json` under `--out` (default
+/// `results/`), orders them by `(date, same-day run)` parsed from the
+/// slot filename, and prints wall-clock, peak RSS, and records-per-second
+/// across runs — how the harness's performance moved over the repo's
+/// history. Returns the process exit code.
+fn run_trajectory_cmd(opts: &Options) -> i32 {
+    if !opts.bench {
+        obs::progress("repro", "--trajectory is a bench mode: run `repro bench --trajectory`");
+        return 2;
+    }
+    let dir = &opts.out;
+    let benches = collect_report_series(dir, "BENCH");
+    let sweeps = collect_report_series(dir, "SWEEP");
+    if benches.is_empty() && sweeps.is_empty() {
+        obs::progress(
+            "repro",
+            &format!("no BENCH_*.json or SWEEP_*.json reports under {}", dir.display()),
+        );
+        return 2;
+    }
+    if !benches.is_empty() {
+        println!("bench trajectory ({} report(s) under {}):", benches.len(), dir.display());
+        println!(
+            "  {:<28} {:>7} {:>5} {:>10} {:>8} {:>12} {:>8}",
+            "report", "scale", "jobs", "wall_ms", "dwall", "peak_rss_kb", "drss"
+        );
+        let mut prev: Option<(f64, f64)> = None;
+        for r in &benches {
+            let meta = |k: &str| {
+                r.doc
+                    .get("meta")
+                    .and_then(|m| m.get(k))
+                    .and_then(|v| v.as_u64())
+                    .map_or_else(|| "-".to_string(), |v| v.to_string())
+            };
+            let wall = r.doc.get("total_wall_ms").and_then(|v| v.as_f64());
+            let rss = r.doc.get("peak_rss_kb").and_then(|v| v.as_f64());
+            let (Some(wall), Some(rss)) = (wall, rss) else {
+                println!("  {:<28} (missing total_wall_ms/peak_rss_kb; skipped)", r.name);
+                continue;
+            };
+            let (dwall, drss) = match prev {
+                Some((pw, pr)) => (pct_change(wall, pw), pct_change(rss, pr)),
+                None => ("-".to_string(), "-".to_string()),
+            };
+            println!(
+                "  {:<28} {:>7} {:>5} {:>10.1} {:>8} {:>12.0} {:>8}",
+                r.name,
+                meta("scale"),
+                meta("jobs"),
+                wall,
+                dwall,
+                rss,
+                drss,
+            );
+            prev = Some((wall, rss));
+        }
+    }
+    if !sweeps.is_empty() {
+        if !benches.is_empty() {
+            println!();
+        }
+        println!(
+            "sweep trajectory ({} report(s) under {}; one row per scale x jobs cell):",
+            sweeps.len(),
+            dir.display()
+        );
+        println!(
+            "  {:<28} {:>9} {:>5} {:>10} {:>12} {:>13} {:>8}",
+            "report", "scale", "jobs", "wall_ms", "peak_rss_kb", "records/s", "dthru"
+        );
+        // Throughput deltas compare each cell against the same
+        // (scale, jobs) cell of the previous report that had one.
+        let mut prev: std::collections::HashMap<(u64, u64), f64> = std::collections::HashMap::new();
+        for r in &sweeps {
+            let Some(cells) = r.doc.get("cells").and_then(|c| c.as_array()) else {
+                println!("  {:<28} (no cells array; skipped)", r.name);
+                continue;
+            };
+            for cell in cells {
+                let scale = cell.get("scale").and_then(|v| v.as_u64());
+                let jobs = cell.get("jobs").and_then(|v| v.as_u64());
+                let wall = cell.get("wall_ms").and_then(|v| v.as_f64());
+                let rss = cell.get("peak_rss_kb").and_then(|v| v.as_f64());
+                let rps = cell.get("records_per_sec").and_then(|v| v.as_f64());
+                let (Some(scale), Some(jobs), Some(wall), Some(rss), Some(rps)) =
+                    (scale, jobs, wall, rss, rps)
+                else {
+                    continue;
+                };
+                let dthru =
+                    prev.get(&(scale, jobs)).map_or("-".to_string(), |p| pct_change(rps, *p));
+                println!(
+                    "  {:<28} {:>9} {:>5} {:>10.1} {:>12.0} {:>13.0} {:>8}",
+                    r.name, scale, jobs, wall, rss, rps, dthru
+                );
+                prev.insert((scale, jobs), rps);
+            }
+        }
+    }
+    0
+}
+
 fn run_scale_sweep_cmd(opts: &Options) -> i32 {
     if !opts.bench {
         obs::progress("repro", "--scale-sweep is a bench mode: run `repro bench --scale-sweep`");
@@ -1118,21 +1293,78 @@ fn latest_bench_report(dir: &Path, current: Option<&Path>) -> Option<PathBuf> {
     let mut best: Option<((String, u64), PathBuf)> = None;
     for entry in entries.flatten() {
         let name = entry.file_name().to_string_lossy().into_owned();
-        let Some(stem) = name.strip_prefix("BENCH_").and_then(|s| s.strip_suffix(".json")) else {
+        let Some(key) = parse_slot_name(&name, "BENCH") else {
             continue;
         };
         let path = entry.path();
         if current.is_some_and(|c| c == path.as_path()) {
             continue;
         }
-        let (date, run) = match stem.split_once("_run") {
-            Some((d, n)) => (d.to_string(), n.parse().unwrap_or(0)),
-            None => (stem.to_string(), 1),
-        };
-        let key = (date, run);
         if best.as_ref().is_none_or(|(k, _)| *k < key) {
             best = Some((key, path));
         }
     }
     best.map(|(_, p)| p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_names_parse_back_to_their_keys() {
+        assert_eq!(
+            parse_slot_name("BENCH_2026-08-05.json", "BENCH"),
+            Some(("2026-08-05".to_string(), 1))
+        );
+        assert_eq!(
+            parse_slot_name("BENCH_2026-08-05_run3.json", "BENCH"),
+            Some(("2026-08-05".to_string(), 3))
+        );
+        assert_eq!(parse_slot_name("SWEEP_2026-08-08.json", "BENCH"), None);
+        assert_eq!(parse_slot_name("BENCH_2026-08-05.json.bak", "BENCH"), None);
+        assert_eq!(parse_slot_name("BENCHMARK_2026-08-05.json", "BENCH"), None);
+    }
+
+    #[test]
+    fn slot_names_round_trip_with_the_writer() {
+        for run in [1u64, 2, 7, 12] {
+            let path = slot_path(Path::new("results"), "SWEEP", "2026-08-08", run);
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            assert_eq!(parse_slot_name(&name, "SWEEP"), Some(("2026-08-08".to_string(), run)));
+        }
+    }
+
+    #[test]
+    fn report_series_orders_by_date_then_same_day_run() {
+        let dir =
+            std::env::temp_dir().join(format!("repro-trajectory-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |name: &str, wall: u32| {
+            std::fs::write(
+                dir.join(name),
+                format!("{{\"total_wall_ms\": {wall}, \"peak_rss_kb\": 1}}"),
+            )
+            .unwrap();
+        };
+        write("BENCH_2026-08-08.json", 3);
+        write("BENCH_2026-08-05_run2.json", 2);
+        write("BENCH_2026-08-05.json", 1);
+        std::fs::write(dir.join("BENCH_2026-08-06.json"), "not json").unwrap();
+        std::fs::write(dir.join("SWEEP_2026-08-05.json"), "{}").unwrap();
+        let series = collect_report_series(&dir, "BENCH");
+        let names: Vec<&str> = series.iter().map(|r| r.name.as_str()).collect();
+        // The corrupt 2026-08-06 report is skipped; the rest sort by
+        // (date, run), with same-day runs after the suffix-less run 1.
+        assert_eq!(
+            names,
+            ["BENCH_2026-08-05.json", "BENCH_2026-08-05_run2.json", "BENCH_2026-08-08.json"]
+        );
+        let walls: Vec<u64> = series
+            .iter()
+            .map(|r| r.doc.get("total_wall_ms").and_then(|v| v.as_u64()).unwrap())
+            .collect();
+        assert_eq!(walls, [1, 2, 3]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }

@@ -145,9 +145,13 @@ pub fn run(
     let sampler = BackscatterSampler::new(darknet);
     let obs = sampler.sample(attacks, rngs);
     let classifier = RsdosClassifier::new(config.thresholds);
-    let records = classifier.classify(&obs);
-    let episodes = classifier.episodes(&records);
-    let feed = RsdosFeed::new(records, episodes);
+    // Arena-block feed path: one packed buffer carries the qualifying
+    // records; episodes decode straight out of it. The row feed the
+    // report exposes is rehydrated from the same block, so the two forms
+    // cannot drift.
+    let record_block = classifier.classify_into_block(&obs);
+    let episodes = classifier.episodes_from_block(&record_block);
+    let feed = RsdosFeed::new(record_block.iter().collect(), episodes);
     // Causal tracing (see `obs::trace`): the longitudinal feed owns the
     // `rsdos` scope, so episode `i` is addressable as `rsdos/i`.
     feed.trace_onsets(TRACE_SCOPE);

@@ -222,8 +222,11 @@ pub fn build(cfg: &FeedConfig, jobs: usize) -> FeedSource {
     let sampler = BackscatterSampler::new(&darknet);
     let observations = sampler.sample(&attacks, &rngs);
     let classifier = RsdosClassifier::new(telescope::RsdosThresholds::default());
-    let records = classifier.classify(&observations);
-    let episodes = classifier.episodes(&records);
+    // Arena-block feed path: qualifying records pack into one shared
+    // buffer and episodes decode straight out of it (held identical to
+    // the row path by telescope's differential tests).
+    let record_block = classifier.classify_into_block(&observations);
+    let episodes = classifier.episodes_from_block(&record_block);
 
     let gap =
         FeedGapModel::from_seed(cfg.gap_seed, cfg.gap_prob, cfg.max_gap_windows, cfg.loss_frac);

@@ -37,6 +37,50 @@ pub fn fits_udp(query: &Message, response_len: usize) -> bool {
     response_len <= limit
 }
 
+/// One EDNS option: a `(code, payload)` TLV borrowed from the OPT rdata.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdnsOption<'a> {
+    pub code: u16,
+    pub data: &'a [u8],
+}
+
+/// Iterate the options inside OPT rdata as borrowed slices. Works off any
+/// OPT payload — `RData::Opaque { data, .. }` from the owned decoder or
+/// `RDataRef::Opaque { data, .. }` from the view layer — without copying.
+/// A malformed tail yields one `Err(WireError::Truncated)` and stops.
+pub fn edns_options(opt_rdata: &[u8]) -> EdnsOptions<'_> {
+    EdnsOptions { data: opt_rdata }
+}
+
+/// Iterator over [`EdnsOption`]s; see [`edns_options`].
+#[derive(Clone)]
+pub struct EdnsOptions<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Iterator for EdnsOptions<'a> {
+    type Item = Result<EdnsOption<'a>, crate::WireError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.data.is_empty() {
+            return None;
+        }
+        if self.data.len() < 4 {
+            self.data = &[];
+            return Some(Err(crate::WireError::Truncated));
+        }
+        let code = u16::from_be_bytes([self.data[0], self.data[1]]);
+        let len = u16::from_be_bytes([self.data[2], self.data[3]]) as usize;
+        if 4 + len > self.data.len() {
+            self.data = &[];
+            return Some(Err(crate::WireError::Truncated));
+        }
+        let opt = EdnsOption { code, data: &self.data[4..4 + len] };
+        self.data = &self.data[4 + len..];
+        Some(Ok(opt))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +119,32 @@ mod tests {
         set_edns(&mut e, 1232);
         assert!(fits_udp(&e, 1232));
         assert!(!fits_udp(&e, 1233));
+    }
+
+    #[test]
+    fn edns_options_iterate_as_borrowed_slices() {
+        // Two TLVs: cookie-style (code 10) and an empty one (code 5).
+        let rdata = [0x00, 0x0A, 0x00, 0x03, 0xAA, 0xBB, 0xCC, 0x00, 0x05, 0x00, 0x00];
+        let opts: Vec<_> = edns_options(&rdata).collect::<Result<_, _>>().unwrap();
+        assert_eq!(opts.len(), 2);
+        assert_eq!(opts[0], EdnsOption { code: 10, data: &[0xAA, 0xBB, 0xCC] });
+        assert_eq!(opts[1], EdnsOption { code: 5, data: &[] });
+        let base = rdata.as_ptr() as usize;
+        assert_eq!(opts[0].data.as_ptr() as usize, base + 4, "payload borrowed in place");
+        assert!(edns_options(&[]).next().is_none());
+    }
+
+    #[test]
+    fn edns_options_malformed_tail_errors_once() {
+        // Header claims 5 payload bytes, only 1 present.
+        let rdata = [0x00, 0x0A, 0x00, 0x05, 0xAA];
+        let mut it = edns_options(&rdata);
+        assert_eq!(it.next(), Some(Err(crate::WireError::Truncated)));
+        assert_eq!(it.next(), None);
+        // A 3-byte fragment cannot even hold the TLV header.
+        let mut it = edns_options(&[0x00, 0x0A, 0x00]);
+        assert_eq!(it.next(), Some(Err(crate::WireError::Truncated)));
+        assert_eq!(it.next(), None);
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! - [`tcp`]: DNS-over-TCP framing and an incremental stream decoder.
 //! - [`edns`]: EDNS(0) OPT handling and UDP-payload fit checks.
 //! - [`zonefile`]: RFC 1035 master-file parsing.
+//! - [`view`]: borrowed, zero-copy message views ([`MessageRef`] /
+//!   [`RecordRef`] / [`NameRef`]) for the hot parse paths; the owned
+//!   decoders above are the differential reference.
 
 pub mod edns;
 pub mod message;
@@ -24,14 +27,17 @@ pub mod name;
 pub mod rdata;
 pub mod tcp;
 pub mod types;
+pub mod view;
 pub mod zonefile;
 
-pub use edns::{edns_udp_payload, fits_udp, set_edns};
+pub use bytes::{Bytes, BytesMut};
+pub use edns::{edns_options, edns_udp_payload, fits_udp, set_edns, EdnsOption};
 pub use message::{Flags, Header, Message, Question, Record};
-pub use name::Name;
+pub use name::{Name, MAX_POINTER_HOPS};
 pub use rdata::RData;
-pub use tcp::{decode_tcp, encode_tcp, TcpStreamDecoder};
+pub use tcp::{decode_tcp, decode_tcp_ref, encode_tcp, TcpStreamDecoder};
 pub use types::{Opcode, Rcode, RrClass, RrType};
+pub use view::{MessageRef, NameRef, QuestionRef, RDataRef, RecordRef, TxtRef};
 pub use zonefile::{parse_zone, ZoneError};
 
 /// Errors produced while decoding wire-format data.

@@ -12,8 +12,9 @@ pub const MAX_LABEL: usize = 63;
 /// Maximum octets of a whole encoded name (including length bytes and root).
 pub const MAX_NAME: usize = 255;
 /// Upper bound on compression-pointer hops while decoding; beyond this we
-/// declare a loop.
-const MAX_POINTER_HOPS: usize = 64;
+/// declare a loop. Shared by the owned decoder and the borrowed
+/// [`NameRef`](crate::NameRef) parser so both reject at the same depth.
+pub const MAX_POINTER_HOPS: usize = 64;
 
 /// A fully-qualified domain name, stored as lowercase labels (DNS names are
 /// case-insensitive; OpenINTEL normalizes to lowercase before joining).
@@ -68,9 +69,21 @@ impl Name {
     }
 
     /// The name with its leftmost label removed (`www.example.com` →
-    /// `example.com`). Returns root for a single-label name.
+    /// `example.com`). Returns root for a single-label name. Allocates an
+    /// owned name; hot paths that only need to *look at* an ancestor
+    /// should use the borrowed [`suffix`](Name::suffix) view instead.
     pub fn parent(&self) -> Name {
-        Name { labels: self.labels.iter().skip(1).cloned().collect() }
+        Name { labels: self.labels.get(1..).unwrap_or(&[]).to_vec() }
+    }
+
+    /// Borrowed label suffix starting `skip` labels in — the
+    /// allocation-free form of `skip` chained [`parent`](Name::parent)
+    /// calls. The slice is directly usable as a hash-map key against
+    /// `Name` keys (see the `Borrow<[Vec<u8>]>` impl), which is how
+    /// [`encode_compressed`](Name::encode_compressed) walks ancestor
+    /// chains without cloning a single label.
+    pub fn suffix(&self, skip: usize) -> &[Vec<u8>] {
+        &self.labels[skip.min(self.labels.len())..]
     }
 
     /// Whether `self` equals or is a subdomain of `zone`.
@@ -108,29 +121,38 @@ impl Name {
         table: &mut HashMap<Name, u16>,
         base: usize,
     ) {
-        let mut suffix = self.clone();
-        let mut emitted: Vec<(Name, u16)> = Vec::new();
-        loop {
-            if suffix.is_root() {
-                buf.put_u8(0);
+        // Longest already-emitted suffix (smallest start index), found by
+        // borrowed slice lookup: no per-suffix Name clones on the hot path.
+        let n = self.labels.len();
+        let mut stop = n;
+        let mut pointer = None;
+        for i in 0..n {
+            if let Some(&off) = table.get(&self.labels[i..]) {
+                pointer = Some(off);
+                stop = i;
                 break;
             }
-            if let Some(&off) = table.get(&suffix) {
-                buf.put_u16(0xC000 | off);
-                break;
-            }
+        }
+        let mut emitted: Vec<(usize, u16)> = Vec::new();
+        for i in 0..stop {
             let here = base + buf.len();
             // Pointers only address the first 16K − 2 bytes of a message.
             if here <= 0x3FFF {
-                emitted.push((suffix.clone(), here as u16));
+                emitted.push((i, here as u16));
             }
-            let l = &suffix.labels[0];
+            let l = &self.labels[i];
             buf.put_u8(l.len() as u8);
             buf.put_slice(l);
-            suffix = suffix.parent();
         }
-        for (n, off) in emitted {
-            table.entry(n).or_insert(off);
+        match pointer {
+            Some(off) => buf.put_u16(0xC000 | off),
+            None => buf.put_u8(0),
+        }
+        // Only suffixes the table has never seen allocate an owned key.
+        for (i, off) in emitted {
+            if !table.contains_key(&self.labels[i..]) {
+                table.insert(Name { labels: self.labels[i..].to_vec() }, off);
+            }
         }
     }
 
@@ -190,6 +212,27 @@ impl Name {
             }
         }
         Ok(Name { labels })
+    }
+
+    /// Construct from labels the caller has already validated (label and
+    /// name length limits hold, bytes already lowercased). Used by the
+    /// borrowed view layer's `to_owned` so a validated parse does not pay
+    /// for a second validation pass.
+    pub(crate) fn from_validated_labels(labels: Vec<Vec<u8>>) -> Name {
+        debug_assert!(labels.iter().all(|l| !l.is_empty() && l.len() <= MAX_LABEL));
+        let name = Name { labels };
+        debug_assert!(name.encoded_len() <= MAX_NAME);
+        name
+    }
+}
+
+/// `Name` hashes and compares exactly like its label slice (it is a
+/// single-field struct with derived impls), so maps keyed by `Name` can be
+/// probed with a borrowed `&[Vec<u8>]` suffix — the basis of the
+/// clone-free compression-table lookups above.
+impl std::borrow::Borrow<[Vec<u8>]> for Name {
+    fn borrow(&self) -> &[Vec<u8>] {
+        &self.labels
     }
 }
 
@@ -276,6 +319,18 @@ mod tests {
         assert!(!name.is_subdomain_of(&n("transip.com")));
         assert!(!n("nl").is_subdomain_of(&name));
         assert!(name.is_subdomain_of(&name));
+    }
+
+    #[test]
+    fn suffix_is_the_borrowed_parent_chain() {
+        let name = n("ns1.transip.nl");
+        assert_eq!(name.suffix(0), name.labels());
+        assert_eq!(name.suffix(1), name.parent().labels());
+        assert_eq!(name.suffix(2), name.parent().parent().labels());
+        assert!(name.suffix(3).is_empty());
+        assert!(name.suffix(99).is_empty());
+        assert!(Name::root().suffix(0).is_empty());
+        assert_eq!(Name::root().parent(), Name::root());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! decoder for reassembled TCP payloads.
 
 use crate::message::Message;
+use crate::view::MessageRef;
 use crate::WireError;
 
 /// Encode a message with its TCP length prefix.
@@ -31,6 +32,21 @@ pub fn decode_tcp(buf: &[u8]) -> Result<(Message, usize), WireError> {
         return Err(WireError::Truncated);
     }
     let msg = Message::decode(&buf[2..2 + len])?;
+    Ok((msg, 2 + len))
+}
+
+/// Borrowed-view form of [`decode_tcp`]: parse one length-prefixed message
+/// without copying labels or rdata out of `buf`. Mirrors [`decode_tcp`]
+/// error for error (the differential tests hold the two together).
+pub fn decode_tcp_ref(buf: &[u8]) -> Result<(MessageRef<'_>, usize), WireError> {
+    if buf.len() < 2 {
+        return Err(WireError::Truncated);
+    }
+    let len = u16::from_be_bytes([buf[0], buf[1]]) as usize;
+    if buf.len() < 2 + len {
+        return Err(WireError::Truncated);
+    }
+    let msg = MessageRef::parse(&buf[2..2 + len])?;
     Ok((msg, 2 + len))
 }
 
@@ -105,6 +121,45 @@ mod tests {
         let mut framed = encode_tcp(&msg(1));
         framed.pop();
         assert!(matches!(decode_tcp(&framed), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn borrowed_frame_decode_matches_owned() {
+        let m = msg(9);
+        let framed = encode_tcp(&m);
+        let (owned, c1) = decode_tcp(&framed).unwrap();
+        let (view, c2) = decode_tcp_ref(&framed).unwrap();
+        assert_eq!(c1, c2);
+        assert_eq!(view.to_owned(), owned);
+    }
+
+    #[test]
+    fn every_prefix_of_a_frame_is_truncated_for_both_decoders() {
+        let framed = encode_tcp(&msg(3));
+        for cut in 0..framed.len() {
+            let prefix = &framed[..cut];
+            assert_eq!(decode_tcp(prefix).unwrap_err(), WireError::Truncated, "cut {cut}");
+            assert_eq!(decode_tcp_ref(prefix).unwrap_err(), WireError::Truncated, "cut {cut}");
+            // The stream decoder must classify the same prefix as
+            // incomplete (need more bytes), not corrupt.
+            let mut dec = TcpStreamDecoder::new();
+            dec.push(prefix);
+            assert_eq!(dec.next_message().unwrap(), None, "cut {cut}");
+            assert_eq!(dec.buffered(), cut);
+        }
+    }
+
+    #[test]
+    fn truncated_body_inside_complete_frame_is_corrupt_not_incomplete() {
+        // The frame is complete per its length prefix, but the DNS header
+        // inside is short: decode_tcp and decode_tcp_ref both surface
+        // Truncated, and the stream decoder treats it as corruption.
+        let frame = [0x00, 0x04, 0xDE, 0xAD, 0xBE, 0xEF];
+        assert_eq!(decode_tcp(&frame).unwrap_err(), WireError::Truncated);
+        assert_eq!(decode_tcp_ref(&frame).unwrap_err(), WireError::Truncated);
+        let mut dec = TcpStreamDecoder::new();
+        dec.push(&frame);
+        assert_eq!(dec.next_message(), Err(WireError::Truncated));
     }
 
     #[test]

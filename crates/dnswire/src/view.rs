@@ -1,0 +1,726 @@
+//! Borrowed, zero-copy views over DNS wire messages.
+//!
+//! [`MessageRef`] / [`RecordRef`] / [`NameRef`] parse a message without
+//! copying label or rdata bytes out of the source buffer: labels and rdata
+//! are slices into the input, and compression pointers are resolved to
+//! *offsets* during validation, then re-walked only when the caller
+//! iterates. The owned [`Message`](crate::Message) decoder stays the
+//! differential reference: `.to_owned()` converts a view into exactly what
+//! `Message::decode` would have produced, and `tests/differential.rs`
+//! holds the two parsers to error-for-error equivalence on arbitrary
+//! (including malformed, truncated, and pointer-looping) inputs.
+//!
+//! Views keep the source buffer borrowed for their whole lifetime, so they
+//! suit the hot paths — classify a backscatter payload, intern a qname,
+//! route on an rcode — where the bytes outlive the decision. Anything that
+//! must outlive the buffer goes through `.to_owned()` explicitly.
+
+use crate::message::{Flags, Header, Message, Question, Record};
+use crate::name::{Name, MAX_NAME, MAX_POINTER_HOPS};
+use crate::rdata::RData;
+use crate::types::{Rcode, RrClass, RrType};
+use crate::WireError;
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// A validated, borrowed domain name: an offset into the source message
+/// plus the walk metadata needed to iterate its labels without copying.
+///
+/// Copyable (it is an offset pair, not a buffer), comparable
+/// case-insensitively, and convertible to the owned lowercase
+/// [`Name`] via [`to_owned`](NameRef::to_owned).
+#[derive(Clone, Copy)]
+pub struct NameRef<'a> {
+    msg: &'a [u8],
+    start: usize,
+    /// In-place bytes consumed at `start` (up to the terminator, or the
+    /// first compression pointer).
+    wire_len: usize,
+    /// Uncompressed encoded length of the *full* name (skip = 0).
+    encoded_len: usize,
+    /// Total labels of the full name.
+    label_count: usize,
+    /// Leading labels hidden by [`parent`](NameRef::parent) views.
+    skip: usize,
+}
+
+impl<'a> NameRef<'a> {
+    /// Parse a (possibly compressed) name at `*pos`, advancing `*pos` past
+    /// its in-place bytes on success. Validation — bounds, label tags,
+    /// strictly-backwards pointers, [`MAX_POINTER_HOPS`], [`MAX_NAME`] —
+    /// mirrors [`Name::decode`] error for error; no label bytes are copied.
+    pub fn parse(msg: &'a [u8], pos: &mut usize) -> Result<NameRef<'a>, WireError> {
+        let start = *pos;
+        let mut cursor = start;
+        let mut jumped = false;
+        let mut hops = 0usize;
+        let mut total_len = 1usize; // terminating root byte
+        let mut label_count = 0usize;
+        let mut wire_len = 0usize;
+        loop {
+            let tag = *msg.get(cursor).ok_or(WireError::Truncated)?;
+            match tag & 0xC0 {
+                0x00 => {
+                    if tag == 0 {
+                        if !jumped {
+                            wire_len = cursor + 1 - start;
+                        }
+                        break;
+                    }
+                    let len = tag as usize;
+                    if msg.get(cursor + 1..cursor + 1 + len).is_none() {
+                        return Err(WireError::Truncated);
+                    }
+                    total_len += len + 1;
+                    if total_len > MAX_NAME {
+                        return Err(WireError::NameTooLong);
+                    }
+                    label_count += 1;
+                    cursor += 1 + len;
+                }
+                0xC0 => {
+                    let lo = *msg.get(cursor + 1).ok_or(WireError::Truncated)? as usize;
+                    let target = (((tag & 0x3F) as usize) << 8) | lo;
+                    // A pointer must point strictly backwards.
+                    if target >= cursor {
+                        return Err(WireError::BadPointer);
+                    }
+                    hops += 1;
+                    if hops > MAX_POINTER_HOPS {
+                        return Err(WireError::BadPointer);
+                    }
+                    if !jumped {
+                        wire_len = cursor + 2 - start;
+                        jumped = true;
+                    }
+                    cursor = target;
+                }
+                _ => return Err(WireError::BadLabel), // 0x40/0x80 reserved
+            }
+        }
+        *pos = start + wire_len;
+        Ok(NameRef { msg, start, wire_len, encoded_len: total_len, label_count, skip: 0 })
+    }
+
+    /// Iterate the labels as raw (original-case) slices into the source
+    /// buffer. Comparisons and canonical output lowercase on the fly.
+    pub fn labels(&self) -> LabelsRef<'a> {
+        let mut it = LabelsRef { msg: self.msg, cursor: self.start, remaining: self.label_count };
+        for _ in 0..self.skip {
+            it.next();
+        }
+        it
+    }
+
+    pub fn label_count(&self) -> usize {
+        self.label_count - self.skip
+    }
+
+    pub fn is_root(&self) -> bool {
+        self.label_count() == 0
+    }
+
+    /// Bytes the name occupies in place in the message (pointers count as
+    /// two bytes, targets count as zero).
+    pub fn wire_len(&self) -> usize {
+        self.wire_len
+    }
+
+    /// Length of the uncompressed wire encoding of the visible suffix.
+    pub fn encoded_len(&self) -> usize {
+        if self.skip == 0 {
+            self.encoded_len
+        } else {
+            self.labels().map(|l| l.len() + 1).sum::<usize>() + 1
+        }
+    }
+
+    /// The borrowed parent view (`www.example.com` → `example.com`):
+    /// same buffer, one more leading label hidden, no allocation. Returns
+    /// the root view once all labels are hidden.
+    pub fn parent(&self) -> NameRef<'a> {
+        let mut p = *self;
+        p.skip = (self.skip + 1).min(self.label_count);
+        p
+    }
+
+    /// Case-insensitive comparison against an owned name, no allocation.
+    pub fn eq_name(&self, other: &Name) -> bool {
+        self.label_count() == other.label_count()
+            && self.labels().zip(other.labels()).all(|(a, b)| a.eq_ignore_ascii_case(b))
+    }
+
+    /// Append the canonical (lowercased, uncompressed) wire encoding to
+    /// `out`. This is the interning key format: identical names — whatever
+    /// their case or compression in the source message — produce identical
+    /// bytes, without building a `Name` or a `String` first.
+    pub fn write_canonical(&self, out: &mut Vec<u8>) {
+        for l in self.labels() {
+            out.push(l.len() as u8);
+            out.extend(l.iter().map(|b| b.to_ascii_lowercase()));
+        }
+        out.push(0);
+    }
+
+    /// Materialize the owned, lowercase [`Name`] — exactly what
+    /// [`Name::decode`] would have returned for the same bytes.
+    pub fn to_owned(&self) -> Name {
+        Name::from_validated_labels(self.labels().map(|l| l.to_ascii_lowercase()).collect())
+    }
+}
+
+impl PartialEq for NameRef<'_> {
+    fn eq(&self, other: &NameRef<'_>) -> bool {
+        self.label_count() == other.label_count()
+            && self.labels().zip(other.labels()).all(|(a, b)| a.eq_ignore_ascii_case(b))
+    }
+}
+
+impl Eq for NameRef<'_> {}
+
+impl fmt::Display for NameRef<'_> {
+    /// Matches `Name`'s dotted display (lowercased, escaped) so logs and
+    /// forensics read identically whichever parser produced the name.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_root() {
+            return write!(f, ".");
+        }
+        for (i, l) in self.labels().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            for &b in l {
+                let b = b.to_ascii_lowercase();
+                if b.is_ascii_graphic() && b != b'.' && b != b'\\' {
+                    write!(f, "{}", b as char)?;
+                } else {
+                    write!(f, "\\{:03}", b)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for NameRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Iterator over a [`NameRef`]'s labels as borrowed slices.
+#[derive(Clone)]
+pub struct LabelsRef<'a> {
+    msg: &'a [u8],
+    cursor: usize,
+    remaining: usize,
+}
+
+impl<'a> Iterator for LabelsRef<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        // The walk was validated at parse time; the `?`s here are
+        // belt-and-braces against misuse, not reachable on a parsed name.
+        while self.remaining > 0 {
+            let tag = *self.msg.get(self.cursor)?;
+            if tag & 0xC0 == 0xC0 {
+                let lo = *self.msg.get(self.cursor + 1)? as usize;
+                self.cursor = (((tag & 0x3F) as usize) << 8) | lo;
+            } else {
+                let len = (tag & 0x3F) as usize;
+                let label = self.msg.get(self.cursor + 1..self.cursor + 1 + len)?;
+                self.cursor += 1 + len;
+                self.remaining -= 1;
+                return Some(label);
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for LabelsRef<'_> {}
+
+/// A borrowed question-section entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuestionRef<'a> {
+    pub name: NameRef<'a>,
+    pub rtype: RrType,
+    pub class: RrClass,
+}
+
+impl QuestionRef<'_> {
+    pub fn to_owned(&self) -> Question {
+        Question { name: self.name.to_owned(), rtype: self.rtype, class: self.class }
+    }
+}
+
+/// Borrowed TXT rdata: the raw (validated) segment bytes, iterated as
+/// length-prefixed slices without copying.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxtRef<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> TxtRef<'a> {
+    pub fn iter(&self) -> TxtSegments<'a> {
+        TxtSegments { data: self.data }
+    }
+
+    /// The raw length-prefixed segment bytes.
+    pub fn as_bytes(&self) -> &'a [u8] {
+        self.data
+    }
+}
+
+impl<'a> IntoIterator for &TxtRef<'a> {
+    type Item = &'a [u8];
+    type IntoIter = TxtSegments<'a>;
+    fn into_iter(self) -> TxtSegments<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over TXT character-strings as borrowed slices.
+#[derive(Clone)]
+pub struct TxtSegments<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Iterator for TxtSegments<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let (&len, rest) = self.data.split_first()?;
+        let (seg, rest) = rest.split_at(len as usize); // validated at parse
+        self.data = rest;
+        Some(seg)
+    }
+}
+
+/// Borrowed RDATA: names are [`NameRef`]s, byte payloads are slices into
+/// the source message. Fixed-width numeric fields are decoded inline (they
+/// are cheaper to carry than to re-read).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RDataRef<'a> {
+    A(Ipv4Addr),
+    Aaaa(Ipv6Addr),
+    Ns(NameRef<'a>),
+    Cname(NameRef<'a>),
+    Ptr(NameRef<'a>),
+    Mx {
+        preference: u16,
+        exchange: NameRef<'a>,
+    },
+    Txt(TxtRef<'a>),
+    Soa {
+        mname: NameRef<'a>,
+        rname: NameRef<'a>,
+        serial: u32,
+        refresh: u32,
+        retry: u32,
+        expire: u32,
+        minimum: u32,
+    },
+    Opaque {
+        rtype: u16,
+        data: &'a [u8],
+    },
+}
+
+impl<'a> RDataRef<'a> {
+    /// Parse RDATA of type `rtype` occupying `msg[*pos .. *pos + rdlen]`,
+    /// mirroring [`RData::decode`] error for error.
+    pub fn parse(
+        msg: &'a [u8],
+        pos: &mut usize,
+        rtype: RrType,
+        rdlen: usize,
+    ) -> Result<RDataRef<'a>, WireError> {
+        let start = *pos;
+        let end = start + rdlen;
+        if end > msg.len() {
+            return Err(WireError::Truncated);
+        }
+        let out = match rtype {
+            RrType::A => {
+                if rdlen != 4 {
+                    return Err(WireError::BadRdata);
+                }
+                RDataRef::A(Ipv4Addr::new(
+                    msg[start],
+                    msg[start + 1],
+                    msg[start + 2],
+                    msg[start + 3],
+                ))
+            }
+            RrType::Aaaa => {
+                if rdlen != 16 {
+                    return Err(WireError::BadRdata);
+                }
+                let mut o = [0u8; 16];
+                o.copy_from_slice(&msg[start..end]);
+                RDataRef::Aaaa(Ipv6Addr::from(o))
+            }
+            RrType::Ns | RrType::Cname | RrType::Ptr => {
+                let mut p = start;
+                let name = NameRef::parse(msg, &mut p)?;
+                if p > end {
+                    return Err(WireError::BadRdata);
+                }
+                match rtype {
+                    RrType::Ns => RDataRef::Ns(name),
+                    RrType::Cname => RDataRef::Cname(name),
+                    _ => RDataRef::Ptr(name),
+                }
+            }
+            RrType::Mx => {
+                if rdlen < 3 {
+                    return Err(WireError::BadRdata);
+                }
+                let preference = u16::from_be_bytes([msg[start], msg[start + 1]]);
+                let mut p = start + 2;
+                let exchange = NameRef::parse(msg, &mut p)?;
+                if p > end {
+                    return Err(WireError::BadRdata);
+                }
+                RDataRef::Mx { preference, exchange }
+            }
+            RrType::Txt => {
+                // Validate the segment walk now; iteration later is free.
+                let mut p = start;
+                while p < end {
+                    let l = msg[p] as usize;
+                    p += 1;
+                    if p + l > end {
+                        return Err(WireError::BadRdata);
+                    }
+                    p += l;
+                }
+                RDataRef::Txt(TxtRef { data: &msg[start..end] })
+            }
+            RrType::Soa => {
+                let mut p = start;
+                let mname = NameRef::parse(msg, &mut p)?;
+                let rname = NameRef::parse(msg, &mut p)?;
+                if p + 20 > end {
+                    return Err(WireError::BadRdata);
+                }
+                let u32_at =
+                    |q: usize| u32::from_be_bytes([msg[q], msg[q + 1], msg[q + 2], msg[q + 3]]);
+                RDataRef::Soa {
+                    mname,
+                    rname,
+                    serial: u32_at(p),
+                    refresh: u32_at(p + 4),
+                    retry: u32_at(p + 8),
+                    expire: u32_at(p + 12),
+                    minimum: u32_at(p + 16),
+                }
+            }
+            RrType::Opt | RrType::Other(_) => {
+                RDataRef::Opaque { rtype: rtype.code(), data: &msg[start..end] }
+            }
+        };
+        *pos = end;
+        Ok(out)
+    }
+
+    pub fn rtype(&self) -> RrType {
+        match self {
+            RDataRef::A(_) => RrType::A,
+            RDataRef::Aaaa(_) => RrType::Aaaa,
+            RDataRef::Ns(_) => RrType::Ns,
+            RDataRef::Cname(_) => RrType::Cname,
+            RDataRef::Ptr(_) => RrType::Ptr,
+            RDataRef::Mx { .. } => RrType::Mx,
+            RDataRef::Txt(_) => RrType::Txt,
+            RDataRef::Soa { .. } => RrType::Soa,
+            RDataRef::Opaque { rtype, .. } => RrType::from_code(*rtype),
+        }
+    }
+
+    pub fn to_owned(&self) -> RData {
+        match self {
+            RDataRef::A(a) => RData::A(*a),
+            RDataRef::Aaaa(a) => RData::Aaaa(*a),
+            RDataRef::Ns(n) => RData::Ns(n.to_owned()),
+            RDataRef::Cname(n) => RData::Cname(n.to_owned()),
+            RDataRef::Ptr(n) => RData::Ptr(n.to_owned()),
+            RDataRef::Mx { preference, exchange } => {
+                RData::Mx { preference: *preference, exchange: exchange.to_owned() }
+            }
+            RDataRef::Txt(t) => RData::Txt(t.iter().map(|s| s.to_vec()).collect()),
+            RDataRef::Soa { mname, rname, serial, refresh, retry, expire, minimum } => RData::Soa {
+                mname: mname.to_owned(),
+                rname: rname.to_owned(),
+                serial: *serial,
+                refresh: *refresh,
+                retry: *retry,
+                expire: *expire,
+                minimum: *minimum,
+            },
+            RDataRef::Opaque { rtype, data } => {
+                RData::Opaque { rtype: *rtype, data: data.to_vec() }
+            }
+        }
+    }
+}
+
+/// A borrowed resource record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecordRef<'a> {
+    pub name: NameRef<'a>,
+    pub class: RrClass,
+    pub ttl: u32,
+    pub rdata: RDataRef<'a>,
+}
+
+impl RecordRef<'_> {
+    pub fn rtype(&self) -> RrType {
+        self.rdata.rtype()
+    }
+
+    pub fn to_owned(&self) -> Record {
+        Record {
+            name: self.name.to_owned(),
+            class: self.class,
+            ttl: self.ttl,
+            rdata: self.rdata.to_owned(),
+        }
+    }
+}
+
+/// A borrowed view of a whole DNS message. Section vectors hold
+/// fixed-size view structs; no label or rdata bytes are copied.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MessageRef<'a> {
+    pub header: Header,
+    pub questions: Vec<QuestionRef<'a>>,
+    pub answers: Vec<RecordRef<'a>>,
+    pub authorities: Vec<RecordRef<'a>>,
+    pub additionals: Vec<RecordRef<'a>>,
+}
+
+impl<'a> MessageRef<'a> {
+    /// Parse from wire format, mirroring [`Message::decode`] error for
+    /// error.
+    pub fn parse(msg: &'a [u8]) -> Result<MessageRef<'a>, WireError> {
+        if msg.len() < 12 {
+            return Err(WireError::Truncated);
+        }
+        let u16_at = |i: usize| u16::from_be_bytes([msg[i], msg[i + 1]]);
+        let header = Header { id: u16_at(0), flags: Flags::from_u16(u16_at(2)) };
+        let qd = u16_at(4) as usize;
+        let an = u16_at(6) as usize;
+        let ns = u16_at(8) as usize;
+        let ar = u16_at(10) as usize;
+        let mut pos = 12;
+        // Cap pre-allocation: a 12-byte message can claim 65535 entries.
+        let mut questions = Vec::with_capacity(qd.min(64));
+        for _ in 0..qd {
+            let name = NameRef::parse(msg, &mut pos)?;
+            if pos + 4 > msg.len() {
+                return Err(WireError::Truncated);
+            }
+            let rtype = RrType::from_code(u16::from_be_bytes([msg[pos], msg[pos + 1]]));
+            let class = RrClass::from_code(u16::from_be_bytes([msg[pos + 2], msg[pos + 3]]));
+            pos += 4;
+            questions.push(QuestionRef { name, rtype, class });
+        }
+        let parse_section = |count: usize,
+                             pos: &mut usize|
+         -> Result<Vec<RecordRef<'a>>, WireError> {
+            let mut out = Vec::with_capacity(count.min(64));
+            for _ in 0..count {
+                let name = NameRef::parse(msg, pos)?;
+                if *pos + 10 > msg.len() {
+                    return Err(WireError::Truncated);
+                }
+                let rtype = RrType::from_code(u16::from_be_bytes([msg[*pos], msg[*pos + 1]]));
+                let class = RrClass::from_code(u16::from_be_bytes([msg[*pos + 2], msg[*pos + 3]]));
+                let ttl = u32::from_be_bytes([
+                    msg[*pos + 4],
+                    msg[*pos + 5],
+                    msg[*pos + 6],
+                    msg[*pos + 7],
+                ]);
+                let rdlen = u16::from_be_bytes([msg[*pos + 8], msg[*pos + 9]]) as usize;
+                *pos += 10;
+                let rdata = RDataRef::parse(msg, pos, rtype, rdlen)?;
+                out.push(RecordRef { name, class, ttl, rdata });
+            }
+            Ok(out)
+        };
+        let answers = parse_section(an, &mut pos)?;
+        let authorities = parse_section(ns, &mut pos)?;
+        let additionals = parse_section(ar, &mut pos)?;
+        Ok(MessageRef { header, questions, answers, authorities, additionals })
+    }
+
+    pub fn rcode(&self) -> Rcode {
+        self.header.flags.rcode()
+    }
+
+    /// The OPT pseudo-record (EDNS), if present in the additional section.
+    pub fn opt_record(&self) -> Option<&RecordRef<'a>> {
+        self.additionals.iter().find(|r| r.rtype() == RrType::Opt)
+    }
+
+    /// Advertised EDNS UDP payload size, if an OPT record is present.
+    pub fn edns_udp_payload(&self) -> Option<u16> {
+        self.opt_record().map(|r| r.class.code())
+    }
+
+    /// Materialize the owned [`Message`] — exactly what
+    /// [`Message::decode`] would have returned for the same bytes.
+    pub fn to_owned(&self) -> Message {
+        Message {
+            header: self.header,
+            questions: self.questions.iter().map(QuestionRef::to_owned).collect(),
+            answers: self.answers.iter().map(RecordRef::to_owned).collect(),
+            authorities: self.authorities.iter().map(RecordRef::to_owned).collect(),
+            additionals: self.additionals.iter().map(RecordRef::to_owned).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Rcode;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn sample_response() -> Message {
+        let q = Message::query(77, n("klant0.nl"), RrType::Ns);
+        let mut r = Message::response_to(&q, Rcode::NoError, true);
+        for i in 0..3 {
+            r.answers.push(Record::new(
+                n("klant0.nl"),
+                3600,
+                RData::Ns(n(&format!("ns{i}.transip.net"))),
+            ));
+            r.additionals.push(Record::new(
+                n(&format!("ns{i}.transip.net")),
+                3600,
+                RData::A(format!("195.8.195.{i}").parse().unwrap()),
+            ));
+        }
+        r
+    }
+
+    #[test]
+    fn parse_matches_owned_decode_on_sample() {
+        let wire = sample_response().encode();
+        let owned = Message::decode(&wire).unwrap();
+        let view = MessageRef::parse(&wire).unwrap();
+        assert_eq!(view.to_owned(), owned);
+        assert_eq!(view.rcode(), owned.rcode());
+        assert_eq!(view.answers.len(), 3);
+    }
+
+    #[test]
+    fn labels_are_slices_into_the_source_buffer() {
+        let wire = sample_response().encode();
+        let view = MessageRef::parse(&wire).unwrap();
+        let range = wire.as_ptr() as usize..wire.as_ptr() as usize + wire.len();
+        for q in &view.questions {
+            for l in q.name.labels() {
+                assert!(range.contains(&(l.as_ptr() as usize)), "label borrowed from elsewhere");
+            }
+        }
+        if let RDataRef::Ns(target) = view.answers[0].rdata {
+            for l in target.labels() {
+                assert!(range.contains(&(l.as_ptr() as usize)));
+            }
+        } else {
+            panic!("expected NS rdata");
+        }
+    }
+
+    #[test]
+    fn compressed_name_resolves_through_pointer() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(b"\x03mil\x02ru\x00"); // offset 0..8
+        wire.extend_from_slice(b"\x03WWW\xC0\x00"); // offset 8..14
+        let mut pos = 8;
+        let name = NameRef::parse(&wire, &mut pos).unwrap();
+        assert_eq!(pos, 14);
+        assert_eq!(name.wire_len(), 6);
+        assert_eq!(name.label_count(), 3);
+        assert_eq!(name.encoded_len(), 12);
+        assert_eq!(name.to_owned(), n("www.mil.ru"));
+        assert_eq!(name.to_string(), "www.mil.ru");
+        assert!(name.eq_name(&n("WWW.mil.RU").to_owned()));
+    }
+
+    #[test]
+    fn parent_is_a_view_not_an_allocation() {
+        let wire = b"\x03www\x03mil\x02ru\x00";
+        let mut pos = 0;
+        let name = NameRef::parse(wire, &mut pos).unwrap();
+        let parent = name.parent();
+        assert_eq!(parent.to_owned(), n("mil.ru"));
+        assert_eq!(parent.label_count(), 2);
+        assert_eq!(parent.encoded_len(), n("mil.ru").encoded_len());
+        assert_eq!(parent.parent().parent().to_owned(), Name::root());
+        assert!(parent.parent().parent().is_root());
+        assert_eq!(parent.parent().parent().parent().label_count(), 0);
+        assert_eq!(name.to_owned().parent(), parent.to_owned());
+    }
+
+    #[test]
+    fn write_canonical_is_lowercase_uncompressed() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(b"\x02RU\x00"); // offset 0..4
+        wire.extend_from_slice(b"\x03MiL\xC0\x00"); // offset 4..10
+        let mut pos = 4;
+        let name = NameRef::parse(&wire, &mut pos).unwrap();
+        let mut canon = Vec::new();
+        name.write_canonical(&mut canon);
+        assert_eq!(&canon, b"\x03mil\x02ru\x00");
+    }
+
+    #[test]
+    fn txt_segments_iterate_borrowed() {
+        let rd = RData::Txt(vec![b"hello".to_vec(), vec![], b"world".to_vec()]);
+        let mut buf = bytes::BytesMut::new();
+        rd.encode(&mut buf, &mut std::collections::HashMap::new(), 0);
+        let mut pos = 0;
+        let view = RDataRef::parse(&buf, &mut pos, RrType::Txt, buf.len()).unwrap();
+        let RDataRef::Txt(txt) = view else { panic!("expected TXT") };
+        let segs: Vec<&[u8]> = txt.iter().collect();
+        assert_eq!(segs, vec![b"hello".as_slice(), b"".as_slice(), b"world".as_slice()]);
+        assert_eq!(view.to_owned(), rd);
+    }
+
+    #[test]
+    fn edns_udp_payload_visible_through_view() {
+        let mut m = Message::query(1, n("example.nl"), RrType::Ns);
+        crate::edns::set_edns(&mut m, 1232);
+        let wire = m.encode();
+        let view = MessageRef::parse(&wire).unwrap();
+        assert_eq!(view.edns_udp_payload(), Some(1232));
+        assert!(view.opt_record().is_some());
+    }
+
+    #[test]
+    fn view_errors_match_owned_on_malformed() {
+        for wire in [&b"\x03mi"[..], &[0xC0, 0x00][..], &[0x40, 0x00][..]] {
+            let mut p1 = 0;
+            let mut p2 = 0;
+            assert_eq!(
+                NameRef::parse(wire, &mut p1).unwrap_err(),
+                Name::decode(wire, &mut p2).unwrap_err(),
+            );
+        }
+        assert_eq!(MessageRef::parse(&[0u8; 5]).unwrap_err(), WireError::Truncated);
+    }
+}

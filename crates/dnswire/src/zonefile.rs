@@ -469,6 +469,39 @@ alias IN CNAME www
         assert_eq!(back, records, "rendered:\n{rendered}");
     }
 
+    /// A name at the RFC 1035 ceiling — 255 wire octets via labels of
+    /// 63+63+63+61 — must survive render → parse, and the rendered form
+    /// must be absolute (origin-independent): re-qualifying it against a
+    /// different origin would blow past the length limit.
+    #[test]
+    fn maximum_length_name_renders_and_parses() {
+        let labels: Vec<Vec<u8>> =
+            vec![vec![b'a'; 63], vec![b'b'; 63], vec![b'c'; 63], vec![b'd'; 61]];
+        let name = Name::from_labels(labels.iter().map(|l| l.as_slice())).unwrap();
+        let mut wire = crate::BytesMut::new();
+        name.encode_uncompressed(&mut wire);
+        assert_eq!(wire.len(), 255, "test premise: name sits exactly at the ceiling");
+
+        let records = vec![Record {
+            name: name.clone(),
+            class: RrClass::In,
+            ttl: 60,
+            rdata: RData::A("192.0.2.9".parse().unwrap()),
+        }];
+        let rendered = render_zone(&records);
+        let back = parse_zone(&rendered, &"unrelated.test".parse().unwrap()).unwrap();
+        assert_eq!(back, records, "rendered:\n{rendered}");
+
+        // One octet longer is rejected at construction, so no zone file
+        // can smuggle an over-long name through the parse path either.
+        let mut over = labels;
+        over[3].push(b'd');
+        assert_eq!(
+            Name::from_labels(over.iter().map(|l| l.as_slice())).unwrap_err(),
+            crate::WireError::NameTooLong
+        );
+    }
+
     #[test]
     fn opaque_records_are_skipped() {
         let records = vec![Record {

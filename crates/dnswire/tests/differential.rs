@@ -1,0 +1,250 @@
+//! Borrowed-parse ≡ owned-parse differential tests.
+//!
+//! The owned decoders (`Name::decode`, `Message::decode`, `decode_tcp`)
+//! are the reference; the zero-copy view layer (`NameRef`, `MessageRef`,
+//! `decode_tcp_ref`) must agree with them *exactly* — same values through
+//! `.to_owned()`, same cursor advancement, and the same `WireError`
+//! variant on every malformed, truncated, or pointer-looping input. This
+//! is the same differential discipline that locks the columnar join: the
+//! fast path is only trusted because the slow path checks it.
+
+use dnswire::view::{MessageRef, NameRef};
+use dnswire::{
+    decode_tcp, decode_tcp_ref, encode_tcp, Message, Name, RData, Record, RrType, WireError,
+    MAX_POINTER_HOPS,
+};
+use proptest::prelude::*;
+
+/// Assert the two name parsers agree on `wire` starting at `pos`.
+fn assert_name_parity(wire: &[u8], pos: usize) {
+    let mut owned_pos = pos;
+    let mut view_pos = pos;
+    let owned = Name::decode(wire, &mut owned_pos);
+    let view = NameRef::parse(wire, &mut view_pos);
+    match (owned, view) {
+        (Ok(o), Ok(v)) => {
+            assert_eq!(v.to_owned(), o, "value mismatch at pos {pos}");
+            assert_eq!(view_pos, owned_pos, "cursor mismatch at pos {pos}");
+            assert_eq!(v.label_count(), o.label_count());
+            assert_eq!(v.encoded_len(), o.encoded_len());
+            assert!(v.eq_name(&o));
+            assert_eq!(v.to_string(), o.to_string());
+            let mut canon = Vec::new();
+            v.write_canonical(&mut canon);
+            let mut reference = bytes::BytesMut::new();
+            o.encode_uncompressed(&mut reference);
+            assert_eq!(canon, reference.to_vec(), "canonical bytes mismatch");
+        }
+        (Err(eo), Err(ev)) => assert_eq!(eo, ev, "error mismatch at pos {pos}"),
+        (o, v) => panic!("parser disagreement at pos {pos}: owned {o:?} vs view {v:?}"),
+    }
+}
+
+/// Assert the two message parsers agree on `wire`.
+fn assert_message_parity(wire: &[u8]) {
+    match (Message::decode(wire), MessageRef::parse(wire)) {
+        (Ok(o), Ok(v)) => assert_eq!(v.to_owned(), o),
+        (Err(eo), Err(ev)) => assert_eq!(eo, ev),
+        (o, v) => panic!("parser disagreement: owned {o:?} vs view {v:?}"),
+    }
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    prop::collection::vec("[a-zA-Z0-9-]{1,16}", 0..5)
+        .prop_map(|ls| Name::from_labels(ls.iter().map(|s| s.as_bytes())).unwrap())
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<u32>().prop_map(|v| RData::A(v.into())),
+        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(o.into())),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Cname),
+        arb_name().prop_map(RData::Ptr),
+        (any::<u16>(), arb_name())
+            .prop_map(|(preference, exchange)| RData::Mx { preference, exchange }),
+        prop::collection::vec(prop::collection::vec(any::<u8>(), 0..30), 0..4).prop_map(RData::Txt),
+        (
+            arb_name(),
+            arb_name(),
+            (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
+        )
+            .prop_map(|(mname, rname, v)| RData::Soa {
+                mname,
+                rname,
+                serial: v.0,
+                refresh: v.1,
+                retry: v.2,
+                expire: v.3,
+                minimum: v.4,
+            }),
+        (any::<u16>(), prop::collection::vec(any::<u8>(), 0..40))
+            .prop_map(|(rtype, data)| RData::Opaque { rtype, data }),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), any::<u32>(), arb_rdata())
+        .prop_map(|(name, ttl, rdata)| Record::new(name, ttl, rdata))
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        arb_name(),
+        prop::collection::vec(arb_record(), 0..6),
+        prop::collection::vec(arb_record(), 0..4),
+    )
+        .prop_map(|(id, qname, answers, additionals)| {
+            let mut m = Message::query(id, qname, RrType::Ns);
+            m.header.flags.qr = true;
+            m.answers = answers;
+            m.additionals = additionals;
+            m
+        })
+}
+
+proptest! {
+    /// Arbitrary bytes: both name parsers reach the same verdict.
+    #[test]
+    fn name_parity_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..300),
+        start in 0usize..16,
+    ) {
+        assert_name_parity(&bytes, start.min(bytes.len()));
+    }
+
+    /// Bytes biased toward the wire alphabet (small length tags, pointer
+    /// tags) hit the deep decode branches far more often than uniform
+    /// noise does.
+    #[test]
+    fn name_parity_on_wire_shaped_bytes(
+        bytes in prop::collection::vec(
+            prop_oneof![0u8..8, Just(0xC0u8), Just(0x00u8), any::<u8>()],
+            0..120,
+        ),
+    ) {
+        assert_name_parity(&bytes, 0);
+    }
+
+    /// Arbitrary bytes: both message parsers reach the same verdict.
+    #[test]
+    fn message_parity_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+        assert_message_parity(&bytes);
+    }
+
+    /// Well-formed messages round-trip identically through both parsers.
+    #[test]
+    fn message_parity_on_valid_messages(m in arb_message()) {
+        let wire = m.encode();
+        let owned = Message::decode(&wire).unwrap();
+        let view = MessageRef::parse(&wire).unwrap();
+        prop_assert_eq!(&owned, &m);
+        prop_assert_eq!(view.to_owned(), m);
+    }
+
+    /// Every truncation of a valid message gets the same verdict from
+    /// both parsers (usually Truncated; always identical).
+    #[test]
+    fn message_parity_on_truncations(m in arb_message(), frac in 0.0f64..1.0) {
+        let wire = m.encode();
+        let cut = (wire.len() as f64 * frac) as usize;
+        assert_message_parity(&wire[..cut]);
+    }
+
+    /// Flipping one byte of a valid message never splits the parsers.
+    #[test]
+    fn message_parity_on_single_byte_corruption(
+        m in arb_message(),
+        at in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        let mut wire = m.encode();
+        let i = at % wire.len();
+        wire[i] ^= xor;
+        assert_message_parity(&wire);
+    }
+
+    /// TCP framing: both frame decoders agree on arbitrary buffers.
+    #[test]
+    fn tcp_parity_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        match (decode_tcp(&bytes), decode_tcp_ref(&bytes)) {
+            (Ok((o, co)), Ok((v, cv))) => {
+                prop_assert_eq!(v.to_owned(), o);
+                prop_assert_eq!(co, cv);
+            }
+            (Err(eo), Err(ev)) => prop_assert_eq!(eo, ev),
+            (o, v) => panic!("tcp disagreement: owned {o:?} vs view {v:?}"),
+        }
+    }
+
+    /// TCP framing: valid frames and all their prefixes agree.
+    #[test]
+    fn tcp_parity_on_frames_and_prefixes(m in arb_message(), frac in 0.0f64..1.0) {
+        let framed = encode_tcp(&m);
+        let cut = (framed.len() as f64 * frac) as usize;
+        let buf = &framed[..cut];
+        match (decode_tcp(buf), decode_tcp_ref(buf)) {
+            (Ok((o, co)), Ok((v, cv))) => {
+                prop_assert_eq!(v.to_owned(), o);
+                prop_assert_eq!(co, cv);
+            }
+            (Err(eo), Err(ev)) => prop_assert_eq!(eo, ev),
+            (o, v) => panic!("tcp disagreement at cut {cut}: owned {o:?} vs view {v:?}"),
+        }
+    }
+}
+
+/// A pointer chain of `chain` hops: `\x01a\x00` at offset 0, then `chain`
+/// pointers each aimed at the previous one. Decoding from the last
+/// pointer traverses exactly `chain` hops.
+fn pointer_chain(chain: usize) -> (Vec<u8>, usize) {
+    let mut wire = b"\x01a\x00".to_vec();
+    for i in 0..chain {
+        let target = if i == 0 { 0usize } else { 3 + 2 * (i - 1) };
+        wire.push(0xC0 | (target >> 8) as u8);
+        wire.push(target as u8);
+    }
+    (wire, 3 + 2 * (chain - 1))
+}
+
+#[test]
+fn pointer_chain_at_exactly_max_hops_is_accepted_by_both() {
+    let (wire, start) = pointer_chain(MAX_POINTER_HOPS);
+    let mut pos = start;
+    let owned = Name::decode(&wire, &mut pos).expect("owned decode at hop limit");
+    assert_eq!(owned.to_string(), "a");
+    let mut pos = start;
+    let view = NameRef::parse(&wire, &mut pos).expect("view parse at hop limit");
+    assert_eq!(view.to_owned(), owned);
+    assert_name_parity(&wire, start);
+}
+
+#[test]
+fn pointer_chain_one_past_max_hops_is_rejected_by_both() {
+    let (wire, start) = pointer_chain(MAX_POINTER_HOPS + 1);
+    let mut pos = start;
+    assert_eq!(Name::decode(&wire, &mut pos), Err(WireError::BadPointer));
+    let mut pos = start;
+    assert!(matches!(NameRef::parse(&wire, &mut pos), Err(WireError::BadPointer)));
+    assert_name_parity(&wire, start);
+}
+
+#[test]
+fn every_truncation_of_a_dense_response_keeps_parity() {
+    // A compression-heavy response exercised at every cut point, not just
+    // sampled fractions.
+    let mut m = Message::query(1, "klant0.nl".parse().unwrap(), RrType::Ns);
+    m.header.flags.qr = true;
+    for i in 0..3 {
+        m.answers.push(Record::new(
+            "klant0.nl".parse().unwrap(),
+            3600,
+            RData::Ns(format!("ns{i}.transip.net").parse().unwrap()),
+        ));
+    }
+    let wire = m.encode();
+    for cut in 0..=wire.len() {
+        assert_message_parity(&wire[..cut]);
+    }
+}

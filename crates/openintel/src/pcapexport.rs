@@ -9,7 +9,7 @@
 use crate::sweep::SweepSchedule;
 use dnssim::{server, DomainId, Infra, LoadBook, NsSetId, QueryStatus, Resolver};
 use dnswire::Rcode;
-use pcap::{EthernetFrame, IpProto, Ipv4Header, PcapPacket, PcapWriter, UdpDatagram};
+use pcap::{EthernetFrame, IpProto, Ipv4Header, PcapPacket, PcapReader, PcapWriter, UdpDatagram};
 use rand::Rng;
 use simcore::rng::RngFactory;
 use simcore::time::Window;
@@ -126,13 +126,60 @@ fn packet_at(t_us: u64, frame: Vec<u8>) -> PcapPacket {
     PcapPacket::new((t_us / 1_000_000) as u32, (t_us % 1_000_000) as u32, frame)
 }
 
+/// Per-qname tallies recovered from an exported capture. Built entirely
+/// on the borrowed parse path: frames decode through
+/// [`dnswire::MessageRef`] and qnames intern straight from their label
+/// slices in the packet buffer — no owned [`dnswire::Message`], no
+/// intermediate `String`.
+#[derive(Debug, Default)]
+pub struct CaptureIndex {
+    /// Canonical (lowercase, uncompressed) qname wire form → dense id.
+    pub names: simcore::Interner<Vec<u8>>,
+    /// Queries seen per name id.
+    pub queries: Vec<u64>,
+    /// Responses seen per name id.
+    pub responses: Vec<u64>,
+}
+
+/// Index a capture produced by [`export_measurement_pcap`] (or any
+/// DNS-in-UDP Ethernet capture). Frames that do not parse as DNS-in-UDP
+/// are skipped. Name ids are first-come in packet order, so two reads of
+/// the same capture index identically.
+pub fn index_capture<R: io::Read>(inp: R) -> Result<CaptureIndex, pcap::PcapError> {
+    let mut reader = PcapReader::new(inp)?;
+    let mut idx = CaptureIndex::default();
+    let mut canonical = Vec::new();
+    while let Some(p) = reader.next_packet()? {
+        let Ok(eth) = EthernetFrame::decode(&p.data) else { continue };
+        let Ok(ip) = Ipv4Header::decode(&eth.payload) else { continue };
+        if ip.proto != IpProto::Udp {
+            continue;
+        }
+        let Ok(udp) = UdpDatagram::decode(&ip.payload, ip.src, ip.dst) else { continue };
+        let Ok(msg) = dnswire::MessageRef::parse(&udp.payload) else { continue };
+        let Some(q) = msg.questions.first() else { continue };
+        canonical.clear();
+        q.name.write_canonical(&mut canonical);
+        let id = idx.names.intern_ref(canonical.as_slice()) as usize;
+        if idx.queries.len() <= id {
+            idx.queries.resize(id + 1, 0);
+            idx.responses.resize(id + 1, 0);
+        }
+        if msg.header.flags.qr {
+            idx.responses[id] += 1;
+        } else {
+            idx.queries[id] += 1;
+        }
+    }
+    Ok(idx)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use dnssim::Deployment;
     use dnswire::Message;
     use netbase::Asn;
-    use pcap::PcapReader;
     use std::io::Cursor;
 
     fn world() -> (Infra, NsSetId, Vec<Ipv4Addr>) {
@@ -208,6 +255,58 @@ mod tests {
         }
         assert_eq!(qr.0, stats.queries);
         assert_eq!(qr.1, stats.responses);
+    }
+
+    #[test]
+    fn capture_index_matches_owned_parse_path() {
+        let (infra, set, _) = world();
+        let schedule = SweepSchedule::new(1);
+        let mut buf = Vec::new();
+        let stats = export_measurement_pcap(
+            &infra,
+            &schedule,
+            &Resolver::default(),
+            set,
+            Window(100),
+            &LoadBook::new(),
+            &RngFactory::new(5),
+            &mut buf,
+        )
+        .unwrap();
+
+        let idx = index_capture(Cursor::new(buf.clone())).unwrap();
+        assert_eq!(idx.queries.iter().sum::<u64>(), stats.queries);
+        assert_eq!(idx.responses.iter().sum::<u64>(), stats.responses);
+        assert_eq!(idx.names.len(), idx.queries.len());
+
+        // Reference: the owned decode path, interning the qname's
+        // canonical wire form via allocation. Ids and tallies must be
+        // identical — borrowed parsing may not change what is counted.
+        let mut names: simcore::Interner<Vec<u8>> = simcore::Interner::new();
+        let mut queries: Vec<u64> = Vec::new();
+        let mut responses: Vec<u64> = Vec::new();
+        let mut reader = PcapReader::new(Cursor::new(buf)).unwrap();
+        while let Some(p) = reader.next_packet().unwrap() {
+            let eth = EthernetFrame::decode(&p.data).unwrap();
+            let ip = Ipv4Header::decode(&eth.payload).unwrap();
+            let udp = UdpDatagram::decode(&ip.payload, ip.src, ip.dst).unwrap();
+            let msg = Message::decode(&udp.payload).unwrap();
+            let mut wire = dnswire::BytesMut::new();
+            msg.questions[0].name.encode_uncompressed(&mut wire);
+            let id = names.intern(wire.as_slice().to_vec()) as usize;
+            if queries.len() <= id {
+                queries.resize(id + 1, 0);
+                responses.resize(id + 1, 0);
+            }
+            if msg.header.flags.qr {
+                responses[id] += 1;
+            } else {
+                queries[id] += 1;
+            }
+        }
+        assert_eq!(format!("{:?}", idx.names), format!("{names:?}"), "interned arenas differ");
+        assert_eq!(idx.queries, queries);
+        assert_eq!(idx.responses, responses);
     }
 
     #[test]

@@ -57,14 +57,32 @@ impl<W: Write> PcapWriter<W> {
 
     /// Append one packet record (snapping to the snaplen if needed).
     pub fn write_packet(&mut self, pkt: &PcapPacket) -> io::Result<()> {
-        let incl = (pkt.data.len() as u32).min(self.snaplen);
-        let mut rec = Vec::with_capacity(16 + incl as usize);
-        rec.extend_from_slice(&pkt.ts_sec.to_le_bytes());
-        rec.extend_from_slice(&pkt.ts_usec.to_le_bytes());
-        rec.extend_from_slice(&incl.to_le_bytes());
-        rec.extend_from_slice(&pkt.orig_len.to_le_bytes());
-        rec.extend_from_slice(&pkt.data[..incl as usize]);
-        self.out.write_all(&rec)?;
+        self.write_record(pkt.ts_sec, pkt.ts_usec, pkt.orig_len, &pkt.data)
+    }
+
+    /// Append one packet record from borrowed frame bytes — the zero-copy
+    /// twin of [`write_packet`](PcapWriter::write_packet) for callers that
+    /// compose frames in a reused scratch buffer. The original length is
+    /// taken as `data.len()` (nothing was snapped upstream).
+    pub fn write_frame(&mut self, ts_sec: u32, ts_usec: u32, data: &[u8]) -> io::Result<()> {
+        self.write_record(ts_sec, ts_usec, data.len() as u32, data)
+    }
+
+    fn write_record(
+        &mut self,
+        ts_sec: u32,
+        ts_usec: u32,
+        orig_len: u32,
+        data: &[u8],
+    ) -> io::Result<()> {
+        let incl = (data.len() as u32).min(self.snaplen);
+        let mut hdr = [0u8; 16];
+        hdr[0..4].copy_from_slice(&ts_sec.to_le_bytes());
+        hdr[4..8].copy_from_slice(&ts_usec.to_le_bytes());
+        hdr[8..12].copy_from_slice(&incl.to_le_bytes());
+        hdr[12..16].copy_from_slice(&orig_len.to_le_bytes());
+        self.out.write_all(&hdr)?;
+        self.out.write_all(&data[..incl as usize])?;
         self.packets += 1;
         Ok(())
     }
@@ -178,6 +196,18 @@ mod tests {
         assert_eq!(r.linktype, 1);
         let back = r.read_all().unwrap();
         assert_eq!(back, pkts);
+    }
+
+    #[test]
+    fn write_frame_matches_write_packet_bytes() {
+        let pkts = [PcapPacket::new(100, 250_000, vec![0xAA; 60]), PcapPacket::new(101, 0, vec![])];
+        let mut a = PcapWriter::new(Vec::new()).unwrap();
+        let mut b = PcapWriter::new(Vec::new()).unwrap();
+        for p in &pkts {
+            a.write_packet(p).unwrap();
+            b.write_frame(p.ts_sec, p.ts_usec, &p.data).unwrap();
+        }
+        assert_eq!(a.finish().unwrap(), b.finish().unwrap());
     }
 
     #[test]

@@ -6,9 +6,8 @@
 use crate::PcapError;
 use std::net::Ipv4Addr;
 
-/// RFC 1071 Internet checksum over `data` (one's-complement sum of 16-bit
-/// words).
-pub fn checksum(data: &[u8]) -> u16 {
+/// One's-complement sum of 16-bit big-endian words (odd tail zero-padded).
+fn ones_sum(data: &[u8]) -> u32 {
     let mut sum = 0u32;
     let mut chunks = data.chunks_exact(2);
     for c in &mut chunks {
@@ -17,22 +16,31 @@ pub fn checksum(data: &[u8]) -> u16 {
     if let [last] = chunks.remainder() {
         sum += (*last as u32) << 8;
     }
+    sum
+}
+
+fn fold_sum(mut sum: u32) -> u16 {
     while sum > 0xFFFF {
         sum = (sum & 0xFFFF) + (sum >> 16);
     }
     !(sum as u16)
 }
 
-/// Checksum with a preceding IPv4 pseudo-header (for UDP/TCP).
+/// RFC 1071 Internet checksum over `data` (one's-complement sum of 16-bit
+/// words).
+pub fn checksum(data: &[u8]) -> u16 {
+    fold_sum(ones_sum(data))
+}
+
+/// Checksum with a preceding IPv4 pseudo-header (for UDP/TCP). Summed
+/// piecewise — the pseudo-header is 12 bytes (word-aligned), so the words
+/// are the same as concatenating and no scratch buffer is needed.
 fn checksum_pseudo(src: Ipv4Addr, dst: Ipv4Addr, proto: u8, payload: &[u8]) -> u16 {
-    let mut buf = Vec::with_capacity(12 + payload.len());
-    buf.extend_from_slice(&src.octets());
-    buf.extend_from_slice(&dst.octets());
-    buf.push(0);
-    buf.push(proto);
-    buf.extend_from_slice(&(payload.len() as u16).to_be_bytes());
-    buf.extend_from_slice(payload);
-    checksum(&buf)
+    let mut sum = ones_sum(&src.octets()) + ones_sum(&dst.octets());
+    sum += proto as u32;
+    sum += payload.len() as u16 as u32;
+    sum += ones_sum(payload);
+    fold_sum(sum)
 }
 
 /// EtherType values we emit.
@@ -78,11 +86,22 @@ impl EthernetFrame {
 
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(14 + self.payload.len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the frame to `out` (no intermediate allocation).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        self.encode_header_into(out);
+        out.extend_from_slice(&self.payload);
+    }
+
+    /// Append just the 14-byte header; the caller writes the payload
+    /// directly after, composing the frame in place.
+    pub fn encode_header_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.dst);
         out.extend_from_slice(&self.src);
         out.extend_from_slice(&self.ethertype.code().to_be_bytes());
-        out.extend_from_slice(&self.payload);
-        out
     }
 
     pub fn decode(bytes: &[u8]) -> Result<EthernetFrame, PcapError> {
@@ -143,22 +162,50 @@ impl Ipv4Header {
     }
 
     pub fn encode(&self) -> Vec<u8> {
-        let total = 20 + self.payload.len();
-        let mut h = Vec::with_capacity(total);
-        h.push(0x45); // version 4, IHL 5
-        h.push(0); // DSCP/ECN
-        h.extend_from_slice(&(total as u16).to_be_bytes());
-        h.extend_from_slice(&self.ident.to_be_bytes());
-        h.extend_from_slice(&0u16.to_be_bytes()); // flags/fragment
-        h.push(self.ttl);
-        h.push(self.proto.code());
-        h.extend_from_slice(&0u16.to_be_bytes()); // checksum placeholder
-        h.extend_from_slice(&self.src.octets());
-        h.extend_from_slice(&self.dst.octets());
-        let c = checksum(&h);
-        h[10..12].copy_from_slice(&c.to_be_bytes());
-        h.extend_from_slice(&self.payload);
-        h
+        let mut out = Vec::with_capacity(20 + self.payload.len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the packet to `out` (no intermediate allocation).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        Ipv4Header::encode_packet_into(
+            self.src,
+            self.dst,
+            self.proto,
+            self.ttl,
+            self.ident,
+            &self.payload,
+            out,
+        );
+    }
+
+    /// Append a header + borrowed payload to `out` without constructing an
+    /// owning `Ipv4Header` — the zero-copy composition path.
+    pub fn encode_packet_into(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        proto: IpProto,
+        ttl: u8,
+        ident: u16,
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) {
+        let base = out.len();
+        let total = 20 + payload.len();
+        out.push(0x45); // version 4, IHL 5
+        out.push(0); // DSCP/ECN
+        out.extend_from_slice(&(total as u16).to_be_bytes());
+        out.extend_from_slice(&ident.to_be_bytes());
+        out.extend_from_slice(&0u16.to_be_bytes()); // flags/fragment
+        out.push(ttl);
+        out.push(proto.code());
+        out.extend_from_slice(&0u16.to_be_bytes()); // checksum placeholder
+        out.extend_from_slice(&src.octets());
+        out.extend_from_slice(&dst.octets());
+        let c = checksum(&out[base..]);
+        out[base + 10..base + 12].copy_from_slice(&c.to_be_bytes());
+        out.extend_from_slice(payload);
     }
 
     /// Decode and verify the header checksum.
@@ -205,19 +252,25 @@ impl UdpDatagram {
     }
 
     pub fn encode(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.payload.len());
+        self.encode_into(src, dst, &mut out);
+        out
+    }
+
+    /// Append the datagram to `out` (no intermediate allocation).
+    pub fn encode_into(&self, src: Ipv4Addr, dst: Ipv4Addr, out: &mut Vec<u8>) {
+        let base = out.len();
         let len = 8 + self.payload.len();
-        let mut out = Vec::with_capacity(len);
         out.extend_from_slice(&self.src_port.to_be_bytes());
         out.extend_from_slice(&self.dst_port.to_be_bytes());
         out.extend_from_slice(&(len as u16).to_be_bytes());
         out.extend_from_slice(&0u16.to_be_bytes());
         out.extend_from_slice(&self.payload);
-        let mut c = checksum_pseudo(src, dst, 17, &out);
+        let mut c = checksum_pseudo(src, dst, 17, &out[base..]);
         if c == 0 {
             c = 0xFFFF; // RFC 768: transmitted zero means "no checksum"
         }
-        out[6..8].copy_from_slice(&c.to_be_bytes());
-        out
+        out[base + 6..base + 8].copy_from_slice(&c.to_be_bytes());
     }
 
     /// Decode, verifying the checksum against the pseudo-header.
@@ -294,6 +347,13 @@ impl TcpSegment {
 
     pub fn encode(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
         let mut out = Vec::with_capacity(20 + self.payload.len());
+        self.encode_into(src, dst, &mut out);
+        out
+    }
+
+    /// Append the segment to `out` (no intermediate allocation).
+    pub fn encode_into(&self, src: Ipv4Addr, dst: Ipv4Addr, out: &mut Vec<u8>) {
+        let base = out.len();
         out.extend_from_slice(&self.src_port.to_be_bytes());
         out.extend_from_slice(&self.dst_port.to_be_bytes());
         out.extend_from_slice(&self.seq.to_be_bytes());
@@ -304,9 +364,8 @@ impl TcpSegment {
         out.extend_from_slice(&0u16.to_be_bytes()); // checksum placeholder
         out.extend_from_slice(&0u16.to_be_bytes()); // urgent
         out.extend_from_slice(&self.payload);
-        let c = checksum_pseudo(src, dst, 6, &out);
-        out[16..18].copy_from_slice(&c.to_be_bytes());
-        out
+        let c = checksum_pseudo(src, dst, 6, &out[base..]);
+        out[base + 16..base + 18].copy_from_slice(&c.to_be_bytes());
     }
 
     pub fn decode(bytes: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<TcpSegment, PcapError> {
@@ -360,13 +419,19 @@ impl Icmpv4 {
 
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(4 + self.rest.len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the message to `out` (no intermediate allocation).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let base = out.len();
         out.push(self.icmp_type);
         out.push(self.code);
         out.extend_from_slice(&0u16.to_be_bytes());
         out.extend_from_slice(&self.rest);
-        let c = checksum(&out);
-        out[2..4].copy_from_slice(&c.to_be_bytes());
-        out
+        let c = checksum(&out[base..]);
+        out[base + 2..base + 4].copy_from_slice(&c.to_be_bytes());
     }
 
     pub fn decode(bytes: &[u8]) -> Result<Icmpv4, PcapError> {
@@ -493,6 +558,53 @@ mod tests {
     }
 
     #[test]
+    fn encode_into_appends_the_exact_encode_bytes() {
+        // Every append encoder, at a nonzero base offset, must write the
+        // same bytes `encode` would — checksum fixups included.
+        let (s, d) = (ip("203.0.113.5"), ip("44.9.8.7"));
+        let prefix = vec![0xEE; 7];
+
+        let tcp = TcpSegment::syn_ack(53, 55_555, 1, 2);
+        let mut out = prefix.clone();
+        tcp.encode_into(s, d, &mut out);
+        assert_eq!(out[7..], tcp.encode(s, d));
+
+        let udp = UdpDatagram::new(53, 33_333, b"payload".to_vec());
+        let mut out = prefix.clone();
+        udp.encode_into(s, d, &mut out);
+        assert_eq!(out[7..], udp.encode(s, d));
+
+        let icmp = Icmpv4::echo_reply(9, 9);
+        let mut out = prefix.clone();
+        icmp.encode_into(&mut out);
+        assert_eq!(out[7..], icmp.encode());
+
+        let ipkt = Ipv4Header::new(s, d, IpProto::Tcp, tcp.encode(s, d));
+        let mut out = prefix.clone();
+        ipkt.encode_into(&mut out);
+        assert_eq!(out[7..], ipkt.encode());
+
+        let eth = EthernetFrame::ipv4(ipkt.encode());
+        let mut out = prefix.clone();
+        eth.encode_into(&mut out);
+        assert_eq!(out[7..], eth.encode());
+        let mut header_then_payload = prefix.clone();
+        eth.encode_header_into(&mut header_then_payload);
+        header_then_payload.extend_from_slice(&eth.payload);
+        assert_eq!(header_then_payload, out);
+    }
+
+    #[test]
+    fn encode_packet_into_matches_owned_header() {
+        let (s, d) = (ip("1.2.3.4"), ip("44.0.0.1"));
+        let payload = vec![0xABu8; 31]; // odd length exercises tail padding
+        let owned = Ipv4Header { src: s, dst: d, proto: IpProto::Udp, ttl: 7, ident: 99, payload };
+        let mut appended = Vec::new();
+        Ipv4Header::encode_packet_into(s, d, IpProto::Udp, 7, 99, &owned.payload, &mut appended);
+        assert_eq!(appended, owned.encode());
+    }
+
+    #[test]
     fn full_stack_compose_and_parse() {
         // Ethernet(IPv4(TCP SYN-ACK)) — what the telescope would capture.
         let (victim, dark) = (ip("203.0.113.5"), ip("44.9.8.7"));
@@ -544,6 +656,37 @@ mod proptests {
             let (s, d) = (Ipv4Addr::from(src), Ipv4Addr::from(dst));
             let u = UdpDatagram::new(sp, dp, payload);
             prop_assert_eq!(UdpDatagram::decode(&u.encode(s, d), s, d).unwrap(), u);
+        }
+
+        /// Append-style encoders write exactly the bytes `encode` returns,
+        /// at any base offset, for arbitrary endpoints and payloads.
+        #[test]
+        fn encode_into_matches_encode(
+            src in any::<u32>(), dst in any::<u32>(),
+            sp in any::<u16>(), dp in any::<u16>(),
+            payload in prop::collection::vec(any::<u8>(), 0..64),
+            prefix_len in 0usize..9,
+        ) {
+            let (s, d) = (Ipv4Addr::from(src), Ipv4Addr::from(dst));
+            let prefix = vec![0x5Au8; prefix_len];
+
+            let udp = UdpDatagram::new(sp, dp, payload.clone());
+            let mut out = prefix.clone();
+            udp.encode_into(s, d, &mut out);
+            let expected = udp.encode(s, d);
+            prop_assert_eq!(&out[prefix_len..], expected.as_slice());
+
+            let ipkt = Ipv4Header::new(s, d, IpProto::Udp, payload.clone());
+            let mut out = prefix.clone();
+            ipkt.encode_into(&mut out);
+            let expected = ipkt.encode();
+            prop_assert_eq!(&out[prefix_len..], expected.as_slice());
+
+            let icmp = Icmpv4 { icmp_type: 3, code: 3, rest: payload };
+            let mut out = prefix;
+            icmp.encode_into(&mut out);
+            let expected = icmp.encode();
+            prop_assert_eq!(&out[prefix_len..], expected.as_slice());
         }
 
         #[test]

@@ -9,9 +9,7 @@
 use crate::backscatter::BackscatterObs;
 use crate::darknet::Darknet;
 use attack::Protocol;
-use pcap::{
-    EthernetFrame, Icmpv4, IpProto, Ipv4Header, PcapPacket, PcapWriter, TcpSegment, UdpDatagram,
-};
+use pcap::{EthernetFrame, Icmpv4, IpProto, Ipv4Header, PcapWriter, TcpSegment, UdpDatagram};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::io::Write;
@@ -29,6 +27,14 @@ pub fn export_pcap<W: Write>(
     out: W,
 ) -> std::io::Result<u64> {
     let mut w = PcapWriter::new(out)?;
+    // Scratch buffers reused across every packet: `l3` holds the transport
+    // bytes, `inner` the quoted probe packet, `frame` the finished Ethernet
+    // frame. The RNG draw order matches the old per-packet-allocation path
+    // exactly, so exports stay byte-identical (locked by a test below).
+    let mut l3 = Vec::new();
+    let mut inner = Vec::new();
+    let mut frame = Vec::new();
+    let eth = EthernetFrame::ipv4(Vec::new());
     for o in obs {
         let n = o.packets.min(MAX_PACKETS_PER_OBS);
         for k in 0..n {
@@ -37,7 +43,10 @@ pub fn export_pcap<W: Write>(
             let ts_sec = o.window.start().secs() as u32 + (offset_us / 1_000_000) as u32;
             let ts_usec = (offset_us % 1_000_000) as u32;
             let dark_dst = darknet.random_addr(rng);
-            let payload = match o.protocol {
+            l3.clear();
+            frame.clear();
+            eth.encode_header_into(&mut frame);
+            match o.protocol {
                 Protocol::Tcp => {
                     // Victim's SYN-ACK: source port = attacked service port.
                     let t = TcpSegment::syn_ack(
@@ -46,8 +55,16 @@ pub fn export_pcap<W: Write>(
                         rng.random(),
                         rng.random(),
                     );
-                    let body = t.encode(o.victim, dark_dst);
-                    Ipv4Header::new(o.victim, dark_dst, IpProto::Tcp, body).encode()
+                    t.encode_into(o.victim, dark_dst, &mut l3);
+                    Ipv4Header::encode_packet_into(
+                        o.victim,
+                        dark_dst,
+                        IpProto::Tcp,
+                        64,
+                        0,
+                        &l3,
+                        &mut frame,
+                    );
                 }
                 Protocol::Udp => {
                     // ICMP port-unreachable quoting the spoofed probe.
@@ -55,19 +72,46 @@ pub fn export_pcap<W: Write>(
                         rng.random_range(1024..u16::MAX),
                         o.first_port,
                         vec![0; 8],
-                    )
-                    .encode(dark_dst, o.victim);
-                    let inner = Ipv4Header::new(dark_dst, o.victim, IpProto::Udp, quoted).encode();
+                    );
+                    quoted.encode_into(dark_dst, o.victim, &mut l3);
+                    inner.clear();
+                    Ipv4Header::encode_packet_into(
+                        dark_dst,
+                        o.victim,
+                        IpProto::Udp,
+                        64,
+                        0,
+                        &l3,
+                        &mut inner,
+                    );
                     let icmp = Icmpv4::port_unreachable(&inner);
-                    Ipv4Header::new(o.victim, dark_dst, IpProto::Icmp, icmp.encode()).encode()
+                    l3.clear();
+                    icmp.encode_into(&mut l3);
+                    Ipv4Header::encode_packet_into(
+                        o.victim,
+                        dark_dst,
+                        IpProto::Icmp,
+                        64,
+                        0,
+                        &l3,
+                        &mut frame,
+                    );
                 }
                 Protocol::Icmp => {
                     let icmp = Icmpv4::echo_reply(rng.random(), k as u16);
-                    Ipv4Header::new(o.victim, dark_dst, IpProto::Icmp, icmp.encode()).encode()
+                    icmp.encode_into(&mut l3);
+                    Ipv4Header::encode_packet_into(
+                        o.victim,
+                        dark_dst,
+                        IpProto::Icmp,
+                        64,
+                        0,
+                        &l3,
+                        &mut frame,
+                    );
                 }
             };
-            let frame = EthernetFrame::ipv4(payload);
-            w.write_packet(&PcapPacket::new(ts_sec, ts_usec, frame.encode()))?;
+            w.write_frame(ts_sec, ts_usec, &frame)?;
         }
     }
     let n = w.packet_count();
@@ -142,6 +186,74 @@ mod tests {
         let mut buf = Vec::new();
         let n = export_pcap(&d, &[obs(Protocol::Icmp, 1_000_000)], &mut rng, &mut buf).unwrap();
         assert_eq!(n, MAX_PACKETS_PER_OBS);
+    }
+
+    /// The naive per-packet-allocation composition the scratch-buffer
+    /// rewrite replaced. Kept verbatim as the reference for the
+    /// byte-identity differential below.
+    fn export_pcap_naive<W: Write>(
+        darknet: &Darknet,
+        obs: &[BackscatterObs],
+        rng: &mut SmallRng,
+        out: W,
+    ) -> std::io::Result<u64> {
+        use pcap::PcapPacket;
+        let mut w = PcapWriter::new(out)?;
+        for o in obs {
+            let n = o.packets.min(MAX_PACKETS_PER_OBS);
+            for k in 0..n {
+                let offset_us = (k as f64 / n.max(1) as f64 * 300e6) as u64;
+                let ts_sec = o.window.start().secs() as u32 + (offset_us / 1_000_000) as u32;
+                let ts_usec = (offset_us % 1_000_000) as u32;
+                let dark_dst = darknet.random_addr(rng);
+                let payload = match o.protocol {
+                    Protocol::Tcp => {
+                        let t = TcpSegment::syn_ack(
+                            o.first_port,
+                            rng.random_range(1024..u16::MAX),
+                            rng.random(),
+                            rng.random(),
+                        );
+                        let body = t.encode(o.victim, dark_dst);
+                        Ipv4Header::new(o.victim, dark_dst, IpProto::Tcp, body).encode()
+                    }
+                    Protocol::Udp => {
+                        let quoted = UdpDatagram::new(
+                            rng.random_range(1024..u16::MAX),
+                            o.first_port,
+                            vec![0; 8],
+                        )
+                        .encode(dark_dst, o.victim);
+                        let inner =
+                            Ipv4Header::new(dark_dst, o.victim, IpProto::Udp, quoted).encode();
+                        let icmp = Icmpv4::port_unreachable(&inner);
+                        Ipv4Header::new(o.victim, dark_dst, IpProto::Icmp, icmp.encode()).encode()
+                    }
+                    Protocol::Icmp => {
+                        let icmp = Icmpv4::echo_reply(rng.random(), k as u16);
+                        Ipv4Header::new(o.victim, dark_dst, IpProto::Icmp, icmp.encode()).encode()
+                    }
+                };
+                let frame = EthernetFrame::ipv4(payload);
+                w.write_packet(&PcapPacket::new(ts_sec, ts_usec, frame.encode()))?;
+            }
+        }
+        let n = w.packet_count();
+        w.finish()?;
+        Ok(n)
+    }
+
+    #[test]
+    fn scratch_buffer_export_is_byte_identical_to_naive() {
+        let d = Darknet::ucsd_like();
+        let mixed = [obs(Protocol::Tcp, 10), obs(Protocol::Udp, 7), obs(Protocol::Icmp, 5)];
+        let mut fast = Vec::new();
+        let mut naive = Vec::new();
+        let n1 = export_pcap(&d, &mixed, &mut SmallRng::seed_from_u64(99), &mut fast).unwrap();
+        let n2 =
+            export_pcap_naive(&d, &mixed, &mut SmallRng::seed_from_u64(99), &mut naive).unwrap();
+        assert_eq!(n1, n2);
+        assert_eq!(fast, naive, "scratch-buffer export changed the capture bytes");
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! - [`rsdos`]: the threshold classifier and episode (attack) extraction.
 //! - [`feed`]: the feed record schema, summary statistics (Table 1), and
 //!   CSV export.
+//! - [`block`]: arena-backed record/episode blocks — many rows packed in
+//!   one refcounted buffer, so topic fan-out and daemon ingest clone a
+//!   refcount instead of boxing each record.
 //! - [`columns`]: the feed's episodes as a columnar (struct-of-arrays)
 //!   table with interned victims — the scale-sweep hot path's input form.
 //! - [`export`]: pcap export of sampled backscatter packets.
@@ -24,6 +27,7 @@
 
 pub mod amppot;
 pub mod backscatter;
+pub mod block;
 pub mod columns;
 pub mod darknet;
 pub mod export;
@@ -33,6 +37,7 @@ pub mod rsdos;
 
 pub use amppot::{AmpPotEvent, AmpPotSensor, SensorCoverage};
 pub use backscatter::{BackscatterObs, BackscatterSampler};
+pub use block::{EpisodeBlock, EpisodeBlockBuilder, RecordBlock, RecordBlockBuilder};
 pub use columns::EpisodeColumns;
 pub use darknet::Darknet;
 pub use feed::{EpisodeIndex, FeedSummary, RsdosFeed, RsdosRecord};

@@ -9,6 +9,7 @@
 //! count.
 
 use crate::backscatter::BackscatterObs;
+use crate::block::{RecordBlock, RecordBlockBuilder};
 use crate::feed::RsdosRecord;
 use attack::Protocol;
 use simcore::time::{SimDuration, Window};
@@ -88,10 +89,38 @@ impl RsdosClassifier {
             .collect()
     }
 
+    /// Classify observations straight into an arena-backed block: the
+    /// same filter as [`classify`](RsdosClassifier::classify), but
+    /// qualifying records are packed into one shared buffer instead of a
+    /// `Vec` of row structs. Block-fed and row-fed paths are held
+    /// identical by the differential tests below.
+    pub fn classify_into_block(&self, obs: &[BackscatterObs]) -> RecordBlock {
+        let mut b = RecordBlockBuilder::new();
+        for o in obs {
+            if o.packets >= self.thresholds.min_packets
+                && o.slash16s >= self.thresholds.min_slash16s
+            {
+                b.push(&RsdosRecord::from_obs(o));
+            }
+        }
+        b.finish()
+    }
+
     /// Group qualifying records into per-victim episodes.
     pub fn episodes(&self, records: &[RsdosRecord]) -> Vec<AttackEpisode> {
-        let mut per_victim: HashMap<Ipv4Addr, Vec<&RsdosRecord>> = HashMap::new();
-        for r in records {
+        self.episodes_from_rows(records.iter().cloned())
+    }
+
+    /// Episode extraction over an arena-backed block — rows decode on the
+    /// fly out of the shared buffer; output is identical to
+    /// [`episodes`](RsdosClassifier::episodes) over the same rows.
+    pub fn episodes_from_block(&self, block: &RecordBlock) -> Vec<AttackEpisode> {
+        self.episodes_from_rows(block.iter())
+    }
+
+    fn episodes_from_rows<I: Iterator<Item = RsdosRecord>>(&self, rows: I) -> Vec<AttackEpisode> {
+        let mut per_victim: HashMap<Ipv4Addr, Vec<RsdosRecord>> = HashMap::new();
+        for r in rows {
             per_victim.entry(r.victim).or_default().push(r);
         }
         let mut out = Vec::new();
@@ -228,5 +257,62 @@ mod tests {
         let recs = c.classify(&[obs("1.1.1.1", 7, 100, 5)]);
         let eps = c.episodes(&recs);
         assert_eq!(eps[0].duration(), SimDuration::from_mins(5));
+    }
+
+    #[test]
+    fn block_path_matches_row_path() {
+        let c = RsdosClassifier::default();
+        let observations = vec![
+            obs("1.1.1.1", 0, 24, 10), // filtered
+            obs("9.9.9.9", 10, 100, 5),
+            obs("9.9.9.9", 11, 200, 8),
+            obs("9.9.9.9", 14, 150, 6), // gap splits
+            obs("2.2.2.2", 10, 500, 9),
+        ];
+        let records = c.classify(&observations);
+        let block = c.classify_into_block(&observations);
+        assert_eq!(block.iter().collect::<Vec<_>>(), records, "classification differs");
+        assert_eq!(c.episodes_from_block(&block), c.episodes(&records), "episodes differ");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_obs() -> impl Strategy<Value = BackscatterObs> {
+        // Small victim/window pools force collisions: multi-window
+        // episodes, gap bridging, and same-window multi-victim cases.
+        (0u32..6, 0u64..12, 0u64..80, 0u32..6, 0u8..3, any::<u16>(), 1u16..5).prop_map(
+            |(v, w, packets, slash16s, proto, first_port, unique_ports)| BackscatterObs {
+                victim: Ipv4Addr::from(0x0A00_0000 | v),
+                window: Window(w),
+                packets,
+                slash16s,
+                protocol: [Protocol::Tcp, Protocol::Udp, Protocol::Icmp][proto as usize],
+                first_port,
+                unique_ports,
+                max_ppm: packets as f64 / 5.0,
+            },
+        )
+    }
+
+    proptest! {
+        /// classify→block→episodes ≡ classify→rows→episodes on arbitrary
+        /// observation mixes: the arena path may never change the feed.
+        #[test]
+        fn block_and_row_paths_agree(observations in prop::collection::vec(arb_obs(), 0..60)) {
+            let c = RsdosClassifier::new(RsdosThresholds {
+                min_packets: 10,
+                min_slash16s: 2,
+                max_gap_windows: 1,
+            });
+            let records = c.classify(&observations);
+            let block = c.classify_into_block(&observations);
+            prop_assert_eq!(block.len(), records.len());
+            prop_assert_eq!(block.iter().collect::<Vec<_>>(), records.clone());
+            prop_assert_eq!(c.episodes_from_block(&block), c.episodes(&records));
+        }
     }
 }

@@ -1,7 +1,126 @@
-//! Offline shim for `bytes::{BytesMut, BufMut}`: a growable byte buffer
-//! over `Vec<u8>` with the big-endian put methods the wire encoders use.
+//! Offline shim for `bytes::{Bytes, BytesMut, BufMut}`: a growable byte
+//! buffer over `Vec<u8>` with the big-endian put methods the wire encoders
+//! use, plus a refcounted immutable [`Bytes`] view so frozen buffers (feed
+//! arenas, wire captures) can be shared across threads and topic
+//! subscribers without copying the payload.
 
-use std::ops::{Deref, DerefMut};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+/// An immutable, cheaply-cloneable byte buffer: a `(start, end)` window
+/// into a refcounted storage `Vec`. `clone()` and [`slice`](Bytes::slice)
+/// bump the refcount and never copy bytes, which is what lets one frozen
+/// arena back every subscriber of a `streamproc` topic at once.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation is shared, but none is needed).
+    pub fn new() -> Bytes {
+        Bytes { data: Arc::new(Vec::new()), start: 0, end: 0 }
+    }
+
+    /// Copy `slice` into a fresh refcounted buffer.
+    pub fn copy_from_slice(slice: &[u8]) -> Bytes {
+        Bytes::from(slice.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// A sub-window of this buffer sharing the same storage. Panics if the
+    /// range is out of bounds or decreasing, like slice indexing.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(start <= end && end <= self.len(), "slice {start}..{end} out of bounds");
+        Bytes { data: Arc::clone(&self.data), start: self.start + start, end: self.start + end }
+    }
+
+    /// Whether two buffers share the same underlying storage allocation
+    /// (regardless of their windows). The zero-copy assertions in block
+    /// tests use this to prove clones alias rather than copy.
+    pub fn same_storage(a: &Bytes, b: &Bytes) -> bool {
+        Arc::ptr_eq(&a.data, &b.data)
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        let end = data.len();
+        Bytes { data: Arc::new(data), start: 0, end }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(slice: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(slice)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            write!(f, "{}", std::ascii::escape_default(b))?;
+        }
+        write!(f, "\"")
+    }
+}
 
 /// A growable, contiguous byte buffer.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -44,6 +163,12 @@ impl BytesMut {
 
     pub fn to_vec(&self) -> Vec<u8> {
         self.data.clone()
+    }
+
+    /// Convert the accumulated bytes into an immutable, refcounted
+    /// [`Bytes`]. Consumes the builder; no bytes are copied.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
     }
 }
 
@@ -124,6 +249,39 @@ mod tests {
         b.put_slice(&[0xAA, 0xBB]);
         assert_eq!(&b[..], &[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0xAA, 0xBB]);
         assert_eq!(b.len(), 9);
+    }
+
+    #[test]
+    fn freeze_then_clone_and_slice_share_storage() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"hello world");
+        let frozen = b.freeze();
+        let clone = frozen.clone();
+        let world = frozen.slice(6..);
+        assert!(Bytes::same_storage(&frozen, &clone));
+        assert!(Bytes::same_storage(&frozen, &world));
+        assert_eq!(&clone[..], b"hello world");
+        assert_eq!(&world[..], b"world");
+        assert_eq!(world.len(), 5);
+        assert_eq!(world.slice(1..3), Bytes::copy_from_slice(b"or"));
+        assert!(!Bytes::same_storage(&frozen, &Bytes::copy_from_slice(b"hello world")));
+    }
+
+    #[test]
+    fn bytes_slice_bounds_and_empty() {
+        let b = Bytes::from(b"abcd".as_slice());
+        assert_eq!(b.slice(..), b);
+        assert_eq!(&b.slice(2..2)[..], b"");
+        assert!(b.slice(4..4).is_empty());
+        assert!(Bytes::new().is_empty());
+        assert_eq!(format!("{:?}", Bytes::from(b"a\x00".as_slice())), "b\"a\\x00\"");
+    }
+
+    #[test]
+    #[should_panic]
+    fn bytes_slice_out_of_bounds_panics() {
+        let b = Bytes::from(b"abcd".as_slice());
+        let _ = b.slice(2..5);
     }
 
     #[test]
