@@ -1,34 +1,51 @@
 #!/bin/sh
-# Offline CI gate. In order:
+# Offline CI gates. Default run order:
 #
-#   1. lint        cargo fmt --check + cargo clippy -D warnings
-#   2. build       cargo build --release
-#   3. tests       cargo test --workspace
-#   4. determinism repro at --jobs 1 vs --jobs 2: byte-identical CSVs+stdout
-#   5. chaos       fault injection, kill -9 mid-run, resume, diff vs clean
-#   6. metrics     repro bench: schema-validated run report, counter
-#                  invariants (fault accounting balances, reactive latency
-#                  and probe budgets hold), regression diff against the
-#                  committed BENCH baseline
-#   7. wirebench   criterion smoke over the zero-copy parse and arena
-#                  feed-block benches: every expected benchmark must run
-#                  to completion and report a number
-#   8. trace       pinned scenario with --trace-json: schema + causality
-#                  validation of the exported event trace, and `repro
-#                  explain` byte-identical across worker counts
-#   9. sweep       repro bench --scale-sweep smoke (1.5k + 15k cells):
-#                  cross-jobs artifact fingerprints enforced in-run, the
-#                  emitted dnsimpact-sweep/v1 report schema-validated
-#                  (heavy 150k/1.5M cells stay local: DNSIMPACT_SCALE_HEAVY)
-#  10. daemon      dnsimpactd on the pinned feed: query a known-impacted
-#                  domain mid-ingest, kill -9, restart from the checkpoint,
-#                  and diff the recovered index fingerprint against a clean
-#                  single-pass replay; the committed DAEMON perf snapshot
-#                  (if any) is schema-validated
+#   lint         cargo fmt --check + cargo clippy -D warnings + sh -n ci.sh
+#   build        cargo build --release (workspace)
+#   tests        cargo test --workspace, plus the borrowed-vs-owned wire
+#                differential suite by name so a skipped or filtered-out
+#                differential run can never pass quietly
+#   determinism  repro at --jobs 1 vs --jobs 2: byte-identical CSVs+stdout
+#   chaos        fault injection, kill -9 mid-run, resume, diff vs clean
+#   metrics      repro bench: schema-validated run report, counter
+#                invariants, regression diff against the committed BENCH
+#                baseline
+#   wirebench    criterion smoke over the zero-copy parse and arena
+#                feed-block benches: every expected benchmark must run to
+#                completion and report a number
+#   trace        pinned scenario with --trace-json: schema + causality
+#                validation, and `repro explain` byte-identical across
+#                worker counts
+#   sweep        repro bench --scale-sweep smoke (1.5k + 15k cells):
+#                cross-jobs artifact fingerprints enforced in-run, the
+#                emitted dnsimpact-sweep/v1 report schema-validated
+#                (heavy 150k/1.5M cells stay local: DNSIMPACT_SCALE_HEAVY)
+#   suite        repro bench --suite all: the process-based Suite A/B
+#                orchestrator — release binaries spawned as OS processes,
+#                Suite A cross-process fingerprints exact, Suite B
+#                histograms merged across chaos seeds — every verdict
+#                must pass and the dnsimpact-suite/v1 report must
+#                schema-validate
+#   daemon       dnsimpactd on the pinned feed: query a known-impacted
+#                domain mid-ingest (only after /statz proves ingest
+#                progress), kill -9, restart from the checkpoint, diff the
+#                recovered index fingerprint against a clean replay
+#   results      hygiene: every committed results/*.json must
+#                schema-validate, and every file under results/ must be
+#                covered by results/INDEX.md
 #
-# `./ci.sh --quick` runs only steps 2-3 (the tier-1 loop), which includes
-# the borrowed-vs-owned wire differential suite by name so a skipped or
-# filtered-out differential run can never pass quietly.
+# Usage:
+#   ./ci.sh                 run every gate in order
+#   ./ci.sh --quick         run only build + tests (the tier-1 loop)
+#   ./ci.sh --gate NAME     run one named gate (repeatable); gates that
+#                           exercise the release binaries expect a prior
+#                           build (`./ci.sh --gate build`)
+#   ./ci.sh --list          print the gate names and what each one proves
+#
+# Every run ends with a per-gate wall-clock table (printed even when a
+# gate fails, with the failing gate marked) so slow gates are visible in
+# CI logs.
 #
 # Everything here works without network access: all external dependencies
 # are local shim crates (see shims/README.md).
@@ -36,12 +53,136 @@ set -eu
 
 cd "$(dirname "$0")"
 
-QUICK=0
-[ "${1:-}" = "--quick" ] && QUICK=1
+ALL_GATES="lint build tests determinism chaos metrics wirebench trace sweep suite daemon results"
 
 REPRO=target/release/repro
+DAEMON=target/release/dnsimpactd
+
+list_gates() {
+    cat << 'EOF'
+lint         cargo fmt --check, cargo clippy -D warnings, sh -n ci.sh
+build        cargo build --release (workspace)
+tests        cargo test --workspace + the dnswire differential suite by name
+determinism  repro --jobs 1 vs --jobs 2: byte-identical CSVs + stdout
+chaos        kill -9 mid-run + resume must equal a clean, fault-free run
+metrics      repro bench: report schema + counter invariants + BENCH baseline diff
+wirebench    criterion smoke: every parse/feed-block bench runs and reports
+trace        trace export schema + causality; repro explain deterministic
+sweep        bench --scale-sweep smoke: cross-jobs fingerprints + sweep schema
+suite        bench --suite all: process-suite verdicts all PASS + suite schema
+daemon       dnsimpactd kill -9 crash recovery fingerprint-identical to clean replay
+results      every committed results/*.json validates; INDEX.md covers results/
+EOF
+}
+
+usage() {
+    echo "usage: ./ci.sh [--quick | --gate NAME ... | --list]"
+    echo "known gates: $ALL_GATES"
+}
+
+SELECTED=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --quick) SELECTED="build tests" ;;
+        --gate)
+            shift
+            [ $# -gt 0 ] || {
+                echo "ci.sh: --gate needs a name (one of: $ALL_GATES)" >&2
+                exit 2
+            }
+            case " $ALL_GATES " in
+                *" $1 "*) SELECTED="$SELECTED $1" ;;
+                *)
+                    echo "ci.sh: unknown gate '$1' (known: $ALL_GATES)" >&2
+                    exit 2
+                    ;;
+            esac
+            ;;
+        --list)
+            list_gates
+            exit 0
+            ;;
+        -h | --help)
+            usage
+            exit 0
+            ;;
+        *)
+            echo "ci.sh: unknown argument '$1'" >&2
+            usage >&2
+            exit 2
+            ;;
+    esac
+    shift
+done
+[ -n "$SELECTED" ] || SELECTED="$ALL_GATES"
+
+# --- preflight: name everything missing up front, so a mid-pipeline ----
+# --- failure can't masquerade as a perf regression ---------------------
+MISSING=""
+for T in cargo date diff grep mktemp seq basename ls cat sh; do
+    command -v "$T" > /dev/null 2>&1 || MISSING="$MISSING $T"
+done
+[ -z "$MISSING" ] || {
+    echo "ci.sh preflight: missing required tool(s):$MISSING" >&2
+    exit 2
+}
+# Gates that exercise the release binaries need them to exist already
+# unless this run's own build gate will produce them.
+NEEDS_BINARIES=0
+BUILDS=0
+for G in $SELECTED; do
+    case "$G" in
+        build) BUILDS=1 ;;
+        determinism | chaos | metrics | trace | sweep | suite | daemon | results)
+            NEEDS_BINARIES=1
+            ;;
+    esac
+done
+if [ "$NEEDS_BINARIES" -eq 1 ] && [ "$BUILDS" -eq 0 ]; then
+    for B in "$REPRO" "$DAEMON"; do
+        [ -x "$B" ] || MISSING="$MISSING $B"
+    done
+    [ -z "$MISSING" ] || {
+        echo "ci.sh preflight: missing release binar(ies):$MISSING" >&2
+        echo "ci.sh preflight: run ./ci.sh --gate build first" >&2
+        exit 2
+    }
+fi
+
 SMOKE=$(mktemp -d)
-trap 'rm -rf "$SMOKE"' EXIT
+DPID=""
+CURRENT_GATE=""
+GATE_T0=0
+
+# Printed from the EXIT trap so the table appears on failures too, with
+# the in-flight gate marked FAILED.
+finish() {
+    status=$?
+    [ -n "$DPID" ] && kill -9 "$DPID" 2> /dev/null
+    if [ -n "$CURRENT_GATE" ]; then
+        printf '  %-12s %5ss  FAILED\n' "$CURRENT_GATE" "$(($(date +%s) - GATE_T0))" \
+            >> "$SMOKE/gate-times"
+    fi
+    if [ -s "$SMOKE/gate-times" ]; then
+        echo ""
+        echo "==> per-gate wall clock:"
+        cat "$SMOKE/gate-times"
+    fi
+    rm -rf "$SMOKE"
+    return "$status"
+}
+trap finish EXIT
+
+# Run one gate function with timing. Gate bodies are called outside any
+# condition context so `set -e` still aborts on their first failing
+# command — never wrap the call in `||` or `if`.
+run_gate() {
+    CURRENT_GATE=$1
+    GATE_T0=$(date +%s)
+    "gate_$1"
+    printf '  %-12s %5ss\n' "$1" "$(($(date +%s) - GATE_T0))" >> "$SMOKE/gate-times"
+    CURRENT_GATE=""
+}
 
 # All repro invocations share the run identity; only jobs/output/chaos
 # flags vary per gate. Keeps the gates honest: one config, many angles.
@@ -53,145 +194,252 @@ repro_run() {
     "$REPRO" --seed 42 --scale "$scale" --jobs "$jobs" --out "$SMOKE/$out" "$@"
 }
 
-if [ "$QUICK" -eq 0 ]; then
+# A cheap but representative catalog subset: longitudinal renders, the
+# shared-run coalescing trio, and a self-contained scenario experiment.
+EXPERIMENTS="table1 table3 table5 fig5 fig8 fig11 ablate futurework"
+
+gate_lint() {
+    echo "==> lint gate: sh -n ci.sh"
+    sh -n ci.sh
     echo "==> lint gate: cargo fmt --check"
     cargo fmt --check
     echo "==> lint gate: cargo clippy -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings
-fi
-
-echo "==> cargo build --release"
-cargo build --release --workspace
-
-echo "==> cargo test -q (workspace)"
-cargo test --workspace -q
-
-echo "==> tier-1 differential: borrowed wire views vs owned decoders"
-# Run the borrowed==owned differential suite by name: it is the contract
-# that lets every hot path use the zero-copy views, so it must visibly
-# execute (not just ride along inside the workspace pass above).
-cargo test -q -p dnswire --test differential
-
-if [ "$QUICK" -eq 1 ]; then
-    echo "==> ci green (quick: build + tests only)"
-    exit 0
-fi
-
-echo "==> determinism smoke: repro --jobs 1 vs --jobs 2"
-# A cheap but representative subset: longitudinal renders, the shared-run
-# coalescing trio, and a self-contained scenario experiment.
-EXPERIMENTS="table1 table3 table5 fig5 fig8 fig11 ablate futurework"
-repro_run 1500 1 j1 $EXPERIMENTS > "$SMOKE/j1.stdout" 2> /dev/null
-repro_run 1500 2 j2 $EXPERIMENTS > "$SMOKE/j2.stdout" 2> /dev/null
-diff -r "$SMOKE/j1" "$SMOKE/j2"
-diff "$SMOKE/j1.stdout" "$SMOKE/j2.stdout"
-echo "==> determinism smoke passed (artifacts byte-identical across job counts)"
-
-echo "==> chaos gate: fault injection, kill -9 mid-run, resume, diff vs clean"
-# The same catalog subset plus the self-contained scenario experiments, so
-# the killed run has checkpointable jobs both before and after the kill.
-# Scale 100 makes the run long enough (~2-3 s) for the kill to land
-# mid-flight; the diff holds wherever it lands.
-CHAOS_EXPERIMENTS="$EXPERIMENTS table2 fig2 fig3 russia"
-repro_run 100 2 chaos-clean $CHAOS_EXPERIMENTS > /dev/null 2>&1
-# Chaos run with completion markers, killed hard mid-flight.
-repro_run 100 2 chaos-out --chaos-seed 9 --checkpoint-dir "$SMOKE/ckpt" \
-    $CHAOS_EXPERIMENTS > /dev/null 2>&1 &
-CHAOS_PID=$!
-sleep 1
-kill -9 "$CHAOS_PID" 2> /dev/null || true
-wait "$CHAOS_PID" 2> /dev/null || true
-# Resume with the same seed, chaos seed, and checkpoint dir: completed
-# jobs are skipped, the rest re-run; the output must match a run that was
-# never killed and never saw a fault.
-repro_run 100 2 chaos-out --chaos-seed 9 --checkpoint-dir "$SMOKE/ckpt" \
-    $CHAOS_EXPERIMENTS > /dev/null 2>&1
-diff -r "$SMOKE/chaos-clean" "$SMOKE/chaos-out"
-echo "==> chaos gate passed (killed-and-resumed run byte-identical to clean run)"
-
-echo "==> metrics gate: repro bench + schema/invariant validation"
-# The bench subcommand replays its pinned catalog subset (chaos on, so the
-# fault-accounting invariant is exercised) and emits the schema-v1 run
-# report; validate-metrics re-reads it and fails on any schema violation
-# or counter-invariant break.
-BENCH_JSON="$SMOKE/bench/BENCH.json"
-# --compare with no path diffs against the newest committed BENCH report
-# under results/: deterministic counters must match exactly, wall time and
-# peak RSS must stay within the regression envelope.
-"$REPRO" bench --compare --metrics-json "$BENCH_JSON" --out "$SMOKE/bench-out" \
-    > "$SMOKE/bench.stdout" 2> /dev/null
-# Bench suppresses artifact text: a non-empty stdout means metrics leaked.
-if [ -s "$SMOKE/bench.stdout" ]; then
-    echo "bench wrote to stdout:" >&2
-    cat "$SMOKE/bench.stdout" >&2
-    exit 1
-fi
-"$REPRO" validate-metrics "$BENCH_JSON"
-echo "==> metrics gate passed (report valid, invariants hold, no bench regression)"
-
-echo "==> wire gate: criterion smoke over parse + feed-block benches"
-# The zero-copy parse and arena-block benches must run to completion and
-# report every expected benchmark — a panicking or silently-dropped bench
-# fails here. The feedblock bench's own post-run assert re-proves block
-# rows == row-path records on the bench input.
-cargo bench -p dnsimpact-bench --bench wire --bench feedblock \
-    > "$SMOKE/wirebench.txt" 2>&1 || {
-    cat "$SMOKE/wirebench.txt" >&2
-    exit 1
 }
-for B in dnswire/decode_ns_response dnswire/parse_ref_ns_response \
-    dnswire/parse_ref_and_canonical_qname feedblock/classify_into_block \
-    feedblock/episodes_from_block feedblock/fanout_block_clone; do
-    grep -q "$B" "$SMOKE/wirebench.txt" || {
-        echo "benchmark $B missing from criterion smoke output" >&2
+
+gate_build() {
+    echo "==> cargo build --release"
+    cargo build --release --workspace
+}
+
+gate_tests() {
+    echo "==> cargo test -q (workspace)"
+    cargo test --workspace -q
+    echo "==> tier-1 differential: borrowed wire views vs owned decoders"
+    # Run the borrowed==owned differential suite by name: it is the
+    # contract that lets every hot path use the zero-copy views, so it
+    # must visibly execute (not just ride along in the workspace pass).
+    cargo test -q -p dnswire --test differential
+}
+
+gate_determinism() {
+    echo "==> determinism smoke: repro --jobs 1 vs --jobs 2"
+    repro_run 1500 1 j1 $EXPERIMENTS > "$SMOKE/j1.stdout" 2> /dev/null
+    repro_run 1500 2 j2 $EXPERIMENTS > "$SMOKE/j2.stdout" 2> /dev/null
+    diff -r "$SMOKE/j1" "$SMOKE/j2"
+    diff "$SMOKE/j1.stdout" "$SMOKE/j2.stdout"
+    echo "==> determinism smoke passed (artifacts byte-identical across job counts)"
+}
+
+gate_chaos() {
+    echo "==> chaos gate: fault injection, kill -9 mid-run, resume, diff vs clean"
+    # The same catalog subset plus the self-contained scenario experiments,
+    # so the killed run has checkpointable jobs both before and after the
+    # kill. Scale 100 makes the run long enough (~2-3 s) for the kill to
+    # land mid-flight; the diff holds wherever it lands.
+    CHAOS_EXPERIMENTS="$EXPERIMENTS table2 fig2 fig3 russia"
+    repro_run 100 2 chaos-clean $CHAOS_EXPERIMENTS > /dev/null 2>&1
+    # Chaos run with completion markers, killed hard mid-flight.
+    repro_run 100 2 chaos-out --chaos-seed 9 --checkpoint-dir "$SMOKE/ckpt" \
+        $CHAOS_EXPERIMENTS > /dev/null 2>&1 &
+    CHAOS_PID=$!
+    sleep 1
+    kill -9 "$CHAOS_PID" 2> /dev/null || true
+    wait "$CHAOS_PID" 2> /dev/null || true
+    # Resume with the same seed, chaos seed, and checkpoint dir: completed
+    # jobs are skipped, the rest re-run; the output must match a run that
+    # was never killed and never saw a fault.
+    repro_run 100 2 chaos-out --chaos-seed 9 --checkpoint-dir "$SMOKE/ckpt" \
+        $CHAOS_EXPERIMENTS > /dev/null 2>&1
+    diff -r "$SMOKE/chaos-clean" "$SMOKE/chaos-out"
+    echo "==> chaos gate passed (killed-and-resumed run byte-identical to clean run)"
+}
+
+gate_metrics() {
+    echo "==> metrics gate: repro bench + schema/invariant validation"
+    # The bench subcommand replays its pinned catalog subset (chaos on, so
+    # the fault-accounting invariant is exercised) and emits the schema-v2
+    # run report; validate-metrics re-reads it and fails on any schema
+    # violation or counter-invariant break.
+    BENCH_JSON="$SMOKE/bench/BENCH.json"
+    # --compare with no path diffs against the newest committed BENCH
+    # report under results/: deterministic counters must match exactly,
+    # wall time and peak RSS must stay within the regression envelope.
+    "$REPRO" bench --compare --metrics-json "$BENCH_JSON" --out "$SMOKE/bench-out" \
+        > "$SMOKE/bench.stdout" 2> /dev/null
+    # Bench suppresses artifact text: non-empty stdout means metrics leaked.
+    if [ -s "$SMOKE/bench.stdout" ]; then
+        echo "bench wrote to stdout:" >&2
+        cat "$SMOKE/bench.stdout" >&2
+        exit 1
+    fi
+    "$REPRO" validate-metrics "$BENCH_JSON"
+    echo "==> metrics gate passed (report valid, invariants hold, no bench regression)"
+}
+
+gate_wirebench() {
+    echo "==> wire gate: criterion smoke over parse + feed-block benches"
+    # The zero-copy parse and arena-block benches must run to completion
+    # and report every expected benchmark — a panicking or silently-
+    # dropped bench fails here. The feedblock bench's own post-run assert
+    # re-proves block rows == row-path records on the bench input.
+    cargo bench -p dnsimpact-bench --bench wire --bench feedblock \
+        > "$SMOKE/wirebench.txt" 2>&1 || {
         cat "$SMOKE/wirebench.txt" >&2
         exit 1
     }
-done
-echo "==> wire gate passed (all parse/feed-block benches ran and reported)"
+    for B in dnswire/decode_ns_response dnswire/parse_ref_ns_response \
+        dnswire/parse_ref_and_canonical_qname feedblock/classify_into_block \
+        feedblock/episodes_from_block feedblock/fanout_block_clone; do
+        grep -q "$B" "$SMOKE/wirebench.txt" || {
+            echo "benchmark $B missing from criterion smoke output" >&2
+            cat "$SMOKE/wirebench.txt" >&2
+            exit 1
+        }
+    done
+    echo "==> wire gate passed (all parse/feed-block benches ran and reported)"
+}
 
-echo "==> trace gate: causal event trace export + forensics"
-# The pinned scenario covers every emission layer: the longitudinal
-# pipeline (rsdos episodes), the reactive feeds (milru/rdz), and the
-# catalog's stage brackets. validate-trace re-reads the Chrome trace and
-# checks schema + causality (triggers within the 10-minute bound, probe
-# rounds within the 50-domain budget, faults paired inject/repair).
-TRACE_JSON="$SMOKE/trace.json"
-repro_run 1500 2 trace-out --trace-json "$TRACE_JSON" table1 russia \
-    > /dev/null 2> /dev/null
-"$REPRO" validate-trace "$TRACE_JSON"
-# Episode forensics are part of the determinism contract: the explain
-# timeline for the same episode must be byte-identical whatever --jobs.
-repro_run 1500 1 expl-j1 explain milru/0 > "$SMOKE/explain-j1.txt" 2> /dev/null
-repro_run 1500 4 expl-j4 explain milru/0 > "$SMOKE/explain-j4.txt" 2> /dev/null
-diff "$SMOKE/explain-j1.txt" "$SMOKE/explain-j4.txt"
-grep -q "AttackOnset" "$SMOKE/explain-j1.txt"
-echo "==> trace gate passed (trace causally sound, explain deterministic)"
+gate_trace() {
+    echo "==> trace gate: causal event trace export + forensics"
+    # The pinned scenario covers every emission layer: the longitudinal
+    # pipeline (rsdos episodes), the reactive feeds (milru/rdz), and the
+    # catalog's stage brackets. validate-trace re-reads the Chrome trace
+    # and checks schema + causality (triggers within the 10-minute bound,
+    # probe rounds within the 50-domain budget, faults paired
+    # inject/repair).
+    TRACE_JSON="$SMOKE/trace.json"
+    repro_run 1500 2 trace-out --trace-json "$TRACE_JSON" table1 russia \
+        > /dev/null 2> /dev/null
+    "$REPRO" validate-trace "$TRACE_JSON"
+    # Episode forensics are part of the determinism contract: the explain
+    # timeline for the same episode must be byte-identical whatever --jobs.
+    repro_run 1500 1 expl-j1 explain milru/0 > "$SMOKE/explain-j1.txt" 2> /dev/null
+    repro_run 1500 4 expl-j4 explain milru/0 > "$SMOKE/explain-j4.txt" 2> /dev/null
+    diff "$SMOKE/explain-j1.txt" "$SMOKE/explain-j4.txt"
+    grep -q "AttackOnset" "$SMOKE/explain-j1.txt"
+    echo "==> trace gate passed (trace causally sound, explain deterministic)"
+}
 
-echo "==> sweep gate: repro bench --scale-sweep smoke"
-# The sweep refuses to emit a report unless every jobs=N cell's artifact
-# fingerprint matches its scale's jobs=1 cell, and (on multi-core hosts)
-# the largest scale's jobs=N cell shows speedup > 1; on a single-CPU host
-# the speedup gate auto-skips but the 8-thread determinism cell still
-# runs. validate-metrics then re-reads the report through the sweep-v1
-# schema: sorted cells, finite rates, consistent record accounting.
-"$REPRO" bench --scale-sweep --seed 42 --out "$SMOKE/sweep" 2> /dev/null
-SWEEP_JSON=$(ls "$SMOKE"/sweep/SWEEP_*.json)
-"$REPRO" validate-metrics "$SWEEP_JSON"
-echo "==> sweep gate passed (cross-jobs fingerprints equal, report schema valid)"
+gate_sweep() {
+    echo "==> sweep gate: repro bench --scale-sweep smoke"
+    # The sweep refuses to emit a report unless every jobs=N cell's
+    # artifact fingerprint matches its scale's jobs=1 cell, and (on
+    # multi-core hosts) the largest scale's jobs=N cell shows speedup > 1;
+    # on a single-CPU host the speedup gate auto-skips but the 8-thread
+    # determinism cell still runs. validate-metrics then re-reads the
+    # report through the sweep-v1 schema: sorted cells, finite rates,
+    # consistent record accounting.
+    "$REPRO" bench --scale-sweep --seed 42 --out "$SMOKE/sweep" 2> /dev/null
+    SWEEP_JSON=$(ls "$SMOKE"/sweep/SWEEP_*.json)
+    "$REPRO" validate-metrics "$SWEEP_JSON"
+    echo "==> sweep gate passed (cross-jobs fingerprints equal, report schema valid)"
+}
 
-echo "==> daemon gate: dnsimpactd crash recovery + query surface"
-# The daemon's whole robustness claim in one experiment: the index a
-# kill -9'd, checkpoint-recovered, chaos-injected daemon ends up serving
-# must fingerprint identically to an in-process clean single-pass replay
-# of the same feed. `dnsimpactd get` is the HTTP client (curl is not
-# guaranteed in this container).
-DAEMON=target/release/dnsimpactd
-DFEED="--seed 7 --scale-target 15000 --months 2 --providers 20 --domains 6000"
-CLEAN_FP=$("$DAEMON" fingerprint $DFEED)
-DOM=$("$DAEMON" domains $DFEED --impacted -n 1)
-DCKPT="$SMOKE/daemon-ckpt"
-mkdir -p "$DCKPT"
+gate_suite() {
+    echo "==> suite gate: repro bench --suite all (process-based A/B suites)"
+    # The orchestrator spawns the release binaries as OS processes — the
+    # pinned catalog across a scale x jobs grid plus clean/chaos daemon
+    # ingests (Suite A, exact cross-process fingerprint agreement), and
+    # chaos seeds x scales with per-process histograms merged bucket-wise
+    # (Suite B). Exit is non-zero on any failed verdict; the verdict
+    # table on stderr names the offending cell. validate-metrics then
+    # re-reads the emitted report through the suite-v1 schema.
+    "$REPRO" bench --suite all --out "$SMOKE/suite" > "$SMOKE/suite.stdout"
+    # Suite mode reports on stderr only: stdout stays empty like bench.
+    if [ -s "$SMOKE/suite.stdout" ]; then
+        echo "bench --suite wrote to stdout:" >&2
+        cat "$SMOKE/suite.stdout" >&2
+        exit 1
+    fi
+    SUITE_JSON=$(ls "$SMOKE"/suite/SUITE_*.json)
+    "$REPRO" validate-metrics "$SUITE_JSON"
+    echo "==> suite gate passed (all verdicts PASS, report schema valid)"
+}
+
+gate_daemon() {
+    echo "==> daemon gate: dnsimpactd crash recovery + query surface"
+    # The daemon's whole robustness claim in one experiment: the index a
+    # kill -9'd, checkpoint-recovered, chaos-injected daemon ends up
+    # serving must fingerprint identically to an in-process clean
+    # single-pass replay of the same feed. `dnsimpactd get` is the HTTP
+    # client (curl is not guaranteed in this container).
+    DFEED="--seed 7 --scale-target 15000 --months 2 --providers 20 --domains 6000"
+    CLEAN_FP=$("$DAEMON" fingerprint $DFEED)
+    DOM=$("$DAEMON" domains $DFEED --impacted -n 1)
+    DCKPT="$SMOKE/daemon-ckpt"
+    mkdir -p "$DCKPT"
+
+    # First incarnation: paced ingest (so the kill lands mid-stream) under
+    # a chaos seed (so recovery is proven against transport faults too).
+    "$DAEMON" serve $DFEED --chaos-seed 3 --pace-ms 15 \
+        --port-file "$SMOKE/daemon.port" --checkpoint-dir "$DCKPT" \
+        2> "$SMOKE/daemon1.log" &
+    DPID=$!
+    for _ in $(seq 1 100); do
+        [ -s "$SMOKE/daemon.port" ] && break
+        sleep 0.1
+    done
+    DADDR=$(cat "$SMOKE/daemon.port")
+    daemon_wait "$DADDR/healthz"
+    # The kill must provably land mid-stream: poll /statz until at least
+    # one batch has been applied rather than trusting wall-clock timing —
+    # on a slow host a blind delay can kill a daemon that has ingested
+    # nothing yet, which would make "recovery" vacuous.
+    SEQ=0
+    for _ in $(seq 1 100); do
+        SEQ=$("$DAEMON" get --field applied_seq "$DADDR/statz" 2> /dev/null || echo 0)
+        [ "$SEQ" -gt 0 ] 2> /dev/null && break
+        sleep 0.1
+    done
+    [ "$SEQ" -gt 0 ] || {
+        echo "daemon made no ingest progress within 10s; cannot prove mid-stream kill" >&2
+        exit 1
+    }
+    # The query surface answers while ingest is still running.
+    "$DAEMON" get "$DADDR/query?domain=$DOM" > "$SMOKE/daemon-answer1.json"
+    grep -q '"staleness_s"' "$SMOKE/daemon-answer1.json"
+    INGEST_DONE=$("$DAEMON" get --field ingest_done "$DADDR/statz" || true)
+    kill -9 "$DPID"
+    wait "$DPID" 2> /dev/null || true
+    DPID=""
+    # The paced feed takes ~18s to ingest; the kill above landed after
+    # proven progress but before completion.
+    [ "$INGEST_DONE" = "false" ] || {
+        echo "daemon finished ingest before the kill; gate is vacuous" >&2
+        exit 1
+    }
+
+    # Second incarnation: same checkpoint dir, no pacing. It must recover,
+    # finish ingest, and serve the clean-replay fingerprint.
+    "$DAEMON" serve $DFEED --chaos-seed 3 \
+        --port-file "$SMOKE/daemon.port2" --checkpoint-dir "$DCKPT" \
+        2> "$SMOKE/daemon2.log" &
+    DPID=$!
+    for _ in $(seq 1 100); do
+        [ -s "$SMOKE/daemon.port2" ] && break
+        sleep 0.1
+    done
+    DADDR=$(cat "$SMOKE/daemon.port2")
+    daemon_wait "$DADDR/healthz"
+    for _ in $(seq 1 100); do
+        [ "$("$DAEMON" get --field ingest_done "$DADDR/statz" || true)" = "true" ] && break
+        sleep 0.1
+    done
+    grep -q "recovered: replayed" "$SMOKE/daemon2.log"
+    RECOVERED_FP=$("$DAEMON" get --field full_fp "$DADDR/statz")
+    [ "$RECOVERED_FP" = "$CLEAN_FP" ] || {
+        echo "recovered fingerprint $RECOVERED_FP != clean replay $CLEAN_FP" >&2
+        exit 1
+    }
+    "$DAEMON" get "$DADDR/query?domain=$DOM" > "$SMOKE/daemon-answer2.json"
+    grep -q '"attacks_seen"' "$SMOKE/daemon-answer2.json"
+    "$DAEMON" get "$DADDR/readyz" > /dev/null
+    kill -9 "$DPID"
+    wait "$DPID" 2> /dev/null || true
+    DPID=""
+    echo "==> daemon gate passed (kill -9 recovery fingerprint-identical, shed-accounted serving)"
+}
 
 # Poll an endpoint with `dnsimpactd get` until it answers 2xx (10s cap).
 daemon_wait() {
@@ -203,60 +451,38 @@ daemon_wait() {
     return 1
 }
 
-# First incarnation: paced ingest (so the kill lands mid-stream) under a
-# chaos seed (so recovery is proven against transport faults too).
-"$DAEMON" serve $DFEED --chaos-seed 3 --pace-ms 15 \
-    --port-file "$SMOKE/daemon.port" --checkpoint-dir "$DCKPT" \
-    2> "$SMOKE/daemon1.log" &
-DPID=$!
-for _ in $(seq 1 100); do
-    [ -s "$SMOKE/daemon.port" ] && break
-    sleep 0.1
-done
-DADDR=$(cat "$SMOKE/daemon.port")
-daemon_wait "$DADDR/healthz"
-# The query surface answers while ingest is still running.
-"$DAEMON" get "$DADDR/query?domain=$DOM" > "$SMOKE/daemon-answer1.json"
-grep -q '"staleness_s"' "$SMOKE/daemon-answer1.json"
-INGEST_DONE=$("$DAEMON" get --field ingest_done "$DADDR/statz" || true)
-kill -9 "$DPID"
-wait "$DPID" 2> /dev/null || true
-# The paced feed takes ~18s to ingest; the kill above landed mid-stream.
-[ "$INGEST_DONE" = "false" ] || {
-    echo "daemon finished ingest before the kill; gate is vacuous" >&2
-    exit 1
+gate_results() {
+    echo "==> results gate: committed report hygiene"
+    # Every committed machine-readable report must still parse under its
+    # schema — a hand-edited or torn results/*.json fails CI here, not in
+    # whatever later tooling happens to read it first.
+    for J in results/*.json; do
+        [ -e "$J" ] || continue
+        "$REPRO" validate-metrics "$J"
+    done
+    # And every file under results/ must be covered by the index: named
+    # outright, or matched by a documented series pattern.
+    for F in results/*; do
+        [ -f "$F" ] || continue
+        B=$(basename "$F")
+        case "$B" in
+            INDEX.md) continue ;;
+            BENCH_*.json) PAT='BENCH_<date>' ;;
+            SWEEP_*.json) PAT='SWEEP_<date>' ;;
+            DAEMON_*.json) PAT='DAEMON_<date>' ;;
+            SUITE_*.json) PAT='SUITE_<date>' ;;
+            *) PAT="$B" ;;
+        esac
+        grep -qF "$PAT" results/INDEX.md || {
+            echo "results hygiene: $B is not covered by results/INDEX.md (looked for \"$PAT\")" >&2
+            exit 1
+        }
+    done
+    echo "==> results gate passed (all reports valid, INDEX.md covers results/)"
 }
 
-# Second incarnation: same checkpoint dir, no pacing. It must recover,
-# finish ingest, and serve the clean-replay fingerprint.
-"$DAEMON" serve $DFEED --chaos-seed 3 \
-    --port-file "$SMOKE/daemon.port2" --checkpoint-dir "$DCKPT" \
-    2> "$SMOKE/daemon2.log" &
-DPID=$!
-for _ in $(seq 1 100); do
-    [ -s "$SMOKE/daemon.port2" ] && break
-    sleep 0.1
+for G in $SELECTED; do
+    run_gate "$G"
 done
-DADDR=$(cat "$SMOKE/daemon.port2")
-daemon_wait "$DADDR/healthz"
-for _ in $(seq 1 100); do
-    [ "$("$DAEMON" get --field ingest_done "$DADDR/statz" || true)" = "true" ] && break
-    sleep 0.1
-done
-grep -q "recovered: replayed" "$SMOKE/daemon2.log"
-RECOVERED_FP=$("$DAEMON" get --field full_fp "$DADDR/statz")
-[ "$RECOVERED_FP" = "$CLEAN_FP" ] || {
-    echo "recovered fingerprint $RECOVERED_FP != clean replay $CLEAN_FP" >&2
-    exit 1
-}
-"$DAEMON" get "$DADDR/query?domain=$DOM" | grep -q '"attacks_seen"'
-"$DAEMON" get "$DADDR/readyz" > /dev/null
-kill -9 "$DPID"
-wait "$DPID" 2> /dev/null || true
-# The committed perf snapshot (if any) must parse under its schema.
-for DJSON in results/DAEMON_*.json; do
-    [ -e "$DJSON" ] && "$REPRO" validate-metrics "$DJSON"
-done
-echo "==> daemon gate passed (kill -9 recovery fingerprint-identical, shed-accounted serving)"
 
-echo "==> ci green"
+echo "==> ci green ($SELECTED)"

@@ -153,9 +153,13 @@ struct Options {
     /// `bench --scale-sweep`: run the scale×jobs grid instead of the
     /// experiment catalog and emit a `dnsimpact-sweep/v1` report.
     scale_sweep: bool,
-    /// `bench --trajectory`: print the committed `BENCH_`/`SWEEP_` report
-    /// series as a wall/RSS/throughput time series instead of running.
+    /// `bench --trajectory`: print the committed `BENCH_`/`SWEEP_`/`SUITE_`
+    /// report series as a wall/RSS/throughput time series instead of
+    /// running.
     trajectory: bool,
+    /// `bench --suite A|B|all`: run the process-based Suite A/B
+    /// orchestrator and emit a `dnsimpact-suite/v1` report.
+    suite: Option<bench_support::SuiteSel>,
     /// Same-day bench run counter (1 for the first run of a date).
     run: u64,
     /// `bench --compare`: `Some(None)` = auto-pick the newest baseline,
@@ -200,6 +204,7 @@ fn parse_args() -> Options {
         bench: false,
         scale_sweep: false,
         trajectory: false,
+        suite: None,
         run: 1,
         compare: None,
         explain: None,
@@ -254,6 +259,12 @@ fn parse_args() -> Options {
             "bench" => opts.bench = true,
             "--scale-sweep" => opts.scale_sweep = true,
             "--trajectory" => opts.trajectory = true,
+            "--suite" => {
+                let v = operand(&mut args, "--suite", "A|B|all");
+                opts.suite = Some(bench_support::SuiteSel::parse(&v).unwrap_or_else(|| {
+                    die(&format!("--suite: unknown suite {v:?}; want A, B, or all"))
+                }));
+            }
             "explain" => opts.explain = Some(operand(&mut args, "explain", "EPISODE-ID")),
             "daemon-bench" => {
                 let rest: Vec<String> = args.collect();
@@ -284,13 +295,28 @@ fn parse_args() -> Options {
                 println!(
                     "                              (DNSIMPACT_SCALE_HEAVY=1|2 adds 150k/1.5M)"
                 );
-                println!("repro bench --trajectory      print the committed BENCH_/SWEEP_ report");
+                println!("repro bench --suite A|B|all   spawn the release binaries as processes:");
                 println!(
-                    "                              series under --out (default results/) as a"
+                    "                              Suite A pins the catalog across scale x jobs"
                 );
                 println!(
-                    "                              wall / peak-RSS / records-per-sec time series"
+                    "                              (exact cross-process fingerprints), Suite B"
                 );
+                println!(
+                    "                              merges per-process histograms across chaos"
+                );
+                println!(
+                    "                              seeds; write SUITE_<date>[_runN].json under"
+                );
+                println!("                              --out (default results/)");
+                println!("repro bench --trajectory      print the committed BENCH_/SWEEP_/SUITE_");
+                println!(
+                    "                              report series under --out (default results/)"
+                );
+                println!(
+                    "                              as a wall / peak-RSS / records-per-sec time"
+                );
+                println!("                              series");
                 println!("repro explain EPISODE-ID      print an episode's causal timeline");
                 println!("                              (e.g. rsdos/3, milru/0, transip/1)");
                 println!("repro daemon-bench            ingest the pinned daemon feed, serve it,");
@@ -318,14 +344,18 @@ fn parse_args() -> Options {
         if opts.chaos_seed.is_none() {
             opts.chaos_seed = Some(BENCH_CHAOS_SEED);
         }
-        if !out_set && !opts.scale_sweep && !opts.trajectory {
+        if !out_set && !opts.scale_sweep && !opts.trajectory && opts.suite.is_none() {
             // Bench CSVs are throwaway — keep them out of the committed
             // `results/` series. (Sweep mode instead writes its report
             // under `--out`, default `results/`; trajectory mode reads
             // the committed series from there.)
             opts.out = PathBuf::from("target/bench-out");
         }
-        if opts.metrics_json.is_none() && !opts.scale_sweep && !opts.trajectory {
+        if opts.metrics_json.is_none()
+            && !opts.scale_sweep
+            && !opts.trajectory
+            && opts.suite.is_none()
+        {
             // Same-day runs never clobber: the first run of a date owns
             // BENCH_<date>.json, later runs get a _runN suffix, and the
             // report's meta.run records which slot this was.
@@ -383,8 +413,11 @@ fn slot_path(dir: &Path, prefix: &str, date: &str, run: u64) -> PathBuf {
 /// The `validate-metrics` subcommand: schema-validate a previously
 /// written report, dispatching on its `schema` field — run reports
 /// (`dnsimpact-metrics/v2`) also get the counter-invariant checks, sweep
-/// reports (`dnsimpact-sweep/v1`) the cell-grid checks, daemon reports
-/// (`dnsimpactd-report/v1`) the shed-accounting check. A document whose
+/// reports (`dnsimpact-sweep/v1`) the cell-grid checks, suite reports
+/// (`dnsimpact-suite/v1`) the process-accounting and merged-histogram
+/// checks, daemon reports (`dnsimpactd-report/v1`) the shed-accounting
+/// check, and legacy pre-trace run reports (`dnsimpact-metrics/v1`) the
+/// v1 rules so committed history stays checkable. A document whose
 /// schema is missing or matches none of those is rejected (exit 2) with
 /// the unknown id and the known schema list — a typo'd or future schema
 /// must never silently fall through to the wrong validator. Returns the
@@ -427,6 +460,30 @@ fn validate_metrics(path: &Path) -> i32 {
             }
             Err(errors) => {
                 report_violations("sweep", &errors);
+                1
+            }
+        },
+        Some(obs::SUITE_SCHEMA_ID) => match obs::suite::validate(&doc) {
+            Ok(()) => {
+                let n = |key: &str| {
+                    doc.get(key).and_then(|c| c.as_array().map(|a| a.len())).unwrap_or(0)
+                };
+                obs::progress(
+                    "repro",
+                    &format!(
+                        "{} is a valid {} report ({} suite A cell(s), {} suite B scale(s), \
+                         {} verdict(s))",
+                        path.display(),
+                        obs::SUITE_SCHEMA_ID,
+                        n("suite_a"),
+                        n("suite_b"),
+                        n("verdicts"),
+                    ),
+                );
+                0
+            }
+            Err(errors) => {
+                report_violations("suite", &errors);
                 1
             }
         },
@@ -477,15 +534,43 @@ fn validate_metrics(path: &Path) -> i32 {
                 1
             }
         }
+        Some(obs::report::LEGACY_SCHEMA_ID) => {
+            // Committed baselines that predate the v2 bump: validate under
+            // the rules of their day (no meta.run / p95 / trace), with the
+            // same counter invariants — the trajectory command still reads
+            // them, so the hygiene gate must too.
+            let mut errors = Vec::new();
+            if let Err(e) = obs::report::validate_legacy_v1(&doc) {
+                errors.extend(e);
+            }
+            if let Err(e) = obs::report::check_invariants(&doc) {
+                errors.extend(e);
+            }
+            if errors.is_empty() {
+                obs::progress(
+                    "repro",
+                    &format!(
+                        "{} is a valid legacy {} report; invariants hold",
+                        path.display(),
+                        obs::report::LEGACY_SCHEMA_ID,
+                    ),
+                );
+                0
+            } else {
+                report_violations("legacy metrics", &errors);
+                1
+            }
+        }
         other => {
             obs::progress(
                 "repro",
                 &format!(
-                    "{}: unknown schema {}; known schemas: {}, {}, {}",
+                    "{}: unknown schema {}; known schemas: {}, {}, {}, {}",
                     path.display(),
                     other.map_or("<missing>".to_string(), |s| format!("{s:?}")),
                     obs::SCHEMA_ID,
                     obs::SWEEP_SCHEMA_ID,
+                    obs::SUITE_SCHEMA_ID,
                     obs::DAEMON_SCHEMA_ID,
                 ),
             );
@@ -789,6 +874,9 @@ fn main() {
     if opts.scale_sweep {
         std::process::exit(run_scale_sweep_cmd(&opts));
     }
+    if opts.suite.is_some() {
+        std::process::exit(run_suite_cmd(&opts));
+    }
     let known: Vec<String> = opts
         .experiments
         .iter()
@@ -1053,11 +1141,11 @@ fn pct_change(cur: f64, prev: f64) -> String {
 }
 
 /// `bench --trajectory`: the committed report series as a time series.
-/// Reads every `BENCH_*.json` and `SWEEP_*.json` under `--out` (default
-/// `results/`), orders them by `(date, same-day run)` parsed from the
-/// slot filename, and prints wall-clock, peak RSS, and records-per-second
-/// across runs — how the harness's performance moved over the repo's
-/// history. Returns the process exit code.
+/// Reads every `BENCH_*.json`, `SWEEP_*.json`, and `SUITE_*.json` under
+/// `--out` (default `results/`), orders them by `(date, same-day run)`
+/// parsed from the slot filename, and prints wall-clock, peak RSS, and
+/// records-per-second across runs — how the harness's performance moved
+/// over the repo's history. Returns the process exit code.
 fn run_trajectory_cmd(opts: &Options) -> i32 {
     if !opts.bench {
         obs::progress("repro", "--trajectory is a bench mode: run `repro bench --trajectory`");
@@ -1066,10 +1154,14 @@ fn run_trajectory_cmd(opts: &Options) -> i32 {
     let dir = &opts.out;
     let benches = collect_report_series(dir, "BENCH");
     let sweeps = collect_report_series(dir, "SWEEP");
-    if benches.is_empty() && sweeps.is_empty() {
+    let suites = collect_report_series(dir, "SUITE");
+    if benches.is_empty() && sweeps.is_empty() && suites.is_empty() {
         obs::progress(
             "repro",
-            &format!("no BENCH_*.json or SWEEP_*.json reports under {}", dir.display()),
+            &format!(
+                "no BENCH_*.json, SWEEP_*.json, or SUITE_*.json reports under {}",
+                dir.display()
+            ),
         );
         return 2;
     }
@@ -1153,6 +1245,45 @@ fn run_trajectory_cmd(opts: &Options) -> i32 {
             }
         }
     }
+    if !suites.is_empty() {
+        if !benches.is_empty() || !sweeps.is_empty() {
+            println!();
+        }
+        println!(
+            "suite trajectory ({} report(s) under {}; one row per Suite A cell):",
+            suites.len(),
+            dir.display()
+        );
+        println!(
+            "  {:<28} {:<24} {:>10} {:>12} {:>13} {:>8}",
+            "report", "cell", "wall_ms", "peak_rss_kb", "records/s", "dthru"
+        );
+        // Throughput deltas compare each cell against the same-labelled
+        // cell of the previous suite report that had one.
+        let mut prev: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+        for r in &suites {
+            let Some(cells) = r.doc.get("suite_a").and_then(|c| c.as_array()) else {
+                println!("  {:<28} (no suite_a array; skipped)", r.name);
+                continue;
+            };
+            for cell in cells {
+                let label = cell.get("cell").and_then(|v| v.as_str());
+                let wall = cell.get("wall_ms").and_then(|v| v.as_f64());
+                let rss = cell.get("peak_rss_kb").and_then(|v| v.as_f64());
+                let rps = cell.get("records_per_sec").and_then(|v| v.as_f64());
+                let (Some(label), Some(wall), Some(rss), Some(rps)) = (label, wall, rss, rps)
+                else {
+                    continue;
+                };
+                let dthru = prev.get(label).map_or("-".to_string(), |p| pct_change(rps, *p));
+                println!(
+                    "  {:<28} {:<24} {:>10.1} {:>12.0} {:>13.0} {:>8}",
+                    r.name, label, wall, rss, rps, dthru
+                );
+                prev.insert(label.to_string(), rps);
+            }
+        }
+    }
     0
 }
 
@@ -1232,6 +1363,60 @@ fn run_scale_sweep_cmd(opts: &Options) -> i32 {
     eprint!("{}", report.summary_table());
     obs::progress("repro", &format!("sweep report written to {}", path.display()));
     0
+}
+
+/// `bench --suite`: run the process-based Suite A/B orchestrator
+/// (`bench_support::run_suite`), validate the resulting
+/// `dnsimpact-suite/v1` document, commit it to
+/// `SUITE_<date>[_runN].json` under `--out`, and print the per-cell
+/// summary + verdict table to stderr. Exit 0 only when every verdict
+/// passed; 1 on a failed verdict or an orchestration error. Returns the
+/// process exit code.
+fn run_suite_cmd(opts: &Options) -> i32 {
+    if !opts.bench {
+        obs::progress("repro", "--suite is a bench mode: run `repro bench --suite A|B|all`");
+        return 2;
+    }
+    let sel = opts.suite.expect("dispatched on opts.suite.is_some()");
+    let scratch = std::env::temp_dir().join(format!("repro-suite-{}", std::process::id()));
+    obs::progress(
+        "repro",
+        &format!("suite {} (seed {}, scratch {})", sel.label(), opts.seed, scratch.display()),
+    );
+    let cfg = bench_support::SuiteRunConfig { seed: opts.seed, sel, scratch: scratch.clone() };
+    let result = bench_support::run_suite(&cfg);
+    // The scratch dir only holds child reports/CSVs already folded into
+    // the suite report (or abandoned by a failure) — always clean it.
+    let _ = std::fs::remove_dir_all(&scratch);
+    let report = match result {
+        Ok(r) => r,
+        Err(e) => {
+            obs::progress("repro", &format!("suite failed: {e}"));
+            return 1;
+        }
+    };
+    let doc = report.to_json();
+    if let Err(errors) = obs::suite::validate(&doc) {
+        for e in &errors {
+            obs::progress("repro", &format!("suite violation: {e}"));
+        }
+        obs::progress("repro", "refusing to write invalid suite report");
+        return 1;
+    }
+    std::fs::create_dir_all(&opts.out).unwrap_or_else(|e| {
+        die(&format!("cannot create suite out dir {}: {e}", opts.out.display()))
+    });
+    let (_, path) = next_slot(&opts.out, "SUITE", &obs::report::today_utc());
+    write_atomic(&path, &doc.pretty())
+        .unwrap_or_else(|e| die(&format!("cannot write suite report {}: {e}", path.display())));
+    eprint!("{}", report.summary_table());
+    obs::progress("repro", &format!("suite report written to {}", path.display()));
+    if report.all_pass() {
+        0
+    } else {
+        obs::progress("repro", "suite verdicts include failures");
+        1
+    }
 }
 
 /// `bench --compare`: diff the fresh report against a baseline (explicit,
@@ -1324,6 +1509,33 @@ mod tests {
         assert_eq!(parse_slot_name("SWEEP_2026-08-08.json", "BENCH"), None);
         assert_eq!(parse_slot_name("BENCH_2026-08-05.json.bak", "BENCH"), None);
         assert_eq!(parse_slot_name("BENCHMARK_2026-08-05.json", "BENCH"), None);
+        assert_eq!(
+            parse_slot_name("SUITE_2026-08-08.json", "SUITE"),
+            Some(("2026-08-08".to_string(), 1))
+        );
+        assert_eq!(
+            parse_slot_name("SUITE_2026-08-08_run2.json", "SUITE"),
+            Some(("2026-08-08".to_string(), 2))
+        );
+    }
+
+    #[test]
+    fn slot_name_parser_survives_hostile_names() {
+        // No underscore after the prefix, no .json suffix, empty stem,
+        // prefix alone — all rejected rather than panicking.
+        assert_eq!(parse_slot_name("SUITE", "SUITE"), None);
+        assert_eq!(parse_slot_name("SUITE_", "SUITE"), None);
+        assert_eq!(parse_slot_name("SUITE.json", "SUITE"), None);
+        assert_eq!(parse_slot_name("SUITE2026-08-08.json", "SUITE"), None);
+        assert_eq!(parse_slot_name("", "SUITE"), None);
+        // An empty date stem parses (the series collector just orders
+        // it first); a malformed run counter falls back to 0 so the file
+        // still sorts ahead of the real run-1 slot instead of vanishing.
+        assert_eq!(parse_slot_name("SUITE_.json", "SUITE"), Some((String::new(), 1)));
+        assert_eq!(
+            parse_slot_name("SUITE_2026-08-08_runX.json", "SUITE"),
+            Some(("2026-08-08".to_string(), 0))
+        );
     }
 
     #[test]

@@ -19,9 +19,11 @@ use telescope::Darknet;
 
 pub mod checkpoint;
 pub mod qload;
+pub mod suite;
 pub mod sweep;
 pub use checkpoint::CheckpointDir;
 pub use qload::{QloadConfig, QloadStats};
+pub use suite::{run_suite, SuiteRunConfig, SuiteSel};
 pub use sweep::{divisor_for_target, run_scale_sweep, SweepConfig, PAPER_TOTAL_ATTACKS};
 
 /// A fully materialized longitudinal experiment.

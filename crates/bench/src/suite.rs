@@ -1,0 +1,552 @@
+//! The `repro bench --suite` runner: process-based Suite A/B measurement
+//! of the release-built binaries (DESIGN §14).
+//!
+//! Unlike `bench --compare` (one pinned in-process run) this orchestrator
+//! spawns `repro` — and `dnsimpactd` for the serving cell — as OS
+//! processes, so what gets measured is what ships: binary startup, the
+//! metrics-report write path, checkpoint I/O, real process RSS.
+//!
+//! - **Suite A** (deterministic): the pinned bench catalog across a
+//!   {scale × jobs} grid, one process per cell, plus a clean and a
+//!   chaos-seeded `dnsimpactd --bench-oneshot` ingest. Every cell's
+//!   deterministic state is fingerprinted and cells that must agree
+//!   (same scale across jobs; daemon clean vs chaos-recovered) are
+//!   compared *exactly* — no envelopes.
+//! - **Suite B** (stochastic): chaos seeds × scales. Per scale the
+//!   per-process log2 histograms are merged bucket-wise
+//!   ([`obs::hist::merge`] — exact, as if one process had seen every
+//!   sample) and wall/RSS/records-per-sec are summarized as percentile
+//!   blocks over one sample per process. The pipeline counters
+//!   (`join.*`, `openintel.*`) must still agree across chaos seeds —
+//!   recovery is exact — while `chaos.*` fault tallies legitimately vary
+//!   with the seed and are left out of the agreement check.
+//!
+//! Each child's report is read back through the schema types
+//! ([`obs::RunReport::from_json`], the daemon's one-line JSON), so a
+//! malformed child report fails the suite rather than skewing it. The
+//! result is a `dnsimpact-suite/v1` report ([`obs::SuiteReport`]) whose
+//! verdict table names every enforced check.
+
+use obs::hist::{self, Hist};
+use obs::suite::{Percentiles, SuiteACell, SuiteBScale, Verdict};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Instant;
+
+/// Which suites to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteSel {
+    A,
+    B,
+    All,
+}
+
+impl SuiteSel {
+    pub fn parse(s: &str) -> Option<SuiteSel> {
+        match s {
+            "A" | "a" => Some(SuiteSel::A),
+            "B" | "b" => Some(SuiteSel::B),
+            "all" => Some(SuiteSel::All),
+            _ => None,
+        }
+    }
+
+    /// The `meta.suites` value this selection reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SuiteSel::A => "A",
+            SuiteSel::B => "B",
+            SuiteSel::All => "all",
+        }
+    }
+
+    fn runs_a(&self) -> bool {
+        matches!(self, SuiteSel::A | SuiteSel::All)
+    }
+
+    fn runs_b(&self) -> bool {
+        matches!(self, SuiteSel::B | SuiteSel::All)
+    }
+}
+
+/// One suite run: identity plus the scratch directory child processes
+/// write their reports and throwaway CSVs into.
+pub struct SuiteRunConfig {
+    pub seed: u64,
+    pub sel: SuiteSel,
+    pub scratch: PathBuf,
+}
+
+/// Suite A scale grid: `--scale` divisors of the paper catalog. 1500 is
+/// the pinned bench configuration; 750 doubles the data volume.
+const SUITE_A_SCALES: [u32; 2] = [750, 1_500];
+/// Suite A worker grid per scale — fingerprints must agree across it.
+const SUITE_A_JOBS: [u32; 2] = [1, 2];
+/// Suite B runs each scale under these chaos seeds (distinct from the
+/// pinned bench seed 9, so the suite exercises fresh fault schedules).
+const SUITE_B_CHAOS_SEEDS: [u64; 3] = [11, 12, 13];
+/// Suite B scale grid, ascending (the report requires sorted rows).
+const SUITE_B_SCALES: [u32; 2] = [750, 1_500];
+/// Suite B worker count: fixed at 2 so chaos recovery runs threaded.
+const SUITE_B_JOBS: u32 = 2;
+/// The daemon serving cell's pinned feed (mirrors the CI daemon gate).
+const DAEMON_FEED: [&str; 10] = [
+    "--seed",
+    "7",
+    "--scale-target",
+    "1500",
+    "--months",
+    "2",
+    "--providers",
+    "20",
+    "--domains",
+    "6000",
+];
+/// Chaos seed for the daemon's faulted Suite A cell.
+const DAEMON_CHAOS_SEED: u64 = 3;
+
+/// FNV-1a over everything `Debug`-printed into it (same construction as
+/// the sweep's artifact fingerprint): hashes a child's deterministic
+/// metric state without materializing the debug string.
+struct FnvWriter(u64);
+
+impl std::fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        for b in s.bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+        Ok(())
+    }
+}
+
+/// Fingerprint a child run's deterministic metric state: counters,
+/// gauges, and histogram shapes outside the `time.`/`sched.` namespaces.
+/// For a fixed seed/scale/experiment set this is a pure function of the
+/// pipeline, so equal fingerprints across processes mean the processes
+/// computed identical results.
+fn fingerprint_deterministic(report: &obs::RunReport) -> String {
+    use std::fmt::Write as _;
+    let mut w = FnvWriter(0xcbf2_9ce4_8422_2325);
+    let _ = write!(w, "{:?}", report.metrics.deterministic());
+    format!("{:#018x}", w.0)
+}
+
+/// Locate a sibling release binary of the running `repro` (the suite is
+/// spawned *by* `repro`, so its own path anchors the lookup). Named
+/// errors up front — a missing binary must read as "build it", never as
+/// a mid-suite mystery failure.
+fn sibling_binary(name: &str) -> Result<PathBuf, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let dir = exe
+        .parent()
+        .ok_or_else(|| format!("own binary {} has no parent directory", exe.display()))?;
+    let path = dir.join(name);
+    if path.exists() {
+        Ok(path)
+    } else {
+        Err(format!(
+            "missing binary {} (expected next to {}); run `cargo build --release` first",
+            path.display(),
+            exe.display()
+        ))
+    }
+}
+
+/// Last `n` lines of a child's stderr, for failure detail.
+fn stderr_tail(stderr: &[u8], n: usize) -> String {
+    let text = String::from_utf8_lossy(stderr);
+    let lines: Vec<&str> = text.lines().collect();
+    let start = lines.len().saturating_sub(n);
+    lines[start..].join("\n")
+}
+
+/// Spawn one child process and wait, returning (parent-measured wall ms,
+/// stdout). A non-zero exit fails the suite with the cell name and the
+/// stderr tail — a crashed cell must never be summarized around.
+fn run_child(cell: &str, bin: &Path, args: &[String]) -> Result<(u64, Vec<u8>), String> {
+    let start = Instant::now();
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .map_err(|e| format!("cell {cell}: cannot spawn {}: {e}", bin.display()))?;
+    let wall_ms = start.elapsed().as_millis() as u64;
+    if !out.status.success() {
+        return Err(format!(
+            "cell {cell}: {} exited with {}; stderr tail:\n{}",
+            bin.display(),
+            out.status,
+            stderr_tail(&out.stderr, 15)
+        ));
+    }
+    Ok((wall_ms, out.stdout))
+}
+
+/// One measured child `repro bench` run.
+struct ReproCell {
+    wall_ms: u64,
+    report: obs::RunReport,
+}
+
+/// Spawn `repro bench` at (scale, jobs[, chaos_seed]) and read its
+/// metrics report back. The report and CSVs go to `scratch` — explicit
+/// `--metrics-json`/`--out` keep the child away from the committed
+/// `results/` series.
+fn run_repro_cell(
+    cell: &str,
+    repro: &Path,
+    cfg: &SuiteRunConfig,
+    scale: u32,
+    jobs: u32,
+    chaos_seed: Option<u64>,
+) -> Result<ReproCell, String> {
+    let slug = cell.replace('/', "_");
+    let report_path = cfg.scratch.join(format!("{slug}.json"));
+    let out_dir = cfg.scratch.join(format!("{slug}.out"));
+    let mut args: Vec<String> = vec![
+        "bench".into(),
+        "--seed".into(),
+        cfg.seed.to_string(),
+        "--scale".into(),
+        scale.to_string(),
+        "--jobs".into(),
+        jobs.to_string(),
+        "--metrics-json".into(),
+        report_path.display().to_string(),
+        "--out".into(),
+        out_dir.display().to_string(),
+    ];
+    if let Some(cs) = chaos_seed {
+        args.push("--chaos-seed".into());
+        args.push(cs.to_string());
+    }
+    let (wall_ms, _stdout) = run_child(cell, repro, &args)?;
+    let text = std::fs::read_to_string(&report_path).map_err(|e| {
+        format!("cell {cell}: child wrote no report at {}: {e}", report_path.display())
+    })?;
+    let doc = obs::Json::parse(&text)
+        .map_err(|e| format!("cell {cell}: child report is not JSON: {e}"))?;
+    let report = obs::RunReport::from_json(&doc)
+        .map_err(|errors| format!("cell {cell}: invalid child report: {}", errors.join("; ")))?;
+    Ok(ReproCell { wall_ms, report })
+}
+
+/// Total records a child run processed, from its deterministic counters —
+/// the same accounting the scale sweep uses (episodes into the join,
+/// joined rows, OpenINTEL measurements).
+fn records_of(report: &obs::RunReport) -> u64 {
+    let c = |name: &str| report.metrics.counters.get(name).copied().unwrap_or(0);
+    c("join.episodes_in") + c("join.rows_joined") + c("openintel.records_measured")
+}
+
+fn records_per_sec(records: u64, wall_ms: u64) -> f64 {
+    records as f64 * 1_000.0 / wall_ms.max(1) as f64
+}
+
+/// One measured `dnsimpactd serve --bench-oneshot` run, parsed from the
+/// single JSON line the child prints.
+struct DaemonCell {
+    wall_ms: u64,
+    records: u64,
+    peak_rss_kb: u64,
+    full_fp: String,
+}
+
+fn run_daemon_cell(
+    cell: &str,
+    daemon: &Path,
+    chaos_seed: Option<u64>,
+) -> Result<DaemonCell, String> {
+    let mut args: Vec<String> = vec!["serve".into()];
+    args.extend(DAEMON_FEED.iter().map(|s| s.to_string()));
+    args.push("--bench-oneshot".into());
+    if let Some(cs) = chaos_seed {
+        args.push("--chaos-seed".into());
+        args.push(cs.to_string());
+    }
+    let (wall_ms, stdout) = run_child(cell, daemon, &args)?;
+    let text = String::from_utf8_lossy(&stdout);
+    let line = text
+        .lines()
+        .last()
+        .ok_or_else(|| format!("cell {cell}: daemon printed no oneshot line"))?;
+    let doc = obs::Json::parse(line)
+        .map_err(|e| format!("cell {cell}: daemon oneshot line is not JSON: {e}"))?;
+    if doc.get("schema").and_then(|s| s.as_str()) != Some("dnsimpactd-oneshot/v1") {
+        return Err(format!("cell {cell}: oneshot line has wrong schema: {line}"));
+    }
+    let u = |key: &str| {
+        doc.get(key)
+            .and_then(obs::Json::as_u64)
+            .ok_or_else(|| format!("cell {cell}: oneshot line missing u64 field {key:?}"))
+    };
+    Ok(DaemonCell {
+        wall_ms,
+        records: u("records")?,
+        peak_rss_kb: u("peak_rss_kb")?,
+        full_fp: doc
+            .get("full_fp")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("cell {cell}: oneshot line missing full_fp"))?
+            .to_string(),
+    })
+}
+
+/// Run the selected suites and assemble the `dnsimpact-suite/v1` report.
+/// I/O and child failures are errors (no report); semantic check results
+/// land in the report's verdict table, so a regression names its cell.
+pub fn run_suite(cfg: &SuiteRunConfig) -> Result<obs::SuiteReport, String> {
+    let repro = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    // Preflight every binary the selection needs before spawning anything.
+    let daemon = if cfg.sel.runs_a() { Some(sibling_binary("dnsimpactd")?) } else { None };
+    std::fs::create_dir_all(&cfg.scratch)
+        .map_err(|e| format!("cannot create scratch dir {}: {e}", cfg.scratch.display()))?;
+
+    let mut processes = 0u64;
+    let mut suite_a = Vec::new();
+    let mut suite_b = Vec::new();
+    let mut verdicts = Vec::new();
+
+    if cfg.sel.runs_a() {
+        for &scale in &SUITE_A_SCALES {
+            let mut fps: Vec<(u32, String)> = Vec::new();
+            for &jobs in &SUITE_A_JOBS {
+                let cell = format!("A/repro/scale{scale}/jobs{jobs}");
+                obs::progress("suite", &format!("spawning {cell}"));
+                let run = run_repro_cell(&cell, &repro, cfg, scale, jobs, None)?;
+                processes += 1;
+                let records = records_of(&run.report);
+                let fp = fingerprint_deterministic(&run.report);
+                fps.push((jobs, fp.clone()));
+                suite_a.push(SuiteACell {
+                    cell,
+                    kind: "repro".into(),
+                    scale: u64::from(scale),
+                    jobs: u64::from(jobs),
+                    wall_ms: run.wall_ms,
+                    peak_rss_kb: run.report.peak_rss_kb,
+                    records,
+                    records_per_sec: records_per_sec(records, run.wall_ms),
+                    fingerprint: fp,
+                });
+            }
+            let (first_jobs, first_fp) = &fps[0];
+            let disagree: Vec<String> = fps
+                .iter()
+                .filter(|(_, fp)| fp != first_fp)
+                .map(|(jobs, fp)| format!("jobs={jobs}: {fp}"))
+                .collect();
+            verdicts.push(Verdict {
+                cell: format!("A/repro/scale{scale}"),
+                pass: disagree.is_empty(),
+                detail: if disagree.is_empty() {
+                    format!(
+                        "deterministic fingerprint {first_fp} identical across jobs {:?}",
+                        SUITE_A_JOBS
+                    )
+                } else {
+                    format!(
+                        "fingerprint disagreement vs jobs={first_jobs} ({first_fp}): {}",
+                        disagree.join(", ")
+                    )
+                },
+            });
+        }
+
+        let daemon = daemon.as_ref().unwrap();
+        let mut daemon_fps: Vec<(String, String)> = Vec::new();
+        for (label, chaos) in [
+            ("clean".to_string(), None),
+            (format!("chaos{DAEMON_CHAOS_SEED}"), Some(DAEMON_CHAOS_SEED)),
+        ] {
+            let cell = format!("A/daemon/{label}");
+            obs::progress("suite", &format!("spawning {cell}"));
+            let run = run_daemon_cell(&cell, daemon, chaos)?;
+            processes += 1;
+            daemon_fps.push((label, run.full_fp.clone()));
+            suite_a.push(SuiteACell {
+                cell,
+                kind: "daemon".into(),
+                scale: 1_500,
+                jobs: 2, // the daemon's default ingest worker count
+                wall_ms: run.wall_ms,
+                peak_rss_kb: run.peak_rss_kb,
+                records: run.records,
+                records_per_sec: records_per_sec(run.records, run.wall_ms),
+                fingerprint: run.full_fp,
+            });
+        }
+        let pass = daemon_fps.iter().all(|(_, fp)| fp == &daemon_fps[0].1);
+        verdicts.push(Verdict {
+            cell: "A/daemon".into(),
+            pass,
+            detail: if pass {
+                format!(
+                    "index fingerprint {} identical for clean and chaos-recovered ingest",
+                    daemon_fps[0].1
+                )
+            } else {
+                format!(
+                    "index fingerprints diverge: {}",
+                    daemon_fps
+                        .iter()
+                        .map(|(l, fp)| format!("{l}={fp}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            },
+        });
+    }
+
+    if cfg.sel.runs_b() {
+        for &scale in &SUITE_B_SCALES {
+            let mut runs: Vec<(u64, ReproCell)> = Vec::new();
+            for &chaos in &SUITE_B_CHAOS_SEEDS {
+                let cell = format!("B/scale{scale}/seed{chaos}");
+                obs::progress("suite", &format!("spawning {cell}"));
+                let run = run_repro_cell(&cell, &repro, cfg, scale, SUITE_B_JOBS, Some(chaos))?;
+                processes += 1;
+                runs.push((chaos, run));
+            }
+
+            // The pipeline counters are chaos-invariant (recovery is
+            // exact); `chaos.*` fault tallies vary by seed by design.
+            let pipeline_counters = |r: &obs::RunReport| -> BTreeMap<String, u64> {
+                r.metrics
+                    .counters
+                    .iter()
+                    .filter(|(k, _)| k.starts_with("join.") || k.starts_with("openintel."))
+                    .map(|(k, v)| (k.clone(), *v))
+                    .collect()
+            };
+            let reference = pipeline_counters(&runs[0].1.report);
+            let disagree: Vec<String> = runs
+                .iter()
+                .filter(|(_, r)| pipeline_counters(&r.report) != reference)
+                .map(|(seed, _)| format!("seed {seed}"))
+                .collect();
+            verdicts.push(Verdict {
+                cell: format!("B/scale{scale}/counters"),
+                pass: disagree.is_empty(),
+                detail: if disagree.is_empty() {
+                    format!(
+                        "{} pipeline counter(s) identical across chaos seeds {:?}",
+                        reference.len(),
+                        SUITE_B_CHAOS_SEEDS
+                    )
+                } else {
+                    format!(
+                        "pipeline counters diverge from seed {}: {}",
+                        runs[0].0,
+                        disagree.join(", ")
+                    )
+                },
+            });
+
+            // Merge every named per-process histogram bucket-wise, and the
+            // per-process wall/RSS/throughput samples into percentile
+            // blocks.
+            let mut parts: BTreeMap<String, Vec<Hist>> = BTreeMap::new();
+            for (_, run) in &runs {
+                for (name, snap) in &run.report.metrics.histograms {
+                    let h = Hist::from_snapshot(snap).map_err(|e| {
+                        format!("B/scale{scale}: histogram {name} not mergeable: {e}")
+                    })?;
+                    parts.entry(name.clone()).or_default().push(h);
+                }
+            }
+            let merged: BTreeMap<String, Hist> =
+                parts.iter().map(|(name, hs)| (name.clone(), hist::merge(hs))).collect();
+            let balanced = parts
+                .iter()
+                .all(|(name, hs)| merged[name].count() == hs.iter().map(Hist::count).sum::<u64>());
+            verdicts.push(Verdict {
+                cell: format!("B/scale{scale}/merged"),
+                pass: balanced,
+                detail: format!(
+                    "{} histogram(s) merged from {} process(es); sample counts {}",
+                    merged.len(),
+                    runs.len(),
+                    if balanced { "balance" } else { "DO NOT balance" }
+                ),
+            });
+
+            let mut walls = Hist::new();
+            let mut rss = Hist::new();
+            let mut rates = Hist::new();
+            for (_, run) in &runs {
+                let records = records_of(&run.report);
+                walls.record(run.wall_ms);
+                rss.record(run.report.peak_rss_kb);
+                rates.record(records_per_sec(records, run.wall_ms) as u64);
+            }
+            suite_b.push(SuiteBScale {
+                scale: u64::from(scale),
+                processes: runs.len() as u64,
+                wall_ms: Percentiles::of(&walls),
+                peak_rss_kb: Percentiles::of(&rss),
+                records_per_sec: Percentiles::of(&rates),
+                merged,
+            });
+        }
+    }
+
+    Ok(obs::SuiteReport {
+        meta: obs::SuiteMeta {
+            seed: cfg.seed,
+            date: obs::report::today_utc(),
+            suites: cfg.sel.label().to_string(),
+            processes,
+        },
+        suite_a,
+        suite_b,
+        verdicts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_selection_parses_and_labels() {
+        assert_eq!(SuiteSel::parse("A"), Some(SuiteSel::A));
+        assert_eq!(SuiteSel::parse("b"), Some(SuiteSel::B));
+        assert_eq!(SuiteSel::parse("all"), Some(SuiteSel::All));
+        assert_eq!(SuiteSel::parse("ALL"), None);
+        assert_eq!(SuiteSel::parse(""), None);
+        assert_eq!(SuiteSel::All.label(), "all");
+        assert!(SuiteSel::All.runs_a() && SuiteSel::All.runs_b());
+        assert!(SuiteSel::A.runs_a() && !SuiteSel::A.runs_b());
+        assert!(!SuiteSel::B.runs_a() && SuiteSel::B.runs_b());
+    }
+
+    #[test]
+    fn suite_b_scales_are_ascending_for_the_report() {
+        // The suite report requires strictly sorted rows; the grid must
+        // be declared that way rather than sorted after the fact.
+        assert!(SUITE_B_SCALES.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn stderr_tail_keeps_the_last_lines() {
+        let text = (1..=20).map(|i| format!("line {i}")).collect::<Vec<_>>().join("\n");
+        let tail = stderr_tail(text.as_bytes(), 3);
+        assert_eq!(tail, "line 18\nline 19\nline 20");
+        assert_eq!(stderr_tail(b"", 3), "");
+    }
+
+    #[test]
+    fn missing_sibling_binary_is_a_named_preflight_error() {
+        let err = sibling_binary("definitely-not-a-binary-9f3a").unwrap_err();
+        assert!(err.contains("definitely-not-a-binary-9f3a"), "{err}");
+        assert!(err.contains("cargo build --release"), "{err}");
+    }
+
+    #[test]
+    fn throughput_guards_zero_wall() {
+        assert_eq!(records_per_sec(500, 0), 500_000.0);
+        assert_eq!(records_per_sec(500, 1_000), 500.0);
+    }
+}

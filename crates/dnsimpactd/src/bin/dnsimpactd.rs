@@ -4,6 +4,10 @@
 //!   checkpoint, run the supervised ingest to completion, then keep
 //!   serving until killed. `--port-file` publishes the bound address
 //!   atomically so a harness can find a port-0 listener.
+//!   `--bench-oneshot` instead exits after ingest completes, printing one
+//!   compact JSON line (records, ingest wall, full fingerprint, peak RSS)
+//!   to stdout — the serving cell of the `repro bench --suite`
+//!   orchestrator, which reads exactly that line per spawned process.
 //! - `fingerprint` — apply the whole feed in-process (no daemon, no
 //!   transport) and print the full index fingerprint: the clean-replay
 //!   reference the CI gate diffs a crash-recovered daemon against.
@@ -60,6 +64,7 @@ struct Opts {
     checkpoint_dir: Option<PathBuf>,
     bind: String,
     port_file: Option<PathBuf>,
+    bench_oneshot: bool,
     impacted: bool,
     limit: usize,
 }
@@ -74,6 +79,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         checkpoint_dir: None,
         bind: "127.0.0.1:0".into(),
         port_file: None,
+        bench_oneshot: false,
         impacted: false,
         limit: usize::MAX,
     };
@@ -106,6 +112,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--checkpoint-dir" => o.checkpoint_dir = Some(PathBuf::from(val(flag)?)),
             "--bind" => o.bind = val(flag)?.clone(),
             "--port-file" => o.port_file = Some(PathBuf::from(val(flag)?)),
+            "--bench-oneshot" => o.bench_oneshot = true,
             "--impacted" => o.impacted = true,
             "-n" | "--limit" => o.limit = num(flag, val(flag)?)?,
             other => return Err(format!("unknown flag {other:?}")),
@@ -149,8 +156,10 @@ fn serve(args: &[String]) -> Result<(), String> {
         dnsimpact_core::report::write_atomic(pf, &format!("{addr}\n"))
             .map_err(|e| format!("write port file {}: {e}", pf.display()))?;
     }
+    let ingest_start = std::time::Instant::now();
     let mut ingestor = Ingestor::new(&source, ingest_cfg(&o), Arc::clone(&cell));
     let stats = ingestor.recover_and_run();
+    let ingest_wall_ms = ingest_start.elapsed().as_millis() as u64;
     obs::progress(
         "daemon",
         &format!(
@@ -161,6 +170,23 @@ fn serve(args: &[String]) -> Result<(), String> {
             stats.restarts,
         ),
     );
+    if o.bench_oneshot {
+        // The suite orchestrator's stdout protocol: exactly one compact
+        // JSON line, then exit. Everything above went to stderr.
+        let mut line = Json::obj();
+        line.set("schema", Json::Str("dnsimpactd-oneshot/v1".into()));
+        line.set("records", Json::U64(source.total_records));
+        line.set("batches", Json::U64(source.batches.len() as u64));
+        line.set("episodes", Json::U64(source.episodes_emitted));
+        line.set("applied_seq", Json::U64(ingestor.state.applied_seq));
+        line.set("ingest_wall_ms", Json::U64(ingest_wall_ms));
+        line.set("full_fp", Json::Str(format!("{:#018x}", ingestor.state.full_fingerprint())));
+        line.set("peak_rss_kb", Json::U64(obs::rss::peak_rss_kb()));
+        line.set("restarts", Json::U64(stats.restarts));
+        println!("{}", line.compact());
+        server.shutdown();
+        return Ok(());
+    }
     // Keep serving until killed; the harness owns our lifetime.
     loop {
         std::thread::sleep(Duration::from_secs(3600));

@@ -96,6 +96,43 @@ impl Json {
         out
     }
 
+    /// One-line form with no whitespace at all — the stdout protocol of
+    /// subprocess bench agents (`dnsimpactd serve --bench-oneshot`), where
+    /// the orchestrator reads exactly one line per process.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+            scalar => scalar.write(out, 0),
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -415,6 +452,17 @@ mod tests {
         let doc = Json::Str("a\"b\\c\nd\te\u{1}f — ünïcode".into());
         let parsed = Json::parse(&doc.pretty()).unwrap();
         assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn compact_is_one_line_and_parses_back() {
+        let mut doc = Json::obj();
+        doc.set("schema", Json::Str("x/v1".into()));
+        doc.set("list", Json::Array(vec![Json::U64(1), Json::Null, Json::Bool(false)]));
+        doc.set("empty", Json::obj());
+        let line = doc.compact();
+        assert!(!line.contains('\n') && !line.contains(' '), "{line:?}");
+        assert_eq!(Json::parse(&line).unwrap(), doc);
     }
 
     #[test]

@@ -46,9 +46,15 @@
 //! - [`report`]: the stable-schema machine-readable run report
 //!   (`dnsimpact-metrics/v2`), its JSON round-trip, schema validation,
 //!   counter-invariant checks, and the bench-regression comparator;
+//! - [`hist`]: plain-value log2 histograms ([`hist::Hist`]) rebuildable
+//!   from a report's `buckets` array and mergeable bucket-wise across
+//!   processes — the exact-merge backbone of `repro bench --suite`;
 //! - [`sweep`]: the scale-sweep report (`dnsimpact-sweep/v1`) emitted by
 //!   `repro bench --scale-sweep` — per-(scale, jobs) throughput, wall, and
 //!   peak-RSS cells, with strict sortedness/finiteness validation;
+//! - [`suite`]: the process-suite report (`dnsimpact-suite/v1`) emitted by
+//!   `repro bench --suite` — Suite A deterministic cells, Suite B merged
+//!   per-process percentiles, and the per-cell verdict table;
 //! - [`daemon`]: the daemon serving-benchmark report
 //!   (`dnsimpactd-report/v1`) emitted by `repro daemon-bench` — ingest
 //!   fingerprint plus query QPS/tail-latency, with the shed-accounting
@@ -60,20 +66,24 @@
 //!   diff compares.
 
 pub mod daemon;
+pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod progress;
 pub mod report;
 pub mod rss;
 pub mod span;
+pub mod suite;
 pub mod sweep;
 pub mod trace;
 
 pub use daemon::{DaemonMeta, DaemonReport, DAEMON_SCHEMA_ID};
+pub use hist::Hist;
 pub use json::Json;
 pub use metrics::{counter, gauge, histogram, registry, Counter, Gauge, Histogram, Snapshot};
 pub use progress::progress;
 pub use report::{RunMeta, RunReport, StageWall, SCHEMA_ID};
 pub use span::span;
+pub use suite::{SuiteMeta, SuiteReport, SUITE_SCHEMA_ID};
 pub use sweep::{SweepCell, SweepMeta, SweepReport, SWEEP_SCHEMA_ID};
 pub use trace::{EventKind, TraceEvent, TraceSummary};

@@ -116,7 +116,8 @@ impl Histogram {
 
     pub fn snapshot(&self) -> HistogramSnapshot {
         let count = self.count.load(Ordering::Relaxed);
-        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let mut buckets: Vec<u64> =
+            self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
         let quantile = |q: f64| -> u64 {
             if count == 0 {
                 return 0;
@@ -132,15 +133,22 @@ impl Histogram {
             }
             self.max.load(Ordering::Relaxed)
         };
+        let (p50, p90, p95, p99) = (quantile(0.50), quantile(0.90), quantile(0.95), quantile(0.99));
+        // Trailing zeros trimmed so the carried form is canonical: equal
+        // distributions compare and serialize equal regardless of max value.
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
         HistogramSnapshot {
             count,
             sum: self.sum.load(Ordering::Relaxed),
             min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
             max: self.max.load(Ordering::Relaxed),
-            p50: quantile(0.50),
-            p90: quantile(0.90),
-            p95: quantile(0.95),
-            p99: quantile(0.99),
+            p50,
+            p90,
+            p95,
+            p99,
+            buckets,
         }
     }
 
@@ -156,7 +164,10 @@ impl Histogram {
 }
 
 /// Point-in-time view of one histogram, as it appears in the run report.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// `buckets` carries the raw log2 bucket counts (trailing zeros trimmed)
+/// so per-process distributions can be merged exactly by the suite
+/// orchestrator (see `crate::hist`).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     pub count: u64,
     pub sum: u64,
@@ -166,6 +177,7 @@ pub struct HistogramSnapshot {
     pub p90: u64,
     pub p95: u64,
     pub p99: u64,
+    pub buckets: Vec<u64>,
 }
 
 /// Process-global metric registry. Instruments are interned by name and
@@ -303,7 +315,7 @@ impl Snapshot {
                 .histograms
                 .iter()
                 .filter(|(k, _)| is_deterministic_name(k))
-                .map(|(k, v)| (k.clone(), *v))
+                .map(|(k, v)| (k.clone(), v.clone()))
                 .collect(),
         }
     }
@@ -357,7 +369,17 @@ mod tests {
         let s = histogram("test.metrics.empty_histo").snapshot();
         assert_eq!(
             s,
-            HistogramSnapshot { count: 0, sum: 0, min: 0, max: 0, p50: 0, p90: 0, p95: 0, p99: 0 }
+            HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                p50: 0,
+                p90: 0,
+                p95: 0,
+                p99: 0,
+                buckets: vec![],
+            }
         );
     }
 

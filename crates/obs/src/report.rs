@@ -22,7 +22,7 @@
 //!   "gauges":     { "reactive.trigger_latency_max_secs": 480, ... },
 //!   "histograms": { "time.pool.task_ms": { "count": 8, "sum": 10,
 //!                   "min": 0, "max": 4, "p50": 1, "p90": 3,
-//!                   "p95": 3, "p99": 3 } },
+//!                   "p95": 3, "p99": 3, "buckets": [1, 2, 2, 3] } },
 //!   "trace": { "events": 512, "dropped": 0,
 //!              "by_kind": { "AttackOnset": 100, ... } }
 //! }
@@ -37,6 +37,10 @@
 //! do.
 //!
 //! v1 → v2: added `meta.run`, histogram `p95`, and the `trace` block.
+//! Histogram `buckets` (raw log2 bucket counts, trailing zeros trimmed)
+//! were added within v2 as an *optional* field — older committed reports
+//! without it stay valid; the suite orchestrator requires it to merge
+//! per-process distributions exactly ([`crate::hist`]).
 
 use crate::json::Json;
 use crate::metrics::{HistogramSnapshot, Snapshot};
@@ -44,6 +48,10 @@ use crate::trace::{EventKind, TraceSummary};
 
 /// Schema identifier carried in every report.
 pub const SCHEMA_ID: &str = "dnsimpact-metrics/v2";
+
+/// The pre-trace schema id. Reports committed under `results/` before the
+/// v2 bump still validate — under the rules of their day ([`validate_legacy_v1`]).
+pub const LEGACY_SCHEMA_ID: &str = "dnsimpact-metrics/v1";
 
 /// Run identity: the inputs that determine the deterministic metrics.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -126,6 +134,7 @@ impl RunReport {
             o.set("p90", Json::U64(h.p90));
             o.set("p95", Json::U64(h.p95));
             o.set("p99", Json::U64(h.p99));
+            o.set("buckets", Json::Array(h.buckets.iter().map(|&b| Json::U64(b)).collect()));
             histograms.set(k, o);
         }
 
@@ -219,6 +228,21 @@ impl RunReport {
                             p90: want_u64(h, &path, "p90")?,
                             p95: want_u64(h, &path, "p95")?,
                             p99: want_u64(h, &path, "p99")?,
+                            // Optional: pre-buckets reports carry none.
+                            buckets: match h.get("buckets") {
+                                None => Vec::new(),
+                                Some(b) => b
+                                    .as_array()
+                                    .and_then(|items| {
+                                        items.iter().map(Json::as_u64).collect::<Option<_>>()
+                                    })
+                                    .ok_or_else(|| {
+                                        vec![format!(
+                                            "malformed report: {path}.buckets is not an \
+                                             unsigned-integer array"
+                                        )]
+                                    })?,
+                            },
                         },
                     ))
                 })
@@ -362,7 +386,17 @@ fn require_u64(obj: &Json, key: &str, path: &str, errors: &mut Vec<String>) {
     }
 }
 
-fn check_metric_map(doc: &Json, key: &str, errors: &mut Vec<String>, histogram: bool) {
+#[derive(Clone, Copy, PartialEq)]
+enum MapKind {
+    /// Flat name → u64 (counters and gauges).
+    Counters,
+    /// Histogram summary objects, v2 shape (with `p95`).
+    Histograms,
+    /// Histogram summary objects as v1 wrote them: no `p95`.
+    HistogramsV1,
+}
+
+fn check_metric_map(doc: &Json, key: &str, errors: &mut Vec<String>, kind: MapKind) {
     let Some(map) = require(doc, key, "$", errors) else {
         return;
     };
@@ -371,13 +405,47 @@ fn check_metric_map(doc: &Json, key: &str, errors: &mut Vec<String>, histogram: 
         return;
     };
     for (name, v) in pairs {
-        if histogram {
+        if kind != MapKind::Counters {
             if v.as_object().is_none() {
                 errors.push(format!("$.{key}.{name} must be an object"));
                 continue;
             }
-            for field in ["count", "sum", "min", "max", "p50", "p90", "p95", "p99"] {
+            let fields: &[&str] = if kind == MapKind::HistogramsV1 {
+                &["count", "sum", "min", "max", "p50", "p90", "p99"]
+            } else {
+                &["count", "sum", "min", "max", "p50", "p90", "p95", "p99"]
+            };
+            for field in fields {
                 require_u64(v, field, &format!("$.{key}.{name}"), errors);
+            }
+            // `buckets` is optional (pre-buckets reports), but when present
+            // it must be a u64 array whose counts sum to `count` — the
+            // suite merge relies on the accounting.
+            match v.get("buckets") {
+                None => {}
+                Some(Json::Array(items)) => {
+                    let mut total = 0u64;
+                    let mut well_typed = true;
+                    for (i, b) in items.iter().enumerate() {
+                        match b.as_u64() {
+                            Some(n) => total += n,
+                            None => {
+                                errors.push(format!(
+                                    "$.{key}.{name}.buckets[{i}] must be an unsigned integer"
+                                ));
+                                well_typed = false;
+                            }
+                        }
+                    }
+                    let count = v.get("count").and_then(Json::as_u64);
+                    if well_typed && count.is_some_and(|c| c != total) {
+                        errors.push(format!(
+                            "$.{key}.{name}.buckets sum to {total} but count is {}",
+                            count.unwrap_or(0)
+                        ));
+                    }
+                }
+                Some(_) => errors.push(format!("$.{key}.{name}.buckets must be an array")),
             }
         } else if v.as_u64().is_none() {
             errors.push(format!("$.{key}.{name} must be an unsigned integer"));
@@ -388,14 +456,28 @@ fn check_metric_map(doc: &Json, key: &str, errors: &mut Vec<String>, histogram: 
 /// Validate a document against schema `dnsimpact-metrics/v2`. Returns the
 /// full list of violations rather than stopping at the first.
 pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
+    validate_as(doc, false)
+}
+
+/// Validate a document against the legacy `dnsimpact-metrics/v1` schema:
+/// v2 without `meta.run`, histogram `p95`, or the `trace` block. Only for
+/// reports that predate the bump — new reports must validate as v2.
+pub fn validate_legacy_v1(doc: &Json) -> Result<(), Vec<String>> {
+    validate_as(doc, true)
+}
+
+fn validate_as(doc: &Json, legacy: bool) -> Result<(), Vec<String>> {
+    let want_schema = if legacy { LEGACY_SCHEMA_ID } else { SCHEMA_ID };
     let mut errors = Vec::new();
     match doc.get("schema").and_then(|s| s.as_str()) {
-        Some(s) if s == SCHEMA_ID => {}
-        Some(s) => errors.push(format!("schema is {s:?}, expected {SCHEMA_ID:?}")),
+        Some(s) if s == want_schema => {}
+        Some(s) => errors.push(format!("schema is {s:?}, expected {want_schema:?}")),
         None => errors.push("missing string field $.schema".into()),
     }
     if let Some(meta) = require(doc, "meta", "$", &mut errors) {
-        for key in ["seed", "scale", "jobs", "run"] {
+        let meta_keys: &[&str] =
+            if legacy { &["seed", "scale", "jobs"] } else { &["seed", "scale", "jobs", "run"] };
+        for key in meta_keys {
             require_u64(meta, key, "$.meta", &mut errors);
         }
         match require(meta, "chaos_seed", "$.meta", &mut errors) {
@@ -447,10 +529,17 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
         Some(_) => errors.push("$.stages must be an array".into()),
         None => {}
     }
-    check_metric_map(doc, "counters", &mut errors, false);
-    check_metric_map(doc, "gauges", &mut errors, false);
-    check_metric_map(doc, "histograms", &mut errors, true);
-    if let Some(trace) = require(doc, "trace", "$", &mut errors) {
+    check_metric_map(doc, "counters", &mut errors, MapKind::Counters);
+    check_metric_map(doc, "gauges", &mut errors, MapKind::Counters);
+    check_metric_map(
+        doc,
+        "histograms",
+        &mut errors,
+        if legacy { MapKind::HistogramsV1 } else { MapKind::Histograms },
+    );
+    if legacy {
+        // v1 predates the trace block entirely.
+    } else if let Some(trace) = require(doc, "trace", "$", &mut errors) {
         require_u64(trace, "events", "$.trace", &mut errors);
         require_u64(trace, "dropped", "$.trace", &mut errors);
         match require(trace, "by_kind", "$.trace", &mut errors) {
@@ -701,6 +790,9 @@ mod tests {
                 p90: 15,
                 p95: 15,
                 p99: 15,
+                // Values {1, 2, 2, 3, 4, 4, 9, 15} — consistent with the
+                // count/sum/percentiles above.
+                buckets: vec![0, 1, 3, 2, 2],
             },
         );
         RunReport {
@@ -760,6 +852,31 @@ mod tests {
         let errors = validate(&doc).unwrap_err();
         assert!(errors.iter().any(|e| e.contains("date")), "{errors:?}");
         assert!(errors.iter().any(|e| e.contains("chaos_seed")), "{errors:?}");
+    }
+
+    #[test]
+    fn validate_checks_bucket_accounting_but_tolerates_absence() {
+        let mut doc = sample_report().to_json();
+        let mut histograms = doc.get("histograms").unwrap().clone();
+        let mut h = histograms.get("time.pool.task_ms").unwrap().clone();
+
+        // Pre-buckets reports (no `buckets` field at all) stay valid.
+        let Json::Object(pairs) = h.clone() else { unreachable!() };
+        let legacy_h = Json::Object(pairs.into_iter().filter(|(k, _)| k != "buckets").collect());
+        let mut legacy_hists = histograms.clone();
+        legacy_hists.set("time.pool.task_ms", legacy_h);
+        let mut legacy = doc.clone();
+        legacy.set("histograms", legacy_hists);
+        assert!(validate(&legacy).is_ok());
+        let parsed = RunReport::from_json(&legacy).unwrap();
+        assert!(parsed.metrics.histograms["time.pool.task_ms"].buckets.is_empty());
+
+        // Buckets that disagree with count are rejected.
+        h.set("buckets", Json::Array(vec![Json::U64(1)]));
+        histograms.set("time.pool.task_ms", h);
+        doc.set("histograms", histograms);
+        let errors = validate(&doc).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("buckets sum to 1 but count is 8")), "{errors:?}");
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! baseline written by one run diffs clean against a re-serialization by
 //! another.
 
-use obs::Json;
+use obs::suite::{Percentiles, SuiteACell, SuiteBScale, Verdict};
+use obs::{Hist, Json, SuiteMeta, SuiteReport};
 use proptest::prelude::*;
 use proptest::{Strategy, TestRng};
 
@@ -103,6 +104,134 @@ fn number_edge_cases() {
     let mut want = Json::obj();
     want.set("a", Json::Array(vec![Json::U64(1), Json::Null, Json::Str("s".into())]));
     assert_eq!(Json::parse(spaced).unwrap(), want);
+}
+
+/// A minimal valid `dnsimpact-suite/v1` report: two Suite A cells, one
+/// Suite B scale with a single process, accounting consistent.
+fn tiny_suite_report() -> SuiteReport {
+    let cell = |jobs: u64, wall: u64| SuiteACell {
+        cell: format!("A/repro/scale750/jobs{jobs}"),
+        kind: "repro".into(),
+        scale: 750,
+        jobs,
+        wall_ms: wall,
+        peak_rss_kb: 4_096,
+        records: 1_000,
+        records_per_sec: 1_000.0 * 1_000.0 / wall as f64,
+        fingerprint: "0x00c5330b6d65f1a2".into(),
+    };
+    let mut one = Hist::new();
+    one.record(17);
+    SuiteReport {
+        meta: SuiteMeta { seed: 1, date: "2026-08-08".into(), suites: "all".into(), processes: 3 },
+        suite_a: vec![cell(1, 200), cell(2, 100)],
+        suite_b: vec![SuiteBScale {
+            scale: 750,
+            processes: 1,
+            wall_ms: Percentiles::of(&one),
+            peak_rss_kb: Percentiles::of(&one),
+            records_per_sec: Percentiles::of(&one),
+            merged: [("time.span.join".to_string(), one.clone())].into_iter().collect(),
+        }],
+        verdicts: vec![Verdict {
+            cell: "A/repro/scale750".into(),
+            pass: true,
+            detail: "fingerprints agree".into(),
+        }],
+    }
+}
+
+#[test]
+fn suite_report_round_trips_byte_stable() {
+    // The suite summary is a fixed point of parse ∘ pretty, and the
+    // parsed structs match the originals — same contract as the BENCH
+    // baseline files.
+    let report = tiny_suite_report();
+    let text = report.to_json().pretty();
+    let doc = Json::parse(&text).expect("suite report parses");
+    obs::suite::validate(&doc).expect("suite report validates");
+    let back = SuiteReport::from_json(&doc).expect("suite report deserializes");
+    assert_eq!(back, report);
+    assert_eq!(back.to_json().pretty(), text);
+}
+
+#[test]
+fn truncated_suite_report_is_rejected() {
+    // Every proper prefix of the on-disk form must fail to parse — a
+    // torn SUITE_*.json write can never validate as a smaller report.
+    let text = report_text_trimmed();
+    for cut in (0..text.len()).step_by(7) {
+        if !text.is_char_boundary(cut) {
+            continue;
+        }
+        assert!(
+            Json::parse(&text[..cut]).is_err(),
+            "prefix of {cut} bytes parsed as a complete suite report"
+        );
+    }
+}
+
+fn report_text_trimmed() -> String {
+    let text = tiny_suite_report().to_json().pretty();
+    text.trim_end().to_string()
+}
+
+#[test]
+fn malformed_suite_reports_name_their_defects() {
+    // Structurally valid JSON with broken semantics is rejected with an
+    // error that names the offending field, never accepted quietly.
+    type Mutation = fn(&mut SuiteReport);
+    let mutations: &[(&str, Mutation)] = &[
+        ("meta.processes", |r| r.meta.processes = 99),
+        ("suite_a duplicate cells", |r| {
+            let dup = r.suite_a[1].cell.clone();
+            r.suite_a[0].cell = dup;
+        }),
+        // NaN serializes as null, so the document is valid JSON with a
+        // non-numeric rate.
+        ("records_per_sec", |r| r.suite_a[0].records_per_sec = f64::NAN),
+        ("suite B percentile/process mismatch", |r| r.suite_b[0].processes = 7),
+        ("meta.suites vocabulary", |r| r.meta.suites = "everything".into()),
+    ];
+    for (what, mutate) in mutations {
+        let mut report = tiny_suite_report();
+        mutate(&mut report);
+        let doc = report.to_json();
+        let errors = obs::suite::validate(&doc).expect_err(&format!("{what} accepted"));
+        assert!(!errors.is_empty(), "{what}: no error reported");
+        assert!(SuiteReport::from_json(&doc).is_err(), "{what}: from_json accepted it");
+    }
+
+    // A merged histogram whose claimed p99 disagrees with its buckets —
+    // mutated at the text level, the way a corrupted file would arrive.
+    let text = tiny_suite_report().to_json().pretty();
+    assert!(text.contains("\"p99\": 31"), "fixture drifted: {text}");
+    let lying = text.replace("\"p99\": 31", "\"p99\": 1000000");
+    let doc = Json::parse(&lying).expect("still valid JSON");
+    let errors = obs::suite::validate(&doc).expect_err("lying merged p99 accepted");
+    assert!(
+        errors.iter().any(|e| e.contains("p99")),
+        "errors do not name the lying percentile: {errors:?}"
+    );
+}
+
+#[test]
+fn unknown_schema_suite_report_is_rejected() {
+    // A future or typo'd schema id must fail validation outright — the
+    // validator owns exactly `dnsimpact-suite/v1`.
+    for bad in ["dnsimpact-suite/v2", "dnsimpact-sweep/v1", ""] {
+        let mut doc = tiny_suite_report().to_json();
+        doc.set("schema", Json::Str(bad.into()));
+        let errors = obs::suite::validate(&doc).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("schema")),
+            "schema {bad:?}: errors do not mention the schema field: {errors:?}"
+        );
+    }
+    let mut doc = tiny_suite_report().to_json();
+    let Json::Object(pairs) = std::mem::replace(&mut doc, Json::Null) else { unreachable!() };
+    let doc = Json::Object(pairs.into_iter().filter(|(k, _)| k != "schema").collect());
+    assert!(obs::suite::validate(&doc).is_err(), "schema-less report accepted");
 }
 
 /// Generator for arbitrary `Json` trees, depth-bounded so generation
