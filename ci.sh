@@ -31,6 +31,13 @@
 #                domain mid-ingest (only after /statz proves ingest
 #                progress), kill -9, restart from the checkpoint, diff the
 #                recovered index fingerprint against a clean replay
+#   live         the telemetry plane: scrape /metricsz mid-ingest and
+#                parse the exposition, assert SLO verdicts surface in
+#                /statz, render `repro watch` frames against the live
+#                daemon, then replay the same feed prefix twice (different
+#                chaos seed and --jobs) and byte-diff the deterministic
+#                /seriesz + /sloz fields; the emitted dnsimpactd-live/v1
+#                report must schema-validate
 #   results      hygiene: every committed results/*.json must
 #                schema-validate, and every file under results/ must be
 #                covered by results/INDEX.md
@@ -53,7 +60,7 @@ set -eu
 
 cd "$(dirname "$0")"
 
-ALL_GATES="lint build tests determinism chaos metrics wirebench trace sweep suite daemon results"
+ALL_GATES="lint build tests determinism chaos metrics wirebench trace sweep suite daemon live results"
 
 REPRO=target/release/repro
 DAEMON=target/release/dnsimpactd
@@ -71,6 +78,8 @@ trace        trace export schema + causality; repro explain deterministic
 sweep        bench --scale-sweep smoke: cross-jobs fingerprints + sweep schema
 suite        bench --suite all: process-suite verdicts all PASS + suite schema
 daemon       dnsimpactd kill -9 crash recovery fingerprint-identical to clean replay
+live         /metricsz parses mid-ingest, SLO verdicts surface, repro watch renders,
+             deterministic /seriesz + /sloz byte-identical across chaos seed and jobs
 results      every committed results/*.json validates; INDEX.md covers results/
 EOF
 }
@@ -133,7 +142,7 @@ BUILDS=0
 for G in $SELECTED; do
     case "$G" in
         build) BUILDS=1 ;;
-        determinism | chaos | metrics | trace | sweep | suite | daemon | results)
+        determinism | chaos | metrics | trace | sweep | suite | daemon | live | results)
             NEEDS_BINARIES=1
             ;;
     esac
@@ -441,6 +450,107 @@ gate_daemon() {
     echo "==> daemon gate passed (kill -9 recovery fingerprint-identical, shed-accounted serving)"
 }
 
+# Fetch the deterministic halves of the live series and the SLO verdict
+# sequence from a running daemon into one file — the byte-diff unit of
+# the live gate. Every live.* series the tick clock emits is included.
+live_capture() {
+    ADDR=$1
+    OUT=$2
+    : > "$OUT"
+    for N in live.batches live.records live.episodes live.joined_rows \
+        live.staleness_s live.ingest_lag live.clock_s; do
+        "$DAEMON" get --field deterministic "$ADDR/seriesz?name=$N&last=1000000" >> "$OUT"
+    done
+    "$DAEMON" get --field deterministic "$ADDR/sloz" >> "$OUT"
+}
+
+gate_live() {
+    echo "==> live gate: telemetry plane (exposition, SLO verdicts, watch, replay diff)"
+    LFEED="--seed 7 --scale-target 15000 --months 2 --providers 20 --domains 6000"
+
+    # Phase 1: a paced, chaos-seeded daemon is scraped MID-ingest — the
+    # exposition must parse and the SLO evaluator must already be issuing
+    # verdicts while batches are still applying.
+    "$DAEMON" serve $LFEED --chaos-seed 5 --pace-ms 15 \
+        --port-file "$SMOKE/live.port" 2> "$SMOKE/live-paced.log" &
+    DPID=$!
+    for _ in $(seq 1 100); do
+        [ -s "$SMOKE/live.port" ] && break
+        sleep 0.1
+    done
+    LADDR=$(cat "$SMOKE/live.port")
+    daemon_wait "$LADDR/healthz"
+    SEQ=0
+    for _ in $(seq 1 100); do
+        SEQ=$("$DAEMON" get --field applied_seq "$LADDR/statz" 2> /dev/null || echo 0)
+        [ "$SEQ" -gt 0 ] 2> /dev/null && break
+        sleep 0.1
+    done
+    [ "$SEQ" -gt 0 ] || {
+        echo "live daemon made no ingest progress within 10s" >&2
+        exit 1
+    }
+    # Exposition parses via the daemon's own zero-dependency parser.
+    "$DAEMON" get --expo "$LADDR/metricsz"
+    # SLO verdicts surface in /statz while ingest is live.
+    "$DAEMON" get --field slo "$LADDR/statz" > "$SMOKE/live-slo.json"
+    grep -q '"diagnosis"' "$SMOKE/live-slo.json"
+    grep -q '"worst"' "$SMOKE/live-slo.json"
+    # The watch dashboard renders real frames against the live daemon.
+    "$REPRO" watch "$LADDR" --frames 2 --interval-ms 300 2> "$SMOKE/watch.txt"
+    grep -q "verdict" "$SMOKE/watch.txt"
+    grep -q "ingest_lag" "$SMOKE/watch.txt"
+    kill -9 "$DPID"
+    wait "$DPID" 2> /dev/null || true
+    DPID=""
+
+    # Phase 2: replay the same feed prefix twice — different chaos seed
+    # and worker count — and byte-diff the deterministic /seriesz and
+    # /sloz fields. The live report each run emits must schema-validate.
+    "$DAEMON" serve $LFEED --chaos-seed 5 --jobs 1 \
+        --live-report "$SMOKE/live-a.json" --port-file "$SMOKE/live-a.port" \
+        2> "$SMOKE/live-a.log" &
+    DPID=$!
+    for _ in $(seq 1 100); do
+        [ -s "$SMOKE/live-a.port" ] && break
+        sleep 0.1
+    done
+    LADDR=$(cat "$SMOKE/live-a.port")
+    daemon_wait "$LADDR/healthz"
+    for _ in $(seq 1 300); do
+        [ "$("$DAEMON" get --field ingest_done "$LADDR/statz" || true)" = "true" ] && break
+        sleep 0.1
+    done
+    live_capture "$LADDR" "$SMOKE/live-det-a.txt"
+    kill -9 "$DPID"
+    wait "$DPID" 2> /dev/null || true
+    DPID=""
+
+    "$DAEMON" serve $LFEED --chaos-seed 11 --jobs 4 \
+        --live-report "$SMOKE/live-b.json" --port-file "$SMOKE/live-b.port" \
+        2> "$SMOKE/live-b.log" &
+    DPID=$!
+    for _ in $(seq 1 100); do
+        [ -s "$SMOKE/live-b.port" ] && break
+        sleep 0.1
+    done
+    LADDR=$(cat "$SMOKE/live-b.port")
+    daemon_wait "$LADDR/healthz"
+    for _ in $(seq 1 300); do
+        [ "$("$DAEMON" get --field ingest_done "$LADDR/statz" || true)" = "true" ] && break
+        sleep 0.1
+    done
+    live_capture "$LADDR" "$SMOKE/live-det-b.txt"
+    kill -9 "$DPID"
+    wait "$DPID" 2> /dev/null || true
+    DPID=""
+
+    diff "$SMOKE/live-det-a.txt" "$SMOKE/live-det-b.txt"
+    "$REPRO" validate-metrics "$SMOKE/live-a.json"
+    "$REPRO" validate-metrics "$SMOKE/live-b.json"
+    echo "==> live gate passed (exposition parses, verdicts live, series replay-deterministic)"
+}
+
 # Poll an endpoint with `dnsimpactd get` until it answers 2xx (10s cap).
 daemon_wait() {
     for _ in $(seq 1 100); do
@@ -471,6 +581,7 @@ gate_results() {
             SWEEP_*.json) PAT='SWEEP_<date>' ;;
             DAEMON_*.json) PAT='DAEMON_<date>' ;;
             SUITE_*.json) PAT='SUITE_<date>' ;;
+            LIVE_*.json) PAT='LIVE_<date>' ;;
             *) PAT="$B" ;;
         esac
         grep -qF "$PAT" results/INDEX.md || {

@@ -10,6 +10,7 @@
 //! repro bench [--compare [BASELINE.json]] [same flags]
 //! repro bench --scale-sweep [--out DIR] [same flags]
 //! repro explain EPISODE-ID [same flags]
+//! repro watch HOST:PORT [--interval-ms N] [--frames N]
 //! repro validate-metrics FILE
 //! repro validate-trace FILE
 //!
@@ -91,13 +92,21 @@
 //! fingerprint, QPS, p50/p95/p99 tail latency, shed accounting) to
 //! `results/DAEMON_<date>[_runN].json`.
 //!
+//! `repro watch HOST:PORT` renders a polling stderr dashboard against a
+//! live `dnsimpactd`: sparkline trajectories of the tick-clock series,
+//! the SLO verdict table, and the staleness/ingest header. An
+//! unreachable daemon is a rendered state, not an exit; `--frames N`
+//! bounds the run for CI.
+//!
 //! `repro validate-metrics FILE` schema-validates a previously written
 //! report, dispatching on the document's `schema` field: a
 //! `dnsimpact-metrics/v2` run report additionally gets the cross-counter
 //! invariant checks (fault accounting balances; reactive latency and
 //! probe budgets hold), a `dnsimpact-sweep/v1` sweep report gets the
 //! cell-grid checks (sorted, duplicate-free cells; finite floats), a
-//! `dnsimpactd-report/v1` daemon report gets the shed-accounting check.
+//! `dnsimpactd-report/v1` daemon report gets the shed-accounting check,
+//! and a `dnsimpactd-live/v1` telemetry report gets the delta
+//! conservation check across its tick ring.
 //! An unknown or missing schema id is rejected outright, naming the id
 //! and the known schemas. Exit 1 on any violation — this is the CI
 //! metrics gate.
@@ -270,6 +279,10 @@ fn parse_args() -> Options {
                 let rest: Vec<String> = args.collect();
                 std::process::exit(daemon_bench(&rest));
             }
+            "watch" => {
+                let rest: Vec<String> = args.collect();
+                std::process::exit(watch(&rest));
+            }
             "validate-metrics" => {
                 let file = PathBuf::from(operand(&mut args, "validate-metrics", "FILE"));
                 std::process::exit(validate_metrics(&file));
@@ -322,6 +335,10 @@ fn parse_args() -> Options {
                 println!("repro daemon-bench            ingest the pinned daemon feed, serve it,");
                 println!("                              fire a Zipf query load, write");
                 println!("                              DAEMON_<date>[_runN].json under --out");
+                println!("repro watch HOST:PORT         live stderr dashboard for a running");
+                println!("                              dnsimpactd: sparkline series, SLO");
+                println!("                              verdicts, staleness ([--interval-ms N]");
+                println!("                              [--frames N])");
                 println!("repro validate-metrics FILE   schema + invariant check a report");
                 println!("repro validate-trace FILE     causality-check a --trace-json file");
                 println!("run `repro --list` for the experiment catalog");
@@ -504,6 +521,32 @@ fn validate_metrics(path: &Path) -> i32 {
                 1
             }
         },
+        Some(obs::LIVE_SCHEMA_ID) => match obs::live::validate(&doc) {
+            Ok(()) => {
+                let n = |key: &str| {
+                    doc.get("deterministic")
+                        .and_then(|d| d.get(key))
+                        .and_then(|c| c.as_array().map(|a| a.len()))
+                        .unwrap_or(0)
+                };
+                obs::progress(
+                    "repro",
+                    &format!(
+                        "{} is a valid {} report ({} deterministic series, {} SLO \
+                         transition(s); delta conservation holds)",
+                        path.display(),
+                        obs::LIVE_SCHEMA_ID,
+                        n("series"),
+                        n("slo_transitions"),
+                    ),
+                );
+                0
+            }
+            Err(errors) => {
+                report_violations("live", &errors);
+                1
+            }
+        },
         Some(obs::SCHEMA_ID) => {
             let mut errors = Vec::new();
             if let Err(e) = obs::report::validate(&doc) {
@@ -565,13 +608,14 @@ fn validate_metrics(path: &Path) -> i32 {
             obs::progress(
                 "repro",
                 &format!(
-                    "{}: unknown schema {}; known schemas: {}, {}, {}, {}",
+                    "{}: unknown schema {}; known schemas: {}, {}, {}, {}, {}",
                     path.display(),
                     other.map_or("<missing>".to_string(), |s| format!("{s:?}")),
                     obs::SCHEMA_ID,
                     obs::SWEEP_SCHEMA_ID,
                     obs::SUITE_SCHEMA_ID,
                     obs::DAEMON_SCHEMA_ID,
+                    obs::LIVE_SCHEMA_ID,
                 ),
             );
             2
@@ -626,6 +670,30 @@ fn validate_trace(path: &Path) -> i32 {
         obs::progress("repro", &format!("{}: {} violation(s)", path.display(), errors.len()));
         1
     }
+}
+
+/// `repro watch HOST:PORT`: poll a running daemon and render the live
+/// dashboard to stderr. Returns the process exit code.
+fn watch(args: &[String]) -> i32 {
+    let mut addr: Option<String> = None;
+    let mut cfg = bench_support::WatchConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--interval-ms" => cfg.interval_ms = num_operand("--interval-ms", &val(a)),
+            "--frames" => cfg.frames = Some(num_operand("--frames", &val(a))),
+            other => addr = Some(other.to_string()),
+        }
+    }
+    let Some(addr) = addr else { die("watch needs HOST:PORT") };
+    let addr = match addr.trim_start_matches("http://").parse() {
+        Ok(a) => a,
+        Err(e) => die(&format!("watch: bad address {addr:?}: {e}")),
+    };
+    bench_support::watch::run(addr, &cfg)
 }
 
 /// `repro daemon-bench`: one in-process pass over the daemon's whole
@@ -696,14 +764,18 @@ fn daemon_bench(args: &[String]) -> i32 {
 
     let server_cfg =
         dnsimpactd::ServerConfig { staleness_bound_s, ..dnsimpactd::ServerConfig::default() };
-    let server =
-        match dnsimpactd::Server::start(&server_cfg, std::sync::Arc::clone(&cell), dir.clone()) {
-            Ok(s) => s,
-            Err(e) => {
-                obs::progress("repro", &format!("daemon-bench: cannot bind server: {e}"));
-                return 1;
-            }
-        };
+    let server = match dnsimpactd::Server::start(
+        &server_cfg,
+        std::sync::Arc::clone(&cell),
+        dir.clone(),
+        None,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            obs::progress("repro", &format!("daemon-bench: cannot bind server: {e}"));
+            return 1;
+        }
+    };
     let names: Vec<String> = dir.names().map(str::to_string).collect();
     obs::progress(
         "repro",

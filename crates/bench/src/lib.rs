@@ -21,10 +21,12 @@ pub mod checkpoint;
 pub mod qload;
 pub mod suite;
 pub mod sweep;
+pub mod watch;
 pub use checkpoint::CheckpointDir;
 pub use qload::{QloadConfig, QloadStats};
 pub use suite::{run_suite, SuiteRunConfig, SuiteSel};
 pub use sweep::{divisor_for_target, run_scale_sweep, SweepConfig, PAPER_TOTAL_ATTACKS};
+pub use watch::{sparkline, WatchConfig};
 
 /// A fully materialized longitudinal experiment.
 pub struct Experiments {

@@ -1,0 +1,174 @@
+//! `repro watch HOST:PORT` — a polling terminal dashboard for a live
+//! `dnsimpactd`.
+//!
+//! Renders to **stderr** (the stdout determinism rule applies to `repro`
+//! like everything else): per-frame it fetches `/statz`, `/sloz`, and a
+//! handful of `/seriesz` windows, then draws sparkline trajectories, the
+//! SLO verdict table, and the staleness/ingest header. The daemon being
+//! unreachable is a rendered state, not an exit — watch survives daemon
+//! restarts the way the daemon survives kills.
+//!
+//! `--frames N` bounds the run (the CI gate uses `--frames 2`);
+//! `--interval-ms` sets the poll cadence. Exit 0 once the frame budget is
+//! spent, or run until ^C without one.
+
+use obs::Json;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Poll cadence and lifetime of the watch loop.
+pub struct WatchConfig {
+    pub interval_ms: u64,
+    /// Stop after this many rendered frames (None = run until killed).
+    pub frames: Option<u64>,
+}
+
+impl Default for WatchConfig {
+    fn default() -> WatchConfig {
+        WatchConfig { interval_ms: 1_000, frames: None }
+    }
+}
+
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Scale a window of values into a sparkline string. A flat series
+/// renders as a flat low bar rather than dividing by zero.
+pub fn sparkline(values: &[u64]) -> String {
+    let Some(&max) = values.iter().max() else { return String::new() };
+    let Some(&min) = values.iter().min() else { return String::new() };
+    values
+        .iter()
+        .map(|&v| {
+            let idx = if max == min {
+                0
+            } else {
+                (((v - min) as u128 * (SPARKS.len() - 1) as u128) / (max - min) as u128) as usize
+            };
+            SPARKS[idx]
+        })
+        .collect()
+}
+
+fn get_json(addr: SocketAddr, path: &str) -> Option<Json> {
+    let (status, body) = dnsimpactd::http_get(addr, path, Duration::from_secs(2)).ok()?;
+    if !(200..300).contains(&status) {
+        return None;
+    }
+    Json::parse(&body).ok()
+}
+
+fn u64_field(doc: &Json, key: &str) -> u64 {
+    doc.get(key).and_then(|v| v.as_u64()).unwrap_or(0)
+}
+
+/// One series' recent window, fetched from `/seriesz`.
+fn series_window(addr: SocketAddr, name: &str, last: usize) -> Option<(Vec<u64>, u64)> {
+    let doc = get_json(addr, &format!("/seriesz?name={name}&last={last}"))?;
+    // Deterministic live.* series carry their points under
+    // "deterministic"; annotation series under "annotation.points".
+    let points = doc
+        .get("deterministic")
+        .filter(|d| d.get("values").is_some())
+        .cloned()
+        .or_else(|| doc.get("annotation").and_then(|a| a.get("points")).cloned())?;
+    let values: Vec<u64> =
+        points.get("values")?.as_array()?.iter().filter_map(|v| v.as_u64()).collect();
+    let cumulative = u64_field(&points, "cumulative");
+    Some((values, cumulative))
+}
+
+/// Render one frame of the dashboard into a string (tested directly; the
+/// loop prints it to stderr).
+pub fn render_frame(addr: SocketAddr, frame: u64) -> String {
+    let mut out = String::new();
+    let Some(statz) = get_json(addr, "/statz") else {
+        return format!("dnsimpactd watch — {addr} — frame {frame}\n  daemon unreachable\n");
+    };
+    let applied = u64_field(&statz, "applied_seq");
+    let total = u64_field(&statz, "total_batches");
+    let staleness = u64_field(&statz, "staleness_s");
+    let ready = matches!(statz.get("ready"), Some(Json::Bool(true)));
+    let ckpt = u64_field(&statz, "checkpoint_seq");
+    out.push_str(&format!(
+        "dnsimpactd watch — {addr} — frame {frame}\n\
+         ingest  seq {applied}/{total}  checkpoint {ckpt}  staleness {staleness}s  ready {ready}\n\
+         serving received {} served {} shed {}\n",
+        u64_field(&statz, "queries_received"),
+        u64_field(&statz, "queries_served"),
+        u64_field(&statz, "queries_shed"),
+    ));
+
+    for (label, name) in [
+        ("records/tick ", "live.records"),
+        ("staleness_s  ", "live.staleness_s"),
+        ("ingest_lag   ", "live.ingest_lag"),
+        ("served/tick  ", "sched.daemon.queries_served"),
+    ] {
+        match series_window(addr, name, 48) {
+            Some((values, cumulative)) => {
+                let last = values.last().copied().unwrap_or(0);
+                out.push_str(&format!(
+                    "  {label} {} last {last} cum {cumulative}\n",
+                    sparkline(&values)
+                ));
+            }
+            None => out.push_str(&format!("  {label} (no data yet)\n")),
+        }
+    }
+
+    match get_json(addr, "/sloz") {
+        Some(sloz) => {
+            if let Some(statuses) =
+                sloz.get("annotation").and_then(|a| a.get("statuses")).and_then(|s| s.as_array())
+            {
+                out.push_str("  slo     ");
+                for s in statuses {
+                    let name = s.get("name").and_then(|v| v.as_str()).unwrap_or("?");
+                    let status = s.get("status").and_then(|v| v.as_str()).unwrap_or("?");
+                    let burn = u64_field(s, "burn_permille");
+                    out.push_str(&format!("{name}={status}({burn}‰) "));
+                }
+                out.push('\n');
+            }
+            let diagnosis = sloz
+                .get("annotation")
+                .and_then(|a| a.get("diagnosis"))
+                .and_then(|d| d.as_str())
+                .unwrap_or("unknown");
+            out.push_str(&format!("  verdict {diagnosis}\n"));
+        }
+        None => out.push_str("  slo     (live telemetry not enabled)\n"),
+    }
+    out
+}
+
+/// The watch loop. Returns a process exit code.
+pub fn run(addr: SocketAddr, cfg: &WatchConfig) -> i32 {
+    let mut frame = 0u64;
+    loop {
+        frame += 1;
+        eprint!("{}", render_frame(addr, frame));
+        eprintln!();
+        if cfg.frames.is_some_and(|n| frame >= n) {
+            return 0;
+        }
+        std::thread::sleep(Duration::from_millis(cfg.interval_ms));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sparkline;
+
+    #[test]
+    fn sparkline_scales_min_to_max() {
+        let s = sparkline(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(s, "▁▂▃▄▅▆▇█");
+        assert_eq!(sparkline(&[]), "");
+        // Flat series: no divide-by-zero, renders the low bar.
+        assert_eq!(sparkline(&[5, 5, 5]), "▁▁▁");
+        // Large values must not overflow the scaling arithmetic.
+        let s = sparkline(&[0, u64::MAX]);
+        assert_eq!(s, "▁█");
+    }
+}

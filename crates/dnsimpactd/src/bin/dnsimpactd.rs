@@ -8,6 +8,9 @@
 //!   compact JSON line (records, ingest wall, full fingerprint, peak RSS)
 //!   to stdout — the serving cell of the `repro bench --suite`
 //!   orchestrator, which reads exactly that line per spawned process.
+//!   `--live-report PATH` writes the `dnsimpactd-live/v1` telemetry
+//!   report (tick-clock series + SLO transitions) after ingest;
+//!   `--tick-cap` bounds the telemetry ring.
 //! - `fingerprint` — apply the whole feed in-process (no daemon, no
 //!   transport) and print the full index fingerprint: the clean-replay
 //!   reference the CI gate diffs a crash-recovered daemon against.
@@ -15,16 +18,17 @@
 //!   restricts to domains whose NSSet joined at least one episode.
 //! - `get` — a tiny HTTP client (`curl` is not guaranteed in the CI
 //!   container): fetch a path, print the body or one `--field` of it,
-//!   exit 0 on 2xx and 3 otherwise.
+//!   exit 0 on 2xx and 3 otherwise. `--expo` instead parses the body as
+//!   Prometheus text exposition (the CI live gate's `/metricsz` check).
 //!
 //! All flag parsing reports contextful errors on stderr and exits 2 —
 //! never panics.
 
 use dnsimpactd::{
     http_get, DomainDir, FeedConfig, IndexSnapshot, IndexState, IngestConfig, Ingestor, Server,
-    ServerConfig,
+    ServerConfig, Telemetry, TelemetryConfig,
 };
-use obs::Json;
+use obs::{Json, LiveFinal, LiveMeta};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -67,6 +71,9 @@ struct Opts {
     bench_oneshot: bool,
     impacted: bool,
     limit: usize,
+    scale_target: u64,
+    tick_cap: usize,
+    live_report: Option<PathBuf>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -82,6 +89,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         bench_oneshot: false,
         impacted: false,
         limit: usize::MAX,
+        scale_target: 1_500,
+        tick_cap: 1_024,
+        live_report: None,
     };
     let mut scale_target: Option<u64> = None;
     let mut it = args.iter();
@@ -115,11 +125,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--bench-oneshot" => o.bench_oneshot = true,
             "--impacted" => o.impacted = true,
             "-n" | "--limit" => o.limit = num(flag, val(flag)?)?,
+            "--tick-cap" => o.tick_cap = num::<usize>(flag, val(flag)?)?.max(1),
+            "--live-report" => o.live_report = Some(PathBuf::from(val(flag)?)),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     if let Some(t) = scale_target {
         o.feed.divisor = scenarios::divisor_for_target(t);
+        o.scale_target = t;
     }
     Ok(o)
 }
@@ -148,7 +161,12 @@ fn serve(args: &[String]) -> Result<(), String> {
         staleness_bound_s: o.staleness_bound_s,
         ..ServerConfig::default()
     };
-    let server = Server::start(&server_cfg, Arc::clone(&cell), dir)
+    let telemetry = Telemetry::new(TelemetryConfig {
+        tick_cap: o.tick_cap,
+        staleness_slo_s: o.staleness_bound_s,
+        ..TelemetryConfig::default()
+    });
+    let server = Server::start(&server_cfg, Arc::clone(&cell), dir, Some(Arc::clone(&telemetry)))
         .map_err(|e| format!("bind {}: {e}", o.bind))?;
     let addr = server.addr();
     obs::progress("daemon", &format!("serving on {addr}"));
@@ -157,7 +175,8 @@ fn serve(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("write port file {}: {e}", pf.display()))?;
     }
     let ingest_start = std::time::Instant::now();
-    let mut ingestor = Ingestor::new(&source, ingest_cfg(&o), Arc::clone(&cell));
+    let mut ingestor = Ingestor::new(&source, ingest_cfg(&o), Arc::clone(&cell))
+        .with_telemetry(Arc::clone(&telemetry));
     let stats = ingestor.recover_and_run();
     let ingest_wall_ms = ingest_start.elapsed().as_millis() as u64;
     obs::progress(
@@ -170,6 +189,37 @@ fn serve(args: &[String]) -> Result<(), String> {
             stats.restarts,
         ),
     );
+    if let Some(path) = &o.live_report {
+        let meta = LiveMeta {
+            seed: o.feed.seed,
+            scale: o.scale_target,
+            months: o.feed.months as u64,
+            jobs: o.jobs as u64,
+            date: obs::report::today_utc(),
+            chaos_seed: o.chaos_seed,
+            tick_cap: o.tick_cap as u64,
+        };
+        let fin = LiveFinal {
+            applied_seq: ingestor.state.applied_seq,
+            total_batches: source.batches.len() as u64,
+            records_applied: ingestor.state.records_applied,
+            episodes: ingestor.state.columns.len() as u64,
+            joined_rows: ingestor.state.join.len() as u64,
+            staleness_s: ingestor.state.staleness_s(),
+            full_fp: format!("{:#018x}", ingestor.state.full_fingerprint()),
+        };
+        let doc = telemetry.live_report(&meta, &fin);
+        if let Err(errors) = obs::live::validate(&doc) {
+            return Err(format!(
+                "live report failed its own schema ({} errors): {}",
+                errors.len(),
+                errors.join("; ")
+            ));
+        }
+        dnsimpact_core::report::write_atomic(path, &format!("{}\n", doc.pretty()))
+            .map_err(|e| format!("write live report {}: {e}", path.display()))?;
+        obs::progress("daemon", &format!("live report written to {}", path.display()));
+    }
     if o.bench_oneshot {
         // The suite orchestrator's stdout protocol: exactly one compact
         // JSON line, then exit. Everything above went to stderr.
@@ -241,6 +291,7 @@ fn domains(args: &[String]) -> Result<(), String> {
 fn get(args: &[String]) -> ExitCode {
     let mut url: Option<&str> = None;
     let mut field: Option<&str> = None;
+    let mut expo = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -251,6 +302,7 @@ fn get(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--expo" => expo = true,
             other => url = Some(other),
         }
     }
@@ -271,6 +323,24 @@ fn get(args: &[String]) -> ExitCode {
     };
     match http_get(addr, &path, Duration::from_secs(5)) {
         Ok((status, body)) => {
+            if expo {
+                // Exposition mode: strict-parse the text body instead of
+                // printing it — the CI gate's "does /metricsz parse" check.
+                return match obs::expo::parse_text(&body) {
+                    Ok(families) if (200..300).contains(&status) => {
+                        println!("expo-ok {} families", families.len());
+                        ExitCode::SUCCESS
+                    }
+                    Ok(_) => {
+                        eprintln!("dnsimpactd: HTTP {status}");
+                        ExitCode::from(3)
+                    }
+                    Err(e) => {
+                        eprintln!("dnsimpactd: exposition does not parse: {e}");
+                        ExitCode::from(3)
+                    }
+                };
+            }
             match field {
                 Some(f) => match Json::parse(&body).ok().and_then(|d| d.get(f).cloned()) {
                     Some(Json::Str(s)) => println!("{s}"),

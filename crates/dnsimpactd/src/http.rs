@@ -24,16 +24,35 @@
 //!   otherwise, so probes and humans see *why*.
 //! - `GET /query?domain=NAME` — the impact answer, always carrying
 //!   `staleness_s` and `degraded`.
-//! - `GET /statz` — ingest progress and fingerprints, for the CI gate.
+//! - `GET /statz` — ingest progress, fingerprints, the serving-side
+//!   query accounting (received/served/shed/errors), the last durable
+//!   checkpoint sequence, and current SLO verdicts — one consistent
+//!   snapshot for the CI gate and the watchdog.
+//! - `GET /metricsz` — every registered metric as Prometheus text
+//!   exposition (`obs::expo`), `text/plain`.
+//! - `GET /seriesz?name=NAME&last=N` — a window of one live time series,
+//!   split into deterministic fields and annotation.
+//! - `GET /sloz` — SLO specs, deterministic verdict transitions, live
+//!   burn rates, and the overload-vs-starvation diagnosis.
+//!
+//! Every route is instrumented with a `sched.daemon.http.requests.*`
+//! counter and a `sched.daemon.http.latency_us.*` histogram (the route
+//! key set is fixed, so the metric names stay `&'static`).
+//!
+//! Query strings are parsed by [`parse_query`], which treats hostile
+//! input as a structured `400` rather than a fallthrough: duplicate
+//! keys, bad `%`-escapes, oversized keys/values, unknown parameters,
+//! and non-UTF-8 decodes are all named in the error body.
 
 use crate::index::{BaselineSource, DomainDir, IndexSnapshot};
+use crate::telemetry::Telemetry;
 use obs::Json;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use streamproc::{BoundedQueue, PushError, SwapCell};
 
 /// Serving policy.
@@ -74,10 +93,13 @@ pub struct Server {
 
 impl Server {
     /// Bind and start serving the snapshots published through `cell`.
+    /// `telemetry` enables the live plane (`/seriesz`, `/sloz`, and the
+    /// SLO block in `/statz`); without it those routes answer 404.
     pub fn start(
         cfg: &ServerConfig,
         cell: Arc<SwapCell<IndexSnapshot>>,
         dir: Arc<DomainDir>,
+        telemetry: Option<Arc<Telemetry>>,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.bind)?;
         let addr = listener.local_addr()?;
@@ -122,12 +144,13 @@ impl Server {
                 let cell = Arc::clone(&cell);
                 let dir = Arc::clone(&dir);
                 let cfg = cfg.clone();
+                let telemetry = telemetry.clone();
                 std::thread::spawn(move || {
                     while let Some(conn) = queue.pop() {
                         if cfg.handle_delay_ms > 0 {
                             std::thread::sleep(Duration::from_millis(cfg.handle_delay_ms));
                         }
-                        match handle(conn, &cell, &dir, &cfg) {
+                        match handle(conn, &cell, &dir, &cfg, telemetry.as_deref()) {
                             Ok(()) => obs::counter("sched.daemon.queries_served").incr(),
                             Err(_) => obs::counter("sched.daemon.query_errors").incr(),
                         }
@@ -178,12 +201,34 @@ fn drain_request(mut conn: &TcpStream, timeout: Duration) -> std::io::Result<()>
     }
 }
 
+/// The fixed route-metric table. Unknown paths share the `other` pair,
+/// so hostile path spam cannot grow the registry.
+fn route_metrics(path: &str) -> (&'static str, &'static str) {
+    match path {
+        "/healthz" => {
+            ("sched.daemon.http.requests.healthz", "sched.daemon.http.latency_us.healthz")
+        }
+        "/readyz" => ("sched.daemon.http.requests.readyz", "sched.daemon.http.latency_us.readyz"),
+        "/statz" => ("sched.daemon.http.requests.statz", "sched.daemon.http.latency_us.statz"),
+        "/query" => ("sched.daemon.http.requests.query", "sched.daemon.http.latency_us.query"),
+        "/metricsz" => {
+            ("sched.daemon.http.requests.metricsz", "sched.daemon.http.latency_us.metricsz")
+        }
+        "/seriesz" => {
+            ("sched.daemon.http.requests.seriesz", "sched.daemon.http.latency_us.seriesz")
+        }
+        "/sloz" => ("sched.daemon.http.requests.sloz", "sched.daemon.http.latency_us.sloz"),
+        _ => ("sched.daemon.http.requests.other", "sched.daemon.http.latency_us.other"),
+    }
+}
+
 /// Read one request line + headers (8 KiB cap), route, respond.
 fn handle(
     mut conn: TcpStream,
     cell: &SwapCell<IndexSnapshot>,
     dir: &DomainDir,
     cfg: &ServerConfig,
+    telemetry: Option<&Telemetry>,
 ) -> std::io::Result<()> {
     conn.set_read_timeout(Some(Duration::from_secs(5)))?;
     conn.set_write_timeout(Some(Duration::from_secs(5)))?;
@@ -212,9 +257,115 @@ fn handle(
         Some((p, q)) => (p, Some(q)),
         None => (target, None),
     };
-    let snap = cell.load();
-    let (status, body) = route(path, query, &snap, dir, cfg);
-    respond(conn, status, &body)
+    let (requests, latency) = route_metrics(path);
+    obs::counter(requests).incr();
+    let started = Instant::now();
+    let result = if path == "/metricsz" {
+        // Text exposition, not JSON — rendered from the whole registry.
+        respond_text(conn, 200, &obs::expo::render(&obs::registry().snapshot()))
+    } else {
+        let snap = cell.load();
+        let (status, body) = route(path, query, &snap, dir, cfg, telemetry);
+        respond(conn, status, &body)
+    };
+    obs::histogram(latency).record(started.elapsed().as_micros() as u64);
+    result
+}
+
+/// Query-string hardening limits. Small on purpose: every legitimate
+/// client of this API sends one short pair.
+const MAX_QUERY_PAIRS: usize = 8;
+const MAX_KEY_LEN: usize = 64;
+const MAX_VALUE_LEN: usize = 256;
+const MAX_QUERY_LEN: usize = 2048;
+
+fn percent_decode(s: &str) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .ok_or_else(|| format!("truncated %-escape in {s:?}"))?;
+                let decode = |b: u8| (b as char).to_digit(16);
+                let (hi, lo) = match (decode(hex[0]), decode(hex[1])) {
+                    (Some(hi), Some(lo)) => (hi, lo),
+                    _ => {
+                        return Err(format!(
+                            "bad %-escape %{} in {s:?}",
+                            String::from_utf8_lossy(hex)
+                        ))
+                    }
+                };
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("{s:?} does not decode to UTF-8"))
+}
+
+/// Strict query-string parser: every key must be in `allowed`, appear at
+/// most once, carry a `=`, decode cleanly, and fit the size limits. Any
+/// violation is an `Err` naming the offending piece — the route turns it
+/// into a structured 400, never a 404 fallthrough.
+fn parse_query(raw: Option<&str>, allowed: &[&str]) -> Result<Vec<(String, String)>, String> {
+    let Some(raw) = raw else { return Ok(Vec::new()) };
+    if raw.is_empty() {
+        return Ok(Vec::new());
+    }
+    if raw.len() > MAX_QUERY_LEN {
+        return Err(format!("query string is {} bytes; max {MAX_QUERY_LEN}", raw.len()));
+    }
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    for kv in raw.split('&') {
+        if kv.is_empty() {
+            return Err("empty query parameter (stray '&')".into());
+        }
+        if pairs.len() >= MAX_QUERY_PAIRS {
+            return Err(format!("more than {MAX_QUERY_PAIRS} query parameters"));
+        }
+        let Some((k, v)) = kv.split_once('=') else {
+            return Err(format!("query parameter {kv:?} has no '='"));
+        };
+        if k.len() > MAX_KEY_LEN {
+            return Err(format!("query key is {} bytes; max {MAX_KEY_LEN}", k.len()));
+        }
+        if v.len() > MAX_VALUE_LEN {
+            return Err(format!("value of {k:?} is {} bytes; max {MAX_VALUE_LEN}", v.len()));
+        }
+        let k = percent_decode(k)?;
+        let v = percent_decode(v)?;
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!("unknown query parameter {k:?}; expected one of {allowed:?}"));
+        }
+        if pairs.iter().any(|(seen, _)| *seen == k) {
+            return Err(format!("duplicate query parameter {k:?}"));
+        }
+        pairs.push((k, v));
+    }
+    Ok(pairs)
+}
+
+fn bad_request(detail: String) -> (u16, Json) {
+    let mut b = Json::obj();
+    b.set("error", Json::Str("bad query string".into()));
+    b.set("detail", Json::Str(detail));
+    (400, b)
+}
+
+fn param<'a>(pairs: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
 }
 
 fn route(
@@ -223,6 +374,7 @@ fn route(
     snap: &IndexSnapshot,
     dir: &DomainDir,
     cfg: &ServerConfig,
+    telemetry: Option<&Telemetry>,
 ) -> (u16, Json) {
     match path {
         "/healthz" => {
@@ -254,15 +406,29 @@ fn route(
             if let Some(fp) = snap.full_fp {
                 b.set("full_fp", Json::Str(format!("{fp:#018x}")));
             }
+            // The serving-side accounting, in the same snapshot the CI
+            // gate and the watchdog already poll: shedding was previously
+            // visible only in the final report.
+            b.set(
+                "queries_received",
+                Json::U64(obs::counter("sched.daemon.queries_received").get()),
+            );
+            b.set("queries_served", Json::U64(obs::counter("sched.daemon.queries_served").get()));
+            b.set("queries_shed", Json::U64(obs::counter("sched.daemon.queries_shed").get()));
+            b.set("query_errors", Json::U64(obs::counter("sched.daemon.query_errors").get()));
+            if let Some(tel) = telemetry {
+                b.set("checkpoint_seq", Json::U64(tel.checkpoint_seq()));
+                b.set("slo", tel.statz_slo());
+            }
             (200, b)
         }
         "/query" => {
-            let Some(name) = query.and_then(|q| {
-                q.split('&').find_map(|kv| kv.strip_prefix("domain=")).filter(|v| !v.is_empty())
-            }) else {
-                let mut b = Json::obj();
-                b.set("error", Json::Str("missing ?domain=NAME".into()));
-                return (400, b);
+            let pairs = match parse_query(query, &["domain"]) {
+                Ok(p) => p,
+                Err(e) => return bad_request(e),
+            };
+            let Some(name) = param(&pairs, "domain").filter(|v| !v.is_empty()) else {
+                return bad_request("missing ?domain=NAME".into());
             };
             let Some((_, nsset)) = dir.lookup(name) else {
                 let mut b = Json::obj();
@@ -270,6 +436,49 @@ fn route(
                 return (404, b);
             };
             (200, answer(name, nsset.0, snap, cfg))
+        }
+        "/seriesz" => {
+            let Some(tel) = telemetry else {
+                let mut b = Json::obj();
+                b.set("error", Json::Str("live telemetry is not enabled".into()));
+                return (404, b);
+            };
+            let pairs = match parse_query(query, &["name", "last"]) {
+                Ok(p) => p,
+                Err(e) => return bad_request(e),
+            };
+            let Some(name) = param(&pairs, "name").filter(|v| !v.is_empty()) else {
+                return bad_request("missing ?name=SERIES".into());
+            };
+            let last = match param(&pairs, "last") {
+                None => 64,
+                Some(raw) => match raw.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return bad_request(format!("last={raw:?} is not a positive integer")),
+                },
+            };
+            match tel.seriesz(name, last) {
+                Some(body) => (200, body),
+                None => {
+                    let mut b = Json::obj();
+                    b.set("error", Json::Str(format!("unknown series {name:?}")));
+                    b.set(
+                        "known",
+                        Json::Array(
+                            tel.series_names().into_iter().map(|(n, _)| Json::Str(n)).collect(),
+                        ),
+                    );
+                    (404, b)
+                }
+            }
+        }
+        "/sloz" => {
+            let Some(tel) = telemetry else {
+                let mut b = Json::obj();
+                b.set("error", Json::Str("live telemetry is not enabled".into()));
+                return (404, b);
+            };
+            (200, tel.sloz())
         }
         _ => {
             let mut b = Json::obj();
@@ -327,19 +536,37 @@ fn answer(name: &str, nsset: u32, snap: &IndexSnapshot, cfg: &ServerConfig) -> J
     b
 }
 
-fn respond(mut conn: TcpStream, status: u16, body: &Json) -> std::io::Result<()> {
-    let reason = match status {
+fn status_reason(status: u16) -> &'static str {
+    match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
-    };
-    let payload = body.pretty();
+    }
+}
+
+fn respond(conn: TcpStream, status: u16, body: &Json) -> std::io::Result<()> {
+    respond_raw(conn, status, "application/json", &body.pretty())
+}
+
+/// Prometheus text exposition (`/metricsz`) — the one route whose body is
+/// not JSON.
+fn respond_text(conn: TcpStream, status: u16, payload: &str) -> std::io::Result<()> {
+    respond_raw(conn, status, "text/plain; version=0.0.4", payload)
+}
+
+fn respond_raw(
+    mut conn: TcpStream,
+    status: u16,
+    content_type: &str,
+    payload: &str,
+) -> std::io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        payload.len()
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        payload.len(),
+        reason = status_reason(status),
     );
     conn.write_all(head.as_bytes())?;
     conn.write_all(payload.as_bytes())?;
@@ -370,4 +597,89 @@ pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> std::io::Res
         })?;
     let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
     Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{parse_query, percent_decode, MAX_QUERY_PAIRS};
+
+    #[test]
+    fn parse_query_accepts_the_legitimate_shapes() {
+        assert_eq!(parse_query(None, &["domain"]).unwrap(), vec![]);
+        assert_eq!(parse_query(Some(""), &["domain"]).unwrap(), vec![]);
+        assert_eq!(
+            parse_query(Some("domain=ns1.example.org"), &["domain"]).unwrap(),
+            vec![("domain".to_string(), "ns1.example.org".to_string())]
+        );
+        assert_eq!(
+            parse_query(Some("name=live.batches&last=8"), &["name", "last"]).unwrap(),
+            vec![
+                ("name".to_string(), "live.batches".to_string()),
+                ("last".to_string(), "8".to_string())
+            ]
+        );
+        // Percent-escapes and '+' decode before the allowlist check.
+        assert_eq!(
+            parse_query(Some("domain=a%2Eb+c"), &["domain"]).unwrap(),
+            vec![("domain".to_string(), "a.b c".to_string())]
+        );
+    }
+
+    #[test]
+    fn parse_query_rejects_duplicate_keys() {
+        let err = parse_query(Some("domain=a&domain=b"), &["domain"]).unwrap_err();
+        assert!(err.contains("duplicate"), "got {err:?}");
+        // Including duplicates smuggled through percent-encoding.
+        let err = parse_query(Some("domain=a&%64omain=b"), &["domain"]).unwrap_err();
+        assert!(err.contains("duplicate"), "got {err:?}");
+    }
+
+    #[test]
+    fn parse_query_rejects_unknown_keys_and_bare_words() {
+        let err = parse_query(Some("nope=1"), &["domain"]).unwrap_err();
+        assert!(err.contains("unknown query parameter"), "got {err:?}");
+        let err = parse_query(Some("domain"), &["domain"]).unwrap_err();
+        assert!(err.contains("no '='"), "got {err:?}");
+        let err = parse_query(Some("domain=a&&domain=b"), &["domain"]).unwrap_err();
+        assert!(err.contains("stray"), "got {err:?}");
+    }
+
+    #[test]
+    fn parse_query_rejects_percent_junk() {
+        for raw in ["domain=%", "domain=%2", "domain=%zz", "domain=%G1abc"] {
+            let err = parse_query(Some(raw), &["domain"]).unwrap_err();
+            assert!(err.contains("%-escape"), "{raw:?} gave {err:?}");
+        }
+        // A valid escape that decodes to invalid UTF-8 is also junk.
+        let err = parse_query(Some("domain=%ff%fe"), &["domain"]).unwrap_err();
+        assert!(err.contains("UTF-8"), "got {err:?}");
+    }
+
+    #[test]
+    fn parse_query_enforces_size_limits() {
+        let big_value = format!("domain={}", "a".repeat(300));
+        let err = parse_query(Some(&big_value), &["domain"]).unwrap_err();
+        assert!(err.contains("max 256"), "got {err:?}");
+
+        let big_key = format!("{}=1", "k".repeat(70));
+        let err = parse_query(Some(&big_key), &["domain"]).unwrap_err();
+        assert!(err.contains("max 64"), "got {err:?}");
+
+        let allowed = ["k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8"];
+        let many: String = allowed.iter().map(|k| format!("{k}=x")).collect::<Vec<_>>().join("&");
+        assert!(allowed.len() > MAX_QUERY_PAIRS);
+        let err = parse_query(Some(&many), &allowed).unwrap_err();
+        assert!(err.contains("more than"), "got {err:?}");
+
+        let huge = format!("domain={}", "a".repeat(4000));
+        let err = parse_query(Some(&huge), &["domain"]).unwrap_err();
+        assert!(err.contains("query string is"), "got {err:?}");
+    }
+
+    #[test]
+    fn percent_decode_roundtrips_plain_text() {
+        assert_eq!(percent_decode("plain-text_1.2").unwrap(), "plain-text_1.2");
+        assert_eq!(percent_decode("%41%2b").unwrap(), "A+");
+        assert_eq!(percent_decode("a+b").unwrap(), "a b");
+    }
 }

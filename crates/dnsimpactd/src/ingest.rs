@@ -18,6 +18,7 @@
 use crate::checkpoint;
 use crate::feed::{FeedBatch, FeedSource};
 use crate::index::{IndexSnapshot, IndexState};
+use crate::telemetry::Telemetry;
 use std::path::PathBuf;
 use std::sync::Arc;
 use streamproc::{
@@ -58,6 +59,7 @@ pub struct Ingestor<'a> {
     cfg: IngestConfig,
     pub state: IndexState,
     cell: Arc<SwapCell<IndexSnapshot>>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl<'a> Ingestor<'a> {
@@ -66,7 +68,21 @@ impl<'a> Ingestor<'a> {
         cfg: IngestConfig,
         cell: Arc<SwapCell<IndexSnapshot>>,
     ) -> Ingestor<'a> {
-        Ingestor { source, cfg, state: IndexState::default(), cell }
+        Ingestor { source, cfg, state: IndexState::default(), cell, telemetry: None }
+    }
+
+    /// Attach the live telemetry plane: every applied batch — live or
+    /// recovery replay — becomes one tick, so the stored series stays a
+    /// pure function of the applied feed prefix.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Ingestor<'a> {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    fn tick(&self) {
+        if let Some(t) = &self.telemetry {
+            t.tick(&self.state, self.source.batches.len() as u64);
+        }
     }
 
     /// Recover from the checkpoint marker (if any): replay the claimed
@@ -78,6 +94,7 @@ impl<'a> Ingestor<'a> {
         let upto = (ck.applied_seq as usize).min(self.source.batches.len());
         for batch in &self.source.batches[..upto] {
             self.state.apply(&self.source.world, batch);
+            self.tick();
         }
         if self.state.state_fingerprint() != ck.state_fp
             || self.state.records_applied != ck.records_applied
@@ -90,6 +107,11 @@ impl<'a> Ingestor<'a> {
             );
             obs::counter("daemon.ckpt_mismatch").incr();
             self.state = IndexState::default();
+            if let Some(t) = &self.telemetry {
+                // The replayed ticks described a discarded state; the
+                // clean restart regrows the series from tick 1.
+                t.reset();
+            }
             return 0;
         }
         obs::counter("daemon.replay_batches").add(upto as u64);
@@ -124,13 +146,21 @@ impl<'a> Ingestor<'a> {
             stats.merge(&s);
             for batch in &delivered {
                 self.state.apply(&self.source.world, batch);
+                self.tick();
                 self.publish(false);
                 if let Some(dir) = self.cfg.checkpoint_dir.clone() {
-                    if let Err(e) = checkpoint::save(&dir, &self.state) {
-                        // Durability is degraded, serving is not: keep
-                        // going, count it, and say so.
-                        obs::progress("daemon", &format!("checkpoint write failed: {e}"));
-                        obs::counter("daemon.ckpt_write_errors").incr();
+                    match checkpoint::save(&dir, &self.state) {
+                        Ok(()) => {
+                            if let Some(t) = &self.telemetry {
+                                t.note_checkpoint(self.state.applied_seq);
+                            }
+                        }
+                        Err(e) => {
+                            // Durability is degraded, serving is not: keep
+                            // going, count it, and say so.
+                            obs::progress("daemon", &format!("checkpoint write failed: {e}"));
+                            obs::counter("daemon.ckpt_write_errors").incr();
+                        }
                     }
                 }
                 if self.cfg.pace_ms > 0 {

@@ -27,14 +27,22 @@
 //! - **Bounded overload**: admission is a fixed-capacity queue; overflow
 //!   is an immediate 503 and a counted shed, so memory stays bounded and
 //!   `accepted == served + shed + errors` holds exactly.
+//! - **Deterministic telemetry**: the live plane ([`telemetry`]) ticks on
+//!   applied feed sequence numbers, never wall clock, so the stored
+//!   `live.*` series and the ingest SLO verdict sequence are a pure
+//!   function of the feed prefix — byte-identical across chaos seeds,
+//!   `--jobs` counts, and crash/recovery replays. Wall-clock timestamps
+//!   and scheduling-dependent serving metrics ride along as annotation.
 
 pub mod checkpoint;
 pub mod feed;
 pub mod http;
 pub mod index;
 pub mod ingest;
+pub mod telemetry;
 
 pub use feed::{FeedBatch, FeedConfig, FeedRecord, FeedSource};
 pub use http::{http_get, Server, ServerConfig};
 pub use index::{BaselineSource, DomainDir, IndexSnapshot, IndexState, NsSetImpact};
 pub use ingest::{IngestConfig, Ingestor};
+pub use telemetry::{Telemetry, TelemetryConfig};

@@ -59,6 +59,17 @@
 //!   (`dnsimpactd-report/v1`) emitted by `repro daemon-bench` — ingest
 //!   fingerprint plus query QPS/tail-latency, with the shed-accounting
 //!   identity enforced at validation;
+//! - [`timeseries`]: the live plane's bounded tick ring ([`TsStore`]) —
+//!   per-tick counter deltas and gauge levels on a feed-sequence tick
+//!   clock, with eviction accounting that makes "no sample lost or
+//!   double-counted across ring wrap" machine-checkable;
+//! - [`slo`]: declarative burn-rate objectives over stored series, with
+//!   a transition log and the overload-vs-starvation diagnosis;
+//! - [`expo`]: dependency-free Prometheus text exposition (renderer +
+//!   strict parser) over a metrics snapshot — the `/metricsz` body;
+//! - [`live`]: the live-telemetry report (`dnsimpactd-live/v1`) — tick
+//!   series, SLO verdicts, and final state split into `deterministic` /
+//!   `annotation` halves, validated down to the delta-conservation law;
 //! - [`json`]: the dependency-free JSON value/writer/parser the report
 //!   rides on;
 //! - [`progress`]: stderr-only progress/timing lines, so nothing
@@ -66,24 +77,31 @@
 //!   diff compares.
 
 pub mod daemon;
+pub mod expo;
 pub mod hist;
 pub mod json;
+pub mod live;
 pub mod metrics;
 pub mod progress;
 pub mod report;
 pub mod rss;
+pub mod slo;
 pub mod span;
 pub mod suite;
 pub mod sweep;
+pub mod timeseries;
 pub mod trace;
 
 pub use daemon::{DaemonMeta, DaemonReport, DAEMON_SCHEMA_ID};
 pub use hist::Hist;
 pub use json::Json;
+pub use live::{LiveFinal, LiveMeta, LIVE_SCHEMA_ID};
 pub use metrics::{counter, gauge, histogram, registry, Counter, Gauge, Histogram, Snapshot};
 pub use progress::progress;
 pub use report::{RunMeta, RunReport, StageWall, SCHEMA_ID};
+pub use slo::{SloKind, SloSet, SloSpec, SloStatus, Transition};
 pub use span::span;
 pub use suite::{SuiteMeta, SuiteReport, SUITE_SCHEMA_ID};
 pub use sweep::{SweepCell, SweepMeta, SweepReport, SWEEP_SCHEMA_ID};
+pub use timeseries::{SeriesKind, SeriesWindow, TsStore};
 pub use trace::{EventKind, TraceEvent, TraceSummary};

@@ -1,0 +1,363 @@
+//! Fixed-capacity, tick-indexed time series — the live plane's store.
+//!
+//! The batch report answers "what were the totals"; this module answers
+//! "how did they move". A [`TsStore`] is a bounded ring of per-tick
+//! samples. The **tick** is not wall clock: the daemon drives it from
+//! applied feed sequence numbers, so for a fixed feed the stored series
+//! is a pure function of the ingested prefix — replayable byte-for-byte
+//! across chaos seeds, `--jobs` counts, and crash recoveries. Wall-clock
+//! timestamps ride along as annotation (`wall_ms`) and are excluded from
+//! every determinism comparison, mirroring the `time.`/`sched.` metric
+//! namespace rule.
+//!
+//! Two series kinds cover the instruments:
+//!
+//! - [`SeriesKind::Delta`]: the caller supplies a *cumulative* counter
+//!   value each tick; the store keeps the per-tick increment. Deltas make
+//!   windows meaningful ("records applied in the last N batches") and
+//!   make conservation checkable.
+//! - [`SeriesKind::Level`]: an instantaneous gauge (staleness, lag),
+//!   stored as-is.
+//!
+//! ## No sample is lost or double-counted across ring wrap
+//!
+//! When the ring is full, the oldest tick is evicted and every delta it
+//! held is folded into a per-series `evicted` accumulator. That gives the
+//! machine-checkable conservation law ([`TsStore::check_conservation`],
+//! also enforced by `live::validate` on reports):
+//!
+//! ```text
+//! evicted_sum(name) + Σ retained deltas(name) == last cumulative(name)
+//! ```
+//!
+//! A window query ([`TsStore::series`]) narrower than the ring folds the
+//! retained-but-out-of-window deltas into its own `evicted_sum`, so the
+//! same identity holds for any `last_n`.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// How pushed values for a series are interpreted (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeriesKind {
+    Delta,
+    Level,
+}
+
+impl SeriesKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SeriesKind::Delta => "delta",
+            SeriesKind::Level => "level",
+        }
+    }
+}
+
+/// One retained tick: the tick id, the annotation-only wall timestamp,
+/// and the points recorded at that tick.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tick {
+    pub tick: u64,
+    /// Wall-clock milliseconds — annotation only, never compared.
+    pub wall_ms: u64,
+    /// Per-series increment since the previous tick (Delta series).
+    pub deltas: BTreeMap<String, u64>,
+    /// Per-series instantaneous value (Level series).
+    pub levels: BTreeMap<String, u64>,
+}
+
+/// A window query result. For Delta series, `evicted_sum` is everything
+/// that happened before the window (ring-evicted plus retained ticks the
+/// window excludes), so `evicted_sum + values.iter().sum() == cumulative`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeriesWindow {
+    pub name: String,
+    pub kind: SeriesKind,
+    pub ticks: Vec<u64>,
+    pub values: Vec<u64>,
+    /// Annotation-only wall timestamps, index-aligned with `ticks`.
+    pub wall_ms: Vec<u64>,
+    /// Delta series: sum of increments before this window. Level: 0.
+    pub evicted_sum: u64,
+    /// Delta series: the cumulative value at the last tick. Level: the
+    /// last value.
+    pub cumulative: u64,
+}
+
+/// The bounded tick ring (see module docs).
+#[derive(Debug)]
+pub struct TsStore {
+    cap: usize,
+    ticks: VecDeque<Tick>,
+    kinds: BTreeMap<String, SeriesKind>,
+    /// Last cumulative value per Delta series (for delta computation).
+    cum: BTreeMap<String, u64>,
+    /// Per-series delta sum folded out of evicted ticks.
+    evicted: BTreeMap<String, u64>,
+    evicted_ticks: u64,
+}
+
+impl TsStore {
+    pub fn new(cap: usize) -> TsStore {
+        TsStore {
+            cap: cap.max(1),
+            ticks: VecDeque::new(),
+            kinds: BTreeMap::new(),
+            cum: BTreeMap::new(),
+            evicted: BTreeMap::new(),
+            evicted_ticks: 0,
+        }
+    }
+
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    pub fn len(&self) -> usize {
+        self.ticks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ticks.is_empty()
+    }
+
+    pub fn evicted_ticks(&self) -> u64 {
+        self.evicted_ticks
+    }
+
+    /// Total ticks ever observed (retained + evicted).
+    pub fn ticks_total(&self) -> u64 {
+        self.evicted_ticks + self.ticks.len() as u64
+    }
+
+    /// Series names, sorted (BTreeMap order).
+    pub fn names(&self) -> impl Iterator<Item = (&str, SeriesKind)> {
+        self.kinds.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    pub fn kind(&self, name: &str) -> Option<SeriesKind> {
+        self.kinds.get(name).copied()
+    }
+
+    /// Record one tick. `counters` carries cumulative values (stored as
+    /// deltas), `levels` instantaneous ones. Ticks must be strictly
+    /// increasing; a cumulative counter must never decrease. Both are
+    /// caller bugs, not data, so they panic.
+    pub fn observe(
+        &mut self,
+        tick: u64,
+        wall_ms: u64,
+        counters: &BTreeMap<String, u64>,
+        levels: &BTreeMap<String, u64>,
+    ) {
+        if let Some(last) = self.ticks.back() {
+            assert!(tick > last.tick, "tick {tick} not after {}", last.tick);
+        }
+        let mut deltas = BTreeMap::new();
+        for (name, &cum_now) in counters {
+            match self.kinds.get(name.as_str()) {
+                None => {
+                    self.kinds.insert(name.clone(), SeriesKind::Delta);
+                }
+                Some(SeriesKind::Delta) => {}
+                Some(SeriesKind::Level) => panic!("series {name:?} is Level, observed as Delta"),
+            }
+            let prev = self.cum.get(name.as_str()).copied().unwrap_or(0);
+            assert!(
+                cum_now >= prev,
+                "cumulative series {name:?} went backwards: {prev} -> {cum_now}"
+            );
+            deltas.insert(name.clone(), cum_now - prev);
+            self.cum.insert(name.clone(), cum_now);
+        }
+        let mut lvl = BTreeMap::new();
+        for (name, &v) in levels {
+            match self.kinds.get(name.as_str()) {
+                None => {
+                    self.kinds.insert(name.clone(), SeriesKind::Level);
+                }
+                Some(SeriesKind::Level) => {}
+                Some(SeriesKind::Delta) => panic!("series {name:?} is Delta, observed as Level"),
+            }
+            lvl.insert(name.clone(), v);
+        }
+        self.ticks.push_back(Tick { tick, wall_ms, deltas, levels: lvl });
+        while self.ticks.len() > self.cap {
+            let old = self.ticks.pop_front().expect("non-empty ring");
+            for (name, d) in old.deltas {
+                *self.evicted.entry(name).or_insert(0) += d;
+            }
+            self.evicted_ticks += 1;
+        }
+    }
+
+    /// The last `last_n` points of `name` (every retained point when the
+    /// window is larger than the ring). `None` for unknown series.
+    pub fn series(&self, name: &str, last_n: usize) -> Option<SeriesWindow> {
+        let kind = self.kind(name)?;
+        let mut ticks = Vec::new();
+        let mut values = Vec::new();
+        let mut wall_ms = Vec::new();
+        let mut skipped_sum = 0u64;
+        let mut last_level = 0u64;
+        // Ticks where the series has no point contribute nothing; only
+        // ticks carrying a point count against the window.
+        let mut points: Vec<(u64, u64, u64)> = Vec::new();
+        for t in &self.ticks {
+            let v = match kind {
+                SeriesKind::Delta => t.deltas.get(name).copied(),
+                SeriesKind::Level => t.levels.get(name).copied(),
+            };
+            if let Some(v) = v {
+                points.push((t.tick, v, t.wall_ms));
+            }
+        }
+        let start = points.len().saturating_sub(last_n.max(1));
+        for (i, &(tick, v, w)) in points.iter().enumerate() {
+            if i < start {
+                if kind == SeriesKind::Delta {
+                    skipped_sum += v;
+                }
+                continue;
+            }
+            ticks.push(tick);
+            values.push(v);
+            wall_ms.push(w);
+            last_level = v;
+        }
+        let (evicted_sum, cumulative) = match kind {
+            SeriesKind::Delta => {
+                let ring_evicted = self.evicted.get(name).copied().unwrap_or(0);
+                (ring_evicted + skipped_sum, self.cum.get(name).copied().unwrap_or(0))
+            }
+            SeriesKind::Level => (0, last_level),
+        };
+        Some(SeriesWindow {
+            name: name.to_string(),
+            kind,
+            ticks,
+            values,
+            wall_ms,
+            evicted_sum,
+            cumulative,
+        })
+    }
+
+    /// The conservation law from the module docs, for every Delta series.
+    /// Structurally guaranteed by `observe`/eviction; tests and report
+    /// validation re-check it from the outside anyway.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        for (name, kind) in self.kinds.iter() {
+            if *kind != SeriesKind::Delta {
+                continue;
+            }
+            let retained: u64 = self.ticks.iter().filter_map(|t| t.deltas.get(name.as_str())).sum();
+            let evicted = self.evicted.get(name.as_str()).copied().unwrap_or(0);
+            let cum = self.cum.get(name.as_str()).copied().unwrap_or(0);
+            if evicted + retained != cum {
+                return Err(format!(
+                    "series {name:?}: evicted {evicted} + retained {retained} != cumulative {cum}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The retained ticks, oldest first.
+    pub fn ticks(&self) -> impl Iterator<Item = &Tick> {
+        self.ticks.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(name: &str, v: u64) -> BTreeMap<String, u64> {
+        BTreeMap::from([(name.to_string(), v)])
+    }
+
+    #[test]
+    fn deltas_and_levels_store_their_kind() {
+        let mut s = TsStore::new(8);
+        s.observe(1, 100, &one("c", 10), &one("g", 5));
+        s.observe(2, 200, &one("c", 25), &one("g", 3));
+        let c = s.series("c", 10).unwrap();
+        assert_eq!(c.kind, SeriesKind::Delta);
+        assert_eq!(c.values, vec![10, 15]);
+        assert_eq!(c.cumulative, 25);
+        assert_eq!(c.evicted_sum, 0);
+        let g = s.series("g", 10).unwrap();
+        assert_eq!(g.kind, SeriesKind::Level);
+        assert_eq!(g.values, vec![5, 3]);
+        assert_eq!(g.cumulative, 3);
+        assert!(s.series("missing", 10).is_none());
+    }
+
+    #[test]
+    fn ring_wrap_conserves_every_delta() {
+        let mut s = TsStore::new(4);
+        let mut cum = 0u64;
+        for tick in 1..=100u64 {
+            cum += tick % 7; // uneven increments
+            s.observe(tick, tick * 10, &one("c", cum), &one("lag", 100 - tick));
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.evicted_ticks(), 96);
+        assert_eq!(s.ticks_total(), 100);
+        s.check_conservation().unwrap();
+        // The identity holds for any window width, not just the ring.
+        for last_n in [1, 2, 3, 4, 10] {
+            let w = s.series("c", last_n).unwrap();
+            let window_sum: u64 = w.values.iter().sum();
+            assert_eq!(w.evicted_sum + window_sum, cum, "last_n={last_n}");
+            assert_eq!(w.cumulative, cum);
+        }
+    }
+
+    #[test]
+    fn window_narrower_than_ring_counts_skipped_ticks_as_evicted() {
+        let mut s = TsStore::new(8);
+        for tick in 1..=6u64 {
+            s.observe(tick, 0, &one("c", tick * 2), &BTreeMap::new());
+        }
+        let w = s.series("c", 2).unwrap();
+        assert_eq!(w.ticks, vec![5, 6]);
+        assert_eq!(w.values, vec![2, 2]);
+        assert_eq!(w.evicted_sum, 8); // ticks 1..=4 contributed 2 each
+        assert_eq!(w.evicted_sum + w.values.iter().sum::<u64>(), w.cumulative);
+    }
+
+    #[test]
+    #[should_panic(expected = "not after")]
+    fn ticks_must_strictly_increase() {
+        let mut s = TsStore::new(4);
+        s.observe(5, 0, &one("c", 1), &BTreeMap::new());
+        s.observe(5, 0, &one("c", 2), &BTreeMap::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn cumulative_counters_must_not_decrease() {
+        let mut s = TsStore::new(4);
+        s.observe(1, 0, &one("c", 10), &BTreeMap::new());
+        s.observe(2, 0, &one("c", 9), &BTreeMap::new());
+    }
+
+    #[test]
+    fn wall_ms_is_annotation_only() {
+        // Two stores fed identical ticks with different wall clocks have
+        // identical deterministic views.
+        let mut a = TsStore::new(4);
+        let mut b = TsStore::new(4);
+        for tick in 1..=9u64 {
+            a.observe(tick, tick * 1000, &one("c", tick), &BTreeMap::new());
+            b.observe(tick, 777, &one("c", tick), &BTreeMap::new());
+        }
+        let (wa, wb) = (a.series("c", 100).unwrap(), b.series("c", 100).unwrap());
+        assert_eq!(
+            (wa.ticks, wa.values, wa.evicted_sum, wa.cumulative),
+            (wb.ticks.clone(), wb.values.clone(), wb.evicted_sum, wb.cumulative)
+        );
+        assert_ne!(wa.wall_ms, wb.wall_ms);
+    }
+}

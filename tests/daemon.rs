@@ -15,8 +15,9 @@ use std::time::Duration;
 
 use dnsimpactd::{
     checkpoint, feed, http_get, DomainDir, FeedConfig, IndexState, IngestConfig, Ingestor, Server,
-    ServerConfig,
+    ServerConfig, Telemetry, TelemetryConfig,
 };
+use obs::Json;
 use scenarios::divisor_for_target;
 use scenarios::WorldConfig;
 use streamproc::SwapCell;
@@ -169,7 +170,7 @@ fn staleness_is_reported_and_flips_readiness_and_degrades_answers() {
     }
     let cell = Arc::new(SwapCell::new(state.snapshot(src.batches.len() as u64, false)));
     let cfg = ServerConfig { staleness_bound_s: worst.0 - 1, ..ServerConfig::default() };
-    let server = Server::start(&cfg, Arc::clone(&cell), Arc::clone(&dir)).expect("bind");
+    let server = Server::start(&cfg, Arc::clone(&cell), Arc::clone(&dir), None).expect("bind");
     let addr = server.addr();
     let t = Duration::from_secs(5);
 
@@ -187,7 +188,7 @@ fn staleness_is_reported_and_flips_readiness_and_degrades_answers() {
     // by staleness alone (weak baselines can still degrade specific
     // NSSets, so assert only on readiness here).
     let cfg = ServerConfig { staleness_bound_s: worst.0 + 1, ..ServerConfig::default() };
-    let server2 = Server::start(&cfg, Arc::clone(&cell), Arc::clone(&dir)).expect("bind");
+    let server2 = Server::start(&cfg, Arc::clone(&cell), Arc::clone(&dir), None).expect("bind");
     let (code, _) = http_get(server2.addr(), "/readyz", t).expect("readyz");
     assert_eq!(code, 200);
     server2.shutdown();
@@ -200,7 +201,9 @@ fn http_surface_serves_impact_answers_and_errors() {
     let src = feed::build(&tiny(), 2);
     let dir = Arc::new(DomainDir::build(&src.world.infra));
     let cell = Arc::new(SwapCell::new(Default::default()));
-    let mut ing = Ingestor::new(&src, IngestConfig::default(), Arc::clone(&cell));
+    let telemetry = Telemetry::new(TelemetryConfig::default());
+    let mut ing = Ingestor::new(&src, IngestConfig::default(), Arc::clone(&cell))
+        .with_telemetry(Arc::clone(&telemetry));
     ing.run();
 
     // Pick a domain whose NSSet demonstrably took attacks.
@@ -213,8 +216,13 @@ fn http_surface_serves_impact_answers_and_errors() {
         .expect("tiny feed produced no impacted domain")
         .to_string();
 
-    let server =
-        Server::start(&ServerConfig::default(), Arc::clone(&cell), Arc::clone(&dir)).expect("bind");
+    let server = Server::start(
+        &ServerConfig::default(),
+        Arc::clone(&cell),
+        Arc::clone(&dir),
+        Some(Arc::clone(&telemetry)),
+    )
+    .expect("bind");
     let addr = server.addr();
     let t = Duration::from_secs(5);
 
@@ -226,7 +234,20 @@ fn http_surface_serves_impact_answers_and_errors() {
 
     let (code, body) = http_get(addr, "/statz", t).expect("statz");
     assert_eq!(code, 200);
-    for field in ["\"ingest_done\": true", "\"state_fp\"", "\"full_fp\"", "\"records_applied\""] {
+    for field in [
+        "\"ingest_done\": true",
+        "\"state_fp\"",
+        "\"full_fp\"",
+        "\"records_applied\"",
+        // Satellite: the serving accounting and durability cursor are in
+        // the same snapshot the gate polls, not only in the final report.
+        "\"queries_received\"",
+        "\"queries_served\"",
+        "\"queries_shed\"",
+        "\"checkpoint_seq\"",
+        "\"slo\"",
+        "\"diagnosis\"",
+    ] {
         assert!(body.contains(field), "statz missing {field}: {body}");
     }
 
@@ -250,7 +271,152 @@ fn http_surface_serves_impact_answers_and_errors() {
     let (code, _) = http_get(addr, "/nope", t).expect("404 route");
     assert_eq!(code, 404);
 
+    // The exposition endpoint answers text that the strict parser accepts
+    // and that carries the per-route instrumentation.
+    let (code, body) = http_get(addr, "/metricsz", t).expect("metricsz");
+    assert_eq!(code, 200);
+    let families = obs::expo::parse_text(&body).expect("exposition must parse strictly");
+    assert!(!families.is_empty());
+    assert!(
+        body.contains("sched_daemon_http_requests_query"),
+        "per-route counter missing from exposition"
+    );
+    assert!(
+        body.contains("# TYPE sched_daemon_http_latency_us_query histogram"),
+        "per-route latency histogram missing from exposition"
+    );
+
+    // The live-plane routes answer from the ticked store.
+    let (code, body) = http_get(addr, "/seriesz?name=live.records", t).expect("seriesz");
+    assert_eq!(code, 200, "{body}");
+    let doc = Json::parse(&body).expect("seriesz JSON");
+    let det = doc.get("deterministic").expect("deterministic half");
+    assert_eq!(det.get("kind").and_then(|k| k.as_str()), Some("delta"));
+    assert!(doc.get("annotation").and_then(|a| a.get("wall_ms")).is_some());
+
+    let (code, body) = http_get(addr, "/seriesz?name=no.such.series", t).expect("seriesz 404");
+    assert_eq!(code, 404);
+    assert!(body.contains("\"known\""), "unknown series must list the known ones: {body}");
+
+    let (code, body) = http_get(addr, "/sloz", t).expect("sloz");
+    assert_eq!(code, 200);
+    let doc = Json::parse(&body).expect("sloz JSON");
+    assert!(doc.get("deterministic").and_then(|d| d.get("transitions")).is_some());
+    assert!(doc.get("annotation").and_then(|a| a.get("diagnosis")).is_some());
+
     server.shutdown();
+}
+
+#[test]
+fn hostile_query_strings_get_structured_400s_not_fallthrough() {
+    let _g = lock();
+    let src = feed::build(&tiny(), 2);
+    let dir = Arc::new(DomainDir::build(&src.world.infra));
+    let cell = Arc::new(SwapCell::new(Default::default()));
+    let mut ing = Ingestor::new(&src, IngestConfig::default(), Arc::clone(&cell));
+    ing.run();
+    let telemetry = Telemetry::new(TelemetryConfig::default());
+    let server = Server::start(
+        &ServerConfig::default(),
+        Arc::clone(&cell),
+        Arc::clone(&dir),
+        Some(telemetry),
+    )
+    .expect("bind");
+    let addr = server.addr();
+    let t = Duration::from_secs(5);
+
+    let big = "a".repeat(300);
+    let hostile = [
+        "/query?domain=a&domain=b",             // duplicate key
+        "/query?domain=%zz",                    // malformed escape
+        "/query?domain=%2",                     // truncated escape
+        "/query?domain=%ff%fe",                 // decodes to invalid UTF-8
+        "/query?bogus=1",                       // unknown parameter
+        "/query?domain",                        // bare word, no '='
+        "/query?domain=a&&domain=b",            // stray '&'
+        "/seriesz?name=live.records&last=nope", // non-numeric window
+        "/seriesz?name=live.records&last=0",    // zero window
+    ];
+    for path in hostile {
+        let (code, body) = http_get(addr, path, t).expect(path);
+        assert_eq!(code, 400, "{path} must 400: {body}");
+        let doc = Json::parse(&body).unwrap_or_else(|e| panic!("{path}: bad JSON {e}: {body}"));
+        assert!(doc.get("error").is_some(), "{path}: no error field: {body}");
+    }
+    let (code, body) = http_get(addr, &format!("/query?domain={big}"), t).expect("oversized value");
+    assert_eq!(code, 400, "oversized value must 400: {body}");
+    assert!(body.contains("max 256"), "detail must name the limit: {body}");
+
+    server.shutdown();
+}
+
+/// The tentpole determinism contract, end to end: the deterministic
+/// halves of `/seriesz` and `/sloz` are a pure function of the feed
+/// prefix — byte-identical across chaos seeds, `--jobs`, and a
+/// crash-recovery replay.
+#[test]
+fn live_series_and_slo_verdicts_are_replay_deterministic() {
+    let _g = lock();
+    let src = feed::build(&tiny(), 2);
+    let total = src.batches.len();
+
+    let capture = |ing_cfg: IngestConfig, jobs: usize| -> (String, String) {
+        let src = feed::build(&tiny(), jobs);
+        let cell = Arc::new(SwapCell::new(Default::default()));
+        let telemetry = Telemetry::new(TelemetryConfig::default());
+        let mut ing =
+            Ingestor::new(&src, ing_cfg, Arc::clone(&cell)).with_telemetry(Arc::clone(&telemetry));
+        ing.recover_and_run();
+        let dir = Arc::new(DomainDir::build(&src.world.infra));
+        let server =
+            Server::start(&ServerConfig::default(), Arc::clone(&cell), dir, Some(telemetry))
+                .expect("bind");
+        let t = Duration::from_secs(5);
+        let mut series = String::new();
+        for name in ["live.batches", "live.records", "live.staleness_s", "live.ingest_lag"] {
+            let (code, body) =
+                http_get(server.addr(), &format!("/seriesz?name={name}&last=100000"), t)
+                    .expect("seriesz");
+            assert_eq!(code, 200, "{body}");
+            let doc = Json::parse(&body).expect("seriesz JSON");
+            series.push_str(&doc.get("deterministic").expect("det half").pretty());
+            series.push('\n');
+        }
+        let (code, body) = http_get(server.addr(), "/sloz", t).expect("sloz");
+        assert_eq!(code, 200);
+        let doc = Json::parse(&body).expect("sloz JSON");
+        let verdicts = doc.get("deterministic").expect("det half").pretty();
+        server.shutdown();
+        (series, verdicts)
+    };
+
+    let (series_a, verdicts_a) = capture(IngestConfig::default(), 1);
+    let (series_b, verdicts_b) =
+        capture(IngestConfig { chaos_seed: Some(9), segment: 8, ..IngestConfig::default() }, 4);
+    assert_eq!(series_a, series_b, "chaos seed / jobs changed the deterministic series");
+    assert_eq!(verdicts_a, verdicts_b, "chaos seed / jobs changed the SLO verdict sequence");
+
+    // Crash mid-ingest, recover from the marker, finish: the regrown
+    // series must still match — recovery replay ticks like live ingest.
+    let ckpt = tempdir("daemon-live-determinism");
+    let mut dead = IndexState::default();
+    for batch in &src.batches[..total / 2] {
+        dead.apply(&src.world, batch);
+    }
+    checkpoint::save(&ckpt, &dead).expect("write checkpoint marker");
+    drop(dead);
+    let (series_c, verdicts_c) = capture(
+        IngestConfig {
+            chaos_seed: Some(3),
+            checkpoint_dir: Some(ckpt.clone()),
+            ..IngestConfig::default()
+        },
+        2,
+    );
+    assert_eq!(series_a, series_c, "crash recovery changed the deterministic series");
+    assert_eq!(verdicts_a, verdicts_c, "crash recovery changed the SLO verdict sequence");
+    let _ = std::fs::remove_dir_all(&ckpt);
 }
 
 #[test]
@@ -271,7 +437,7 @@ fn overload_sheds_visibly_and_accounts_every_query_exactly_once() {
     // accept loop must shed most of it — with a 503, not a hang.
     let cfg =
         ServerConfig { workers: 1, queue_cap: 1, handle_delay_ms: 20, ..ServerConfig::default() };
-    let server = Server::start(&cfg, Arc::clone(&cell), Arc::clone(&dir)).expect("bind");
+    let server = Server::start(&cfg, Arc::clone(&cell), Arc::clone(&dir), None).expect("bind");
     let addr = server.addr();
     let t = Duration::from_secs(10);
 
